@@ -1,0 +1,258 @@
+package wmxml
+
+// One benchmark per experiment of EXPERIMENTS.md (E1–E8, F1): each bench
+// regenerates its table, so `go test -bench=.` reproduces the full
+// evaluation. Micro-benchmarks for the substrate hot paths (parse,
+// query, embed, detect) follow.
+//
+// Experiment benches report two custom metrics where meaningful:
+// match (detection bit-match fraction) and usability.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wmxml/internal/experiments"
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+// benchParams keeps experiment benches fast enough to iterate while
+// preserving the shapes (the committed EXPERIMENTS.md uses the full
+// defaults via cmd/wmbench).
+func benchParams() experiments.Params {
+	return experiments.Params{Books: 150, Trials: 3, MarkBits: 24, Seed: 2005}
+}
+
+func benchTable(b *testing.B, run func(experiments.Params) (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tab, err := run(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tab.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", tab.ID)
+		}
+	}
+}
+
+func BenchmarkE1CapacityUsability(b *testing.B)  { benchTable(b, experiments.E1Capacity) }
+func BenchmarkE2Alteration(b *testing.B)         { benchTable(b, experiments.E2Alteration) }
+func BenchmarkE3Reduction(b *testing.B)          { benchTable(b, experiments.E3Reduction) }
+func BenchmarkE4Reorganization(b *testing.B)     { benchTable(b, experiments.E4Reorganization) }
+func BenchmarkE5RedundancyRemoval(b *testing.B)  { benchTable(b, experiments.E5RedundancyRemoval) }
+func BenchmarkE6RewriteFidelity(b *testing.B)    { benchTable(b, experiments.E6RewriteFidelity) }
+func BenchmarkE7Frontier(b *testing.B)           { benchTable(b, experiments.E7Frontier) }
+func BenchmarkE8FalsePositive(b *testing.B)      { benchTable(b, experiments.E8FalsePositive) }
+func BenchmarkF1ReorgInfoPreserved(b *testing.B) { benchTable(b, experiments.F1InfoPreservation) }
+func BenchmarkA1ChannelComparison(b *testing.B)  { benchTable(b, experiments.A1ChannelComparison) }
+func BenchmarkA2TauSweep(b *testing.B)           { benchTable(b, experiments.A2TauSweep) }
+func BenchmarkA3XiBitFlip(b *testing.B)          { benchTable(b, experiments.A3XiBitFlip) }
+func BenchmarkS1Scalability(b *testing.B)        { benchTable(b, experiments.S1Scalability) }
+
+// --- substrate micro-benchmarks ---
+
+func benchDataset(b *testing.B, books int) *Dataset {
+	b.Helper()
+	return PublicationsDataset(books, 2005)
+}
+
+func BenchmarkParseXML(b *testing.B) {
+	ds := benchDataset(b, 1000)
+	src := SerializeXMLString(ds.Doc)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseXMLString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSerializeXML(b *testing.B) {
+	ds := benchDataset(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := SerializeXMLString(ds.Doc); len(out) == 0 {
+			b.Fatal("empty serialization")
+		}
+	}
+}
+
+func BenchmarkXPathKeyLookup(b *testing.B) {
+	ds := benchDataset(b, 1000)
+	// A representative identity query: key-predicated lookup.
+	title := ds.Doc.Root().ChildElements()[500].FirstChildNamed("title").Text()
+	q, err := CompileQuery("/db/book[title='" + title + "']/year")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if items := q.Select(ds.Doc); len(items) != 1 {
+			b.Fatalf("items = %d", len(items))
+		}
+	}
+}
+
+func BenchmarkXPathDescendantScan(b *testing.B) {
+	ds := benchDataset(b, 1000)
+	q := xpath.MustCompile("//book[year>1995]/title")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if items := q.Select(ds.Doc); len(items) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkEmbed(b *testing.B) {
+	ds := benchDataset(b, 1000)
+	sys, err := New(Options{
+		Key: "bench-key", Mark: "bench-mark-2005", Schema: ds.Schema,
+		Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		doc := ds.Doc.Clone()
+		b.StartTimer()
+		if _, err := sys.Embed(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectWithQueries(b *testing.B) {
+	ds := benchDataset(b, 1000)
+	sys, err := New(Options{
+		Key: "bench-key", Mark: "bench-mark-2005", Schema: ds.Schema,
+		Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := ds.Doc.Clone()
+	receipt, err := sys.Embed(doc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det, err := sys.Detect(doc, receipt.Records, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !det.Detected {
+			b.Fatal("not detected")
+		}
+	}
+}
+
+func BenchmarkDetectBlind(b *testing.B) {
+	ds := benchDataset(b, 1000)
+	sys, err := New(Options{
+		Key: "bench-key", Mark: "bench-mark-2005", Schema: ds.Schema,
+		Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := ds.Doc.Clone()
+	if _, err := sys.Embed(doc); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det, err := sys.DetectBlind(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !det.Detected {
+			b.Fatal("not detected")
+		}
+	}
+}
+
+func BenchmarkReorganize(b *testing.B) {
+	ds := benchDataset(b, 1000)
+	m := Figure1Mapping()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reorganize(ds.Doc, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryRewrite(b *testing.B) {
+	rw, err := NewRewriter(Figure1Mapping())
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := CompileQuery("/db/book[title='Readings in Database Systems']/@publisher")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rw.RewriteQuery(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUsabilityMeasure(b *testing.B) {
+	ds := benchDataset(b, 500)
+	meter, err := NewUsabilityMeter(ds.Doc, ds.Templates)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sc := meter.Measure(ds.Doc, nil); sc.Usability() != 1.0 {
+			b.Fatalf("usability = %.3f", sc.Usability())
+		}
+	}
+}
+
+func BenchmarkAlterationAttack(b *testing.B) {
+	ds := benchDataset(b, 500)
+	atk := NewAlterationAttack(0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		doc := ds.Doc.Clone()
+		r := rand.New(rand.NewSource(int64(i)))
+		b.StartTimer()
+		if _, err := atk.Apply(doc, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDOMClone(b *testing.B) {
+	ds := benchDataset(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cp := ds.Doc.Clone(); cp == nil {
+			b.Fatal("nil clone")
+		}
+	}
+}
+
+func BenchmarkCanonicalize(b *testing.B) {
+	ds := benchDataset(b, 500)
+	opts := xmltree.CompareOptions{IgnoreChildOrder: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := xmltree.Canonical(ds.Doc, opts); !strings.HasPrefix(s, "#doc") {
+			b.Fatal("bad canonical form")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command wmbench regenerates every experiment table of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	wmbench [--books 400] [--trials 10] [--bits 64] [--seed 2005]
+//	        [--exp all|ablations|E1..E8|F1|A1..A3|S1] [--markdown]
+//
+// The defaults reproduce the committed EXPERIMENTS.md; smaller --books /
+// --trials give a quick look at the shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wmxml/internal/experiments"
+)
+
+func main() {
+	books := flag.Int("books", 400, "publications dataset size")
+	trials := flag.Int("trials", 10, "trials per randomized sweep point")
+	bits := flag.Int("bits", 64, "watermark length in bits")
+	seed := flag.Int64("seed", 2005, "experiment seed")
+	exp := flag.String("exp", "all", "experiment to run: all, E1..E8, F1")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
+	flag.Parse()
+
+	p := experiments.Params{Books: *books, Trials: *trials, MarkBits: *bits, Seed: *seed}
+
+	runners := map[string]func(experiments.Params) (*experiments.Table, error){
+		"E1": experiments.E1Capacity,
+		"E2": experiments.E2Alteration,
+		"E3": experiments.E3Reduction,
+		"E4": experiments.E4Reorganization,
+		"E5": experiments.E5RedundancyRemoval,
+		"E6": experiments.E6RewriteFidelity,
+		"E7": experiments.E7Frontier,
+		"E8": experiments.E8FalsePositive,
+		"F1": experiments.F1InfoPreservation,
+		"A1": experiments.A1ChannelComparison,
+		"A2": experiments.A2TauSweep,
+		"A3": experiments.A3XiBitFlip,
+		"S1": experiments.S1Scalability,
+	}
+
+	var tables []*experiments.Table
+	if strings.EqualFold(*exp, "all") {
+		all, err := experiments.All(p)
+		if err != nil {
+			fail(err)
+		}
+		abl, err := experiments.Ablations(p)
+		if err != nil {
+			fail(err)
+		}
+		tables = append(all, abl...)
+		scale, err := experiments.S1Scalability(p)
+		if err != nil {
+			fail(err)
+		}
+		tables = append(tables, scale)
+	} else if strings.EqualFold(*exp, "ablations") {
+		abl, err := experiments.Ablations(p)
+		if err != nil {
+			fail(err)
+		}
+		tables = abl
+	} else {
+		run, ok := runners[strings.ToUpper(*exp)]
+		if !ok {
+			fail(fmt.Errorf("unknown experiment %q", *exp))
+		}
+		t, err := run(p)
+		if err != nil {
+			fail(err)
+		}
+		tables = []*experiments.Table{t}
+	}
+
+	fmt.Printf("WmXML experiment harness — books=%d trials=%d bits=%d seed=%d\n\n",
+		*books, *trials, *bits, *seed)
+	for _, t := range tables {
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			t.Render(os.Stdout)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "wmbench: %v\n", err)
+	os.Exit(1)
+}

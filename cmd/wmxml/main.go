@@ -1,0 +1,616 @@
+// Command wmxml is the end-user tool of the WmXML system: generate
+// sample datasets, embed and detect watermarks, run attacks, measure
+// usability and inspect semantics.
+//
+// Usage:
+//
+//	wmxml gen       --dataset pubs|jobs|library --size N --seed S --out doc.xml
+//	wmxml embed     --dataset pubs --in doc.xml --key K --mark MSG --gamma G
+//	                --out marked.xml --queries q.json
+//	wmxml detect    --dataset pubs --in suspect.xml --key K --mark MSG
+//	                --queries q.json [--rewrite figure1]
+//	wmxml attack    --dataset pubs --in marked.xml --attack alteration|reduction|
+//	                reorganize|reorder|redundancy --severity 0.3 --seed S --out out.xml
+//	wmxml usability --dataset pubs --orig orig.xml --suspect s.xml [--rewrite figure1]
+//	wmxml semantics --in doc.xml
+//	wmxml stats     --in doc.xml
+//
+// The --dataset presets bundle the schema, key/FD catalog, watermark
+// targets and usability templates of the three built-in workloads, so
+// the tool is usable without writing configuration files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"wmxml"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2:]); err != nil {
+		fmt.Fprintf(os.Stderr, "wmxml %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+}
+
+// run dispatches one subcommand; factored out of main for testing.
+func run(cmd string, args []string) error {
+	switch cmd {
+	case "gen":
+		return cmdGen(args)
+	case "embed":
+		return cmdEmbed(args)
+	case "detect":
+		return cmdDetect(args)
+	case "attack":
+		return cmdAttack(args)
+	case "usability":
+		return cmdUsability(args)
+	case "semantics":
+		return cmdSemantics(args)
+	case "stats":
+		return cmdStats(args)
+	case "spec":
+		return cmdSpec(args)
+	case "verify":
+		return cmdVerify(args)
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `wmxml — watermarking for XML data (WmXML, VLDB 2005)
+
+commands:
+  gen        generate a sample dataset (pubs | jobs | library)
+  embed      embed a watermark; writes the marked document and the query set Q
+  detect     detect a watermark using the safeguarded query set
+  attack     apply an attack (alteration | reduction | reorganize | reorder | redundancy)
+  usability  measure query-template usability of a suspect vs the original
+  semantics  discover and verify keys and functional dependencies
+  stats      print document statistics
+  spec       export a dataset preset as a JSON spec (for --spec on custom data)
+  verify     validate a document against its schema and verify keys and FDs
+
+run 'wmxml <command> -h' for the command's flags`)
+}
+
+// datasetPreset returns the built-in workload definition (schema,
+// catalog, targets, templates) for --dataset.
+func datasetPreset(name string, size int, seed int64) (*wmxml.Dataset, error) {
+	if size <= 0 {
+		size = 200
+	}
+	switch name {
+	case "pubs", "publications":
+		return wmxml.PublicationsDataset(size, seed), nil
+	case "jobs":
+		return wmxml.JobsDataset(size, seed), nil
+	case "library":
+		return wmxml.LibraryDataset(size, seed), nil
+	case "nested":
+		return wmxml.NestedDataset(size, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want pubs, jobs, library or nested)", name)
+	}
+}
+
+// resolveParts returns the working definition either from a --spec file
+// or from a --dataset preset.
+func resolveParts(dataset, specPath string) (*wmxml.SpecParts, error) {
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return nil, err
+		}
+		return wmxml.LoadSpec(data)
+	}
+	ds, err := datasetPreset(dataset, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &wmxml.SpecParts{
+		Name:      ds.Name,
+		Schema:    ds.Schema,
+		Catalog:   ds.Catalog,
+		Targets:   ds.Targets,
+		Templates: ds.Templates,
+	}, nil
+}
+
+func readDoc(path string) (*wmxml.Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return wmxml.ParseXML(f)
+}
+
+func writeDoc(path string, doc *wmxml.Document) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return wmxml.SerializeXML(f, doc)
+}
+
+// resolveMapping loads a mapping from a JSON file or by built-in name.
+func resolveMapping(name, file string) (wmxml.Mapping, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return wmxml.Mapping{}, err
+		}
+		return wmxml.LoadMapping(data)
+	}
+	return mappingByName(name)
+}
+
+// mappingByName resolves the built-in schema mappings.
+func mappingByName(name string) (wmxml.Mapping, error) {
+	switch name {
+	case "figure1":
+		return wmxml.Figure1Mapping(), nil
+	case "pubs", "figure1+price":
+		return wmxml.PublicationsMapping(), nil
+	default:
+		return wmxml.Mapping{}, fmt.Errorf("unknown mapping %q (built in: figure1, pubs)", name)
+	}
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	dataset := fs.String("dataset", "pubs", "dataset preset: pubs, jobs or library")
+	size := fs.Int("size", 200, "number of records")
+	seed := fs.Int64("seed", 2005, "generator seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := datasetPreset(*dataset, *size, *seed)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return wmxml.SerializeXML(os.Stdout, ds.Doc)
+	}
+	if err := writeDoc(*out, ds.Doc); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d records, dataset %s)\n", *out, *size, ds.Name)
+	fmt.Printf("watermark targets: %v\n", ds.Targets)
+	fmt.Printf("usability templates: %v\n", ds.Templates)
+	return nil
+}
+
+func sysFromFlags(parts *wmxml.SpecParts, key, mark string, gamma int) (*wmxml.System, error) {
+	if key == "" {
+		return nil, fmt.Errorf("--key is required")
+	}
+	if mark == "" {
+		return nil, fmt.Errorf("--mark is required")
+	}
+	return wmxml.New(wmxml.Options{
+		Key:     key,
+		Mark:    mark,
+		Schema:  parts.Schema,
+		Catalog: parts.Catalog,
+		Targets: parts.Targets,
+		Gamma:   gamma,
+	})
+}
+
+func cmdEmbed(args []string) error {
+	fs := flag.NewFlagSet("embed", flag.ExitOnError)
+	dataset := fs.String("dataset", "pubs", "dataset preset defining schema and semantics")
+	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
+	in := fs.String("in", "", "input document")
+	key := fs.String("key", "", "secret key")
+	mark := fs.String("mark", "", "watermark message")
+	gamma := fs.Int("gamma", 10, "selection ratio: 1 in gamma units carries a bit")
+	out := fs.String("out", "marked.xml", "output (watermarked) document")
+	queries := fs.String("queries", "queries.json", "output query set Q")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parts, err := resolveParts(*dataset, *spec)
+	if err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("--in is required")
+	}
+	doc, err := readDoc(*in)
+	if err != nil {
+		return err
+	}
+	sys, err := sysFromFlags(parts, *key, *mark, *gamma)
+	if err != nil {
+		return err
+	}
+	receipt, err := sys.Embed(doc)
+	if err != nil {
+		return err
+	}
+	if err := writeDoc(*out, doc); err != nil {
+		return err
+	}
+	data, err := wmxml.MarshalReceipt(receipt.Records)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*queries, data, 0o600); err != nil {
+		return err
+	}
+	fmt.Printf("bandwidth: %d units; carriers: %d; values written: %d\n",
+		receipt.BandwidthUnits, receipt.Carriers, receipt.ValuesWritten)
+	fmt.Printf("marked document: %s\nquery set Q:     %s  (safeguard together with the key)\n", *out, *queries)
+	return nil
+}
+
+func cmdDetect(args []string) error {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	dataset := fs.String("dataset", "pubs", "dataset preset defining schema and semantics")
+	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
+	in := fs.String("in", "", "suspect document")
+	key := fs.String("key", "", "secret key")
+	mark := fs.String("mark", "", "expected watermark message")
+	gamma := fs.Int("gamma", 10, "selection ratio used at embedding")
+	queries := fs.String("queries", "", "query set Q from embedding (omit for blind detection)")
+	rewriteMap := fs.String("rewrite", "", "rewrite queries through a built-in mapping: figure1 | pubs")
+	rewriteFile := fs.String("rewrite-file", "", "rewrite queries through a JSON mapping file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parts, err := resolveParts(*dataset, *spec)
+	if err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("--in is required")
+	}
+	doc, err := readDoc(*in)
+	if err != nil {
+		return err
+	}
+	sys, err := sysFromFlags(parts, *key, *mark, *gamma)
+	if err != nil {
+		return err
+	}
+	var det *wmxml.Detection
+	if *queries == "" {
+		det, err = sys.DetectBlind(doc)
+	} else {
+		data, rerr := os.ReadFile(*queries)
+		if rerr != nil {
+			return rerr
+		}
+		records, rerr := wmxml.UnmarshalReceipt(data)
+		if rerr != nil {
+			return rerr
+		}
+		var rw wmxml.Rewriter
+		if *rewriteMap != "" || *rewriteFile != "" {
+			m, merr := resolveMapping(*rewriteMap, *rewriteFile)
+			if merr != nil {
+				return merr
+			}
+			qrw, rerr := wmxml.NewRewriter(m)
+			if rerr != nil {
+				return rerr
+			}
+			rw = qrw
+		}
+		det, err = sys.Detect(doc, records, rw)
+	}
+	if err != nil {
+		return err
+	}
+	verdict := "NOT DETECTED"
+	if det.Detected {
+		verdict = "DETECTED"
+	}
+	fmt.Printf("%s  match=%.3f coverage=%.3f queries=%d misses=%d\n",
+		verdict, det.MatchFraction, det.Coverage, det.QueriesRun, det.QueryMisses)
+	fmt.Printf("confidence: sigma=%.1f, chance of a random mark matching this well: %.2e\n",
+		det.Sigma, det.FalsePositiveRate)
+	if det.Detected && det.RecoveredText != "" {
+		fmt.Printf("recovered text: %q\n", det.RecoveredText)
+	}
+	return nil
+}
+
+func cmdAttack(args []string) error {
+	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	dataset := fs.String("dataset", "pubs", "dataset preset (for scopes and FDs)")
+	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
+	in := fs.String("in", "", "input document")
+	name := fs.String("attack", "alteration", "alteration | reduction | reorganize | reorder | redundancy")
+	severity := fs.Float64("severity", 0.3, "alteration fraction / reduction keep-fraction")
+	seed := fs.Int64("seed", 1, "attack randomness seed")
+	mapName := fs.String("mapping", "pubs", "mapping for reorganize: figure1 | pubs")
+	mapFile := fs.String("mapping-file", "", "JSON mapping file for reorganize")
+	out := fs.String("out", "attacked.xml", "output document")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parts, err := resolveParts(*dataset, *spec)
+	if err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("--in is required")
+	}
+	doc, err := readDoc(*in)
+	if err != nil {
+		return err
+	}
+	var atk wmxml.Attack
+	switch *name {
+	case "alteration":
+		atk = wmxml.NewAlterationAttack(*severity)
+	case "reduction":
+		if len(parts.Catalog.Keys) == 0 {
+			return fmt.Errorf("reduction needs a key scope in the spec")
+		}
+		atk = wmxml.NewReductionAttack(parts.Catalog.Keys[0].Scope, *severity)
+	case "reorganize":
+		m, merr := resolveMapping(*mapName, *mapFile)
+		if merr != nil {
+			return merr
+		}
+		atk = wmxml.NewReorganizationAttack(m)
+	case "reorder":
+		atk = wmxml.NewReorderAttack()
+	case "redundancy":
+		atk = wmxml.NewRedundancyRemovalAttack(parts.Catalog.FDs)
+	default:
+		return fmt.Errorf("unknown attack %q", *name)
+	}
+	attacked, err := atk.Apply(doc, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	if err := writeDoc(*out, attacked); err != nil {
+		return err
+	}
+	fmt.Printf("applied %s -> %s\n", atk.Name(), *out)
+	return nil
+}
+
+func cmdUsability(args []string) error {
+	fs := flag.NewFlagSet("usability", flag.ExitOnError)
+	dataset := fs.String("dataset", "pubs", "dataset preset supplying the templates")
+	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
+	orig := fs.String("orig", "", "original document")
+	suspect := fs.String("suspect", "", "suspect document")
+	rewriteMap := fs.String("rewrite", "", "rewrite templates through a built-in mapping: figure1 | pubs")
+	rewriteFile := fs.String("rewrite-file", "", "rewrite templates through a JSON mapping file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parts, err := resolveParts(*dataset, *spec)
+	if err != nil {
+		return err
+	}
+	if *orig == "" || *suspect == "" {
+		return fmt.Errorf("--orig and --suspect are required")
+	}
+	origDoc, err := readDoc(*orig)
+	if err != nil {
+		return err
+	}
+	susDoc, err := readDoc(*suspect)
+	if err != nil {
+		return err
+	}
+	meter, err := wmxml.NewUsabilityMeter(origDoc, parts.Templates)
+	if err != nil {
+		return err
+	}
+	var rw interface {
+		RewriteQuery(*wmxml.Query) (*wmxml.Query, error)
+	}
+	if *rewriteMap != "" || *rewriteFile != "" {
+		m, merr := resolveMapping(*rewriteMap, *rewriteFile)
+		if merr != nil {
+			return merr
+		}
+		qrw, err := wmxml.NewRewriter(m)
+		if err != nil {
+			return err
+		}
+		rw = qrw
+	}
+	sc := meter.Measure(susDoc, rw)
+	fmt.Printf("usability: %.3f (%d/%d probes correct)\n", sc.Usability(), sc.Correct, sc.Probes)
+	for _, ts := range sc.PerTemplate {
+		fmt.Printf("  %-40s %d/%d\n", ts.Template, ts.Correct, ts.Probes)
+	}
+	return nil
+}
+
+func cmdSemantics(args []string) error {
+	fs := flag.NewFlagSet("semantics", flag.ExitOnError)
+	in := fs.String("in", "", "document to analyse")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("--in is required")
+	}
+	doc, err := readDoc(*in)
+	if err != nil {
+		return err
+	}
+	s := wmxml.InferSchema("inferred", doc)
+	keys, err := wmxml.DiscoverKeys(doc, s)
+	if err != nil {
+		return err
+	}
+	fds, err := wmxml.DiscoverFDs(doc, s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("root element: %s\n", s.Root)
+	fmt.Printf("discovered keys (%d):\n", len(keys))
+	for _, k := range keys {
+		fmt.Printf("  %s\n", k)
+	}
+	fmt.Printf("discovered functional dependencies (%d):\n", len(fds))
+	for _, f := range fds {
+		fmt.Printf("  %s\n", f)
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "document to analyse")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("--in is required")
+	}
+	doc, err := readDoc(*in)
+	if err != nil {
+		return err
+	}
+	s := wmxml.InferSchema("stats", doc)
+	names := s.ElementNames()
+	sort.Strings(names)
+	fmt.Printf("root: %s, element types: %d\n", s.Root, len(names))
+	for _, n := range names {
+		decl := s.Element(n)
+		kind := "leaf/" + decl.Type.String()
+		if !decl.IsLeaf() {
+			kind = fmt.Sprintf("interior (%d child types)", len(decl.Children))
+		}
+		fmt.Printf("  %-16s %s\n", n, kind)
+	}
+	return nil
+}
+
+func cmdSpec(args []string) error {
+	fs := flag.NewFlagSet("spec", flag.ExitOnError)
+	dataset := fs.String("dataset", "pubs", "dataset preset to export")
+	out := fs.String("out", "", "output file (default stdout)")
+	mapping := fs.Bool("mapping", false, "export the dataset's re-organization mapping instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var data []byte
+	if *mapping {
+		m, err := mappingByName("pubs")
+		if err != nil {
+			return err
+		}
+		data, err = wmxml.ExportMapping(m)
+		if err != nil {
+			return err
+		}
+	} else {
+		parts, err := resolveParts(*dataset, "")
+		if err != nil {
+			return err
+		}
+		data, err = wmxml.ExportSpec(parts.Name, parts.Schema, parts.Catalog, parts.Targets, parts.Templates)
+		if err != nil {
+			return err
+		}
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return nil
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// cmdVerify implements the paper's initialization step 1: "Specify a
+// schema and validate the XML data according to the schema" — plus
+// verification of the declared keys and FDs.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	dataset := fs.String("dataset", "pubs", "dataset preset defining schema and semantics")
+	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
+	in := fs.String("in", "", "document to verify")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parts, err := resolveParts(*dataset, *spec)
+	if err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("--in is required")
+	}
+	doc, err := readDoc(*in)
+	if err != nil {
+		return err
+	}
+	violations := parts.Schema.Validate(doc)
+	if len(violations) == 0 {
+		fmt.Println("schema: valid")
+	} else {
+		fmt.Printf("schema: %d violations\n", len(violations))
+		for i, v := range violations {
+			if i == 10 {
+				fmt.Printf("  ... and %d more\n", len(violations)-10)
+				break
+			}
+			fmt.Printf("  %s\n", v)
+		}
+	}
+	keyReps, fdReps, err := parts.Catalog.Verify(doc)
+	if err != nil {
+		return err
+	}
+	for _, r := range keyReps {
+		status := "holds"
+		if !r.OK() {
+			status = fmt.Sprintf("VIOLATED (%d missing, %d duplicate values)", r.Missing, len(r.Duplicates))
+		}
+		fmt.Printf("key %s: %s over %d instances\n", r.Key, status, r.Instances)
+	}
+	for _, r := range fdReps {
+		status := "holds"
+		if !r.OK() {
+			status = fmt.Sprintf("VIOLATED (%d groups disagree)", len(r.Violations))
+		}
+		fmt.Printf("fd  %s: %s (%d groups, %d redundant members)\n", r.FD, status, r.Groups, r.DupMembers)
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("document invalid")
+	}
+	for _, r := range keyReps {
+		if !r.OK() {
+			return fmt.Errorf("key constraint violated")
+		}
+	}
+	for _, r := range fdReps {
+		if !r.OK() {
+			return fmt.Errorf("fd constraint violated")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runOK runs a subcommand and fails the test on error.
+func runOK(t *testing.T, cmd string, args ...string) {
+	t.Helper()
+	if err := run(cmd, args); err != nil {
+		t.Fatalf("wmxml %s %v: %v", cmd, args, err)
+	}
+}
+
+func TestCLIFullPipeline(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.xml")
+	marked := filepath.Join(dir, "marked.xml")
+	queries := filepath.Join(dir, "q.json")
+	attacked := filepath.Join(dir, "attacked.xml")
+
+	runOK(t, "gen", "--dataset", "pubs", "--size", "120", "--seed", "5", "--out", doc)
+	if _, err := os.Stat(doc); err != nil {
+		t.Fatalf("gen produced no file: %v", err)
+	}
+	runOK(t, "embed", "--dataset", "pubs", "--in", doc,
+		"--key", "cli-key", "--mark", "(C) CLI", "--gamma", "3",
+		"--out", marked, "--queries", queries)
+	if _, err := os.Stat(queries); err != nil {
+		t.Fatalf("embed produced no query set: %v", err)
+	}
+	runOK(t, "detect", "--dataset", "pubs", "--in", marked,
+		"--key", "cli-key", "--mark", "(C) CLI", "--gamma", "3", "--queries", queries)
+
+	// Attack then detect through rewriting.
+	runOK(t, "attack", "--dataset", "pubs", "--in", marked,
+		"--attack", "reorganize", "--mapping", "pubs", "--out", attacked)
+	runOK(t, "detect", "--dataset", "pubs", "--in", attacked,
+		"--key", "cli-key", "--mark", "(C) CLI", "--gamma", "3",
+		"--queries", queries, "--rewrite", "pubs")
+
+	// Usability of the attacked document.
+	runOK(t, "usability", "--dataset", "pubs", "--orig", doc,
+		"--suspect", attacked, "--rewrite", "pubs")
+
+	// Analysis commands.
+	runOK(t, "semantics", "--in", doc)
+	runOK(t, "stats", "--in", doc)
+}
+
+func TestCLISpecWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	mapping := filepath.Join(dir, "map.json")
+	doc := filepath.Join(dir, "jobs.xml")
+	marked := filepath.Join(dir, "marked.xml")
+	queries := filepath.Join(dir, "q.json")
+
+	runOK(t, "spec", "--dataset", "jobs", "--out", spec)
+	data, err := os.ReadFile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"jobs/job"`) {
+		t.Errorf("spec missing scope: %s", data)
+	}
+	runOK(t, "spec", "--mapping", "--out", mapping)
+
+	runOK(t, "gen", "--dataset", "jobs", "--size", "100", "--out", doc)
+	runOK(t, "embed", "--spec", spec, "--in", doc,
+		"--key", "k", "--mark", "M", "--gamma", "2", "--out", marked, "--queries", queries)
+	runOK(t, "detect", "--spec", spec, "--in", marked,
+		"--key", "k", "--mark", "M", "--gamma", "2", "--queries", queries)
+}
+
+func TestCLIAttackVariants(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.xml")
+	runOK(t, "gen", "--dataset", "library", "--size", "60", "--out", doc)
+	for _, atk := range []string{"alteration", "reduction", "reorder", "redundancy"} {
+		out := filepath.Join(dir, atk+".xml")
+		runOK(t, "attack", "--dataset", "library", "--in", doc,
+			"--attack", atk, "--severity", "0.5", "--out", out)
+		if _, err := os.Stat(out); err != nil {
+			t.Errorf("attack %s produced no file", atk)
+		}
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		cmd  string
+		args []string
+	}{
+		{"definitely-not-a-command", nil},
+		{"gen", []string{"--dataset", "nope"}},
+		{"embed", []string{"--dataset", "pubs"}},                     // no --in
+		{"embed", []string{"--dataset", "pubs", "--in", "nope.xml"}}, // missing file
+		{"detect", []string{"--dataset", "pubs"}},
+		{"attack", []string{"--dataset", "pubs", "--in", "nope.xml"}},
+		{"usability", []string{"--dataset", "pubs"}},
+		{"semantics", nil},
+		{"stats", nil},
+	}
+	for _, tc := range cases {
+		if err := run(tc.cmd, tc.args); err == nil {
+			t.Errorf("wmxml %s %v succeeded, want error", tc.cmd, tc.args)
+		}
+	}
+	// Embed without key/mark.
+	doc := filepath.Join(dir, "d.xml")
+	runOK(t, "gen", "--dataset", "pubs", "--size", "10", "--out", doc)
+	if err := run("embed", []string{"--dataset", "pubs", "--in", doc, "--mark", "m"}); err == nil {
+		t.Errorf("embed without key succeeded")
+	}
+	if err := run("embed", []string{"--dataset", "pubs", "--in", doc, "--key", "k"}); err == nil {
+		t.Errorf("embed without mark succeeded")
+	}
+}
+
+func TestCLIVerify(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.xml")
+	runOK(t, "gen", "--dataset", "pubs", "--size", "50", "--out", doc)
+	runOK(t, "verify", "--dataset", "pubs", "--in", doc)
+
+	// A broken document fails verification.
+	bad := filepath.Join(dir, "bad.xml")
+	if err := os.WriteFile(bad, []byte(`<db><magazine/></db>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("verify", []string{"--dataset", "pubs", "--in", bad}); err == nil {
+		t.Errorf("invalid document verified")
+	}
+	// A document with a duplicated key fails verification.
+	dup := filepath.Join(dir, "dup.xml")
+	if err := os.WriteFile(dup, []byte(`<db>
+	  <book publisher="p"><title>Same</title><author>A</author><editor>E</editor><year>1999</year><price>10.00</price></book>
+	  <book publisher="p"><title>Same</title><author>B</author><editor>E</editor><year>2000</year><price>11.00</price></book>
+	</db>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("verify", []string{"--dataset", "pubs", "--in", dup}); err == nil {
+		t.Errorf("duplicate-key document verified")
+	}
+}
+
+func TestCLIHelp(t *testing.T) {
+	if err := run("help", nil); err != nil {
+		t.Errorf("help returned error: %v", err)
+	}
+}
+
+func TestMappingByName(t *testing.T) {
+	for _, name := range []string{"figure1", "pubs", "figure1+price"} {
+		if _, err := mappingByName(name); err != nil {
+			t.Errorf("mappingByName(%q): %v", name, err)
+		}
+	}
+	if _, err := mappingByName("bogus"); err == nil {
+		t.Errorf("bogus mapping accepted")
+	}
+}
+
+func TestDatasetPreset(t *testing.T) {
+	for _, name := range []string{"pubs", "publications", "jobs", "library"} {
+		ds, err := datasetPreset(name, 10, 1)
+		if err != nil || ds == nil {
+			t.Errorf("datasetPreset(%q): %v", name, err)
+		}
+	}
+	if _, err := datasetPreset("nope", 10, 1); err == nil {
+		t.Errorf("bogus preset accepted")
+	}
+}

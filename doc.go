@@ -1,0 +1,50 @@
+// Package wmxml is a system for watermarking XML data, reproducing
+// Zhou, Pang, Tan and Mangla, "WmXML: A System for Watermarking XML
+// Data" (VLDB 2005).
+//
+// WmXML protects the copyright of XML documents by embedding an
+// imperceptible, key-controlled watermark into their values. What makes
+// XML hard to watermark — and what this system solves — is that an
+// adversary can re-organize the document under a new schema, alter or
+// delete parts of it, or normalize its internal redundancies without
+// reducing its usefulness. WmXML counters those attacks with three
+// ideas from the paper:
+//
+//   - Usability is measured by the correctness of user-supplied query
+//     templates: an attack only "wins" if the watermark dies while the
+//     templates still answer correctly.
+//   - Watermark carriers are identified by queries built from the
+//     document's keys and functional dependencies, not by position; the
+//     queries can be rewritten under a schema mapping, so detection
+//     survives re-organization.
+//   - Values duplicated because of a functional dependency share one
+//     identity — and therefore one watermark bit — so removing the
+//     redundancy removes nothing.
+//
+// # Quick start
+//
+//	doc, _ := wmxml.ParseXMLString(xmlData)
+//	sys, _ := wmxml.New(wmxml.Options{
+//		Key:     "my-secret-key",
+//		Mark:    "(C) ACME 2005",
+//		Schema:  sch,                 // structure + value types
+//		Catalog: cat,                 // keys and FDs
+//		Targets: []string{"db/book/year", "db/book/price"},
+//	})
+//	receipt, _ := sys.Embed(doc)      // doc now carries the mark
+//	// … safeguard receipt.Records together with the key …
+//	res, _ := sys.Detect(suspectDoc, receipt.Records, nil)
+//	if res.Detected { … }
+//
+// See the examples directory for complete programs: a quickstart, the
+// paper's job-agent scenario under alteration attack, a digital library
+// with image payloads under reduction, and the figure-1 re-organization
+// countered by query rewriting.
+//
+// The implementation is structured exactly as the paper's figure 4: an
+// XML query engine (internal/xmltree + internal/xpath) under an encoder
+// and a decoder (internal/core), with per-type plug-in embedding
+// algorithms (internal/wa) and a query rewriter for re-organized
+// documents (internal/rewrite). DESIGN.md maps every subsystem and
+// every reproduced experiment; EXPERIMENTS.md records the results.
+package wmxml

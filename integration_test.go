@@ -1,0 +1,301 @@
+package wmxml
+
+// Integration tests: full embed → attack → detect pipelines through the
+// public API across all three datasets, plus property-based checks over
+// random keys and marks.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// pipelineCase is one dataset with its record scope for reduction.
+type pipelineCase struct {
+	name  string
+	ds    *Dataset
+	scope string
+}
+
+func pipelineCases() []pipelineCase {
+	return []pipelineCase{
+		{"publications", PublicationsDataset(250, 101), "db/book"},
+		{"jobs", JobsDataset(250, 102), "jobs/job"},
+		{"library", LibraryDataset(250, 103), "library/item"},
+		{"nested", NestedDataset(250, 104), "catalog/publisher/book"},
+	}
+}
+
+func TestIntegrationAllDatasetsAllAttacks(t *testing.T) {
+	for _, pc := range pipelineCases() {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			sys, err := New(Options{
+				Key:      "integration-" + pc.name,
+				MarkBits: RandomMark("int-"+pc.name, 48),
+				Schema:   pc.ds.Schema,
+				Catalog:  pc.ds.Catalog,
+				Targets:  pc.ds.Targets,
+				Gamma:    2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			marked := pc.ds.Doc.Clone()
+			receipt, err := sys.Embed(marked)
+			if err != nil {
+				t.Fatal(err)
+			}
+			meter, err := NewUsabilityMeter(pc.ds.Doc, pc.ds.Templates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if u := meter.Measure(marked, nil).Usability(); u < 0.97 {
+				t.Fatalf("embedding degraded usability to %.3f", u)
+			}
+
+			attacks := []struct {
+				name       string
+				attack     Attack
+				mustDetect bool
+			}{
+				{"none", nil, true},
+				{"alteration-15", NewAlterationAttack(0.15), true},
+				{"reduction-60", NewReductionAttack(pc.scope, 0.6), true},
+				{"reorder", NewReorderAttack(), true},
+				{"alteration-90", NewAlterationAttack(0.9), false},
+			}
+			if len(pc.ds.Catalog.FDs) > 0 {
+				attacks = append(attacks, struct {
+					name       string
+					attack     Attack
+					mustDetect bool
+				}{"redundancy", NewRedundancyRemovalAttack(pc.ds.Catalog.FDs), true})
+			}
+			for _, ac := range attacks {
+				t.Run(ac.name, func(t *testing.T) {
+					doc := marked.Clone()
+					if ac.attack != nil {
+						r := rand.New(rand.NewSource(777))
+						var err error
+						doc, err = ac.attack.Apply(doc, r)
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+					det, err := sys.Detect(doc, receipt.Records, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if det.Detected != ac.mustDetect {
+						t.Errorf("detected=%v want %v (match %.3f coverage %.3f)",
+							det.Detected, ac.mustDetect, det.MatchFraction, det.Coverage)
+					}
+					if !ac.mustDetect {
+						// When the mark dies, the data must be dead too
+						// (claim ii). Usability under 90% alteration:
+						u := meter.Measure(doc, nil).Usability()
+						if u > 0.3 {
+							t.Errorf("watermark destroyed but usability %.3f survives", u)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestIntegrationReorganizationAcrossAPI(t *testing.T) {
+	ds := PublicationsDataset(300, 202)
+	sys, err := New(Options{
+		Key: "reorg-int", Mark: "reorg-int-mark", Schema: ds.Schema,
+		Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := ds.Doc.Clone()
+	receipt, err := sys.Embed(marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := PublicationsMapping()
+	// Serialize the mapping through JSON (as a user storing it would).
+	data, err := ExportMapping(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadMapping(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reorg, err := Reorganize(marked, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := NewRewriter(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := sys.Detect(reorg, receipt.Records, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected || det.MatchFraction != 1.0 {
+		t.Errorf("detection through JSON-round-tripped mapping: %+v", det)
+	}
+}
+
+func TestIntegrationSpecDrivesSystem(t *testing.T) {
+	// Export a dataset as a spec, reload it, and run the whole pipeline
+	// from the reloaded definition.
+	ds := JobsDataset(200, 203)
+	data, err := ExportSpec(ds.Name, ds.Schema, ds.Catalog, ds.Targets, ds.Templates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := LoadSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Options{
+		Key: "spec-int", Mark: "spec-mark", Schema: parts.Schema,
+		Catalog: parts.Catalog, Targets: parts.Targets, Gamma: 2,
+		ValidateInput: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := ds.Doc.Clone()
+	receipt, err := sys.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := sys.Detect(doc, receipt.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected {
+		t.Errorf("spec-driven pipeline failed: %+v", det)
+	}
+}
+
+func TestQuickRandomKeysAndMarks(t *testing.T) {
+	// Property: for arbitrary keys and marks, embedding then detecting on
+	// the same document succeeds, and detecting with a different key does
+	// not reach the threshold.
+	ds := PublicationsDataset(200, 204)
+	f := func(keySeed, markSeed uint32) bool {
+		key := fmt.Sprintf("k-%08x", keySeed)
+		sys, err := New(Options{
+			Key: key, MarkBits: RandomMark(fmt.Sprintf("m-%08x", markSeed), 32),
+			Schema: ds.Schema, Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 2,
+		})
+		if err != nil {
+			return false
+		}
+		doc := ds.Doc.Clone()
+		receipt, err := sys.Embed(doc)
+		if err != nil {
+			return false
+		}
+		det, err := sys.Detect(doc, receipt.Records, nil)
+		if err != nil || !det.Detected || det.MatchFraction != 1.0 {
+			return false
+		}
+		other, err := New(Options{
+			Key: key + "-other", MarkBits: RandomMark(fmt.Sprintf("m-%08x", markSeed), 32),
+			Schema: ds.Schema, Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 2,
+		})
+		if err != nil {
+			return false
+		}
+		wrong, err := other.Detect(doc, receipt.Records, nil)
+		if err != nil {
+			return false
+		}
+		return !wrong.Detected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Errorf("random key/mark property failed: %v", err)
+	}
+}
+
+func TestQuickSerializeDetect(t *testing.T) {
+	// Property: detection commutes with XML serialization.
+	ds := JobsDataset(120, 205)
+	sys, err := New(Options{
+		Key: "ser-prop", Mark: "ser-prop-mark", Schema: ds.Schema,
+		Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := ds.Doc.Clone()
+	receipt, err := sys.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pad uint8) bool {
+		// Serialize with varying indentation-triggering content.
+		xml := SerializeXMLString(doc)
+		doc2, err := ParseXMLString(xml)
+		if err != nil {
+			return false
+		}
+		det, err := sys.Detect(doc2, receipt.Records, nil)
+		return err == nil && det.Detected && det.MatchFraction == 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Errorf("serialize-detect property failed: %v", err)
+	}
+}
+
+func TestIntegrationChainAttackWithRewriter(t *testing.T) {
+	// The hardest composite: alter, reduce, reorder AND reorganize; the
+	// rewriter plus majority voting still find the mark.
+	ds := PublicationsDataset(500, 206)
+	sys, err := New(Options{
+		Key: "chain-int", MarkBits: RandomMark("chain-mark", 48),
+		Schema: ds.Schema, Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := ds.Doc.Clone()
+	receipt, err := sys.Embed(marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(999))
+	doc, err := NewAlterationAttack(0.1).Apply(marked, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err = NewReductionAttack("db/book", 0.7).Apply(doc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err = NewReorderAttack().Apply(doc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := PublicationsMapping()
+	doc, err = NewReorganizationAttack(m).Apply(doc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := NewRewriter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := sys.Detect(doc, receipt.Records, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected {
+		t.Errorf("composite attack defeated detection: match=%.3f coverage=%.3f",
+			det.MatchFraction, det.Coverage)
+	}
+}

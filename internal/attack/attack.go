@@ -1,0 +1,374 @@
+// Package attack implements the adversary of the paper's demonstration
+// (§4): "(A) data alteration … (B) data reduction … (C) data
+// re-organization … (D) redundancy removal". Each attack is a
+// deterministic (seeded) document transformation; the experiments sweep
+// their severity and measure detection versus usability on the result.
+package attack
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"wmxml/internal/rewrite"
+	"wmxml/internal/semantics"
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+// Attack transforms a document. Apply may mutate doc in place and return
+// it, or build and return a new document (re-organization does). The
+// passed *rand.Rand makes runs reproducible.
+type Attack interface {
+	Name() string
+	Apply(doc *xmltree.Node, r *rand.Rand) (*xmltree.Node, error)
+}
+
+// ---------------------------------------------------------------------
+// (A) data alteration
+// ---------------------------------------------------------------------
+
+// ValueAlteration replaces a fraction of the document's leaf values
+// (element texts and attribute values) with fresh random values of the
+// same shape — the "modify the elements" half of attack (A).
+type ValueAlteration struct {
+	// Fraction of values to alter, in [0,1].
+	Fraction float64
+}
+
+// Name implements Attack.
+func (a ValueAlteration) Name() string {
+	return fmt.Sprintf("value-alteration(%.2f)", a.Fraction)
+}
+
+// Apply implements Attack.
+func (a ValueAlteration) Apply(doc *xmltree.Node, r *rand.Rand) (*xmltree.Node, error) {
+	if a.Fraction < 0 || a.Fraction > 1 {
+		return nil, fmt.Errorf("attack: alteration fraction %.2f out of [0,1]", a.Fraction)
+	}
+	var targets []xpath.Item
+	xmltree.WalkElements(doc, func(e *xmltree.Node) {
+		for _, attr := range e.Attrs {
+			targets = append(targets, xpath.Item{Node: e, Attr: attr.Name})
+		}
+		if isLeaf(e) && e.Text() != "" {
+			targets = append(targets, xpath.Item{Node: e})
+		}
+	})
+	for _, it := range targets {
+		if r.Float64() >= a.Fraction {
+			continue
+		}
+		it.SetValue(alterValue(it.Value(), r))
+	}
+	return doc, nil
+}
+
+// alterValue replaces a value with a random one of the same kind:
+// numbers get re-randomized with a guaranteed change, base64 payloads
+// get bytes flipped, text gets replaced by a random token.
+func alterValue(v string, r *rand.Rand) string {
+	t := strings.TrimSpace(v)
+	if i, err := strconv.ParseInt(t, 10, 64); err == nil {
+		delta := int64(1 + r.Intn(1000))
+		if r.Intn(2) == 0 {
+			delta = -delta
+		}
+		return strconv.FormatInt(i+delta, 10)
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil {
+		return strconv.FormatFloat(f*(0.5+r.Float64()), 'f', 2, 64)
+	}
+	if raw, err := base64.StdEncoding.DecodeString(t); err == nil && len(raw) >= 8 {
+		for i := 0; i < 1+len(raw)/4; i++ {
+			raw[r.Intn(len(raw))] ^= byte(1 + r.Intn(255))
+		}
+		return base64.StdEncoding.EncodeToString(raw)
+	}
+	return fmt.Sprintf("altered-%08x", r.Uint32())
+}
+
+// StructureAlteration deletes and inserts elements — the "or the
+// structures" half of attack (A). DeleteFraction removes random leaf
+// elements; AddFraction inserts noise elements under random parents.
+type StructureAlteration struct {
+	DeleteFraction float64
+	AddFraction    float64
+}
+
+// Name implements Attack.
+func (a StructureAlteration) Name() string {
+	return fmt.Sprintf("structure-alteration(del=%.2f,add=%.2f)", a.DeleteFraction, a.AddFraction)
+}
+
+// Apply implements Attack.
+func (a StructureAlteration) Apply(doc *xmltree.Node, r *rand.Rand) (*xmltree.Node, error) {
+	leaves := xmltree.LeafElements(doc)
+	for _, e := range leaves {
+		if r.Float64() < a.DeleteFraction && e.Parent != nil {
+			e.Detach()
+		}
+	}
+	var parents []*xmltree.Node
+	xmltree.WalkElements(doc, func(e *xmltree.Node) {
+		if !isLeaf(e) {
+			parents = append(parents, e)
+		}
+	})
+	for _, p := range parents {
+		if r.Float64() < a.AddFraction {
+			p.AppendChild(xmltree.TextElem(fmt.Sprintf("noise%d", r.Intn(10)), fmt.Sprintf("%08x", r.Uint32())))
+		}
+	}
+	return doc, nil
+}
+
+// NumericBitFlip randomizes the lowest Bits binary bits of every numeric
+// leaf value — the classic targeted attack against low-order numeric
+// embedding (Agrawal–Kiernan's bit-flipping adversary). Its perturbation
+// is bounded by 2^Bits, usually inside any reasonable usability
+// tolerance, which is exactly why a robust deployment spreads the mark
+// across non-numeric channels too (ablation A3 measures this).
+type NumericBitFlip struct {
+	// Bits is the number of low-order bits to randomize (>= 1).
+	Bits int
+}
+
+// Name implements Attack.
+func (a NumericBitFlip) Name() string {
+	return fmt.Sprintf("numeric-bitflip(%d)", a.Bits)
+}
+
+// Apply implements Attack.
+func (a NumericBitFlip) Apply(doc *xmltree.Node, r *rand.Rand) (*xmltree.Node, error) {
+	if a.Bits < 1 || a.Bits > 16 {
+		return nil, fmt.Errorf("attack: bit-flip depth %d out of [1,16]", a.Bits)
+	}
+	mask := int64(1)<<uint(a.Bits) - 1
+	flip := func(it xpath.Item) {
+		t := strings.TrimSpace(it.Value())
+		neg := strings.HasPrefix(t, "-")
+		digits := strings.TrimPrefix(t, "-")
+		intPart, fracPart := digits, ""
+		if i := strings.IndexByte(digits, '.'); i >= 0 {
+			intPart, fracPart = digits[:i], digits[i+1:]
+		}
+		scaled, err := strconv.ParseInt(intPart+fracPart, 10, 64)
+		if err != nil {
+			return
+		}
+		scaled = (scaled &^ mask) | (r.Int63() & mask)
+		out := strconv.FormatInt(scaled, 10)
+		if len(fracPart) > 0 {
+			for len(out) <= len(fracPart) {
+				out = "0" + out
+			}
+			out = out[:len(out)-len(fracPart)] + "." + out[len(out)-len(fracPart):]
+		}
+		if neg {
+			out = "-" + out
+		}
+		it.SetValue(out)
+	}
+	xmltree.WalkElements(doc, func(e *xmltree.Node) {
+		for _, attr := range e.Attrs {
+			if isNumericValue(attr.Value) {
+				flip(xpath.Item{Node: e, Attr: attr.Name})
+			}
+		}
+		if isLeaf(e) && isNumericValue(e.Text()) {
+			flip(xpath.Item{Node: e})
+		}
+	})
+	return doc, nil
+}
+
+func isNumericValue(s string) bool {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return false
+	}
+	_, err := strconv.ParseFloat(t, 64)
+	return err == nil && !strings.ContainsAny(t, "eE")
+}
+
+// ---------------------------------------------------------------------
+// (B) data reduction
+// ---------------------------------------------------------------------
+
+// Reduction keeps a random subset of the instances of Scope and discards
+// the rest — attack (B): "selectively use a subset of the
+// semi-structured data".
+type Reduction struct {
+	// Scope is the name path of the record set to subset, e.g. "db/book".
+	Scope string
+	// KeepFraction of instances survive.
+	KeepFraction float64
+}
+
+// Name implements Attack.
+func (a Reduction) Name() string {
+	return fmt.Sprintf("reduction(keep=%.2f)", a.KeepFraction)
+}
+
+// Apply implements Attack.
+func (a Reduction) Apply(doc *xmltree.Node, r *rand.Rand) (*xmltree.Node, error) {
+	if a.KeepFraction < 0 || a.KeepFraction > 1 {
+		return nil, fmt.Errorf("attack: keep fraction %.2f out of [0,1]", a.KeepFraction)
+	}
+	insts, err := semantics.Instances(doc, a.Scope)
+	if err != nil {
+		return nil, err
+	}
+	if len(insts) == 0 {
+		return nil, fmt.Errorf("attack: reduction scope %q selects nothing", a.Scope)
+	}
+	for _, inst := range insts {
+		if r.Float64() >= a.KeepFraction {
+			inst.Detach()
+		}
+	}
+	return doc, nil
+}
+
+// ---------------------------------------------------------------------
+// (C) data re-organization
+// ---------------------------------------------------------------------
+
+// Reorganization re-shreds the document under a new schema via a
+// rewrite.Mapping — attack (C) and the paper's figure 1.
+type Reorganization struct {
+	Mapping rewrite.Mapping
+}
+
+// Name implements Attack.
+func (a Reorganization) Name() string {
+	return "reorganization(" + a.Mapping.Name + ")"
+}
+
+// Apply implements Attack.
+func (a Reorganization) Apply(doc *xmltree.Node, _ *rand.Rand) (*xmltree.Node, error) {
+	return rewrite.Transform(doc, a.Mapping)
+}
+
+// Reorder shuffles sibling order and attribute order everywhere — the
+// "reorder the data elements" part of attack (C). It destroys every
+// positional identifier while provably preserving the information
+// content.
+type Reorder struct{}
+
+// Name implements Attack.
+func (Reorder) Name() string { return "reorder" }
+
+// Apply implements Attack.
+func (Reorder) Apply(doc *xmltree.Node, r *rand.Rand) (*xmltree.Node, error) {
+	var shuffle func(n *xmltree.Node)
+	shuffle = func(n *xmltree.Node) {
+		r.Shuffle(len(n.Children), func(i, j int) {
+			n.Children[i], n.Children[j] = n.Children[j], n.Children[i]
+		})
+		r.Shuffle(len(n.Attrs), func(i, j int) {
+			n.Attrs[i], n.Attrs[j] = n.Attrs[j], n.Attrs[i]
+		})
+		for _, c := range n.Children {
+			if c.Kind == xmltree.ElementNode {
+				shuffle(c)
+			}
+		}
+	}
+	if root := doc.Root(); root != nil {
+		shuffle(root)
+	}
+	return doc, nil
+}
+
+// ---------------------------------------------------------------------
+// (D) redundancy removal
+// ---------------------------------------------------------------------
+
+// RedundancyRemoval normalizes FD-induced duplicates: within every
+// duplicate group of each FD, all dependent values are overwritten with
+// the group's majority value — attack (D): "identify and remove
+// redundancies within the data". Against a redundancy-oblivious
+// watermark, the duplicates carry different bits and the majority wipes
+// them; against WmXML's FD-canonical identities the group already agrees
+// and the attack is a no-op.
+type RedundancyRemoval struct {
+	FDs []semantics.FD
+}
+
+// Name implements Attack.
+func (a RedundancyRemoval) Name() string { return "redundancy-removal" }
+
+// Apply implements Attack.
+func (a RedundancyRemoval) Apply(doc *xmltree.Node, _ *rand.Rand) (*xmltree.Node, error) {
+	if len(a.FDs) == 0 {
+		return nil, fmt.Errorf("attack: redundancy removal needs at least one FD")
+	}
+	for _, fd := range a.FDs {
+		groups, err := semantics.DuplicateGroups(doc, fd)
+		if err != nil {
+			return nil, err
+		}
+		for _, g := range groups {
+			if len(g.Members) < 2 {
+				continue
+			}
+			counts := make(map[string]int)
+			for _, m := range g.Members {
+				counts[m.Value()]++
+			}
+			best, bestN := "", -1
+			for v, n := range counts {
+				if n > bestN || (n == bestN && v < best) {
+					best, bestN = v, n
+				}
+			}
+			for _, m := range g.Members {
+				m.SetValue(best)
+			}
+		}
+	}
+	return doc, nil
+}
+
+// ---------------------------------------------------------------------
+// composition
+// ---------------------------------------------------------------------
+
+// Chain applies several attacks in sequence.
+type Chain struct {
+	Attacks []Attack
+}
+
+// Name implements Attack.
+func (c Chain) Name() string {
+	names := make([]string, len(c.Attacks))
+	for i, a := range c.Attacks {
+		names[i] = a.Name()
+	}
+	return "chain[" + strings.Join(names, " -> ") + "]"
+}
+
+// Apply implements Attack.
+func (c Chain) Apply(doc *xmltree.Node, r *rand.Rand) (*xmltree.Node, error) {
+	var err error
+	for _, a := range c.Attacks {
+		doc, err = a.Apply(doc, r)
+		if err != nil {
+			return nil, fmt.Errorf("attack %s: %w", a.Name(), err)
+		}
+	}
+	return doc, nil
+}
+
+func isLeaf(e *xmltree.Node) bool {
+	for _, c := range e.Children {
+		if c.Kind == xmltree.ElementNode {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,315 @@
+package attack
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wmxml/internal/datagen"
+	"wmxml/internal/rewrite"
+	"wmxml/internal/semantics"
+	"wmxml/internal/xmltree"
+)
+
+func TestValueAlterationFraction(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 200, Seed: 1})
+	doc := ds.Doc.Clone()
+	out, err := ValueAlteration{Fraction: 0.3}.Apply(doc, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != doc {
+		t.Errorf("in-place attack returned new document")
+	}
+	// Count changed leaf values.
+	origLeaves := xmltree.LeafElements(ds.Doc)
+	newLeaves := xmltree.LeafElements(out)
+	if len(origLeaves) != len(newLeaves) {
+		t.Fatalf("leaf count changed: %d -> %d", len(origLeaves), len(newLeaves))
+	}
+	changed := 0
+	for i := range origLeaves {
+		if origLeaves[i].Text() != newLeaves[i].Text() {
+			changed++
+		}
+	}
+	frac := float64(changed) / float64(len(origLeaves))
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("altered fraction = %.2f, want ~0.3", frac)
+	}
+}
+
+func TestValueAlterationZeroIsNoop(t *testing.T) {
+	ds := datagen.Jobs(datagen.JobsConfig{Jobs: 50, Seed: 2})
+	doc := ds.Doc.Clone()
+	if _, err := (ValueAlteration{Fraction: 0}).Apply(doc, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(ds.Doc, doc, xmltree.CompareOptions{}) {
+		t.Errorf("zero-fraction alteration changed document")
+	}
+}
+
+func TestValueAlterationValidation(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b>1</b></a>`)
+	if _, err := (ValueAlteration{Fraction: 1.5}).Apply(doc, rand.New(rand.NewSource(1))); err == nil {
+		t.Errorf("fraction > 1 accepted")
+	}
+}
+
+func TestAlterValueShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	if v := alterValue("1998", r); v == "1998" {
+		t.Errorf("integer not altered")
+	}
+	if v := alterValue("55.50", r); v == "55.50" || !strings.Contains(v, ".") {
+		t.Errorf("decimal alteration = %q", v)
+	}
+	blob := strings.Repeat("QUJD", 8)
+	if v := alterValue(blob, r); v == blob {
+		t.Errorf("base64 not altered")
+	}
+	if v := alterValue("Stonebraker", r); !strings.HasPrefix(v, "altered-") {
+		t.Errorf("text alteration = %q", v)
+	}
+}
+
+func TestStructureAlteration(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 100, Seed: 5})
+	doc := ds.Doc.Clone()
+	if _, err := (StructureAlteration{DeleteFraction: 0.2, AddFraction: 0.3}).Apply(doc, rand.New(rand.NewSource(6))); err != nil {
+		t.Fatal(err)
+	}
+	so := xmltree.CollectStats(ds.Doc)
+	sn := xmltree.CollectStats(doc)
+	if sn.Elements >= so.Elements+100 || sn.Elements <= so.Elements-400 {
+		t.Errorf("implausible element delta: %d -> %d", so.Elements, sn.Elements)
+	}
+	noise := 0
+	for tag := range sn.Tags {
+		if strings.HasPrefix(tag, "noise") {
+			noise += sn.Tags[tag]
+		}
+	}
+	if noise == 0 {
+		t.Errorf("no noise elements inserted")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 300, Seed: 7})
+	doc := ds.Doc.Clone()
+	if _, err := (Reduction{Scope: "db/book", KeepFraction: 0.4}).Apply(doc, rand.New(rand.NewSource(8))); err != nil {
+		t.Fatal(err)
+	}
+	kept := len(doc.Root().ChildElementsNamed("book"))
+	if kept < 80 || kept > 160 {
+		t.Errorf("kept %d of 300, want ~120", kept)
+	}
+	// Survivors are intact.
+	for _, b := range doc.Root().ChildElementsNamed("book") {
+		if b.FirstChildNamed("title") == nil {
+			t.Errorf("surviving book lost its title")
+		}
+	}
+}
+
+func TestReductionErrors(t *testing.T) {
+	doc := xmltree.MustParseString(`<db><book/></db>`)
+	if _, err := (Reduction{Scope: "db/book", KeepFraction: 2}).Apply(doc, rand.New(rand.NewSource(1))); err == nil {
+		t.Errorf("bad fraction accepted")
+	}
+	if _, err := (Reduction{Scope: "db/nothing", KeepFraction: 0.5}).Apply(doc, rand.New(rand.NewSource(1))); err == nil {
+		t.Errorf("empty scope accepted")
+	}
+}
+
+func TestReorganization(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 50, Seed: 9})
+	doc := ds.Doc.Clone()
+	out, err := Reorganization{Mapping: rewrite.Figure1Mapping()}.Apply(doc, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == doc {
+		t.Errorf("reorganization should build a new document")
+	}
+	if out.Root().FirstChildNamed("publisher") == nil {
+		t.Errorf("target layout missing publisher groups")
+	}
+}
+
+func TestReorder(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 80, Seed: 11})
+	doc := ds.Doc.Clone()
+	if _, err := (Reorder{}).Apply(doc, rand.New(rand.NewSource(12))); err != nil {
+		t.Fatal(err)
+	}
+	// Same content as a bag, different order.
+	if !xmltree.Equal(ds.Doc, doc, xmltree.CompareOptions{IgnoreChildOrder: true}) {
+		t.Errorf("reorder changed content")
+	}
+	if xmltree.Equal(ds.Doc, doc, xmltree.CompareOptions{}) {
+		t.Errorf("reorder did not change order")
+	}
+}
+
+func TestRedundancyRemovalNoopWhenConsistent(t *testing.T) {
+	// On a document whose FD groups agree, normalization changes nothing.
+	ds := datagen.Publications(datagen.PubConfig{Books: 120, Editors: 10, Seed: 13})
+	doc := ds.Doc.Clone()
+	if _, err := (RedundancyRemoval{FDs: ds.Catalog.FDs}).Apply(doc, rand.New(rand.NewSource(14))); err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(ds.Doc, doc, xmltree.CompareOptions{}) {
+		t.Errorf("redundancy removal changed a consistent document")
+	}
+}
+
+func TestRedundancyRemovalNormalizesMajority(t *testing.T) {
+	doc := xmltree.MustParseString(`<db>
+	  <book publisher="mkp"><title>A</title><editor>H</editor></book>
+	  <book publisher="mkp"><title>B</title><editor>H</editor></book>
+	  <book publisher="MKP*"><title>C</title><editor>H</editor></book>
+	  <book publisher="acm"><title>D</title><editor>G</editor></book>
+	</db>`)
+	fd := semantics.FD{Scope: "db/book", Determinant: "editor", Dependent: "@publisher"}
+	if _, err := (RedundancyRemoval{FDs: []semantics.FD{fd}}).Apply(doc, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range doc.Root().ChildElementsNamed("book") {
+		ed := b.FirstChildNamed("editor").Text()
+		pub, _ := b.Attr("publisher")
+		if ed == "H" && pub != "mkp" {
+			t.Errorf("group H not normalized to majority: %q", pub)
+		}
+		if ed == "G" && pub != "acm" {
+			t.Errorf("singleton group changed: %q", pub)
+		}
+	}
+}
+
+func TestRedundancyRemovalNeedsFDs(t *testing.T) {
+	doc := xmltree.MustParseString(`<db/>`)
+	if _, err := (RedundancyRemoval{}).Apply(doc, rand.New(rand.NewSource(1))); err == nil {
+		t.Errorf("no FDs accepted")
+	}
+}
+
+func TestChain(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 60, Seed: 15})
+	doc := ds.Doc.Clone()
+	c := Chain{Attacks: []Attack{
+		ValueAlteration{Fraction: 0.1},
+		Reduction{Scope: "db/book", KeepFraction: 0.8},
+		Reorder{},
+	}}
+	out, err := c.Apply(doc, rand.New(rand.NewSource(16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(out.Root().ChildElementsNamed("book")); got >= 60 {
+		t.Errorf("chain reduction ineffective: %d books", got)
+	}
+	if !strings.Contains(c.Name(), "->") {
+		t.Errorf("chain name = %q", c.Name())
+	}
+	// A failing link surfaces its error.
+	bad := Chain{Attacks: []Attack{Reduction{Scope: "db/none", KeepFraction: 0.5}}}
+	if _, err := bad.Apply(ds.Doc.Clone(), rand.New(rand.NewSource(1))); err == nil {
+		t.Errorf("chain swallowed error")
+	}
+}
+
+func TestAttackNames(t *testing.T) {
+	names := []string{
+		ValueAlteration{Fraction: 0.25}.Name(),
+		StructureAlteration{DeleteFraction: 0.1, AddFraction: 0.2}.Name(),
+		Reduction{KeepFraction: 0.5}.Name(),
+		Reorganization{Mapping: rewrite.Figure1Mapping()}.Name(),
+		Reorder{}.Name(),
+		RedundancyRemoval{}.Name(),
+	}
+	for _, n := range names {
+		if n == "" {
+			t.Errorf("empty attack name")
+		}
+	}
+	if !strings.Contains(names[0], "0.25") {
+		t.Errorf("alteration name lacks fraction: %q", names[0])
+	}
+}
+
+func TestNumericBitFlip(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 150, Seed: 21})
+	doc := ds.Doc.Clone()
+	if _, err := (NumericBitFlip{Bits: 4}).Apply(doc, rand.New(rand.NewSource(22))); err != nil {
+		t.Fatal(err)
+	}
+	origBooks := ds.Doc.Root().ChildElementsNamed("book")
+	newBooks := doc.Root().ChildElementsNamed("book")
+	changed := 0
+	for i := range origBooks {
+		oy := origBooks[i].FirstChildNamed("year").Text()
+		ny := newBooks[i].FirstChildNamed("year").Text()
+		if oy != ny {
+			changed++
+		}
+		var ov, nv int64
+		fmtSscan(t, oy, &ov)
+		fmtSscan(t, ny, &nv)
+		if d := ov - nv; d > 15 || d < -15 {
+			t.Errorf("year perturbed beyond 2^4: %s -> %s", oy, ny)
+		}
+		// Decimal shape preserved for price.
+		np := newBooks[i].FirstChildNamed("price").Text()
+		if !strings.Contains(np, ".") || len(strings.SplitN(np, ".", 2)[1]) != 2 {
+			t.Errorf("price shape broken: %q", np)
+		}
+		// Non-numeric untouched.
+		if origBooks[i].FirstChildNamed("title").Text() != newBooks[i].FirstChildNamed("title").Text() {
+			t.Errorf("bit flip touched a title")
+		}
+	}
+	if changed == 0 {
+		t.Errorf("no year changed")
+	}
+	if _, err := (NumericBitFlip{Bits: 0}).Apply(doc, rand.New(rand.NewSource(1))); err == nil {
+		t.Errorf("zero-bit flip accepted")
+	}
+}
+
+func fmtSscan(t *testing.T, s string, v *int64) {
+	t.Helper()
+	var n int64
+	neg := false
+	for i := 0; i < len(s); i++ {
+		if i == 0 && s[i] == '-' {
+			neg = true
+			continue
+		}
+		if s[i] < '0' || s[i] > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int64(s[i]-'0')
+	}
+	if neg {
+		n = -n
+	}
+	*v = n
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 100, Seed: 17})
+	a1 := ds.Doc.Clone()
+	a2 := ds.Doc.Clone()
+	if _, err := (ValueAlteration{Fraction: 0.5}).Apply(a1, rand.New(rand.NewSource(99))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (ValueAlteration{Fraction: 0.5}).Apply(a2, rand.New(rand.NewSource(99))); err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(a1, a2, xmltree.CompareOptions{}) {
+		t.Errorf("same seed produced different attacks")
+	}
+}

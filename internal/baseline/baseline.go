@@ -1,0 +1,193 @@
+// Package baseline implements a structure-labelled watermarking scheme in
+// the spirit of Sion, Atallah and Prabhakar's "Resilient information
+// hiding for abstract semi-structures" (IWDW 2003) — the related work [5]
+// the paper compares against:
+//
+//	"[5] … utilizes a graph labeling scheme to overcome these problems.
+//	 However, without taking into account the semantics within the data,
+//	 that scheme is still vulnerable to data reorganization. It also
+//	 ignores the redundancy problem."
+//
+// The baseline labels every value-bearing node by its canonical
+// structural position (the tag-and-ordinal path from the root), selects
+// carriers and assigns bits by keyed HMAC over the label, and embeds via
+// the same per-type plug-ins WmXML uses. That gives it exactly the two
+// properties the paper attributes to [5]: labels are semantics-blind
+// (re-organization and re-ordering re-label everything, so detection
+// collapses to coin-flipping) and redundancy-oblivious (FD duplicates get
+// independent labels and bits, so normalizing them wipes the mark). The
+// E4/E5 experiments measure both against WmXML.
+package baseline
+
+import (
+	"encoding/base64"
+	"strings"
+
+	"wmxml/internal/wa"
+	"wmxml/internal/wmark"
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+// Config parameterizes the baseline scheme.
+type Config struct {
+	// Key is the secret key.
+	Key []byte
+	// Mark is the watermark.
+	Mark wmark.Bits
+	// Gamma is the selection ratio (default 10).
+	Gamma int
+	// Xi is the number of candidate embedding positions (default 4).
+	Xi int
+	// Tau is the detection threshold (default 0.85).
+	Tau float64
+	// MinCoverage is the minimum voted-bit coverage (default 0.5).
+	MinCoverage float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Gamma == 0 {
+		c.Gamma = 10
+	}
+	if c.Xi == 0 {
+		c.Xi = 4
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.85
+	}
+	if c.MinCoverage == 0 {
+		c.MinCoverage = 0.5
+	}
+	return c
+}
+
+// Result reports an embed or detect pass.
+type Result struct {
+	// Candidates is the number of labelled value nodes.
+	Candidates int
+	// Carriers is the number of selected nodes.
+	Carriers int
+	// Detection holds the score for Detect calls.
+	Detection wmark.Result
+}
+
+// labelledItem pairs a value item with its structural label.
+type labelledItem struct {
+	item  xpath.Item
+	label string
+}
+
+// enumerate collects every value-bearing node with its canonical
+// structural label: leaf element texts and attribute values, labelled by
+// the positional path (plus attribute name).
+func enumerate(doc *xmltree.Node) []labelledItem {
+	var out []labelledItem
+	xmltree.WalkElements(doc, func(e *xmltree.Node) {
+		for _, a := range e.Attrs {
+			out = append(out, labelledItem{
+				item:  xpath.Item{Node: e, Attr: a.Name},
+				label: e.Path() + "/@" + a.Name,
+			})
+		}
+		if isValueLeaf(e) {
+			out = append(out, labelledItem{
+				item:  xpath.Item{Node: e},
+				label: e.Path(),
+			})
+		}
+	})
+	return out
+}
+
+func isValueLeaf(e *xmltree.Node) bool {
+	if len(e.Children) == 0 {
+		return false
+	}
+	for _, c := range e.Children {
+		if c.Kind == xmltree.ElementNode {
+			return false
+		}
+	}
+	return strings.TrimSpace(e.Text()) != ""
+}
+
+// sniffAlgorithm picks the plug-in for a value by inspecting it — the
+// baseline has no schema to consult.
+func sniffAlgorithm(v string) wa.Algorithm {
+	t := strings.TrimSpace(v)
+	num := wa.Numeric{}
+	if num.CanEmbed(t) {
+		return num
+	}
+	if len(t) >= 16 && len(t)%4 == 0 {
+		if _, err := base64.StdEncoding.DecodeString(t); err == nil {
+			return wa.Binary{}
+		}
+	}
+	txt := wa.Text{}
+	if txt.CanEmbed(t) {
+		return txt
+	}
+	return nil
+}
+
+// Embed inserts the watermark into doc in place.
+func Embed(doc *xmltree.Node, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	sel, err := wmark.NewSelector(cfg.Key, cfg.Gamma, len(cfg.Mark), cfg.Xi)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, li := range enumerate(doc) {
+		res.Candidates++
+		if !sel.Selected(li.label) {
+			continue
+		}
+		alg := sniffAlgorithm(li.item.Value())
+		if alg == nil {
+			continue
+		}
+		bit := cfg.Mark[sel.BitIndex(li.label)]
+		nv, err := alg.Embed(li.item.Value(), bit, wa.Params{BitPosition: sel.Position(li.label)})
+		if err != nil {
+			continue
+		}
+		li.item.SetValue(nv)
+		res.Carriers++
+	}
+	return res, nil
+}
+
+// Detect reads the watermark back by re-labelling the suspect document.
+// Any structural change re-labels nodes and decouples them from their
+// embedded bits — the weakness the experiments demonstrate.
+func Detect(doc *xmltree.Node, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	sel, err := wmark.NewSelector(cfg.Key, cfg.Gamma, len(cfg.Mark), cfg.Xi)
+	if err != nil {
+		return nil, err
+	}
+	votes := wmark.NewVotes(len(cfg.Mark))
+	res := &Result{}
+	for _, li := range enumerate(doc) {
+		res.Candidates++
+		if !sel.Selected(li.label) {
+			continue
+		}
+		alg := sniffAlgorithm(li.item.Value())
+		if alg == nil {
+			votes.AddMiss()
+			continue
+		}
+		bit, ok := alg.Extract(li.item.Value(), wa.Params{BitPosition: sel.Position(li.label)})
+		if !ok {
+			votes.AddMiss()
+			continue
+		}
+		votes.Add(sel.BitIndex(li.label), bit)
+		res.Carriers++
+	}
+	res.Detection = votes.Score(cfg.Mark, cfg.Tau, cfg.MinCoverage)
+	return res, nil
+}

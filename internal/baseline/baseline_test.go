@@ -1,0 +1,168 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"wmxml/internal/attack"
+	"wmxml/internal/datagen"
+	"wmxml/internal/rewrite"
+	"wmxml/internal/wmark"
+)
+
+func cfg(key, markSeed string) Config {
+	return Config{
+		Key:   []byte(key),
+		Mark:  wmark.Random(markSeed, 64),
+		Gamma: 4,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 200, Seed: 1})
+	c := cfg("base-key", "base-mark")
+	doc := ds.Doc.Clone()
+	er, err := Embed(doc, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Carriers == 0 {
+		t.Fatalf("no carriers: %+v", er)
+	}
+	dr, err := Detect(doc, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Detection.Detected || dr.Detection.MatchFraction != 1.0 {
+		t.Errorf("baseline self-detection failed: %+v", dr.Detection)
+	}
+}
+
+func TestBaselineWrongKey(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 200, Seed: 2})
+	c := cfg("right", "mark")
+	doc := ds.Doc.Clone()
+	if _, err := Embed(doc, c); err != nil {
+		t.Fatal(err)
+	}
+	bad := c
+	bad.Key = []byte("wrong")
+	dr, err := Detect(doc, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Detection.Detected {
+		t.Errorf("wrong key detected: %+v", dr.Detection)
+	}
+}
+
+func TestBaselineSurvivesNothingStructural(t *testing.T) {
+	// The defining weakness: re-ordering the document destroys detection.
+	ds := datagen.Publications(datagen.PubConfig{Books: 300, Seed: 3})
+	c := cfg("struct-key", "struct-mark")
+	doc := ds.Doc.Clone()
+	if _, err := Embed(doc, c); err != nil {
+		t.Fatal(err)
+	}
+	reordered, err := (attack.Reorder{}).Apply(doc, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := Detect(reordered, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Detection.Detected {
+		t.Errorf("baseline survived re-ordering: match=%.3f", dr.Detection.MatchFraction)
+	}
+	if dr.Detection.MatchFraction < 0.3 || dr.Detection.MatchFraction > 0.75 {
+		t.Errorf("match after reorder = %.3f, expected near coin-flip", dr.Detection.MatchFraction)
+	}
+}
+
+func TestBaselineReorganizationDestroys(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 300, Seed: 5})
+	c := cfg("reorg-key", "reorg-mark")
+	doc := ds.Doc.Clone()
+	if _, err := Embed(doc, c); err != nil {
+		t.Fatal(err)
+	}
+	reorg, err := attack.Reorganization{Mapping: rewrite.Figure1Mapping()}.Apply(doc, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := Detect(reorg, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Detection.Detected {
+		t.Errorf("baseline survived re-organization: match=%.3f", dr.Detection.MatchFraction)
+	}
+}
+
+func TestBaselineUntouchedByValueNoiseAtLowRate(t *testing.T) {
+	// Fairness check: the baseline is not a strawman — with the document
+	// structure intact it resists mild value alteration.
+	ds := datagen.Publications(datagen.PubConfig{Books: 400, Seed: 7})
+	c := cfg("noise-key", "noise-mark")
+	c.Gamma = 2
+	doc := ds.Doc.Clone()
+	if _, err := Embed(doc, c); err != nil {
+		t.Fatal(err)
+	}
+	altered, err := (attack.ValueAlteration{Fraction: 0.1}).Apply(doc, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := Detect(altered, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Detection.Detected {
+		t.Errorf("baseline died under 10%% value noise: %+v", dr.Detection)
+	}
+}
+
+func TestEnumerateLabelsUnique(t *testing.T) {
+	ds := datagen.Library(datagen.LibraryConfig{Items: 50, Seed: 9})
+	seen := make(map[string]bool)
+	for _, li := range enumerate(ds.Doc) {
+		if seen[li.label] {
+			t.Fatalf("duplicate label %q", li.label)
+		}
+		seen[li.label] = true
+	}
+}
+
+func TestSniffAlgorithm(t *testing.T) {
+	cases := []struct {
+		v    string
+		want string
+	}{
+		{"1998", "numeric-lsb"},
+		{"55.50", "numeric-lsb"},
+		{"QUJDREVGR0hJSktM", "binary-lsb"},
+		{"Stonebraker", "text-case"},
+		{"!!!", ""},
+	}
+	for _, tc := range cases {
+		alg := sniffAlgorithm(tc.v)
+		got := ""
+		if alg != nil {
+			got = alg.Name()
+		}
+		if got != tc.want {
+			t.Errorf("sniff(%q) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestBaselineConfigErrors(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 5, Seed: 1})
+	if _, err := Embed(ds.Doc.Clone(), Config{Mark: wmark.Bits{1}}); err == nil {
+		t.Errorf("missing key accepted")
+	}
+	if _, err := Detect(ds.Doc, Config{Key: []byte("k")}); err == nil {
+		t.Errorf("missing mark accepted")
+	}
+}

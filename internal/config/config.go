@@ -1,0 +1,323 @@
+// Package config serializes WmXML working definitions — schema, semantic
+// catalog, watermark targets, usability templates and schema mappings —
+// as JSON, so the system can be driven on arbitrary documents without
+// recompiling (the built-in dataset presets cover the demo workloads;
+// a Spec file covers everything else).
+//
+// A complete spec looks like:
+//
+//	{
+//	  "name": "publications",
+//	  "schema": {
+//	    "root": "db",
+//	    "elements": {
+//	      "db":    {"children": [{"name": "book", "max": -1}]},
+//	      "book":  {"attrs": [{"name": "publisher", "required": true}],
+//	                "children": [{"name": "title", "min": 1, "max": 1},
+//	                             {"name": "year", "min": 1, "max": 1}]},
+//	      "title": {"type": "string"},
+//	      "year":  {"type": "integer"}
+//	    }
+//	  },
+//	  "keys": [{"scope": "db/book", "path": "title"}],
+//	  "fds":  [{"scope": "db/book", "determinant": "editor", "dependent": "@publisher"}],
+//	  "targets":   ["db/book/year"],
+//	  "templates": ["db/book[title]/year"]
+//	}
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"wmxml/internal/rewrite"
+	"wmxml/internal/schema"
+	"wmxml/internal/semantics"
+)
+
+// Spec is the on-disk description of a watermarkable document type.
+type Spec struct {
+	Name      string     `json:"name"`
+	Schema    SchemaSpec `json:"schema"`
+	Keys      []KeySpec  `json:"keys,omitempty"`
+	FDs       []FDSpec   `json:"fds,omitempty"`
+	Targets   []string   `json:"targets,omitempty"`
+	Templates []string   `json:"templates,omitempty"`
+}
+
+// SchemaSpec mirrors schema.Schema.
+type SchemaSpec struct {
+	Root     string                 `json:"root"`
+	Elements map[string]ElementSpec `json:"elements"`
+}
+
+// ElementSpec mirrors schema.ElementDecl.
+type ElementSpec struct {
+	Type     string      `json:"type,omitempty"` // string|integer|decimal|image|none
+	Attrs    []AttrSpec  `json:"attrs,omitempty"`
+	Children []ChildSpec `json:"children,omitempty"`
+}
+
+// AttrSpec mirrors schema.AttrDecl.
+type AttrSpec struct {
+	Name     string `json:"name"`
+	Required bool   `json:"required,omitempty"`
+	Type     string `json:"type,omitempty"`
+}
+
+// ChildSpec mirrors schema.ChildDecl. Max -1 means unbounded.
+type ChildSpec struct {
+	Name string `json:"name"`
+	Min  int    `json:"min,omitempty"`
+	Max  int    `json:"max,omitempty"`
+}
+
+// KeySpec mirrors semantics.Key.
+type KeySpec struct {
+	Scope string `json:"scope"`
+	Path  string `json:"path"`
+}
+
+// FDSpec mirrors semantics.FD.
+type FDSpec struct {
+	Scope       string `json:"scope"`
+	Determinant string `json:"determinant"`
+	Dependent   string `json:"dependent"`
+}
+
+// Parse decodes and validates a JSON spec.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("config: parse spec: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (s *Spec) validate() error {
+	if s.Schema.Root == "" {
+		return fmt.Errorf("config: schema.root is required")
+	}
+	if len(s.Schema.Elements) == 0 {
+		return fmt.Errorf("config: schema.elements is required")
+	}
+	if _, ok := s.Schema.Elements[s.Schema.Root]; !ok {
+		return fmt.Errorf("config: root element %q not declared", s.Schema.Root)
+	}
+	for name, e := range s.Schema.Elements {
+		if _, err := schema.ParseDataType(e.Type); err != nil {
+			return fmt.Errorf("config: element %q: %w", name, err)
+		}
+		for _, a := range e.Attrs {
+			if a.Name == "" {
+				return fmt.Errorf("config: element %q has an unnamed attribute", name)
+			}
+			if _, err := schema.ParseDataType(a.Type); err != nil {
+				return fmt.Errorf("config: element %q attribute %q: %w", name, a.Name, err)
+			}
+		}
+		for _, c := range e.Children {
+			if _, ok := s.Schema.Elements[c.Name]; !ok {
+				return fmt.Errorf("config: element %q references undeclared child %q", name, c.Name)
+			}
+			if c.Max != 0 && c.Max != schema.Unbounded && c.Max < c.Min {
+				return fmt.Errorf("config: element %q child %q: max %d < min %d", name, c.Name, c.Max, c.Min)
+			}
+		}
+	}
+	for _, k := range s.Keys {
+		if k.Scope == "" || k.Path == "" {
+			return fmt.Errorf("config: keys need scope and path")
+		}
+	}
+	for _, f := range s.FDs {
+		if f.Scope == "" || f.Determinant == "" || f.Dependent == "" {
+			return fmt.Errorf("config: fds need scope, determinant and dependent")
+		}
+	}
+	return nil
+}
+
+// BuildSchema converts the spec's schema section.
+func (s *Spec) BuildSchema() (*schema.Schema, error) {
+	out := schema.New(s.Name, s.Schema.Root)
+	names := make([]string, 0, len(s.Schema.Elements))
+	for n := range s.Schema.Elements {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := s.Schema.Elements[name]
+		decl := out.Declare(name)
+		dt, err := schema.ParseDataType(e.Type)
+		if err != nil {
+			return nil, err
+		}
+		decl.Type = dt
+		if len(e.Children) > 0 && e.Type == "" {
+			decl.Type = schema.TypeNone
+		}
+		for _, a := range e.Attrs {
+			at, err := schema.ParseDataType(a.Type)
+			if err != nil {
+				return nil, err
+			}
+			decl.Attrs = append(decl.Attrs, schema.AttrDecl{Name: a.Name, Required: a.Required, Type: at})
+		}
+		for _, c := range e.Children {
+			max := c.Max
+			if max == 0 {
+				max = schema.Unbounded
+			}
+			decl.Children = append(decl.Children, schema.ChildDecl{Name: c.Name, MinOccurs: c.Min, MaxOccurs: max})
+		}
+	}
+	return out, nil
+}
+
+// BuildCatalog converts the spec's keys and FDs.
+func (s *Spec) BuildCatalog() semantics.Catalog {
+	var cat semantics.Catalog
+	for _, k := range s.Keys {
+		cat.Keys = append(cat.Keys, semantics.Key{Scope: k.Scope, KeyPath: k.Path})
+	}
+	for _, f := range s.FDs {
+		cat.FDs = append(cat.FDs, semantics.FD{Scope: f.Scope, Determinant: f.Determinant, Dependent: f.Dependent})
+	}
+	return cat
+}
+
+// FromParts builds a Spec from working objects (the inverse of
+// BuildSchema/BuildCatalog), for exporting dataset presets as files.
+func FromParts(name string, sch *schema.Schema, cat semantics.Catalog, targets, templates []string) *Spec {
+	s := &Spec{
+		Name:      name,
+		Schema:    SchemaSpec{Root: sch.Root, Elements: make(map[string]ElementSpec)},
+		Targets:   targets,
+		Templates: templates,
+	}
+	for _, n := range sch.ElementNames() {
+		decl := sch.Element(n)
+		es := ElementSpec{Type: decl.Type.String()}
+		if decl.Type == schema.TypeNone {
+			es.Type = ""
+		}
+		for _, a := range decl.Attrs {
+			es.Attrs = append(es.Attrs, AttrSpec{Name: a.Name, Required: a.Required, Type: a.Type.String()})
+		}
+		for _, c := range decl.Children {
+			es.Children = append(es.Children, ChildSpec{Name: c.Name, Min: c.MinOccurs, Max: c.MaxOccurs})
+		}
+		s.Schema.Elements[n] = es
+	}
+	for _, k := range cat.Keys {
+		s.Keys = append(s.Keys, KeySpec{Scope: k.Scope, Path: k.KeyPath})
+	}
+	for _, f := range cat.FDs {
+		s.FDs = append(s.FDs, FDSpec{Scope: f.Scope, Determinant: f.Determinant, Dependent: f.Dependent})
+	}
+	return s
+}
+
+// Marshal renders the spec as indented JSON.
+func (s *Spec) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// MappingSpec is the on-disk form of a rewrite.Mapping.
+type MappingSpec struct {
+	Name   string   `json:"name"`
+	Source ViewSpec `json:"source"`
+	Target ViewSpec `json:"target"`
+}
+
+// ViewSpec mirrors rewrite.View.
+type ViewSpec struct {
+	Levels []LevelSpec `json:"levels"`
+	Fields []FieldSpec `json:"fields"`
+}
+
+// LevelSpec mirrors rewrite.Level; Key and Loc use the "field@attr:name"
+// free form split into explicit members.
+type LevelSpec struct {
+	Element  string `json:"element"`
+	KeyField string `json:"key,omitempty"`
+	KeyLoc   string `json:"loc,omitempty"` // attr:NAME | child:NAME | text
+}
+
+// FieldSpec mirrors rewrite.FieldDef.
+type FieldSpec struct {
+	Name  string `json:"name"`
+	Loc   string `json:"loc"`
+	Multi bool   `json:"multi,omitempty"`
+}
+
+// ParseMapping decodes and validates a JSON mapping.
+func ParseMapping(data []byte) (rewrite.Mapping, error) {
+	var ms MappingSpec
+	if err := json.Unmarshal(data, &ms); err != nil {
+		return rewrite.Mapping{}, fmt.Errorf("config: parse mapping: %w", err)
+	}
+	m := rewrite.Mapping{Name: ms.Name}
+	var err error
+	m.Source, err = buildView(ms.Source)
+	if err != nil {
+		return rewrite.Mapping{}, fmt.Errorf("config: source view: %w", err)
+	}
+	m.Target, err = buildView(ms.Target)
+	if err != nil {
+		return rewrite.Mapping{}, fmt.Errorf("config: target view: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return rewrite.Mapping{}, fmt.Errorf("config: %w", err)
+	}
+	return m, nil
+}
+
+func buildView(vs ViewSpec) (rewrite.View, error) {
+	var v rewrite.View
+	for _, ls := range vs.Levels {
+		lvl := rewrite.Level{Element: ls.Element, KeyField: ls.KeyField}
+		if ls.KeyField != "" {
+			loc, err := rewrite.ParseLoc(ls.KeyLoc)
+			if err != nil {
+				return v, err
+			}
+			lvl.KeyLoc = loc
+		}
+		v.Levels = append(v.Levels, lvl)
+	}
+	for _, fs := range vs.Fields {
+		loc, err := rewrite.ParseLoc(fs.Loc)
+		if err != nil {
+			return v, err
+		}
+		v.Fields = append(v.Fields, rewrite.FieldDef{Name: fs.Name, Loc: loc, Multi: fs.Multi})
+	}
+	return v, nil
+}
+
+// MarshalMapping renders a mapping as indented JSON.
+func MarshalMapping(m rewrite.Mapping) ([]byte, error) {
+	ms := MappingSpec{Name: m.Name, Source: viewSpec(m.Source), Target: viewSpec(m.Target)}
+	return json.MarshalIndent(ms, "", "  ")
+}
+
+func viewSpec(v rewrite.View) ViewSpec {
+	var vs ViewSpec
+	for _, l := range v.Levels {
+		ls := LevelSpec{Element: l.Element, KeyField: l.KeyField}
+		if l.KeyField != "" {
+			ls.KeyLoc = l.KeyLoc.String()
+		}
+		vs.Levels = append(vs.Levels, ls)
+	}
+	for _, f := range v.Fields {
+		vs.Fields = append(vs.Fields, FieldSpec{Name: f.Name, Loc: f.Loc.String(), Multi: f.Multi})
+	}
+	return vs
+}

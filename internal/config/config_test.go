@@ -1,0 +1,200 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"wmxml/internal/datagen"
+	"wmxml/internal/rewrite"
+	"wmxml/internal/schema"
+	"wmxml/internal/xmltree"
+)
+
+const pubSpec = `{
+  "name": "publications",
+  "schema": {
+    "root": "db",
+    "elements": {
+      "db":     {"children": [{"name": "book", "max": -1}]},
+      "book":   {"attrs": [{"name": "publisher", "required": true}],
+                 "children": [{"name": "title", "min": 1, "max": 1},
+                              {"name": "editor", "min": 1, "max": 1},
+                              {"name": "year", "min": 1, "max": 1}]},
+      "title":  {"type": "string"},
+      "editor": {"type": "string"},
+      "year":   {"type": "integer"}
+    }
+  },
+  "keys": [{"scope": "db/book", "path": "title"}],
+  "fds":  [{"scope": "db/book", "determinant": "editor", "dependent": "@publisher"}],
+  "targets":   ["db/book/year"],
+  "templates": ["db/book[title]/year"]
+}`
+
+func TestParseSpec(t *testing.T) {
+	s, err := Parse([]byte(pubSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := s.BuildSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Root != "db" {
+		t.Errorf("root = %q", sch.Root)
+	}
+	book := sch.Element("book")
+	if book == nil {
+		t.Fatalf("book missing")
+	}
+	if ad, ok := book.Attr("publisher"); !ok || !ad.Required {
+		t.Errorf("publisher attr = %+v %v", ad, ok)
+	}
+	cd, ok := book.Child("title")
+	if !ok || cd.MinOccurs != 1 || cd.MaxOccurs != 1 {
+		t.Errorf("title child = %+v", cd)
+	}
+	// max omitted defaults to unbounded.
+	bd, _ := sch.Element("db").Child("book")
+	if bd.MaxOccurs != schema.Unbounded {
+		t.Errorf("book max = %d", bd.MaxOccurs)
+	}
+	if sch.Element("year").Type != schema.TypeInteger {
+		t.Errorf("year type = %v", sch.Element("year").Type)
+	}
+	cat := s.BuildCatalog()
+	if len(cat.Keys) != 1 || cat.Keys[0].KeyPath != "title" {
+		t.Errorf("keys = %+v", cat.Keys)
+	}
+	if len(cat.FDs) != 1 || cat.FDs[0].Dependent != "@publisher" {
+		t.Errorf("fds = %+v", cat.FDs)
+	}
+}
+
+func TestSpecValidatesDocument(t *testing.T) {
+	s, err := Parse([]byte(pubSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := s.BuildSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := xmltree.MustParseString(
+		`<db><book publisher="mkp"><title>T</title><editor>E</editor><year>1998</year></book></db>`)
+	if vs := sch.Validate(doc); len(vs) != 0 {
+		t.Errorf("valid doc rejected: %v", vs)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"broken-json", `{`},
+		{"no-root", `{"schema":{"elements":{"a":{}}}}`},
+		{"no-elements", `{"schema":{"root":"a"}}`},
+		{"root-undeclared", `{"schema":{"root":"a","elements":{"b":{}}}}`},
+		{"bad-type", `{"schema":{"root":"a","elements":{"a":{"type":"blob"}}}}`},
+		{"dangling-child", `{"schema":{"root":"a","elements":{"a":{"children":[{"name":"ghost"}]}}}}`},
+		{"bad-bounds", `{"schema":{"root":"a","elements":{"a":{"children":[{"name":"a","min":3,"max":1}]}}}}`},
+		{"empty-key", `{"schema":{"root":"a","elements":{"a":{}}},"keys":[{"scope":"a"}]}`},
+		{"empty-fd", `{"schema":{"root":"a","elements":{"a":{}}},"fds":[{"scope":"a"}]}`},
+		{"unnamed-attr", `{"schema":{"root":"a","elements":{"a":{"attrs":[{"required":true}]}}}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse([]byte(tc.json)); err == nil {
+				t.Errorf("spec accepted")
+			}
+		})
+	}
+}
+
+func TestFromPartsRoundTrip(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 20, Seed: 1, WithCovers: true})
+	spec := FromParts(ds.Name, ds.Schema, ds.Catalog, ds.Targets, ds.Templates)
+	data, err := spec.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatalf("round-tripped spec invalid: %v\n%s", err, data)
+	}
+	sch, err := back.BuildSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rebuilt schema must validate the dataset's document.
+	if vs := sch.Validate(ds.Doc); len(vs) != 0 {
+		t.Errorf("rebuilt schema rejects dataset: %v", vs[:1])
+	}
+	cat := back.BuildCatalog()
+	if len(cat.Keys) != len(ds.Catalog.Keys) || len(cat.FDs) != len(ds.Catalog.FDs) {
+		t.Errorf("catalog lost constraints")
+	}
+	if len(back.Targets) != len(ds.Targets) || len(back.Templates) != len(ds.Templates) {
+		t.Errorf("targets/templates lost")
+	}
+	// Image type survives.
+	if sch.Element("cover").Type != schema.TypeImage {
+		t.Errorf("cover type = %v", sch.Element("cover").Type)
+	}
+}
+
+func TestMappingRoundTrip(t *testing.T) {
+	m := rewrite.PublicationsMapping()
+	data, err := MarshalMapping(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseMapping(data)
+	if err != nil {
+		t.Fatalf("parse mapping: %v\n%s", err, data)
+	}
+	if back.Name != m.Name {
+		t.Errorf("name = %q", back.Name)
+	}
+	if back.Source.RecordPath() != m.Source.RecordPath() ||
+		back.Target.RecordPath() != m.Target.RecordPath() {
+		t.Errorf("record paths changed")
+	}
+	// The round-tripped mapping transforms identically.
+	ds := datagen.Publications(datagen.PubConfig{Books: 30, Seed: 2})
+	out1, err := rewrite.Transform(ds.Doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := rewrite.Transform(ds.Doc, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !xmltree.Equal(out1, out2, xmltree.CompareOptions{}) {
+		t.Errorf("round-tripped mapping transforms differently")
+	}
+}
+
+func TestParseMappingErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"m","source":{"levels":[]},"target":{"levels":[]}}`,
+		`{"name":"m","source":{"levels":[{"element":"db"},{"element":"r"}],
+		  "fields":[{"name":"x","loc":"bogus"}]},
+		  "target":{"levels":[{"element":"db"},{"element":"r"}],"fields":[]}}`,
+	}
+	for _, src := range cases {
+		if _, err := ParseMapping([]byte(src)); err == nil {
+			t.Errorf("mapping %q accepted", truncate(src))
+		}
+	}
+}
+
+func truncate(s string) string {
+	s = strings.ReplaceAll(s, "\n", " ")
+	if len(s) > 60 {
+		return s[:60] + "..."
+	}
+	return s
+}

@@ -1,0 +1,352 @@
+// Package core implements the WmXML encoder and decoder — the primary
+// contribution of the paper (§2.2, figure 4).
+//
+// The scheme has three phases:
+//
+//  1. Initialization: a schema, a semantic catalog (keys and FDs), a set
+//     of usability query templates, a secret key and a watermark.
+//  2. Watermark insertion (Embed): the bandwidth units of the document
+//     are enumerated (internal/identity); a keyed HMAC selects roughly
+//     1/gamma of them as carriers; each carrier's value receives one
+//     watermark bit through the plug-in algorithm for its data type
+//     (internal/wa); finally the identifying queries Q are generated and
+//     returned for the user to safeguard alongside the key.
+//  3. Watermark detection (Detect*): the queries in Q — rewritten for a
+//     re-organized document if necessary (internal/rewrite) — retrieve
+//     the carrier values; each value votes for its watermark bit; the
+//     majority-voted watermark is compared to the expected mark and the
+//     match fraction decides detection.
+//
+// Two detection modes are provided. DetectWithQueries is the paper's
+// workflow (the user kept Q). DetectBlind re-derives the carriers from
+// the suspect document itself using the schema and catalog, which works
+// whenever the suspect document kept the original schema.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"wmxml/internal/identity"
+	"wmxml/internal/schema"
+	"wmxml/internal/semantics"
+	"wmxml/internal/wa"
+	"wmxml/internal/wmark"
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+// Config carries everything both the encoder and decoder need.
+type Config struct {
+	// Key is the secret key. Detection with a different key reads noise.
+	Key []byte
+	// Mark is the watermark to embed / verify.
+	Mark wmark.Bits
+	// Gamma is the selection ratio: on average one in Gamma bandwidth
+	// units carries a bit. Default 10.
+	Gamma int
+	// Xi is the number of candidate low-order embedding positions.
+	// Default 4.
+	Xi int
+	// XiByTarget overrides Xi per target field (key: "scope/field" name
+	// path, e.g. "library/item/rating"). Small-scale numeric fields need
+	// a shallower depth to stay inside the usability tolerance; see the
+	// A3 ablation.
+	XiByTarget map[string]int
+	// Tau is the detection threshold on the bit-match fraction.
+	// Default 0.85.
+	Tau float64
+	// MinCoverage is the minimum fraction of watermark bits that must
+	// receive votes for a positive detection. Default 0.5.
+	MinCoverage float64
+	// Schema describes the document type.
+	Schema *schema.Schema
+	// Catalog supplies the keys and FDs identities are built from.
+	Catalog semantics.Catalog
+	// Identity selects targets and identity mode.
+	Identity identity.Options
+	// ValidateInput, when set, validates the document against Schema
+	// before embedding and refuses invalid input.
+	ValidateInput bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Gamma == 0 {
+		c.Gamma = 10
+	}
+	if c.Xi == 0 {
+		c.Xi = 4
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.85
+	}
+	if c.MinCoverage == 0 {
+		c.MinCoverage = 0.5
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if len(c.Key) == 0 {
+		return fmt.Errorf("core: secret key is required")
+	}
+	if len(c.Mark) == 0 {
+		return fmt.Errorf("core: watermark is required")
+	}
+	if c.Schema == nil {
+		return fmt.Errorf("core: schema is required")
+	}
+	return nil
+}
+
+func (c Config) selector() (*wmark.Selector, error) {
+	return wmark.NewSelector(c.Key, c.Gamma, len(c.Mark), c.Xi)
+}
+
+// QueryRecord is one entry of the safeguarded query set Q: the identity
+// query addressing a carrier, the canonical identity (HMAC input), the
+// value type (which selects the extraction plug-in) and the target the
+// carrier belongs to (which selects any per-target embedding depth).
+type QueryRecord struct {
+	ID     string `json:"id"`
+	Query  string `json:"query"`
+	Type   string `json:"type"`
+	Target string `json:"target,omitempty"`
+}
+
+// MarshalQuerySet renders Q as JSON for safekeeping.
+func MarshalQuerySet(records []QueryRecord) ([]byte, error) {
+	return json.MarshalIndent(records, "", "  ")
+}
+
+// UnmarshalQuerySet parses a JSON query set.
+func UnmarshalQuerySet(data []byte) ([]QueryRecord, error) {
+	var out []QueryRecord
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("core: parse query set: %w", err)
+	}
+	return out, nil
+}
+
+// EmbedResult reports what insertion did.
+type EmbedResult struct {
+	// Records is Q — safeguard it with the key.
+	Records []QueryRecord
+	// Bandwidth is the capacity report from identity enumeration.
+	Bandwidth identity.Report
+	// Carriers is the number of selected units.
+	Carriers int
+	// Embedded is the number of physical values written.
+	Embedded int
+	// Unembeddable counts selected values the plug-in had to skip
+	// (value outside the algorithm's domain).
+	Unembeddable int
+}
+
+// Embed inserts the watermark into doc in place and returns the query
+// set Q.
+func Embed(doc *xmltree.Node, cfg Config) (*EmbedResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sel, err := cfg.selector()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ValidateInput {
+		if vs := cfg.Schema.Validate(doc); len(vs) > 0 {
+			return nil, fmt.Errorf("core: document invalid against schema %q: %s (and %d more)",
+				cfg.Schema.Name, vs[0], len(vs)-1)
+		}
+	}
+	builder := identity.NewBuilder(cfg.Schema, cfg.Catalog, cfg.Identity)
+	units, rep, err := builder.Units(doc)
+	if err != nil {
+		return nil, err
+	}
+	res := &EmbedResult{Bandwidth: rep}
+
+	// Phase 1: select carriers and embed values.
+	var selected []identity.Unit
+	for _, u := range units {
+		if !sel.Selected(u.ID) {
+			continue
+		}
+		alg := wa.ForType(u.Type)
+		if alg == nil {
+			res.Unembeddable += len(u.Items)
+			continue
+		}
+		bit := cfg.Mark[sel.BitIndex(u.ID)]
+		params := wa.Params{BitPosition: sel.PositionIn(u.ID, cfg.XiByTarget[u.Scope+"/"+u.Field])}
+		wrote := 0
+		for _, item := range u.Items {
+			v := item.Value()
+			if !alg.CanEmbed(v) {
+				res.Unembeddable++
+				continue
+			}
+			nv, err := alg.Embed(v, bit, params)
+			if err != nil {
+				res.Unembeddable++
+				continue
+			}
+			item.SetValue(nv)
+			wrote++
+		}
+		if wrote > 0 {
+			res.Carriers++
+			res.Embedded += wrote
+			selected = append(selected, u)
+		}
+	}
+
+	// Phase 2: generate Q from the post-insertion document (marking can
+	// change selector values of det-units).
+	for _, u := range selected {
+		q, err := u.Rebuild()
+		if err != nil {
+			// The value became unquotable or the selector vanished;
+			// fall back to the pre-embedding query, which still works
+			// unless the selector value itself was marked.
+			q = u.Query
+		}
+		res.Records = append(res.Records, QueryRecord{
+			ID:     u.ID,
+			Query:  q.String(),
+			Type:   u.Type.String(),
+			Target: u.Scope + "/" + u.Field,
+		})
+	}
+	return res, nil
+}
+
+// Rewriter adapts a detection query to a re-organized document. The
+// rewrite package provides implementations from schema mappings; custom
+// implementations can be plugged in.
+type Rewriter interface {
+	RewriteQuery(q *xpath.Query) (*xpath.Query, error)
+}
+
+// DetectResult is a detection outcome.
+type DetectResult struct {
+	wmark.Result
+	// QueriesRun is the number of identity queries executed.
+	QueriesRun int
+	// QueryMisses counts queries that selected nothing (deleted or
+	// unreachable carriers).
+	QueryMisses int
+	// RewriteErrors counts queries the rewriter could not translate.
+	RewriteErrors int
+}
+
+// DetectWithQueries runs the paper's detection: execute the safeguarded
+// queries (optionally rewritten through rw) against the suspect document,
+// extract one bit per retrieved value, majority-vote and score against
+// cfg.Mark. rw may be nil when the suspect document kept the original
+// schema.
+func DetectWithQueries(doc *xmltree.Node, cfg Config, records []QueryRecord, rw Rewriter) (*DetectResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sel, err := cfg.selector()
+	if err != nil {
+		return nil, err
+	}
+	votes := wmark.NewVotes(len(cfg.Mark))
+	res := &DetectResult{}
+	for _, rec := range records {
+		dt, err := schema.ParseDataType(rec.Type)
+		if err != nil {
+			return nil, fmt.Errorf("core: record %q: %w", rec.ID, err)
+		}
+		alg := wa.ForType(dt)
+		if alg == nil {
+			continue
+		}
+		q, err := xpath.Compile(rec.Query)
+		if err != nil {
+			return nil, fmt.Errorf("core: record query %q: %w", rec.Query, err)
+		}
+		if rw != nil {
+			rq, err := rw.RewriteQuery(q)
+			if err != nil {
+				res.RewriteErrors++
+				votes.AddMiss()
+				continue
+			}
+			q = rq
+		}
+		res.QueriesRun++
+		items := q.Select(doc)
+		if len(items) == 0 {
+			res.QueryMisses++
+			votes.AddMiss()
+			continue
+		}
+		idx := sel.BitIndex(rec.ID)
+		params := wa.Params{BitPosition: sel.PositionIn(rec.ID, cfg.XiByTarget[rec.Target])}
+		for _, item := range items {
+			bit, ok := alg.Extract(item.Value(), params)
+			if !ok {
+				votes.AddMiss()
+				continue
+			}
+			votes.Add(idx, bit)
+		}
+	}
+	res.Result = votes.Score(cfg.Mark, cfg.Tau, cfg.MinCoverage)
+	return res, nil
+}
+
+// DetectBlind re-derives the carriers from the suspect document itself
+// (no stored Q): it enumerates bandwidth units exactly as the encoder
+// did and reads bits from the units the key selects. It requires the
+// suspect document to still follow the original schema; value alteration
+// only adds vote noise.
+func DetectBlind(doc *xmltree.Node, cfg Config) (*DetectResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sel, err := cfg.selector()
+	if err != nil {
+		return nil, err
+	}
+	builder := identity.NewBuilder(cfg.Schema, cfg.Catalog, cfg.Identity)
+	units, _, err := builder.Units(doc)
+	if err != nil {
+		return nil, err
+	}
+	votes := wmark.NewVotes(len(cfg.Mark))
+	res := &DetectResult{}
+	for _, u := range units {
+		if !sel.Selected(u.ID) {
+			continue
+		}
+		alg := wa.ForType(u.Type)
+		if alg == nil {
+			continue
+		}
+		res.QueriesRun++
+		idx := sel.BitIndex(u.ID)
+		params := wa.Params{BitPosition: sel.PositionIn(u.ID, cfg.XiByTarget[u.Scope+"/"+u.Field])}
+		any := false
+		for _, item := range u.Items {
+			bit, ok := alg.Extract(item.Value(), params)
+			if !ok {
+				votes.AddMiss()
+				continue
+			}
+			votes.Add(idx, bit)
+			any = true
+		}
+		if !any {
+			res.QueryMisses++
+		}
+	}
+	res.Result = votes.Score(cfg.Mark, cfg.Tau, cfg.MinCoverage)
+	return res, nil
+}

@@ -1,0 +1,226 @@
+package core
+
+// Failure-injection tests: corrupted query sets, hostile inputs, and
+// degraded documents must produce errors or graceful misses, never
+// panics or silent wrong answers.
+
+import (
+	"strings"
+	"testing"
+
+	"wmxml/internal/datagen"
+	"wmxml/internal/identity"
+	"wmxml/internal/wmark"
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+func validRecords(t *testing.T) (*datagen.Dataset, Config, []QueryRecord, *xmltree.Node) {
+	t.Helper()
+	ds := datagen.Publications(datagen.PubConfig{Books: 120, Seed: 51})
+	cfg := Config{
+		Key: []byte("fail-key"), Mark: wmark.Random("fail-mark", 32),
+		Gamma: 3, Schema: ds.Schema, Catalog: ds.Catalog,
+		Identity: identity.Options{Targets: ds.Targets},
+	}
+	doc := ds.Doc.Clone()
+	er, err := Embed(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, cfg, er.Records, doc
+}
+
+func TestDetectCorruptQueryInRecord(t *testing.T) {
+	_, cfg, records, doc := validRecords(t)
+	bad := append([]QueryRecord(nil), records...)
+	bad[0].Query = "/db/[[[broken"
+	if _, err := DetectWithQueries(doc, cfg, bad, nil); err == nil {
+		t.Errorf("corrupt query accepted")
+	}
+}
+
+func TestDetectCorruptTypeInRecord(t *testing.T) {
+	_, cfg, records, doc := validRecords(t)
+	bad := append([]QueryRecord(nil), records...)
+	bad[0].Type = "hologram"
+	if _, err := DetectWithQueries(doc, cfg, bad, nil); err == nil {
+		t.Errorf("corrupt type accepted")
+	}
+}
+
+func TestDetectTruncatedQuerySet(t *testing.T) {
+	_, cfg, records, doc := validRecords(t)
+	half := records[:len(records)/2]
+	dr, err := DetectWithQueries(doc, cfg, half, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the records still vote perfectly; match stays 1.0, coverage
+	// shrinks.
+	if dr.MatchFraction != 1.0 {
+		t.Errorf("truncated Q match = %.3f", dr.MatchFraction)
+	}
+	if dr.QueriesRun != len(half) {
+		t.Errorf("queries run = %d", dr.QueriesRun)
+	}
+}
+
+func TestDetectRecordsAgainstWrongDocument(t *testing.T) {
+	_, cfg, records, _ := validRecords(t)
+	other := datagen.Publications(datagen.PubConfig{Books: 120, Seed: 999}).Doc
+	dr, err := DetectWithQueries(other, cfg, records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Detected {
+		t.Errorf("records from one document detected on an unrelated one: %+v", dr.Result)
+	}
+	// Different titles -> near-total query misses.
+	if dr.QueryMisses < len(records)/2 {
+		t.Errorf("query misses = %d of %d, expected most to miss", dr.QueryMisses, len(records))
+	}
+}
+
+func TestDetectEmptyRecordSet(t *testing.T) {
+	_, cfg, _, doc := validRecords(t)
+	dr, err := DetectWithQueries(doc, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Detected || dr.VotedBits != 0 {
+		t.Errorf("empty Q produced detection: %+v", dr.Result)
+	}
+}
+
+type failingRewriter struct{}
+
+func (failingRewriter) RewriteQuery(*xpath.Query) (*xpath.Query, error) {
+	return nil, errRewriteDown{}
+}
+
+type errRewriteDown struct{}
+
+func (errRewriteDown) Error() string { return "rewriter down" }
+
+func TestDetectRewriterFailuresAreMisses(t *testing.T) {
+	_, cfg, records, doc := validRecords(t)
+	dr, err := DetectWithQueries(doc, cfg, records, failingRewriter{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.RewriteErrors != len(records) {
+		t.Errorf("rewrite errors = %d, want %d", dr.RewriteErrors, len(records))
+	}
+	if dr.Detected {
+		t.Errorf("detection with a dead rewriter")
+	}
+}
+
+func TestEmbedOnEmptyDocument(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 10, Seed: 1})
+	cfg := Config{
+		Key: []byte("k"), Mark: wmark.Random("m", 16),
+		Schema: ds.Schema, Catalog: ds.Catalog,
+		Identity: identity.Options{Targets: ds.Targets},
+	}
+	doc := xmltree.MustParseString(`<db/>`)
+	er, err := Embed(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Carriers != 0 || er.Bandwidth.Units != 0 {
+		t.Errorf("empty document produced carriers: %+v", er)
+	}
+}
+
+func TestDetectBlindSchemalessDocument(t *testing.T) {
+	// Blind detection on a document of a completely different shape:
+	// zero units, no detection, no panic.
+	ds := datagen.Publications(datagen.PubConfig{Books: 10, Seed: 1})
+	cfg := Config{
+		Key: []byte("k"), Mark: wmark.Random("m", 16),
+		Schema: ds.Schema, Catalog: ds.Catalog,
+		Identity: identity.Options{Targets: ds.Targets},
+	}
+	doc := xmltree.MustParseString(`<html><body>nothing here</body></html>`)
+	dr, err := DetectBlind(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Detected || dr.QueriesRun != 0 {
+		t.Errorf("foreign document produced votes: %+v", dr)
+	}
+}
+
+func TestXiByTargetRoundTrip(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 150, Seed: 53})
+	cfg := Config{
+		Key: []byte("xik"), Mark: wmark.Random("xim", 32),
+		Gamma: 2, Xi: 4,
+		XiByTarget: map[string]int{"db/book/year": 1, "db/book/price": 2},
+		Schema:     ds.Schema, Catalog: ds.Catalog,
+		Identity: identity.Options{Targets: ds.Targets},
+	}
+	doc := ds.Doc.Clone()
+	er, err := Embed(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Year perturbation bounded by 2^1.
+	orig := ds.Doc.Root().ChildElementsNamed("book")
+	marked := doc.Root().ChildElementsNamed("book")
+	for i := range orig {
+		oy := orig[i].FirstChildNamed("year").Text()
+		my := marked[i].FirstChildNamed("year").Text()
+		if oy != my && !adjacentInt(oy, my, 1) {
+			t.Errorf("year moved beyond xi=1: %s -> %s", oy, my)
+		}
+	}
+	dr, err := DetectWithQueries(doc, cfg, er.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Detected || dr.MatchFraction != 1.0 {
+		t.Errorf("per-target xi round trip: %+v", dr.Result)
+	}
+	// Records carry the target so the decoder can find the override.
+	for _, rec := range er.Records {
+		if rec.Target == "" {
+			t.Errorf("record %q missing target", rec.ID)
+		}
+	}
+}
+
+func adjacentInt(a, b string, maxDelta int) bool {
+	pa, pb := 0, 0
+	for _, c := range a {
+		pa = pa*10 + int(c-'0')
+	}
+	for _, c := range b {
+		pb = pb*10 + int(c-'0')
+	}
+	d := pa - pb
+	if d < 0 {
+		d = -d
+	}
+	return d <= maxDelta
+}
+
+func TestRecordsJSONIncludesTarget(t *testing.T) {
+	_, _, records, _ := validRecords(t)
+	data, err := MarshalQuerySet(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"target"`) {
+		t.Errorf("marshalled Q lacks target field")
+	}
+	back, err := UnmarshalQuerySet(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Target != records[0].Target {
+		t.Errorf("target lost in round trip")
+	}
+}

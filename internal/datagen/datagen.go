@@ -1,0 +1,478 @@
+// Package datagen synthesizes the data-centric XML workloads used by the
+// examples, tests and experiments.
+//
+// The paper demonstrates WmXML "to a few sets of real world
+// semi-structured data"; those datasets are not published, so this
+// package generates equivalents for the three domains the paper names:
+// the publication database of figure 1, the job-advertisement site of the
+// introduction's motivating example, and a commercial digital library.
+// Every generator is deterministic in its seed and plants the semantics
+// the experiments rely on: a key per record type and at least one
+// functional dependency that produces genuine redundancy.
+package datagen
+
+import (
+	"encoding/base64"
+	"fmt"
+	"math/rand"
+
+	"wmxml/internal/schema"
+	"wmxml/internal/semantics"
+	"wmxml/internal/xmltree"
+)
+
+// Dataset bundles a generated document with everything WmXML needs to
+// watermark it: schema, semantic catalog, watermark targets and
+// usability query templates.
+type Dataset struct {
+	Name      string
+	Doc       *xmltree.Node
+	Schema    *schema.Schema
+	Catalog   semantics.Catalog
+	Targets   []string
+	Templates []string
+}
+
+// Clone returns a copy of the dataset with an independent document, so
+// attacks can mutate freely.
+func (d *Dataset) Clone() *Dataset {
+	cp := *d
+	cp.Doc = d.Doc.Clone()
+	return &cp
+}
+
+// PubConfig parameterizes the publications generator.
+type PubConfig struct {
+	Books      int
+	Publishers int // distinct publishers
+	Editors    int // distinct editors; each works for exactly one publisher (the FD)
+	Seed       int64
+	WithCovers bool // attach base64 "cover image" payloads
+	CoverBytes int  // payload size (default 96)
+}
+
+// Publications generates a figure-1-style publication database:
+//
+//	<db>
+//	  <book publisher="...">
+//	    <title>…unique…</title>  <author>…</author>+
+//	    <editor>…</editor>  <year>…</year>  <price>…</price>
+//	    [<cover>base64…</cover>]
+//	  </book>*
+//	</db>
+//
+// Planted semantics: title is the key of book; editor → publisher is an
+// FD (every editor works for exactly one publisher), so publisher values
+// repeat across an editor's books — the redundancy of challenge (C).
+func Publications(cfg PubConfig) *Dataset {
+	if cfg.Books <= 0 {
+		cfg.Books = 100
+	}
+	if cfg.Publishers <= 0 {
+		cfg.Publishers = max(2, cfg.Books/25)
+	}
+	if cfg.Editors <= 0 {
+		cfg.Editors = max(3, cfg.Books/8)
+	}
+	if cfg.CoverBytes <= 0 {
+		cfg.CoverBytes = 96
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	publishers := make([]string, cfg.Publishers)
+	for i := range publishers {
+		publishers[i] = pick(r, publisherNames) + fmt.Sprintf("-%02d", i)
+	}
+	type editor struct{ name, publisher string }
+	editors := make([]editor, cfg.Editors)
+	for i := range editors {
+		editors[i] = editor{
+			name:      pick(r, lastNames) + fmt.Sprintf(" E%02d", i),
+			publisher: publishers[r.Intn(len(publishers))],
+		}
+	}
+
+	root := xmltree.NewElement("db")
+	for i := 0; i < cfg.Books; i++ {
+		ed := editors[r.Intn(len(editors))]
+		book := xmltree.NewElement("book")
+		book.SetAttr("publisher", ed.publisher)
+		book.AppendChild(xmltree.TextElem("title",
+			fmt.Sprintf("%s %s Vol %d", pick(r, titleAdjectives), pick(r, titleNouns), i+1)))
+		for a := 0; a < 1+r.Intn(3); a++ {
+			book.AppendChild(xmltree.TextElem("author", pick(r, firstNames)+" "+pick(r, lastNames)))
+		}
+		book.AppendChild(xmltree.TextElem("editor", ed.name))
+		book.AppendChild(xmltree.TextElem("year", fmt.Sprintf("%d", 1985+r.Intn(21))))
+		book.AppendChild(xmltree.TextElem("price", fmt.Sprintf("%d.%02d", 20+r.Intn(90), r.Intn(100))))
+		if cfg.WithCovers {
+			book.AppendChild(xmltree.TextElem("cover", randomBlob(r, cfg.CoverBytes)))
+		}
+		root.AppendChild(book)
+	}
+	doc := xmltree.NewDocument()
+	doc.AppendChild(root)
+
+	s := schema.New("publications", "db")
+	db := s.Declare("db")
+	db.Children = []schema.ChildDecl{{Name: "book", MaxOccurs: schema.Unbounded}}
+	book := s.Declare("book")
+	book.Attrs = []schema.AttrDecl{{Name: "publisher", Required: true, Type: schema.TypeString}}
+	book.Children = []schema.ChildDecl{
+		{Name: "title", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "author", MinOccurs: 1, MaxOccurs: schema.Unbounded},
+		{Name: "editor", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "year", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "price", MinOccurs: 1, MaxOccurs: 1},
+	}
+	s.Declare("title").Type = schema.TypeString
+	s.Declare("author").Type = schema.TypeString
+	s.Declare("editor").Type = schema.TypeString
+	s.Declare("year").Type = schema.TypeInteger
+	s.Declare("price").Type = schema.TypeDecimal
+	targets := []string{"db/book/year", "db/book/price", "db/book/@publisher"}
+	if cfg.WithCovers {
+		book.Children = append(book.Children, schema.ChildDecl{Name: "cover", MinOccurs: 1, MaxOccurs: 1})
+		s.Declare("cover").Type = schema.TypeImage
+		targets = append(targets, "db/book/cover")
+	}
+
+	return &Dataset{
+		Name:   "publications",
+		Doc:    doc,
+		Schema: s,
+		Catalog: semantics.Catalog{
+			Keys: []semantics.Key{{Scope: "db/book", KeyPath: "title"}},
+			FDs:  []semantics.FD{{Scope: "db/book", Determinant: "editor", Dependent: "@publisher"}},
+		},
+		Targets: targets,
+		Templates: []string{
+			"db/book[title]/author",
+			"db/book[title]/year",
+			"db/book[title]/price",
+			"db/book[title]/@publisher",
+			"db/book[title]/editor",
+		},
+	}
+}
+
+// JobsConfig parameterizes the job-advertisement generator.
+type JobsConfig struct {
+	Jobs      int
+	Companies int
+	Seed      int64
+}
+
+// Jobs generates the introduction's motivating workload — a job agent's
+// advertisement feed:
+//
+//	<jobs>
+//	  <job><ref>…unique…</ref><title>…</title><company>…</company>
+//	       <city>…</city><salary>…</salary><experience>…</experience></job>*
+//	</jobs>
+//
+// Planted semantics: ref is the key of job; company → city is an FD
+// (each company hires in its home city), producing redundancy.
+func Jobs(cfg JobsConfig) *Dataset {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 100
+	}
+	if cfg.Companies <= 0 {
+		cfg.Companies = max(3, cfg.Jobs/10)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	type company struct{ name, city string }
+	companies := make([]company, cfg.Companies)
+	for i := range companies {
+		companies[i] = company{
+			name: pick(r, companyNames) + fmt.Sprintf(" %02d", i),
+			city: pick(r, cities),
+		}
+	}
+	root := xmltree.NewElement("jobs")
+	for i := 0; i < cfg.Jobs; i++ {
+		c := companies[r.Intn(len(companies))]
+		job := xmltree.NewElement("job")
+		job.AppendChild(xmltree.TextElem("ref", fmt.Sprintf("JOB-%05d", i+1)))
+		job.AppendChild(xmltree.TextElem("title", pick(r, jobTitles)))
+		job.AppendChild(xmltree.TextElem("company", c.name))
+		job.AppendChild(xmltree.TextElem("city", c.city))
+		job.AppendChild(xmltree.TextElem("salary", fmt.Sprintf("%d", 30000+100*r.Intn(1200))))
+		job.AppendChild(xmltree.TextElem("experience", fmt.Sprintf("%d", r.Intn(15))))
+		root.AppendChild(job)
+	}
+	doc := xmltree.NewDocument()
+	doc.AppendChild(root)
+
+	s := schema.New("jobs", "jobs")
+	jobs := s.Declare("jobs")
+	jobs.Children = []schema.ChildDecl{{Name: "job", MaxOccurs: schema.Unbounded}}
+	job := s.Declare("job")
+	job.Children = []schema.ChildDecl{
+		{Name: "ref", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "title", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "company", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "city", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "salary", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "experience", MinOccurs: 1, MaxOccurs: 1},
+	}
+	s.Declare("ref").Type = schema.TypeString
+	s.Declare("title").Type = schema.TypeString
+	s.Declare("company").Type = schema.TypeString
+	s.Declare("city").Type = schema.TypeString
+	s.Declare("salary").Type = schema.TypeInteger
+	s.Declare("experience").Type = schema.TypeInteger
+
+	return &Dataset{
+		Name:   "jobs",
+		Doc:    doc,
+		Schema: s,
+		Catalog: semantics.Catalog{
+			Keys: []semantics.Key{{Scope: "jobs/job", KeyPath: "ref"}},
+			FDs:  []semantics.FD{{Scope: "jobs/job", Determinant: "company", Dependent: "city"}},
+		},
+		Targets: []string{"jobs/job/salary", "jobs/job/experience", "jobs/job/city"},
+		Templates: []string{
+			"jobs/job[ref]/title",
+			"jobs/job[ref]/salary",
+			"jobs/job[ref]/company",
+			"jobs/job[ref]/city",
+		},
+	}
+}
+
+// LibraryConfig parameterizes the digital-library generator.
+type LibraryConfig struct {
+	Items      int
+	Categories int
+	Seed       int64
+	ThumbBytes int
+}
+
+// Library generates a commercial digital library ("a commercial digital
+// library also would need to safeguard its copyright over its collection
+// of knowledge information" — paper §1):
+//
+//	<library>
+//	  <item><isbn>…unique…</isbn><name>…</name><category>…</category>
+//	        <shelf>…</shelf><pages>…</pages><rating>…</rating>
+//	        <thumb>base64…</thumb></item>*
+//	</library>
+//
+// Planted semantics: isbn is the key; category → shelf is an FD (each
+// category lives on one shelf), producing redundancy. Thumbnails give
+// the binary/image watermark channel.
+func Library(cfg LibraryConfig) *Dataset {
+	if cfg.Items <= 0 {
+		cfg.Items = 100
+	}
+	if cfg.Categories <= 0 {
+		cfg.Categories = max(4, cfg.Items/12)
+	}
+	if cfg.ThumbBytes <= 0 {
+		cfg.ThumbBytes = 64
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	type cat struct{ name, shelf string }
+	cats := make([]cat, cfg.Categories)
+	for i := range cats {
+		cats[i] = cat{
+			name:  pick(r, categories) + fmt.Sprintf("-%02d", i),
+			shelf: fmt.Sprintf("S%d-%c", 1+r.Intn(9), 'A'+rune(r.Intn(6))),
+		}
+	}
+	root := xmltree.NewElement("library")
+	for i := 0; i < cfg.Items; i++ {
+		c := cats[r.Intn(len(cats))]
+		item := xmltree.NewElement("item")
+		item.AppendChild(xmltree.TextElem("isbn", fmt.Sprintf("978-0-%04d-%04d-%d", r.Intn(10000), i, r.Intn(10))))
+		item.AppendChild(xmltree.TextElem("name", fmt.Sprintf("%s %s #%d", pick(r, titleAdjectives), pick(r, titleNouns), i+1)))
+		item.AppendChild(xmltree.TextElem("category", c.name))
+		item.AppendChild(xmltree.TextElem("shelf", c.shelf))
+		item.AppendChild(xmltree.TextElem("pages", fmt.Sprintf("%d", 80+r.Intn(900))))
+		item.AppendChild(xmltree.TextElem("rating", fmt.Sprintf("%d.%d", 1+r.Intn(4), r.Intn(10))))
+		item.AppendChild(xmltree.TextElem("thumb", randomBlob(r, cfg.ThumbBytes)))
+		root.AppendChild(item)
+	}
+	doc := xmltree.NewDocument()
+	doc.AppendChild(root)
+
+	s := schema.New("library", "library")
+	lib := s.Declare("library")
+	lib.Children = []schema.ChildDecl{{Name: "item", MaxOccurs: schema.Unbounded}}
+	item := s.Declare("item")
+	item.Children = []schema.ChildDecl{
+		{Name: "isbn", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "name", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "category", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "shelf", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "pages", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "rating", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "thumb", MinOccurs: 1, MaxOccurs: 1},
+	}
+	s.Declare("isbn").Type = schema.TypeString
+	s.Declare("name").Type = schema.TypeString
+	s.Declare("category").Type = schema.TypeString
+	s.Declare("shelf").Type = schema.TypeString
+	s.Declare("pages").Type = schema.TypeInteger
+	s.Declare("rating").Type = schema.TypeDecimal
+	s.Declare("thumb").Type = schema.TypeImage
+
+	return &Dataset{
+		Name:   "library",
+		Doc:    doc,
+		Schema: s,
+		Catalog: semantics.Catalog{
+			Keys: []semantics.Key{{Scope: "library/item", KeyPath: "isbn"}},
+			FDs:  []semantics.FD{{Scope: "library/item", Determinant: "category", Dependent: "shelf"}},
+		},
+		// pages and rating are declared and can be targeted explicitly,
+		// but they are excluded from the default targets: their values
+		// are small (ratings ~4.0, page counts ~100), so the default
+		// xi=4 low-order perturbation would exceed the usability
+		// tolerance — the imperceptibility budget the paper's §2.1
+		// requires. The binary thumb channel and the FD-protected shelf
+		// field carry the mark losslessly.
+		Targets: []string{"library/item/thumb", "library/item/shelf"},
+		Templates: []string{
+			"library/item[isbn]/name",
+			"library/item[isbn]/pages",
+			"library/item[isbn]/rating",
+			"library/item[isbn]/category",
+			"library/item[isbn]/shelf",
+		},
+	}
+}
+
+// NestedConfig parameterizes the nested-catalog generator.
+type NestedConfig struct {
+	Publishers int
+	Books      int // total books, distributed over publishers
+	Seed       int64
+}
+
+// NestedPublications generates a catalog that is *already* hierarchical —
+// the db2-style layout of the paper's figure 1(b):
+//
+//	<catalog>
+//	  <publisher name="...">
+//	    <book><title>…unique…</title><year>…</year><price>…</price></book>*
+//	  </publisher>*
+//	</catalog>
+//
+// It exercises multi-level scopes ("catalog/publisher/book") through the
+// whole pipeline: identity queries, usability templates and semantics
+// all address records nested two levels deep.
+func NestedPublications(cfg NestedConfig) *Dataset {
+	if cfg.Books <= 0 {
+		cfg.Books = 100
+	}
+	if cfg.Publishers <= 0 {
+		cfg.Publishers = max(2, cfg.Books/30)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	root := xmltree.NewElement("catalog")
+	pubs := make([]*xmltree.Node, cfg.Publishers)
+	for i := range pubs {
+		p := xmltree.NewElement("publisher")
+		p.SetAttr("name", pick(r, publisherNames)+fmt.Sprintf("-%02d", i))
+		root.AppendChild(p)
+		pubs[i] = p
+	}
+	for i := 0; i < cfg.Books; i++ {
+		book := xmltree.NewElement("book")
+		book.AppendChild(xmltree.TextElem("title",
+			fmt.Sprintf("%s %s Vol %d", pick(r, titleAdjectives), pick(r, titleNouns), i+1)))
+		book.AppendChild(xmltree.TextElem("year", fmt.Sprintf("%d", 1985+r.Intn(21))))
+		book.AppendChild(xmltree.TextElem("price", fmt.Sprintf("%d.%02d", 20+r.Intn(90), r.Intn(100))))
+		pubs[r.Intn(len(pubs))].AppendChild(book)
+	}
+	doc := xmltree.NewDocument()
+	doc.AppendChild(root)
+
+	s := schema.New("nested", "catalog")
+	cat := s.Declare("catalog")
+	cat.Children = []schema.ChildDecl{{Name: "publisher", MaxOccurs: schema.Unbounded}}
+	pub := s.Declare("publisher")
+	pub.Attrs = []schema.AttrDecl{{Name: "name", Required: true, Type: schema.TypeString}}
+	pub.Children = []schema.ChildDecl{{Name: "book", MaxOccurs: schema.Unbounded}}
+	book := s.Declare("book")
+	book.Children = []schema.ChildDecl{
+		{Name: "title", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "year", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "price", MinOccurs: 1, MaxOccurs: 1},
+	}
+	s.Declare("title").Type = schema.TypeString
+	s.Declare("year").Type = schema.TypeInteger
+	s.Declare("price").Type = schema.TypeDecimal
+
+	return &Dataset{
+		Name:   "nested",
+		Doc:    doc,
+		Schema: s,
+		Catalog: semantics.Catalog{
+			Keys: []semantics.Key{{Scope: "catalog/publisher/book", KeyPath: "title"}},
+		},
+		Targets: []string{"catalog/publisher/book/year", "catalog/publisher/book/price"},
+		Templates: []string{
+			"catalog/publisher/book[title]/year",
+			"catalog/publisher/book[title]/price",
+			"catalog/publisher[@name]/book/title",
+		},
+	}
+}
+
+// Figure1DB1 returns the paper's figure 1(a) document db1.xml, verbatim
+// modulo whitespace (with a second mkp book added to make the
+// editor → publisher redundancy visible, as in figure 1(b)).
+func Figure1DB1() *xmltree.Node {
+	return xmltree.MustParseString(`<db>
+  <book publisher="mkp">
+    <title>Readings in Database Systems</title>
+    <author>Stonebraker</author>
+    <author>Hellerstein</author>
+    <editor>Harrypotter</editor>
+    <year>1998</year>
+  </book>
+  <book publisher="acm">
+    <title>Database Design</title>
+    <author>Berstein</author>
+    <author>Newcomer</author>
+    <editor>Gamer</editor>
+    <year>1998</year>
+  </book>
+  <book publisher="mkp">
+    <title>XML Query Processing</title>
+    <author>Stonebraker</author>
+    <editor>Harrypotter</editor>
+    <year>2001</year>
+  </book>
+</db>`)
+}
+
+func randomBlob(r *rand.Rand, n int) string {
+	raw := make([]byte, n)
+	r.Read(raw)
+	return base64.StdEncoding.EncodeToString(raw)
+}
+
+func pick(r *rand.Rand, list []string) string { return list[r.Intn(len(list))] }
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var (
+	publisherNames  = []string{"mkp", "acm", "ieee", "springer", "elsevier", "wiley", "oreilly", "addison"}
+	firstNames      = []string{"Michael", "Jennifer", "David", "Maria", "James", "Linda", "Robert", "Susan", "Wei", "Xuan", "Kian", "Dhruv", "Hwee", "Elena", "Omar", "Priya"}
+	lastNames       = []string{"Stonebraker", "Hellerstein", "Gray", "Codd", "Tan", "Zhou", "Pang", "Mangla", "Kim", "Garcia", "Mueller", "Ivanov", "Tanaka", "Okafor", "Silva", "Novak"}
+	titleAdjectives = []string{"Readings in", "Principles of", "Advanced", "Foundations of", "Practical", "Modern", "Distributed", "Scalable", "Secure", "Adaptive"}
+	titleNouns      = []string{"Database Systems", "Query Processing", "Data Integration", "Transaction Management", "Information Retrieval", "Stream Processing", "Data Mining", "Storage Engines", "Access Control", "Semi-structured Data"}
+	companyNames    = []string{"Acme Analytics", "Borealis Systems", "Cascade Software", "DataSpring", "Evergreen Tech", "Fjord Computing", "Granite Labs", "Harbor Digital"}
+	cities          = []string{"Singapore", "Trondheim", "Hanover", "Zurich", "Austin", "Seattle", "Tokyo", "Sydney", "Toronto", "Dublin"}
+	jobTitles       = []string{"Database Engineer", "Systems Analyst", "Data Architect", "Backend Developer", "Site Reliability Engineer", "Research Scientist", "QA Engineer", "Product Manager"}
+	categories      = []string{"databases", "security", "networks", "algorithms", "compilers", "graphics", "systems", "theory"}
+)

@@ -1,0 +1,171 @@
+package datagen
+
+import (
+	"testing"
+
+	"wmxml/internal/semantics"
+	"wmxml/internal/xmltree"
+)
+
+func TestPublicationsDeterministic(t *testing.T) {
+	a := Publications(PubConfig{Books: 30, Seed: 7})
+	b := Publications(PubConfig{Books: 30, Seed: 7})
+	if !xmltree.Equal(a.Doc, b.Doc, xmltree.CompareOptions{}) {
+		t.Errorf("same seed produced different documents")
+	}
+	c := Publications(PubConfig{Books: 30, Seed: 8})
+	if xmltree.Equal(a.Doc, c.Doc, xmltree.CompareOptions{}) {
+		t.Errorf("different seeds produced identical documents")
+	}
+}
+
+func TestPublicationsSemanticsHold(t *testing.T) {
+	ds := Publications(PubConfig{Books: 200, Editors: 20, Publishers: 5, Seed: 3})
+	keyReps, fdReps, err := ds.Catalog.Verify(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range keyReps {
+		if !r.OK() {
+			t.Errorf("planted key violated: %+v", r)
+		}
+	}
+	for _, r := range fdReps {
+		if !r.OK() {
+			t.Errorf("planted FD violated: %+v", r.Violations)
+		}
+		if r.DupMembers == 0 {
+			t.Errorf("FD has no redundancy: %+v", r)
+		}
+	}
+}
+
+func TestPublicationsValidatesAgainstSchema(t *testing.T) {
+	ds := Publications(PubConfig{Books: 50, Seed: 1, WithCovers: true})
+	if vs := ds.Schema.Validate(ds.Doc); len(vs) != 0 {
+		t.Errorf("generated document invalid: %v", vs[:min(3, len(vs))])
+	}
+	// Covers present and base64.
+	covers := 0
+	xmltree.WalkElements(ds.Doc, func(e *xmltree.Node) {
+		if e.Name == "cover" {
+			covers++
+		}
+	})
+	if covers != 50 {
+		t.Errorf("covers = %d", covers)
+	}
+}
+
+func TestJobsDataset(t *testing.T) {
+	ds := Jobs(JobsConfig{Jobs: 120, Companies: 10, Seed: 11})
+	if vs := ds.Schema.Validate(ds.Doc); len(vs) != 0 {
+		t.Fatalf("jobs document invalid: %v", vs[:min(3, len(vs))])
+	}
+	keyReps, fdReps, err := ds.Catalog.Verify(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keyReps[0].OK() {
+		t.Errorf("ref key violated")
+	}
+	if !fdReps[0].OK() || fdReps[0].DupMembers == 0 {
+		t.Errorf("company->city FD: %+v", fdReps[0])
+	}
+	if keyReps[0].Instances != 120 {
+		t.Errorf("instances = %d", keyReps[0].Instances)
+	}
+}
+
+func TestLibraryDataset(t *testing.T) {
+	ds := Library(LibraryConfig{Items: 80, Categories: 8, Seed: 5})
+	if vs := ds.Schema.Validate(ds.Doc); len(vs) != 0 {
+		t.Fatalf("library document invalid: %v", vs[:min(3, len(vs))])
+	}
+	keyReps, fdReps, err := ds.Catalog.Verify(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keyReps[0].OK() {
+		t.Errorf("isbn key violated: %+v", keyReps[0])
+	}
+	if !fdReps[0].OK() || fdReps[0].DupMembers == 0 {
+		t.Errorf("category->shelf FD: %+v", fdReps[0])
+	}
+}
+
+func TestDatasetClone(t *testing.T) {
+	ds := Jobs(JobsConfig{Jobs: 10, Seed: 2})
+	cp := ds.Clone()
+	cp.Doc.Root().Children[0].Detach()
+	if len(ds.Doc.Root().Children) != 10 {
+		t.Errorf("clone mutation leaked into original")
+	}
+}
+
+func TestFigure1DB1(t *testing.T) {
+	doc := Figure1DB1()
+	books := doc.Root().ChildElementsNamed("book")
+	if len(books) != 3 {
+		t.Fatalf("books = %d", len(books))
+	}
+	// The paper's FD: editor -> publisher.
+	rep, err := semantics.VerifyFD(doc, semantics.FD{
+		Scope: "db/book", Determinant: "editor", Dependent: "@publisher"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.DupMembers != 2 {
+		t.Errorf("figure-1 FD: %+v", rep)
+	}
+	// The paper's key: title.
+	krep, err := semantics.VerifyKey(doc, semantics.Key{Scope: "db/book", KeyPath: "title"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !krep.OK() {
+		t.Errorf("figure-1 key: %+v", krep)
+	}
+}
+
+func TestNestedPublications(t *testing.T) {
+	ds := NestedPublications(NestedConfig{Books: 90, Publishers: 5, Seed: 3})
+	if vs := ds.Schema.Validate(ds.Doc); len(vs) != 0 {
+		t.Fatalf("nested document invalid: %v", vs[:min(3, len(vs))])
+	}
+	keyReps, _, err := ds.Catalog.Verify(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !keyReps[0].OK() {
+		t.Errorf("nested title key violated: %+v", keyReps[0])
+	}
+	if keyReps[0].Instances != 90 {
+		t.Errorf("instances = %d, want 90 across all publishers", keyReps[0].Instances)
+	}
+	if got := len(ds.Doc.Root().ChildElementsNamed("publisher")); got != 5 {
+		t.Errorf("publishers = %d", got)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	ds := Publications(PubConfig{})
+	if n := len(ds.Doc.Root().Children); n != 100 {
+		t.Errorf("default books = %d", n)
+	}
+	ds2 := Jobs(JobsConfig{})
+	if n := len(ds2.Doc.Root().Children); n != 100 {
+		t.Errorf("default jobs = %d", n)
+	}
+	ds3 := Library(LibraryConfig{})
+	if n := len(ds3.Doc.Root().Children); n != 100 {
+		t.Errorf("default items = %d", n)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

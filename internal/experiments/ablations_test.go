@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestA1ChannelComparisonShape(t *testing.T) {
+	tab, err := A1ChannelComparison(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string][]string)
+	for _, r := range tab.Rows {
+		rows[r[0]+"/"+r[1]] = r
+	}
+	det := colIndex(t, tab, "detected")
+
+	expect := map[string]string{
+		"value/none":                  "yes",
+		"value/reorder":               "yes",
+		"value/value-alteration(0.3)": "yes",
+		"value/reorganize":            "yes",
+		"structure/none":              "yes",
+		"structure/reorder":           "no", // the channel's defining weakness
+		"structure/reorganize":        "yes",
+	}
+	for key, want := range expect {
+		r, ok := rows[key]
+		if !ok {
+			t.Errorf("missing row %q", key)
+			continue
+		}
+		if r[det] != want {
+			t.Errorf("%s detected = %s, want %s (row %v)", key, r[det], want, r)
+		}
+	}
+	// Structure under value alteration: authors get altered too, so the
+	// match may degrade; just require the row exists.
+	if _, ok := rows["structure/value-alteration(0.3)"]; !ok {
+		t.Errorf("missing structure/value-alteration row")
+	}
+}
+
+func TestA2TauSweepShape(t *testing.T) {
+	tab, err := A2TauSweep(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := colIndex(t, tab, "true_positive")
+	fp := colIndex(t, tab, "worst_wrong_key_fp")
+	// At the default tau (0.85, row index 3) the real mark is found and
+	// no wrong key passes.
+	found := false
+	for _, r := range tab.Rows {
+		if r[0] == "0.850" {
+			found = true
+			if r[tp] != "yes" {
+				t.Errorf("tau 0.85 misses the true positive: %v", r)
+			}
+			if r[fp] != "no" {
+				t.Errorf("tau 0.85 admits a wrong key: %v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no tau=0.85 row")
+	}
+	// Monotonicity: once tp is "no" it stays "no" as tau rises.
+	sawNo := false
+	for _, r := range tab.Rows {
+		if r[tp] == "no" {
+			sawNo = true
+		} else if sawNo {
+			t.Errorf("true_positive non-monotone in tau")
+		}
+	}
+}
+
+func TestA3XiBitFlipShape(t *testing.T) {
+	tab, err := A3XiBitFlip(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := colIndex(t, tab, "detected")
+	usab := colIndex(t, tab, "usability")
+	match := colIndex(t, tab, "match")
+	byKey := make(map[string][]string)
+	for _, r := range tab.Rows {
+		byKey[r[0]+"/xi"+r[1]+"/b"+r[2]] = r
+	}
+	// Numeric-only, xi=1, flipping 1 bit erases everything.
+	r1 := byKey["numeric-only/xi1/b1"]
+	if r1 == nil {
+		t.Fatal("missing numeric-only xi1 b1 row")
+	}
+	if r1[det] != "no" {
+		t.Errorf("numeric-only xi=1 survived 1-bit flip: %v", r1)
+	}
+	if m, _ := strconv.ParseFloat(r1[match], 64); m > 0.8 {
+		t.Errorf("numeric-only xi=1 b=1 match = %s, should be near chance", r1[match])
+	}
+	// Numeric-only, xi=4, 1-bit flip: only 1/4 of carriers corrupted →
+	// majority voting holds.
+	r2 := byKey["numeric-only/xi4/b1"]
+	if r2 == nil || r2[det] != "yes" {
+		t.Errorf("numeric-only xi=4 should survive 1-bit flip: %v", r2)
+	}
+	// Numeric-only, full-depth flip: erased, and usability unharmed —
+	// the documented LSB limitation (the attack is free).
+	r3 := byKey["numeric-only/xi4/b4"]
+	if r3 == nil || r3[det] != "no" {
+		t.Errorf("numeric-only xi=4 should die under 4-bit flip: %v", r3)
+	}
+	if u, _ := strconv.ParseFloat(r3[usab], 64); u < 0.95 {
+		t.Errorf("bit-flip damaged usability (%.2f); it should be nearly free", u)
+	}
+	// String-channel marks are untouched by numeric flips at any depth.
+	r4 := byKey["string-only/xi4/b4"]
+	if r4 == nil || r4[det] != "yes" {
+		t.Errorf("string-only mark should survive deep numeric flip: %v", r4)
+	}
+	if m, _ := strconv.ParseFloat(r4[match], 64); m != 1.0 {
+		t.Errorf("string-only match = %s, want 1.0", r4[match])
+	}
+}
+
+func TestAblationsRunAll(t *testing.T) {
+	tabs, err := Ablations(Params{Books: 80, Trials: 2, MarkBits: 24, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 3 {
+		t.Fatalf("tables = %d", len(tabs))
+	}
+	ids := []string{"A1", "A2", "A3"}
+	for i, tab := range tabs {
+		if tab.ID != ids[i] {
+			t.Errorf("table %d = %s", i, tab.ID)
+		}
+	}
+}
+
+func TestS1ScalabilityShape(t *testing.T) {
+	tab, err := S1Scalability(Params{Books: 100, MarkBits: 24, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	elems := colIndex(t, tab, "elements")
+	// Element counts grow with the size column.
+	prev := 0.0
+	for i := range tab.Rows {
+		e := cell(t, tab, i, elems)
+		if e <= prev {
+			t.Errorf("elements not increasing at row %d", i)
+		}
+		prev = e
+	}
+	// All timing cells are non-negative numbers.
+	for _, col := range []string{"parse_ms", "embed_ms", "detect_ms", "blind_ms", "reorg_ms"} {
+		ci := colIndex(t, tab, col)
+		for i := range tab.Rows {
+			if cell(t, tab, i, ci) < 0 {
+				t.Errorf("negative timing in %s row %d", col, i)
+			}
+		}
+	}
+}

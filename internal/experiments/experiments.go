@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wmxml/internal/core"
+	"wmxml/internal/datagen"
+	"wmxml/internal/identity"
+	"wmxml/internal/rewrite"
+	"wmxml/internal/usability"
+	"wmxml/internal/wmark"
+)
+
+// Params scales every experiment. The zero value gets sensible defaults.
+type Params struct {
+	// Books is the size of the publications dataset (default 400).
+	Books int
+	// Trials per sweep point for randomized attacks (default 10).
+	Trials int
+	// MarkBits is the watermark length (default 64).
+	MarkBits int
+	// Seed fixes dataset and attack randomness (default 2005, the
+	// paper's vintage).
+	Seed int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Books == 0 {
+		p.Books = 400
+	}
+	if p.Trials == 0 {
+		p.Trials = 10
+	}
+	if p.MarkBits == 0 {
+		p.MarkBits = 64
+	}
+	if p.Seed == 0 {
+		p.Seed = 2005
+	}
+	return p
+}
+
+// setup bundles the shared fixtures of one experiment run.
+type setup struct {
+	p       Params
+	ds      *datagen.Dataset
+	cfg     core.Config
+	mapping rewrite.Mapping
+	meter   *usability.Meter
+}
+
+// newSetup builds the standard publications fixture: dataset, core
+// config, usability meter and the re-organization mapping extended to
+// cover all dataset fields (price included), so that rewriting is not
+// penalized by dropped fields.
+func newSetup(p Params) (*setup, error) {
+	p = p.withDefaults()
+	ds := datagen.Publications(datagen.PubConfig{
+		Books:      p.Books,
+		Editors:    max(6, p.Books/12),
+		Publishers: max(3, p.Books/80),
+		Seed:       p.Seed,
+	})
+	cfg := core.Config{
+		Key:      []byte("wmxml-experiment-key"),
+		Mark:     wmark.Random(fmt.Sprintf("wmxml-mark-%d", p.Seed), p.MarkBits),
+		Gamma:    4,
+		Xi:       4,
+		Schema:   ds.Schema,
+		Catalog:  ds.Catalog,
+		Identity: identity.Options{Targets: ds.Targets},
+	}
+	meter, err := usability.NewMeter(ds.Doc, ds.Templates, usability.Options{MaxProbes: 120})
+	if err != nil {
+		return nil, err
+	}
+	return &setup{p: p, ds: ds, cfg: cfg, mapping: pubMapping(), meter: meter}, nil
+}
+
+// pubMapping is the figure-1 re-organization extended with the price
+// field the synthetic dataset carries.
+func pubMapping() rewrite.Mapping { return rewrite.PublicationsMapping() }
+
+// All runs every experiment and returns the tables in report order.
+func All(p Params) ([]*Table, error) {
+	runs := []func(Params) (*Table, error){
+		E1Capacity,
+		E2Alteration,
+		E3Reduction,
+		E4Reorganization,
+		E5RedundancyRemoval,
+		E6RewriteFidelity,
+		E7Frontier,
+		E8FalsePositive,
+		F1InfoPreservation,
+	}
+	var out []*Table
+	for _, run := range runs {
+		t, err := run(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,500 @@
+// Package identity constructs the identity queries at the heart of WmXML
+// (paper §2.2–2.3).
+//
+// A watermark carrier must be addressable by something that survives
+// re-organization, alteration and redundancy removal. WmXML's answer is a
+// *query* built from the document's semantics:
+//
+//   - Keys differentiate instances (challenge A): the year of a book is
+//     identified as db/book[title='Readings …']/year, not as "the 5th
+//     child of the 1st book".
+//   - Functional dependencies canonicalize redundancy (challenge C): with
+//     editor → publisher, every publisher value in an editor's group is
+//     the *same* logical datum, so the whole group shares one identity —
+//     db/book[editor='Harrypotter']/@publisher — and therefore carries
+//     the same watermark bit at the same position. Making the duplicates
+//     identical (the redundancy-removal attack) then changes nothing.
+//
+// The package enumerates the document's watermark bandwidth as a list of
+// Units: each Unit has a canonical identity string (the HMAC input for
+// keyed selection), an identity query (what the user safeguards in Q),
+// the physical items the unit currently resolves to, and the value type
+// (which picks the embedding plug-in).
+package identity
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wmxml/internal/schema"
+	"wmxml/internal/semantics"
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+// Mode selects how identities are constructed.
+type Mode uint8
+
+const (
+	// ModeSemantic builds identities from keys and FDs (the WmXML
+	// scheme).
+	ModeSemantic Mode = iota
+	// ModePositional builds identities from positional paths (the naive
+	// scheme the paper argues against; kept as an ablation baseline for
+	// the re-organization experiment).
+	ModePositional
+)
+
+// Options configures identity construction.
+type Options struct {
+	// Targets are the value fields carrying watermark bandwidth, as name
+	// paths like "db/book/year" or "db/book/@publisher" (paper: the user
+	// "specify[s] the data elements with watermark capacity"). Empty
+	// means: every typed leaf field under a keyed scope, minus key and
+	// text-type fields used as keys.
+	Targets []string
+	// Mode selects semantic or positional identity construction.
+	Mode Mode
+	// DisableFDs turns off FD canonicalization (the E5 ablation: without
+	// it, redundancy removal erases the mark).
+	DisableFDs bool
+}
+
+// Unit is one unit of watermark bandwidth: a logical value with a
+// persistent identity. A Unit may resolve to several physical items when
+// an FD makes them duplicates of one another.
+type Unit struct {
+	// ID is the canonical identity string — the input to the keyed
+	// selection HMACs. It must be stable across document re-organization
+	// (it is derived from semantics, not structure).
+	ID string
+	// Query is the identity query addressing the unit's items.
+	Query *xpath.Query
+	// Items are the physical values currently backing the unit, resolved
+	// against the document the unit was enumerated from.
+	Items []xpath.Item
+	// Type is the declared value type, selecting the embedding plug-in.
+	Type schema.DataType
+	// Scope, Field describe the unit's location (name path of the keyed
+	// instance set and the relative field path).
+	Scope, Field string
+	// SelRel is the relative path whose value forms the query predicate
+	// (the key path, the FD determinant, or the field itself for
+	// determinant units). Empty for positional units.
+	SelRel string
+	// GroupValue is the FD grouping value when the unit is an FD
+	// canonical group ("" otherwise).
+	GroupValue string
+}
+
+// Instance returns the scope instance element owning the i-th item.
+func (u Unit) Instance(i int) *xmltree.Node {
+	if i < 0 || i >= len(u.Items) {
+		return nil
+	}
+	it := u.Items[i]
+	if it.IsAttr() {
+		return it.Node
+	}
+	return it.Node.Parent
+}
+
+// Rebuild regenerates the unit's identity query from the *current* state
+// of the document. The encoder calls this after embedding: marking a
+// value that also serves as a selector (an FD determinant marked through
+// a det-unit) changes the predicate value, and the paper's workflow
+// generates Q after insertion ("the encoder embeds the watermark into
+// the data and generates a set of identifying queries").
+func (u Unit) Rebuild() (*xpath.Query, error) {
+	if u.SelRel == "" {
+		return u.Query, nil // positional units: structure unchanged by embedding
+	}
+	inst := u.Instance(0)
+	if inst == nil {
+		return nil, fmt.Errorf("identity: unit %q has no instance", u.ID)
+	}
+	selQ, err := xpath.Compile(u.SelRel)
+	if err != nil {
+		return nil, err
+	}
+	it, ok := selQ.SelectFirst(inst)
+	if !ok {
+		return nil, fmt.Errorf("identity: selector %q missing on instance of %q", u.SelRel, u.ID)
+	}
+	return buildIdentityQuery(u.Scope, u.SelRel, it.Value(), u.Field)
+}
+
+// Target is a parsed target field.
+type Target struct {
+	// Scope is the name path of the instance set, e.g. "db/book".
+	Scope string
+	// Field is the relative field path, e.g. "year" or "@publisher".
+	Field string
+	// Type is the field's declared value type.
+	Type schema.DataType
+}
+
+// String renders the target as a name path.
+func (t Target) String() string { return t.Scope + "/" + t.Field }
+
+// Report describes the outcome of bandwidth enumeration, for the
+// capacity experiment (E1) and for user diagnostics.
+type Report struct {
+	Targets []Target
+	// Units is the usable bandwidth in units.
+	Units int
+	// FDGroups counts units that aggregate >= 2 physical items.
+	FDGroups int
+	// PhysicalItems counts all physical value items covered by units.
+	PhysicalItems int
+	// Skipped counts identifiable problems: instances without key values,
+	// values not embeddable, quoting conflicts.
+	Skipped map[string]int
+}
+
+// Builder enumerates watermark bandwidth for documents of one schema.
+type Builder struct {
+	schema  *schema.Schema
+	catalog semantics.Catalog
+	opts    Options
+}
+
+// NewBuilder creates a Builder. The schema provides structure and types;
+// the catalog provides keys and FDs; opts selects targets and mode.
+func NewBuilder(s *schema.Schema, cat semantics.Catalog, opts Options) *Builder {
+	return &Builder{schema: s, catalog: cat, opts: opts}
+}
+
+// ResolveTargets determines the target fields: either parsing the
+// configured ones or auto-deriving all usable fields.
+func (b *Builder) ResolveTargets() ([]Target, error) {
+	if len(b.opts.Targets) > 0 {
+		out := make([]Target, 0, len(b.opts.Targets))
+		for _, t := range b.opts.Targets {
+			tgt, err := b.parseTarget(t)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tgt)
+		}
+		return out, nil
+	}
+	return b.autoTargets()
+}
+
+func (b *Builder) parseTarget(t string) (Target, error) {
+	t = strings.TrimPrefix(strings.TrimSpace(t), "/")
+	i := strings.LastIndexByte(t, '/')
+	if i <= 0 {
+		return Target{}, fmt.Errorf("identity: target %q must be scope/field", t)
+	}
+	scope, field := t[:i], t[i+1:]
+	typ, err := b.fieldType(scope, field)
+	if err != nil {
+		return Target{}, err
+	}
+	return Target{Scope: scope, Field: field, Type: typ}, nil
+}
+
+// fieldType resolves the declared type of a field under a scope.
+func (b *Builder) fieldType(scope, field string) (schema.DataType, error) {
+	segs := strings.Split(scope, "/")
+	scopeElem := segs[len(segs)-1]
+	decl := b.schema.Element(scopeElem)
+	if decl == nil {
+		return schema.TypeNone, fmt.Errorf("identity: scope element %q not in schema", scopeElem)
+	}
+	if strings.HasPrefix(field, "@") {
+		ad, ok := decl.Attr(field[1:])
+		if !ok {
+			return schema.TypeNone, fmt.Errorf("identity: attribute %q not declared on %q", field, scopeElem)
+		}
+		return ad.Type, nil
+	}
+	if _, ok := decl.Child(field); !ok {
+		return schema.TypeNone, fmt.Errorf("identity: element %q not declared under %q", field, scopeElem)
+	}
+	fd := b.schema.Element(field)
+	if fd == nil {
+		return schema.TypeNone, fmt.Errorf("identity: element %q not in schema", field)
+	}
+	if !fd.IsLeaf() {
+		return schema.TypeNone, fmt.Errorf("identity: element %q is not a leaf", field)
+	}
+	return fd.Type, nil
+}
+
+// autoTargets derives targets from the schema: for every keyed scope,
+// every single-valued leaf child and attribute with a usable type,
+// except the key field itself.
+func (b *Builder) autoTargets() ([]Target, error) {
+	var out []Target
+	for _, key := range b.catalog.Keys {
+		segs := strings.Split(key.Scope, "/")
+		decl := b.schema.Element(segs[len(segs)-1])
+		if decl == nil {
+			continue
+		}
+		for _, cd := range decl.Children {
+			child := b.schema.Element(cd.Name)
+			if child == nil || !child.IsLeaf() || child.Type == schema.TypeNone {
+				continue
+			}
+			if cd.Name == key.KeyPath {
+				continue // never mark the key: it is the identifier
+			}
+			if cd.MaxOccurs != 1 {
+				continue // multi-valued children are not uniquely addressable by the key alone
+			}
+			out = append(out, Target{Scope: key.Scope, Field: cd.Name, Type: child.Type})
+		}
+		for _, ad := range decl.Attrs {
+			if "@"+ad.Name == key.KeyPath {
+				continue
+			}
+			out = append(out, Target{Scope: key.Scope, Field: "@" + ad.Name, Type: ad.Type})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}
+
+// Units enumerates the watermark bandwidth of a document.
+func (b *Builder) Units(doc *xmltree.Node) ([]Unit, Report, error) {
+	rep := Report{Skipped: make(map[string]int)}
+	targets, err := b.ResolveTargets()
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Targets = targets
+	var units []Unit
+	for _, tgt := range targets {
+		var tu []Unit
+		var err error
+		if b.opts.Mode == ModePositional {
+			tu, err = b.positionalUnits(doc, tgt, &rep)
+		} else {
+			tu, err = b.semanticUnits(doc, tgt, &rep)
+		}
+		if err != nil {
+			return nil, rep, err
+		}
+		units = append(units, tu...)
+	}
+	rep.Units = len(units)
+	for _, u := range units {
+		rep.PhysicalItems += len(u.Items)
+		if len(u.Items) >= 2 {
+			rep.FDGroups++
+		}
+	}
+	return units, rep, nil
+}
+
+// semanticUnits builds key/FD-based units for one target.
+func (b *Builder) semanticUnits(doc *xmltree.Node, tgt Target, rep *Report) ([]Unit, error) {
+	key, ok := b.catalog.KeyFor(tgt.Scope)
+	if !ok {
+		rep.Skipped["no key for scope "+tgt.Scope] += 1
+		return nil, nil
+	}
+	insts, err := semantics.Instances(doc, tgt.Scope)
+	if err != nil {
+		return nil, err
+	}
+	keyQ, err := xpath.Compile(key.KeyPath)
+	if err != nil {
+		return nil, fmt.Errorf("identity: key path %q: %w", key.KeyPath, err)
+	}
+	fieldQ, err := xpath.Compile(tgt.Field)
+	if err != nil {
+		return nil, fmt.Errorf("identity: field %q: %w", tgt.Field, err)
+	}
+
+	// Determine the FD treatment of this field within the scope.
+	var groupRel string // relative path whose value groups duplicates
+	groupSelf := false
+	if !b.opts.DisableFDs {
+		for _, fd := range b.catalog.FDsFor(tgt.Scope) {
+			if fd.Dependent == tgt.Field {
+				groupRel = fd.Determinant
+				break
+			}
+			if fd.Determinant == tgt.Field {
+				groupRel = tgt.Field
+				groupSelf = true
+				break
+			}
+		}
+	}
+
+	if groupRel != "" {
+		return b.fdUnits(insts, tgt, groupRel, groupSelf, fieldQ, rep)
+	}
+
+	var units []Unit
+	for _, inst := range insts {
+		kv, ok := keyQ.SelectFirst(inst)
+		if !ok || strings.TrimSpace(kv.Value()) == "" {
+			rep.Skipped["missing key value"]++
+			continue
+		}
+		item, ok := fieldQ.SelectFirst(inst)
+		if !ok {
+			rep.Skipped["missing field "+tgt.Field]++
+			continue
+		}
+		q, err := buildIdentityQuery(tgt.Scope, key.KeyPath, kv.Value(), tgt.Field)
+		if err != nil {
+			rep.Skipped["unquotable value"]++
+			continue
+		}
+		units = append(units, Unit{
+			ID:     canonicalID("key", tgt.Scope, tgt.Field, kv.Value()),
+			Query:  q,
+			Items:  []xpath.Item{item},
+			Type:   tgt.Type,
+			Scope:  tgt.Scope,
+			Field:  tgt.Field,
+			SelRel: key.KeyPath,
+		})
+	}
+	return units, nil
+}
+
+// fdUnits groups instances by the grouping value and emits one unit per
+// group.
+func (b *Builder) fdUnits(insts []*xmltree.Node, tgt Target, groupRel string, groupSelf bool, fieldQ *xpath.Query, rep *Report) ([]Unit, error) {
+	groupQ, err := xpath.Compile(groupRel)
+	if err != nil {
+		return nil, fmt.Errorf("identity: group path %q: %w", groupRel, err)
+	}
+	groups := make(map[string][]xpath.Item)
+	for _, inst := range insts {
+		gvItem, ok := groupQ.SelectFirst(inst)
+		if !ok || strings.TrimSpace(gvItem.Value()) == "" {
+			rep.Skipped["missing group value"]++
+			continue
+		}
+		item, ok := fieldQ.SelectFirst(inst)
+		if !ok {
+			rep.Skipped["missing field "+tgt.Field]++
+			continue
+		}
+		groups[gvItem.Value()] = append(groups[gvItem.Value()], item)
+	}
+	vals := make([]string, 0, len(groups))
+	for v := range groups {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	kind := "fd"
+	if groupSelf {
+		kind = "det"
+	}
+	var units []Unit
+	for _, v := range vals {
+		q, err := buildIdentityQuery(tgt.Scope, groupRel, v, tgt.Field)
+		if err != nil {
+			rep.Skipped["unquotable value"]++
+			continue
+		}
+		units = append(units, Unit{
+			ID:         canonicalID(kind, tgt.Scope, tgt.Field, v),
+			Query:      q,
+			Items:      groups[v],
+			Type:       tgt.Type,
+			Scope:      tgt.Scope,
+			Field:      tgt.Field,
+			SelRel:     groupRel,
+			GroupValue: v,
+		})
+	}
+	return units, nil
+}
+
+// positionalUnits builds ordinal-based units (ablation baseline).
+func (b *Builder) positionalUnits(doc *xmltree.Node, tgt Target, rep *Report) ([]Unit, error) {
+	insts, err := semantics.Instances(doc, tgt.Scope)
+	if err != nil {
+		return nil, err
+	}
+	fieldQ, err := xpath.Compile(tgt.Field)
+	if err != nil {
+		return nil, err
+	}
+	var units []Unit
+	for idx, inst := range insts {
+		item, ok := fieldQ.SelectFirst(inst)
+		if !ok {
+			rep.Skipped["missing field "+tgt.Field]++
+			continue
+		}
+		q, err := buildPositionalQuery(tgt.Scope, idx+1, tgt.Field)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, Unit{
+			ID:    canonicalID("pos", tgt.Scope, tgt.Field, fmt.Sprintf("%d", idx+1)),
+			Query: q,
+			Items: []xpath.Item{item},
+			Type:  tgt.Type,
+			Scope: tgt.Scope,
+			Field: tgt.Field,
+		})
+	}
+	return units, nil
+}
+
+// canonicalID builds the HMAC input. The separator bytes cannot occur in
+// name paths, so distinct (kind, scope, field, value) tuples cannot
+// collide.
+func canonicalID(kind, scope, field, value string) string {
+	return kind + "\x1f" + scope + "\x1f" + field + "\x1f" + value
+}
+
+// buildIdentityQuery constructs /scope[selRel='selValue']/field as an AST
+// (proper literal quoting included). It fails when the value contains
+// both quote characters — XPath 1.0 has no escaping.
+func buildIdentityQuery(scope, selRel, selValue, field string) (*xpath.Query, error) {
+	if strings.Contains(selValue, "'") && strings.Contains(selValue, `"`) {
+		return nil, fmt.Errorf("identity: value %q contains both quote kinds", selValue)
+	}
+	selPath, err := xpath.ParsePath(selRel)
+	if err != nil {
+		return nil, err
+	}
+	p, err := xpath.ParsePath("/" + scope)
+	if err != nil {
+		return nil, err
+	}
+	last := &p.Steps[len(p.Steps)-1]
+	last.Predicates = append(last.Predicates, xpath.Binary{
+		Op: "=",
+		L:  xpath.PathExpr{Path: selPath},
+		R:  xpath.String{Value: selValue},
+	})
+	fieldPath, err := xpath.ParsePath(field)
+	if err != nil {
+		return nil, err
+	}
+	p.Steps = append(p.Steps, fieldPath.Steps...)
+	return xpath.FromPath(p), nil
+}
+
+// buildPositionalQuery constructs /scope[ordinal]/field.
+func buildPositionalQuery(scope string, ordinal int, field string) (*xpath.Query, error) {
+	p, err := xpath.ParsePath("/" + scope)
+	if err != nil {
+		return nil, err
+	}
+	last := &p.Steps[len(p.Steps)-1]
+	last.Predicates = append(last.Predicates, xpath.Number{Value: float64(ordinal)})
+	fieldPath, err := xpath.ParsePath(field)
+	if err != nil {
+		return nil, err
+	}
+	p.Steps = append(p.Steps, fieldPath.Steps...)
+	return xpath.FromPath(p), nil
+}

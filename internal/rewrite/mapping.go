@@ -1,0 +1,336 @@
+// Package rewrite implements schema mappings, document re-organization
+// and query rewriting — the machinery behind the paper's figure 2:
+// detection queries are rewritten "according to the mappings between the
+// original schema and the new schema" so that identity queries keep
+// retrieving the same data elements after an adversary re-shreds the
+// document (figure 1's db1.xml → db2.xml).
+//
+// The mapping model is deliberately record-oriented: a document is viewed
+// as a bag of flat records (the instances of one scope, e.g. db/book,
+// with named fields), and a View describes how those records are laid
+// out as a tree — which fields become grouping levels, and where each
+// value lives (attribute, child element, or element text). A Mapping is
+// a pair of Views over the same record type. This captures the paper's
+// example exactly: db1.xml stores book records flat; db2.xml groups them
+// under publisher and nests values differently. Full Clio-style mapping
+// *discovery* (Yu–Popa [8]) is out of scope for the paper too — it cites
+// query rewriting as an external technique and notes the rewriter "still
+// needs human intervention"; supplying the Mapping is that intervention.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wmxml/internal/xmltree"
+)
+
+// LocKind says where a value lives relative to its element.
+type LocKind uint8
+
+const (
+	// LocAttr stores the value as an attribute of the element.
+	LocAttr LocKind = iota
+	// LocChild stores the value as the text of a child element.
+	LocChild
+	// LocText stores the value as the text of the element itself.
+	LocText
+)
+
+// Loc is a value location: kind plus the attribute/child name.
+type Loc struct {
+	Kind LocKind
+	Name string
+}
+
+// ParseLoc parses "attr:NAME", "child:NAME" or "text".
+func ParseLoc(s string) (Loc, error) {
+	switch {
+	case s == "text":
+		return Loc{Kind: LocText}, nil
+	case strings.HasPrefix(s, "attr:"):
+		n := s[len("attr:"):]
+		if n == "" {
+			return Loc{}, fmt.Errorf("rewrite: empty attribute name in %q", s)
+		}
+		return Loc{Kind: LocAttr, Name: n}, nil
+	case strings.HasPrefix(s, "child:"):
+		n := s[len("child:"):]
+		if n == "" {
+			return Loc{}, fmt.Errorf("rewrite: empty child name in %q", s)
+		}
+		return Loc{Kind: LocChild, Name: n}, nil
+	default:
+		return Loc{}, fmt.Errorf("rewrite: bad location %q (want attr:NAME, child:NAME or text)", s)
+	}
+}
+
+// String renders the location in the ParseLoc syntax.
+func (l Loc) String() string {
+	switch l.Kind {
+	case LocAttr:
+		return "attr:" + l.Name
+	case LocChild:
+		return "child:" + l.Name
+	default:
+		return "text"
+	}
+}
+
+// RelPath renders the location as an XPath step relative to its element:
+// "@name", "name" or ".".
+func (l Loc) RelPath() string {
+	switch l.Kind {
+	case LocAttr:
+		return "@" + l.Name
+	case LocChild:
+		return l.Name
+	default:
+		return "."
+	}
+}
+
+// read extracts the location's value from an element.
+func (l Loc) read(e *xmltree.Node) (string, bool) {
+	switch l.Kind {
+	case LocAttr:
+		return e.Attr(l.Name)
+	case LocChild:
+		c := e.FirstChildNamed(l.Name)
+		if c == nil {
+			return "", false
+		}
+		return c.Text(), true
+	default:
+		return e.Text(), true
+	}
+}
+
+// write stores a value at the location on an element.
+func (l Loc) write(e *xmltree.Node, v string) {
+	switch l.Kind {
+	case LocAttr:
+		e.SetAttr(l.Name, v)
+	case LocChild:
+		e.AppendChild(xmltree.TextElem(l.Name, v))
+	default:
+		e.PrependChild(xmltree.NewText(v))
+	}
+}
+
+// Level is one step of a View's hierarchy. Every level except the last
+// groups records by KeyField, carrying the group's value at KeyLoc; the
+// last level is the record element itself.
+type Level struct {
+	Element  string
+	KeyField string // empty only on the record (last) level and the root
+	KeyLoc   Loc
+}
+
+// FieldDef declares a record field stored at the record element.
+type FieldDef struct {
+	Name  string
+	Loc   Loc
+	Multi bool // multi-valued field (repeated child elements)
+}
+
+// View lays out records as a tree. Levels[0] is the document element;
+// the final level is the record element. Fields list the values stored
+// at the record element; fields used as KeyField of a level live at that
+// level instead.
+type View struct {
+	Levels []Level
+	Fields []FieldDef
+}
+
+// RecordPath returns the name path from the document element to the
+// record element, e.g. "db/book" or "db/publisher/editor/book".
+func (v View) RecordPath() string {
+	names := make([]string, len(v.Levels))
+	for i, l := range v.Levels {
+		names[i] = l.Element
+	}
+	return strings.Join(names, "/")
+}
+
+// fieldNames returns all field names carried by the view (grouping keys
+// + record fields), sorted.
+func (v View) fieldNames() []string {
+	set := make(map[string]bool)
+	for _, l := range v.Levels[:len(v.Levels)-1] {
+		if l.KeyField != "" {
+			set[l.KeyField] = true
+		}
+	}
+	for _, f := range v.Fields {
+		set[f.Name] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// fieldLevel locates a field: the level index where it lives (len-1 for
+// record fields) and its Loc. ok is false for unknown fields.
+func (v View) fieldLevel(name string) (level int, loc Loc, multi bool, ok bool) {
+	for i, l := range v.Levels {
+		if l.KeyField == name {
+			return i, l.KeyLoc, false, true
+		}
+	}
+	for _, f := range v.Fields {
+		if f.Name == name {
+			return len(v.Levels) - 1, f.Loc, f.Multi, true
+		}
+	}
+	return 0, Loc{}, false, false
+}
+
+// fieldByRelPath finds the field whose record-level location renders to
+// the given relative path (used to map query selectors back to fields).
+// Only record-level fields and the record level itself participate:
+// source queries address the *source* layout.
+func (v View) fieldByRelPath(rel string) (FieldDef, bool) {
+	for _, f := range v.Fields {
+		if f.Loc.RelPath() == rel {
+			return f, true
+		}
+	}
+	return FieldDef{}, false
+}
+
+// Validate checks structural sanity: at least one level, grouping levels
+// have key fields with usable locations, no duplicate field names, and
+// key fields don't collide with record fields.
+func (v View) Validate() error {
+	if len(v.Levels) == 0 {
+		return fmt.Errorf("rewrite: view has no levels")
+	}
+	for i, l := range v.Levels {
+		if l.Element == "" {
+			return fmt.Errorf("rewrite: level %d has no element name", i)
+		}
+		isLast := i == len(v.Levels)-1
+		if !isLast && i > 0 && l.KeyField == "" {
+			return fmt.Errorf("rewrite: grouping level %q needs a key field", l.Element)
+		}
+		if isLast && l.KeyField != "" {
+			return fmt.Errorf("rewrite: record level %q must not group", l.Element)
+		}
+		if l.KeyField != "" && l.KeyLoc.Kind == LocText && l.Element == "" {
+			return fmt.Errorf("rewrite: level %d: text key on unnamed element", i)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, l := range v.Levels {
+		if l.KeyField == "" {
+			continue
+		}
+		if seen[l.KeyField] {
+			return fmt.Errorf("rewrite: field %q used twice", l.KeyField)
+		}
+		seen[l.KeyField] = true
+	}
+	textFields := 0
+	for _, f := range v.Fields {
+		if seen[f.Name] {
+			return fmt.Errorf("rewrite: field %q used twice", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Loc.Kind == LocText {
+			if f.Multi {
+				return fmt.Errorf("rewrite: text field %q cannot be multi-valued", f.Name)
+			}
+			textFields++
+		}
+	}
+	if textFields > 1 {
+		return fmt.Errorf("rewrite: at most one text field per record")
+	}
+	return nil
+}
+
+// Mapping relates two layouts of the same record type.
+type Mapping struct {
+	Name   string
+	Source View
+	Target View
+}
+
+// Validate checks both views and their field compatibility: every target
+// field must exist in the source (the transformation cannot invent data).
+func (m Mapping) Validate() error {
+	if err := m.Source.Validate(); err != nil {
+		return fmt.Errorf("source view: %w", err)
+	}
+	if err := m.Target.Validate(); err != nil {
+		return fmt.Errorf("target view: %w", err)
+	}
+	src := make(map[string]bool)
+	for _, n := range m.Source.fieldNames() {
+		src[n] = true
+	}
+	for _, n := range m.Target.fieldNames() {
+		if !src[n] {
+			return fmt.Errorf("rewrite: target field %q not present in source", n)
+		}
+	}
+	return nil
+}
+
+// Invert swaps source and target. Useful for round-trip testing and for
+// transforming re-organized documents back.
+func (m Mapping) Invert() Mapping {
+	return Mapping{Name: m.Name + "-inverted", Source: m.Target, Target: m.Source}
+}
+
+// PublicationsMapping returns Figure1Mapping extended with the price
+// field carried by the synthetic publications dataset, so that
+// re-organization is lossless for that workload and every identity
+// query stays rewritable.
+func PublicationsMapping() Mapping {
+	m := Figure1Mapping()
+	price := FieldDef{Name: "price", Loc: Loc{Kind: LocChild, Name: "price"}}
+	m.Name = "figure1+price"
+	m.Source.Fields = append(m.Source.Fields, price)
+	m.Target.Fields = append(m.Target.Fields, price)
+	return m
+}
+
+// Figure1Mapping returns the mapping of the paper's figure 1: flat book
+// records (db1.xml) versus a publisher/editor-grouped layout in the
+// spirit of db2.xml. Re-organizing with this mapping also de-duplicates
+// the publisher values of the editor → publisher FD, exactly the effect
+// the paper warns about.
+func Figure1Mapping() Mapping {
+	return Mapping{
+		Name: "figure1",
+		Source: View{
+			Levels: []Level{{Element: "db"}, {Element: "book"}},
+			Fields: []FieldDef{
+				{Name: "publisher", Loc: Loc{Kind: LocAttr, Name: "publisher"}},
+				{Name: "title", Loc: Loc{Kind: LocChild, Name: "title"}},
+				{Name: "editor", Loc: Loc{Kind: LocChild, Name: "editor"}},
+				{Name: "year", Loc: Loc{Kind: LocChild, Name: "year"}},
+				{Name: "author", Loc: Loc{Kind: LocChild, Name: "author"}, Multi: true},
+			},
+		},
+		Target: View{
+			Levels: []Level{
+				{Element: "db"},
+				{Element: "publisher", KeyField: "publisher", KeyLoc: Loc{Kind: LocAttr, Name: "name"}},
+				{Element: "editor", KeyField: "editor", KeyLoc: Loc{Kind: LocAttr, Name: "name"}},
+				{Element: "book"},
+			},
+			Fields: []FieldDef{
+				{Name: "title", Loc: Loc{Kind: LocChild, Name: "title"}},
+				{Name: "year", Loc: Loc{Kind: LocChild, Name: "year"}},
+				{Name: "author", Loc: Loc{Kind: LocChild, Name: "author"}, Multi: true},
+			},
+		},
+	}
+}

@@ -1,0 +1,135 @@
+package rewrite
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wmxml/internal/datagen"
+	"wmxml/internal/xpath"
+)
+
+// TestQuickTransformPreservesRecords: for random dataset seeds, the
+// record bag is invariant under Transform (source → target → source).
+func TestQuickTransformPreservesRecords(t *testing.T) {
+	m := PublicationsMapping()
+	f := func(seed int64, size uint8) bool {
+		n := 10 + int(size)%120
+		ds := datagen.Publications(datagen.PubConfig{Books: n, Seed: seed})
+		r1, err := Extract(ds.Doc, m.Source)
+		if err != nil {
+			return false
+		}
+		db2, err := Transform(ds.Doc, m)
+		if err != nil {
+			return false
+		}
+		back, err := Transform(db2, m.Invert())
+		if err != nil {
+			return false
+		}
+		r2, err := Extract(back, m.Source)
+		if err != nil {
+			return false
+		}
+		return RecordsEqual(r1, r2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Errorf("transform round-trip property: %v", err)
+	}
+}
+
+// TestQuickRewritePreservesAnswers: for random books, the rewritten
+// key-lookup query answers identically on the transformed document.
+func TestQuickRewritePreservesAnswers(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 150, Seed: 71})
+	m := PublicationsMapping()
+	db2, err := Transform(ds.Doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := NewQueryRewriter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	books := ds.Doc.Root().ChildElementsNamed("book")
+	rr := rand.New(rand.NewSource(72))
+	fields := []string{"year", "price", "@publisher"}
+	f := func(bookPick, fieldPick uint16) bool {
+		book := books[int(bookPick)%len(books)]
+		title := book.FirstChildNamed("title").Text()
+		field := fields[int(fieldPick)%len(fields)]
+		src := "/db/book[title='" + title + "']/" + field
+		q, err := xpath.Compile(src)
+		if err != nil {
+			return false
+		}
+		rq, err := rw.RewriteQuery(q)
+		if err != nil {
+			return false
+		}
+		want := q.SelectValues(ds.Doc)
+		got := rq.SelectValues(db2)
+		if len(want) != 1 || len(got) != 1 {
+			return false
+		}
+		return want[0] == got[0]
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rr}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Errorf("rewrite answer-preservation property: %v", err)
+	}
+}
+
+// TestQuickFDQueryRewrite: FD-determinant queries (grouped identities)
+// preserve their value sets too.
+func TestQuickFDQueryRewrite(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 150, Editors: 12, Seed: 73})
+	m := PublicationsMapping()
+	db2, err := Transform(ds.Doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := NewQueryRewriter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	editors := xpath.MustCompile("/db/book/editor").SelectValues(ds.Doc)
+	f := func(pick uint16) bool {
+		ed := editors[int(pick)%len(editors)]
+		q, err := xpath.Compile("/db/book[editor='" + ed + "']/@publisher")
+		if err != nil {
+			return false
+		}
+		rq, err := rw.RewriteQuery(q)
+		if err != nil {
+			return false
+		}
+		want := dedupe(q.SelectValues(ds.Doc))
+		got := dedupe(rq.SelectValues(db2))
+		if len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("FD query rewrite property: %v", err)
+	}
+}
+
+func dedupe(in []string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"wmxml/internal/xpath"
+)
+
+// QueryRewriter rewrites identity queries expressed against a mapping's
+// source layout into equivalent queries against the target layout
+// (paper figure 2: "watermark detect query" → rewrite → Y1, Y2, Y3).
+// It implements the core.Rewriter interface.
+type QueryRewriter struct {
+	m Mapping
+}
+
+// NewQueryRewriter builds a rewriter for the mapping.
+func NewQueryRewriter(m Mapping) (*QueryRewriter, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &QueryRewriter{m: m}, nil
+}
+
+// Mapping returns the underlying mapping.
+func (rw *QueryRewriter) Mapping() Mapping { return rw.m }
+
+// RewriteQuery translates an identity query of the shape
+//
+//	/source-record-path[selector-rel = 'value']/field-rel
+//
+// into the target layout. Three shapes arise, depending on where the
+// selector and the field land in the target hierarchy:
+//
+//   - both at the record level:   /L1/…/Lk[sel'='v']/field'
+//   - field hoisted to level i:   /L1/…/Li[desc-path-to-sel = 'v']/fieldLoc
+//   - selector hoisted to level j: /L1/…/Lj[selLoc='v']/Lj+1/…/Lk/field'
+//
+// Positional queries (the naive-identity ablation) are rejected: an
+// ordinal has no meaning once the record order is re-grouped — which is
+// precisely why WmXML does not use positional identifiers.
+func (rw *QueryRewriter) RewriteQuery(q *xpath.Query) (*xpath.Query, error) {
+	p := q.Path()
+	srcLevels := rw.m.Source.Levels
+	k := len(srcLevels)
+	if len(p.Steps) < k {
+		return nil, fmt.Errorf("rewrite: query %q shorter than source record path", q)
+	}
+	for i := 0; i < k; i++ {
+		st := p.Steps[i]
+		if st.Axis != xpath.AxisChild || st.Name != srcLevels[i].Element {
+			return nil, fmt.Errorf("rewrite: query %q does not follow source record path %q",
+				q, rw.m.Source.RecordPath())
+		}
+		if i < k-1 && len(st.Predicates) > 0 {
+			return nil, fmt.Errorf("rewrite: query %q has predicates above the record level", q)
+		}
+	}
+	recStep := p.Steps[k-1]
+	if len(recStep.Predicates) != 1 {
+		return nil, fmt.Errorf("rewrite: query %q must carry exactly one record predicate", q)
+	}
+	selRel, selVal, err := splitEqPredicate(recStep.Predicates[0])
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: query %q: %w", q, err)
+	}
+
+	// Resolve selector and field to mapping fields via their source
+	// relative paths.
+	selField, ok := rw.m.Source.fieldByRelPath(selRel)
+	if !ok {
+		return nil, fmt.Errorf("rewrite: selector %q is not a mapped field", selRel)
+	}
+	fieldRel, err := renderTrailing(p.Steps[k:])
+	if err != nil {
+		return nil, err
+	}
+	var fieldName string
+	if fieldRel == "." {
+		// Selecting the record element itself: its value is the text
+		// field if the source has one.
+		f, ok := rw.m.Source.fieldByRelPath(".")
+		if !ok {
+			return nil, fmt.Errorf("rewrite: query selects the record element but source has no text field")
+		}
+		fieldName = f.Name
+	} else {
+		f, ok := rw.m.Source.fieldByRelPath(fieldRel)
+		if !ok {
+			return nil, fmt.Errorf("rewrite: field %q is not a mapped field", fieldRel)
+		}
+		fieldName = f.Name
+	}
+
+	return rw.buildTargetQuery(selField.Name, selVal, fieldName)
+}
+
+// buildTargetQuery assembles the target-layout query for selector
+// (name, value) and the requested field.
+func (rw *QueryRewriter) buildTargetQuery(selName, selVal, fieldName string) (*xpath.Query, error) {
+	tgt := rw.m.Target
+	selLev, selLoc, _, ok := tgt.fieldLevel(selName)
+	if !ok {
+		return nil, fmt.Errorf("rewrite: selector field %q missing from target layout", selName)
+	}
+	fLev, fLoc, _, ok := tgt.fieldLevel(fieldName)
+	if !ok {
+		return nil, fmt.Errorf("rewrite: field %q missing from target layout", fieldName)
+	}
+
+	var sb strings.Builder
+	if fLev >= selLev {
+		// Navigate to the selector's level, pin it, then descend to the
+		// field.
+		sb.WriteString("/")
+		sb.WriteString(levelPath(tgt.Levels[:selLev+1]))
+		sb.WriteString("[")
+		sb.WriteString(predicatePath(nil, selLoc))
+		sb.WriteString(eqLiteral(selVal))
+		sb.WriteString("]")
+		for i := selLev + 1; i <= fLev; i++ {
+			sb.WriteString("/")
+			sb.WriteString(tgt.Levels[i].Element)
+		}
+		appendFieldStep(&sb, fLoc)
+	} else {
+		// Field lives above the selector: navigate to the field's level
+		// and pin it through a descending predicate that reaches the
+		// selector.
+		sb.WriteString("/")
+		sb.WriteString(levelPath(tgt.Levels[:fLev+1]))
+		sb.WriteString("[")
+		sb.WriteString(predicatePath(tgt.Levels[fLev+1:selLev+1], selLoc))
+		sb.WriteString(eqLiteral(selVal))
+		sb.WriteString("]")
+		appendFieldStep(&sb, fLoc)
+	}
+	return xpath.Compile(sb.String())
+}
+
+// levelPath joins level element names.
+func levelPath(levels []Level) string {
+	names := make([]string, len(levels))
+	for i, l := range levels {
+		names[i] = l.Element
+	}
+	return strings.Join(names, "/")
+}
+
+// predicatePath renders the relative path descending through the given
+// levels and ending at the value location.
+func predicatePath(levels []Level, loc Loc) string {
+	var parts []string
+	for _, l := range levels {
+		parts = append(parts, l.Element)
+	}
+	rel := loc.RelPath()
+	if rel != "." {
+		parts = append(parts, rel)
+	}
+	if len(parts) == 0 {
+		return "."
+	}
+	return strings.Join(parts, "/")
+}
+
+// appendFieldStep appends the final field step ("/title", "/@name", or
+// nothing for text fields, whose value is the element itself).
+func appendFieldStep(sb *strings.Builder, loc Loc) {
+	rel := loc.RelPath()
+	if rel == "." {
+		return
+	}
+	sb.WriteString("/")
+	sb.WriteString(rel)
+}
+
+// eqLiteral renders ='value' with XPath 1.0 quoting.
+func eqLiteral(v string) string {
+	if !strings.Contains(v, "'") {
+		return "='" + v + "'"
+	}
+	return `="` + v + `"`
+}
+
+// splitEqPredicate decomposes a predicate of the form relpath = 'literal'
+// (either operand order) into the relative path and the literal.
+func splitEqPredicate(e xpath.Expr) (rel, val string, err error) {
+	b, ok := e.(xpath.Binary)
+	if !ok || b.Op != "=" {
+		if _, isNum := e.(xpath.Number); isNum {
+			return "", "", fmt.Errorf("positional predicate cannot be rewritten across schemas")
+		}
+		return "", "", fmt.Errorf("record predicate must be an equality")
+	}
+	pe, peOK := b.L.(xpath.PathExpr)
+	lit, litOK := b.R.(xpath.String)
+	if !peOK || !litOK {
+		pe, peOK = b.R.(xpath.PathExpr)
+		lit, litOK = b.L.(xpath.String)
+	}
+	if !peOK || !litOK {
+		return "", "", fmt.Errorf("record predicate must compare a path to a literal")
+	}
+	return pe.Path.String(), lit.Value, nil
+}
+
+// renderTrailing renders the steps after the record step as a relative
+// path ("." when there are none).
+func renderTrailing(steps []xpath.Step) (string, error) {
+	if len(steps) == 0 {
+		return ".", nil
+	}
+	parts := make([]string, 0, len(steps))
+	for _, st := range steps {
+		if len(st.Predicates) > 0 {
+			return "", fmt.Errorf("rewrite: predicates below the record level are not supported")
+		}
+		switch st.Axis {
+		case xpath.AxisChild:
+			parts = append(parts, st.Name)
+		case xpath.AxisAttribute:
+			parts = append(parts, "@"+st.Name)
+		case xpath.AxisText:
+			parts = append(parts, "text()")
+		default:
+			return "", fmt.Errorf("rewrite: unsupported axis below record level")
+		}
+	}
+	return strings.Join(parts, "/"), nil
+}

@@ -1,0 +1,397 @@
+package rewrite
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"wmxml/internal/datagen"
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+func TestParseLoc(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Loc
+		ok   bool
+	}{
+		{"attr:name", Loc{Kind: LocAttr, Name: "name"}, true},
+		{"child:title", Loc{Kind: LocChild, Name: "title"}, true},
+		{"text", Loc{Kind: LocText}, true},
+		{"attr:", Loc{}, false},
+		{"child:", Loc{}, false},
+		{"elem:x", Loc{}, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseLoc(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseLoc(%q) err = %v", tc.in, err)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseLoc(%q) = %+v", tc.in, got)
+		}
+		if tc.ok && got.String() != tc.in {
+			t.Errorf("Loc round trip: %q -> %q", tc.in, got.String())
+		}
+	}
+}
+
+func TestLocRelPath(t *testing.T) {
+	if (Loc{Kind: LocAttr, Name: "x"}).RelPath() != "@x" {
+		t.Errorf("attr rel path")
+	}
+	if (Loc{Kind: LocChild, Name: "t"}).RelPath() != "t" {
+		t.Errorf("child rel path")
+	}
+	if (Loc{Kind: LocText}).RelPath() != "." {
+		t.Errorf("text rel path")
+	}
+}
+
+func TestFigure1Transform(t *testing.T) {
+	db1 := datagen.Figure1DB1()
+	m := Figure1Mapping()
+	db2, err := Transform(db1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := db2.Root()
+	if root.Name != "db" {
+		t.Fatalf("root = %q", root.Name)
+	}
+	pubs := root.ChildElementsNamed("publisher")
+	if len(pubs) != 2 {
+		t.Fatalf("publishers = %d, want 2 (mkp, acm)", len(pubs))
+	}
+	var names []string
+	for _, p := range pubs {
+		n, _ := p.Attr("name")
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if !reflect.DeepEqual(names, []string{"acm", "mkp"}) {
+		t.Errorf("publisher names = %v", names)
+	}
+	// mkp has one editor group (Harrypotter) with two books.
+	for _, p := range pubs {
+		if n, _ := p.Attr("name"); n != "mkp" {
+			continue
+		}
+		eds := p.ChildElementsNamed("editor")
+		if len(eds) != 1 {
+			t.Fatalf("mkp editors = %d", len(eds))
+		}
+		if v, _ := eds[0].Attr("name"); v != "Harrypotter" {
+			t.Errorf("editor name = %q", v)
+		}
+		books := eds[0].ChildElementsNamed("book")
+		if len(books) != 2 {
+			t.Errorf("mkp books = %d", len(books))
+		}
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	db1 := datagen.Figure1DB1()
+	m := Figure1Mapping()
+	db2, err := Transform(db1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Transform(db2, m.Invert())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record bags must be identical (order may differ).
+	r1, err := Extract(db1, m.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Extract(back, m.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !RecordsEqual(r1, r2) {
+		t.Errorf("round trip lost records")
+	}
+}
+
+func TestRecordsEqualDetectsLoss(t *testing.T) {
+	db1 := datagen.Figure1DB1()
+	m := Figure1Mapping()
+	r1, _ := Extract(db1, m.Source)
+	if !RecordsEqual(r1, r1) {
+		t.Errorf("records not equal to themselves")
+	}
+	if RecordsEqual(r1, r1[:len(r1)-1]) {
+		t.Errorf("shorter bag equal")
+	}
+	mod := make([]Record, len(r1))
+	copy(mod, r1)
+	cp := newRecord()
+	for k, v := range r1[0].Values {
+		cp.Values[k] = v
+	}
+	cp.Values["year"] = "1000"
+	mod[0] = cp
+	if RecordsEqual(r1, mod) {
+		t.Errorf("altered bag equal")
+	}
+}
+
+func TestProjectRecords(t *testing.T) {
+	db1 := datagen.Figure1DB1()
+	m := Figure1Mapping()
+	recs, _ := Extract(db1, m.Source)
+	proj := ProjectRecords(recs, []string{"title", "author"})
+	for _, r := range proj {
+		if _, ok := r.Values["year"]; ok {
+			t.Errorf("projection kept year")
+		}
+		if _, ok := r.Values["title"]; !ok {
+			t.Errorf("projection dropped title")
+		}
+		if len(r.Lists["author"]) == 0 {
+			t.Errorf("projection dropped authors")
+		}
+	}
+}
+
+func mustRewrite(t *testing.T, rw *QueryRewriter, src string) *xpath.Query {
+	t.Helper()
+	q, err := xpath.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := rw.RewriteQuery(q)
+	if err != nil {
+		t.Fatalf("rewrite %q: %v", src, err)
+	}
+	return out
+}
+
+func TestRewriteQueryShapes(t *testing.T) {
+	rw, err := NewQueryRewriter(Figure1Mapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		src  string
+		want string
+	}{
+		// Record-level selector, record-level field.
+		{"/db/book[title='Database Design']/year",
+			"/db/publisher/editor/book[title='Database Design']/year"},
+		// Selector hoisted to a grouping level (the FD determinant),
+		// field hoisted above it.
+		{"/db/book[editor='Harrypotter']/@publisher",
+			"/db/publisher[editor/@name='Harrypotter']/@name"},
+		// Record-level selector, field hoisted two levels up.
+		{"/db/book[title='Database Design']/@publisher",
+			"/db/publisher[editor/book/title='Database Design']/@name"},
+		// Selector hoisted, field at record level.
+		{"/db/book[editor='Gamer']/title",
+			"/db/publisher/editor[@name='Gamer']/book/title"},
+	}
+	for _, tc := range cases {
+		got := mustRewrite(t, rw, tc.src)
+		if got.String() != tc.want {
+			t.Errorf("rewrite %q = %q, want %q", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestRewriteSemanticsPreserved(t *testing.T) {
+	// The rewritten query must return the same values on db2 as the
+	// original does on db1 — the paper's §2.1 equivalence.
+	db1 := datagen.Figure1DB1()
+	m := Figure1Mapping()
+	db2, err := Transform(db1, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := NewQueryRewriter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"/db/book[title='Database Design']/year",
+		"/db/book[title='Readings in Database Systems']/author",
+		"/db/book[title='XML Query Processing']/@publisher",
+		"/db/book[editor='Harrypotter']/@publisher",
+		"/db/book[editor='Gamer']/title",
+	}
+	for _, src := range queries {
+		orig := xpath.MustCompile(src)
+		origVals := append([]string(nil), orig.SelectValues(db1)...)
+		rewritten := mustRewrite(t, rw, src)
+		newVals := append([]string(nil), rewritten.SelectValues(db2)...)
+		sort.Strings(origVals)
+		sort.Strings(newVals)
+		// FD-grouped fields collapse duplicates in the target layout;
+		// compare sets.
+		if !reflect.DeepEqual(uniq(origVals), uniq(newVals)) {
+			t.Errorf("query %q: db1 %v vs db2 %v", src, origVals, newVals)
+		}
+	}
+}
+
+func uniq(in []string) []string {
+	var out []string
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func TestRewriteRejectsPositional(t *testing.T) {
+	rw, _ := NewQueryRewriter(Figure1Mapping())
+	q := xpath.MustCompile("/db/book[2]/year")
+	if _, err := rw.RewriteQuery(q); err == nil {
+		t.Errorf("positional query rewritten")
+	} else if !strings.Contains(err.Error(), "positional") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestRewriteRejectsUnmappable(t *testing.T) {
+	rw, _ := NewQueryRewriter(Figure1Mapping())
+	cases := []string{
+		"/catalog/book[title='X']/year",      // wrong root
+		"/db/book[title='X']/price",          // unmapped field
+		"/db/book[isbn='X']/year",            // unmapped selector
+		"/db/book/year",                      // no predicate
+		"/db/book[title='X'][year='1998']/t", // two predicates
+		"/db/book[contains(title,'X')]/year", // non-equality predicate
+		"/db/book[title='X']/year[1]",        // predicate below record
+	}
+	for _, src := range cases {
+		q, err := xpath.Compile(src)
+		if err != nil {
+			t.Fatalf("compile %q: %v", src, err)
+		}
+		if _, err := rw.RewriteQuery(q); err == nil {
+			t.Errorf("query %q rewritten, want error", src)
+		}
+	}
+}
+
+func TestTextLocTarget(t *testing.T) {
+	// A target like the paper's db2 where the record value *is* the
+	// element text: <book>TITLE</book>.
+	m := Mapping{
+		Name: "text-target",
+		Source: View{
+			Levels: []Level{{Element: "db"}, {Element: "book"}},
+			Fields: []FieldDef{
+				{Name: "publisher", Loc: Loc{Kind: LocAttr, Name: "publisher"}},
+				{Name: "title", Loc: Loc{Kind: LocChild, Name: "title"}},
+			},
+		},
+		Target: View{
+			Levels: []Level{
+				{Element: "db"},
+				{Element: "publisher", KeyField: "publisher", KeyLoc: Loc{Kind: LocAttr, Name: "name"}},
+				{Element: "book"},
+			},
+			Fields: []FieldDef{{Name: "title", Loc: Loc{Kind: LocText}}},
+		},
+	}
+	src := xmltree.MustParseString(`<db>
+	  <book publisher="mkp"><title>Readings</title></book>
+	  <book publisher="acm"><title>Design</title></book>
+	</db>`)
+	out, err := Transform(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	books := xmltree.DescendantsNamed(out, "book")
+	if len(books) != 2 {
+		t.Fatalf("books = %d", len(books))
+	}
+	if books[0].Text() != "Readings" {
+		t.Errorf("book text = %q", books[0].Text())
+	}
+	rw, err := NewQueryRewriter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := mustRewrite(t, rw, "/db/book[title='Design']/@publisher")
+	vals := q.SelectValues(out)
+	if !reflect.DeepEqual(vals, []string{"acm"}) {
+		t.Errorf("text-loc rewrite eval = %v (query %q)", vals, q)
+	}
+	// And selecting the title itself: ends at the record element.
+	q2 := mustRewrite(t, rw, "/db/book[@publisher='mkp']/title")
+	if got := q2.SelectValues(out); !reflect.DeepEqual(got, []string{"Readings"}) {
+		t.Errorf("title via text loc = %v (query %q)", got, q2)
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	m := Figure1Mapping()
+	if err := m.Validate(); err != nil {
+		t.Errorf("figure-1 mapping invalid: %v", err)
+	}
+	bad := m
+	bad.Target.Fields = append(bad.Target.Fields, FieldDef{Name: "ghost", Loc: Loc{Kind: LocChild, Name: "g"}})
+	if err := bad.Validate(); err == nil {
+		t.Errorf("target-only field accepted")
+	}
+	dup := Figure1Mapping()
+	dup.Source.Fields = append(dup.Source.Fields, dup.Source.Fields[0])
+	if err := dup.Validate(); err == nil {
+		t.Errorf("duplicate field accepted")
+	}
+	noLevels := Mapping{Source: View{}, Target: Figure1Mapping().Target}
+	if err := noLevels.Validate(); err == nil {
+		t.Errorf("empty view accepted")
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	m := Figure1Mapping()
+	wrongRoot := xmltree.MustParseString(`<catalog/>`)
+	if _, err := Extract(wrongRoot, m.Source); err == nil {
+		t.Errorf("wrong root accepted")
+	}
+	// Missing grouping key on target extraction.
+	broken := xmltree.MustParseString(`<db><publisher><editor name="e"><book><title>T</title></book></editor></publisher></db>`)
+	if _, err := Extract(broken, m.Target); err == nil {
+		t.Errorf("missing key value accepted")
+	}
+}
+
+func TestBuildMissingGroupField(t *testing.T) {
+	m := Figure1Mapping()
+	rec := newRecord()
+	rec.Values["title"] = "T" // no publisher/editor
+	if _, err := Build([]Record{rec}, m.Target); err == nil {
+		t.Errorf("record without grouping fields accepted")
+	}
+}
+
+func TestTransformLargeDataset(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 300, Editors: 25, Publishers: 6, Seed: 77})
+	m := Figure1Mapping()
+	out, err := Transform(ds.Doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every title must be reachable in the new layout.
+	titles := xpath.MustCompile("//title").SelectValues(out)
+	if len(titles) != 300 {
+		t.Errorf("titles after transform = %d", len(titles))
+	}
+	// Publisher values de-duplicated: one element per (publisher) with
+	// editors below.
+	pubs := out.Root().ChildElementsNamed("publisher")
+	if len(pubs) == 0 || len(pubs) > 6 {
+		t.Errorf("publisher groups = %d", len(pubs))
+	}
+}

@@ -1,0 +1,246 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wmxml/internal/xmltree"
+)
+
+// Record is one flat record extracted from a document: single-valued
+// fields in Values, multi-valued ones in Lists.
+type Record struct {
+	Values map[string]string
+	Lists  map[string][]string
+}
+
+// newRecord allocates an empty record.
+func newRecord() Record {
+	return Record{Values: make(map[string]string), Lists: make(map[string][]string)}
+}
+
+// canonical renders the record deterministically for multiset comparison.
+func (r Record) canonical() string {
+	var sb strings.Builder
+	keys := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteString("=\x00")
+		sb.WriteString(r.Values[k])
+		sb.WriteString("\x00;")
+	}
+	lkeys := make([]string, 0, len(r.Lists))
+	for k := range r.Lists {
+		lkeys = append(lkeys, k)
+	}
+	sort.Strings(lkeys)
+	for _, k := range lkeys {
+		vals := append([]string(nil), r.Lists[k]...)
+		sort.Strings(vals)
+		sb.WriteString(k)
+		sb.WriteString("*=\x00")
+		sb.WriteString(strings.Join(vals, "\x00,"))
+		sb.WriteString("\x00;")
+	}
+	return sb.String()
+}
+
+// Extract reads all records out of a document according to the view.
+func Extract(doc *xmltree.Node, v View) ([]Record, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	root := doc.Root()
+	if root == nil {
+		return nil, fmt.Errorf("rewrite: document has no root")
+	}
+	if root.Name != v.Levels[0].Element {
+		return nil, fmt.Errorf("rewrite: root is %q, view expects %q", root.Name, v.Levels[0].Element)
+	}
+	var out []Record
+	var walk func(e *xmltree.Node, level int, inherited map[string]string) error
+	walk = func(e *xmltree.Node, level int, inherited map[string]string) error {
+		if level == len(v.Levels)-1 {
+			// e is a record element.
+			rec := newRecord()
+			for k, val := range inherited {
+				rec.Values[k] = val
+			}
+			for _, f := range v.Fields {
+				if f.Multi {
+					for _, c := range e.ChildElementsNamed(f.Loc.Name) {
+						rec.Lists[f.Name] = append(rec.Lists[f.Name], c.Text())
+					}
+					continue
+				}
+				if f.Loc.Kind == LocText {
+					// Element text excluding child-element text: direct
+					// text children only, so child fields don't bleed in.
+					rec.Values[f.Name] = directText(e)
+					continue
+				}
+				val, ok := f.Loc.read(e)
+				if ok {
+					rec.Values[f.Name] = val
+				}
+			}
+			out = append(out, rec)
+			return nil
+		}
+		next := v.Levels[level+1]
+		for _, c := range e.ChildElementsNamed(next.Element) {
+			inh := inherited
+			if next.KeyField != "" {
+				val, ok := next.KeyLoc.read(c)
+				if !ok {
+					return fmt.Errorf("rewrite: %s missing key %s", c.Path(), next.KeyLoc)
+				}
+				inh = make(map[string]string, len(inherited)+1)
+				for k, v2 := range inherited {
+					inh[k] = v2
+				}
+				inh[next.KeyField] = val
+			}
+			if err := walk(c, level+1, inh); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, 0, map[string]string{}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// directText concatenates the direct text children of an element.
+func directText(e *xmltree.Node) string {
+	var sb strings.Builder
+	for _, c := range e.Children {
+		if c.Kind == xmltree.TextNode {
+			sb.WriteString(c.Value)
+		}
+	}
+	return sb.String()
+}
+
+// Build lays records out as a new document according to the view. Groups
+// appear in order of first occurrence; records keep their input order
+// within a group, which preserves document order as far as the grouping
+// allows.
+func Build(records []Record, v View) (*xmltree.Node, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	doc := xmltree.NewDocument()
+	root := xmltree.NewElement(v.Levels[0].Element)
+	doc.AppendChild(root)
+	for _, rec := range records {
+		parent := root
+		for li := 1; li < len(v.Levels)-1; li++ {
+			lvl := v.Levels[li]
+			val, ok := rec.Values[lvl.KeyField]
+			if !ok {
+				return nil, fmt.Errorf("rewrite: record missing grouping field %q", lvl.KeyField)
+			}
+			parent = findOrCreateGroup(parent, lvl, val)
+		}
+		recElem := xmltree.NewElement(v.Levels[len(v.Levels)-1].Element)
+		parent.AppendChild(recElem)
+		for _, f := range v.Fields {
+			if f.Multi {
+				for _, val := range rec.Lists[f.Name] {
+					recElem.AppendChild(xmltree.TextElem(f.Loc.Name, val))
+				}
+				continue
+			}
+			val, ok := rec.Values[f.Name]
+			if !ok {
+				continue // field absent in this record: omit
+			}
+			f.Loc.write(recElem, val)
+		}
+	}
+	return doc, nil
+}
+
+// findOrCreateGroup returns the child of parent representing the group
+// with the given key value, creating it if necessary.
+func findOrCreateGroup(parent *xmltree.Node, lvl Level, val string) *xmltree.Node {
+	for _, c := range parent.ChildElementsNamed(lvl.Element) {
+		if got, ok := lvl.KeyLoc.read(c); ok && got == val {
+			return c
+		}
+	}
+	g := xmltree.NewElement(lvl.Element)
+	lvl.KeyLoc.write(g, val)
+	parent.AppendChild(g)
+	return g
+}
+
+// Transform re-organizes a document from the mapping's source layout to
+// its target layout — the paper's re-organization attack (figure 1) and
+// the substrate of rewriting tests.
+func Transform(doc *xmltree.Node, m Mapping) (*xmltree.Node, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	records, err := Extract(doc, m.Source)
+	if err != nil {
+		return nil, err
+	}
+	return Build(records, m.Target)
+}
+
+// RecordsEqual compares two record bags as multisets, ignoring order.
+// It is the information-preservation check of experiment F1: a
+// re-organization "without losing any information" keeps the record bag
+// identical.
+func RecordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[string]int, len(a))
+	for _, r := range a {
+		counts[r.canonical()]++
+	}
+	for _, r := range b {
+		counts[r.canonical()]--
+	}
+	for _, n := range counts {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ProjectRecords keeps only the named fields of each record — used to
+// compare documents whose views carry different field subsets.
+func ProjectRecords(records []Record, fields []string) []Record {
+	keep := make(map[string]bool, len(fields))
+	for _, f := range fields {
+		keep[f] = true
+	}
+	out := make([]Record, len(records))
+	for i, r := range records {
+		p := newRecord()
+		for k, v := range r.Values {
+			if keep[k] {
+				p.Values[k] = v
+			}
+		}
+		for k, v := range r.Lists {
+			if keep[k] {
+				p.Lists[k] = append([]string(nil), v...)
+			}
+		}
+		out[i] = p
+	}
+	return out
+}

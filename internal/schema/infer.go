@@ -1,0 +1,154 @@
+package schema
+
+import (
+	"sort"
+	"strings"
+
+	"wmxml/internal/xmltree"
+)
+
+// Infer derives a schema from a document instance. For every element tag
+// it records the observed child tags with min/max occurrence across all
+// instances, the observed attributes (required when present on every
+// instance), and a leaf value type guessed from the values.
+//
+// Inference exists because the paper has the *user* "identify the
+// important keys and FDs from the data schema" — which presumes a schema
+// is at hand even for schemaless data. Infer produces that starting
+// point; users refine it.
+func Infer(name string, doc *xmltree.Node) *Schema {
+	root := doc.Root()
+	if root == nil {
+		return New(name, "")
+	}
+	s := New(name, root.Name)
+	type elemObs struct {
+		count      int
+		childMin   map[string]int
+		childMax   map[string]int
+		childSeen  map[string]bool
+		attrCount  map[string]int
+		leafValues []string
+		hasElemKid bool
+	}
+	obs := make(map[string]*elemObs)
+	get := func(tag string) *elemObs {
+		o := obs[tag]
+		if o == nil {
+			o = &elemObs{
+				childMin:  make(map[string]int),
+				childMax:  make(map[string]int),
+				childSeen: make(map[string]bool),
+				attrCount: make(map[string]int),
+			}
+			obs[tag] = o
+		}
+		return o
+	}
+
+	xmltree.WalkElements(doc, func(e *xmltree.Node) {
+		o := get(e.Name)
+		o.count++
+		counts := make(map[string]int)
+		for _, c := range e.ChildElements() {
+			counts[c.Name]++
+			o.hasElemKid = true
+		}
+		for tag, n := range counts {
+			o.childSeen[tag] = true
+			if n > o.childMax[tag] {
+				o.childMax[tag] = n
+			}
+		}
+		// Min occurrence: recompute lazily below using counts per
+		// instance; we track by noting tags missing in this instance.
+		for tag := range o.childSeen {
+			if o.count == 1 {
+				o.childMin[tag] = counts[tag]
+			} else if counts[tag] < o.childMin[tag] {
+				o.childMin[tag] = counts[tag]
+			}
+		}
+		for _, a := range e.Attrs {
+			o.attrCount[a.Name]++
+		}
+		if !o.hasElemKid {
+			o.leafValues = append(o.leafValues, e.Text())
+		}
+	})
+
+	for tag, o := range obs {
+		decl := s.Declare(tag)
+		childNames := make([]string, 0, len(o.childSeen))
+		for c := range o.childSeen {
+			childNames = append(childNames, c)
+		}
+		sort.Strings(childNames)
+		for _, c := range childNames {
+			decl.Children = append(decl.Children, ChildDecl{
+				Name:      c,
+				MinOccurs: o.childMin[c],
+				MaxOccurs: Unbounded,
+			})
+		}
+		attrNames := make([]string, 0, len(o.attrCount))
+		for a := range o.attrCount {
+			attrNames = append(attrNames, a)
+		}
+		sort.Strings(attrNames)
+		for _, a := range attrNames {
+			decl.Attrs = append(decl.Attrs, AttrDecl{
+				Name:     a,
+				Required: o.attrCount[a] == o.count,
+				Type:     TypeString,
+			})
+		}
+		if len(decl.Children) == 0 {
+			decl.Type = GuessType(o.leafValues)
+		} else {
+			decl.Type = TypeNone
+		}
+	}
+	return s
+}
+
+// GuessType inspects a sample of values and returns the narrowest type
+// that accepts all of them: integer ⊂ decimal ⊂ string; long base64
+// payloads are classified as images.
+func GuessType(values []string) DataType {
+	if len(values) == 0 {
+		return TypeString
+	}
+	allInt, allDec := true, true
+	allImage := true
+	nonEmpty := 0
+	for _, v := range values {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			continue
+		}
+		nonEmpty++
+		if allInt && !TypeInteger.ValidValue(v) {
+			allInt = false
+		}
+		if allDec && !TypeDecimal.ValidValue(v) {
+			allDec = false
+		}
+		if allImage && !(len(v) >= 64 && len(v)%4 == 0 && TypeImage.ValidValue(v) && !TypeDecimal.ValidValue(v)) {
+			allImage = false
+		}
+	}
+	if nonEmpty == 0 {
+		return TypeString
+	}
+	switch {
+	case allInt:
+		return TypeInteger
+	case allDec:
+		return TypeDecimal
+	case allImage:
+		return TypeImage
+	default:
+		return TypeString
+	}
+}

@@ -1,0 +1,235 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"wmxml/internal/xmltree"
+)
+
+// db1Schema builds the schema of the paper's figure-1 db1.xml.
+func db1Schema() *Schema {
+	s := New("db1", "db")
+	db := s.Declare("db")
+	db.Children = []ChildDecl{{Name: "book", MinOccurs: 0, MaxOccurs: Unbounded}}
+	book := s.Declare("book")
+	book.Attrs = []AttrDecl{{Name: "publisher", Required: true, Type: TypeString}}
+	book.Children = []ChildDecl{
+		{Name: "title", MinOccurs: 1, MaxOccurs: 1},
+		{Name: "author", MinOccurs: 0, MaxOccurs: Unbounded},
+		{Name: "writer", MinOccurs: 0, MaxOccurs: Unbounded},
+		{Name: "editor", MinOccurs: 0, MaxOccurs: 1},
+		{Name: "year", MinOccurs: 1, MaxOccurs: 1},
+	}
+	s.Declare("title").Type = TypeString
+	s.Declare("author").Type = TypeString
+	s.Declare("writer").Type = TypeString
+	s.Declare("editor").Type = TypeString
+	s.Declare("year").Type = TypeInteger
+	return s
+}
+
+const validDB1 = `<db>
+  <book publisher="mkp">
+    <title>Readings in Database Systems</title>
+    <author>Stonebraker</author>
+    <author>Hellerstein</author>
+    <editor>Harrypotter</editor>
+    <year>1998</year>
+  </book>
+  <book publisher="acm">
+    <title>Database Design</title>
+    <writer>Berstein</writer>
+    <editor>Gamer</editor>
+    <year>1998</year>
+  </book>
+</db>`
+
+func TestValidateOK(t *testing.T) {
+	s := db1Schema()
+	doc := xmltree.MustParseString(validDB1)
+	if v := s.Validate(doc); len(v) != 0 {
+		t.Errorf("valid document rejected: %v", v)
+	}
+}
+
+func TestValidateViolations(t *testing.T) {
+	s := db1Schema()
+	cases := []struct {
+		name   string
+		src    string
+		reason string
+	}{
+		{"wrong-root", `<library/>`, "root element"},
+		{"undeclared-element", `<db><magazine/></db>`, "not allowed"},
+		{"missing-required-attr", `<db><book><title>T</title><year>1999</year></book></db>`, "missing required attribute"},
+		{"undeclared-attr", `<db><book publisher="x" isbn="1"><title>T</title><year>1999</year></book></db>`, "undeclared attribute"},
+		{"missing-title", `<db><book publisher="x"><year>1999</year></book></db>`, "at least 1"},
+		{"two-titles", `<db><book publisher="x"><title>A</title><title>B</title><year>1999</year></book></db>`, "at most 1"},
+		{"bad-year", `<db><book publisher="x"><title>T</title><year>next</year></book></db>`, "not a valid integer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := xmltree.MustParseString(tc.src)
+			vs := s.Validate(doc)
+			if len(vs) == 0 {
+				t.Fatalf("invalid document accepted")
+			}
+			found := false
+			for _, v := range vs {
+				if strings.Contains(v.Reason, tc.reason) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no violation mentioning %q in %v", tc.reason, vs)
+			}
+		})
+	}
+}
+
+func TestDataTypes(t *testing.T) {
+	cases := []struct {
+		t     DataType
+		value string
+		ok    bool
+	}{
+		{TypeInteger, "1998", true},
+		{TypeInteger, " 42 ", true},
+		{TypeInteger, "3.14", false},
+		{TypeInteger, "abc", false},
+		{TypeDecimal, "3.14", true},
+		{TypeDecimal, "-0.5", true},
+		{TypeDecimal, "1e3", true},
+		{TypeDecimal, "pi", false},
+		{TypeImage, "aGVsbG8gd29ybGQh", true},
+		{TypeImage, "not base64!!!", false},
+		{TypeString, "anything", true},
+	}
+	for _, tc := range cases {
+		if got := tc.t.ValidValue(tc.value); got != tc.ok {
+			t.Errorf("%v.ValidValue(%q) = %v, want %v", tc.t, tc.value, got, tc.ok)
+		}
+	}
+}
+
+func TestParseDataType(t *testing.T) {
+	for _, name := range []string{"string", "integer", "decimal", "image", "none"} {
+		dt, err := ParseDataType(name)
+		if err != nil {
+			t.Errorf("ParseDataType(%q): %v", name, err)
+		}
+		if dt.String() != name {
+			t.Errorf("round trip %q -> %q", name, dt.String())
+		}
+	}
+	if _, err := ParseDataType("blob"); err == nil {
+		t.Errorf("unknown type accepted")
+	}
+	if dt, err := ParseDataType("int"); err != nil || dt != TypeInteger {
+		t.Errorf("alias int: %v %v", dt, err)
+	}
+}
+
+func TestPathsTo(t *testing.T) {
+	s := db1Schema()
+	got := s.PathsTo("title")
+	if len(got) != 1 || got[0] != "db/book/title" {
+		t.Errorf("PathsTo(title) = %v", got)
+	}
+	if got := s.PathsTo("db"); len(got) != 1 || got[0] != "db" {
+		t.Errorf("PathsTo(db) = %v", got)
+	}
+	if got := s.PathsTo("ghost"); len(got) != 0 {
+		t.Errorf("PathsTo(ghost) = %v", got)
+	}
+}
+
+func TestPathsToCyclic(t *testing.T) {
+	s := New("cyc", "a")
+	a := s.Declare("a")
+	a.Children = []ChildDecl{{Name: "b", MaxOccurs: Unbounded}}
+	b := s.Declare("b")
+	b.Children = []ChildDecl{{Name: "a", MaxOccurs: Unbounded}, {Name: "leaf", MaxOccurs: 1}}
+	s.Declare("leaf")
+	got := s.PathsTo("leaf")
+	// Must terminate and find a/b/leaf.
+	if len(got) != 1 || got[0] != "a/b/leaf" {
+		t.Errorf("cyclic PathsTo = %v", got)
+	}
+}
+
+func TestInfer(t *testing.T) {
+	doc := xmltree.MustParseString(validDB1)
+	s := Infer("db1", doc)
+	if s.Root != "db" {
+		t.Fatalf("root = %q", s.Root)
+	}
+	book := s.Element("book")
+	if book == nil {
+		t.Fatalf("book not inferred")
+	}
+	// title occurs exactly once in both instances.
+	cd, ok := book.Child("title")
+	if !ok || cd.MinOccurs != 1 {
+		t.Errorf("title child decl = %+v, %v", cd, ok)
+	}
+	// author is absent from the second book → min 0.
+	cd, ok = book.Child("author")
+	if !ok || cd.MinOccurs != 0 {
+		t.Errorf("author child decl = %+v, %v", cd, ok)
+	}
+	// publisher on every book → required.
+	ad, ok := book.Attr("publisher")
+	if !ok || !ad.Required {
+		t.Errorf("publisher attr = %+v, %v", ad, ok)
+	}
+	// year is all-integer → TypeInteger.
+	if s.Element("year").Type != TypeInteger {
+		t.Errorf("year type = %v", s.Element("year").Type)
+	}
+	if s.Element("title").Type != TypeString {
+		t.Errorf("title type = %v", s.Element("title").Type)
+	}
+	// Inferred schema validates its source document.
+	if vs := s.Validate(doc); len(vs) != 0 {
+		t.Errorf("inferred schema rejects its own instance: %v", vs)
+	}
+}
+
+func TestInferOptionalAttr(t *testing.T) {
+	doc := xmltree.MustParseString(`<db><item x="1"/><item/></db>`)
+	s := Infer("t", doc)
+	ad, ok := s.Element("item").Attr("x")
+	if !ok || ad.Required {
+		t.Errorf("optional attr inferred as %+v, %v", ad, ok)
+	}
+}
+
+func TestGuessType(t *testing.T) {
+	cases := []struct {
+		values []string
+		want   DataType
+	}{
+		{[]string{"1", "2", "3"}, TypeInteger},
+		{[]string{"1.5", "2"}, TypeDecimal},
+		{[]string{"a", "1"}, TypeString},
+		{nil, TypeString},
+		{[]string{"", ""}, TypeString},
+		{[]string{strings.Repeat("QUJD", 32)}, TypeImage},
+	}
+	for _, tc := range cases {
+		if got := GuessType(tc.values); got != tc.want {
+			t.Errorf("GuessType(%v) = %v, want %v", tc.values, got, tc.want)
+		}
+	}
+}
+
+func TestValidateEmptyDoc(t *testing.T) {
+	s := db1Schema()
+	doc := xmltree.NewDocument()
+	vs := s.Validate(doc)
+	if len(vs) == 0 {
+		t.Errorf("empty document accepted")
+	}
+}

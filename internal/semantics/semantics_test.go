@@ -1,0 +1,253 @@
+package semantics
+
+import (
+	"strings"
+	"testing"
+
+	"wmxml/internal/schema"
+	"wmxml/internal/xmltree"
+)
+
+// Figure 1/3 of the paper: title is a key of book; editor → publisher is
+// an FD ("an editor only works for one publisher").
+const db1 = `<db>
+  <book publisher="mkp">
+    <title>Readings in Database Systems</title>
+    <author>Stonebraker</author>
+    <editor>Harrypotter</editor>
+    <year>1998</year>
+  </book>
+  <book publisher="acm">
+    <title>Database Design</title>
+    <author>Berstein</author>
+    <editor>Gamer</editor>
+    <year>1998</year>
+  </book>
+  <book publisher="mkp">
+    <title>XML Query Processing</title>
+    <author>Stonebraker</author>
+    <editor>Harrypotter</editor>
+    <year>2001</year>
+  </book>
+</db>`
+
+func TestVerifyKeyHolds(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	rep, err := VerifyKey(doc, Key{Scope: "db/book", KeyPath: "title"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("title key should hold: %+v", rep)
+	}
+	if rep.Instances != 3 {
+		t.Errorf("instances = %d", rep.Instances)
+	}
+}
+
+func TestVerifyKeyDuplicates(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	rep, err := VerifyKey(doc, Key{Scope: "db/book", KeyPath: "year"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Errorf("year should not be a key (1998 repeats)")
+	}
+	if paths := rep.Duplicates["1998"]; len(paths) != 2 {
+		t.Errorf("duplicates[1998] = %v", paths)
+	}
+}
+
+func TestVerifyKeyMissing(t *testing.T) {
+	doc := xmltree.MustParseString(`<db><book><title>A</title></book><book/></db>`)
+	rep, err := VerifyKey(doc, Key{Scope: "db/book", KeyPath: "title"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missing != 1 || rep.OK() {
+		t.Errorf("missing = %d, ok = %v", rep.Missing, rep.OK())
+	}
+}
+
+func TestVerifyKeyAttrPath(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	rep, err := VerifyKey(doc, Key{Scope: "db/book", KeyPath: "@publisher"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Errorf("publisher repeats; must not be a key")
+	}
+}
+
+func TestVerifyFDHolds(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	fd := FD{Scope: "db/book", Determinant: "editor", Dependent: "@publisher"}
+	rep, err := VerifyFD(doc, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("editor -> publisher should hold: %+v", rep.Violations)
+	}
+	if rep.Groups != 2 {
+		t.Errorf("groups = %d, want 2 (Harrypotter, Gamer)", rep.Groups)
+	}
+	if rep.DupMembers != 2 {
+		t.Errorf("dup members = %d, want 2", rep.DupMembers)
+	}
+	if rep.MaxGroup != 2 {
+		t.Errorf("max group = %d", rep.MaxGroup)
+	}
+}
+
+func TestVerifyFDViolated(t *testing.T) {
+	src := strings.Replace(db1, `publisher="mkp">
+    <title>XML Query Processing</title>`, `publisher="springer">
+    <title>XML Query Processing</title>`, 1)
+	doc := xmltree.MustParseString(src)
+	fd := FD{Scope: "db/book", Determinant: "editor", Dependent: "@publisher"}
+	rep, err := VerifyFD(doc, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatalf("violated FD reported as holding")
+	}
+	v := rep.Violations[0]
+	if v.DeterminantValue != "Harrypotter" || len(v.DependentValues) != 2 {
+		t.Errorf("violation = %+v", v)
+	}
+}
+
+func TestDuplicateGroups(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	fd := FD{Scope: "db/book", Determinant: "editor", Dependent: "@publisher"}
+	groups, err := DuplicateGroups(doc, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	// Sorted by determinant: Gamer then Harrypotter.
+	if groups[0].DeterminantValue != "Gamer" || len(groups[0].Members) != 1 {
+		t.Errorf("group 0 = %+v", groups[0])
+	}
+	if groups[1].DeterminantValue != "Harrypotter" || len(groups[1].Members) != 2 {
+		t.Errorf("group 1 = %+v", groups[1])
+	}
+	for _, m := range groups[1].Members {
+		if m.Value() != "mkp" {
+			t.Errorf("member value = %q, want mkp", m.Value())
+		}
+	}
+}
+
+func TestDiscoverKeys(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	s := schema.Infer("db1", doc)
+	keys, err := DiscoverKeys(doc, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, k := range keys {
+		if k.Scope == "db/book" && k.KeyPath == "title" {
+			found = true
+		}
+		if k.KeyPath == "year" {
+			t.Errorf("year discovered as key but 1998 repeats")
+		}
+	}
+	if !found {
+		t.Errorf("title key not discovered; got %v", keys)
+	}
+}
+
+func TestDiscoverFDs(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	s := schema.Infer("db1", doc)
+	fds, err := DiscoverFDs(doc, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range fds {
+		if d.FD.Determinant == "editor" && d.FD.Dependent == "@publisher" {
+			found = true
+			if d.Support != 2 {
+				t.Errorf("support = %d, want 2", d.Support)
+			}
+		}
+		if d.FD.Determinant == "title" {
+			t.Errorf("unique determinant produced FD: %v", d.FD)
+		}
+	}
+	if !found {
+		t.Errorf("editor -> @publisher not discovered; got %v", fds)
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	cat := Catalog{
+		Keys: []Key{{Scope: "db/book", KeyPath: "title"}},
+		FDs:  []FD{{Scope: "db/book", Determinant: "editor", Dependent: "@publisher"}},
+	}
+	keyReps, fdReps, err := cat.Verify(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keyReps) != 1 || !keyReps[0].OK() {
+		t.Errorf("key reports: %+v", keyReps)
+	}
+	if len(fdReps) != 1 || !fdReps[0].OK() {
+		t.Errorf("fd reports: %+v", fdReps)
+	}
+	if k, ok := cat.KeyFor("db/book"); !ok || k.KeyPath != "title" {
+		t.Errorf("KeyFor: %v %v", k, ok)
+	}
+	if _, ok := cat.KeyFor("db/journal"); ok {
+		t.Errorf("KeyFor on unknown scope returned ok")
+	}
+	if fds := cat.FDsFor("db/book"); len(fds) != 1 {
+		t.Errorf("FDsFor: %v", fds)
+	}
+}
+
+func TestInstancesBadScope(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	if _, err := Instances(doc, ""); err == nil {
+		t.Errorf("empty scope accepted")
+	}
+	insts, err := Instances(doc, "db/areaX")
+	if err != nil || len(insts) != 0 {
+		t.Errorf("unknown scope: %v, %v", insts, err)
+	}
+}
+
+func TestVerifyKeyBadPath(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	if _, err := VerifyKey(doc, Key{Scope: "db/book", KeyPath: "[bad"}); err == nil {
+		t.Errorf("bad key path accepted")
+	}
+	if _, err := VerifyFD(doc, FD{Scope: "db/book", Determinant: "[", Dependent: "x"}); err == nil {
+		t.Errorf("bad determinant accepted")
+	}
+	if _, err := VerifyFD(doc, FD{Scope: "db/book", Determinant: "editor", Dependent: "["}); err == nil {
+		t.Errorf("bad dependent accepted")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	k := Key{Scope: "db/book", KeyPath: "title"}
+	if k.String() != "db/book ! title" {
+		t.Errorf("key string = %q", k.String())
+	}
+	f := FD{Scope: "db/book", Determinant: "editor", Dependent: "@publisher"}
+	if f.String() != "db/book : editor -> @publisher" {
+		t.Errorf("fd string = %q", f.String())
+	}
+}

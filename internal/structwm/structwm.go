@@ -1,0 +1,214 @@
+// Package structwm implements the *structure-unit* watermark channel.
+//
+// Paper §2.2: "Both the data elements and structure units in an XML
+// document could be used to embed watermarks." The main system
+// (internal/core) embeds into data elements (values); this package
+// embeds into structure: the relative order of a record's multi-valued
+// children. For a record with at least two distinct values of a
+// designated child (e.g. a book's authors), the bit is carried by
+// whether the lexicographically smallest value precedes the largest in
+// document order (bit 0) or follows it (bit 1). Embedding swaps the two
+// children when needed; nothing about the values changes.
+//
+// The channel's trade-offs are the reason WmXML defaults to value
+// embedding, and experiment A1 measures them: sibling order is free
+// bandwidth and invisible to value-based usability templates, but it is
+// erased by the re-ordering attack (which costs the attacker nothing on
+// order-insensitive data) — whereas it survives value alteration of
+// other fields untouched. Identities are still semantic (the record
+// key), so mere re-organization that preserves list order does not
+// break detection.
+package structwm
+
+import (
+	"fmt"
+	"strings"
+
+	"wmxml/internal/semantics"
+	"wmxml/internal/wmark"
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+// Config parameterizes the structural channel.
+type Config struct {
+	// Key is the secret key.
+	Key []byte
+	// Mark is the watermark.
+	Mark wmark.Bits
+	// Gamma is the selection ratio (default 1: structure bandwidth is
+	// scarce, so default to using all of it).
+	Gamma int
+	// Scope is the record set, e.g. "db/book".
+	Scope string
+	// KeyPath identifies records within the scope, e.g. "title".
+	KeyPath string
+	// Child is the multi-valued child carrying the order bit, e.g.
+	// "author".
+	Child string
+	// Tau is the detection threshold (default 0.85).
+	Tau float64
+	// MinCoverage is the minimum voted-bit coverage (default 0.5).
+	MinCoverage float64
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if len(c.Key) == 0 {
+		return c, fmt.Errorf("structwm: secret key is required")
+	}
+	if len(c.Mark) == 0 {
+		return c, fmt.Errorf("structwm: watermark is required")
+	}
+	if c.Scope == "" || c.KeyPath == "" || c.Child == "" {
+		return c, fmt.Errorf("structwm: Scope, KeyPath and Child are required")
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 1
+	}
+	if c.Tau == 0 {
+		c.Tau = 0.85
+	}
+	if c.MinCoverage == 0 {
+		c.MinCoverage = 0.5
+	}
+	return c, nil
+}
+
+// Result reports an embed or detect pass.
+type Result struct {
+	// Candidates is the number of records with usable order bandwidth
+	// (>= 2 distinct child values).
+	Candidates int
+	// Carriers is the number of selected records.
+	Carriers int
+	// Swapped is the number of child swaps performed (embed only).
+	Swapped int
+	// Detection holds the score for Detect calls.
+	Detection wmark.Result
+}
+
+// orderUnit is one record's order-bandwidth: the two extreme child
+// elements and the record identity.
+type orderUnit struct {
+	id       string
+	min, max *xmltree.Node
+}
+
+// enumerate finds the order units of the document.
+func enumerate(doc *xmltree.Node, cfg Config) ([]orderUnit, error) {
+	insts, err := semantics.Instances(doc, cfg.Scope)
+	if err != nil {
+		return nil, err
+	}
+	keyQ, err := xpath.Compile(cfg.KeyPath)
+	if err != nil {
+		return nil, fmt.Errorf("structwm: key path %q: %w", cfg.KeyPath, err)
+	}
+	var units []orderUnit
+	for _, inst := range insts {
+		kv, ok := keyQ.SelectFirst(inst)
+		if !ok || strings.TrimSpace(kv.Value()) == "" {
+			continue
+		}
+		kids := inst.ChildElementsNamed(cfg.Child)
+		if len(kids) < 2 {
+			continue
+		}
+		min, max := kids[0], kids[0]
+		for _, k := range kids[1:] {
+			if k.Text() < min.Text() {
+				min = k
+			}
+			if k.Text() > max.Text() {
+				max = k
+			}
+		}
+		if min.Text() == max.Text() {
+			continue // all values equal: no order information possible
+		}
+		// The identity is purely semantic — child tag plus record key —
+		// never the physical scope path, which legitimately changes
+		// under re-organization.
+		units = append(units, orderUnit{
+			id:  "struct\x1f" + cfg.Child + "\x1f" + kv.Value(),
+			min: min, max: max,
+		})
+	}
+	return units, nil
+}
+
+// readBit reads the order bit of a unit: 1 when the maximum value
+// precedes the minimum.
+func readBit(u orderUnit) uint8 {
+	if u.max.Index() < u.min.Index() {
+		return 1
+	}
+	return 0
+}
+
+// writeBit sets the order bit by swapping the two extreme children in
+// place (their positions exchange; all other siblings stay put). It
+// reports whether a swap happened.
+func writeBit(u orderUnit, bit uint8) bool {
+	if readBit(u) == bit {
+		return false
+	}
+	parent := u.min.Parent
+	i, j := u.min.Index(), u.max.Index()
+	parent.Children[i], parent.Children[j] = parent.Children[j], parent.Children[i]
+	return true
+}
+
+// Embed inserts the watermark into the document's sibling order.
+func Embed(doc *xmltree.Node, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	sel, err := wmark.NewSelector(cfg.Key, cfg.Gamma, len(cfg.Mark), 1)
+	if err != nil {
+		return nil, err
+	}
+	units, err := enumerate(doc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Candidates: len(units)}
+	for _, u := range units {
+		if !sel.Selected(u.id) {
+			continue
+		}
+		res.Carriers++
+		if writeBit(u, cfg.Mark[sel.BitIndex(u.id)]) {
+			res.Swapped++
+		}
+	}
+	return res, nil
+}
+
+// Detect reads the watermark back from the sibling order.
+func Detect(doc *xmltree.Node, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	sel, err := wmark.NewSelector(cfg.Key, cfg.Gamma, len(cfg.Mark), 1)
+	if err != nil {
+		return nil, err
+	}
+	units, err := enumerate(doc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	votes := wmark.NewVotes(len(cfg.Mark))
+	res := &Result{Candidates: len(units)}
+	for _, u := range units {
+		if !sel.Selected(u.id) {
+			continue
+		}
+		res.Carriers++
+		votes.Add(sel.BitIndex(u.id), readBit(u))
+	}
+	res.Detection = votes.Score(cfg.Mark, cfg.Tau, cfg.MinCoverage)
+	return res, nil
+}

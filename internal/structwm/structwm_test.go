@@ -1,0 +1,215 @@
+package structwm
+
+import (
+	"math/rand"
+	"testing"
+
+	"wmxml/internal/attack"
+	"wmxml/internal/datagen"
+	"wmxml/internal/rewrite"
+	"wmxml/internal/wmark"
+	"wmxml/internal/xmltree"
+)
+
+func pubCfg(markSeed string) Config {
+	return Config{
+		Key:     []byte("struct-key"),
+		Mark:    wmark.Random(markSeed, 24),
+		Scope:   "db/book",
+		KeyPath: "title",
+		Child:   "author",
+	}
+}
+
+func TestStructRoundTrip(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 400, Seed: 1})
+	cfg := pubCfg("m1")
+	doc := ds.Doc.Clone()
+	er, err := Embed(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Candidates == 0 || er.Carriers == 0 {
+		t.Fatalf("no bandwidth: %+v", er)
+	}
+	dr, err := Detect(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Detection.Detected || dr.Detection.MatchFraction != 1.0 {
+		t.Errorf("self-detection: %+v", dr.Detection)
+	}
+}
+
+func TestStructEmbedOnlyReorders(t *testing.T) {
+	// Embedding must not change any value, any count, or any content —
+	// only sibling order.
+	ds := datagen.Publications(datagen.PubConfig{Books: 200, Seed: 2})
+	doc := ds.Doc.Clone()
+	er, err := Embed(doc, pubCfg("m2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Swapped == 0 {
+		t.Fatalf("no swaps performed; test vacuous")
+	}
+	if !xmltree.Equal(ds.Doc, doc, xmltree.CompareOptions{IgnoreChildOrder: true}) {
+		t.Errorf("embedding changed content, not just order")
+	}
+	if xmltree.Equal(ds.Doc, doc, xmltree.CompareOptions{}) {
+		t.Errorf("embedding changed nothing")
+	}
+}
+
+func TestStructWrongKey(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 400, Seed: 3})
+	cfg := pubCfg("m3")
+	doc := ds.Doc.Clone()
+	if _, err := Embed(doc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Key = []byte("not-the-key")
+	dr, err := Detect(doc, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Detection.Detected {
+		t.Errorf("wrong key detected: %+v", dr.Detection)
+	}
+}
+
+func TestStructSurvivesValueAlterationOfOtherFields(t *testing.T) {
+	// The strength of the structural channel: heavy alteration of other
+	// fields (years, prices, publishers) cannot touch it. We alter
+	// everything EXCEPT authors by hand.
+	ds := datagen.Publications(datagen.PubConfig{Books: 300, Seed: 4})
+	cfg := pubCfg("m4")
+	doc := ds.Doc.Clone()
+	if _, err := Embed(doc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	xmltree.WalkElements(doc, func(e *xmltree.Node) {
+		switch e.Name {
+		case "year", "price", "editor":
+			e.SetText("altered-" + e.Text())
+		case "book":
+			if r.Intn(2) == 0 {
+				e.SetAttr("publisher", "altered")
+			}
+		}
+	})
+	dr, err := Detect(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Detection.Detected || dr.Detection.MatchFraction != 1.0 {
+		t.Errorf("structural mark damaged by value alteration: %+v", dr.Detection)
+	}
+}
+
+func TestStructDiesUnderReorder(t *testing.T) {
+	// The weakness: the re-ordering attack erases the channel for free.
+	ds := datagen.Publications(datagen.PubConfig{Books: 400, Seed: 5})
+	cfg := pubCfg("m5")
+	doc := ds.Doc.Clone()
+	if _, err := Embed(doc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := (attack.Reorder{}).Apply(doc, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr, err := Detect(shuffled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Detection.Detected {
+		t.Errorf("structural mark survived reorder: match=%.3f", dr.Detection.MatchFraction)
+	}
+	if dr.Detection.MatchFraction < 0.3 || dr.Detection.MatchFraction > 0.75 {
+		t.Errorf("match after reorder = %.3f, expected near chance", dr.Detection.MatchFraction)
+	}
+}
+
+func TestStructSurvivesOrderPreservingReorganization(t *testing.T) {
+	// Re-organization through a mapping preserves list order within each
+	// record, and identities are key-based — so the structural mark
+	// survives where the positional baseline would not.
+	ds := datagen.Publications(datagen.PubConfig{Books: 300, Seed: 7})
+	cfg := pubCfg("m7")
+	doc := ds.Doc.Clone()
+	if _, err := Embed(doc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	reorg, err := rewrite.Transform(doc, rewrite.PublicationsMapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the new layout the record path changed; detection uses the new
+	// scope.
+	cfg2 := cfg
+	cfg2.Scope = "db/publisher/editor/book"
+	dr, err := Detect(reorg, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Detection.Detected || dr.Detection.MatchFraction != 1.0 {
+		t.Errorf("structural mark lost under order-preserving reorganization: %+v", dr.Detection)
+	}
+}
+
+func TestStructConfigValidation(t *testing.T) {
+	doc := xmltree.MustParseString(`<db/>`)
+	if _, err := Embed(doc, Config{}); err == nil {
+		t.Errorf("empty config accepted")
+	}
+	if _, err := Embed(doc, Config{Key: []byte("k"), Mark: wmark.Bits{1}}); err == nil {
+		t.Errorf("missing scope accepted")
+	}
+	cfg := pubCfg("x")
+	cfg.KeyPath = "[broken"
+	if _, err := Embed(datagen.Figure1DB1(), cfg); err == nil {
+		t.Errorf("broken key path accepted")
+	}
+}
+
+func TestStructSkipsUnusableRecords(t *testing.T) {
+	doc := xmltree.MustParseString(`<db>
+	  <book><title>A</title><author>Same</author><author>Same</author></book>
+	  <book><title>B</title><author>Only</author></book>
+	  <book><author>NoKey</author><author>Two</author></book>
+	  <book><title>C</title><author>Alpha</author><author>Beta</author></book>
+	</db>`)
+	cfg := pubCfg("skip")
+	er, err := Embed(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only book C has a key AND two distinct authors.
+	if er.Candidates != 1 {
+		t.Errorf("candidates = %d, want 1", er.Candidates)
+	}
+}
+
+func TestStructDeterministicBit(t *testing.T) {
+	// Embedding twice yields the same order (idempotence).
+	ds := datagen.Publications(datagen.PubConfig{Books: 100, Seed: 8})
+	cfg := pubCfg("m8")
+	d1 := ds.Doc.Clone()
+	if _, err := Embed(d1, cfg); err != nil {
+		t.Fatal(err)
+	}
+	d2 := d1.Clone()
+	er, err := Embed(d2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.Swapped != 0 {
+		t.Errorf("re-embedding swapped %d pairs; not idempotent", er.Swapped)
+	}
+	if !xmltree.Equal(d1, d2, xmltree.CompareOptions{}) {
+		t.Errorf("re-embedding changed the document")
+	}
+}

@@ -1,0 +1,283 @@
+// Package usability measures data usability by the correctness of
+// query-template results — the paper's §2.1 metric:
+//
+//	"WmXML uses the correctness of query results to measure the
+//	 usability of XML data. A set of query templates … are specified by
+//	 user to depict data usability. After watermarking or attacks, if a
+//	 certain fraction of the results to these query templates are
+//	 destroyed, the usability of the XML data is regarded destroyed."
+//
+// A template is an XPath whose record step carries a *parameter
+// predicate* — a bare existence test like db/book[title]/author. The
+// meter expands the parameter over the original document (one concrete
+// probe per distinct title) and records the expected answers. Measuring
+// a suspect document runs every probe (optionally through a query
+// rewriter when the suspect was re-organized) and reports the fraction
+// answered correctly.
+//
+// Results are compared as value *sets*: data-centric usability is about
+// information content, and re-organization legitimately de-duplicates
+// FD-redundant values without losing information. Numeric values compare
+// within a relative tolerance so the watermark's own low-order
+// perturbation never counts as damage (the imperceptibility requirement).
+package usability
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+// Rewriter matches core.Rewriter without importing it (avoids a cycle;
+// both are satisfied by rewrite.QueryRewriter).
+type Rewriter interface {
+	RewriteQuery(q *xpath.Query) (*xpath.Query, error)
+}
+
+// Options configures the meter.
+type Options struct {
+	// RelTol is the relative tolerance for numeric comparison. Default
+	// 0.02, generous enough for xi <= 5 low-order embedding, far too
+	// tight for value-replacement attacks.
+	RelTol float64
+	// MaxProbes caps probes per template (0 = unlimited). Large documents
+	// yield one probe per key value; capping keeps measurement cheap.
+	MaxProbes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RelTol == 0 {
+		o.RelTol = 0.02
+	}
+	return o
+}
+
+// Probe is one concrete usability check: a query and its expected answer
+// on the original document.
+type Probe struct {
+	Template string
+	Query    string
+	Expected []string // sorted, de-duplicated
+}
+
+// Meter holds the expanded probes of one original document.
+type Meter struct {
+	opts   Options
+	probes []Probe
+}
+
+// NewMeter expands the templates over the original document.
+func NewMeter(original *xmltree.Node, templates []string, opts Options) (*Meter, error) {
+	m := &Meter{opts: opts.withDefaults()}
+	for _, tpl := range templates {
+		probes, err := expandTemplate(original, tpl, m.opts.MaxProbes)
+		if err != nil {
+			return nil, err
+		}
+		m.probes = append(m.probes, probes...)
+	}
+	if len(m.probes) == 0 {
+		return nil, fmt.Errorf("usability: no probes produced by %d templates", len(templates))
+	}
+	return m, nil
+}
+
+// Probes returns the expanded probes (primarily for reporting).
+func (m *Meter) Probes() []Probe { return m.probes }
+
+// expandTemplate turns db/book[title]/author into one probe per distinct
+// title value. A template with no parameter predicate becomes a single
+// probe over its full result.
+func expandTemplate(doc *xmltree.Node, tpl string, maxProbes int) ([]Probe, error) {
+	path, err := xpath.ParsePath(tpl)
+	if err != nil {
+		return nil, fmt.Errorf("usability: template %q: %w", tpl, err)
+	}
+	paramStep, paramIdx := -1, -1
+	for si := range path.Steps {
+		for pi, pred := range path.Steps[si].Predicates {
+			if pe, ok := pred.(xpath.PathExpr); ok {
+				if paramStep >= 0 {
+					return nil, fmt.Errorf("usability: template %q has more than one parameter", tpl)
+				}
+				paramStep, paramIdx = si, pi
+				_ = pe
+			}
+		}
+	}
+	if paramStep < 0 {
+		// Unparameterized template: one probe.
+		q := xpath.FromPath(path)
+		return []Probe{{Template: tpl, Query: q.String(), Expected: valueSet(q.Select(doc), 0)}}, nil
+	}
+
+	// Collect distinct parameter values: evaluate the path up to the
+	// parameter step with the parameter path appended.
+	pe := path.Steps[paramStep].Predicates[paramIdx].(xpath.PathExpr)
+	valPath := xpath.Path{Absolute: path.Absolute, Steps: append([]xpath.Step{}, path.Steps[:paramStep+1]...)}
+	// Remove the parameter predicate from the step used for enumeration.
+	enumStep := valPath.Steps[paramStep]
+	enumStep.Predicates = nil
+	valPath.Steps[paramStep] = enumStep
+	valPath.Steps = append(valPath.Steps, pe.Path.Steps...)
+	values := xpath.FromPath(valPath).SelectValues(doc)
+	seen := make(map[string]bool)
+	var probes []Probe
+	for _, v := range values {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if strings.Contains(v, "'") && strings.Contains(v, `"`) {
+			continue // unquotable in XPath 1.0
+		}
+		concrete := path.Clone()
+		concrete.Steps[paramStep].Predicates[paramIdx] = xpath.Binary{
+			Op: "=",
+			L:  xpath.PathExpr{Path: pe.Path.Clone()},
+			R:  xpath.String{Value: v},
+		}
+		q := xpath.FromPath(concrete)
+		probes = append(probes, Probe{Template: tpl, Query: q.String(), Expected: valueSet(q.Select(doc), 0)})
+		if maxProbes > 0 && len(probes) >= maxProbes {
+			break
+		}
+	}
+	return probes, nil
+}
+
+// valueSet extracts sorted distinct values from items.
+func valueSet(items []xpath.Item, _ int) []string {
+	set := make(map[string]bool, len(items))
+	for _, it := range items {
+		set[it.Value()] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TemplateScore is the per-template breakdown of a measurement.
+type TemplateScore struct {
+	Template string
+	Probes   int
+	Correct  int
+}
+
+// Score is a usability measurement.
+type Score struct {
+	Probes      int
+	Correct     int
+	PerTemplate []TemplateScore
+	// RewriteFailures counts probes whose query could not be rewritten
+	// for the suspect document (those probes count as incorrect).
+	RewriteFailures int
+}
+
+// Usability returns the fraction of correct probes in [0,1].
+func (s Score) Usability() float64 {
+	if s.Probes == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Probes)
+}
+
+// Measure runs all probes against a suspect document. rw may be nil when
+// the suspect kept the original schema.
+func (m *Meter) Measure(suspect *xmltree.Node, rw Rewriter) Score {
+	var sc Score
+	per := make(map[string]*TemplateScore)
+	order := []string{}
+	for _, p := range m.probes {
+		ts := per[p.Template]
+		if ts == nil {
+			ts = &TemplateScore{Template: p.Template}
+			per[p.Template] = ts
+			order = append(order, p.Template)
+		}
+		sc.Probes++
+		ts.Probes++
+		q, err := xpath.Compile(p.Query)
+		if err != nil {
+			continue // cannot happen for meter-produced probes
+		}
+		if rw != nil {
+			rq, err := rw.RewriteQuery(q)
+			if err != nil {
+				sc.RewriteFailures++
+				continue
+			}
+			q = rq
+		}
+		got := valueSet(q.Select(suspect), 0)
+		if m.setsMatch(p.Expected, got) {
+			sc.Correct++
+			ts.Correct++
+		}
+	}
+	for _, tpl := range order {
+		sc.PerTemplate = append(sc.PerTemplate, *per[tpl])
+	}
+	return sc
+}
+
+// setsMatch compares two sorted value sets under numeric tolerance. The
+// sets must have equal cardinality and match one-to-one in sorted order.
+func (m *Meter) setsMatch(want, got []string) bool {
+	if len(want) != len(got) {
+		return false
+	}
+	for i := range want {
+		if !m.valuesMatch(want[i], got[i]) {
+			// Sorted order may interleave near-equal numerics; fall back
+			// to bipartite greedy match for small sets.
+			return m.slowMatch(want, got)
+		}
+	}
+	return true
+}
+
+func (m *Meter) slowMatch(want, got []string) bool {
+	used := make([]bool, len(got))
+outer:
+	for _, w := range want {
+		for j, g := range got {
+			if !used[j] && m.valuesMatch(w, g) {
+				used[j] = true
+				continue outer
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// valuesMatch compares two scalar values: numerics within RelTol, text
+// case-insensitively (the text watermark channel embeds in letter case,
+// mirroring the paper's assumption that its chosen channels sit below
+// the usability threshold; a value replaced outright still counts as
+// damage), everything else exactly.
+func (m *Meter) valuesMatch(a, b string) bool {
+	if a == b || strings.EqualFold(a, b) {
+		return true
+	}
+	fa, ea := strconv.ParseFloat(strings.TrimSpace(a), 64)
+	fb, eb := strconv.ParseFloat(strings.TrimSpace(b), 64)
+	if ea != nil || eb != nil {
+		return false
+	}
+	diff := math.Abs(fa - fb)
+	scale := math.Max(math.Abs(fa), math.Abs(fb))
+	if scale == 0 {
+		return diff == 0
+	}
+	return diff/scale <= m.opts.RelTol
+}

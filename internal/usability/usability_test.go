@@ -1,0 +1,244 @@
+package usability
+
+import (
+	"strings"
+	"testing"
+
+	"wmxml/internal/datagen"
+	"wmxml/internal/rewrite"
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+const db1 = `<db>
+  <book publisher="mkp">
+    <title>Readings in Database Systems</title>
+    <author>Stonebraker</author>
+    <author>Hellerstein</author>
+    <year>1998</year>
+  </book>
+  <book publisher="acm">
+    <title>Database Design</title>
+    <author>Berstein</author>
+    <year>1999</year>
+  </book>
+</db>`
+
+func TestMeterPerfectOnOriginal(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	m, err := NewMeter(doc, []string{"db/book[title]/author", "db/book[title]/year"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := m.Measure(doc, nil)
+	if sc.Usability() != 1.0 {
+		t.Errorf("usability of original = %.2f, want 1.0 (%+v)", sc.Usability(), sc)
+	}
+	// 2 titles x 2 templates = 4 probes.
+	if sc.Probes != 4 {
+		t.Errorf("probes = %d, want 4", sc.Probes)
+	}
+}
+
+func TestMeterDetectsValueDamage(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	m, err := NewMeter(doc, []string{"db/book[title]/year"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmg := xmltree.MustParseString(db1)
+	dmg.Root().ChildElements()[0].FirstChildNamed("year").SetText("1000")
+	sc := m.Measure(dmg, nil)
+	if sc.Correct != 1 || sc.Probes != 2 {
+		t.Errorf("score = %+v", sc)
+	}
+}
+
+func TestNumericTolerance(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	m, err := NewMeter(doc, []string{"db/book[title]/year"}, Options{RelTol: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watermark-scale perturbation: 1998 -> 2006 (0.4%): tolerated.
+	wm := xmltree.MustParseString(db1)
+	wm.Root().ChildElements()[0].FirstChildNamed("year").SetText("2006")
+	if sc := m.Measure(wm, nil); sc.Usability() != 1.0 {
+		t.Errorf("watermark-scale perturbation counted as damage: %+v", sc)
+	}
+	// Attack-scale perturbation: 1998 -> 1200 (40%): damage.
+	atk := xmltree.MustParseString(db1)
+	atk.Root().ChildElements()[0].FirstChildNamed("year").SetText("1200")
+	if sc := m.Measure(atk, nil); sc.Usability() == 1.0 {
+		t.Errorf("attack-scale perturbation tolerated")
+	}
+}
+
+func TestTextDamageExact(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	m, err := NewMeter(doc, []string{"db/book[title]/author"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmg := xmltree.MustParseString(db1)
+	dmg.Root().ChildElements()[1].FirstChildNamed("author").SetText("Nobody")
+	sc := m.Measure(dmg, nil)
+	if sc.Correct != 1 {
+		t.Errorf("text damage missed: %+v", sc)
+	}
+}
+
+func TestMissingRecordDamagesProbes(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	m, err := NewMeter(doc, []string{"db/book[title]/author", "db/book[title]/year"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := xmltree.MustParseString(db1)
+	red.Root().ChildElements()[1].Detach()
+	sc := m.Measure(red, nil)
+	// Both probes of the deleted book fail; the remaining book's pass.
+	if sc.Correct != 2 || sc.Probes != 4 {
+		t.Errorf("score after deletion = %+v", sc)
+	}
+}
+
+func TestUnparameterizedTemplate(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	m, err := NewMeter(doc, []string{"db/book/year"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Probes()) != 1 {
+		t.Fatalf("probes = %d, want 1", len(m.Probes()))
+	}
+	if sc := m.Measure(doc, nil); sc.Usability() != 1.0 {
+		t.Errorf("self measure = %+v", sc)
+	}
+}
+
+func TestMeasureWithRewriter(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 60, Editors: 8, Publishers: 3, Seed: 5})
+	// Templates restricted to fields that survive the figure-1 mapping.
+	m, err := NewMeter(ds.Doc, []string{
+		"db/book[title]/year",
+		"db/book[title]/author",
+		"db/book[title]/@publisher",
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reorg, err := rewrite.Transform(ds.Doc, rewrite.Figure1Mapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := rewrite.NewQueryRewriter(rewrite.Figure1Mapping())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := m.Measure(reorg, rw)
+	if sc.Usability() != 1.0 {
+		t.Errorf("re-organized usability = %.3f (failures %d), want 1.0: reorganization preserves information",
+			sc.Usability(), sc.Probes-sc.Correct)
+	}
+	// Without the rewriter the same measurement collapses.
+	raw := m.Measure(reorg, nil)
+	if raw.Usability() > 0.1 {
+		t.Errorf("un-rewritten usability on re-organized doc = %.3f, expected near 0", raw.Usability())
+	}
+}
+
+func TestPerTemplateBreakdown(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	m, err := NewMeter(doc, []string{"db/book[title]/author", "db/book[title]/year"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := m.Measure(doc, nil)
+	if len(sc.PerTemplate) != 2 {
+		t.Fatalf("per-template entries = %d", len(sc.PerTemplate))
+	}
+	for _, ts := range sc.PerTemplate {
+		if ts.Probes != 2 || ts.Correct != 2 {
+			t.Errorf("template %q: %d/%d", ts.Template, ts.Correct, ts.Probes)
+		}
+	}
+}
+
+func TestMaxProbes(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 100, Seed: 3})
+	m, err := NewMeter(ds.Doc, []string{"db/book[title]/year"}, Options{MaxProbes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Probes()) != 10 {
+		t.Errorf("probes = %d, want 10", len(m.Probes()))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	if _, err := NewMeter(doc, []string{"db/book[ti[tle]/year"}, Options{}); err == nil {
+		t.Errorf("bad template accepted")
+	}
+	if _, err := NewMeter(doc, []string{"db/book[title][author]/year"}, Options{}); err == nil {
+		t.Errorf("two-parameter template accepted")
+	}
+	if _, err := NewMeter(doc, []string{"db/magazine[title]/year"}, Options{}); err == nil {
+		t.Errorf("template with zero probes accepted")
+	}
+}
+
+func TestScoreZeroProbes(t *testing.T) {
+	var s Score
+	if s.Usability() != 0 {
+		t.Errorf("zero-probe usability = %f", s.Usability())
+	}
+}
+
+func TestQuotingInProbes(t *testing.T) {
+	doc := xmltree.MustParseString(`<db>
+	  <book><title>It's a title</title><year>2001</year></book>
+	  <book><title>Mix ' and " quotes</title><year>2002</year></book>
+	</db>`)
+	m, err := NewMeter(doc, []string{"db/book[title]/year"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single-quoted title probes fine (double-quoted literal); the
+	// both-quotes title is skipped.
+	if len(m.Probes()) != 1 {
+		t.Fatalf("probes = %d, want 1", len(m.Probes()))
+	}
+	if !strings.Contains(m.Probes()[0].Query, `"It's a title"`) {
+		t.Errorf("probe query = %q", m.Probes()[0].Query)
+	}
+	if sc := m.Measure(doc, nil); sc.Usability() != 1.0 {
+		t.Errorf("quoted probe failed: %+v", sc)
+	}
+}
+
+type deadRewriter struct{}
+
+func (deadRewriter) RewriteQuery(*xpath.Query) (*xpath.Query, error) {
+	return nil, errDead{}
+}
+
+type errDead struct{}
+
+func (errDead) Error() string { return "dead" }
+
+func TestRewriteFailuresCounted(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	m, err := NewMeter(doc, []string{"db/book[title]/year"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := m.Measure(doc, deadRewriter{})
+	if sc.RewriteFailures != sc.Probes {
+		t.Errorf("rewrite failures = %d of %d probes", sc.RewriteFailures, sc.Probes)
+	}
+	if sc.Correct != 0 {
+		t.Errorf("dead rewriter scored %d correct", sc.Correct)
+	}
+}

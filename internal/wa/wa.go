@@ -1,0 +1,330 @@
+// Package wa implements the plug-in watermark embedding algorithms of
+// WmXML — the boxes labelled WA1, WA2, WA3 in the paper's figure 4:
+// "As XML could contain various types of data, the system prepares
+// various plug-in watermarking algorithms for different data types. …
+// The data types currently supported by the system include numeric data
+// and images."
+//
+// Each Algorithm embeds a single bit into a single string value and
+// extracts it back. Which value carries which bit, and at which low-order
+// position, is decided by the keyed machinery in internal/wmark; the
+// algorithms here are deliberately key-oblivious so they can be swapped
+// per data type.
+package wa
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wmxml/internal/schema"
+)
+
+// Params carries the per-value embedding parameters chosen by the keyed
+// selector.
+type Params struct {
+	// BitPosition is the low-order position that carries the bit
+	// (Agrawal–Kiernan's keyed choice among xi candidate positions). Its
+	// interpretation is algorithm-specific: binary bit index for numbers,
+	// byte index for binary payloads.
+	BitPosition int
+}
+
+// Algorithm is one plug-in embedding scheme.
+type Algorithm interface {
+	// Name identifies the algorithm in reports and registries.
+	Name() string
+	// CanEmbed reports whether the value is in the algorithm's domain.
+	CanEmbed(value string) bool
+	// Embed returns the value with the bit embedded at the parameterized
+	// position. Embedding must be idempotent: embedding the same bit
+	// twice yields the same value.
+	Embed(value string, bit uint8, p Params) (string, error)
+	// Extract reads the embedded bit back. ok is false when the value
+	// left the algorithm's domain (e.g. a numeric value was replaced by
+	// text).
+	Extract(value string, p Params) (bit uint8, ok bool)
+}
+
+// ErrNotEmbeddable is returned by Embed when CanEmbed is false.
+type ErrNotEmbeddable struct {
+	Algo  string
+	Value string
+}
+
+func (e ErrNotEmbeddable) Error() string {
+	v := e.Value
+	if len(v) > 32 {
+		v = v[:29] + "..."
+	}
+	return fmt.Sprintf("wa: %s cannot embed into %q", e.Algo, v)
+}
+
+// ---------------------------------------------------------------------
+// Numeric algorithm
+// ---------------------------------------------------------------------
+
+// Numeric embeds the bit into a low-order binary bit of a decimal value,
+// preserving sign, integer/fraction shape and the number of fraction
+// digits, so that a watermarked price still looks like a price.
+//
+// For a value with d fraction digits, the value is scaled to an integer
+// by 10^d, the binary bit at BitPosition is set to the mark bit, and the
+// result is scaled back and reformatted with exactly d fraction digits.
+type Numeric struct{}
+
+// Name implements Algorithm.
+func (Numeric) Name() string { return "numeric-lsb" }
+
+// CanEmbed implements Algorithm: any decimal number.
+func (Numeric) CanEmbed(value string) bool {
+	_, _, _, err := splitNumber(value)
+	return err == nil
+}
+
+// Embed implements Algorithm.
+func (Numeric) Embed(value string, bit uint8, p Params) (string, error) {
+	neg, scaled, digits, err := splitNumber(value)
+	if err != nil {
+		return "", ErrNotEmbeddable{Algo: "numeric-lsb", Value: value}
+	}
+	pos := uint(p.BitPosition)
+	if pos > 30 {
+		pos = pos % 31
+	}
+	if bit != 0 {
+		scaled |= int64(1) << pos
+	} else {
+		scaled &^= int64(1) << pos
+	}
+	return formatNumber(neg, scaled, digits), nil
+}
+
+// Extract implements Algorithm.
+func (Numeric) Extract(value string, p Params) (uint8, bool) {
+	_, scaled, _, err := splitNumber(value)
+	if err != nil {
+		return 0, false
+	}
+	pos := uint(p.BitPosition)
+	if pos > 30 {
+		pos = pos % 31
+	}
+	return uint8((scaled >> pos) & 1), true
+}
+
+// splitNumber parses a plain decimal string into (negative, |value|
+// scaled to an integer, fraction digits). Scientific notation is not
+// treated as numeric here: rewriting it would change the value's shape,
+// which is exactly what imperceptible marking must not do.
+func splitNumber(s string) (neg bool, scaled int64, fracDigits int, err error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return false, 0, 0, fmt.Errorf("empty")
+	}
+	if t[0] == '-' {
+		neg = true
+		t = t[1:]
+	} else if t[0] == '+' {
+		t = t[1:]
+	}
+	if t == "" {
+		return false, 0, 0, fmt.Errorf("sign only")
+	}
+	intPart := t
+	fracPart := ""
+	if i := strings.IndexByte(t, '.'); i >= 0 {
+		intPart, fracPart = t[:i], t[i+1:]
+		if fracPart == "" {
+			return false, 0, 0, fmt.Errorf("trailing dot")
+		}
+	}
+	if intPart == "" {
+		intPart = "0"
+	}
+	for _, r := range intPart + fracPart {
+		if r < '0' || r > '9' {
+			return false, 0, 0, fmt.Errorf("non-digit %q", r)
+		}
+	}
+	if len(intPart)+len(fracPart) > 17 {
+		return false, 0, 0, fmt.Errorf("too many digits")
+	}
+	v, perr := strconv.ParseInt(intPart+fracPart, 10, 64)
+	if perr != nil {
+		return false, 0, 0, perr
+	}
+	return neg, v, len(fracPart), nil
+}
+
+func formatNumber(neg bool, scaled int64, fracDigits int) string {
+	digits := strconv.FormatInt(scaled, 10)
+	if fracDigits > 0 {
+		for len(digits) <= fracDigits {
+			digits = "0" + digits
+		}
+		digits = digits[:len(digits)-fracDigits] + "." + digits[len(digits)-fracDigits:]
+	}
+	if neg && scaled != 0 {
+		digits = "-" + digits
+	}
+	return digits
+}
+
+// ---------------------------------------------------------------------
+// Binary / image algorithm
+// ---------------------------------------------------------------------
+
+// Binary embeds the bit into the least significant bit of a keyed byte of
+// a base64-encoded payload — the classic LSB channel over the opaque
+// "image" values the paper's system supports.
+type Binary struct{}
+
+// Name implements Algorithm.
+func (Binary) Name() string { return "binary-lsb" }
+
+// CanEmbed implements Algorithm: non-empty valid base64.
+func (Binary) CanEmbed(value string) bool {
+	raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(value))
+	return err == nil && len(raw) > 0
+}
+
+// Embed implements Algorithm.
+func (b Binary) Embed(value string, bit uint8, p Params) (string, error) {
+	raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(value))
+	if err != nil || len(raw) == 0 {
+		return "", ErrNotEmbeddable{Algo: b.Name(), Value: value}
+	}
+	idx := p.BitPosition % len(raw)
+	if bit != 0 {
+		raw[idx] |= 1
+	} else {
+		raw[idx] &^= 1
+	}
+	return base64.StdEncoding.EncodeToString(raw), nil
+}
+
+// Extract implements Algorithm.
+func (b Binary) Extract(value string, p Params) (uint8, bool) {
+	raw, err := base64.StdEncoding.DecodeString(strings.TrimSpace(value))
+	if err != nil || len(raw) == 0 {
+		return 0, false
+	}
+	idx := p.BitPosition % len(raw)
+	return raw[idx] & 1, true
+}
+
+// ---------------------------------------------------------------------
+// Text algorithm
+// ---------------------------------------------------------------------
+
+// Text embeds the bit in the case of a keyed alphabetic character:
+// bit 1 → upper case, bit 0 → lower case. It is the demonstration
+// plug-in for free-text values; its perceptibility is the trade-off the
+// plug-in architecture exists to isolate (swap in a synonym-substitution
+// algorithm without touching the encoder).
+type Text struct{}
+
+// Name implements Algorithm.
+func (Text) Name() string { return "text-case" }
+
+// CanEmbed implements Algorithm: the value contains at least one ASCII
+// letter.
+func (Text) CanEmbed(value string) bool {
+	return letterAt(value, 0) >= 0
+}
+
+// letterAt returns the byte index of the n-th ASCII letter, or -1.
+func letterAt(s string, n int) int {
+	seen := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			if seen == n {
+				return i
+			}
+			seen++
+		}
+	}
+	return -1
+}
+
+func countLetters(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			n++
+		}
+	}
+	return n
+}
+
+// Embed implements Algorithm.
+func (t Text) Embed(value string, bit uint8, p Params) (string, error) {
+	n := countLetters(value)
+	if n == 0 {
+		return "", ErrNotEmbeddable{Algo: t.Name(), Value: value}
+	}
+	idx := letterAt(value, p.BitPosition%n)
+	b := []byte(value)
+	c := b[idx]
+	if bit != 0 {
+		if c >= 'a' && c <= 'z' {
+			b[idx] = c - 'a' + 'A'
+		}
+	} else {
+		if c >= 'A' && c <= 'Z' {
+			b[idx] = c - 'A' + 'a'
+		}
+	}
+	return string(b), nil
+}
+
+// Extract implements Algorithm.
+func (t Text) Extract(value string, p Params) (uint8, bool) {
+	n := countLetters(value)
+	if n == 0 {
+		return 0, false
+	}
+	idx := letterAt(value, p.BitPosition%n)
+	c := value[idx]
+	if c >= 'A' && c <= 'Z' {
+		return 1, true
+	}
+	return 0, true
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+// ForType returns the default algorithm for a schema data type, or nil
+// for types without watermark bandwidth (TypeNone).
+func ForType(t schema.DataType) Algorithm {
+	switch t {
+	case schema.TypeInteger, schema.TypeDecimal:
+		return Numeric{}
+	case schema.TypeImage:
+		return Binary{}
+	case schema.TypeString:
+		return Text{}
+	default:
+		return nil
+	}
+}
+
+// ByName resolves an algorithm by its registry name.
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case "numeric-lsb":
+		return Numeric{}, nil
+	case "binary-lsb":
+		return Binary{}, nil
+	case "text-case":
+		return Text{}, nil
+	default:
+		return nil, fmt.Errorf("wa: unknown algorithm %q", name)
+	}
+}

@@ -1,0 +1,306 @@
+package wa
+
+import (
+	"encoding/base64"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wmxml/internal/schema"
+)
+
+func TestNumericEmbedExtract(t *testing.T) {
+	alg := Numeric{}
+	cases := []struct {
+		value string
+		bit   uint8
+		pos   int
+	}{
+		{"1998", 1, 0},
+		{"1998", 0, 0},
+		{"1998", 1, 3},
+		{"55.50", 1, 1},
+		{"55.50", 0, 1},
+		{"-42", 1, 2},
+		{"0", 1, 0},
+		{"0.001", 1, 0},
+		{"123456789", 0, 5},
+	}
+	for _, tc := range cases {
+		out, err := alg.Embed(tc.value, tc.bit, Params{BitPosition: tc.pos})
+		if err != nil {
+			t.Errorf("Embed(%q,%d,%d): %v", tc.value, tc.bit, tc.pos, err)
+			continue
+		}
+		got, ok := alg.Extract(out, Params{BitPosition: tc.pos})
+		if !ok || got != tc.bit {
+			t.Errorf("Extract(Embed(%q,%d,%d)=%q) = %d,%v", tc.value, tc.bit, tc.pos, out, got, ok)
+		}
+	}
+}
+
+func TestNumericPreservesShape(t *testing.T) {
+	alg := Numeric{}
+	out, err := alg.Embed("55.50", 1, Params{BitPosition: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, ".") || len(strings.SplitN(out, ".", 2)[1]) != 2 {
+		t.Errorf("fraction shape lost: %q", out)
+	}
+	out2, err := alg.Embed("-7", 0, Params{BitPosition: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out2, "-") {
+		t.Errorf("sign lost: %q", out2)
+	}
+}
+
+func TestNumericPerturbationBounded(t *testing.T) {
+	// With xi=4 positions on an integer, the change is < 2^4 = 16.
+	alg := Numeric{}
+	for v := int64(100); v < 200; v++ {
+		for pos := 0; pos < 4; pos++ {
+			for _, bit := range []uint8{0, 1} {
+				s := strconv.FormatInt(v, 10)
+				out, err := alg.Embed(s, bit, Params{BitPosition: pos})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _ := strconv.ParseInt(out, 10, 64)
+				if got < v-16 || got > v+16 {
+					t.Errorf("Embed(%d, bit %d, pos %d) = %d: change too large", v, bit, pos, got)
+				}
+			}
+		}
+	}
+}
+
+func TestNumericIdempotent(t *testing.T) {
+	alg := Numeric{}
+	out1, _ := alg.Embed("1998", 1, Params{BitPosition: 2})
+	out2, _ := alg.Embed(out1, 1, Params{BitPosition: 2})
+	if out1 != out2 {
+		t.Errorf("not idempotent: %q -> %q", out1, out2)
+	}
+}
+
+func TestNumericRejects(t *testing.T) {
+	alg := Numeric{}
+	for _, v := range []string{"", "abc", "1.2.3", "1e5", "12345678901234567890", "-", "3."} {
+		if alg.CanEmbed(v) {
+			t.Errorf("CanEmbed(%q) = true", v)
+		}
+		if _, err := alg.Embed(v, 1, Params{}); err == nil {
+			t.Errorf("Embed(%q) succeeded", v)
+		}
+		if _, ok := alg.Extract(v, Params{}); ok {
+			t.Errorf("Extract(%q) succeeded", v)
+		}
+	}
+}
+
+func TestNumericQuickRoundTrip(t *testing.T) {
+	f := func(v int32, bit bool, pos uint8) bool {
+		alg := Numeric{}
+		b := uint8(0)
+		if bit {
+			b = 1
+		}
+		p := Params{BitPosition: int(pos % 8)}
+		out, err := alg.Embed(strconv.FormatInt(int64(v), 10), b, p)
+		if err != nil {
+			return false
+		}
+		got, ok := alg.Extract(out, p)
+		return ok && got == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("numeric round-trip property: %v", err)
+	}
+}
+
+func TestNumericQuickDecimalShape(t *testing.T) {
+	f := func(units uint16, cents uint8, bit bool, pos uint8) bool {
+		alg := Numeric{}
+		val := strconv.Itoa(int(units)) + "." + twoDigits(int(cents)%100)
+		b := uint8(0)
+		if bit {
+			b = 1
+		}
+		p := Params{BitPosition: int(pos % 6)}
+		out, err := alg.Embed(val, b, p)
+		if err != nil {
+			return false
+		}
+		parts := strings.SplitN(out, ".", 2)
+		if len(parts) != 2 || len(parts[1]) != 2 {
+			return false
+		}
+		got, ok := alg.Extract(out, p)
+		return ok && got == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Errorf("decimal shape property: %v", err)
+	}
+}
+
+func twoDigits(n int) string {
+	if n < 10 {
+		return "0" + strconv.Itoa(n)
+	}
+	return strconv.Itoa(n)
+}
+
+func TestBinaryEmbedExtract(t *testing.T) {
+	alg := Binary{}
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	val := base64.StdEncoding.EncodeToString(payload)
+	for pos := 0; pos < 100; pos += 13 {
+		for _, bit := range []uint8{0, 1} {
+			out, err := alg.Embed(val, bit, Params{BitPosition: pos})
+			if err != nil {
+				t.Fatalf("Embed: %v", err)
+			}
+			got, ok := alg.Extract(out, Params{BitPosition: pos})
+			if !ok || got != bit {
+				t.Errorf("pos %d bit %d: got %d,%v", pos, bit, got, ok)
+			}
+			// Only one byte may change, and only its LSB.
+			outRaw, _ := base64.StdEncoding.DecodeString(out)
+			changed := 0
+			for i := range payload {
+				if outRaw[i] != payload[i] {
+					changed++
+					if outRaw[i]^payload[i] != 1 {
+						t.Errorf("pos %d: non-LSB change at byte %d", pos, i)
+					}
+				}
+			}
+			if changed > 1 {
+				t.Errorf("pos %d: %d bytes changed", pos, changed)
+			}
+		}
+	}
+}
+
+func TestBinaryRejects(t *testing.T) {
+	alg := Binary{}
+	for _, v := range []string{"", "!!!not-base64!!!", "===="} {
+		if alg.CanEmbed(v) {
+			t.Errorf("CanEmbed(%q) = true", v)
+		}
+		if _, err := alg.Embed(v, 1, Params{}); err == nil {
+			t.Errorf("Embed(%q) succeeded", v)
+		}
+	}
+}
+
+func TestTextEmbedExtract(t *testing.T) {
+	alg := Text{}
+	cases := []string{"stonebraker", "Database Design", "a b c", "x1y2"}
+	for _, v := range cases {
+		for pos := 0; pos < 5; pos++ {
+			for _, bit := range []uint8{0, 1} {
+				out, err := alg.Embed(v, bit, Params{BitPosition: pos})
+				if err != nil {
+					t.Fatalf("Embed(%q): %v", v, err)
+				}
+				got, ok := alg.Extract(out, Params{BitPosition: pos})
+				if !ok || got != bit {
+					t.Errorf("Embed(%q, bit %d, pos %d) = %q; Extract = %d,%v", v, bit, pos, out, got, ok)
+				}
+				if strings.ToLower(out) != strings.ToLower(v) {
+					t.Errorf("text content changed beyond case: %q -> %q", v, out)
+				}
+			}
+		}
+	}
+}
+
+func TestTextRejects(t *testing.T) {
+	alg := Text{}
+	for _, v := range []string{"", "12345", "!!!", "   "} {
+		if alg.CanEmbed(v) {
+			t.Errorf("CanEmbed(%q) = true", v)
+		}
+		if _, err := alg.Embed(v, 1, Params{}); err == nil {
+			t.Errorf("Embed(%q) succeeded", v)
+		}
+		if _, ok := alg.Extract(v, Params{}); ok {
+			t.Errorf("Extract(%q) ok", v)
+		}
+	}
+}
+
+func TestForType(t *testing.T) {
+	cases := []struct {
+		dt   schema.DataType
+		want string
+	}{
+		{schema.TypeInteger, "numeric-lsb"},
+		{schema.TypeDecimal, "numeric-lsb"},
+		{schema.TypeImage, "binary-lsb"},
+		{schema.TypeString, "text-case"},
+	}
+	for _, tc := range cases {
+		alg := ForType(tc.dt)
+		if alg == nil || alg.Name() != tc.want {
+			t.Errorf("ForType(%v) = %v, want %s", tc.dt, alg, tc.want)
+		}
+	}
+	if ForType(schema.TypeNone) != nil {
+		t.Errorf("ForType(none) should be nil")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"numeric-lsb", "binary-lsb", "text-case"} {
+		alg, err := ByName(name)
+		if err != nil || alg.Name() != name {
+			t.Errorf("ByName(%q): %v, %v", name, alg, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Errorf("unknown name accepted")
+	}
+}
+
+func TestErrNotEmbeddableMessage(t *testing.T) {
+	err := ErrNotEmbeddable{Algo: "numeric-lsb", Value: strings.Repeat("x", 100)}
+	if len(err.Error()) > 120 {
+		t.Errorf("error message not clipped: %q", err.Error())
+	}
+}
+
+func TestBinaryQuickRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(seed int64, bit bool, pos uint16) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := 1 + rr.Intn(128)
+		raw := make([]byte, n)
+		rr.Read(raw)
+		val := base64.StdEncoding.EncodeToString(raw)
+		b := uint8(0)
+		if bit {
+			b = 1
+		}
+		alg := Binary{}
+		p := Params{BitPosition: int(pos)}
+		out, err := alg.Embed(val, b, p)
+		if err != nil {
+			return false
+		}
+		got, ok := alg.Extract(out, p)
+		return ok && got == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Errorf("binary round-trip property: %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+package xmltree
+
+import (
+	"sort"
+	"strings"
+)
+
+// CompareOptions controls structural comparison and canonicalization.
+type CompareOptions struct {
+	// IgnoreChildOrder treats element children as an unordered bag. Data-
+	// centric XML rarely depends on sibling order, and the re-ordering
+	// attack specifically permutes it, so usability comparisons set this.
+	IgnoreChildOrder bool
+	// IgnoreAttrOrder treats attributes as unordered (they are compared by
+	// sorted name). Canonical XML always sorts attributes.
+	IgnoreAttrOrder bool
+	// TrimText compares text content with surrounding whitespace removed.
+	TrimText bool
+}
+
+// Equal reports whether two subtrees are structurally identical under the
+// given options. Node identity, parents and source formatting are ignored.
+func Equal(a, b *Node, opts CompareOptions) bool {
+	return Canonical(a, opts) == Canonical(b, opts)
+}
+
+// Canonical renders a subtree to a canonical string such that two subtrees
+// are Equal exactly when their canonical strings match. With
+// IgnoreChildOrder set, children are sorted by their own canonical
+// strings, which makes the rendering order-insensitive at every level.
+func Canonical(n *Node, opts CompareOptions) string {
+	var sb strings.Builder
+	canonicalize(&sb, n, opts)
+	return sb.String()
+}
+
+func canonicalize(sb *strings.Builder, n *Node, opts CompareOptions) {
+	switch n.Kind {
+	case DocumentNode:
+		sb.WriteString("#doc{")
+		canonChildren(sb, n, opts)
+		sb.WriteString("}")
+	case ElementNode:
+		sb.WriteString("<")
+		sb.WriteString(n.Name)
+		attrs := n.Attrs
+		if opts.IgnoreAttrOrder || true {
+			// Attributes are always sorted: XML canonical form requires
+			// it and no consumer in this repository is attr-order
+			// sensitive.
+			attrs = append([]Attr(nil), n.Attrs...)
+			sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+		}
+		for _, a := range attrs {
+			sb.WriteString(" ")
+			sb.WriteString(a.Name)
+			sb.WriteString("=\x00")
+			sb.WriteString(a.Value)
+			sb.WriteString("\x00")
+		}
+		sb.WriteString(">{")
+		canonChildren(sb, n, opts)
+		sb.WriteString("}")
+	case TextNode:
+		sb.WriteString("#text\x00")
+		if opts.TrimText {
+			sb.WriteString(strings.TrimSpace(n.Value))
+		} else {
+			sb.WriteString(n.Value)
+		}
+		sb.WriteString("\x00")
+	case CommentNode:
+		sb.WriteString("#comment\x00")
+		sb.WriteString(n.Value)
+		sb.WriteString("\x00")
+	case ProcInstNode:
+		sb.WriteString("#pi\x00")
+		sb.WriteString(n.Name)
+		sb.WriteString("\x00")
+		sb.WriteString(n.Value)
+		sb.WriteString("\x00")
+	}
+}
+
+func canonChildren(sb *strings.Builder, n *Node, opts CompareOptions) {
+	if !opts.IgnoreChildOrder {
+		for _, c := range n.Children {
+			canonicalize(sb, c, opts)
+		}
+		return
+	}
+	parts := make([]string, 0, len(n.Children))
+	for _, c := range n.Children {
+		var csb strings.Builder
+		canonicalize(&csb, c, opts)
+		parts = append(parts, csb.String())
+	}
+	sort.Strings(parts)
+	for _, p := range parts {
+		sb.WriteString(p)
+	}
+}
+
+// Diff describes the first structural difference found between two
+// subtrees, for diagnostics. Empty Where means the trees are equal.
+type Diff struct {
+	Where  string // positional path into tree a
+	Reason string
+}
+
+// FirstDiff walks both trees in lockstep (order-sensitive) and returns the
+// first difference. It exists for test failure messages; Equal is the
+// authoritative comparison.
+func FirstDiff(a, b *Node) Diff {
+	return firstDiff(a, b)
+}
+
+func firstDiff(a, b *Node) Diff {
+	if a.Kind != b.Kind {
+		return Diff{Where: a.Path(), Reason: "kind " + a.Kind.String() + " vs " + b.Kind.String()}
+	}
+	if a.Name != b.Name {
+		return Diff{Where: a.Path(), Reason: "name " + a.Name + " vs " + b.Name}
+	}
+	if a.Kind != ElementNode && a.Value != b.Value {
+		return Diff{Where: a.Path(), Reason: "value " + a.Value + " vs " + b.Value}
+	}
+	if len(a.Attrs) != len(b.Attrs) {
+		return Diff{Where: a.Path(), Reason: "attribute count differs"}
+	}
+	for _, attr := range a.Attrs {
+		bv, ok := b.Attr(attr.Name)
+		if !ok {
+			return Diff{Where: a.Path(), Reason: "attribute " + attr.Name + " missing"}
+		}
+		if bv != attr.Value {
+			return Diff{Where: a.Path(), Reason: "attribute " + attr.Name + ": " + attr.Value + " vs " + bv}
+		}
+	}
+	if len(a.Children) != len(b.Children) {
+		return Diff{Where: a.Path(), Reason: "child count differs"}
+	}
+	for i := range a.Children {
+		if d := firstDiff(a.Children[i], b.Children[i]); d.Where != "" {
+			return d
+		}
+	}
+	return Diff{}
+}

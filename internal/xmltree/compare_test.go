@@ -1,0 +1,95 @@
+package xmltree
+
+import "testing"
+
+func TestEqualBasics(t *testing.T) {
+	a := MustParseString(`<a x="1"><b>t</b></a>`)
+	b := MustParseString(`<a x="1"><b>t</b></a>`)
+	if !Equal(a, b, CompareOptions{}) {
+		t.Errorf("identical docs not equal: %v", FirstDiff(a, b))
+	}
+	c := MustParseString(`<a x="2"><b>t</b></a>`)
+	if Equal(a, c, CompareOptions{}) {
+		t.Errorf("different attr values compare equal")
+	}
+	d := MustParseString(`<a x="1"><b>u</b></a>`)
+	if Equal(a, d, CompareOptions{}) {
+		t.Errorf("different text compares equal")
+	}
+}
+
+func TestEqualChildOrder(t *testing.T) {
+	a := MustParseString(`<a><b>1</b><c>2</c></a>`)
+	b := MustParseString(`<a><c>2</c><b>1</b></a>`)
+	if Equal(a, b, CompareOptions{}) {
+		t.Errorf("order-sensitive compare ignored order")
+	}
+	if !Equal(a, b, CompareOptions{IgnoreChildOrder: true}) {
+		t.Errorf("order-insensitive compare failed")
+	}
+}
+
+func TestEqualAttrOrder(t *testing.T) {
+	a := MustParseString(`<a x="1" y="2"/>`)
+	b := MustParseString(`<a y="2" x="1"/>`)
+	// Attributes are always compared order-insensitively (canonical form).
+	if !Equal(a, b, CompareOptions{}) {
+		t.Errorf("attribute order should not matter")
+	}
+}
+
+func TestEqualTrimText(t *testing.T) {
+	a := MustParseString(`<a><b> v </b></a>`)
+	b := MustParseString(`<a><b>v</b></a>`)
+	if Equal(a, b, CompareOptions{}) {
+		t.Errorf("whitespace-different text compared equal without TrimText")
+	}
+	if !Equal(a, b, CompareOptions{TrimText: true}) {
+		t.Errorf("TrimText compare failed")
+	}
+}
+
+func TestCanonicalOrderInsensitiveNested(t *testing.T) {
+	a := MustParseString(`<db><book><title>A</title><year>1</year></book><book><title>B</title><year>2</year></book></db>`)
+	b := MustParseString(`<db><book><year>2</year><title>B</title></book><book><year>1</year><title>A</title></book></db>`)
+	opts := CompareOptions{IgnoreChildOrder: true}
+	if Canonical(a, opts) != Canonical(b, opts) {
+		t.Errorf("nested order-insensitive canonical differs")
+	}
+}
+
+func TestCanonicalDistinguishesValues(t *testing.T) {
+	// A value must not be confusable with markup in the canonical string.
+	a := MustParseString(`<a><b>x</b></a>`)
+	b := MustParseString(`<a><b>x</b><c/></a>`)
+	if Canonical(a, CompareOptions{}) == Canonical(b, CompareOptions{}) {
+		t.Errorf("canonical collision between different trees")
+	}
+}
+
+func TestFirstDiff(t *testing.T) {
+	a := MustParseString(`<a><b>1</b><c>2</c></a>`)
+	b := MustParseString(`<a><b>1</b><c>3</c></a>`)
+	d := FirstDiff(a, b)
+	if d.Where == "" {
+		t.Fatalf("FirstDiff found nothing")
+	}
+	if d.Where != "/a[0]/c[0]/text()" && d.Where != "/a[0]/c[0]" {
+		t.Errorf("diff location = %q", d.Where)
+	}
+	if same := FirstDiff(a, a.Clone()); same.Where != "" {
+		t.Errorf("FirstDiff on equal trees = %+v", same)
+	}
+}
+
+func TestFirstDiffKindsAndAttrs(t *testing.T) {
+	a := MustParseString(`<a x="1"/>`)
+	b := MustParseString(`<a/>`)
+	if d := FirstDiff(a, b); d.Where == "" {
+		t.Errorf("attr count diff missed")
+	}
+	c := MustParseString(`<a x="2"/>`)
+	if d := FirstDiff(a, c); d.Where == "" {
+		t.Errorf("attr value diff missed")
+	}
+}

@@ -1,0 +1,167 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAppendAndInsert(t *testing.T) {
+	p := NewElement("p")
+	a, b, c := NewElement("a"), NewElement("b"), NewElement("c")
+	p.AppendChild(a)
+	p.AppendChild(c)
+	p.InsertChildAt(1, b)
+	names := []string{}
+	for _, ch := range p.Children {
+		names = append(names, ch.Name)
+	}
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("children = %v", names)
+	}
+	for _, ch := range p.Children {
+		if ch.Parent != p {
+			t.Errorf("child %s parent not set", ch.Name)
+		}
+	}
+}
+
+func TestPrependChild(t *testing.T) {
+	p := Elem("p", NewElement("b"))
+	p.PrependChild(NewElement("a"))
+	if p.Children[0].Name != "a" {
+		t.Errorf("prepend failed: %v", p.Children[0].Name)
+	}
+}
+
+func TestReparenting(t *testing.T) {
+	p1 := Elem("p1", NewElement("x"))
+	p2 := NewElement("p2")
+	x := p1.Children[0]
+	p2.AppendChild(x)
+	if len(p1.Children) != 0 {
+		t.Errorf("x not removed from old parent")
+	}
+	if x.Parent != p2 {
+		t.Errorf("x parent not updated")
+	}
+}
+
+func TestInsertAfter(t *testing.T) {
+	p := Elem("p", NewElement("a"), NewElement("c"))
+	b := NewElement("b")
+	if !p.InsertAfter(p.Children[0], b) {
+		t.Fatalf("InsertAfter returned false")
+	}
+	if p.Children[1] != b {
+		t.Errorf("b not in position 1")
+	}
+	if p.InsertAfter(NewElement("ghost"), NewElement("z")) {
+		t.Errorf("InsertAfter with non-child ref returned true")
+	}
+}
+
+func TestRemoveAndReplace(t *testing.T) {
+	p := Elem("p", NewElement("a"), NewElement("b"))
+	a := p.Children[0]
+	if !p.RemoveChild(a) {
+		t.Fatalf("RemoveChild returned false")
+	}
+	if a.Parent != nil || len(p.Children) != 1 {
+		t.Errorf("RemoveChild left state inconsistent")
+	}
+	if p.RemoveChild(a) {
+		t.Errorf("removing twice returned true")
+	}
+
+	b := p.Children[0]
+	n := NewElement("n")
+	if !p.ReplaceChild(b, n) {
+		t.Fatalf("ReplaceChild returned false")
+	}
+	if p.Children[0] != n || n.Parent != p || b.Parent != nil {
+		t.Errorf("ReplaceChild left state inconsistent")
+	}
+	if p.ReplaceChild(b, NewElement("z")) {
+		t.Errorf("ReplaceChild of non-child returned true")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	p := Elem("p", NewElement("a"))
+	a := p.Children[0]
+	a.Detach()
+	if a.Parent != nil || len(p.Children) != 0 {
+		t.Errorf("Detach failed")
+	}
+	a.Detach() // no-op, must not panic
+}
+
+func TestRemoveChildren(t *testing.T) {
+	p := Elem("p", NewElement("a"), NewElement("b"))
+	kids := append([]*Node(nil), p.Children...)
+	p.RemoveChildren()
+	if len(p.Children) != 0 {
+		t.Errorf("children not cleared")
+	}
+	for _, k := range kids {
+		if k.Parent != nil {
+			t.Errorf("child %s still has parent", k.Name)
+		}
+	}
+}
+
+func TestCycleProtection(t *testing.T) {
+	p := Elem("p", NewElement("a"))
+	a := p.Children[0]
+	defer func() {
+		if recover() == nil {
+			t.Errorf("inserting ancestor under descendant did not panic")
+		}
+	}()
+	a.AppendChild(p)
+}
+
+func TestSelfInsertPanics(t *testing.T) {
+	p := NewElement("p")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("inserting node under itself did not panic")
+		}
+	}()
+	p.AppendChild(p)
+}
+
+func TestNormalize(t *testing.T) {
+	p := NewElement("p")
+	p.Children = []*Node{
+		{Kind: TextNode, Value: "a", Parent: p},
+		{Kind: TextNode, Value: "", Parent: p},
+		{Kind: TextNode, Value: "b", Parent: p},
+		Elem("e"),
+		{Kind: TextNode, Value: "c", Parent: p},
+	}
+	p.Children[3].Parent = p
+	p.Normalize()
+	if len(p.Children) != 3 {
+		t.Fatalf("children after normalize = %d, want 3", len(p.Children))
+	}
+	if p.Children[0].Value != "ab" {
+		t.Errorf("merged text = %q", p.Children[0].Value)
+	}
+}
+
+func TestStripWhitespaceText(t *testing.T) {
+	doc, err := Parse(strings.NewReader("<a>\n  <b> keep </b>\n</a>"), ParseOptions{KeepWhitespaceText: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.StripWhitespaceText()
+	for _, c := range doc.Root().Children {
+		if c.Kind == TextNode {
+			t.Errorf("whitespace text survived strip")
+		}
+	}
+	if got := doc.Root().FirstChildNamed("b").Text(); got != " keep " {
+		t.Errorf("non-whitespace text altered: %q", got)
+	}
+}

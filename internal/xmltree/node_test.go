@@ -1,0 +1,210 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+const db1Sample = `<db>
+  <book publisher="mkp">
+    <title>Readings in Database Systems</title>
+    <author>Stonebraker</author>
+    <author>Hellerstein</author>
+    <editor>Harrypotter</editor>
+    <year>1998</year>
+  </book>
+  <book publisher="acm">
+    <title>Database Design</title>
+    <writer>Berstein</writer>
+    <writer>Newcomer</writer>
+    <editor>Gamer</editor>
+    <year>1998</year>
+  </book>
+</db>`
+
+func mustDB1(t *testing.T) *Node {
+	t.Helper()
+	doc, err := ParseString(db1Sample)
+	if err != nil {
+		t.Fatalf("parse db1: %v", err)
+	}
+	return doc
+}
+
+func TestRootAndDocument(t *testing.T) {
+	doc := mustDB1(t)
+	root := doc.Root()
+	if root == nil || root.Name != "db" {
+		t.Fatalf("Root() = %v, want <db>", root)
+	}
+	book := root.ChildElements()[0]
+	if book.Root() != root {
+		t.Errorf("Root() from descendant did not reach document element")
+	}
+	if book.Document() != doc {
+		t.Errorf("Document() from descendant did not reach document node")
+	}
+	detached := NewElement("x")
+	if detached.Document() != nil {
+		t.Errorf("Document() on detached element should be nil")
+	}
+}
+
+func TestAttrAccess(t *testing.T) {
+	doc := mustDB1(t)
+	book := doc.Root().ChildElements()[0]
+	if v, ok := book.Attr("publisher"); !ok || v != "mkp" {
+		t.Errorf("Attr(publisher) = %q,%v want mkp,true", v, ok)
+	}
+	if _, ok := book.Attr("missing"); ok {
+		t.Errorf("Attr(missing) should not exist")
+	}
+	if got := book.AttrOr("missing", "dflt"); got != "dflt" {
+		t.Errorf("AttrOr = %q, want dflt", got)
+	}
+	book.SetAttr("publisher", "springer")
+	if v, _ := book.Attr("publisher"); v != "springer" {
+		t.Errorf("SetAttr replace failed: %q", v)
+	}
+	book.SetAttr("lang", "en")
+	if v, _ := book.Attr("lang"); v != "en" {
+		t.Errorf("SetAttr append failed: %q", v)
+	}
+	if !book.RemoveAttr("lang") {
+		t.Errorf("RemoveAttr existing returned false")
+	}
+	if book.RemoveAttr("lang") {
+		t.Errorf("RemoveAttr missing returned true")
+	}
+}
+
+func TestChildNavigation(t *testing.T) {
+	doc := mustDB1(t)
+	root := doc.Root()
+	books := root.ChildElementsNamed("book")
+	if len(books) != 2 {
+		t.Fatalf("got %d books, want 2", len(books))
+	}
+	authors := books[0].ChildElementsNamed("author")
+	if len(authors) != 2 {
+		t.Fatalf("got %d authors, want 2", len(authors))
+	}
+	if got := books[1].FirstChildNamed("title").Text(); got != "Database Design" {
+		t.Errorf("title = %q", got)
+	}
+	if books[0].FirstChildNamed("nosuch") != nil {
+		t.Errorf("FirstChildNamed(nosuch) should be nil")
+	}
+}
+
+func TestText(t *testing.T) {
+	doc := MustParseString(`<a>x<b>y</b>z</a>`)
+	if got := doc.Root().Text(); got != "xyz" {
+		t.Errorf("Text = %q, want xyz", got)
+	}
+	txt := doc.Root().Children[0]
+	if txt.Kind != TextNode || txt.Text() != "x" {
+		t.Errorf("text node Text = %q", txt.Text())
+	}
+}
+
+func TestSetText(t *testing.T) {
+	doc := MustParseString(`<a><b>old</b><c/></a>`)
+	b := doc.Root().FirstChildNamed("b")
+	b.SetText("new")
+	if b.Text() != "new" {
+		t.Errorf("SetText: got %q", b.Text())
+	}
+	// Mixed content: non-text children survive.
+	a := doc.Root()
+	a.SetText("hello")
+	if a.Text() != "hellonewold"[:len("hello")+len("new")] && a.Text() != "hellonew" {
+		t.Errorf("SetText mixed = %q", a.Text())
+	}
+	if a.FirstChildNamed("c") == nil {
+		t.Errorf("SetText removed a non-text child")
+	}
+}
+
+func TestIndexAndPath(t *testing.T) {
+	doc := mustDB1(t)
+	books := doc.Root().ChildElementsNamed("book")
+	if books[0].ElementIndex() != 0 || books[1].ElementIndex() != 1 {
+		t.Errorf("ElementIndex = %d,%d want 0,1", books[0].ElementIndex(), books[1].ElementIndex())
+	}
+	title := books[1].FirstChildNamed("title")
+	want := "/db[0]/book[1]/title[0]"
+	if got := title.Path(); got != want {
+		t.Errorf("Path = %q, want %q", got, want)
+	}
+	if doc.Path() != "/" {
+		t.Errorf("document Path = %q", doc.Path())
+	}
+	det := NewElement("solo")
+	if det.Index() != -1 || det.ElementIndex() != -1 {
+		t.Errorf("detached node index should be -1")
+	}
+}
+
+func TestDepthAndAncestry(t *testing.T) {
+	doc := mustDB1(t)
+	root := doc.Root()
+	title := root.ChildElements()[0].FirstChildNamed("title")
+	if d := title.Depth(); d != 2 {
+		t.Errorf("Depth = %d, want 2", d)
+	}
+	if !root.IsAncestorOf(title) {
+		t.Errorf("root should be ancestor of title")
+	}
+	if title.IsAncestorOf(root) {
+		t.Errorf("title should not be ancestor of root")
+	}
+	if root.IsAncestorOf(root) {
+		t.Errorf("a node is not its own ancestor")
+	}
+}
+
+func TestClone(t *testing.T) {
+	doc := mustDB1(t)
+	cp := doc.Clone()
+	if !Equal(doc, cp, CompareOptions{}) {
+		t.Fatalf("clone not equal to original: %v", FirstDiff(doc, cp))
+	}
+	if cp.Parent != nil {
+		t.Errorf("clone should be detached")
+	}
+	// Mutating the clone must not affect the original.
+	cp.Root().ChildElements()[0].SetAttr("publisher", "changed")
+	if v, _ := doc.Root().ChildElements()[0].Attr("publisher"); v != "mkp" {
+		t.Errorf("mutating clone leaked into original: %q", v)
+	}
+}
+
+func TestElemBuilders(t *testing.T) {
+	n := Elem("db", Elem("book", TextElem("title", "T1")))
+	if got := n.FirstChildNamed("book").FirstChildNamed("title").Text(); got != "T1" {
+		t.Errorf("builders produced %q", got)
+	}
+	if n.Children[0].Parent != n {
+		t.Errorf("builder did not set parent")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		DocumentNode: "document", ElementNode: "element", TextNode: "text",
+		CommentNode: "comment", ProcInstNode: "procinst", Kind(99): "kind(99)",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	n := TextElem("x", "a<b")
+	if got := n.String(); !strings.Contains(got, "&lt;") {
+		t.Errorf("String did not escape: %q", got)
+	}
+}

@@ -1,0 +1,132 @@
+package xmltree
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseOptions controls document parsing.
+type ParseOptions struct {
+	// KeepWhitespaceText retains text nodes that consist solely of XML
+	// whitespace. By default such nodes (typically indentation) are
+	// dropped, which is what the data-centric workloads in this repository
+	// expect.
+	KeepWhitespaceText bool
+	// KeepComments retains comment nodes. Comments are dropped by default:
+	// they carry no watermark bandwidth and attackers strip them for free.
+	KeepComments bool
+	// KeepProcInsts retains processing instructions (except the XML
+	// declaration, which is always dropped and re-synthesized on output).
+	KeepProcInsts bool
+}
+
+// Parse reads an XML document from r and builds its DOM. The returned node
+// has Kind == DocumentNode.
+func Parse(r io.Reader, opts ParseOptions) (*Node, error) {
+	dec := xml.NewDecoder(r)
+	// The documents this system handles are data files, not hypertext;
+	// strictness catches corrupt attack output early.
+	dec.Strict = true
+	doc := NewDocument()
+	cur := doc
+	sawElement := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmltree: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := NewElement(flatName(t.Name))
+			for _, a := range t.Attr {
+				name := flatName(a.Name)
+				// Namespace declarations are preserved verbatim as
+				// attributes so that serialization round-trips.
+				el.Attrs = append(el.Attrs, Attr{Name: name, Value: a.Value})
+			}
+			cur.AppendChild(el)
+			cur = el
+			if cur.Parent == doc {
+				if sawElement {
+					return nil, fmt.Errorf("xmltree: parse: multiple document elements")
+				}
+				sawElement = true
+			}
+		case xml.EndElement:
+			if cur == doc {
+				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", flatName(t.Name))
+			}
+			cur = cur.Parent
+		case xml.CharData:
+			s := string(t)
+			if !opts.KeepWhitespaceText && isAllXMLSpace(s) {
+				continue
+			}
+			if cur == doc {
+				// Character data outside the document element is only
+				// legal if it is whitespace.
+				if isAllXMLSpace(s) {
+					continue
+				}
+				return nil, fmt.Errorf("xmltree: parse: character data outside document element")
+			}
+			// Merge with a preceding text sibling so parsing always yields
+			// normalized trees.
+			if k := len(cur.Children); k > 0 && cur.Children[k-1].Kind == TextNode {
+				cur.Children[k-1].Value += s
+				continue
+			}
+			cur.AppendChild(NewText(s))
+		case xml.Comment:
+			if opts.KeepComments {
+				cur.AppendChild(NewComment(string(t)))
+			}
+		case xml.ProcInst:
+			if t.Target == "xml" {
+				continue
+			}
+			if opts.KeepProcInsts {
+				cur.AppendChild(NewProcInst(t.Target, string(t.Inst)))
+			}
+		case xml.Directive:
+			// DTD internal subsets and the like are not modelled.
+		}
+	}
+	if cur != doc {
+		return nil, fmt.Errorf("xmltree: parse: unexpected EOF inside element %q", cur.Name)
+	}
+	if !sawElement {
+		return nil, fmt.Errorf("xmltree: parse: no document element")
+	}
+	return doc, nil
+}
+
+// ParseString is Parse over a string with default options.
+func ParseString(s string) (*Node, error) {
+	return Parse(strings.NewReader(s), ParseOptions{})
+}
+
+// MustParseString parses s and panics on error. For tests and fixtures.
+func MustParseString(s string) *Node {
+	doc, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+// flatName renders an xml.Name as prefix-less local or space:local. Go's
+// tokenizer resolves prefixes to namespace URLs; for the data-centric
+// documents handled here we key on the local name and keep any namespace
+// as an opaque qualifier.
+func flatName(n xml.Name) string {
+	if n.Space == "" {
+		return n.Local
+	}
+	return n.Space + ":" + n.Local
+}

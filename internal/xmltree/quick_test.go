@@ -1,0 +1,193 @@
+package xmltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// genTree builds a pseudo-random tree for property tests. Values stay
+// within printable ASCII plus the XML-special characters so that escaping
+// paths are exercised.
+func genTree(r *rand.Rand, depth int) *Node {
+	names := []string{"db", "book", "title", "author", "year", "price", "item", "x-y", "n_1"}
+	values := []string{"", "plain", "1998", "a<b", `q"uote`, "amp&ersand", "  spaced  ", "ünïcode"}
+	n := NewElement(names[r.Intn(len(names))])
+	for i := 0; i < r.Intn(3); i++ {
+		n.SetAttr(names[r.Intn(len(names))], values[r.Intn(len(values))])
+	}
+	kids := r.Intn(4)
+	if depth <= 0 {
+		kids = 0
+	}
+	for i := 0; i < kids; i++ {
+		if r.Intn(3) == 0 {
+			v := values[r.Intn(len(values))]
+			if v == "" || isAllXMLSpace(v) {
+				v = "t"
+			}
+			// Avoid adjacent text nodes so the parse-normalized tree
+			// matches the generated one.
+			if k := len(n.Children); k > 0 && n.Children[k-1].Kind == TextNode {
+				continue
+			}
+			n.AppendChild(NewText(v))
+		} else {
+			n.AppendChild(genTree(r, depth-1))
+		}
+	}
+	return n
+}
+
+func TestQuickSerializeParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		doc := NewDocument()
+		doc.AppendChild(genTree(rr, 4))
+		out := SerializeString(doc)
+		doc2, err := ParseString(out)
+		if err != nil {
+			t.Logf("serialized %q failed to parse: %v", out, err)
+			return false
+		}
+		if !Equal(doc, doc2, CompareOptions{}) {
+			t.Logf("round trip diff: %+v\nxml: %s", FirstDiff(doc, doc2), out)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: r}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Errorf("round-trip property failed: %v", err)
+	}
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := genTree(rr, 4)
+		return Equal(n, n.Clone(), CompareOptions{})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("clone-equal property failed: %v", err)
+	}
+}
+
+func TestQuickCanonicalStableUnderShuffle(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		n := genTree(rr, 3)
+		m := n.Clone()
+		shuffleChildren(rr, m)
+		return Canonical(n, CompareOptions{IgnoreChildOrder: true}) ==
+			Canonical(m, CompareOptions{IgnoreChildOrder: true})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Errorf("canonical-shuffle property failed: %v", err)
+	}
+}
+
+func shuffleChildren(r *rand.Rand, n *Node) {
+	r.Shuffle(len(n.Children), func(i, j int) {
+		n.Children[i], n.Children[j] = n.Children[j], n.Children[i]
+	})
+	for _, c := range n.Children {
+		if c.Kind == ElementNode {
+			shuffleChildren(r, c)
+		}
+	}
+}
+
+func TestQuickIndentRoundTrip(t *testing.T) {
+	// Pretty-printing then re-parsing (default options drop indentation)
+	// must preserve the tree whenever no element mixes text and elements.
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		doc := NewDocument()
+		doc.AppendChild(genTree(rr, 3))
+		if hasMixedContent(doc) {
+			return true // indentation legitimately perturbs mixed content
+		}
+		out := SerializeIndentString(doc)
+		doc2, err := ParseString(out)
+		if err != nil {
+			return false
+		}
+		return Equal(doc, doc2, CompareOptions{})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Errorf("indent round-trip property failed: %v", err)
+	}
+}
+
+func hasMixedContent(n *Node) bool {
+	mixed := false
+	Walk(n, func(x *Node) bool {
+		if x.Kind != ElementNode {
+			return true
+		}
+		hasText, hasElem := false, false
+		for _, c := range x.Children {
+			switch c.Kind {
+			case TextNode:
+				hasText = true
+			case ElementNode:
+				hasElem = true
+			}
+		}
+		if hasText && hasElem {
+			mixed = true
+		}
+		return !mixed
+	})
+	return mixed
+}
+
+func TestLeafElements(t *testing.T) {
+	doc := MustParseString(`<db><book><title>T</title><empty/></book></db>`)
+	leaves := LeafElements(doc)
+	var names []string
+	for _, l := range leaves {
+		names = append(names, l.Name)
+	}
+	got := strings.Join(names, ",")
+	if got != "title,empty" {
+		t.Errorf("LeafElements = %q, want title,empty", got)
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	doc := MustParseString(`<db><book publisher="mkp"><title>T</title></book><book publisher="acm"/></db>`)
+	st := CollectStats(doc)
+	if st.Elements != 4 {
+		t.Errorf("Elements = %d, want 4", st.Elements)
+	}
+	if st.Attributes != 2 {
+		t.Errorf("Attributes = %d, want 2", st.Attributes)
+	}
+	if st.Tags["book"] != 2 {
+		t.Errorf("Tags[book] = %d, want 2", st.Tags["book"])
+	}
+	if st.Texts != 1 {
+		t.Errorf("Texts = %d, want 1", st.Texts)
+	}
+}
+
+func TestDescendantHelpers(t *testing.T) {
+	doc := MustParseString(`<db><a><b/><b/></a><b/></db>`)
+	if got := len(DescendantsNamed(doc, "b")); got != 3 {
+		t.Errorf("DescendantsNamed(b) = %d, want 3", got)
+	}
+	if got := len(DescendantElements(doc)); got != 5 {
+		t.Errorf("DescendantElements = %d, want 5", got)
+	}
+	if got := Count(doc); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+	all := Descendants(doc)
+	if len(all) != 5 {
+		t.Errorf("Descendants = %d, want 5", len(all))
+	}
+}

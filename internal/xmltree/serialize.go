@@ -1,0 +1,186 @@
+package xmltree
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SerializeOptions controls XML output.
+type SerializeOptions struct {
+	// Indent, when non-empty, pretty-prints the document using the given
+	// indentation unit (e.g. "  "). Text-only elements stay on one line so
+	// that indentation never injects whitespace into data values.
+	Indent string
+	// OmitDeclaration suppresses the leading <?xml ... ?> declaration when
+	// serializing a document node.
+	OmitDeclaration bool
+}
+
+// Serialize writes the subtree rooted at n as XML.
+func Serialize(w io.Writer, n *Node, opts SerializeOptions) error {
+	sw := &serializer{w: w, opts: opts}
+	if n.Kind == DocumentNode && !opts.OmitDeclaration {
+		sw.writeString(`<?xml version="1.0" encoding="UTF-8"?>`)
+		if opts.Indent != "" {
+			sw.writeString("\n")
+		}
+	}
+	sw.node(n, 0)
+	if opts.Indent != "" && sw.err == nil {
+		sw.writeString("\n")
+	}
+	return sw.err
+}
+
+// SerializeString renders the subtree as a compact XML string (no
+// declaration, no indentation).
+func SerializeString(n *Node) string {
+	var sb strings.Builder
+	_ = Serialize(&sb, n, SerializeOptions{OmitDeclaration: true})
+	return sb.String()
+}
+
+// SerializeIndentString renders the subtree pretty-printed with two-space
+// indentation, including the XML declaration for document nodes.
+func SerializeIndentString(n *Node) string {
+	var sb strings.Builder
+	_ = Serialize(&sb, n, SerializeOptions{Indent: "  "})
+	return sb.String()
+}
+
+type serializer struct {
+	w    io.Writer
+	opts SerializeOptions
+	err  error
+}
+
+func (s *serializer) writeString(str string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, str)
+}
+
+func (s *serializer) node(n *Node, depth int) {
+	if s.err != nil {
+		return
+	}
+	switch n.Kind {
+	case DocumentNode:
+		first := true
+		for _, c := range n.Children {
+			if s.opts.Indent != "" && !first {
+				s.writeString("\n")
+			}
+			s.node(c, depth)
+			first = false
+		}
+	case ElementNode:
+		s.element(n, depth)
+	case TextNode:
+		s.writeString(escapeText(n.Value))
+	case CommentNode:
+		s.writeString("<!--")
+		s.writeString(strings.ReplaceAll(n.Value, "--", "- -"))
+		s.writeString("-->")
+	case ProcInstNode:
+		s.writeString("<?")
+		s.writeString(n.Name)
+		if n.Value != "" {
+			s.writeString(" ")
+			s.writeString(n.Value)
+		}
+		s.writeString("?>")
+	default:
+		s.err = fmt.Errorf("xmltree: serialize: unknown node kind %v", n.Kind)
+	}
+}
+
+func (s *serializer) element(n *Node, depth int) {
+	s.writeString("<")
+	s.writeString(n.Name)
+	for _, a := range n.Attrs {
+		s.writeString(" ")
+		s.writeString(a.Name)
+		s.writeString(`="`)
+		s.writeString(escapeAttr(a.Value))
+		s.writeString(`"`)
+	}
+	if len(n.Children) == 0 {
+		s.writeString("/>")
+		return
+	}
+	s.writeString(">")
+	inline := s.opts.Indent == "" || isInlineable(n)
+	for _, c := range n.Children {
+		if !inline {
+			s.writeString("\n")
+			s.writeString(strings.Repeat(s.opts.Indent, depth+1))
+		}
+		s.node(c, depth+1)
+	}
+	if !inline {
+		s.writeString("\n")
+		s.writeString(strings.Repeat(s.opts.Indent, depth))
+	}
+	s.writeString("</")
+	s.writeString(n.Name)
+	s.writeString(">")
+}
+
+// isInlineable reports whether an element's content can be emitted on one
+// line without changing its textual value: true when every child is a
+// text node.
+func isInlineable(n *Node) bool {
+	for _, c := range n.Children {
+		if c.Kind != TextNode {
+			return false
+		}
+	}
+	return true
+}
+
+func escapeText(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '\r':
+			sb.WriteString("&#xD;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+func escapeAttr(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '"':
+			sb.WriteString("&quot;")
+		case '\t':
+			sb.WriteString("&#x9;")
+		case '\n':
+			sb.WriteString("&#xA;")
+		case '\r':
+			sb.WriteString("&#xD;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

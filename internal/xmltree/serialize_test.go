@@ -1,0 +1,138 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	cases := []string{
+		`<a/>`,
+		`<a x="1" y="two"/>`,
+		`<a><b>text</b><c/></a>`,
+		`<db><book publisher="mkp"><title>Readings</title><year>1998</year></book></db>`,
+		`<a>mixed <b>bold</b> tail</a>`,
+		`<a>&amp; &lt; &gt;</a>`,
+	}
+	for _, src := range cases {
+		doc := MustParseString(src)
+		out := SerializeString(doc)
+		doc2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", out, src, err)
+		}
+		if !Equal(doc, doc2, CompareOptions{}) {
+			t.Errorf("round trip changed tree: %q -> %q: %v", src, out, FirstDiff(doc, doc2))
+		}
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	n := Elem("a", NewText(`1<2 & "q"`))
+	n.SetAttr("at", `<&">`)
+	out := SerializeString(n)
+	if strings.Contains(out, `1<2`) {
+		t.Errorf("unescaped < in text: %q", out)
+	}
+	if !strings.Contains(out, "&lt;2") || !strings.Contains(out, "&amp;") {
+		t.Errorf("text escaping wrong: %q", out)
+	}
+	if !strings.Contains(out, "&quot;") {
+		t.Errorf("attr quote not escaped: %q", out)
+	}
+	// And it must parse back to the same values.
+	doc := MustParseString(out)
+	if got := doc.Root().Text(); got != `1<2 & "q"` {
+		t.Errorf("escape round trip text = %q", got)
+	}
+	if v, _ := doc.Root().Attr("at"); v != `<&">` {
+		t.Errorf("escape round trip attr = %q", v)
+	}
+}
+
+func TestSerializeIndent(t *testing.T) {
+	doc := MustParseString(`<db><book><title>A Tale</title></book></db>`)
+	out := SerializeIndentString(doc)
+	if !strings.HasPrefix(out, `<?xml version="1.0" encoding="UTF-8"?>`) {
+		t.Errorf("missing declaration: %q", out)
+	}
+	if !strings.Contains(out, "\n  <book>") {
+		t.Errorf("book not indented: %q", out)
+	}
+	// Leaf values must stay inline: no whitespace injected into data.
+	if !strings.Contains(out, "<title>A Tale</title>") {
+		t.Errorf("title not inline: %q", out)
+	}
+	// Pretty output re-parses to the same tree (whitespace stripped).
+	doc2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("re-parse indented: %v", err)
+	}
+	if !Equal(doc, doc2, CompareOptions{}) {
+		t.Errorf("indent round trip changed tree: %v", FirstDiff(doc, doc2))
+	}
+}
+
+func TestSerializeOmitDeclaration(t *testing.T) {
+	doc := MustParseString(`<a/>`)
+	var sb strings.Builder
+	if err := Serialize(&sb, doc, SerializeOptions{OmitDeclaration: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "<?xml") {
+		t.Errorf("declaration not omitted: %q", sb.String())
+	}
+}
+
+func TestSerializeCommentAndPI(t *testing.T) {
+	doc := NewDocument()
+	root := NewElement("r")
+	root.AppendChild(NewComment("a--b"))
+	root.AppendChild(NewProcInst("t", "body"))
+	doc.AppendChild(root)
+	out := SerializeString(doc)
+	if !strings.Contains(out, "<!--a- -b-->") {
+		t.Errorf("comment serialization: %q", out)
+	}
+	if !strings.Contains(out, "<?t body?>") {
+		t.Errorf("pi serialization: %q", out)
+	}
+}
+
+func TestSerializeSelfClosing(t *testing.T) {
+	out := SerializeString(Elem("empty"))
+	if out != "<empty/>" {
+		t.Errorf("empty element = %q, want <empty/>", out)
+	}
+}
+
+// failWriter fails after n bytes, to exercise serializer error paths.
+type failWriter struct{ left int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.left <= 0 {
+		return 0, errWriterFull{}
+	}
+	n := len(p)
+	if n > f.left {
+		n = f.left
+	}
+	f.left -= n
+	if n < len(p) {
+		return n, errWriterFull{}
+	}
+	return n, nil
+}
+
+type errWriterFull struct{}
+
+func (errWriterFull) Error() string { return "writer full" }
+
+func TestSerializeWriterFailure(t *testing.T) {
+	doc := MustParseString(`<db><book><title>A long enough document body</title></book></db>`)
+	for _, budget := range []int{0, 1, 5, 20} {
+		if err := Serialize(&failWriter{left: budget}, doc, SerializeOptions{}); err == nil {
+			t.Errorf("budget %d: serialize succeeded on failing writer", budget)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package xmltree
+
+// Walk visits n and every descendant in document order, calling fn for
+// each. If fn returns false the subtree below that node is skipped (the
+// walk continues with the node's siblings).
+func Walk(n *Node, fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		Walk(c, fn)
+	}
+}
+
+// WalkElements visits every element in the subtree (including n itself if
+// it is an element) in document order.
+func WalkElements(n *Node, fn func(*Node)) {
+	Walk(n, func(x *Node) bool {
+		if x.Kind == ElementNode {
+			fn(x)
+		}
+		return true
+	})
+}
+
+// Descendants returns every node strictly below n, in document order.
+func Descendants(n *Node) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		Walk(c, func(x *Node) bool {
+			out = append(out, x)
+			return true
+		})
+	}
+	return out
+}
+
+// DescendantElements returns every element strictly below n, in document
+// order.
+func DescendantElements(n *Node) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		Walk(c, func(x *Node) bool {
+			if x.Kind == ElementNode {
+				out = append(out, x)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// DescendantsNamed returns every element strictly below n with the given
+// tag name, in document order.
+func DescendantsNamed(n *Node, name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		Walk(c, func(x *Node) bool {
+			if x.Kind == ElementNode && x.Name == name {
+				out = append(out, x)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// Count returns the number of nodes in the subtree including n.
+func Count(n *Node) int {
+	total := 0
+	Walk(n, func(*Node) bool { total++; return true })
+	return total
+}
+
+// Stats summarizes a subtree: how many nodes of each kind it holds, plus
+// attribute and distinct-tag counts. Used by the CLI and the experiment
+// harness to report document scale.
+type Stats struct {
+	Elements   int
+	Texts      int
+	Comments   int
+	ProcInsts  int
+	Attributes int
+	Tags       map[string]int
+	MaxDepth   int
+}
+
+// CollectStats walks the subtree and tallies Stats.
+func CollectStats(n *Node) Stats {
+	st := Stats{Tags: make(map[string]int)}
+	var walk func(x *Node, depth int)
+	walk = func(x *Node, depth int) {
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		switch x.Kind {
+		case ElementNode:
+			st.Elements++
+			st.Attributes += len(x.Attrs)
+			st.Tags[x.Name]++
+		case TextNode:
+			st.Texts++
+		case CommentNode:
+			st.Comments++
+		case ProcInstNode:
+			st.ProcInsts++
+		}
+		for _, c := range x.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return st
+}
+
+// LeafElements returns every element in the subtree whose children are all
+// text nodes (or that has no children). These are the value-bearing
+// elements where watermark bandwidth lives.
+func LeafElements(n *Node) []*Node {
+	var out []*Node
+	WalkElements(n, func(e *Node) {
+		if isInlineable(e) {
+			out = append(out, e)
+		}
+	})
+	return out
+}

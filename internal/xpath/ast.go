@@ -1,0 +1,252 @@
+// Package xpath implements the XPath-subset query engine at the base of
+// WmXML (the "XML query engine" of the paper's figure 4).
+//
+// Identity queries, usability templates and rewritten detection queries
+// are all expressions in this language. The supported fragment is the one
+// the paper actually uses:
+//
+//	db/book[title='DB Design']/author
+//	db/publisher/author[book='DB Design']/@name
+//	//book[year>1995][position()=1]/title
+//	db/book[title and not(editor)]/year/text()
+//
+// — child and descendant ('//') axes, attribute steps, '.'/'..', wildcard
+// name tests, and predicates built from relative paths, literals,
+// comparisons, 'and'/'or'/'not', and the functions position(), last(),
+// count(), contains(), starts-with(), string-length(), number(), name().
+//
+// The AST is exported because the query rewriter (internal/rewrite)
+// transforms identity queries structurally under schema mappings.
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Axis is the navigation direction of a step.
+type Axis uint8
+
+// Supported axes.
+const (
+	// AxisChild selects element children (the default axis).
+	AxisChild Axis = iota
+	// AxisDescendant selects all elements strictly below the context node
+	// (spelled '//' before the step).
+	AxisDescendant
+	// AxisAttribute selects an attribute of the context element ('@name').
+	AxisAttribute
+	// AxisSelf is '.'.
+	AxisSelf
+	// AxisParent is '..'.
+	AxisParent
+	// AxisText selects the text children ('text()').
+	AxisText
+)
+
+// Step is one location step: an axis, a name test and zero or more
+// predicates. Name "*" matches any element (or any attribute on the
+// attribute axis); it is ignored for the self, parent and text axes.
+type Step struct {
+	Axis       Axis
+	Name       string
+	Predicates []Expr
+}
+
+// Path is a location path: an optional leading '/' (absolute) and a
+// sequence of steps.
+type Path struct {
+	Absolute bool
+	Steps    []Step
+}
+
+// Expr is a predicate expression node. The concrete types are Number,
+// String, PathExpr, Binary and Call.
+type Expr interface {
+	// String renders the expression in XPath syntax.
+	String() string
+	exprNode()
+}
+
+// Number is a numeric literal.
+type Number struct{ Value float64 }
+
+// String is a string literal.
+type String struct{ Value string }
+
+// PathExpr embeds a (usually relative) path inside a predicate.
+type PathExpr struct{ Path Path }
+
+// Binary is a binary operation: comparison ('=', '!=', '<', '<=', '>',
+// '>='), boolean connective ('and', 'or') or arithmetic is not supported.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Call is a function call. Supported: position, last, count, contains,
+// starts-with, not, string-length, number, name, text is parsed as a path
+// step instead.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (Number) exprNode()   {}
+func (String) exprNode()   {}
+func (PathExpr) exprNode() {}
+func (Binary) exprNode()   {}
+func (Call) exprNode()     {}
+
+// String renders the literal.
+func (n Number) String() string {
+	return strconv.FormatFloat(n.Value, 'g', -1, 64)
+}
+
+// String renders the literal with single quotes, switching to double
+// quotes when the value itself contains a single quote.
+func (s String) String() string {
+	if !strings.Contains(s.Value, "'") {
+		return "'" + s.Value + "'"
+	}
+	return `"` + s.Value + `"`
+}
+
+// String renders the embedded path.
+func (p PathExpr) String() string { return p.Path.String() }
+
+// String renders the operation with minimal parenthesization: boolean
+// connectives are parenthesized when nested under another connective.
+func (b Binary) String() string {
+	l, r := b.L.String(), b.R.String()
+	if b.Op == "and" || b.Op == "or" {
+		if inner, ok := b.L.(Binary); ok && (inner.Op == "and" || inner.Op == "or") && inner.Op != b.Op {
+			l = "(" + l + ")"
+		}
+		if inner, ok := b.R.(Binary); ok && (inner.Op == "and" || inner.Op == "or") && inner.Op != b.Op {
+			r = "(" + r + ")"
+		}
+		return l + " " + b.Op + " " + r
+	}
+	return l + b.Op + r
+}
+
+// String renders the call.
+func (c Call) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(args, ",") + ")"
+}
+
+// String renders the step in XPath syntax (without any leading axis
+// separator; Path.String handles '/' vs '//').
+func (s Step) String() string {
+	var sb strings.Builder
+	switch s.Axis {
+	case AxisAttribute:
+		sb.WriteString("@")
+		sb.WriteString(s.Name)
+	case AxisSelf:
+		sb.WriteString(".")
+	case AxisParent:
+		sb.WriteString("..")
+	case AxisText:
+		sb.WriteString("text()")
+	default:
+		sb.WriteString(s.Name)
+	}
+	for _, p := range s.Predicates {
+		sb.WriteString("[")
+		sb.WriteString(p.String())
+		sb.WriteString("]")
+	}
+	return sb.String()
+}
+
+// String renders the full path in XPath syntax.
+func (p Path) String() string {
+	var sb strings.Builder
+	for i, st := range p.Steps {
+		switch {
+		case i == 0 && st.Axis == AxisDescendant:
+			sb.WriteString("//")
+		case i == 0 && p.Absolute:
+			sb.WriteString("/")
+		case i > 0 && st.Axis == AxisDescendant:
+			sb.WriteString("//")
+		case i > 0:
+			sb.WriteString("/")
+		}
+		sb.WriteString(st.String())
+	}
+	if len(p.Steps) == 0 {
+		if p.Absolute {
+			return "/"
+		}
+		return "."
+	}
+	return sb.String()
+}
+
+// Clone returns a deep copy of the path.
+func (p Path) Clone() Path {
+	cp := Path{Absolute: p.Absolute, Steps: make([]Step, len(p.Steps))}
+	for i, s := range p.Steps {
+		cs := Step{Axis: s.Axis, Name: s.Name}
+		if len(s.Predicates) > 0 {
+			cs.Predicates = make([]Expr, len(s.Predicates))
+			for j, pr := range s.Predicates {
+				cs.Predicates[j] = CloneExpr(pr)
+			}
+		}
+		cp.Steps[i] = cs
+	}
+	return cp
+}
+
+// CloneExpr returns a deep copy of a predicate expression.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case Number:
+		return x
+	case String:
+		return x
+	case PathExpr:
+		return PathExpr{Path: x.Path.Clone()}
+	case Binary:
+		return Binary{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R)}
+	case Call:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = CloneExpr(a)
+		}
+		return Call{Name: x.Name, Args: args}
+	default:
+		panic(fmt.Sprintf("xpath: CloneExpr: unknown expression type %T", e))
+	}
+}
+
+// NamePath returns the axis-and-name skeleton of the path ignoring
+// predicates: e.g. "db/book/author". Used by the rewriter to match
+// mapping rules.
+func (p Path) NamePath() string {
+	parts := make([]string, 0, len(p.Steps))
+	for _, s := range p.Steps {
+		switch s.Axis {
+		case AxisAttribute:
+			parts = append(parts, "@"+s.Name)
+		case AxisSelf:
+			parts = append(parts, ".")
+		case AxisParent:
+			parts = append(parts, "..")
+		case AxisText:
+			parts = append(parts, "text()")
+		default:
+			parts = append(parts, s.Name)
+		}
+	}
+	return strings.Join(parts, "/")
+}

@@ -1,0 +1,327 @@
+package xpath
+
+import (
+	"reflect"
+	"testing"
+
+	"wmxml/internal/xmltree"
+)
+
+const db1 = `<db>
+  <book publisher="mkp">
+    <title>Readings in Database Systems</title>
+    <author>Stonebraker</author>
+    <author>Hellerstein</author>
+    <editor>Harrypotter</editor>
+    <year>1998</year>
+    <price>55.50</price>
+  </book>
+  <book publisher="acm">
+    <title>Database Design</title>
+    <writer>Berstein</writer>
+    <writer>Newcomer</writer>
+    <editor>Gamer</editor>
+    <year>1998</year>
+    <price>42.00</price>
+  </book>
+  <book publisher="mkp">
+    <title>XML Query Processing</title>
+    <author>Stonebraker</author>
+    <editor>Harrypotter</editor>
+    <year>2001</year>
+    <price>61.25</price>
+  </book>
+</db>`
+
+func evalValues(t *testing.T, src, query string) []string {
+	t.Helper()
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	q, err := Compile(query)
+	if err != nil {
+		t.Fatalf("compile %q: %v", query, err)
+	}
+	return q.SelectValues(doc)
+}
+
+func TestEvalSimplePaths(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{"db/book/title", []string{"Readings in Database Systems", "Database Design", "XML Query Processing"}},
+		{"/db/book/title", []string{"Readings in Database Systems", "Database Design", "XML Query Processing"}},
+		{"db/book/author", []string{"Stonebraker", "Hellerstein", "Stonebraker"}},
+		{"db/book/editor", []string{"Harrypotter", "Gamer", "Harrypotter"}},
+		{"db/nothing", nil},
+		{"wrongroot/book", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.query, func(t *testing.T) {
+			got := evalValues(t, db1, tc.query)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("got %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvalPaperQueries(t *testing.T) {
+	// The two queries from the paper's §2.1 usability example.
+	got := evalValues(t, db1, "db/book[title='Database Design']/writer")
+	want := []string{"Berstein", "Newcomer"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("paper query 1: got %q want %q", got, want)
+	}
+}
+
+func TestEvalPredicates(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{"db/book[title='Database Design']/year", []string{"1998"}},
+		{"db/book[year=1998]/title", []string{"Readings in Database Systems", "Database Design"}},
+		{"db/book[year>2000]/title", []string{"XML Query Processing"}},
+		{"db/book[year>=1998 and year<2001]/title", []string{"Readings in Database Systems", "Database Design"}},
+		{"db/book[author]/title", []string{"Readings in Database Systems", "XML Query Processing"}},
+		{"db/book[not(author)]/title", []string{"Database Design"}},
+		{"db/book[writer or author]/title", []string{"Readings in Database Systems", "Database Design", "XML Query Processing"}},
+		{"db/book[@publisher='mkp']/title", []string{"Readings in Database Systems", "XML Query Processing"}},
+		{"db/book[author='Hellerstein']/title", []string{"Readings in Database Systems"}},
+		{"db/book[contains(title,'Database')]/year", []string{"1998", "1998"}},
+		{"db/book[starts-with(title,'XML')]/year", []string{"2001"}},
+		{"db/book[count(author)=2]/title", []string{"Readings in Database Systems"}},
+		{"db/book[count(author)>1]/title", []string{"Readings in Database Systems"}},
+		{"db/book[price<50]/title", []string{"Database Design"}},
+		{"db/book[year!=1998]/title", []string{"XML Query Processing"}},
+		{"db/book[string-length(title)>20]/year", []string{"1998"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.query, func(t *testing.T) {
+			got := evalValues(t, db1, tc.query)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("got %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvalPositional(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{"db/book[1]/title", []string{"Readings in Database Systems"}},
+		{"db/book[2]/title", []string{"Database Design"}},
+		{"db/book[position()=3]/title", []string{"XML Query Processing"}},
+		{"db/book[last()]/title", []string{"XML Query Processing"}},
+		{"db/book/author[1]", []string{"Stonebraker", "Stonebraker"}}, // per-context: first author of each book
+		{"db/book[4]/title", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.query, func(t *testing.T) {
+			got := evalValues(t, db1, tc.query)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("got %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvalPositionIsPerContext(t *testing.T) {
+	// author[1] must be evaluated per book, not globally: both books with
+	// authors contribute their first author.
+	got := evalValues(t, db1, "db/book/author[1]")
+	// Dedup keeps first occurrence; both books' first author is
+	// "Stonebraker" but they are distinct nodes.
+	if len(got) != 2 || got[0] != "Stonebraker" || got[1] != "Stonebraker" {
+		t.Errorf("per-context position: got %q", got)
+	}
+}
+
+func TestEvalDescendant(t *testing.T) {
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"//title", 3},
+		{"//author", 3},
+		{"db//editor", 3},
+		{"//book", 3},
+		{"//*", 21}, // db + 3 books + 17 leaves
+	}
+	for _, tc := range cases {
+		t.Run(tc.query, func(t *testing.T) {
+			got := evalValues(t, db1, tc.query)
+			if len(got) != tc.want {
+				t.Errorf("got %d items (%q), want %d", len(got), got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvalAttributes(t *testing.T) {
+	got := evalValues(t, db1, "db/book/@publisher")
+	want := []string{"mkp", "acm", "mkp"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	doc := xmltree.MustParseString(db1)
+	items := MustCompile("db/book/@publisher").Select(doc)
+	if !items[0].IsAttr() {
+		t.Errorf("attribute item not marked as attr")
+	}
+	if items[0].Name() != "publisher" {
+		t.Errorf("attr item name = %q", items[0].Name())
+	}
+}
+
+func TestEvalWildcardAndParent(t *testing.T) {
+	got := evalValues(t, db1, "db/*/title")
+	if len(got) != 3 {
+		t.Errorf("wildcard: %q", got)
+	}
+	got2 := evalValues(t, db1, "db/book/title/../year")
+	want := []string{"1998", "1998", "2001"}
+	if !reflect.DeepEqual(got2, want) {
+		t.Errorf("parent axis: got %q want %q", got2, want)
+	}
+	got3 := evalValues(t, db1, "db/book/.")
+	if len(got3) != 3 {
+		t.Errorf("self axis: %d", len(got3))
+	}
+}
+
+func TestEvalTextStep(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b>one</b><b/></a>`)
+	items := MustCompile("a/b/text()").Select(doc)
+	if len(items) != 1 || items[0].Value() != "one" {
+		t.Errorf("text(): %+v", items)
+	}
+	if items[0].Node.Kind != xmltree.TextNode {
+		t.Errorf("text step did not return text node")
+	}
+}
+
+func TestEvalDedup(t *testing.T) {
+	// db//author via multiple context nodes must not duplicate.
+	doc := xmltree.MustParseString(`<db><g><book><author>A</author></book></g></db>`)
+	items := MustCompile("//book//author").Select(doc)
+	if len(items) != 1 {
+		t.Errorf("dedup failed: %d items", len(items))
+	}
+}
+
+func TestItemSetValue(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	q := MustCompile("db/book[title='Database Design']/price")
+	it, ok := q.SelectFirst(doc)
+	if !ok {
+		t.Fatalf("no match")
+	}
+	it.SetValue("43.99")
+	got := evalValues(t, xmltree.SerializeString(doc), "db/book[title='Database Design']/price")
+	if !reflect.DeepEqual(got, []string{"43.99"}) {
+		t.Errorf("SetValue element: %q", got)
+	}
+
+	ai, ok := MustCompile("db/book[1]/@publisher").SelectFirst(doc)
+	if !ok {
+		t.Fatalf("no attr match")
+	}
+	ai.SetValue("npm")
+	if v, _ := doc.Root().ChildElements()[0].Attr("publisher"); v != "npm" {
+		t.Errorf("SetValue attr: %q", v)
+	}
+}
+
+func TestEvalOnDetachedSubtree(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	book := doc.Root().ChildElements()[1] // Database Design
+	q := MustCompile("title")
+	items := q.Select(book)
+	if len(items) != 1 || items[0].Value() != "Database Design" {
+		t.Errorf("relative query on element: %+v", items)
+	}
+	// Absolute query from an element still addresses the whole document.
+	abs := MustCompile("/db/book[1]/title")
+	it, ok := abs.SelectFirst(book)
+	if !ok || it.Value() != "Readings in Database Systems" {
+		t.Errorf("absolute from element: %+v %v", it, ok)
+	}
+}
+
+func TestSelectFirstNoMatch(t *testing.T) {
+	doc := xmltree.MustParseString(db1)
+	if _, ok := MustCompile("db/zzz").SelectFirst(doc); ok {
+		t.Errorf("SelectFirst on empty result returned ok")
+	}
+}
+
+func TestFromPath(t *testing.T) {
+	p, err := ParsePath("db/book[title='Database Design']/year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := FromPath(p)
+	doc := xmltree.MustParseString(db1)
+	got := q.SelectValues(doc)
+	if !reflect.DeepEqual(got, []string{"1998"}) {
+		t.Errorf("FromPath eval: %q", got)
+	}
+	if q.String() == "" {
+		t.Errorf("FromPath lost source rendering")
+	}
+}
+
+func TestEvalNumericStringCoercion(t *testing.T) {
+	// year=1998 with year stored as text: numeric comparison via coercion.
+	got := evalValues(t, db1, "db/book[year='1998']/title")
+	if len(got) != 2 {
+		t.Errorf("string compare on numeric text: %q", got)
+	}
+	got2 := evalValues(t, db1, "db/book[number(year)>1997.5]/title")
+	if len(got2) != 3 {
+		t.Errorf("number(): %q", got2)
+	}
+}
+
+func TestAbsolutePathInPredicate(t *testing.T) {
+	// A predicate can reference the document root: select books whose
+	// year equals the first book's year.
+	doc := xmltree.MustParseString(db1)
+	q := MustCompile("db/book[year=/db/book[1]/year]/title")
+	got := q.SelectValues(doc)
+	want := []string{"Readings in Database Systems", "Database Design"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("absolute-in-predicate: %q, want %q", got, want)
+	}
+}
+
+func TestItemValueOnDocumentNode(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b>x</b></a>`)
+	it := Item{Node: doc}
+	if it.Value() != "x" {
+		t.Errorf("document item value = %q", it.Value())
+	}
+	if it.Name() != "" {
+		t.Errorf("document item name = %q", it.Name())
+	}
+	var empty Item
+	if empty.Value() != "" {
+		t.Errorf("zero item value = %q", empty.Value())
+	}
+	empty.SetValue("noop") // must not panic
+}
+
+func TestBarePathSelectsDocumentRoot(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b>x</b></a>`)
+	q := MustCompile("/")
+	items := q.Select(doc)
+	if len(items) != 1 || items[0].Node.Kind != xmltree.DocumentNode {
+		t.Errorf("bare / selected %+v", items)
+	}
+}

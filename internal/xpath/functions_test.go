@@ -1,0 +1,175 @@
+package xpath
+
+import (
+	"reflect"
+	"testing"
+
+	"wmxml/internal/xmltree"
+)
+
+// fnDoc exercises the string/number function library.
+const fnDoc = `<db>
+  <book><title>Database Design</title><year>1998</year><price>42.50</price></book>
+  <book><title>XML Processing</title><year>2001</year><price>61.25</price></book>
+  <book><title>data mining</title><year>1995</year><price>10.00</price></book>
+</db>`
+
+func fnValues(t *testing.T, query string) []string {
+	t.Helper()
+	doc := xmltree.MustParseString(fnDoc)
+	q, err := Compile(query)
+	if err != nil {
+		t.Fatalf("compile %q: %v", query, err)
+	}
+	return q.SelectValues(doc)
+}
+
+func TestSubstringFunctions(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{"db/book[substring(title,1,8)='Database']/year", []string{"1998"}},
+		{"db/book[substring(title,5)='Processing']/year", []string{"2001"}},
+		{"db/book[substring-before(title,' ')='Database']/year", []string{"1998"}},
+		{"db/book[substring-after(title,' ')='Processing']/year", []string{"2001"}},
+		{"db/book[substring-before(title,'zzz')='x']/year", nil}, // separator absent -> ""
+	}
+	for _, tc := range cases {
+		t.Run(tc.query, func(t *testing.T) {
+			if got := fnValues(t, tc.query); !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("got %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestConcatAndTranslate(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{"db/book[concat(year,'-',title)='1998-Database Design']/price", []string{"42.50"}},
+		// translate as a case-folding tool, the classic idiom.
+		{"db/book[translate(title,'ABCDEFGHIJKLMNOPQRSTUVWXYZ','abcdefghijklmnopqrstuvwxyz')='data mining']/year", []string{"1995"}},
+		// translate with removal (to shorter than from).
+		{"db/book[translate(year,'9','')='18']/title", []string{"Database Design"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.query, func(t *testing.T) {
+			if got := fnValues(t, tc.query); !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("got %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBooleanFunctions(t *testing.T) {
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"db/book[true()]/title", 3},
+		{"db/book[false()]/title", 0},
+		{"db/book[boolean(year)]/title", 3},
+		{"db/book[boolean(editor)]/title", 0},
+		{"db/book[not(false())]/title", 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.query, func(t *testing.T) {
+			if got := len(fnValues(t, tc.query)); got != tc.want {
+				t.Errorf("got %d matches, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNumericFunctions(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		{"db/book[floor(price)=42]/year", []string{"1998"}},
+		{"db/book[ceiling(price)=62]/year", []string{"2001"}},
+		{"db/book[round(price)=10]/year", []string{"1995"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.query, func(t *testing.T) {
+			if got := fnValues(t, tc.query); !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("got %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSumFunction(t *testing.T) {
+	// sum over a relative node-set inside a predicate on the root.
+	got := fnValues(t, "db[sum(book/price)>100]/book[1]/title")
+	if !reflect.DeepEqual(got, []string{"Database Design"}) {
+		t.Errorf("sum predicate: %q", got)
+	}
+	if got := fnValues(t, "db[sum(book/price)>1000]/book[1]/title"); got != nil {
+		t.Errorf("sum overshoot matched: %q", got)
+	}
+	// sum over non-numeric values is NaN -> false.
+	if got := fnValues(t, "db[sum(book/title)>0]/book[1]/title"); got != nil {
+		t.Errorf("sum over text matched: %q", got)
+	}
+}
+
+func TestFunctionArityErrors(t *testing.T) {
+	bad := []string{
+		"db/book[substring(title)]/year",
+		"db/book[substring-before(title)]/year",
+		"db/book[concat(title)]/year",
+		"db/book[translate(title,'a')]/year",
+		"db/book[boolean()]/year",
+		"db/book[true(1)]/year",
+		"db/book[floor()]/year",
+		"db/book[sum()]/year",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want arity error", src)
+		}
+	}
+}
+
+func TestFunctionRenderRoundTrip(t *testing.T) {
+	queries := []string{
+		"db/book[substring(title,1,8)='Database']/year",
+		"db/book[concat(year,'-',title)='x']/price",
+		"db/book[translate(title,'AB','ab')='y']/year",
+		"db/book[floor(price)=42]/year",
+		"db/book[true() and not(false())]/title",
+	}
+	for _, src := range queries {
+		p, err := ParsePath(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		rendered := p.String()
+		if _, err := ParsePath(rendered); err != nil {
+			t.Errorf("re-parse %q (from %q): %v", rendered, src, err)
+		}
+	}
+}
+
+func TestSubstringEdgeCases(t *testing.T) {
+	doc := xmltree.MustParseString(`<a><b>hello</b></a>`)
+	cases := []struct {
+		query string
+		match bool
+	}{
+		{"a/b[substring(.,0)='hello']", true},    // start before 1 clamps
+		{"a/b[substring(.,99)='']", true},        // start past end -> ""
+		{"a/b[substring(.,2,0)='']", true},       // zero length -> ""
+		{"a/b[substring(.,1,99)='hello']", true}, // length past end clamps
+	}
+	for _, tc := range cases {
+		q := MustCompile(tc.query)
+		if got := len(q.Select(doc)) > 0; got != tc.match {
+			t.Errorf("%q matched=%v, want %v", tc.query, got, tc.match)
+		}
+	}
+}

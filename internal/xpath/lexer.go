@@ -1,0 +1,200 @@
+package xpath
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokSlash
+	tokDoubleSlash
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokComma
+	tokAt
+	tokStar
+	tokDot
+	tokDotDot
+	tokName   // element/function names, and the keywords and/or
+	tokString // quoted literal
+	tokNumber
+	tokOp // = != < <= > >=
+	tokPipe
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) error(pos int, format string, args ...any) error {
+	return fmt.Errorf("xpath: %s at offset %d in %q", fmt.Sprintf(format, args...), pos, l.src)
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '/':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+			l.pos += 2
+			return token{kind: tokDoubleSlash, text: "//", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokSlash, text: "/", pos: start}, nil
+	case '[':
+		l.pos++
+		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case '@':
+		l.pos++
+		return token{kind: tokAt, text: "@", pos: start}, nil
+	case '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case '|':
+		l.pos++
+		return token{kind: tokPipe, text: "|", pos: start}, nil
+	case '.':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+			l.pos += 2
+			return token{kind: tokDotDot, text: "..", pos: start}, nil
+		}
+		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			return l.lexNumber()
+		}
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start}, nil
+	case '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: "!=", pos: start}, nil
+		}
+		return token{}, l.error(start, "unexpected '!'")
+	case '<':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: "<=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokOp, text: "<", pos: start}, nil
+	case '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: ">=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokOp, text: ">", pos: start}, nil
+	case '\'', '"':
+		return l.lexString(c)
+	}
+	if isDigit(c) {
+		return l.lexNumber()
+	}
+	if isNameStart(rune(c)) {
+		return l.lexName()
+	}
+	return token{}, l.error(start, "unexpected character %q", string(c))
+}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	start := l.pos
+	l.pos++ // consume opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.error(start, "unterminated string literal")
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexName() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r := rune(l.src[l.pos])
+		if isNameStart(r) || isDigit(l.src[l.pos]) || r == '-' || r == '.' {
+			// A trailing '.' would be ambiguous with the self step; names
+			// with dots are accepted mid-name only (e.g. ns.local).
+			if r == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+				break
+			}
+			l.pos++
+			continue
+		}
+		break
+	}
+	return token{kind: tokName, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNameStart(r rune) bool {
+	return r == '_' || r == ':' || unicode.IsLetter(r)
+}

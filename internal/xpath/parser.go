@@ -1,0 +1,411 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// parser is a recursive-descent parser over the lexer with one token of
+// lookahead.
+type parser struct {
+	lex  *lexer
+	tok  token
+	prev token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: &lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	p.prev = p.tok
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) error {
+	if p.tok.kind != kind {
+		return fmt.Errorf("xpath: expected %s but found %s at offset %d in %q",
+			what, p.tok, p.tok.pos, p.lex.src)
+	}
+	return p.advance()
+}
+
+// ParsePath parses a location path expression.
+func ParsePath(src string) (Path, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return Path{}, err
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return Path{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return Path{}, fmt.Errorf("xpath: trailing input %s at offset %d in %q", p.tok, p.tok.pos, src)
+	}
+	return path, nil
+}
+
+func (p *parser) parsePath() (Path, error) {
+	var path Path
+	switch p.tok.kind {
+	case tokSlash:
+		path.Absolute = true
+		if err := p.advance(); err != nil {
+			return path, err
+		}
+		if p.tok.kind == tokEOF {
+			return path, nil // bare "/" selects the document node
+		}
+	case tokDoubleSlash:
+		path.Absolute = true
+		if err := p.advance(); err != nil {
+			return path, err
+		}
+		step, err := p.parseStep()
+		if err != nil {
+			return path, err
+		}
+		step.Axis = descendantOf(step.Axis)
+		path.Steps = append(path.Steps, step)
+		return p.parseMoreSteps(path)
+	}
+	step, err := p.parseStep()
+	if err != nil {
+		return path, err
+	}
+	path.Steps = append(path.Steps, step)
+	return p.parseMoreSteps(path)
+}
+
+func (p *parser) parseMoreSteps(path Path) (Path, error) {
+	for {
+		switch p.tok.kind {
+		case tokSlash:
+			if err := p.advance(); err != nil {
+				return path, err
+			}
+			step, err := p.parseStep()
+			if err != nil {
+				return path, err
+			}
+			path.Steps = append(path.Steps, step)
+		case tokDoubleSlash:
+			if err := p.advance(); err != nil {
+				return path, err
+			}
+			step, err := p.parseStep()
+			if err != nil {
+				return path, err
+			}
+			step.Axis = descendantOf(step.Axis)
+			path.Steps = append(path.Steps, step)
+		default:
+			return path, nil
+		}
+	}
+}
+
+// descendantOf upgrades the child axis to the descendant axis for steps
+// introduced by '//'. '//@attr' and '//text()' keep their own axis but
+// are rare; we reject them for clarity below.
+func descendantOf(a Axis) Axis {
+	if a == AxisChild {
+		return AxisDescendant
+	}
+	return a
+}
+
+func (p *parser) parseStep() (Step, error) {
+	var step Step
+	switch p.tok.kind {
+	case tokAt:
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+		step.Axis = AxisAttribute
+		switch p.tok.kind {
+		case tokName:
+			step.Name = p.tok.text
+		case tokStar:
+			step.Name = "*"
+		default:
+			return step, fmt.Errorf("xpath: expected attribute name after '@' at offset %d in %q", p.tok.pos, p.lex.src)
+		}
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+	case tokDot:
+		step.Axis = AxisSelf
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+	case tokDotDot:
+		step.Axis = AxisParent
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+	case tokStar:
+		step.Axis = AxisChild
+		step.Name = "*"
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+	case tokName:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+		if name == "text" && p.tok.kind == tokLParen {
+			if err := p.advance(); err != nil {
+				return step, err
+			}
+			if err := p.expect(tokRParen, "')'"); err != nil {
+				return step, err
+			}
+			step.Axis = AxisText
+		} else {
+			step.Axis = AxisChild
+			step.Name = name
+		}
+	default:
+		return step, fmt.Errorf("xpath: expected step but found %s at offset %d in %q", p.tok, p.tok.pos, p.lex.src)
+	}
+
+	for p.tok.kind == tokLBracket {
+		if err := p.advance(); err != nil {
+			return step, err
+		}
+		expr, err := p.parseExpr()
+		if err != nil {
+			return step, err
+		}
+		if err := p.expect(tokRBracket, "']'"); err != nil {
+			return step, err
+		}
+		step.Predicates = append(step.Predicates, expr)
+	}
+	return step, nil
+}
+
+// parseExpr parses an or-expression (lowest precedence).
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokName && p.tok.text == "or" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: "or", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAndExpr() (Expr, error) {
+	left, err := p.parseCmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokName && p.tok.text == "and" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseCmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: "and", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseCmpExpr() (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: op, L: left, R: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokString:
+		v := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return String{Value: v}, nil
+	case tokNumber:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("xpath: bad number %q at offset %d", p.tok.text, p.tok.pos)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Number{Value: f}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokName:
+		// Function call or relative path. Distinguish by lookahead for
+		// '(' — except 'text(' which is a path step.
+		name := p.tok.text
+		savedPos := p.lex.pos
+		savedTok := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokLParen && name != "text" {
+			return p.parseCallArgs(name)
+		}
+		// Rewind-free: continue parsing the path with the consumed name
+		// as its first step.
+		path := Path{Steps: []Step{{Axis: AxisChild, Name: name}}}
+		_ = savedPos
+		_ = savedTok
+		return p.parsePathExprFrom(path)
+	case tokAt, tokDot, tokDotDot, tokStar, tokSlash, tokDoubleSlash:
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		return PathExpr{Path: path}, nil
+	default:
+		return nil, fmt.Errorf("xpath: expected expression but found %s at offset %d in %q", p.tok, p.tok.pos, p.lex.src)
+	}
+}
+
+// parsePathExprFrom continues parsing a relative path whose first step
+// (a plain name) has already been consumed.
+func (p *parser) parsePathExprFrom(path Path) (Expr, error) {
+	// Predicates on the first step.
+	for p.tok.kind == tokLBracket {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		expr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		last := &path.Steps[len(path.Steps)-1]
+		last.Predicates = append(last.Predicates, expr)
+	}
+	full, err := p.parseMoreSteps(path)
+	if err != nil {
+		return nil, err
+	}
+	return PathExpr{Path: full}, nil
+}
+
+func (p *parser) parseCallArgs(name string) (Expr, error) {
+	switch name {
+	case "position", "last", "count", "contains", "starts-with", "not",
+		"string-length", "number", "name", "normalize-space", "string",
+		"substring", "substring-before", "substring-after", "concat",
+		"translate", "boolean", "true", "false", "floor", "ceiling",
+		"round", "sum":
+	default:
+		return nil, fmt.Errorf("xpath: unknown function %q in %q", name, p.lex.src)
+	}
+	if err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	call := Call{Name: name}
+	if p.tok.kind != tokRParen {
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	if err := checkArity(call); err != nil {
+		return nil, err
+	}
+	return call, nil
+}
+
+func checkArity(c Call) error {
+	want := map[string][2]int{
+		"position":         {0, 0},
+		"last":             {0, 0},
+		"count":            {1, 1},
+		"contains":         {2, 2},
+		"starts-with":      {2, 2},
+		"not":              {1, 1},
+		"string-length":    {0, 1},
+		"number":           {0, 1},
+		"name":             {0, 1},
+		"normalize-space":  {0, 1},
+		"string":           {0, 1},
+		"substring":        {2, 3},
+		"substring-before": {2, 2},
+		"substring-after":  {2, 2},
+		"concat":           {2, 8},
+		"translate":        {3, 3},
+		"boolean":          {1, 1},
+		"true":             {0, 0},
+		"false":            {0, 0},
+		"floor":            {1, 1},
+		"ceiling":          {1, 1},
+		"round":            {1, 1},
+		"sum":              {1, 1},
+	}
+	w, ok := want[c.Name]
+	if !ok {
+		return fmt.Errorf("xpath: unknown function %q", c.Name)
+	}
+	if len(c.Args) < w[0] || len(c.Args) > w[1] {
+		return fmt.Errorf("xpath: function %s expects %d..%d arguments, got %d", c.Name, w[0], w[1], len(c.Args))
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	// Parsing then rendering then re-parsing must be a fixed point.
+	cases := []string{
+		"db/book/author",
+		"/db/book/author",
+		"db/book[title='DB Design']/author",
+		`db/publisher/author[book='DB Design']/@name`,
+		"//book/title",
+		"db//year",
+		"db/book[year>1995]/title",
+		"db/book[year>=1995 and year<=2000]/title",
+		"db/book[title or editor]/year",
+		"db/book[not(editor)]/title",
+		"db/book[contains(title,'Data')]/year",
+		"db/book[starts-with(title,'Read')]/year",
+		"db/book[position()=2]/title",
+		"db/book[2]/title",
+		"db/book[last()]/title",
+		"db/book[count(author)>1]/title",
+		"db/book/year/text()",
+		"db/book[@publisher='mkp']/title",
+		"db/book/@publisher",
+		"*/book/*",
+		"db/book[title][year]/author",
+		"db/book[author='X' or author='Y']/title",
+		".",
+		"..",
+		"db/book/..",
+		"db/book[string-length(title)>3]/title",
+		"db/book[.='x']/title",
+	}
+	for _, src := range cases {
+		t.Run(src, func(t *testing.T) {
+			p1, err := ParsePath(src)
+			if err != nil {
+				t.Fatalf("parse %q: %v", src, err)
+			}
+			rendered := p1.String()
+			p2, err := ParsePath(rendered)
+			if err != nil {
+				t.Fatalf("re-parse %q (from %q): %v", rendered, src, err)
+			}
+			if p2.String() != rendered {
+				t.Errorf("render not fixed point: %q -> %q", rendered, p2.String())
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"db/",
+		"db//",
+		"db/book[",
+		"db/book[]",
+		"db/book[title=']",
+		"db/book[title='x'",
+		"db/book[unknownfn(title)]",
+		"db/@",
+		"db/book[!title]",
+		"db/book]]",
+		"db/book[position(1)]",
+		"db/book[contains(title)]",
+		"db/book[count()]",
+		"db/book[title='x' extra]",
+		"db/$x",
+	}
+	for _, src := range cases {
+		if _, err := ParsePath(src); err == nil {
+			t.Errorf("ParsePath(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseAbsoluteVsRelative(t *testing.T) {
+	abs, err := ParsePath("/db/book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !abs.Absolute {
+		t.Errorf("leading / not marked absolute")
+	}
+	rel, err := ParsePath("db/book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Absolute {
+		t.Errorf("relative path marked absolute")
+	}
+	if len(abs.Steps) != 2 || len(rel.Steps) != 2 {
+		t.Errorf("step counts: %d, %d", len(abs.Steps), len(rel.Steps))
+	}
+}
+
+func TestParseDescendantAxis(t *testing.T) {
+	p, err := ParsePath("//book//title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[0].Axis != AxisDescendant || p.Steps[1].Axis != AxisDescendant {
+		t.Errorf("axes = %v, %v", p.Steps[0].Axis, p.Steps[1].Axis)
+	}
+	if got := p.String(); got != "//book//title" {
+		t.Errorf("render = %q", got)
+	}
+}
+
+func TestParseAttributeStep(t *testing.T) {
+	p, err := ParsePath("db/book/@publisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := p.Steps[len(p.Steps)-1]
+	if last.Axis != AxisAttribute || last.Name != "publisher" {
+		t.Errorf("attribute step = %+v", last)
+	}
+	p2, err := ParsePath("db/book/@*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Steps[2].Name != "*" {
+		t.Errorf("wildcard attribute = %+v", p2.Steps[2])
+	}
+}
+
+func TestParsePredicateStructure(t *testing.T) {
+	p, err := ParsePath("db/book[title='X' and year>1990]/author")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := p.Steps[1].Predicates
+	if len(preds) != 1 {
+		t.Fatalf("predicates = %d", len(preds))
+	}
+	b, ok := preds[0].(Binary)
+	if !ok || b.Op != "and" {
+		t.Fatalf("top expr = %#v", preds[0])
+	}
+	l, ok := b.L.(Binary)
+	if !ok || l.Op != "=" {
+		t.Errorf("left = %#v", b.L)
+	}
+	r, ok := b.R.(Binary)
+	if !ok || r.Op != ">" {
+		t.Errorf("right = %#v", b.R)
+	}
+}
+
+func TestParseStringQuotes(t *testing.T) {
+	p, err := ParsePath(`db/book[title="it's"]/year`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := p.String()
+	if !strings.Contains(rendered, `"it's"`) {
+		t.Errorf("render = %q, want double-quoted literal", rendered)
+	}
+	if _, err := ParsePath(rendered); err != nil {
+		t.Errorf("re-parse %q: %v", rendered, err)
+	}
+}
+
+func TestParseTextStep(t *testing.T) {
+	p, err := ParsePath("db/book/title/text()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Steps[3].Axis != AxisText {
+		t.Errorf("text step axis = %v", p.Steps[3].Axis)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p, err := ParsePath("db/book[title='X']/year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := p.Clone()
+	cp.Steps[1].Predicates[0] = String{Value: "mutated"}
+	orig := p.Steps[1].Predicates[0]
+	if _, ok := orig.(Binary); !ok {
+		t.Errorf("clone mutation leaked into original: %#v", orig)
+	}
+}
+
+func TestNamePath(t *testing.T) {
+	p, err := ParsePath("db/book[title='X']/@publisher")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NamePath(); got != "db/book/@publisher" {
+		t.Errorf("NamePath = %q", got)
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustCompile on bad input did not panic")
+		}
+	}()
+	MustCompile("db/[")
+}

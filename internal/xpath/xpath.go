@@ -1,0 +1,72 @@
+package xpath
+
+import "wmxml/internal/xmltree"
+
+// Query is a compiled XPath expression. A Query is immutable and safe for
+// concurrent use.
+type Query struct {
+	path Path
+	src  string
+}
+
+// Compile parses src into a Query.
+func Compile(src string) (*Query, error) {
+	path, err := ParsePath(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{path: path, src: src}, nil
+}
+
+// MustCompile is Compile but panics on error; for fixed expressions.
+func MustCompile(src string) *Query {
+	q, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// FromPath wraps an already-built AST (e.g. the output of the query
+// rewriter) as a Query.
+func FromPath(p Path) *Query {
+	return &Query{path: p.Clone(), src: p.String()}
+}
+
+// String returns the query source in XPath syntax. For compiled queries
+// this is the original source; for rewritten queries it is the rendering
+// of the transformed AST.
+func (q *Query) String() string { return q.src }
+
+// Path returns a deep copy of the query's AST for structural inspection
+// and rewriting.
+func (q *Query) Path() Path { return q.path.Clone() }
+
+// Select evaluates the query against root and returns all matching items
+// in document order.
+func (q *Query) Select(root *xmltree.Node) []Item {
+	return q.path.Eval(root)
+}
+
+// SelectFirst returns the first matching item, if any.
+func (q *Query) SelectFirst(root *xmltree.Node) (Item, bool) {
+	items := q.path.Eval(root)
+	if len(items) == 0 {
+		return Item{}, false
+	}
+	return items[0], true
+}
+
+// SelectValues evaluates the query and returns the string values of all
+// matches.
+func (q *Query) SelectValues(root *xmltree.Node) []string {
+	items := q.path.Eval(root)
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.Value()
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package wmxml
+
+import (
+	"testing"
+)
+
+// TestMultiOwnerInterference documents what happens when two parties
+// watermark the same document with different keys: their carrier sets
+// overlap by roughly 1/gamma², and the later embedding overwrites the
+// overlap. Both marks remain detectable as long as gamma leaves the
+// overlap small — the standard behaviour for keyed LSB schemes, worth
+// pinning down in a test because multi-marking is how re-distribution
+// chains get traced.
+func TestMultiOwnerInterference(t *testing.T) {
+	ds := PublicationsDataset(500, 301)
+	newSys := func(key, markSeed string) *System {
+		sys, err := New(Options{
+			Key: key, MarkBits: RandomMark(markSeed, 48),
+			Schema: ds.Schema, Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	owner := newSys("owner-key", "owner-mark")
+	reseller := newSys("reseller-key", "reseller-mark")
+
+	doc := ds.Doc.Clone()
+	ownerReceipt, err := owner.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resellerReceipt, err := reseller.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The second mark is pristine.
+	rdet, err := reseller.Detect(doc, resellerReceipt.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rdet.Detected || rdet.MatchFraction != 1.0 {
+		t.Errorf("reseller mark damaged: %+v", rdet)
+	}
+	// The first mark survives with small damage (the carrier overlap).
+	odet, err := owner.Detect(doc, ownerReceipt.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !odet.Detected {
+		t.Errorf("owner mark lost after second embedding: %+v", odet)
+	}
+	if odet.MatchFraction < 0.9 {
+		t.Errorf("owner mark degraded more than the overlap predicts: %.3f", odet.MatchFraction)
+	}
+	// And the confidence statistics say both detections are implausible
+	// by chance.
+	if odet.Sigma < 5 || rdet.Sigma < 5 {
+		t.Errorf("sigma too low: owner %.1f reseller %.1f", odet.Sigma, rdet.Sigma)
+	}
+	if odet.FalsePositiveRate > 1e-4 {
+		t.Errorf("owner FP rate = %v", odet.FalsePositiveRate)
+	}
+}
+
+// TestDetectionConfidenceFields pins the new confidence statistics.
+func TestDetectionConfidenceFields(t *testing.T) {
+	ds := JobsDataset(300, 302)
+	sys, err := New(Options{
+		Key: "conf-key", MarkBits: RandomMark("conf-mark", 48),
+		Schema: ds.Schema, Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := ds.Doc.Clone()
+	receipt, err := sys.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := sys.Detect(doc, receipt.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Sigma <= 0 {
+		t.Errorf("sigma = %f on a perfect detection", det.Sigma)
+	}
+	if det.FalsePositiveRate <= 0 || det.FalsePositiveRate > 1e-6 {
+		t.Errorf("FP rate = %v on a full 48-bit match", det.FalsePositiveRate)
+	}
+	// An unmarked document yields chance-level confidence.
+	virgin, err := sys.DetectBlind(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if virgin.FalsePositiveRate < 0.01 {
+		t.Errorf("unmarked FP rate = %v, should be large (plausible by chance)", virgin.FalsePositiveRate)
+	}
+}

@@ -1,0 +1,505 @@
+package wmxml
+
+import (
+	"fmt"
+	"io"
+
+	"wmxml/internal/attack"
+	"wmxml/internal/baseline"
+	"wmxml/internal/config"
+	"wmxml/internal/core"
+	"wmxml/internal/datagen"
+	"wmxml/internal/identity"
+	"wmxml/internal/rewrite"
+	"wmxml/internal/schema"
+	"wmxml/internal/semantics"
+	"wmxml/internal/structwm"
+	"wmxml/internal/usability"
+	"wmxml/internal/wmark"
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+// Re-exported types. The library's working types live in internal
+// packages (one per subsystem, see DESIGN.md); these aliases form the
+// public surface so that downstream code imports only this package.
+type (
+	// Document is a mutable XML DOM node; documents parse to a node of
+	// kind DocumentNode.
+	Document = xmltree.Node
+	// Schema declares the document structure and value types.
+	Schema = schema.Schema
+	// ElementDecl is one element declaration within a Schema.
+	ElementDecl = schema.ElementDecl
+	// Catalog bundles the semantic constraints (keys and FDs).
+	Catalog = semantics.Catalog
+	// Key declares a key constraint (Scope, KeyPath).
+	Key = semantics.Key
+	// FD declares a functional dependency (Scope, Determinant, Dependent).
+	FD = semantics.FD
+	// Mapping relates two layouts of the same records for
+	// re-organization and query rewriting.
+	Mapping = rewrite.Mapping
+	// QueryRecord is one safeguarded identity query (an entry of Q).
+	QueryRecord = core.QueryRecord
+	// Query is a compiled XPath-subset expression.
+	Query = xpath.Query
+	// Bits is a watermark bit string.
+	Bits = wmark.Bits
+	// Dataset is a generated workload with schema, catalog, targets and
+	// usability templates.
+	Dataset = datagen.Dataset
+	// Attack transforms a document adversarially.
+	Attack = attack.Attack
+	// UsabilityMeter measures template correctness against an original.
+	UsabilityMeter = usability.Meter
+	// UsabilityScore is a usability measurement.
+	UsabilityScore = usability.Score
+	// Rewriter rewrites queries across a schema mapping.
+	Rewriter = core.Rewriter
+)
+
+// Re-exported data types for schema declarations.
+const (
+	TypeString  = schema.TypeString
+	TypeInteger = schema.TypeInteger
+	TypeDecimal = schema.TypeDecimal
+	TypeImage   = schema.TypeImage
+	TypeNone    = schema.TypeNone
+)
+
+// ParseXML reads an XML document into a mutable DOM.
+func ParseXML(r io.Reader) (*Document, error) {
+	return xmltree.Parse(r, xmltree.ParseOptions{})
+}
+
+// ParseXMLString parses an XML document from a string.
+func ParseXMLString(s string) (*Document, error) {
+	return xmltree.ParseString(s)
+}
+
+// SerializeXML renders a document as pretty-printed XML.
+func SerializeXML(w io.Writer, doc *Document) error {
+	return xmltree.Serialize(w, doc, xmltree.SerializeOptions{Indent: "  "})
+}
+
+// SerializeXMLString renders a document as a pretty-printed XML string.
+func SerializeXMLString(doc *Document) string {
+	return xmltree.SerializeIndentString(doc)
+}
+
+// CompileQuery compiles an XPath-subset expression.
+func CompileQuery(src string) (*Query, error) { return xpath.Compile(src) }
+
+// InferSchema derives a schema from a document instance, as a starting
+// point for the user to refine.
+func InferSchema(name string, doc *Document) *Schema {
+	return schema.Infer(name, doc)
+}
+
+// DiscoverKeys proposes key constraints supported by the document.
+func DiscoverKeys(doc *Document, s *Schema) ([]Key, error) {
+	return semantics.DiscoverKeys(doc, s, 2)
+}
+
+// DiscoverFDs proposes functional dependencies supported by the
+// document, most-redundancy first.
+func DiscoverFDs(doc *Document, s *Schema) ([]FD, error) {
+	found, err := semantics.DiscoverFDs(doc, s, 2)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]FD, len(found))
+	for i, d := range found {
+		out[i] = d.FD
+	}
+	return out, nil
+}
+
+// Options configures a watermarking System.
+type Options struct {
+	// Key is the secret key; required.
+	Key string
+	// Mark is the watermark message (text); required unless MarkBits is
+	// set.
+	Mark string
+	// MarkBits overrides Mark with explicit bits.
+	MarkBits Bits
+	// Schema describes the documents to be watermarked; required.
+	Schema *Schema
+	// Catalog supplies keys and FDs; at least one key is needed for
+	// semantic identities.
+	Catalog Catalog
+	// Targets are the watermark-carrying fields as name paths
+	// ("db/book/year", "db/book/@publisher"). Empty auto-derives from
+	// the schema and catalog.
+	Targets []string
+	// Gamma is the selection ratio (default 10): about 1 in Gamma
+	// bandwidth units carries a bit.
+	Gamma int
+	// Xi is the number of candidate low-order embedding positions
+	// (default 4). Larger xi hides bits better but perturbs more.
+	Xi int
+	// XiByTarget overrides Xi per target ("scope/field" name path) so
+	// small-scale fields can carry bits at a shallower, still
+	// imperceptible depth.
+	XiByTarget map[string]int
+	// Tau is the detection match threshold (default 0.85).
+	Tau float64
+	// MinCoverage is the minimum fraction of mark bits that must receive
+	// votes for detection (default 0.5).
+	MinCoverage float64
+	// DisableFDs switches off FD canonicalization (exposes the
+	// redundancy-removal weakness; for ablations only).
+	DisableFDs bool
+	// ValidateInput validates documents against Schema before embedding.
+	ValidateInput bool
+}
+
+// System embeds and detects watermarks for one document type.
+type System struct {
+	cfg core.Config
+}
+
+// New builds a System from Options.
+func New(opts Options) (*System, error) {
+	if opts.Key == "" {
+		return nil, fmt.Errorf("wmxml: Options.Key is required")
+	}
+	mark := opts.MarkBits
+	if len(mark) == 0 {
+		if opts.Mark == "" {
+			return nil, fmt.Errorf("wmxml: Options.Mark or Options.MarkBits is required")
+		}
+		mark = wmark.FromText(opts.Mark)
+	}
+	if opts.Schema == nil {
+		return nil, fmt.Errorf("wmxml: Options.Schema is required")
+	}
+	cfg := core.Config{
+		Key:         []byte(opts.Key),
+		Mark:        mark,
+		Gamma:       opts.Gamma,
+		Xi:          opts.Xi,
+		XiByTarget:  opts.XiByTarget,
+		Tau:         opts.Tau,
+		MinCoverage: opts.MinCoverage,
+		Schema:      opts.Schema,
+		Catalog:     opts.Catalog,
+		Identity: identity.Options{
+			Targets:    opts.Targets,
+			DisableFDs: opts.DisableFDs,
+		},
+		ValidateInput: opts.ValidateInput,
+	}
+	return &System{cfg: cfg}, nil
+}
+
+// EmbedReceipt is returned by Embed: the query set Q to safeguard with
+// the key, plus capacity statistics.
+type EmbedReceipt struct {
+	// Records is Q, the identifying queries (paper §2.2 step 1:
+	// "safeguard the set of queries … along with the secret key").
+	Records []QueryRecord
+	// BandwidthUnits is the document's usable watermark bandwidth.
+	BandwidthUnits int
+	// Carriers is the number of selected units.
+	Carriers int
+	// ValuesWritten is the number of physical values modified.
+	ValuesWritten int
+}
+
+// Embed inserts the watermark into doc in place and returns the receipt.
+func (s *System) Embed(doc *Document) (*EmbedReceipt, error) {
+	res, err := core.Embed(doc, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &EmbedReceipt{
+		Records:        res.Records,
+		BandwidthUnits: res.Bandwidth.Units,
+		Carriers:       res.Carriers,
+		ValuesWritten:  res.Embedded,
+	}, nil
+}
+
+// Detection is the outcome of a detection pass.
+type Detection struct {
+	// Detected reports whether the watermark was found (match >= tau and
+	// coverage >= MinCoverage).
+	Detected bool
+	// MatchFraction is the fraction of voted watermark bits whose
+	// majority equals the expected bit.
+	MatchFraction float64
+	// Coverage is the fraction of watermark bits that received votes.
+	Coverage float64
+	// RecoveredText decodes the majority-voted bits as text (only
+	// meaningful when the mark was text and coverage is high).
+	RecoveredText string
+	// Sigma is the standard score of the match under the coin-flip null
+	// hypothesis: how implausible this match is by chance.
+	Sigma float64
+	// FalsePositiveRate is the analytic probability that a random mark
+	// would match at least this well on the voted bits.
+	FalsePositiveRate float64
+	// QueriesRun and QueryMisses report identity-query execution.
+	QueriesRun, QueryMisses int
+}
+
+func toDetection(r *core.DetectResult) *Detection {
+	return &Detection{
+		Detected:          r.Detected,
+		MatchFraction:     r.MatchFraction,
+		Coverage:          r.Coverage,
+		RecoveredText:     r.Recovered.Text(),
+		Sigma:             r.Sigma(),
+		FalsePositiveRate: wmark.FalsePositiveProbability(r.VotedBits, r.MatchFraction),
+		QueriesRun:        r.QueriesRun,
+		QueryMisses:       r.QueryMisses,
+	}
+}
+
+// Detect runs the paper's detection: execute the safeguarded queries
+// against the suspect document and compare the majority-voted bits with
+// the expected mark. rw may be nil when the suspect kept the original
+// schema; pass NewRewriter(mapping) after a re-organization.
+func (s *System) Detect(doc *Document, records []QueryRecord, rw Rewriter) (*Detection, error) {
+	res, err := core.DetectWithQueries(doc, s.cfg, records, rw)
+	if err != nil {
+		return nil, err
+	}
+	return toDetection(res), nil
+}
+
+// DetectBlind re-derives the carriers from the suspect document itself
+// (no stored Q); it requires the document to still follow the original
+// schema.
+func (s *System) DetectBlind(doc *Document) (*Detection, error) {
+	res, err := core.DetectBlind(doc, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return toDetection(res), nil
+}
+
+// MarshalReceipt renders Q as JSON for safekeeping.
+func MarshalReceipt(records []QueryRecord) ([]byte, error) {
+	return core.MarshalQuerySet(records)
+}
+
+// UnmarshalReceipt parses a JSON query set.
+func UnmarshalReceipt(data []byte) ([]QueryRecord, error) {
+	return core.UnmarshalQuerySet(data)
+}
+
+// NewRewriter builds a query rewriter for a schema mapping, for
+// detection and usability measurement on re-organized documents.
+func NewRewriter(m Mapping) (*rewrite.QueryRewriter, error) {
+	return rewrite.NewQueryRewriter(m)
+}
+
+// Reorganize re-shreds a document from the mapping's source layout to
+// its target layout.
+func Reorganize(doc *Document, m Mapping) (*Document, error) {
+	return rewrite.Transform(doc, m)
+}
+
+// Figure1Mapping is the paper's figure-1 re-organization (flat book
+// records regrouped under publisher and editor).
+func Figure1Mapping() Mapping { return rewrite.Figure1Mapping() }
+
+// PublicationsMapping is Figure1Mapping extended with the price field of
+// the publications dataset, making the re-organization lossless for that
+// workload.
+func PublicationsMapping() Mapping { return rewrite.PublicationsMapping() }
+
+// NewUsabilityMeter expands usability query templates over the original
+// document (paper §2.1). Templates parameterize one predicate, e.g.
+// "db/book[title]/author".
+func NewUsabilityMeter(original *Document, templates []string) (*UsabilityMeter, error) {
+	return usability.NewMeter(original, templates, usability.Options{MaxProbes: 200})
+}
+
+// --- attacks (the demonstration's part 2) ---
+
+// NewAlterationAttack randomly alters the given fraction of values.
+func NewAlterationAttack(fraction float64) Attack {
+	return attack.ValueAlteration{Fraction: fraction}
+}
+
+// NewReductionAttack keeps only a random subset of the scope's records.
+func NewReductionAttack(scope string, keepFraction float64) Attack {
+	return attack.Reduction{Scope: scope, KeepFraction: keepFraction}
+}
+
+// NewReorganizationAttack re-shreds the document under the mapping.
+func NewReorganizationAttack(m Mapping) Attack {
+	return attack.Reorganization{Mapping: m}
+}
+
+// NewReorderAttack shuffles sibling and attribute order everywhere.
+func NewReorderAttack() Attack { return attack.Reorder{} }
+
+// NewRedundancyRemovalAttack normalizes the duplicate groups of the
+// given FDs.
+func NewRedundancyRemovalAttack(fds []FD) Attack {
+	return attack.RedundancyRemoval{FDs: fds}
+}
+
+// --- datasets (synthetic workloads with planted semantics) ---
+
+// PublicationsDataset generates a figure-1-style publication database.
+func PublicationsDataset(books int, seed int64) *Dataset {
+	return datagen.Publications(datagen.PubConfig{Books: books, Seed: seed})
+}
+
+// JobsDataset generates the introduction's job-advertisement workload.
+func JobsDataset(jobs int, seed int64) *Dataset {
+	return datagen.Jobs(datagen.JobsConfig{Jobs: jobs, Seed: seed})
+}
+
+// LibraryDataset generates a digital-library workload with image
+// payloads.
+func LibraryDataset(items int, seed int64) *Dataset {
+	return datagen.Library(datagen.LibraryConfig{Items: items, Seed: seed})
+}
+
+// NestedDataset generates a catalog whose records are nested two levels
+// deep (catalog/publisher/book), exercising multi-level scopes.
+func NestedDataset(books int, seed int64) *Dataset {
+	return datagen.NestedPublications(datagen.NestedConfig{Books: books, Seed: seed})
+}
+
+// --- structure-unit channel (paper §2.2 extension) ---
+
+// StructureOptions configures the sibling-order watermark channel: one
+// bit per record, carried by the relative order of the record's extreme
+// Child values, identified by the record key. See internal/structwm and
+// ablation A1 for its trade-offs.
+type StructureOptions struct {
+	Key     string
+	Mark    Bits
+	Scope   string // record set, e.g. "db/book"
+	KeyPath string // record key, e.g. "title"
+	Child   string // multi-valued child carrying the order bit, e.g. "author"
+}
+
+// StructureEmbed inserts a watermark into sibling order; no values
+// change. Returns the number of carrier records.
+func StructureEmbed(doc *Document, opts StructureOptions) (int, error) {
+	res, err := structwm.Embed(doc, structwm.Config{
+		Key: []byte(opts.Key), Mark: opts.Mark,
+		Scope: opts.Scope, KeyPath: opts.KeyPath, Child: opts.Child,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Carriers, nil
+}
+
+// StructureDetect reads the sibling-order watermark back and returns
+// (detected, matchFraction).
+func StructureDetect(doc *Document, opts StructureOptions) (bool, float64, error) {
+	res, err := structwm.Detect(doc, structwm.Config{
+		Key: []byte(opts.Key), Mark: opts.Mark,
+		Scope: opts.Scope, KeyPath: opts.KeyPath, Child: opts.Child,
+	})
+	if err != nil {
+		return false, 0, err
+	}
+	return res.Detection.Detected, res.Detection.MatchFraction, nil
+}
+
+// --- baseline (for comparisons) ---
+
+// BaselineEmbed embeds with the structure-labelled baseline scheme [5].
+func BaselineEmbed(doc *Document, key string, mark Bits) error {
+	_, err := baseline.Embed(doc, baseline.Config{Key: []byte(key), Mark: mark})
+	return err
+}
+
+// BaselineDetect detects the structure-labelled baseline watermark and
+// returns (detected, matchFraction).
+func BaselineDetect(doc *Document, key string, mark Bits) (bool, float64, error) {
+	res, err := baseline.Detect(doc, baseline.Config{Key: []byte(key), Mark: mark})
+	if err != nil {
+		return false, 0, err
+	}
+	return res.Detection.Detected, res.Detection.MatchFraction, nil
+}
+
+// EmbedStream reads an XML document from r, embeds the watermark, and
+// writes the marked document to w — the one-call form for file and pipe
+// workflows.
+func (s *System) EmbedStream(r io.Reader, w io.Writer) (*EmbedReceipt, error) {
+	doc, err := ParseXML(r)
+	if err != nil {
+		return nil, err
+	}
+	receipt, err := s.Embed(doc)
+	if err != nil {
+		return nil, err
+	}
+	if err := SerializeXML(w, doc); err != nil {
+		return nil, err
+	}
+	return receipt, nil
+}
+
+// DetectStream reads a suspect XML document from r and runs detection.
+func (s *System) DetectStream(r io.Reader, records []QueryRecord, rw Rewriter) (*Detection, error) {
+	doc, err := ParseXML(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.Detect(doc, records, rw)
+}
+
+// MarkFromText encodes a text message as watermark bits.
+func MarkFromText(msg string) Bits { return wmark.FromText(msg) }
+
+// RandomMark derives a deterministic pseudo-random mark from a seed.
+func RandomMark(seed string, bits int) Bits { return wmark.Random(seed, bits) }
+
+// --- specs (JSON document-type definitions) ---
+
+// SpecParts is a parsed document-type spec: everything needed to
+// watermark documents of that type.
+type SpecParts struct {
+	Name      string
+	Schema    *Schema
+	Catalog   Catalog
+	Targets   []string
+	Templates []string
+}
+
+// LoadSpec parses a JSON spec (see internal/config for the format) into
+// working objects.
+func LoadSpec(data []byte) (*SpecParts, error) {
+	spec, err := config.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := spec.BuildSchema()
+	if err != nil {
+		return nil, err
+	}
+	return &SpecParts{
+		Name:      spec.Name,
+		Schema:    sch,
+		Catalog:   spec.BuildCatalog(),
+		Targets:   spec.Targets,
+		Templates: spec.Templates,
+	}, nil
+}
+
+// ExportSpec renders working objects as a JSON spec.
+func ExportSpec(name string, sch *Schema, cat Catalog, targets, templates []string) ([]byte, error) {
+	return config.FromParts(name, sch, cat, targets, templates).Marshal()
+}
+
+// LoadMapping parses a JSON schema mapping.
+func LoadMapping(data []byte) (Mapping, error) { return config.ParseMapping(data) }
+
+// ExportMapping renders a schema mapping as JSON.
+func ExportMapping(m Mapping) ([]byte, error) { return config.MarshalMapping(m) }

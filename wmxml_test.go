@@ -1,0 +1,325 @@
+package wmxml
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func newPubSystem(t *testing.T, ds *Dataset, key, mark string) *System {
+	t.Helper()
+	sys, err := New(Options{
+		Key:     key,
+		Mark:    mark,
+		Schema:  ds.Schema,
+		Catalog: ds.Catalog,
+		Targets: ds.Targets,
+		Gamma:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	ds := PublicationsDataset(250, 7)
+	sys := newPubSystem(t, ds, "public-api-key", "(C) ACME 2005")
+	doc := ds.Doc.Clone()
+	receipt, err := sys.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipt.Carriers == 0 || receipt.BandwidthUnits == 0 {
+		t.Fatalf("empty receipt: %+v", receipt)
+	}
+	det, err := sys.Detect(doc, receipt.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected || det.MatchFraction != 1.0 {
+		t.Errorf("detection: %+v", det)
+	}
+	blind, err := sys.DetectBlind(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blind.Detected {
+		t.Errorf("blind detection: %+v", blind)
+	}
+}
+
+func TestPublicAPIRecoveredText(t *testing.T) {
+	// With gamma 1 on a large document every bit is covered and the
+	// recovered bits decode to the original message.
+	ds := PublicationsDataset(2000, 9)
+	sys, err := New(Options{
+		Key: "text-key", Mark: "ACME05", Schema: ds.Schema,
+		Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := ds.Doc.Clone()
+	receipt, err := sys.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := sys.Detect(doc, receipt.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.RecoveredText != "ACME05" {
+		t.Errorf("recovered %q, want ACME05 (coverage %.2f)", det.RecoveredText, det.Coverage)
+	}
+}
+
+func TestPublicAPIReorganizationFlow(t *testing.T) {
+	ds := PublicationsDataset(300, 11)
+	sys := newPubSystem(t, ds, "reorg-key", "reorg-mark")
+	doc := ds.Doc.Clone()
+	receipt, err := sys.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Figure1Mapping()
+	reorg, err := Reorganize(doc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := NewRewriter(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := sys.Detect(reorg, receipt.Records, rw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// price is not part of the figure-1 mapping, so price queries cannot
+	// be rewritten; year and publisher carriers still detect.
+	if !det.Detected {
+		t.Errorf("detection after reorganization: %+v", det)
+	}
+}
+
+func TestPublicAPIAttacksAndUsability(t *testing.T) {
+	ds := JobsDataset(250, 13)
+	sys, err := New(Options{
+		Key: "jobs-key", Mark: "jobs-mark", Schema: ds.Schema,
+		Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := ds.Doc.Clone()
+	receipt, err := sys.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter, err := NewUsabilityMeter(ds.Doc, ds.Templates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := meter.Measure(doc, nil).Usability(); u < 0.97 {
+		t.Errorf("marked usability = %.3f", u)
+	}
+	r := rand.New(rand.NewSource(5))
+	attacked, err := NewAlterationAttack(0.15).Apply(doc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := sys.Detect(attacked, receipt.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected {
+		t.Errorf("15%% alteration killed detection: %+v", det)
+	}
+	if u := meter.Measure(attacked, nil).Usability(); u > 0.95 {
+		t.Errorf("15%% alteration left usability at %.3f", u)
+	}
+}
+
+func TestPublicAPIBaseline(t *testing.T) {
+	ds := PublicationsDataset(200, 17)
+	doc := ds.Doc.Clone()
+	mark := RandomMark("baseline-mark", 48)
+	if err := BaselineEmbed(doc, "bkey", mark); err != nil {
+		t.Fatal(err)
+	}
+	ok, match, err := BaselineDetect(doc, "bkey", mark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || match != 1.0 {
+		t.Errorf("baseline self-detect: %v %.3f", ok, match)
+	}
+	r := rand.New(rand.NewSource(3))
+	shuffled, err := NewReorderAttack().Apply(doc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err = BaselineDetect(shuffled, "bkey", mark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("baseline survived reorder")
+	}
+}
+
+func TestPublicAPISchemaTools(t *testing.T) {
+	ds := PublicationsDataset(60, 19)
+	s := InferSchema("pubs", ds.Doc)
+	if s.Root != "db" {
+		t.Errorf("inferred root = %q", s.Root)
+	}
+	keys, err := DiscoverKeys(ds.Doc, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundTitle := false
+	for _, k := range keys {
+		if k.Scope == "db/book" && k.KeyPath == "title" {
+			foundTitle = true
+		}
+	}
+	if !foundTitle {
+		t.Errorf("title key not discovered: %v", keys)
+	}
+	fds, err := DiscoverFDs(ds.Doc, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundFD := false
+	for _, f := range fds {
+		if f.Determinant == "editor" && f.Dependent == "@publisher" {
+			foundFD = true
+		}
+	}
+	if !foundFD {
+		t.Errorf("editor->publisher FD not discovered: %v", fds)
+	}
+}
+
+func TestPublicAPISerialization(t *testing.T) {
+	doc, err := ParseXMLString(`<db><book><title>T</title></book></db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := SerializeXMLString(doc)
+	if !strings.Contains(out, "<title>T</title>") {
+		t.Errorf("serialize: %q", out)
+	}
+	doc2, err := ParseXMLString(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2.Root().Name != "db" {
+		t.Errorf("round trip root = %q", doc2.Root().Name)
+	}
+	var sb strings.Builder
+	if err := SerializeXML(&sb, doc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "<?xml") {
+		t.Errorf("SerializeXML missing declaration")
+	}
+}
+
+func TestPublicAPIReceiptSerialization(t *testing.T) {
+	ds := PublicationsDataset(150, 23)
+	sys := newPubSystem(t, ds, "ser", "ser-mark")
+	doc := ds.Doc.Clone()
+	receipt, err := sys.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalReceipt(receipt.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalReceipt(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := sys.Detect(doc, back, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected {
+		t.Errorf("detection after receipt round trip failed")
+	}
+}
+
+func TestPublicAPIOptionValidation(t *testing.T) {
+	ds := PublicationsDataset(10, 1)
+	if _, err := New(Options{Mark: "m", Schema: ds.Schema}); err == nil {
+		t.Errorf("missing key accepted")
+	}
+	if _, err := New(Options{Key: "k", Schema: ds.Schema}); err == nil {
+		t.Errorf("missing mark accepted")
+	}
+	if _, err := New(Options{Key: "k", Mark: "m"}); err == nil {
+		t.Errorf("missing schema accepted")
+	}
+	if _, err := New(Options{Key: "k", MarkBits: Bits{1, 0}, Schema: ds.Schema}); err != nil {
+		t.Errorf("MarkBits alone rejected: %v", err)
+	}
+}
+
+func TestPublicAPIRedundancyAttackFlow(t *testing.T) {
+	ds := LibraryDataset(200, 29)
+	sys, err := New(Options{
+		Key: "lib", Mark: "lib-mark", Schema: ds.Schema,
+		Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := ds.Doc.Clone()
+	receipt, err := sys.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(31))
+	attacked, err := NewRedundancyRemovalAttack(ds.Catalog.FDs).Apply(doc, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := sys.Detect(attacked, receipt.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected || det.MatchFraction < 0.99 {
+		t.Errorf("FD-aware watermark damaged by redundancy removal: %+v", det)
+	}
+}
+
+func TestStreamAPI(t *testing.T) {
+	ds := PublicationsDataset(120, 71)
+	sys := newPubSystem(t, ds, "stream-key", "stream-mark")
+	var marked strings.Builder
+	src := SerializeXMLString(ds.Doc)
+	receipt, err := sys.EmbedStream(strings.NewReader(src), &marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if receipt.Carriers == 0 {
+		t.Fatalf("stream embed produced no carriers")
+	}
+	det, err := sys.DetectStream(strings.NewReader(marked.String()), receipt.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected || det.MatchFraction != 1.0 {
+		t.Errorf("stream round trip: %+v", det)
+	}
+	// Garbage input surfaces parse errors.
+	if _, err := sys.EmbedStream(strings.NewReader("<broken"), &marked); err == nil {
+		t.Errorf("broken stream accepted by EmbedStream")
+	}
+	if _, err := sys.DetectStream(strings.NewReader("<broken"), receipt.Records, nil); err == nil {
+		t.Errorf("broken stream accepted by DetectStream")
+	}
+}

@@ -1,0 +1,141 @@
+package wmxml
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestXiByTargetShallowDepth shows the per-target embedding depth doing
+// its job: the library's rating field (values like "3.7") is far too
+// small for the default xi=4 but carries bits imperceptibly at xi=1.
+func TestXiByTargetShallowDepth(t *testing.T) {
+	ds := LibraryDataset(300, 55)
+	targets := []string{"library/item/rating", "library/item/thumb"}
+	sys, err := New(Options{
+		Key:      "xi-key",
+		MarkBits: RandomMark("xi-mark", 32),
+		Schema:   ds.Schema,
+		Catalog:  ds.Catalog,
+		Targets:  targets,
+		Gamma:    2,
+		// rating is stored as d.d -> scaled tenths; one low bit changes
+		// the value by at most 0.1 (2.5% of a 4.0 rating).
+		XiByTarget: map[string]int{"library/item/rating": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := ds.Doc.Clone()
+	receipt, err := sys.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rating moved by at most one tenth.
+	orig := ds.Doc.Root().ChildElementsNamed("item")
+	marked := doc.Root().ChildElementsNamed("item")
+	changed := 0
+	for i := range orig {
+		ov := parseTenths(t, orig[i].FirstChildNamed("rating").Text())
+		mv := parseTenths(t, marked[i].FirstChildNamed("rating").Text())
+		d := ov - mv
+		if d < -1 || d > 1 {
+			t.Errorf("rating moved by %d tenths: %s -> %s", d,
+				orig[i].FirstChildNamed("rating").Text(), marked[i].FirstChildNamed("rating").Text())
+		}
+		if d != 0 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Errorf("no rating carried a bit")
+	}
+	// Detection round-trips with the same override.
+	det, err := sys.Detect(doc, receipt.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected || det.MatchFraction != 1.0 {
+		t.Errorf("detection with per-target xi: %+v", det)
+	}
+	// A decoder without the override misreads the rating carriers.
+	plain, err := New(Options{
+		Key: "xi-key", MarkBits: RandomMark("xi-mark", 32),
+		Schema: ds.Schema, Catalog: ds.Catalog, Targets: targets, Gamma: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mis, err := plain.Detect(doc, receipt.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mis.MatchFraction >= det.MatchFraction {
+		t.Errorf("xi override had no effect on decoding: %.3f vs %.3f",
+			mis.MatchFraction, det.MatchFraction)
+	}
+}
+
+func parseTenths(t *testing.T, s string) int {
+	t.Helper()
+	parts := strings.SplitN(s, ".", 2)
+	if len(parts) != 2 || len(parts[1]) != 1 {
+		t.Fatalf("rating shape %q", s)
+	}
+	whole, err := strconv.Atoi(parts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac, err := strconv.Atoi(parts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return whole*10 + frac
+}
+
+func TestStructureChannelFacade(t *testing.T) {
+	ds := PublicationsDataset(300, 66)
+	opts := StructureOptions{
+		Key:     "struct-facade-key",
+		Mark:    RandomMark("struct-facade", 24),
+		Scope:   "db/book",
+		KeyPath: "title",
+		Child:   "author",
+	}
+	doc := ds.Doc.Clone()
+	carriers, err := StructureEmbed(doc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if carriers == 0 {
+		t.Fatalf("no structural carriers")
+	}
+	ok, match, err := StructureDetect(doc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || match != 1.0 {
+		t.Errorf("structure self-detect: %v %.3f", ok, match)
+	}
+	// Values untouched: the usability meter sees a perfect document.
+	meter, err := NewUsabilityMeter(ds.Doc, ds.Templates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := meter.Measure(doc, nil).Usability(); u != 1.0 {
+		t.Errorf("structural embedding cost usability: %.3f", u)
+	}
+	// Reorder erases it.
+	shuffled, err := NewReorderAttack().Apply(doc, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, err = StructureDetect(shuffled, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Errorf("structural mark survived reorder")
+	}
+}
