@@ -9,6 +9,8 @@ package wmxml
 // match (detection bit-match fraction) and usability.
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -233,6 +235,115 @@ func BenchmarkAlterationAttack(b *testing.B) {
 		if _, err := atk.Apply(doc, r); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- batch pipeline benchmarks ---
+//
+// BenchmarkPipelineEmbed and BenchmarkPipelineDetect compare worker
+// counts on a multi-document corpus; on multi-core hardware the
+// embedding and detection work is CPU-bound (HMAC selection per unit),
+// so throughput scales near-linearly until the core count is reached.
+// Run with `go test -bench 'Pipeline' -cpu 1,2,4,8` to sweep GOMAXPROCS
+// alongside the worker count.
+
+var pipelineWorkerSweep = []int{1, 2, 4, 8}
+
+// pipelineBenchCorpus builds a corpus of distinct documents sharing one
+// schema, plus the pipeline system.
+func pipelineBenchCorpus(b *testing.B, docs, books int) ([]*Document, *System) {
+	b.Helper()
+	base := PublicationsDataset(books, 1)
+	sys, err := New(Options{
+		Key: "bench-key", Mark: "bench-mark-2005", Schema: base.Schema,
+		Catalog: base.Catalog, Targets: base.Targets, Gamma: 10,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	corpus := make([]*Document, docs)
+	for i := range corpus {
+		corpus[i] = PublicationsDataset(books, int64(i+1)).Doc
+	}
+	return corpus, sys
+}
+
+func BenchmarkPipelineEmbed(b *testing.B) {
+	corpus, sys := pipelineBenchCorpus(b, 16, 300)
+	for _, w := range pipelineWorkerSweep {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pl := NewPipeline(sys, PipelineOptions{Workers: w})
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				batch := make([]*Document, len(corpus))
+				for j, d := range corpus {
+					batch[j] = d.Clone()
+				}
+				b.StartTimer()
+				outs, err := pl.EmbedBatch(context.Background(), batch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s := SummarizeEmbedBatch(outs); s.Succeeded != len(batch) {
+					b.Fatalf("summary = %+v", s)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPipelineDetect(b *testing.B) {
+	corpus, sys := pipelineBenchCorpus(b, 16, 300)
+	pl4 := NewPipeline(sys, PipelineOptions{Workers: 4})
+	embeds, err := pl4.EmbedBatch(context.Background(), corpus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := make([]DetectInput, len(corpus))
+	for i, o := range embeds {
+		if o.Err != nil {
+			b.Fatal(o.Err)
+		}
+		inputs[i] = DetectInput{Doc: corpus[i], Records: o.Receipt.Records}
+	}
+	for _, w := range pipelineWorkerSweep {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pl := NewPipeline(sys, PipelineOptions{Workers: w})
+			for i := 0; i < b.N; i++ {
+				outs, err := pl.DetectBatch(context.Background(), inputs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s := SummarizeDetectBatch(outs); s.Detected != len(inputs) {
+					b.Fatalf("summary = %+v", s)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoreConcurrency measures the per-document Concurrency option
+// on one large document (single big doc, no batch parallelism).
+func BenchmarkCoreConcurrency(b *testing.B) {
+	ds := benchDataset(b, 3000)
+	for _, conc := range pipelineWorkerSweep {
+		b.Run(fmt.Sprintf("embed/concurrency=%d", conc), func(b *testing.B) {
+			sys, err := New(Options{
+				Key: "bench-key", Mark: "bench-mark-2005", Schema: ds.Schema,
+				Catalog: ds.Catalog, Targets: ds.Targets, Gamma: 10, Concurrency: conc,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				doc := ds.Doc.Clone()
+				b.StartTimer()
+				if _, err := sys.Embed(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

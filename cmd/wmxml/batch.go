@@ -1,0 +1,234 @@
+package main
+
+// The batch subcommand: embed or detect across a whole directory of XML
+// documents in parallel, via wmxml.Pipeline. One bad file reports and
+// is skipped; the rest of the corpus is unaffected.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wmxml"
+)
+
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	mode := fs.String("mode", "embed", "embed | detect")
+	dataset := fs.String("dataset", "pubs", "dataset preset defining schema and semantics")
+	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
+	in := fs.String("in", "", "input directory of .xml documents")
+	out := fs.String("out", "", "output directory for marked documents (embed mode; default <in>-marked)")
+	queries := fs.String("queries", "", "query-set directory: embed writes one <name>.queries.json per document here (default --out); detect reads them (empty: blind detection)")
+	key := fs.String("key", "", "secret key")
+	mark := fs.String("mark", "", "watermark message")
+	gamma := fs.Int("gamma", 10, "selection ratio: 1 in gamma units carries a bit")
+	workers := fs.Int("workers", 0, "concurrent documents (0 = number of CPUs)")
+	rewriteMap := fs.String("rewrite", "", "detect: rewrite queries through a built-in mapping: figure1 | pubs")
+	rewriteFile := fs.String("rewrite-file", "", "detect: rewrite queries through a JSON mapping file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("--in (a directory of .xml files) is required")
+	}
+	parts, err := resolveParts(*dataset, *spec)
+	if err != nil {
+		return err
+	}
+	sys, err := sysFromFlags(parts, *key, *mark, *gamma)
+	if err != nil {
+		return err
+	}
+	pl := wmxml.NewPipeline(sys, wmxml.PipelineOptions{Workers: *workers})
+
+	files, err := listXMLFiles(*in)
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no .xml files in %s", *in)
+	}
+
+	switch *mode {
+	case "embed":
+		outDir := *out
+		if outDir == "" {
+			outDir = strings.TrimRight(*in, "/\\") + "-marked"
+		}
+		qDir := *queries
+		if qDir == "" {
+			qDir = outDir
+		}
+		return batchEmbed(pl, files, outDir, qDir)
+	case "detect":
+		var rw wmxml.Rewriter
+		if *rewriteMap != "" || *rewriteFile != "" {
+			m, merr := resolveMapping(*rewriteMap, *rewriteFile)
+			if merr != nil {
+				return merr
+			}
+			qrw, rerr := wmxml.NewRewriter(m)
+			if rerr != nil {
+				return rerr
+			}
+			rw = qrw
+		}
+		return batchDetect(pl, files, *queries, rw)
+	default:
+		return fmt.Errorf("unknown --mode %q (want embed or detect)", *mode)
+	}
+}
+
+// listXMLFiles returns the sorted .xml files directly inside dir.
+func listXMLFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(strings.ToLower(e.Name()), ".xml") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// parseCorpus reads every file; parse failures come back as outcome
+// errors rather than aborting the batch.
+func parseCorpus(files []string) ([]*wmxml.Document, []error) {
+	docs := make([]*wmxml.Document, len(files))
+	errs := make([]error, len(files))
+	for i, f := range files {
+		docs[i], errs[i] = readDoc(f)
+	}
+	return docs, errs
+}
+
+func batchEmbed(pl *wmxml.Pipeline, files []string, outDir, qDir string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(qDir, 0o755); err != nil {
+		return err
+	}
+	docs, parseErrs := parseCorpus(files)
+	outs, err := pl.EmbedBatch(context.Background(), docs)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for i, o := range outs {
+		name := filepath.Base(files[i])
+		oErr := o.Err
+		if parseErrs[i] != nil {
+			oErr = parseErrs[i]
+		}
+		if oErr != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "  %-28s FAILED: %v\n", name, oErr)
+			continue
+		}
+		dst := filepath.Join(outDir, name)
+		qPath := filepath.Join(qDir, queriesName(name))
+		if werr := writeDoc(dst, docs[i]); werr != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "  %-28s FAILED writing: %v\n", name, werr)
+			continue
+		}
+		data, merr := wmxml.MarshalReceipt(o.Receipt.Records)
+		if merr == nil {
+			merr = os.WriteFile(qPath, data, 0o600)
+		}
+		if merr != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "  %-28s FAILED writing queries: %v\n", name, merr)
+			continue
+		}
+		fmt.Printf("  %-28s carriers=%d values=%d -> %s\n", name, o.Receipt.Carriers, o.Receipt.ValuesWritten, dst)
+	}
+	sum := wmxml.SummarizeEmbedBatch(outs)
+	fmt.Printf("embedded %d/%d documents (%d workers): %d carriers, %d values written\n",
+		sum.Succeeded, sum.Docs, pl.Workers(), sum.Carriers, sum.ValuesWritten)
+	fmt.Printf("marked documents in %s, query sets in %s (safeguard with the key)\n", outDir, qDir)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d documents failed", failed, len(files))
+	}
+	return nil
+}
+
+func batchDetect(pl *wmxml.Pipeline, files []string, qDir string, rw wmxml.Rewriter) error {
+	docs, parseErrs := parseCorpus(files)
+	inputs := make([]wmxml.DetectInput, len(files))
+	for i, f := range files {
+		name := filepath.Base(f)
+		inputs[i] = wmxml.DetectInput{ID: name, Doc: docs[i], Rewriter: rw}
+		if qDir == "" {
+			continue // blind detection
+		}
+		data, err := os.ReadFile(filepath.Join(qDir, queriesName(name)))
+		if err != nil {
+			if parseErrs[i] == nil {
+				parseErrs[i] = fmt.Errorf("no query set: %w", err)
+			}
+			continue
+		}
+		recs, err := wmxml.UnmarshalReceipt(data)
+		if err != nil {
+			if parseErrs[i] == nil {
+				parseErrs[i] = err
+			}
+			continue
+		}
+		inputs[i].Records = recs
+	}
+	for i := range inputs {
+		if parseErrs[i] != nil {
+			// Withhold the document so the engine reports a failed
+			// outcome and the summary matches the per-file verdicts
+			// (instead of silently falling back to blind detection).
+			inputs[i].Doc = nil
+		}
+	}
+	outs, err := pl.DetectBatch(context.Background(), inputs)
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for i, o := range outs {
+		oErr := o.Err
+		if parseErrs[i] != nil {
+			oErr = parseErrs[i]
+		}
+		if oErr != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "  %-28s FAILED: %v\n", o.ID, oErr)
+			continue
+		}
+		verdict := "not detected"
+		if o.Detection.Detected {
+			verdict = "DETECTED"
+		}
+		fmt.Printf("  %-28s %-12s match=%.3f coverage=%.3f sigma=%.1f\n",
+			o.ID, verdict, o.Detection.MatchFraction, o.Detection.Coverage, o.Detection.Sigma)
+	}
+	sum := wmxml.SummarizeDetectBatch(outs)
+	fmt.Printf("detected the watermark in %d of %d documents (%d workers, mean match %.3f, mean coverage %.3f)\n",
+		sum.Detected, sum.Succeeded, pl.Workers(), sum.MeanMatch, sum.MeanCoverage)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d documents failed", failed, len(files))
+	}
+	return nil
+}
+
+// queriesName maps doc.xml -> doc.queries.json.
+func queriesName(name string) string {
+	return strings.TrimSuffix(name, filepath.Ext(name)) + ".queries.json"
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// genCorpus writes n small pubs documents into dir.
+func genCorpus(t *testing.T, dir string, n int) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		runOK(t, "gen", "--dataset", "pubs", "--size", "80",
+			"--seed", strconv.Itoa(i+1),
+			"--out", filepath.Join(dir, "doc"+strconv.Itoa(i)+".xml"))
+	}
+}
+
+func TestCLIBatchEmbedDetect(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "corpus")
+	out := filepath.Join(dir, "marked")
+	genCorpus(t, in, 5)
+
+	runOK(t, "batch", "--mode", "embed", "--dataset", "pubs", "--in", in,
+		"--key", "batch-key", "--mark", "(C) BATCH", "--gamma", "3",
+		"--out", out, "--workers", "4")
+	for i := 0; i < 5; i++ {
+		name := "doc" + strconv.Itoa(i)
+		if _, err := os.Stat(filepath.Join(out, name+".xml")); err != nil {
+			t.Errorf("missing marked doc: %v", err)
+		}
+		if _, err := os.Stat(filepath.Join(out, name+".queries.json")); err != nil {
+			t.Errorf("missing query set: %v", err)
+		}
+	}
+
+	// Query-based detection over the marked directory.
+	runOK(t, "batch", "--mode", "detect", "--dataset", "pubs", "--in", out,
+		"--key", "batch-key", "--mark", "(C) BATCH", "--gamma", "3",
+		"--queries", out, "--workers", "4")
+
+	// Blind detection (no --queries).
+	runOK(t, "batch", "--mode", "detect", "--dataset", "pubs", "--in", out,
+		"--key", "batch-key", "--mark", "(C) BATCH", "--gamma", "3")
+}
+
+// TestCLIBatchIsolation: a corrupt file in the corpus fails alone; the
+// command reports a batch error but the healthy documents still embed.
+func TestCLIBatchIsolation(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "corpus")
+	out := filepath.Join(dir, "marked")
+	genCorpus(t, in, 3)
+	if err := os.WriteFile(filepath.Join(in, "broken.xml"), []byte("<unclosed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err := run("batch", []string{"--mode", "embed", "--dataset", "pubs", "--in", in,
+		"--key", "k", "--mark", "M", "--out", out, "--workers", "2"})
+	if err == nil {
+		t.Fatal("batch with a corrupt file should report failure")
+	}
+	for i := 0; i < 3; i++ {
+		if _, serr := os.Stat(filepath.Join(out, "doc"+strconv.Itoa(i)+".xml")); serr != nil {
+			t.Errorf("healthy doc%d was not embedded: %v", i, serr)
+		}
+	}
+	if _, serr := os.Stat(filepath.Join(out, "broken.xml")); serr == nil {
+		t.Errorf("corrupt document produced an output file")
+	}
+}
+
+func TestCLIBatchErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+	}{
+		{nil}, // no --in
+		{[]string{"--in", "does-not-exist", "--key", "k", "--mark", "m"}},
+		{[]string{"--mode", "nope", "--in", ".", "--key", "k", "--mark", "m"}},
+		{[]string{"--in", ".", "--mark", "m"}}, // no key
+	}
+	for _, tc := range cases {
+		if err := run("batch", tc.args); err == nil {
+			t.Errorf("wmxml batch %v succeeded, want error", tc.args)
+		}
+	}
+	// A directory with no XML files.
+	empty := t.TempDir()
+	if err := run("batch", []string{"--in", empty, "--key", "k", "--mark", "m"}); err == nil {
+		t.Errorf("batch over an empty directory succeeded")
+	}
+}

@@ -9,6 +9,8 @@
 //	                --out marked.xml --queries q.json
 //	wmxml detect    --dataset pubs --in suspect.xml --key K --mark MSG
 //	                --queries q.json [--rewrite figure1]
+//	wmxml batch     --mode embed|detect --dataset pubs --in dir/ --key K --mark MSG
+//	                [--out dir-marked/] [--queries qdir/] [--workers N]
 //	wmxml attack    --dataset pubs --in marked.xml --attack alteration|reduction|
 //	                reorganize|reorder|redundancy --severity 0.3 --seed S --out out.xml
 //	wmxml usability --dataset pubs --orig orig.xml --suspect s.xml [--rewrite figure1]
@@ -50,6 +52,8 @@ func run(cmd string, args []string) error {
 		return cmdEmbed(args)
 	case "detect":
 		return cmdDetect(args)
+	case "batch":
+		return cmdBatch(args)
 	case "attack":
 		return cmdAttack(args)
 	case "usability":
@@ -78,6 +82,7 @@ commands:
   gen        generate a sample dataset (pubs | jobs | library)
   embed      embed a watermark; writes the marked document and the query set Q
   detect     detect a watermark using the safeguarded query set
+  batch      embed or detect across a whole directory of documents in parallel
   attack     apply an attack (alteration | reduction | reorganize | reorder | redundancy)
   usability  measure query-template usability of a suspect vs the original
   semantics  discover and verify keys and functional dependencies

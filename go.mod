@@ -1,0 +1,3 @@
+module wmxml
+
+go 1.24

@@ -68,6 +68,15 @@ type Config struct {
 	// ValidateInput, when set, validates the document against Schema
 	// before embedding and refuses invalid input.
 	ValidateInput bool
+	// Concurrency bounds the worker goroutines used for the per-unit
+	// work inside Embed, DetectWithQueries and DetectBlind: carrier
+	// selection and value writing on the encoder side, query execution
+	// and bit extraction on the decoder side. 0 and 1 run sequentially
+	// on the calling goroutine; N > 1 uses up to N workers. The result
+	// is bit-for-bit identical to a sequential run at any setting:
+	// units of distinct targets and of distinct key/FD groups address
+	// disjoint tree nodes, and decoder votes merge commutatively.
+	Concurrency int
 }
 
 func (c Config) withDefaults() Config {
@@ -167,44 +176,58 @@ func Embed(doc *xmltree.Node, cfg Config) (*EmbedResult, error) {
 	}
 	res := &EmbedResult{Bandwidth: rep}
 
-	// Phase 1: select carriers and embed values.
-	var selected []identity.Unit
-	for _, u := range units {
+	// Phase 1: select carriers and embed values. Units address disjoint
+	// tree nodes (distinct targets are distinct fields; within a target,
+	// key instances and FD groups partition the items), so per-unit work
+	// parallelizes without locks; per-unit tallies are indexed by unit
+	// and folded in order afterwards, keeping the result deterministic.
+	type unitEmbed struct {
+		wrote, unembeddable int
+	}
+	tallies := make([]unitEmbed, len(units))
+	forEachWorker(cfg.Concurrency, len(units), func(_, i int) {
+		u := units[i]
 		if !sel.Selected(u.ID) {
-			continue
+			return
 		}
 		alg := wa.ForType(u.Type)
 		if alg == nil {
-			res.Unembeddable += len(u.Items)
-			continue
+			tallies[i].unembeddable = len(u.Items)
+			return
 		}
 		bit := cfg.Mark[sel.BitIndex(u.ID)]
 		params := wa.Params{BitPosition: sel.PositionIn(u.ID, cfg.XiByTarget[u.Scope+"/"+u.Field])}
-		wrote := 0
 		for _, item := range u.Items {
 			v := item.Value()
 			if !alg.CanEmbed(v) {
-				res.Unembeddable++
+				tallies[i].unembeddable++
 				continue
 			}
 			nv, err := alg.Embed(v, bit, params)
 			if err != nil {
-				res.Unembeddable++
+				tallies[i].unembeddable++
 				continue
 			}
 			item.SetValue(nv)
-			wrote++
+			tallies[i].wrote++
 		}
-		if wrote > 0 {
+	})
+	var selected []identity.Unit
+	for i, t := range tallies {
+		res.Unembeddable += t.unembeddable
+		if t.wrote > 0 {
 			res.Carriers++
-			res.Embedded += wrote
-			selected = append(selected, u)
+			res.Embedded += t.wrote
+			selected = append(selected, units[i])
 		}
 	}
 
 	// Phase 2: generate Q from the post-insertion document (marking can
-	// change selector values of det-units).
-	for _, u := range selected {
+	// change selector values of det-units). All writes are done, so the
+	// rebuilds are read-only and parallelize freely.
+	recs := make([]QueryRecord, len(selected))
+	forEachWorker(cfg.Concurrency, len(selected), func(_, i int) {
+		u := selected[i]
 		q, err := u.Rebuild()
 		if err != nil {
 			// The value became unquotable or the selector vanished;
@@ -212,12 +235,15 @@ func Embed(doc *xmltree.Node, cfg Config) (*EmbedResult, error) {
 			// unless the selector value itself was marked.
 			q = u.Query
 		}
-		res.Records = append(res.Records, QueryRecord{
+		recs[i] = QueryRecord{
 			ID:     u.ID,
 			Query:  q.String(),
 			Type:   u.Type.String(),
 			Target: u.Scope + "/" + u.Field,
-		})
+		}
+	})
+	if len(recs) > 0 {
+		res.Records = recs
 	}
 	return res, nil
 }
@@ -255,50 +281,106 @@ func DetectWithQueries(doc *xmltree.Node, cfg Config, records []QueryRecord, rw 
 	if err != nil {
 		return nil, err
 	}
-	votes := wmark.NewVotes(len(cfg.Mark))
-	res := &DetectResult{}
-	for _, rec := range records {
+	// Queries only read the suspect document, so records fan out over
+	// workers; each worker accumulates into its own vote counter and the
+	// counters merge commutatively, reproducing the sequential tally
+	// exactly. Errors are reported lowest-record-first, as a sequential
+	// left-to-right pass would.
+	workers := detectWorkers(cfg.Concurrency, len(records))
+	accs := make([]*detectAcc, workers)
+	for w := range accs {
+		accs[w] = &detectAcc{votes: wmark.NewVotes(len(cfg.Mark))}
+	}
+	errs := make([]error, len(records))
+	forEachWorker(workers, len(records), func(worker, i int) {
+		rec := records[i]
+		acc := accs[worker]
 		dt, err := schema.ParseDataType(rec.Type)
 		if err != nil {
-			return nil, fmt.Errorf("core: record %q: %w", rec.ID, err)
+			errs[i] = fmt.Errorf("core: record %q: %w", rec.ID, err)
+			return
 		}
 		alg := wa.ForType(dt)
 		if alg == nil {
-			continue
+			return
 		}
 		q, err := xpath.Compile(rec.Query)
 		if err != nil {
-			return nil, fmt.Errorf("core: record query %q: %w", rec.Query, err)
+			errs[i] = fmt.Errorf("core: record query %q: %w", rec.Query, err)
+			return
 		}
 		if rw != nil {
 			rq, err := rw.RewriteQuery(q)
 			if err != nil {
-				res.RewriteErrors++
-				votes.AddMiss()
-				continue
+				acc.rewriteErrors++
+				acc.votes.AddMiss()
+				return
 			}
 			q = rq
 		}
-		res.QueriesRun++
+		acc.queriesRun++
 		items := q.Select(doc)
 		if len(items) == 0 {
-			res.QueryMisses++
-			votes.AddMiss()
-			continue
+			acc.queryMisses++
+			acc.votes.AddMiss()
+			return
 		}
 		idx := sel.BitIndex(rec.ID)
 		params := wa.Params{BitPosition: sel.PositionIn(rec.ID, cfg.XiByTarget[rec.Target])}
 		for _, item := range items {
 			bit, ok := alg.Extract(item.Value(), params)
 			if !ok {
-				votes.AddMiss()
+				acc.votes.AddMiss()
 				continue
 			}
-			votes.Add(idx, bit)
+			acc.votes.Add(idx, bit)
 		}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
+	res := &DetectResult{}
+	votes := mergeAccs(res, accs)
 	res.Result = votes.Score(cfg.Mark, cfg.Tau, cfg.MinCoverage)
 	return res, nil
+}
+
+// detectAcc is one decoder worker's private tally.
+type detectAcc struct {
+	votes                                  *wmark.Votes
+	queriesRun, queryMisses, rewriteErrors int
+}
+
+// detectWorkers caps the decoder worker count at the number of work
+// items; <= 1 (including the zero default) stays sequential.
+func detectWorkers(concurrency, n int) int {
+	w := concurrency
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// mergeAccs folds per-worker tallies into res and returns the merged
+// vote counter.
+func mergeAccs(res *DetectResult, accs []*detectAcc) *wmark.Votes {
+	votes := accs[0].votes
+	res.QueriesRun = accs[0].queriesRun
+	res.QueryMisses = accs[0].queryMisses
+	res.RewriteErrors = accs[0].rewriteErrors
+	for _, acc := range accs[1:] {
+		votes.Merge(acc.votes)
+		res.QueriesRun += acc.queriesRun
+		res.QueryMisses += acc.queryMisses
+		res.RewriteErrors += acc.rewriteErrors
+	}
+	return votes
 }
 
 // DetectBlind re-derives the carriers from the suspect document itself
@@ -320,33 +402,42 @@ func DetectBlind(doc *xmltree.Node, cfg Config) (*DetectResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	votes := wmark.NewVotes(len(cfg.Mark))
-	res := &DetectResult{}
-	for _, u := range units {
+	// Blind detection only reads the document, so units fan out over
+	// workers exactly like query records do in DetectWithQueries.
+	workers := detectWorkers(cfg.Concurrency, len(units))
+	accs := make([]*detectAcc, workers)
+	for w := range accs {
+		accs[w] = &detectAcc{votes: wmark.NewVotes(len(cfg.Mark))}
+	}
+	forEachWorker(workers, len(units), func(worker, i int) {
+		u := units[i]
+		acc := accs[worker]
 		if !sel.Selected(u.ID) {
-			continue
+			return
 		}
 		alg := wa.ForType(u.Type)
 		if alg == nil {
-			continue
+			return
 		}
-		res.QueriesRun++
+		acc.queriesRun++
 		idx := sel.BitIndex(u.ID)
 		params := wa.Params{BitPosition: sel.PositionIn(u.ID, cfg.XiByTarget[u.Scope+"/"+u.Field])}
 		any := false
 		for _, item := range u.Items {
 			bit, ok := alg.Extract(item.Value(), params)
 			if !ok {
-				votes.AddMiss()
+				acc.votes.AddMiss()
 				continue
 			}
-			votes.Add(idx, bit)
+			acc.votes.Add(idx, bit)
 			any = true
 		}
 		if !any {
-			res.QueryMisses++
+			acc.queryMisses++
 		}
-	}
+	})
+	res := &DetectResult{}
+	votes := mergeAccs(res, accs)
 	res.Result = votes.Score(cfg.Mark, cfg.Tau, cfg.MinCoverage)
 	return res, nil
 }

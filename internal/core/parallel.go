@@ -1,0 +1,63 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachWorker runs fn(worker, i) for every i in [0, n), distributing
+// indices dynamically over the given number of workers. fn receives the
+// worker's ordinal so callers can keep per-worker accumulators and merge
+// them deterministically afterwards. With workers <= 1 the loop runs
+// inline on the calling goroutine — the sequential path allocates
+// nothing and takes no locks. A panic in fn is re-raised on the calling
+// goroutine (first one wins), matching sequential semantics so callers'
+// recover — e.g. the pipeline's per-document isolation — still works.
+func forEachWorker(workers, n int, fn func(worker, i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// firstError returns the lowest-index non-nil error, so concurrent runs
+// report the same error a sequential left-to-right pass would.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

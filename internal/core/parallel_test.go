@@ -1,0 +1,174 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"wmxml/internal/datagen"
+	"wmxml/internal/xmltree"
+)
+
+// TestConcurrentEmbedMatchesSequential proves the Concurrency option is
+// purely an execution detail: at every worker count the marked document
+// and the query set Q are bit-for-bit those of the sequential encoder.
+func TestConcurrentEmbedMatchesSequential(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 300, Editors: 25, Publishers: 5, Seed: 11})
+	cfg := pubConfig(ds, "conc-key", "conc-mark")
+
+	seqDoc := ds.Doc.Clone()
+	seqRes, err := Embed(seqDoc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqXML := xmltree.SerializeString(seqDoc)
+
+	for _, workers := range []int{2, 4, 8, 100} {
+		ccfg := cfg
+		ccfg.Concurrency = workers
+		doc := ds.Doc.Clone()
+		res, err := Embed(doc, ccfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := xmltree.SerializeString(doc); got != seqXML {
+			t.Errorf("workers=%d: marked document differs from sequential", workers)
+		}
+		if !reflect.DeepEqual(res.Records, seqRes.Records) {
+			t.Errorf("workers=%d: query set differs from sequential", workers)
+		}
+		if res.Carriers != seqRes.Carriers || res.Embedded != seqRes.Embedded ||
+			res.Unembeddable != seqRes.Unembeddable {
+			t.Errorf("workers=%d: tallies %d/%d/%d, want %d/%d/%d", workers,
+				res.Carriers, res.Embedded, res.Unembeddable,
+				seqRes.Carriers, seqRes.Embedded, seqRes.Unembeddable)
+		}
+	}
+}
+
+// TestConcurrentDetectMatchesSequential checks both detection modes at
+// several worker counts against the sequential decoder's exact result.
+func TestConcurrentDetectMatchesSequential(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 300, Editors: 25, Publishers: 5, Seed: 12})
+	cfg := pubConfig(ds, "conc-key-2", "conc-mark-2")
+	doc := ds.Doc.Clone()
+	er, err := Embed(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqQ, err := DetectWithQueries(doc, cfg, er.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqB, err := DetectBlind(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8, 1000} {
+		ccfg := cfg
+		ccfg.Concurrency = workers
+		dq, err := DetectWithQueries(doc, ccfg, er.Records, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(dq, seqQ) {
+			t.Errorf("workers=%d: DetectWithQueries = %+v, want %+v", workers, dq, seqQ)
+		}
+		db, err := DetectBlind(doc, ccfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(db, seqB) {
+			t.Errorf("workers=%d: DetectBlind = %+v, want %+v", workers, db, seqB)
+		}
+	}
+}
+
+// TestConcurrentDetectErrorIsFirstByIndex pins down error determinism:
+// with several corrupt records the concurrent decoder must report the
+// lowest-index one, exactly like a sequential left-to-right pass.
+func TestConcurrentDetectErrorIsFirstByIndex(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 60, Seed: 13})
+	cfg := pubConfig(ds, "err-key", "err-mark")
+	doc := ds.Doc.Clone()
+	er, err := Embed(doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := er.Records
+	if len(records) < 4 {
+		t.Fatalf("need >= 4 records, got %d", len(records))
+	}
+	records[1].Query = "(((" // lowest corrupt index: expect this one reported
+	records[3].Query = ")))"
+
+	cfg.Concurrency = 8
+	_, err = DetectWithQueries(doc, cfg, records, nil)
+	if err == nil {
+		t.Fatal("expected an error for corrupt record queries")
+	}
+	want := `core: record query "((("`
+	if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
+		t.Errorf("error = %q, want prefix %q", got, want)
+	}
+}
+
+// TestForEachWorkerPanicPropagates: a panic inside a worker must
+// re-raise on the calling goroutine (sequential semantics), so callers'
+// recover — e.g. the pipeline's per-document isolation — still works
+// when Concurrency > 1.
+func TestForEachWorkerPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want the worker's panic", r)
+		}
+	}()
+	forEachWorker(4, 100, func(_, i int) {
+		if i == 37 {
+			panic("boom")
+		}
+	})
+	t.Fatal("panic did not propagate")
+}
+
+// TestDuplicateTargetsDeduped: a repeated target must not double-embed
+// (sequential) nor race on shared nodes (concurrent); results equal the
+// single-occurrence run bit-for-bit.
+func TestDuplicateTargetsDeduped(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 80, Seed: 21})
+	cfg := pubConfig(ds, "dup-key", "dup-mark")
+	cfg.Identity.Targets = []string{"db/book/year", "db/book/price"}
+	wantDoc := ds.Doc.Clone()
+	want, err := Embed(wantDoc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := cfg
+	dcfg.Identity.Targets = []string{"db/book/year", "db/book/price", "db/book/year", "db/book/price"}
+	dcfg.Concurrency = 8
+	gotDoc := ds.Doc.Clone()
+	got, err := Embed(gotDoc, dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmltree.SerializeString(gotDoc) != xmltree.SerializeString(wantDoc) {
+		t.Error("duplicated targets changed the marked document")
+	}
+	if !reflect.DeepEqual(got.Records, want.Records) {
+		t.Error("duplicated targets changed the query set")
+	}
+}
+
+// TestDetectEmptyRecords guards the zero-work edge of the worker pool.
+func TestDetectEmptyRecords(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 20, Seed: 14})
+	cfg := pubConfig(ds, "empty-key", "empty-mark")
+	cfg.Concurrency = 4
+	res, err := DetectWithQueries(ds.Doc, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Error("detected a mark with no records")
+	}
+}

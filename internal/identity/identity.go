@@ -167,15 +167,23 @@ func NewBuilder(s *schema.Schema, cat semantics.Catalog, opts Options) *Builder 
 }
 
 // ResolveTargets determines the target fields: either parsing the
-// configured ones or auto-deriving all usable fields.
+// configured ones or auto-deriving all usable fields. Duplicates are
+// dropped (first occurrence wins): a repeated target would enumerate
+// the same physical values twice — double-embedding sequentially and
+// racing on shared nodes under the concurrent encoder.
 func (b *Builder) ResolveTargets() ([]Target, error) {
 	if len(b.opts.Targets) > 0 {
 		out := make([]Target, 0, len(b.opts.Targets))
+		seen := make(map[string]bool, len(b.opts.Targets))
 		for _, t := range b.opts.Targets {
 			tgt, err := b.parseTarget(t)
 			if err != nil {
 				return nil, err
 			}
+			if seen[tgt.String()] {
+				continue
+			}
+			seen[tgt.String()] = true
 			out = append(out, tgt)
 		}
 		return out, nil
@@ -230,6 +238,13 @@ func (b *Builder) fieldType(scope, field string) (schema.DataType, error) {
 // except the key field itself.
 func (b *Builder) autoTargets() ([]Target, error) {
 	var out []Target
+	seen := make(map[string]bool)
+	add := func(t Target) {
+		if !seen[t.String()] {
+			seen[t.String()] = true
+			out = append(out, t)
+		}
+	}
 	for _, key := range b.catalog.Keys {
 		segs := strings.Split(key.Scope, "/")
 		decl := b.schema.Element(segs[len(segs)-1])
@@ -247,13 +262,13 @@ func (b *Builder) autoTargets() ([]Target, error) {
 			if cd.MaxOccurs != 1 {
 				continue // multi-valued children are not uniquely addressable by the key alone
 			}
-			out = append(out, Target{Scope: key.Scope, Field: cd.Name, Type: child.Type})
+			add(Target{Scope: key.Scope, Field: cd.Name, Type: child.Type})
 		}
 		for _, ad := range decl.Attrs {
 			if "@"+ad.Name == key.KeyPath {
 				continue
 			}
-			out = append(out, Target{Scope: key.Scope, Field: "@" + ad.Name, Type: ad.Type})
+			add(Target{Scope: key.Scope, Field: "@" + ad.Name, Type: ad.Type})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })

@@ -1,0 +1,299 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"wmxml/internal/core"
+	"wmxml/internal/datagen"
+	"wmxml/internal/identity"
+	"wmxml/internal/wmark"
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+// corpus builds n publication documents of one schema with distinct
+// content (different seeds), plus the shared core config.
+func corpus(t testing.TB, n, books int) ([]Job, core.Config) {
+	t.Helper()
+	base := datagen.Publications(datagen.PubConfig{Books: books, Seed: 1})
+	cfg := core.Config{
+		Key:      []byte("pipeline-key"),
+		Mark:     wmark.Random("pipeline-mark", 24),
+		Gamma:    2,
+		Schema:   base.Schema,
+		Catalog:  base.Catalog,
+		Identity: identity.Options{Targets: base.Targets},
+	}
+	jobs := make([]Job, n)
+	for i := range jobs {
+		ds := datagen.Publications(datagen.PubConfig{Books: books, Seed: int64(i + 1)})
+		jobs[i] = Job{ID: fmt.Sprintf("doc-%03d", i), Doc: ds.Doc}
+	}
+	return jobs, cfg
+}
+
+func cloneJobs(jobs []Job) []Job {
+	out := make([]Job, len(jobs))
+	for i, j := range jobs {
+		out[i] = Job{ID: j.ID, Doc: j.Doc.Clone()}
+	}
+	return out
+}
+
+// TestEmbedAllMatchesSequential: the pooled engine must produce, for
+// every document, exactly the marked tree and query set a standalone
+// core.Embed produces.
+func TestEmbedAllMatchesSequential(t *testing.T) {
+	jobs, cfg := corpus(t, 12, 60)
+	seq := cloneJobs(jobs)
+	wantXML := make([]string, len(seq))
+	wantRecs := make([][]core.QueryRecord, len(seq))
+	for i, j := range seq {
+		res, err := core.Embed(j.Doc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantXML[i] = xmltree.SerializeString(j.Doc)
+		wantRecs[i] = res.Records
+	}
+
+	eng := New(cfg, Options{Workers: 8})
+	outs, err := eng.EmbedAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(jobs) {
+		t.Fatalf("outcomes = %d, want %d", len(outs), len(jobs))
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("doc %s: %v", o.ID, o.Err)
+		}
+		if o.Index != i || o.ID != jobs[i].ID {
+			t.Errorf("outcome %d misordered: ID=%s Index=%d", i, o.ID, o.Index)
+		}
+		if got := xmltree.SerializeString(jobs[i].Doc); got != wantXML[i] {
+			t.Errorf("doc %s: marked tree differs from sequential embed", o.ID)
+		}
+		if !reflect.DeepEqual(o.Result.Records, wantRecs[i]) {
+			t.Errorf("doc %s: query set differs from sequential embed", o.ID)
+		}
+	}
+	sum := SummarizeEmbed(outs)
+	if sum.Succeeded != len(jobs) || sum.Failed != 0 || sum.Skipped != 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+	if sum.Carriers == 0 || sum.ValuesWritten == 0 {
+		t.Errorf("summary has empty capacity: %+v", sum)
+	}
+}
+
+// TestDetectAllBothModes runs query-based and blind detection through
+// the pool and checks every document detects with a perfect match.
+func TestDetectAllBothModes(t *testing.T) {
+	jobs, cfg := corpus(t, 10, 60)
+	eng := New(cfg, Options{Workers: 6})
+	embeds, err := eng.EmbedAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	withQ := make([]DetectJob, len(jobs))
+	blind := make([]DetectJob, len(jobs))
+	for i, j := range jobs {
+		withQ[i] = DetectJob{Job: j, Records: embeds[i].Result.Records}
+		blind[i] = DetectJob{Job: j}
+	}
+	for name, batch := range map[string][]DetectJob{"queries": withQ, "blind": blind} {
+		outs, err := eng.DetectAll(context.Background(), batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outs {
+			if o.Err != nil {
+				t.Fatalf("%s %s: %v", name, o.ID, o.Err)
+			}
+			if !o.Result.Detected || o.Result.MatchFraction != 1.0 {
+				t.Errorf("%s %s: detected=%v match=%.3f", name, o.ID, o.Result.Detected, o.Result.MatchFraction)
+			}
+		}
+		sum := SummarizeDetect(outs)
+		if sum.Detected != len(batch) || sum.MeanMatch != 1.0 {
+			t.Errorf("%s summary = %+v", name, sum)
+		}
+	}
+}
+
+// TestErrorIsolation poisons two documents in a batch (one nil, one
+// failing schema validation) and requires every other document to embed
+// exactly as it would alone.
+func TestErrorIsolation(t *testing.T) {
+	jobs, cfg := corpus(t, 8, 40)
+	cfg.ValidateInput = true
+	bad, err := xmltree.ParseString("<not><the/><schema/></not>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs[2] = Job{ID: "bad-schema", Doc: bad}
+	jobs[5] = Job{ID: "nil-doc", Doc: nil}
+
+	eng := New(cfg, Options{Workers: 4})
+	outs, err := eng.EmbedAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		switch i {
+		case 2, 5:
+			if o.Err == nil {
+				t.Errorf("doc %s: expected failure", o.ID)
+			}
+		default:
+			if o.Err != nil {
+				t.Errorf("doc %s: %v", o.ID, o.Err)
+			}
+		}
+	}
+	sum := SummarizeEmbed(outs)
+	if sum.Succeeded != 6 || sum.Failed != 2 || sum.Skipped != 0 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+// panicRewriter triggers the engine's panic isolation from inside a
+// detection job.
+type panicRewriter struct{}
+
+func (panicRewriter) RewriteQuery(*xpath.Query) (*xpath.Query, error) { panic("boom") }
+
+func TestPanicIsolation(t *testing.T) {
+	jobs, cfg := corpus(t, 4, 30)
+	eng := New(cfg, Options{Workers: 2})
+	embeds, err := eng.EmbedAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := make([]DetectJob, len(jobs))
+	for i, j := range jobs {
+		det[i] = DetectJob{Job: j, Records: embeds[i].Result.Records}
+	}
+	det[1].Rewriter = panicRewriter{}
+	outs, err := eng.DetectAll(context.Background(), det)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if i == 1 {
+			if o.Err == nil || o.Result != nil {
+				t.Errorf("panicking doc: err=%v result=%v", o.Err, o.Result)
+			}
+			continue
+		}
+		if o.Err != nil || !o.Result.Detected {
+			t.Errorf("doc %s: err=%v", o.ID, o.Err)
+		}
+	}
+}
+
+// TestCancellationSkipsRemainder: a cancelled context must mark
+// unstarted documents ErrSkipped and surface ctx.Err() from the batch.
+func TestCancellationSkipsRemainder(t *testing.T) {
+	jobs, cfg := corpus(t, 6, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the batch starts: everything skips
+	eng := New(cfg, Options{Workers: 3})
+	outs, err := eng.EmbedAll(ctx, jobs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	sum := SummarizeEmbed(outs)
+	if sum.Skipped != len(jobs) {
+		t.Errorf("summary = %+v, want all skipped", sum)
+	}
+	for _, o := range outs {
+		if !errors.Is(o.Err, ErrSkipped) {
+			t.Errorf("doc %s: err = %v, want ErrSkipped", o.ID, o.Err)
+		}
+	}
+}
+
+// TestEmbedStream drains a streaming source and checks completeness and
+// per-document correctness, then checks cancellation closes the stream.
+func TestEmbedStream(t *testing.T) {
+	jobs, cfg := corpus(t, 9, 30)
+	eng := New(cfg, Options{Workers: 3})
+
+	in := make(chan Job)
+	go func() {
+		for _, j := range jobs {
+			in <- j
+		}
+		close(in)
+	}()
+	seen := make(map[string]bool)
+	for o := range eng.EmbedStream(context.Background(), in) {
+		if o.Err != nil {
+			t.Fatalf("doc %s: %v", o.ID, o.Err)
+		}
+		if o.Result.Carriers == 0 {
+			t.Errorf("doc %s: no carriers", o.ID)
+		}
+		seen[o.ID] = true
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("stream yielded %d outcomes, want %d", len(seen), len(jobs))
+	}
+
+	// Cancellation: the output channel must close without draining in.
+	ctx, cancel := context.WithCancel(context.Background())
+	in2 := make(chan Job) // never closed; cancellation is the only exit
+	out := eng.EmbedStream(ctx, in2)
+	in2 <- jobs[0]
+	<-out // first outcome arrived, workers are live
+	cancel()
+	for range out {
+	} // must terminate: channel closes after cancel
+}
+
+// TestStreamDetect mirrors the batch detection result over the
+// streaming interface.
+func TestStreamDetect(t *testing.T) {
+	jobs, cfg := corpus(t, 5, 30)
+	eng := New(cfg, Options{Workers: 2})
+	embeds, err := eng.EmbedAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan DetectJob)
+	go func() {
+		for i, j := range jobs {
+			in <- DetectJob{Job: j, Records: embeds[i].Result.Records}
+		}
+		close(in)
+	}()
+	n := 0
+	for o := range eng.DetectStream(context.Background(), in) {
+		if o.Err != nil || !o.Result.Detected {
+			t.Errorf("doc %s: err=%v", o.ID, o.Err)
+		}
+		n++
+	}
+	if n != len(jobs) {
+		t.Fatalf("stream yielded %d outcomes, want %d", n, len(jobs))
+	}
+}
+
+// TestWorkerDefaults pins the Workers resolution rules.
+func TestWorkerDefaults(t *testing.T) {
+	_, cfg := corpus(t, 1, 10)
+	if w := New(cfg, Options{}).Workers(); w < 1 {
+		t.Errorf("default workers = %d", w)
+	}
+	if w := New(cfg, Options{Workers: 7}).Workers(); w != 7 {
+		t.Errorf("workers = %d, want 7", w)
+	}
+}

@@ -234,6 +234,23 @@ func (v *Votes) Add(idx int, bit uint8) {
 // reporting but do not vote.
 func (v *Votes) AddMiss() { v.misses++ }
 
+// Merge folds the votes of o into v. Vote counts are commutative sums,
+// so merging per-worker accumulators in any order yields exactly the
+// votes a sequential pass would have produced — this is what makes the
+// concurrent decoder bit-for-bit equivalent to the sequential one.
+// Accumulators of mismatched length are ignored (caller error).
+func (v *Votes) Merge(o *Votes) {
+	if o == nil || len(o.ones) != len(v.ones) {
+		return
+	}
+	for i := range v.ones {
+		v.ones[i] += o.ones[i]
+		v.zeros[i] += o.zeros[i]
+	}
+	v.total += o.total
+	v.misses += o.misses
+}
+
 // Total returns the number of votes cast.
 func (v *Votes) Total() int { return v.total }
 

@@ -1,0 +1,246 @@
+package wmxml
+
+// Batch processing: embed and detect watermarks across corpora of
+// documents with a bounded worker pool. This is the public face of
+// internal/pipeline; see DESIGN.md ("Batch pipeline") and the
+// `wmxml batch` command.
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"wmxml/internal/pipeline"
+)
+
+// PipelineOptions configures a Pipeline.
+type PipelineOptions struct {
+	// Workers bounds how many documents are processed concurrently.
+	// 0 means GOMAXPROCS; 1 processes sequentially.
+	Workers int
+}
+
+// Pipeline embeds and detects watermarks across many documents
+// concurrently: per-document isolation (one bad document does not abort
+// the batch), input-order results for the Batch methods,
+// completion-order results for the Seq streams, and context
+// cancellation throughout. It is safe for concurrent use.
+type Pipeline struct {
+	sys *System
+	eng *pipeline.Engine
+}
+
+// NewPipeline builds a batch pipeline over a configured System.
+func NewPipeline(sys *System, opts PipelineOptions) *Pipeline {
+	return &Pipeline{
+		sys: sys,
+		eng: pipeline.New(sys.cfg, pipeline.Options{Workers: opts.Workers}),
+	}
+}
+
+// Workers reports the effective worker bound.
+func (p *Pipeline) Workers() int { return p.eng.Workers() }
+
+// BatchEmbed is the embedding outcome of one document in a batch.
+type BatchEmbed struct {
+	// ID names the document: the Seq source's tag, or "#<index>" for
+	// the slice-based Batch call.
+	ID string
+	// Index is the document's position in the batch (arrival order for
+	// streams).
+	Index int
+	// Receipt is the embed receipt; nil when Err is set.
+	Receipt *EmbedReceipt
+	// Err is this document's failure: its own embed error, or
+	// ErrBatchSkipped when the batch was cancelled before the document
+	// started.
+	Err error
+}
+
+// BatchDetection is the detection outcome of one document in a batch.
+type BatchDetection struct {
+	ID        string
+	Index     int
+	Detection *Detection
+	Err       error
+}
+
+// DetectInput pairs a suspect document with its detection inputs for
+// batch detection.
+type DetectInput struct {
+	// ID tags the outcome; empty IDs are filled with "#<index>" by
+	// DetectBatch.
+	ID  string
+	Doc *Document
+	// Records is this document's safeguarded query set Q; nil runs
+	// blind detection.
+	Records []QueryRecord
+	// Rewriter translates queries for a re-organized suspect; nil when
+	// the layout is unchanged. Rewriters from NewRewriter are stateless
+	// and may be shared by every input.
+	Rewriter Rewriter
+}
+
+// ErrBatchSkipped marks outcomes of documents that were never started
+// because the batch context was cancelled first.
+var ErrBatchSkipped = pipeline.ErrSkipped
+
+// EmbedBatch embeds the watermark into every document in place and
+// returns one outcome per document, in input order. The returned error
+// is nil or ctx.Err(); per-document failures are in the outcomes.
+func (p *Pipeline) EmbedBatch(ctx context.Context, docs []*Document) ([]BatchEmbed, error) {
+	jobs := make([]pipeline.Job, len(docs))
+	for i, d := range docs {
+		jobs[i] = pipeline.Job{ID: fmt.Sprintf("#%d", i), Doc: d}
+	}
+	outs, err := p.eng.EmbedAll(ctx, jobs)
+	res := make([]BatchEmbed, len(outs))
+	for i, o := range outs {
+		res[i] = toBatchEmbed(o)
+	}
+	return res, err
+}
+
+// DetectBatch runs detection on every input and returns one outcome per
+// input, in input order. The returned error is nil or ctx.Err().
+func (p *Pipeline) DetectBatch(ctx context.Context, inputs []DetectInput) ([]BatchDetection, error) {
+	jobs := make([]pipeline.DetectJob, len(inputs))
+	for i, in := range inputs {
+		id := in.ID
+		if id == "" {
+			id = fmt.Sprintf("#%d", i)
+		}
+		jobs[i] = pipeline.DetectJob{
+			Job:      pipeline.Job{ID: id, Doc: in.Doc},
+			Records:  in.Records,
+			Rewriter: in.Rewriter,
+		}
+	}
+	outs, err := p.eng.DetectAll(ctx, jobs)
+	res := make([]BatchDetection, len(outs))
+	for i, o := range outs {
+		res[i] = toBatchDetection(o)
+	}
+	return res, err
+}
+
+// DetectBatchBlind runs blind detection (no stored query sets) over a
+// document slice; every document must still follow the original schema.
+func (p *Pipeline) DetectBatchBlind(ctx context.Context, docs []*Document) ([]BatchDetection, error) {
+	inputs := make([]DetectInput, len(docs))
+	for i, d := range docs {
+		inputs[i] = DetectInput{Doc: d}
+	}
+	return p.DetectBatch(ctx, inputs)
+}
+
+// EmbedSeq embeds a streaming corpus: documents are drawn from src as
+// workers free up, and outcomes are yielded in completion order. The
+// stream stops early when ctx is cancelled or the consumer breaks out
+// of the range loop.
+func (p *Pipeline) EmbedSeq(ctx context.Context, src iter.Seq2[string, *Document]) iter.Seq[BatchEmbed] {
+	return func(yield func(BatchEmbed) bool) {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		in := make(chan pipeline.Job)
+		go func() {
+			defer close(in)
+			for id, doc := range src {
+				select {
+				case in <- pipeline.Job{ID: id, Doc: doc}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		for o := range p.eng.EmbedStream(ctx, in) {
+			if !yield(toBatchEmbed(o)) {
+				return
+			}
+		}
+	}
+}
+
+// DetectSeq detects over a streaming corpus of inputs, yielding
+// outcomes in completion order.
+func (p *Pipeline) DetectSeq(ctx context.Context, src iter.Seq[DetectInput]) iter.Seq[BatchDetection] {
+	return func(yield func(BatchDetection) bool) {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		in := make(chan pipeline.DetectJob)
+		go func() {
+			defer close(in)
+			for di := range src {
+				j := pipeline.DetectJob{
+					Job:      pipeline.Job{ID: di.ID, Doc: di.Doc},
+					Records:  di.Records,
+					Rewriter: di.Rewriter,
+				}
+				select {
+				case in <- j:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+		for o := range p.eng.DetectStream(ctx, in) {
+			if !yield(toBatchDetection(o)) {
+				return
+			}
+		}
+	}
+}
+
+// BatchEmbedSummary aggregates a batch of embed outcomes.
+type BatchEmbedSummary = pipeline.EmbedSummary
+
+// BatchDetectSummary aggregates a batch of detect outcomes.
+type BatchDetectSummary = pipeline.DetectSummary
+
+// SummarizeEmbedBatch folds outcomes into corpus-level statistics.
+func SummarizeEmbedBatch(outs []BatchEmbed) BatchEmbedSummary {
+	var s BatchEmbedSummary
+	for _, o := range outs {
+		if o.Receipt != nil {
+			s.Add(o.Err, o.Receipt.BandwidthUnits, o.Receipt.Carriers, o.Receipt.ValuesWritten)
+		} else {
+			s.Add(o.Err, 0, 0, 0)
+		}
+	}
+	return s
+}
+
+// SummarizeDetectBatch folds outcomes into corpus-level statistics.
+func SummarizeDetectBatch(outs []BatchDetection) BatchDetectSummary {
+	var s BatchDetectSummary
+	for _, o := range outs {
+		if o.Detection != nil {
+			s.Add(o.Err, o.Detection.Detected, o.Detection.MatchFraction, o.Detection.Coverage)
+		} else {
+			s.Add(o.Err, false, 0, 0)
+		}
+	}
+	s.Finalize()
+	return s
+}
+
+func toBatchEmbed(o pipeline.EmbedOutcome) BatchEmbed {
+	out := BatchEmbed{ID: o.ID, Index: o.Index, Err: o.Err}
+	if o.Result != nil {
+		out.Receipt = &EmbedReceipt{
+			Records:        o.Result.Records,
+			BandwidthUnits: o.Result.Bandwidth.Units,
+			Carriers:       o.Result.Carriers,
+			ValuesWritten:  o.Result.Embedded,
+		}
+	}
+	return out
+}
+
+func toBatchDetection(o pipeline.DetectOutcome) BatchDetection {
+	out := BatchDetection{ID: o.ID, Index: o.Index, Err: o.Err}
+	if o.Result != nil {
+		out.Detection = toDetection(o.Result)
+	}
+	return out
+}

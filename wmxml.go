@@ -154,6 +154,13 @@ type Options struct {
 	DisableFDs bool
 	// ValidateInput validates documents against Schema before embedding.
 	ValidateInput bool
+	// Concurrency bounds the worker goroutines used inside a single
+	// Embed/Detect call for per-carrier work (0 or 1: sequential;
+	// N > 1: up to N workers). Results are bit-for-bit identical at any
+	// setting. Large single documents benefit from N > 1; corpus runs
+	// usually keep this at 1 and parallelize across documents with a
+	// Pipeline instead, since the two multiply.
+	Concurrency int
 }
 
 // System embeds and detects watermarks for one document type.
@@ -191,6 +198,7 @@ func New(opts Options) (*System, error) {
 			DisableFDs: opts.DisableFDs,
 		},
 		ValidateInput: opts.ValidateInput,
+		Concurrency:   opts.Concurrency,
 	}
 	return &System{cfg: cfg}, nil
 }
