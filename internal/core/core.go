@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"wmxml/internal/identity"
+	"wmxml/internal/index"
 	"wmxml/internal/schema"
 	"wmxml/internal/semantics"
 	"wmxml/internal/wa"
@@ -77,6 +78,11 @@ type Config struct {
 	// units of distinct targets and of distinct key/FD groups address
 	// disjoint tree nodes, and decoder votes merge commutatively.
 	Concurrency int
+	// DisableIndex turns off the per-document index and compiled query
+	// plans, forcing every query through the tree-walking evaluator.
+	// Results are bit-for-bit identical either way; the knob exists for
+	// benchmarking and the indexed/unindexed equivalence tests.
+	DisableIndex bool
 }
 
 func (c Config) withDefaults() Config {
@@ -155,6 +161,29 @@ type EmbedResult struct {
 // Embed inserts the watermark into doc in place and returns the query
 // set Q.
 func Embed(doc *xmltree.Node, cfg Config) (*EmbedResult, error) {
+	return EmbedIndexed(doc, cfg, nil)
+}
+
+// docIndex materializes the shared per-document index: an explicit one
+// wins, otherwise one is built unless the config disables indexing. The
+// xpath.DocIndex return is nil (untyped) when there is no index, so
+// SelectIndexed degrades cleanly.
+func docIndex(doc *xmltree.Node, cfg Config, ix *index.Index) (*index.Index, xpath.DocIndex) {
+	if ix == nil && !cfg.DisableIndex {
+		ix = index.New(doc)
+	}
+	if ix == nil {
+		return nil, nil
+	}
+	return ix, ix
+}
+
+// EmbedIndexed is Embed reusing a caller-provided document index (built
+// over doc). The index's key-value tables are invalidated after the
+// value-writing phase, so the caller can keep using it — the pipeline
+// shares one index per document across embed and verify. A nil ix
+// builds one internally (unless cfg.DisableIndex is set).
+func EmbedIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*EmbedResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -169,8 +198,9 @@ func Embed(doc *xmltree.Node, cfg Config) (*EmbedResult, error) {
 				cfg.Schema.Name, vs[0], len(vs)-1)
 		}
 	}
+	ix, dix := docIndex(doc, cfg, ix)
 	builder := identity.NewBuilder(cfg.Schema, cfg.Catalog, cfg.Identity)
-	units, rep, err := builder.Units(doc)
+	units, rep, err := builder.UnitsIndexed(doc, dix)
 	if err != nil {
 		return nil, err
 	}
@@ -221,6 +251,10 @@ func Embed(doc *xmltree.Node, cfg Config) (*EmbedResult, error) {
 			selected = append(selected, units[i])
 		}
 	}
+	// Embedding changed document values, so any key-value tables built
+	// during enumeration are stale; the structural tables stay valid
+	// (value writes do not move elements).
+	ix.Invalidate()
 
 	// Phase 2: generate Q from the post-insertion document (marking can
 	// change selector values of det-units). All writes are done, so the
@@ -273,6 +307,16 @@ type DetectResult struct {
 // cfg.Mark. rw may be nil when the suspect document kept the original
 // schema.
 func DetectWithQueries(doc *xmltree.Node, cfg Config, records []QueryRecord, rw Rewriter) (*DetectResult, error) {
+	return DetectWithQueriesIndexed(doc, cfg, records, rw, nil)
+}
+
+// DetectWithQueriesIndexed is DetectWithQueries reusing a
+// caller-provided document index (built over doc and current — call
+// Invalidate/Rebuild after mutating the document). A nil ix builds one
+// internally (unless cfg.DisableIndex is set). The index is what makes
+// detection near-linear: each identity query resolves through a
+// key-value lookup instead of a root-down tree scan.
+func DetectWithQueriesIndexed(doc *xmltree.Node, cfg Config, records []QueryRecord, rw Rewriter, ix *index.Index) (*DetectResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -281,6 +325,7 @@ func DetectWithQueries(doc *xmltree.Node, cfg Config, records []QueryRecord, rw 
 	if err != nil {
 		return nil, err
 	}
+	_, dix := docIndex(doc, cfg, ix)
 	// Queries only read the suspect document, so records fan out over
 	// workers; each worker accumulates into its own vote counter and the
 	// counters merge commutatively, reproducing the sequential tally
@@ -319,7 +364,7 @@ func DetectWithQueries(doc *xmltree.Node, cfg Config, records []QueryRecord, rw 
 			q = rq
 		}
 		acc.queriesRun++
-		items := q.Select(doc)
+		items := q.SelectIndexed(doc, dix)
 		if len(items) == 0 {
 			acc.queryMisses++
 			acc.votes.AddMiss()
@@ -389,6 +434,13 @@ func mergeAccs(res *DetectResult, accs []*detectAcc) *wmark.Votes {
 // suspect document to still follow the original schema; value alteration
 // only adds vote noise.
 func DetectBlind(doc *xmltree.Node, cfg Config) (*DetectResult, error) {
+	return DetectBlindIndexed(doc, cfg, nil)
+}
+
+// DetectBlindIndexed is DetectBlind reusing a caller-provided document
+// index (built over doc and current). A nil ix builds one internally
+// (unless cfg.DisableIndex is set).
+func DetectBlindIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*DetectResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -397,8 +449,9 @@ func DetectBlind(doc *xmltree.Node, cfg Config) (*DetectResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	_, dix := docIndex(doc, cfg, ix)
 	builder := identity.NewBuilder(cfg.Schema, cfg.Catalog, cfg.Identity)
-	units, _, err := builder.Units(doc)
+	units, _, err := builder.UnitsIndexed(doc, dix)
 	if err != nil {
 		return nil, err
 	}

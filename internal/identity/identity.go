@@ -277,6 +277,13 @@ func (b *Builder) autoTargets() ([]Target, error) {
 
 // Units enumerates the watermark bandwidth of a document.
 func (b *Builder) Units(doc *xmltree.Node) ([]Unit, Report, error) {
+	return b.UnitsIndexed(doc, nil)
+}
+
+// UnitsIndexed is Units with a shared document index accelerating scope
+// enumeration (one rooted-path lookup per target instead of one tree
+// walk). ix may be nil; the enumerated units are identical either way.
+func (b *Builder) UnitsIndexed(doc *xmltree.Node, ix xpath.DocIndex) ([]Unit, Report, error) {
 	rep := Report{Skipped: make(map[string]int)}
 	targets, err := b.ResolveTargets()
 	if err != nil {
@@ -288,9 +295,9 @@ func (b *Builder) Units(doc *xmltree.Node) ([]Unit, Report, error) {
 		var tu []Unit
 		var err error
 		if b.opts.Mode == ModePositional {
-			tu, err = b.positionalUnits(doc, tgt, &rep)
+			tu, err = b.positionalUnits(doc, tgt, ix, &rep)
 		} else {
-			tu, err = b.semanticUnits(doc, tgt, &rep)
+			tu, err = b.semanticUnits(doc, tgt, ix, &rep)
 		}
 		if err != nil {
 			return nil, rep, err
@@ -308,13 +315,13 @@ func (b *Builder) Units(doc *xmltree.Node) ([]Unit, Report, error) {
 }
 
 // semanticUnits builds key/FD-based units for one target.
-func (b *Builder) semanticUnits(doc *xmltree.Node, tgt Target, rep *Report) ([]Unit, error) {
+func (b *Builder) semanticUnits(doc *xmltree.Node, tgt Target, ix xpath.DocIndex, rep *Report) ([]Unit, error) {
 	key, ok := b.catalog.KeyFor(tgt.Scope)
 	if !ok {
 		rep.Skipped["no key for scope "+tgt.Scope] += 1
 		return nil, nil
 	}
-	insts, err := semantics.Instances(doc, tgt.Scope)
+	insts, err := semantics.InstancesIndexed(doc, tgt.Scope, ix)
 	if err != nil {
 		return nil, err
 	}
@@ -430,8 +437,8 @@ func (b *Builder) fdUnits(insts []*xmltree.Node, tgt Target, groupRel string, gr
 }
 
 // positionalUnits builds ordinal-based units (ablation baseline).
-func (b *Builder) positionalUnits(doc *xmltree.Node, tgt Target, rep *Report) ([]Unit, error) {
-	insts, err := semantics.Instances(doc, tgt.Scope)
+func (b *Builder) positionalUnits(doc *xmltree.Node, tgt Target, ix xpath.DocIndex, rep *Report) ([]Unit, error) {
+	insts, err := semantics.InstancesIndexed(doc, tgt.Scope, ix)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,321 @@
+// Package index builds per-document query-acceleration structures — the
+// layer that turns WmXML detection from O(N^2) tree scans into
+// near-linear work.
+//
+// An Index is built in one pass over a document and holds:
+//
+//   - a symbol table interning every element and attribute name, so the
+//     hot structures key on small integers instead of strings;
+//   - a tag inverted index (tag -> elements in document order), serving
+//     descendant-rooted lookups like //book[...];
+//   - a rooted-path index (tag path -> elements in document order),
+//     serving the clean child chains of identity queries (/db/book);
+//   - a key-value index ((scope, selector) -> value -> elements) — the
+//     exact shape of every identity query WmXML generates
+//     (db/book[title='X']/year). Key-value tables are built lazily, on
+//     the first query using a (scope, selector) pair, in one O(scope)
+//     pass; every later lookup is a hash probe.
+//
+// The query planner (internal/xpath.Plan) consumes an Index through the
+// xpath.DocIndex interface and guarantees results bit-for-bit identical
+// to the tree-walking evaluator, falling back to it for shapes the index
+// cannot serve.
+//
+// Invalidation rules: after value mutations (Item.SetValue, SetText,
+// SetAttr — what embedding does), call Invalidate to drop the
+// value-derived key-value tables; the structural tables remain valid.
+// After structural mutations (adding, removing or moving elements), call
+// Rebuild. An Index is safe for concurrent readers; Invalidate and
+// Rebuild must not race with in-flight queries on other goroutines.
+package index
+
+import (
+	"strings"
+	"sync"
+
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+// symID is an interned name; pathID an interned rooted tag path.
+type (
+	symID  int32
+	pathID int32
+)
+
+// symtab interns element and attribute names. Attribute names are
+// interned with a leading '@' so the two namespaces cannot collide.
+type symtab struct {
+	ids   map[string]symID
+	names []string
+}
+
+func newSymtab() *symtab {
+	return &symtab{ids: make(map[string]symID)}
+}
+
+func (t *symtab) intern(name string) symID {
+	if id, ok := t.ids[name]; ok {
+		return id
+	}
+	id := symID(len(t.names))
+	t.names = append(t.names, name)
+	t.ids[name] = id
+	return id
+}
+
+func (t *symtab) lookup(name string) (symID, bool) {
+	id, ok := t.ids[name]
+	return id, ok
+}
+
+// pathkey interns one rooted-path trie edge: a parent path extended by
+// one element name.
+type pathkey struct {
+	parent pathID
+	name   symID
+}
+
+// Index is a per-document query accelerator. Build with New; see the
+// package comment for the invalidation contract.
+type Index struct {
+	top *xmltree.Node
+
+	// mu guards every table: the structural ones against Rebuild, the
+	// key-value tables against lazy construction.
+	mu     sync.RWMutex
+	syms   *symtab
+	paths  map[pathkey]pathID
+	npaths pathID
+	byTag  map[symID][]*xmltree.Node
+	byPath map[pathID][]*xmltree.Node
+	kv     map[string]map[string][]*xmltree.Node
+}
+
+// Index implements the planner's index contract.
+var _ xpath.DocIndex = (*Index)(nil)
+
+// New builds an index over the document containing root (the index
+// always covers the whole tree, from root's topmost ancestor down), in
+// one pass.
+func New(root *xmltree.Node) *Index {
+	ix := &Index{}
+	if root == nil {
+		return ix
+	}
+	top := root
+	for top.Parent != nil {
+		top = top.Parent
+	}
+	ix.top = top
+	ix.build()
+	return ix
+}
+
+// build runs the single indexing pass. Callers hold mu (or have
+// exclusive access, as in New).
+func (ix *Index) build() {
+	ix.syms = newSymtab()
+	ix.paths = make(map[pathkey]pathID)
+	ix.npaths = 0
+	ix.byTag = make(map[symID][]*xmltree.Node)
+	ix.byPath = make(map[pathID][]*xmltree.Node)
+	ix.kv = make(map[string]map[string][]*xmltree.Node)
+
+	var walk func(n *xmltree.Node, parent pathID)
+	index1 := func(e *xmltree.Node, parent pathID) pathID {
+		sym := ix.syms.intern(e.Name)
+		ix.byTag[sym] = append(ix.byTag[sym], e)
+		pid := ix.pathFor(parent, sym)
+		ix.byPath[pid] = append(ix.byPath[pid], e)
+		for _, a := range e.Attrs {
+			ix.syms.intern("@" + a.Name)
+		}
+		return pid
+	}
+	walk = func(n *xmltree.Node, parent pathID) {
+		for _, c := range n.Children {
+			if c.Kind != xmltree.ElementNode {
+				continue
+			}
+			walk(c, index1(c, parent))
+		}
+	}
+	if ix.top.Kind == xmltree.ElementNode {
+		// A detached subtree: its top element is the virtual document
+		// element, so rooted paths start with its own name (matching the
+		// evaluator's absolute-path semantics for detached trees).
+		walk(ix.top, index1(ix.top, 0))
+	} else {
+		walk(ix.top, 0)
+	}
+}
+
+// pathFor interns the rooted path (parent, name), allocating a fresh id
+// on first sight. Path id 0 is the root sentinel.
+func (ix *Index) pathFor(parent pathID, name symID) pathID {
+	k := pathkey{parent, name}
+	if id, ok := ix.paths[k]; ok {
+		return id
+	}
+	ix.npaths++
+	ix.paths[k] = ix.npaths
+	return ix.npaths
+}
+
+// Top returns the indexed document's topmost node (nil for an empty
+// index). Nil-receiver safe so a typed-nil *Index behaves as "no index".
+func (ix *Index) Top() *xmltree.Node {
+	if ix == nil {
+		return nil
+	}
+	return ix.top
+}
+
+// ScopeElements returns the elements addressed by a planner scope
+// string — "db/book" (rooted tag path) or "//book" (tag lookup) — in
+// document order. Unknown scopes return nil.
+func (ix *Index) ScopeElements(scope string) []*xmltree.Node {
+	if ix == nil || ix.top == nil {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.scopeElements(scope)
+}
+
+// TagElements returns every element with the given tag, in document
+// order (the tag inverted index).
+func (ix *Index) TagElements(name string) []*xmltree.Node {
+	return ix.ScopeElements("//" + name)
+}
+
+// scopeElements resolves a scope string; callers hold mu.
+func (ix *Index) scopeElements(scope string) []*xmltree.Node {
+	if name, ok := strings.CutPrefix(scope, "//"); ok {
+		if strings.ContainsRune(name, '/') {
+			return nil
+		}
+		sym, ok := ix.syms.lookup(name)
+		if !ok {
+			return nil
+		}
+		return ix.byTag[sym]
+	}
+	pid := pathID(0)
+	for _, seg := range strings.Split(strings.TrimPrefix(scope, "/"), "/") {
+		sym, ok := ix.syms.lookup(seg)
+		if !ok {
+			return nil
+		}
+		id, ok := ix.paths[pathkey{pid, sym}]
+		if !ok {
+			return nil
+		}
+		pid = id
+	}
+	return ix.byPath[pid]
+}
+
+// Lookup returns the scope's elements for which the relative path selRel
+// selects at least one item with the given string value, in document
+// order. The (scope, selRel) table is built on first use — one pass over
+// the scope's elements — and served from the hash afterwards.
+func (ix *Index) Lookup(scope, selRel, value string) []*xmltree.Node {
+	if ix == nil || ix.top == nil {
+		return nil
+	}
+	key := scope + "\x1f" + selRel
+	ix.mu.RLock()
+	m, ok := ix.kv[key]
+	ix.mu.RUnlock()
+	if !ok {
+		m = ix.buildKV(key, scope, selRel)
+	}
+	return m[value]
+}
+
+// buildKV constructs one key-value table under the write lock (which
+// also single-flights concurrent builders of the same table).
+func (ix *Index) buildKV(key, scope, selRel string) map[string][]*xmltree.Node {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if m, ok := ix.kv[key]; ok {
+		return m
+	}
+	m := make(map[string][]*xmltree.Node)
+	// The planner only emits selectors that round-trip through the
+	// parser, so Compile cannot realistically fail; an empty table is the
+	// safe outcome if it ever does.
+	if q, err := xpath.Compile(selRel); err == nil {
+		for _, e := range ix.scopeElements(scope) {
+			for _, it := range q.Select(e) {
+				v := it.Value()
+				lst := m[v]
+				// An element whose selector yields the same value twice
+				// must appear once (elements are processed in order, so
+				// checking the tail suffices).
+				if len(lst) > 0 && lst[len(lst)-1] == e {
+					continue
+				}
+				m[v] = append(lst, e)
+			}
+		}
+	}
+	ix.kv[key] = m
+	return m
+}
+
+// Invalidate drops the value-derived key-value tables. Call it after
+// mutating document values (what embedding does); the structural tables
+// stay valid because value writes do not move elements.
+func (ix *Index) Invalidate() {
+	if ix == nil || ix.top == nil {
+		return
+	}
+	ix.mu.Lock()
+	ix.kv = make(map[string]map[string][]*xmltree.Node)
+	ix.mu.Unlock()
+}
+
+// Rebuild re-runs the full indexing pass. Call it after structural
+// mutations (elements added, removed or moved).
+func (ix *Index) Rebuild() {
+	if ix == nil || ix.top == nil {
+		return
+	}
+	ix.mu.Lock()
+	ix.build()
+	ix.mu.Unlock()
+}
+
+// Stats describes an index's size, for diagnostics and capacity
+// planning.
+type Stats struct {
+	// Elements is the number of indexed elements.
+	Elements int
+	// Names is the number of interned element and attribute names.
+	Names int
+	// Paths is the number of distinct rooted tag paths.
+	Paths int
+	// KVTables is the number of materialized key-value tables.
+	KVTables int
+}
+
+// Stats reports the index's current size.
+func (ix *Index) Stats() Stats {
+	if ix == nil || ix.top == nil {
+		return Stats{}
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := Stats{
+		Names:    len(ix.syms.names),
+		Paths:    int(ix.npaths),
+		KVTables: len(ix.kv),
+	}
+	for _, nodes := range ix.byTag {
+		st.Elements += len(nodes)
+	}
+	return st
+}

@@ -1,0 +1,205 @@
+package index
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"wmxml/internal/xmltree"
+	"wmxml/internal/xpath"
+)
+
+const testDoc = `<db>
+  <book id="b1"><title>Alpha</title><year>1990</year><author>Ann</author><author>Bob</author></book>
+  <book id="b2"><title>Beta</title><year>1995</year><author>Cid</author></book>
+  <book id="b3"><title>Alpha</title><year>2001</year></book>
+  <shelf><book id="n1"><title>Nested</title></book></shelf>
+</db>`
+
+func parseDoc(t testing.TB, src string) *xmltree.Node {
+	t.Helper()
+	doc, err := xmltree.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func names(nodes []*xmltree.Node, attr string) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.AttrOr(attr, n.Name)
+	}
+	return out
+}
+
+func TestScopeElements(t *testing.T) {
+	ix := New(parseDoc(t, testDoc))
+	cases := []struct {
+		scope string
+		want  []string
+	}{
+		{"db/book", []string{"b1", "b2", "b3"}},
+		{"db/shelf/book", []string{"n1"}},
+		{"//book", []string{"b1", "b2", "b3", "n1"}},
+		{"db", []string{"db"}},
+		{"db/missing", nil},
+		{"//missing", nil},
+		{"book", nil}, // rooted path: "book" is not a top-level element
+	}
+	for _, c := range cases {
+		got := names(ix.ScopeElements(c.scope), "id")
+		if !reflect.DeepEqual(got, c.want) && !(len(got) == 0 && len(c.want) == 0) {
+			t.Errorf("ScopeElements(%q) = %v, want %v", c.scope, got, c.want)
+		}
+	}
+	if got := names(ix.TagElements("book"), "id"); len(got) != 4 {
+		t.Errorf("TagElements(book) = %v", got)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	ix := New(parseDoc(t, testDoc))
+	if got := names(ix.Lookup("db/book", "title", "Alpha"), "id"); !reflect.DeepEqual(got, []string{"b1", "b3"}) {
+		t.Errorf("Lookup(title=Alpha) = %v", got)
+	}
+	if got := names(ix.Lookup("db/book", "@id", "b2"), "id"); !reflect.DeepEqual(got, []string{"b2"}) {
+		t.Errorf("Lookup(@id=b2) = %v", got)
+	}
+	if got := names(ix.Lookup("db/book", "author", "Bob"), "id"); !reflect.DeepEqual(got, []string{"b1"}) {
+		t.Errorf("Lookup(author=Bob) = %v", got)
+	}
+	if got := ix.Lookup("db/book", "title", "Zed"); len(got) != 0 {
+		t.Errorf("Lookup(miss) = %v", got)
+	}
+	if got := names(ix.Lookup("//book", "title", "Nested"), "id"); !reflect.DeepEqual(got, []string{"n1"}) {
+		t.Errorf("Lookup(//book title=Nested) = %v", got)
+	}
+	if st := ix.Stats(); st.KVTables != 4 {
+		t.Errorf("KVTables = %d, want 4", st.KVTables)
+	}
+}
+
+// An element whose selector yields the same value through several items
+// must appear once per value.
+func TestLookupDuplicateSelectorValues(t *testing.T) {
+	ix := New(parseDoc(t, `<db><r id="x"><k>v</k><k>v</k><k>w</k></r></db>`))
+	if got := names(ix.Lookup("db/r", "k", "v"), "id"); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("duplicate selector values: %v", got)
+	}
+}
+
+func TestInvalidateAfterValueMutation(t *testing.T) {
+	doc := parseDoc(t, testDoc)
+	ix := New(doc)
+	if got := ix.Lookup("db/book", "title", "Beta"); len(got) != 1 {
+		t.Fatalf("precondition: %v", got)
+	}
+	// Mutate a value the table was built from.
+	b2 := doc.Root().ChildElementsNamed("book")[1]
+	b2.FirstChildNamed("title").SetText("Renamed")
+	ix.Invalidate()
+	if got := ix.Lookup("db/book", "title", "Beta"); len(got) != 0 {
+		t.Errorf("stale lookup after Invalidate: %v", names(got, "id"))
+	}
+	if got := names(ix.Lookup("db/book", "title", "Renamed"), "id"); !reflect.DeepEqual(got, []string{"b2"}) {
+		t.Errorf("post-mutation lookup: %v", got)
+	}
+}
+
+func TestRebuildAfterStructuralMutation(t *testing.T) {
+	doc := parseDoc(t, testDoc)
+	ix := New(doc)
+	if n := len(ix.ScopeElements("db/book")); n != 3 {
+		t.Fatalf("precondition: %d", n)
+	}
+	nb := xmltree.Elem("book", xmltree.TextElem("title", "Zeta"))
+	nb.SetAttr("id", "b9")
+	doc.Root().AppendChild(nb)
+	ix.Rebuild()
+	if got := names(ix.ScopeElements("db/book"), "id"); !reflect.DeepEqual(got, []string{"b1", "b2", "b3", "b9"}) {
+		t.Errorf("after Rebuild: %v", got)
+	}
+	if got := names(ix.Lookup("db/book", "title", "Zeta"), "id"); !reflect.DeepEqual(got, []string{"b9"}) {
+		t.Errorf("lookup after Rebuild: %v", got)
+	}
+}
+
+// New ascends to the topmost ancestor, so an index built from any node
+// covers the whole document.
+func TestNewFromInnerNode(t *testing.T) {
+	doc := parseDoc(t, testDoc)
+	inner := doc.Root().ChildElementsNamed("book")[0]
+	ix := New(inner)
+	if ix.Top() != doc {
+		t.Fatal("Top should be the document node")
+	}
+	if n := len(ix.ScopeElements("db/book")); n != 3 {
+		t.Errorf("ScopeElements from inner-built index: %d", n)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ix := New(parseDoc(t, testDoc))
+	st := ix.Stats()
+	// db + shelf + 4 book + 4 title + 3 year + 3 author = 16 elements.
+	if st.Elements != 16 {
+		t.Errorf("Elements = %d, want 16", st.Elements)
+	}
+	// Tags: db, book, title, year, author, shelf + attribute @id.
+	if st.Names != 7 {
+		t.Errorf("Names = %d, want 7", st.Names)
+	}
+	// Paths: db, db/book, db/book/{title,year,author}, db/shelf,
+	// db/shelf/book, db/shelf/book/title.
+	if st.Paths != 8 {
+		t.Errorf("Paths = %d, want 8", st.Paths)
+	}
+	if (&Index{}).Stats() != (Stats{}) || (*Index)(nil).Stats() != (Stats{}) {
+		t.Error("empty/nil index stats should be zero")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var ix *Index
+	if ix.Top() != nil || ix.ScopeElements("a") != nil || ix.Lookup("a", "b", "c") != nil {
+		t.Error("nil index should answer empty")
+	}
+	ix.Invalidate()
+	ix.Rebuild()
+	empty := New(nil)
+	if empty.Top() != nil || empty.ScopeElements("a") != nil {
+		t.Error("empty index should answer empty")
+	}
+}
+
+// Concurrent lookups racing on lazy key-value construction must be safe
+// and deterministic (run under -race).
+func TestConcurrentLookups(t *testing.T) {
+	doc := parseDoc(t, testDoc)
+	ix := New(doc)
+	q := xpath.MustCompile("/db/book[title='Alpha']/year")
+	want := q.Select(doc)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := q.SelectIndexed(doc, ix); !reflect.DeepEqual(want, got) {
+					errs <- fmt.Errorf("concurrent mismatch: %v", got)
+					return
+				}
+				ix.Lookup("db/book", "author", "Ann")
+				ix.ScopeElements("//book")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"wmxml/internal/core"
+	"wmxml/internal/index"
 	"wmxml/internal/xmltree"
 )
 
@@ -71,6 +72,11 @@ type EmbedOutcome struct {
 	// Err is the document's own failure, ErrSkipped when the batch was
 	// cancelled before the document started, or nil.
 	Err error
+	// Verify is the immediate post-embed detection result when
+	// Options.Verify is set (nil otherwise, or when VerifyErr is set).
+	Verify *core.DetectResult
+	// VerifyErr is the verification pass's own failure.
+	VerifyErr error
 }
 
 // DetectOutcome is the detection result of one job.
@@ -87,6 +93,12 @@ type Options struct {
 	// Workers bounds how many documents are processed concurrently.
 	// 0 means GOMAXPROCS; 1 is sequential.
 	Workers int
+	// Verify re-runs detection with the freshly generated query set on
+	// each successfully embedded document, reusing the document index
+	// built for embedding (the index's value tables are invalidated by
+	// the embed phase, so verification reads post-embed values). The
+	// outcome lands in EmbedOutcome.Verify.
+	Verify bool
 }
 
 // Engine embeds and detects watermarks across document corpora. It is
@@ -94,6 +106,7 @@ type Options struct {
 type Engine struct {
 	cfg     core.Config
 	workers int
+	verify  bool
 }
 
 // New builds an Engine from a core configuration. The configuration is
@@ -105,7 +118,7 @@ func New(cfg core.Config, opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{cfg: cfg, workers: w}
+	return &Engine{cfg: cfg, workers: w, verify: opts.Verify}
 }
 
 // Workers reports the effective worker bound.
@@ -154,8 +167,8 @@ func (e *Engine) DetectStream(ctx context.Context, in <-chan DetectJob) <-chan D
 // embedOne processes one document, converting panics in value plug-ins
 // or tree code into per-document errors so a poisoned document cannot
 // take down the batch.
-func (e *Engine) embedOne(ctx context.Context, index int, j Job) (out EmbedOutcome) {
-	out = EmbedOutcome{ID: j.ID, Index: index}
+func (e *Engine) embedOne(ctx context.Context, jobIndex int, j Job) (out EmbedOutcome) {
+	out = EmbedOutcome{ID: j.ID, Index: jobIndex}
 	if err := ctx.Err(); err != nil {
 		out.Err = ErrSkipped
 		return out
@@ -170,12 +183,22 @@ func (e *Engine) embedOne(ctx context.Context, index int, j Job) (out EmbedOutco
 		out.Err = fmt.Errorf("pipeline: job %q has no document", j.ID)
 		return out
 	}
-	out.Result, out.Err = core.Embed(j.Doc, e.cfg)
+	// One index per document, shared across embed and (optionally)
+	// verify: embedding invalidates its value tables, so the verify
+	// detection reads post-embed values through still-valid structure.
+	var ix *index.Index
+	if !e.cfg.DisableIndex {
+		ix = index.New(j.Doc)
+	}
+	out.Result, out.Err = core.EmbedIndexed(j.Doc, e.cfg, ix)
+	if e.verify && out.Err == nil {
+		out.Verify, out.VerifyErr = core.DetectWithQueriesIndexed(j.Doc, e.cfg, out.Result.Records, nil, ix)
+	}
 	return out
 }
 
-func (e *Engine) detectOne(ctx context.Context, index int, j DetectJob) (out DetectOutcome) {
-	out = DetectOutcome{ID: j.ID, Index: index}
+func (e *Engine) detectOne(ctx context.Context, jobIndex int, j DetectJob) (out DetectOutcome) {
+	out = DetectOutcome{ID: j.ID, Index: jobIndex}
 	if err := ctx.Err(); err != nil {
 		out.Err = ErrSkipped
 		return out

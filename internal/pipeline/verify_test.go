@@ -1,0 +1,72 @@
+package pipeline
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"wmxml/internal/core"
+	"wmxml/internal/datagen"
+	"wmxml/internal/identity"
+	"wmxml/internal/wmark"
+	"wmxml/internal/xmltree"
+)
+
+func verifyCfg(ds *datagen.Dataset) core.Config {
+	return core.Config{
+		Key:      []byte("verify-key"),
+		Mark:     wmark.Random("verify-mark", 48),
+		Gamma:    4,
+		Schema:   ds.Schema,
+		Catalog:  ds.Catalog,
+		Identity: identity.Options{Targets: ds.Targets},
+	}
+}
+
+// The Verify option runs detection on the freshly embedded document,
+// reusing its index, and must match a standalone detection exactly.
+func TestEmbedVerify(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 120, Editors: 12, Publishers: 4, Seed: 31})
+	cfg := verifyCfg(ds)
+	docs := []*xmltree.Node{ds.Doc.Clone(), ds.Doc.Clone(), ds.Doc.Clone()}
+	jobs := make([]Job, len(docs))
+	for i, d := range docs {
+		jobs[i] = Job{ID: string(rune('a' + i)), Doc: d}
+	}
+	eng := New(cfg, Options{Workers: 2, Verify: true})
+	outs, err := eng.EmbedAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if o.Err != nil || o.VerifyErr != nil {
+			t.Fatalf("outcome %q: err=%v verifyErr=%v", o.ID, o.Err, o.VerifyErr)
+		}
+		if o.Verify == nil {
+			t.Fatalf("outcome %q: no verify result", o.ID)
+		}
+		if !o.Verify.Detected || o.Verify.MatchFraction != 1.0 || o.Verify.QueryMisses != 0 {
+			t.Fatalf("outcome %q: verify = %+v", o.ID, o.Verify.Result)
+		}
+		standalone, err := core.DetectWithQueries(docs[o.Index], cfg, o.Result.Records, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(o.Verify, standalone) {
+			t.Fatalf("outcome %q: verify %+v != standalone %+v", o.ID, o.Verify, standalone)
+		}
+	}
+}
+
+// Without the option no verification runs.
+func TestEmbedVerifyOff(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 60, Seed: 32})
+	eng := New(verifyCfg(ds), Options{Workers: 1})
+	outs, err := eng.EmbedAll(context.Background(), []Job{{ID: "x", Doc: ds.Doc.Clone()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Err != nil || outs[0].Verify != nil || outs[0].VerifyErr != nil {
+		t.Fatalf("unexpected verify fields: %+v", outs[0])
+	}
+}

@@ -65,11 +65,17 @@ func compileScope(scope string) (*xpath.Query, error) {
 
 // Instances returns the elements selected by a scope name path.
 func Instances(doc *xmltree.Node, scope string) ([]*xmltree.Node, error) {
+	return InstancesIndexed(doc, scope, nil)
+}
+
+// InstancesIndexed is Instances accelerated by a document index; ix may
+// be nil, and results are identical either way.
+func InstancesIndexed(doc *xmltree.Node, scope string, ix xpath.DocIndex) ([]*xmltree.Node, error) {
 	q, err := compileScope(scope)
 	if err != nil {
 		return nil, err
 	}
-	items := q.Select(doc)
+	items := q.SelectIndexed(doc, ix)
 	out := make([]*xmltree.Node, 0, len(items))
 	for _, it := range items {
 		if !it.IsAttr() && it.Node.Kind == xmltree.ElementNode {

@@ -1,0 +1,41 @@
+package usability
+
+import (
+	"reflect"
+	"testing"
+
+	"wmxml/internal/datagen"
+	"wmxml/internal/index"
+)
+
+// Meters built and measured through a document index must produce the
+// same probes and the same scores as the tree-walking path.
+func TestMeterIndexedEquivalence(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 120, Editors: 12, Publishers: 4, Seed: 5})
+	opts := Options{MaxProbes: 100}
+	plain, err := NewMeter(ds.Doc, ds.Templates, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, err := NewMeterIndexed(ds.Doc, ds.Templates, opts, index.New(ds.Doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Probes(), indexed.Probes()) {
+		t.Fatalf("probes differ: %d vs %d", len(plain.Probes()), len(indexed.Probes()))
+	}
+
+	// Measure a perturbed suspect both ways.
+	suspect := ds.Doc.Clone()
+	books := suspect.Root().ChildElementsNamed("book")
+	books[3].FirstChildNamed("title").SetText("Vandalized")
+	books[7].FirstChildNamed("year").SetText("1234")
+	walked := plain.Measure(suspect, nil)
+	fast := plain.MeasureIndexed(suspect, nil, index.New(suspect))
+	if !reflect.DeepEqual(walked, fast) {
+		t.Fatalf("scores differ:\nwalked  %+v\nindexed %+v", walked, fast)
+	}
+	if walked.Probes == 0 || walked.Correct == walked.Probes {
+		t.Fatalf("perturbation should cost some probes: %+v", walked)
+	}
+}

@@ -73,9 +73,17 @@ type Meter struct {
 
 // NewMeter expands the templates over the original document.
 func NewMeter(original *xmltree.Node, templates []string, opts Options) (*Meter, error) {
+	return NewMeterIndexed(original, templates, opts, nil)
+}
+
+// NewMeterIndexed is NewMeter with a document index over the original
+// accelerating template expansion (parameter enumeration and expected
+// answers both run one query per probe). ix may be nil; the probes are
+// identical either way.
+func NewMeterIndexed(original *xmltree.Node, templates []string, opts Options, ix xpath.DocIndex) (*Meter, error) {
 	m := &Meter{opts: opts.withDefaults()}
 	for _, tpl := range templates {
-		probes, err := expandTemplate(original, tpl, m.opts.MaxProbes)
+		probes, err := expandTemplate(original, tpl, m.opts.MaxProbes, ix)
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +101,7 @@ func (m *Meter) Probes() []Probe { return m.probes }
 // expandTemplate turns db/book[title]/author into one probe per distinct
 // title value. A template with no parameter predicate becomes a single
 // probe over its full result.
-func expandTemplate(doc *xmltree.Node, tpl string, maxProbes int) ([]Probe, error) {
+func expandTemplate(doc *xmltree.Node, tpl string, maxProbes int, ix xpath.DocIndex) ([]Probe, error) {
 	path, err := xpath.ParsePath(tpl)
 	if err != nil {
 		return nil, fmt.Errorf("usability: template %q: %w", tpl, err)
@@ -113,7 +121,7 @@ func expandTemplate(doc *xmltree.Node, tpl string, maxProbes int) ([]Probe, erro
 	if paramStep < 0 {
 		// Unparameterized template: one probe.
 		q := xpath.FromPath(path)
-		return []Probe{{Template: tpl, Query: q.String(), Expected: valueSet(q.Select(doc), 0)}}, nil
+		return []Probe{{Template: tpl, Query: q.String(), Expected: valueSet(q.SelectIndexed(doc, ix), 0)}}, nil
 	}
 
 	// Collect distinct parameter values: evaluate the path up to the
@@ -125,7 +133,7 @@ func expandTemplate(doc *xmltree.Node, tpl string, maxProbes int) ([]Probe, erro
 	enumStep.Predicates = nil
 	valPath.Steps[paramStep] = enumStep
 	valPath.Steps = append(valPath.Steps, pe.Path.Steps...)
-	values := xpath.FromPath(valPath).SelectValues(doc)
+	values := xpath.FromPath(valPath).SelectValuesIndexed(doc, ix)
 	seen := make(map[string]bool)
 	var probes []Probe
 	for _, v := range values {
@@ -143,7 +151,7 @@ func expandTemplate(doc *xmltree.Node, tpl string, maxProbes int) ([]Probe, erro
 			R:  xpath.String{Value: v},
 		}
 		q := xpath.FromPath(concrete)
-		probes = append(probes, Probe{Template: tpl, Query: q.String(), Expected: valueSet(q.Select(doc), 0)})
+		probes = append(probes, Probe{Template: tpl, Query: q.String(), Expected: valueSet(q.SelectIndexed(doc, ix), 0)})
 		if maxProbes > 0 && len(probes) >= maxProbes {
 			break
 		}
@@ -193,6 +201,13 @@ func (s Score) Usability() float64 {
 // Measure runs all probes against a suspect document. rw may be nil when
 // the suspect kept the original schema.
 func (m *Meter) Measure(suspect *xmltree.Node, rw Rewriter) Score {
+	return m.MeasureIndexed(suspect, rw, nil)
+}
+
+// MeasureIndexed is Measure with a document index over the suspect
+// accelerating probe execution. ix may be nil; the score is identical
+// either way.
+func (m *Meter) MeasureIndexed(suspect *xmltree.Node, rw Rewriter, ix xpath.DocIndex) Score {
 	var sc Score
 	per := make(map[string]*TemplateScore)
 	order := []string{}
@@ -217,7 +232,7 @@ func (m *Meter) Measure(suspect *xmltree.Node, rw Rewriter) Score {
 			}
 			q = rq
 		}
-		got := valueSet(q.Select(suspect), 0)
+		got := valueSet(q.SelectIndexed(suspect, ix), 0)
 		if m.setsMatch(p.Expected, got) {
 			sc.Correct++
 			ts.Correct++

@@ -1,0 +1,77 @@
+package xmltree
+
+// Native fuzz target for the DOM round-trip: any document the parser
+// accepts must serialize, reparse to an identical tree, and serialize
+// to the same bytes again. Run short in CI
+// (go test -fuzz FuzzParseRoundTrip -fuzztime 10s); seed corpus in
+// testdata/fuzz.
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzParseRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		`<db><book id="1"><title>T</title></book></db>`,
+		`<a xmlns:n="urn:x"><n:b n:c="d">t</n:b></a>`,
+		`<a><!-- c --><?pi body?><b/>text<b>x&amp;y</b></a>`,
+		`<a>  <b> spaced </b>  </a>`,
+		`<a b="&quot;&lt;&gt;">&#65;</a>`,
+		`<a><a><a><a></a></a></a></a>`,
+		`<a`,
+		`<a></b>`,
+		`text only`,
+		`<a/><b/>`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		opts := ParseOptions{KeepWhitespaceText: true, KeepComments: true, KeepProcInsts: true}
+		doc, err := Parse(strings.NewReader(string(data)), opts)
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := Serialize(&sb, doc, SerializeOptions{}); err != nil {
+			t.Fatalf("serialize accepted document: %v", err)
+		}
+		first := sb.String()
+		doc2, err := Parse(strings.NewReader(first), opts)
+		if err != nil {
+			t.Fatalf("reparse own output %q: %v", first, err)
+		}
+		if !Equal(doc, doc2, CompareOptions{}) {
+			t.Fatalf("round-trip changed the tree:\nin:  %q\nout: %q", data, first)
+		}
+		var sb2 strings.Builder
+		if err := Serialize(&sb2, doc2, SerializeOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if sb2.String() != first {
+			t.Fatalf("serialization not a fixpoint:\n1: %q\n2: %q", first, sb2.String())
+		}
+		// Clone must compare equal and serialize identically.
+		if cl := doc.Clone(); !Equal(doc, cl, CompareOptions{}) {
+			t.Fatal("clone differs from original")
+		}
+	})
+}
+
+// FuzzParseDepthLimit pins the nesting cap: documents deeper than
+// MaxDepth are rejected instead of building towers that would overflow
+// later recursive passes.
+func FuzzParseDepthLimit(f *testing.F) {
+	f.Add(5, 3)
+	f.Add(64, 64)
+	f.Fuzz(func(t *testing.T, depth, limit int) {
+		if depth < 1 || depth > 512 || limit < 1 || limit > 512 {
+			return
+		}
+		src := strings.Repeat("<a>", depth) + "x" + strings.Repeat("</a>", depth)
+		_, err := Parse(strings.NewReader(src), ParseOptions{MaxDepth: limit})
+		if (err == nil) != (depth <= limit) {
+			t.Fatalf("depth %d limit %d: err = %v", depth, limit, err)
+		}
+	})
+}

@@ -20,7 +20,18 @@ type ParseOptions struct {
 	// KeepProcInsts retains processing instructions (except the XML
 	// declaration, which is always dropped and re-synthesized on output).
 	KeepProcInsts bool
+	// MaxDepth caps element nesting; deeper documents fail to parse.
+	// 0 means DefaultMaxDepth. Later passes over the tree (serialization,
+	// cloning, traversal) recurse once per level, so the cap shields them
+	// from adversarially deep input.
+	MaxDepth int
 }
+
+// DefaultMaxDepth is the element-nesting cap applied when
+// ParseOptions.MaxDepth is zero. Data-centric documents are a handful of
+// levels deep; ten thousand is far beyond any legitimate workload while
+// keeping recursive tree passes comfortably inside the stack.
+const DefaultMaxDepth = 10000
 
 // Parse reads an XML document from r and builds its DOM. The returned node
 // has Kind == DocumentNode.
@@ -32,6 +43,11 @@ func Parse(r io.Reader, opts ParseOptions) (*Node, error) {
 	doc := NewDocument()
 	cur := doc
 	sawElement := false
+	depth := 0
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
@@ -42,14 +58,42 @@ func Parse(r io.Reader, opts ParseOptions) (*Node, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
-			el := NewElement(flatName(t.Name))
+			depth++
+			if depth > maxDepth {
+				return nil, fmt.Errorf("xmltree: parse: element nesting exceeds %d", maxDepth)
+			}
+			el := NewElement("")
 			for _, a := range t.Attr {
-				name := flatName(a.Name)
 				// Namespace declarations are preserved verbatim as
 				// attributes so that serialization round-trips.
-				el.Attrs = append(el.Attrs, Attr{Name: name, Value: a.Value})
+				el.Attrs = append(el.Attrs, Attr{Name: flatName(a.Name), Value: a.Value})
 			}
 			cur.AppendChild(el)
+			// Resolve namespaced names once the element's own xmlns
+			// declarations and its ancestors' are reachable. The decoder
+			// hands us resolved URLs; serializing those verbatim
+			// ("urn:x:b") would not reparse, so map each URL back to its
+			// in-scope prefix.
+			el.Name = resolveName(el, t.Name, false)
+			renamed := false
+			for i, a := range t.Attr {
+				if a.Name.Space != "" && a.Name.Space != "xmlns" {
+					el.Attrs[i].Name = resolveName(el, a.Name, true)
+					renamed = true
+				}
+			}
+			if renamed {
+				// Distinct raw attributes can resolve to one expanded
+				// name (two prefixes bound to the same URL); XML forbids
+				// that, so reject rather than serialize duplicates.
+				for i := range el.Attrs {
+					for j := 0; j < i; j++ {
+						if el.Attrs[i].Name == el.Attrs[j].Name {
+							return nil, fmt.Errorf("xmltree: parse: duplicate attribute %q on %q", el.Attrs[i].Name, el.Name)
+						}
+					}
+				}
+			}
 			cur = el
 			if cur.Parent == doc {
 				if sawElement {
@@ -61,6 +105,7 @@ func Parse(r io.Reader, opts ParseOptions) (*Node, error) {
 			if cur == doc {
 				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", flatName(t.Name))
 			}
+			depth--
 			cur = cur.Parent
 		case xml.CharData:
 			s := string(t)
@@ -129,4 +174,60 @@ func flatName(n xml.Name) string {
 		return n.Local
 	}
 	return n.Space + ":" + n.Local
+}
+
+// resolveName maps a decoder-resolved name back to serializable form:
+// "prefix:local" via the innermost in-scope prefix bound to the URL,
+// bare local when the default namespace covers an element, and the
+// opaque "space:local" fallback otherwise (e.g. a prefix used without a
+// declaration, which Go's decoder passes through as the space).
+func resolveName(el *Node, n xml.Name, isAttr bool) string {
+	if n.Space == "" {
+		return n.Local
+	}
+	if p := nsPrefix(el, n.Space); p != "" {
+		return p + ":" + n.Local
+	}
+	// The default namespace applies to elements only, never attributes.
+	if !isAttr && nsDefaultIs(el, n.Space) {
+		return n.Local
+	}
+	return flatName(n)
+}
+
+// nsPrefix finds the innermost in-scope prefix bound to url by scanning
+// the xmlns declarations on el and its ancestors (the tree above el is
+// already built when the parser calls this). A prefix re-bound deeper
+// shadows outer bindings of the same prefix.
+func nsPrefix(el *Node, url string) string {
+	var shadowed map[string]bool
+	for n := el; n != nil; n = n.Parent {
+		for _, a := range n.Attrs {
+			p, ok := strings.CutPrefix(a.Name, "xmlns:")
+			if !ok || shadowed[p] {
+				continue
+			}
+			if a.Value == url {
+				return p
+			}
+			if shadowed == nil {
+				shadowed = make(map[string]bool)
+			}
+			shadowed[p] = true
+		}
+	}
+	return ""
+}
+
+// nsDefaultIs reports whether the innermost default-namespace
+// declaration in scope at el binds url.
+func nsDefaultIs(el *Node, url string) bool {
+	for n := el; n != nil; n = n.Parent {
+		for _, a := range n.Attrs {
+			if a.Name == "xmlns" {
+				return a.Value == url
+			}
+		}
+	}
+	return false
 }

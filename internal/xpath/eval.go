@@ -77,9 +77,15 @@ func (p Path) Eval(root *xmltree.Node) []Item {
 			start = &xmltree.Node{Kind: xmltree.DocumentNode, Children: []*xmltree.Node{top}}
 		}
 	}
-	ctx := []Item{{Node: start}}
-	for _, step := range p.Steps {
-		ctx = evalStep(ctx, step)
+	return evalSteps([]Item{{Node: start}}, p.Steps)
+}
+
+// evalSteps drives a context through a sequence of steps, sharing one
+// dedup buffer across steps.
+func evalSteps(ctx []Item, steps []Step) []Item {
+	var seen map[Item]bool
+	for _, step := range steps {
+		ctx, seen = evalStep(ctx, step, seen)
 		if len(ctx) == 0 {
 			return nil
 		}
@@ -87,9 +93,22 @@ func (p Path) Eval(root *xmltree.Node) []Item {
 	return ctx
 }
 
-func evalStep(ctx []Item, step Step) []Item {
+// evalStep evaluates one step. A single-item context — the dominant case
+// for rooted identity queries — needs no duplicate tracking: every axis
+// produces each item at most once from one context item. Multi-item
+// contexts reuse the caller's dedup map across steps instead of
+// allocating one per step.
+func evalStep(ctx []Item, step Step, seen map[Item]bool) ([]Item, map[Item]bool) {
+	if len(ctx) == 1 {
+		group := stepFrom(ctx[0], step)
+		return applyPredicates(group, step.Predicates), seen
+	}
+	if seen == nil {
+		seen = make(map[Item]bool)
+	} else {
+		clear(seen)
+	}
 	var out []Item
-	seen := make(map[Item]bool)
 	for _, c := range ctx {
 		group := stepFrom(c, step)
 		group = applyPredicates(group, step.Predicates)
@@ -100,7 +119,7 @@ func evalStep(ctx []Item, step Step) []Item {
 			}
 		}
 	}
-	return out
+	return out, seen
 }
 
 // stepFrom produces the raw node-set of one step from a single context
@@ -228,14 +247,7 @@ func evalRelative(p Path, ec evalCtx) []Item {
 		}
 		return p.Eval(ec.item.Node)
 	}
-	ctx := []Item{ec.item}
-	for _, step := range p.Steps {
-		ctx = evalStep(ctx, step)
-		if len(ctx) == 0 {
-			return nil
-		}
-	}
-	return ctx
+	return evalSteps([]Item{ec.item}, p.Steps)
 }
 
 func evalBinary(b Binary, ec evalCtx) any {

@@ -8,10 +8,19 @@ import (
 // parser is a recursive-descent parser over the lexer with one token of
 // lookahead.
 type parser struct {
-	lex  *lexer
-	tok  token
-	prev token
+	lex   *lexer
+	tok   token
+	prev  token
+	depth int
 }
+
+// maxExprDepth bounds expression nesting (predicates, parentheses,
+// function arguments). Every recursion cycle in the parser passes
+// through parseExpr, so the bound caps parser stack depth — and with it
+// the depth of every later recursive pass over the AST (rendering,
+// cloning, evaluation) — against adversarial inputs like "a[a[a[…".
+// Real WmXML queries nest one or two levels.
+const maxExprDepth = 200
 
 func newParser(src string) (*parser, error) {
 	p := &parser{lex: &lexer{src: src}}
@@ -199,6 +208,11 @@ func (p *parser) parseStep() (Step, error) {
 
 // parseExpr parses an or-expression (lowest precedence).
 func (p *parser) parseExpr() (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxExprDepth {
+		return nil, fmt.Errorf("xpath: expression nested deeper than %d in %q", maxExprDepth, p.lex.src)
+	}
 	left, err := p.parseAndExpr()
 	if err != nil {
 		return nil, err

@@ -1,12 +1,19 @@
 package xpath
 
-import "wmxml/internal/xmltree"
+import (
+	"sync"
+
+	"wmxml/internal/xmltree"
+)
 
 // Query is a compiled XPath expression. A Query is immutable and safe for
 // concurrent use.
 type Query struct {
 	path Path
 	src  string
+
+	planOnce sync.Once
+	plan     *Plan
 }
 
 // Compile parses src into a Query.
@@ -42,10 +49,42 @@ func (q *Query) String() string { return q.src }
 // and rewriting.
 func (q *Query) Path() Path { return q.path.Clone() }
 
+// Plan returns the query's compiled execution plan, built lazily on
+// first use and cached for the query's lifetime.
+func (q *Query) Plan() *Plan {
+	q.planOnce.Do(func() { q.plan = CompilePlan(q.path) })
+	return q.plan
+}
+
 // Select evaluates the query against root and returns all matching items
 // in document order.
 func (q *Query) Select(root *xmltree.Node) []Item {
 	return q.path.Eval(root)
+}
+
+// SelectIndexed is Select accelerated by a document index. A nil index
+// (or one that does not cover root, or a query shape the index cannot
+// serve) degrades to the tree-walking Select; results are identical
+// either way.
+func (q *Query) SelectIndexed(root *xmltree.Node, ix DocIndex) []Item {
+	if ix == nil {
+		return q.path.Eval(root)
+	}
+	return q.Plan().Eval(root, ix)
+}
+
+// SelectValuesIndexed is SelectValues accelerated by a document index
+// (nil degrades to the tree walk; results are identical either way).
+func (q *Query) SelectValuesIndexed(root *xmltree.Node, ix DocIndex) []string {
+	items := q.SelectIndexed(root, ix)
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.Value()
+	}
+	return out
 }
 
 // SelectFirst returns the first matching item, if any.

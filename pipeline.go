@@ -18,6 +18,10 @@ type PipelineOptions struct {
 	// Workers bounds how many documents are processed concurrently.
 	// 0 means GOMAXPROCS; 1 processes sequentially.
 	Workers int
+	// Verify re-runs detection with the freshly generated query set on
+	// each successfully embedded document, reusing the per-document
+	// index built for embedding. The result lands in BatchEmbed.Verify.
+	Verify bool
 }
 
 // Pipeline embeds and detects watermarks across many documents
@@ -34,7 +38,7 @@ type Pipeline struct {
 func NewPipeline(sys *System, opts PipelineOptions) *Pipeline {
 	return &Pipeline{
 		sys: sys,
-		eng: pipeline.New(sys.cfg, pipeline.Options{Workers: opts.Workers}),
+		eng: pipeline.New(sys.cfg, pipeline.Options{Workers: opts.Workers, Verify: opts.Verify}),
 	}
 }
 
@@ -55,6 +59,12 @@ type BatchEmbed struct {
 	// ErrBatchSkipped when the batch was cancelled before the document
 	// started.
 	Err error
+	// Verify is the immediate post-embed detection when
+	// PipelineOptions.Verify is set (nil otherwise, or when VerifyErr is
+	// set).
+	Verify *Detection
+	// VerifyErr is the verification pass's own failure.
+	VerifyErr error
 }
 
 // BatchDetection is the detection outcome of one document in a batch.
@@ -225,7 +235,10 @@ func SummarizeDetectBatch(outs []BatchDetection) BatchDetectSummary {
 }
 
 func toBatchEmbed(o pipeline.EmbedOutcome) BatchEmbed {
-	out := BatchEmbed{ID: o.ID, Index: o.Index, Err: o.Err}
+	out := BatchEmbed{ID: o.ID, Index: o.Index, Err: o.Err, VerifyErr: o.VerifyErr}
+	if o.Verify != nil {
+		out.Verify = toDetection(o.Verify)
+	}
 	if o.Result != nil {
 		out.Receipt = &EmbedReceipt{
 			Records:        o.Result.Records,

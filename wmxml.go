@@ -10,6 +10,7 @@ import (
 	"wmxml/internal/core"
 	"wmxml/internal/datagen"
 	"wmxml/internal/identity"
+	"wmxml/internal/index"
 	"wmxml/internal/rewrite"
 	"wmxml/internal/schema"
 	"wmxml/internal/semantics"
@@ -57,6 +58,14 @@ type (
 	UsabilityScore = usability.Score
 	// Rewriter rewrites queries across a schema mapping.
 	Rewriter = core.Rewriter
+	// ParseOptions controls XML parsing (whitespace, comments,
+	// processing instructions, depth limit).
+	ParseOptions = xmltree.ParseOptions
+	// DocumentIndex is a per-document query accelerator: build it once
+	// over a document and pass it to the *Indexed methods to share the
+	// cost across many detections. See internal/index for the
+	// invalidation contract.
+	DocumentIndex = index.Index
 )
 
 // Re-exported data types for schema declarations.
@@ -68,9 +77,17 @@ const (
 	TypeNone    = schema.TypeNone
 )
 
-// ParseXML reads an XML document into a mutable DOM.
+// ParseXML reads an XML document into a mutable DOM with default
+// options (whitespace-only text, comments and processing instructions
+// dropped).
 func ParseXML(r io.Reader) (*Document, error) {
 	return xmltree.Parse(r, xmltree.ParseOptions{})
+}
+
+// ParseXMLWithOptions reads an XML document into a mutable DOM with
+// explicit parse options.
+func ParseXMLWithOptions(r io.Reader, opts ParseOptions) (*Document, error) {
+	return xmltree.Parse(r, opts)
 }
 
 // ParseXMLString parses an XML document from a string.
@@ -161,6 +178,11 @@ type Options struct {
 	// usually keep this at 1 and parallelize across documents with a
 	// Pipeline instead, since the two multiply.
 	Concurrency int
+	// DisableIndex turns off the per-document index and compiled query
+	// plans, forcing every query through the tree-walking evaluator.
+	// Results are bit-for-bit identical either way; for benchmarking
+	// and equivalence testing only.
+	DisableIndex bool
 }
 
 // System embeds and detects watermarks for one document type.
@@ -199,6 +221,7 @@ func New(opts Options) (*System, error) {
 		},
 		ValidateInput: opts.ValidateInput,
 		Concurrency:   opts.Concurrency,
+		DisableIndex:  opts.DisableIndex,
 	}
 	return &System{cfg: cfg}, nil
 }
@@ -290,6 +313,34 @@ func (s *System) DetectBlind(doc *Document) (*Detection, error) {
 	return toDetection(res), nil
 }
 
+// NewDocumentIndex builds a query-acceleration index over a document in
+// one pass. Detect and DetectBlind already build one internally per
+// call; build one explicitly to amortize it across multiple detections
+// on the same document (e.g. checking several marks or keys), and pass
+// it to the *Indexed methods. After mutating the document's values call
+// Invalidate on the index; after structural changes call Rebuild.
+func NewDocumentIndex(doc *Document) *DocumentIndex { return index.New(doc) }
+
+// DetectIndexed is Detect reusing a caller-built document index over
+// doc.
+func (s *System) DetectIndexed(doc *Document, records []QueryRecord, rw Rewriter, ix *DocumentIndex) (*Detection, error) {
+	res, err := core.DetectWithQueriesIndexed(doc, s.cfg, records, rw, ix)
+	if err != nil {
+		return nil, err
+	}
+	return toDetection(res), nil
+}
+
+// DetectBlindIndexed is DetectBlind reusing a caller-built document
+// index over doc.
+func (s *System) DetectBlindIndexed(doc *Document, ix *DocumentIndex) (*Detection, error) {
+	res, err := core.DetectBlindIndexed(doc, s.cfg, ix)
+	if err != nil {
+		return nil, err
+	}
+	return toDetection(res), nil
+}
+
 // MarshalReceipt renders Q as JSON for safekeeping.
 func MarshalReceipt(records []QueryRecord) ([]byte, error) {
 	return core.MarshalQuerySet(records)
@@ -325,7 +376,9 @@ func PublicationsMapping() Mapping { return rewrite.PublicationsMapping() }
 // document (paper §2.1). Templates parameterize one predicate, e.g.
 // "db/book[title]/author".
 func NewUsabilityMeter(original *Document, templates []string) (*UsabilityMeter, error) {
-	return usability.NewMeter(original, templates, usability.Options{MaxProbes: 200})
+	// Expansion runs one enumeration plus one expected-answer query per
+	// probe against the original, so it shares one document index.
+	return usability.NewMeterIndexed(original, templates, usability.Options{MaxProbes: 200}, index.New(original))
 }
 
 // --- attacks (the demonstration's part 2) ---
