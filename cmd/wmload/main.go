@@ -1,0 +1,341 @@
+// Command wmload is the load harness for the wmxmld service: it drives
+// a running daemon with a configurable mix of embed and detect
+// requests, measures latency percentiles per operation class, and
+// writes a JSON report in the same shape as cmd/benchjson — so the
+// serving numbers (BENCH_PR3.json) sit next to the library benchmarks
+// (BENCH_PR2.json) in the benchmark trajectory.
+//
+// Detect requests are split into two classes on purpose:
+//
+//   - warm: the exact bytes of an earlier suspect — served from the
+//     daemon's content-hash document cache (no reparse, no index
+//     build), the path repeated dispute-resolution detections take;
+//   - cold: the same document with a cache-busting XML comment
+//     appended, which changes the body hash but not the parsed tree —
+//     the full parse + index + detect path.
+//
+// The gap between the two classes is the measured value of the
+// server's index LRU.
+//
+// Usage:
+//
+//	wmxmld --addr 127.0.0.1:8484 &
+//	wmload --url http://127.0.0.1:8484 --requests 300 --out BENCH_PR3.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wmxml"
+)
+
+// benchResult mirrors cmd/benchjson's Result.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchOutput mirrors cmd/benchjson's Output.
+type benchOutput struct {
+	Goos    string        `json:"goos,omitempty"`
+	Goarch  string        `json:"goarch,omitempty"`
+	Pkg     string        `json:"pkg,omitempty"`
+	Results []benchResult `json:"results"`
+}
+
+// sample is one completed request.
+type sample struct {
+	class    string // "embed", "detect_warm", "detect_cold"
+	d        time.Duration
+	err      error
+	detected bool
+	cacheHit bool
+}
+
+func main() {
+	fs := flag.NewFlagSet("wmload", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8484", "wmxmld base URL")
+	owner := fs.String("owner", "load", "owner id to register and drive")
+	key := fs.String("key", "load-secret", "owner key")
+	mark := fs.String("mark", "(C) wmload", "owner mark")
+	dataset := fs.String("dataset", "pubs", "dataset preset: pubs | jobs | library | nested")
+	size := fs.Int("size", 300, "records in the generated document")
+	seed := fs.Int64("seed", 2005, "generator seed")
+	gamma := fs.Int("gamma", 5, "selection ratio")
+	requests := fs.Int("requests", 200, "total requests to send")
+	concurrency := fs.Int("concurrency", 8, "concurrent client workers")
+	embedEvery := fs.Int("embed-every", 10, "one embed per N requests (rest are detects)")
+	coldEvery := fs.Int("cold-every", 4, "every Nth detect busts the document cache")
+	out := fs.String("out", "", "write the JSON report here (default stdout)")
+	waitFor := fs.Duration("wait", 10*time.Second, "how long to wait for /healthz before giving up")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	if err := run(*url, *owner, *key, *mark, *dataset, *size, *seed, *gamma,
+		*requests, *concurrency, *embedEvery, *coldEvery, *out, *waitFor); err != nil {
+		fmt.Fprintf(os.Stderr, "wmload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, owner, key, mark, dataset string, size int, seed int64, gamma,
+	requests, concurrency, embedEvery, coldEvery int, out string, waitFor time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	// 1. Wait for the daemon.
+	deadline := time.Now().Add(waitFor)
+	for {
+		resp, err := client.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not healthy within %s", url, waitFor)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// 2. Register the owner.
+	reg, _ := json.Marshal(wmxml.Owner{ID: owner, Key: key, Mark: mark, Dataset: dataset, Gamma: gamma})
+	if _, _, err := post(client, url+"/v1/owners", reg); err != nil {
+		return fmt.Errorf("register owner: %w", err)
+	}
+
+	// 3. Generate the workload document and produce the marked suspect.
+	doc, err := generate(dataset, size, seed)
+	if err != nil {
+		return err
+	}
+	marked, _, err := post(client, url+"/v1/embed?owner="+owner+"&doc=wmload.xml", doc)
+	if err != nil {
+		return fmt.Errorf("warmup embed: %w", err)
+	}
+	// Prime the cache so "warm" means warm from the first measured
+	// request onward.
+	if _, _, err := post(client, url+"/v1/detect?owner="+owner, marked); err != nil {
+		return fmt.Errorf("warmup detect: %w", err)
+	}
+
+	// 4. Fire the measured load.
+	fmt.Fprintf(os.Stderr, "wmload: %d requests, %d workers, 1 embed per %d, 1 cold detect per %d detects\n",
+		requests, concurrency, embedEvery, coldEvery)
+	samples := make([]sample, requests)
+	var next atomic.Int64
+	var detects atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				samples[i] = fire(client, url, owner, i, embedEvery, coldEvery, &detects, doc, marked)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	// 5. Aggregate and report.
+	rep := report(samples, wall)
+	rep.Pkg = "wmxml/cmd/wmload"
+	rep.Goos, rep.Goarch = runtime.GOOS, runtime.GOARCH
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wmload: wrote %s\n", out)
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr, "  %-16s n=%-5d mean=%-10s p50=%-10s p99=%s\n",
+			r.Name, r.Iterations, time.Duration(r.NsPerOp), time.Duration(r.Metrics["p50_ns"]), time.Duration(r.Metrics["p99_ns"]))
+	}
+	var failed int
+	for _, s := range samples {
+		if s.err != nil {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d requests failed", failed, requests)
+	}
+	return nil
+}
+
+// generate builds the workload document locally (same presets as the
+// server).
+func generate(dataset string, size int, seed int64) ([]byte, error) {
+	ds, err := wmxml.DatasetByName(dataset, size, seed)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(wmxml.SerializeXMLString(ds.Doc)), nil
+}
+
+// fire sends one request and classifies the sample. Embeds reuse the
+// original body (idempotent on the server); detects use the marked
+// suspect, every coldEvery-th with a cache-busting comment appended —
+// the comment changes the content hash but is dropped by the parser,
+// so the cold path measures parse + index build + detect on an
+// identical tree.
+func fire(client *http.Client, url, owner string, i, embedEvery, coldEvery int,
+	detects *atomic.Int64, doc, marked []byte) sample {
+	if embedEvery > 0 && i%embedEvery == 0 {
+		t0 := time.Now()
+		_, _, err := post(client, url+"/v1/embed?owner="+owner+"&doc=wmload.xml", doc)
+		return sample{class: "embed", d: time.Since(t0), err: err}
+	}
+	n := detects.Add(1)
+	body := marked
+	class := "detect_warm"
+	if coldEvery > 0 && n%int64(coldEvery) == 0 {
+		body = append(bytes.Clone(marked), []byte(fmt.Sprintf("\n<!-- wmload-cold-%d -->", n))...)
+		class = "detect_cold"
+	}
+	t0 := time.Now()
+	resp, _, err := post(client, url+"/v1/detect?owner="+owner, body)
+	s := sample{class: class, d: time.Since(t0), err: err}
+	if err == nil {
+		var v struct {
+			Detected bool `json:"detected"`
+			CacheHit bool `json:"cache_hit"`
+		}
+		if jerr := json.Unmarshal(resp, &v); jerr == nil {
+			s.detected, s.cacheHit = v.Detected, v.CacheHit
+		}
+	}
+	return s
+}
+
+// post sends a body and returns the response bytes; non-2xx is an
+// error carrying the response text.
+func post(client *http.Client, url string, body []byte) ([]byte, http.Header, error) {
+	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, nil, fmt.Errorf("%s: %d %s", url, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return data, resp.Header, nil
+}
+
+// report folds samples into benchjson-shaped results.
+func report(samples []sample, wall time.Duration) benchOutput {
+	byClass := map[string][]sample{}
+	for _, s := range samples {
+		if s.err != nil {
+			continue
+		}
+		byClass[s.class] = append(byClass[s.class], s)
+	}
+	var out benchOutput
+	var okTotal int
+	for _, class := range []string{"embed", "detect_warm", "detect_cold"} {
+		ss := byClass[class]
+		if len(ss) == 0 {
+			continue
+		}
+		okTotal += len(ss)
+		ds := make([]time.Duration, len(ss))
+		var sum time.Duration
+		var detected, cacheHits int
+		for i, s := range ss {
+			ds[i] = s.d
+			sum += s.d
+			if s.detected {
+				detected++
+			}
+			if s.cacheHit {
+				cacheHits++
+			}
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		m := map[string]float64{
+			"p50_ns": float64(pct(ds, 50)),
+			"p90_ns": float64(pct(ds, 90)),
+			"p99_ns": float64(pct(ds, 99)),
+		}
+		if class != "embed" {
+			m["detected_ratio"] = float64(detected) / float64(len(ss))
+			m["cache_hit_ratio"] = float64(cacheHits) / float64(len(ss))
+		}
+		out.Results = append(out.Results, benchResult{
+			Name:       "Server" + camel(class),
+			Iterations: int64(len(ss)),
+			NsPerOp:    float64(sum.Nanoseconds()) / float64(len(ss)),
+			Metrics:    m,
+		})
+	}
+	var failed int
+	for _, s := range samples {
+		if s.err != nil {
+			failed++
+		}
+	}
+	out.Results = append(out.Results, benchResult{
+		Name:       "ServerOverall",
+		Iterations: int64(len(samples)),
+		NsPerOp:    float64(wall.Nanoseconds()) / float64(max(1, len(samples))),
+		Metrics: map[string]float64{
+			"rps":    float64(okTotal) / wall.Seconds(),
+			"errors": float64(failed),
+		},
+	})
+	return out
+}
+
+// pct picks the p-th percentile from an ascending slice.
+func pct(ds []time.Duration, p int) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	i := (len(ds) - 1) * p / 100
+	return ds[i]
+}
+
+// camel maps a class name to its result suffix.
+func camel(class string) string {
+	switch class {
+	case "embed":
+		return "Embed"
+	case "detect_warm":
+		return "DetectWarm"
+	case "detect_cold":
+		return "DetectCold"
+	}
+	return class
+}

@@ -6,7 +6,6 @@ package main
 
 import (
 	"context"
-	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -17,7 +16,7 @@ import (
 )
 
 func cmdBatch(args []string) error {
-	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	fs := newFlagSet("batch")
 	mode := fs.String("mode", "embed", "embed | detect")
 	dataset := fs.String("dataset", "pubs", "dataset preset defining schema and semantics")
 	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
@@ -30,11 +29,11 @@ func cmdBatch(args []string) error {
 	workers := fs.Int("workers", 0, "concurrent documents (0 = number of CPUs)")
 	rewriteMap := fs.String("rewrite", "", "detect: rewrite queries through a built-in mapping: figure1 | pubs")
 	rewriteFile := fs.String("rewrite-file", "", "detect: rewrite queries through a JSON mapping file")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("--in (a directory of .xml files) is required")
+		return usagef("--in (a directory of .xml files) is required")
 	}
 	parts, err := resolveParts(*dataset, *spec)
 	if err != nil {
@@ -80,7 +79,7 @@ func cmdBatch(args []string) error {
 		}
 		return batchDetect(pl, files, *queries, rw)
 	default:
-		return fmt.Errorf("unknown --mode %q (want embed or detect)", *mode)
+		return usagef("unknown --mode %q (want embed or detect)", *mode)
 	}
 }
 

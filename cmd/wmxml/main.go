@@ -20,11 +20,18 @@
 // The --dataset presets bundle the schema, key/FD catalog, watermark
 // targets and usability templates of the three built-in workloads, so
 // the tool is usable without writing configuration files.
+//
+// File flags accept "-" for stdin (--in, --orig, --suspect) and stdout
+// (--out), so commands compose with pipes; status chatter moves to
+// stderr whenever the document itself goes to stdout. Exit codes: 0
+// success, 1 operation failure, 2 usage error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
@@ -32,14 +39,45 @@ import (
 	"wmxml"
 )
 
+// Exit codes: 0 success, 1 operation failure (I/O, embed/detect
+// errors), 2 usage (unknown command, bad flags, missing required
+// flags, unknown preset names).
+const (
+	exitFailure = 1
+	exitUsage   = 2
+)
+
+// usageError marks an error as a usage problem (exit code 2).
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// usagef builds a usage error.
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// isUsage reports whether err is a usage error anywhere in its chain.
+func isUsage(err error) bool {
+	var ue usageError
+	return errors.As(err, &ue)
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if err := run(os.Args[1], os.Args[2:]); err != nil {
+		if errors.Is(err, errHelp) {
+			return // the flag package already printed the defaults
+		}
 		fmt.Fprintf(os.Stderr, "wmxml %s: %v\n", os.Args[1], err)
-		os.Exit(1)
+		if isUsage(err) {
+			os.Exit(exitUsage)
+		}
+		os.Exit(exitFailure)
 	}
 }
 
@@ -71,8 +109,32 @@ func run(cmd string, args []string) error {
 		return nil
 	default:
 		usage()
-		return fmt.Errorf("unknown command %q", cmd)
+		return usagef("unknown command %q", cmd)
 	}
+}
+
+// newFlagSet builds a subcommand flag set that reports parse problems
+// as usage errors instead of exiting directly.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}
+
+// errHelp marks an explicit -h/--help request: the defaults were
+// already printed, and the process must exit 0, not 2.
+var errHelp = errors.New("help requested")
+
+// parseFlags wraps flag parse failures as usage errors; an explicit
+// help request surfaces as errHelp.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return errHelp
+		}
+		return usageError{err}
+	}
+	return nil
 }
 
 func usage() {
@@ -94,23 +156,17 @@ run 'wmxml <command> -h' for the command's flags`)
 }
 
 // datasetPreset returns the built-in workload definition (schema,
-// catalog, targets, templates) for --dataset.
+// catalog, targets, templates) for --dataset, classifying an unknown
+// name as a usage error.
 func datasetPreset(name string, size int, seed int64) (*wmxml.Dataset, error) {
 	if size <= 0 {
 		size = 200
 	}
-	switch name {
-	case "pubs", "publications":
-		return wmxml.PublicationsDataset(size, seed), nil
-	case "jobs":
-		return wmxml.JobsDataset(size, seed), nil
-	case "library":
-		return wmxml.LibraryDataset(size, seed), nil
-	case "nested":
-		return wmxml.NestedDataset(size, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown dataset %q (want pubs, jobs, library or nested)", name)
+	ds, err := wmxml.DatasetByName(name, size, seed)
+	if err != nil {
+		return nil, usagef("%v", err)
 	}
+	return ds, nil
 }
 
 // resolveParts returns the working definition either from a --spec file
@@ -136,7 +192,12 @@ func resolveParts(dataset, specPath string) (*wmxml.SpecParts, error) {
 	}, nil
 }
 
+// readDoc parses a document from a file, or from stdin when path is
+// "-" — so the CLI composes with pipes and the wmxmld curl workflows.
 func readDoc(path string) (*wmxml.Document, error) {
+	if path == "-" {
+		return wmxml.ParseXML(os.Stdin)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -145,13 +206,27 @@ func readDoc(path string) (*wmxml.Document, error) {
 	return wmxml.ParseXML(f)
 }
 
+// writeDoc serializes a document to a file, or to stdout when path is
+// "-".
 func writeDoc(path string, doc *wmxml.Document) error {
+	if path == "-" {
+		return wmxml.SerializeXML(os.Stdout, doc)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	return wmxml.SerializeXML(f, doc)
+}
+
+// statusOut returns the stream for human status chatter: stderr when
+// the document itself goes to stdout, so piped XML stays clean.
+func statusOut(outPath string) io.Writer {
+	if outPath == "-" {
+		return os.Stderr
+	}
+	return os.Stdout
 }
 
 // resolveMapping loads a mapping from a JSON file or by built-in name.
@@ -174,24 +249,24 @@ func mappingByName(name string) (wmxml.Mapping, error) {
 	case "pubs", "figure1+price":
 		return wmxml.PublicationsMapping(), nil
 	default:
-		return wmxml.Mapping{}, fmt.Errorf("unknown mapping %q (built in: figure1, pubs)", name)
+		return wmxml.Mapping{}, usagef("unknown mapping %q (built in: figure1, pubs)", name)
 	}
 }
 
 func cmdGen(args []string) error {
-	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	fs := newFlagSet("gen")
 	dataset := fs.String("dataset", "pubs", "dataset preset: pubs, jobs or library")
 	size := fs.Int("size", 200, "number of records")
 	seed := fs.Int64("seed", 2005, "generator seed")
 	out := fs.String("out", "", "output file (default stdout)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	ds, err := datasetPreset(*dataset, *size, *seed)
 	if err != nil {
 		return err
 	}
-	if *out == "" {
+	if *out == "" || *out == "-" {
 		return wmxml.SerializeXML(os.Stdout, ds.Doc)
 	}
 	if err := writeDoc(*out, ds.Doc); err != nil {
@@ -205,10 +280,10 @@ func cmdGen(args []string) error {
 
 func sysFromFlags(parts *wmxml.SpecParts, key, mark string, gamma int) (*wmxml.System, error) {
 	if key == "" {
-		return nil, fmt.Errorf("--key is required")
+		return nil, usagef("--key is required")
 	}
 	if mark == "" {
-		return nil, fmt.Errorf("--mark is required")
+		return nil, usagef("--mark is required")
 	}
 	return wmxml.New(wmxml.Options{
 		Key:     key,
@@ -221,7 +296,7 @@ func sysFromFlags(parts *wmxml.SpecParts, key, mark string, gamma int) (*wmxml.S
 }
 
 func cmdEmbed(args []string) error {
-	fs := flag.NewFlagSet("embed", flag.ExitOnError)
+	fs := newFlagSet("embed")
 	dataset := fs.String("dataset", "pubs", "dataset preset defining schema and semantics")
 	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
 	in := fs.String("in", "", "input document")
@@ -230,7 +305,7 @@ func cmdEmbed(args []string) error {
 	gamma := fs.Int("gamma", 10, "selection ratio: 1 in gamma units carries a bit")
 	out := fs.String("out", "marked.xml", "output (watermarked) document")
 	queries := fs.String("queries", "queries.json", "output query set Q")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	parts, err := resolveParts(*dataset, *spec)
@@ -238,7 +313,7 @@ func cmdEmbed(args []string) error {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("--in is required")
+		return usagef("--in is required")
 	}
 	doc, err := readDoc(*in)
 	if err != nil {
@@ -262,14 +337,15 @@ func cmdEmbed(args []string) error {
 	if err := os.WriteFile(*queries, data, 0o600); err != nil {
 		return err
 	}
-	fmt.Printf("bandwidth: %d units; carriers: %d; values written: %d\n",
+	w := statusOut(*out)
+	fmt.Fprintf(w, "bandwidth: %d units; carriers: %d; values written: %d\n",
 		receipt.BandwidthUnits, receipt.Carriers, receipt.ValuesWritten)
-	fmt.Printf("marked document: %s\nquery set Q:     %s  (safeguard together with the key)\n", *out, *queries)
+	fmt.Fprintf(w, "marked document: %s\nquery set Q:     %s  (safeguard together with the key)\n", *out, *queries)
 	return nil
 }
 
 func cmdDetect(args []string) error {
-	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	fs := newFlagSet("detect")
 	dataset := fs.String("dataset", "pubs", "dataset preset defining schema and semantics")
 	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
 	in := fs.String("in", "", "suspect document")
@@ -279,7 +355,7 @@ func cmdDetect(args []string) error {
 	queries := fs.String("queries", "", "query set Q from embedding (omit for blind detection)")
 	rewriteMap := fs.String("rewrite", "", "rewrite queries through a built-in mapping: figure1 | pubs")
 	rewriteFile := fs.String("rewrite-file", "", "rewrite queries through a JSON mapping file")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	parts, err := resolveParts(*dataset, *spec)
@@ -287,7 +363,7 @@ func cmdDetect(args []string) error {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("--in is required")
+		return usagef("--in is required")
 	}
 	doc, err := readDoc(*in)
 	if err != nil {
@@ -341,7 +417,7 @@ func cmdDetect(args []string) error {
 }
 
 func cmdAttack(args []string) error {
-	fs := flag.NewFlagSet("attack", flag.ExitOnError)
+	fs := newFlagSet("attack")
 	dataset := fs.String("dataset", "pubs", "dataset preset (for scopes and FDs)")
 	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
 	in := fs.String("in", "", "input document")
@@ -351,7 +427,7 @@ func cmdAttack(args []string) error {
 	mapName := fs.String("mapping", "pubs", "mapping for reorganize: figure1 | pubs")
 	mapFile := fs.String("mapping-file", "", "JSON mapping file for reorganize")
 	out := fs.String("out", "attacked.xml", "output document")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	parts, err := resolveParts(*dataset, *spec)
@@ -359,7 +435,7 @@ func cmdAttack(args []string) error {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("--in is required")
+		return usagef("--in is required")
 	}
 	doc, err := readDoc(*in)
 	if err != nil {
@@ -385,7 +461,7 @@ func cmdAttack(args []string) error {
 	case "redundancy":
 		atk = wmxml.NewRedundancyRemovalAttack(parts.Catalog.FDs)
 	default:
-		return fmt.Errorf("unknown attack %q", *name)
+		return usagef("unknown attack %q", *name)
 	}
 	attacked, err := atk.Apply(doc, rand.New(rand.NewSource(*seed)))
 	if err != nil {
@@ -394,19 +470,19 @@ func cmdAttack(args []string) error {
 	if err := writeDoc(*out, attacked); err != nil {
 		return err
 	}
-	fmt.Printf("applied %s -> %s\n", atk.Name(), *out)
+	fmt.Fprintf(statusOut(*out), "applied %s -> %s\n", atk.Name(), *out)
 	return nil
 }
 
 func cmdUsability(args []string) error {
-	fs := flag.NewFlagSet("usability", flag.ExitOnError)
+	fs := newFlagSet("usability")
 	dataset := fs.String("dataset", "pubs", "dataset preset supplying the templates")
 	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
 	orig := fs.String("orig", "", "original document")
 	suspect := fs.String("suspect", "", "suspect document")
 	rewriteMap := fs.String("rewrite", "", "rewrite templates through a built-in mapping: figure1 | pubs")
 	rewriteFile := fs.String("rewrite-file", "", "rewrite templates through a JSON mapping file")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	parts, err := resolveParts(*dataset, *spec)
@@ -414,7 +490,7 @@ func cmdUsability(args []string) error {
 		return err
 	}
 	if *orig == "" || *suspect == "" {
-		return fmt.Errorf("--orig and --suspect are required")
+		return usagef("--orig and --suspect are required")
 	}
 	origDoc, err := readDoc(*orig)
 	if err != nil {
@@ -451,13 +527,13 @@ func cmdUsability(args []string) error {
 }
 
 func cmdSemantics(args []string) error {
-	fs := flag.NewFlagSet("semantics", flag.ExitOnError)
+	fs := newFlagSet("semantics")
 	in := fs.String("in", "", "document to analyse")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("--in is required")
+		return usagef("--in is required")
 	}
 	doc, err := readDoc(*in)
 	if err != nil {
@@ -485,13 +561,13 @@ func cmdSemantics(args []string) error {
 }
 
 func cmdStats(args []string) error {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs := newFlagSet("stats")
 	in := fs.String("in", "", "document to analyse")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("--in is required")
+		return usagef("--in is required")
 	}
 	doc, err := readDoc(*in)
 	if err != nil {
@@ -513,11 +589,11 @@ func cmdStats(args []string) error {
 }
 
 func cmdSpec(args []string) error {
-	fs := flag.NewFlagSet("spec", flag.ExitOnError)
+	fs := newFlagSet("spec")
 	dataset := fs.String("dataset", "pubs", "dataset preset to export")
 	out := fs.String("out", "", "output file (default stdout)")
 	mapping := fs.Bool("mapping", false, "export the dataset's re-organization mapping instead")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	var data []byte
@@ -540,7 +616,7 @@ func cmdSpec(args []string) error {
 			return err
 		}
 	}
-	if *out == "" {
+	if *out == "" || *out == "-" {
 		fmt.Println(string(data))
 		return nil
 	}
@@ -555,11 +631,11 @@ func cmdSpec(args []string) error {
 // schema and validate the XML data according to the schema" — plus
 // verification of the declared keys and FDs.
 func cmdVerify(args []string) error {
-	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	fs := newFlagSet("verify")
 	dataset := fs.String("dataset", "pubs", "dataset preset defining schema and semantics")
 	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
 	in := fs.String("in", "", "document to verify")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	parts, err := resolveParts(*dataset, *spec)
@@ -567,7 +643,7 @@ func cmdVerify(args []string) error {
 		return err
 	}
 	if *in == "" {
-		return fmt.Errorf("--in is required")
+		return usagef("--in is required")
 	}
 	doc, err := readDoc(*in)
 	if err != nil {

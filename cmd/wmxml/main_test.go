@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -146,6 +147,122 @@ func TestCLIVerify(t *testing.T) {
 	}
 	if err := run("verify", []string{"--dataset", "pubs", "--in", dup}); err == nil {
 		t.Errorf("duplicate-key document verified")
+	}
+}
+
+// TestCLIExitClassification: usage problems (exit 2) are
+// distinguished from operation failures (exit 1).
+func TestCLIExitClassification(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "d.xml")
+	runOK(t, "gen", "--dataset", "pubs", "--size", "10", "--out", doc)
+
+	usageCases := []struct {
+		cmd  string
+		args []string
+	}{
+		{"definitely-not-a-command", nil},
+		{"gen", []string{"--dataset", "nope"}},
+		{"embed", []string{"--dataset", "pubs"}},     // no --in
+		{"embed", []string{"--no-such-flag"}},        // flag parse error
+		{"detect", []string{"--dataset", "pubs"}},    // no --in
+		{"usability", []string{"--dataset", "pubs"}}, // no --orig/--suspect
+		{"batch", []string{"--mode", "nope", "--in", dir, "--key", "k", "--mark", "m"}},
+		{"attack", []string{"--in", doc, "--attack", "nope"}},
+		{"attack", []string{"--in", doc, "--attack", "reorganize", "--mapping", "nope"}},
+		{"embed", []string{"--dataset", "pubs", "--in", doc}}, // no --key
+	}
+	for _, tc := range usageCases {
+		err := run(tc.cmd, tc.args)
+		if err == nil || !isUsage(err) {
+			t.Errorf("wmxml %s %v: err = %v, want usage error", tc.cmd, tc.args, err)
+		}
+	}
+
+	failureCases := []struct {
+		cmd  string
+		args []string
+	}{
+		{"embed", []string{"--dataset", "pubs", "--in", "no-such-file.xml", "--key", "k", "--mark", "m"}},
+		{"detect", []string{"--dataset", "pubs", "--in", "no-such-file.xml", "--key", "k", "--mark", "m"}},
+		{"stats", []string{"--in", "no-such-file.xml"}},
+	}
+	for _, tc := range failureCases {
+		err := run(tc.cmd, tc.args)
+		if err == nil || isUsage(err) {
+			t.Errorf("wmxml %s %v: err = %v, want non-usage failure", tc.cmd, tc.args, err)
+		}
+	}
+}
+
+// TestCLIStdinStdout: "-" reads the document from stdin and writes it
+// to stdout, with status chatter kept off the XML stream.
+func TestCLIStdinStdout(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.xml")
+	queries := filepath.Join(dir, "q.json")
+	runOK(t, "gen", "--dataset", "pubs", "--size", "60", "--seed", "3", "--out", doc)
+
+	// embed --in - --out -: stdin from the generated file, stdout to a
+	// capture file.
+	inF, err := os.Open(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inF.Close()
+	outPath := filepath.Join(dir, "marked.xml")
+	outF, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldIn, oldOut := os.Stdin, os.Stdout
+	os.Stdin, os.Stdout = inF, outF
+	embedErr := run("embed", []string{"--dataset", "pubs", "--in", "-", "--out", "-",
+		"--key", "pipe-key", "--mark", "(C) pipe", "--gamma", "3", "--queries", queries})
+	os.Stdin, os.Stdout = oldIn, oldOut
+	outF.Close()
+	if embedErr != nil {
+		t.Fatalf("embed via pipes: %v", embedErr)
+	}
+
+	// The capture must be pure XML (chatter went to stderr).
+	marked, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(marked)), "<") {
+		t.Fatalf("stdout is not clean XML: %q", marked[:min(len(marked), 80)])
+	}
+	if strings.Contains(string(marked), "bandwidth:") {
+		t.Fatal("status chatter leaked into the XML stream")
+	}
+
+	// detect --in - reads the marked doc from stdin and finds the mark.
+	mF, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mF.Close()
+	os.Stdin = mF
+	detectErr := run("detect", []string{"--dataset", "pubs", "--in", "-",
+		"--key", "pipe-key", "--mark", "(C) pipe", "--gamma", "3", "--queries", queries})
+	os.Stdin = oldIn
+	if detectErr != nil {
+		t.Fatalf("detect via stdin: %v", detectErr)
+	}
+}
+
+// TestCLIHelpFlagExitsClean: -h on a subcommand is a successful help
+// request (exit 0), not a usage failure.
+func TestCLIHelpFlagExitsClean(t *testing.T) {
+	for _, cmd := range []string{"embed", "detect", "gen", "batch"} {
+		err := run(cmd, []string{"-h"})
+		if !errors.Is(err, errHelp) {
+			t.Errorf("wmxml %s -h: err = %v, want errHelp", cmd, err)
+		}
+		if isUsage(err) {
+			t.Errorf("wmxml %s -h classified as usage error", cmd)
+		}
 	}
 }
 

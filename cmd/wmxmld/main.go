@@ -1,0 +1,92 @@
+// Command wmxmld is the WmXML watermarking daemon: a multi-tenant HTTP
+// service that embeds watermarks into XML documents as they are
+// published and detects them later from the receipt registry alone —
+// no query sets change hands after embedding.
+//
+// Usage:
+//
+//	wmxmld [--addr :8484] [--registry wmxml.jsonl] [--workers N]
+//	       [--cache N] [--max-body BYTES] [--max-depth N]
+//	       [--queue-timeout 10s] [--no-sync] [--compact-on-start]
+//
+// API (see README "Running the service" for a curl walkthrough):
+//
+//	POST /v1/owners                    register a tenant (key, mark, spec)
+//	POST /v1/embed?owner=ID[&doc=L]    XML in, marked XML out; receipt stored
+//	POST /v1/detect?owner=ID           suspect XML in, JSON verdict out
+//	POST /v1/verify?owner=ID           schema + key/FD verification
+//	GET  /v1/owners/{id}/receipts      list stored receipts
+//	GET  /healthz                      liveness
+//	GET  /metrics                      Prometheus text metrics
+//
+// Without --registry all state is in memory and lost on exit; with it,
+// owners and receipts live in a crash-safe JSONL log that survives
+// restarts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wmxml"
+	"wmxml/internal/registry"
+)
+
+func main() {
+	fs := flag.NewFlagSet("wmxmld", flag.ExitOnError)
+	addr := fs.String("addr", ":8484", "listen address")
+	regPath := fs.String("registry", "", "JSONL registry file (empty: in-memory, lost on exit)")
+	noSync := fs.Bool("no-sync", false, "skip per-append fsync on the registry log (throughput over durability)")
+	compact := fs.Bool("compact-on-start", false, "compact the registry log after replaying it")
+	workers := fs.Int("workers", 0, "max concurrently executing operations (0 = number of CPUs)")
+	cache := fs.Int("cache", 0, "suspect-document cache entries (0 = 128, -1 = off)")
+	maxBody := fs.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
+	maxDepth := fs.Int("max-depth", 0, "XML nesting cap (0 = library default)")
+	queueTimeout := fs.Duration("queue-timeout", 10*time.Second, "max wait for a worker slot before 503")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	var store wmxml.ReceiptStore
+	if *regPath != "" {
+		f, err := registry.OpenFile(*regPath, registry.FileOptions{
+			NoSync:        *noSync,
+			CompactOnOpen: *compact,
+		})
+		if err != nil {
+			log.Fatalf("wmxmld: %v", err)
+		}
+		defer f.Close()
+		store = f
+		owners, _ := f.ListOwners()
+		log.Printf("wmxmld: registry %s: %d owners", *regPath, len(owners))
+	} else {
+		store = wmxml.NewMemoryRegistry()
+		log.Printf("wmxmld: in-memory registry (state is lost on exit)")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("wmxmld: listening on %s", *addr)
+	err := wmxml.Serve(ctx, wmxml.ServerOptions{
+		Addr:         *addr,
+		Registry:     store,
+		Workers:      *workers,
+		QueueTimeout: *queueTimeout,
+		MaxBodyBytes: *maxBody,
+		MaxDepth:     *maxDepth,
+		CacheEntries: *cache,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wmxmld: %v\n", err)
+		os.Exit(1)
+	}
+	log.Printf("wmxmld: shut down cleanly")
+}

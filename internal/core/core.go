@@ -24,6 +24,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 
@@ -129,18 +130,44 @@ type QueryRecord struct {
 	Target string `json:"target,omitempty"`
 }
 
-// MarshalQuerySet renders Q as JSON for safekeeping.
-func MarshalQuerySet(records []QueryRecord) ([]byte, error) {
-	return json.MarshalIndent(records, "", "  ")
+// QuerySetVersion is the current on-disk receipt format version.
+// History: version 0 (unmarked) was a bare JSON array of records;
+// version 1 wraps the array in an envelope carrying this field, so the
+// format can evolve without breaking safeguarded receipts.
+const QuerySetVersion = 1
+
+// querySetEnvelope is the versioned on-disk form of Q.
+type querySetEnvelope struct {
+	Version int           `json:"version"`
+	Records []QueryRecord `json:"records"`
 }
 
-// UnmarshalQuerySet parses a JSON query set.
+// MarshalQuerySet renders Q as JSON for safekeeping.
+func MarshalQuerySet(records []QueryRecord) ([]byte, error) {
+	return json.MarshalIndent(querySetEnvelope{Version: QuerySetVersion, Records: records}, "", "  ")
+}
+
+// UnmarshalQuerySet parses a JSON query set: the current versioned
+// envelope, or the legacy bare-array form, which is accepted and
+// treated as version 0 — receipts safeguarded before the envelope
+// existed keep working verbatim.
 func UnmarshalQuerySet(data []byte) ([]QueryRecord, error) {
-	var out []QueryRecord
-	if err := json.Unmarshal(data, &out); err != nil {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var out []QueryRecord
+		if err := json.Unmarshal(trimmed, &out); err != nil {
+			return nil, fmt.Errorf("core: parse query set: %w", err)
+		}
+		return out, nil
+	}
+	var env querySetEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("core: parse query set: %w", err)
 	}
-	return out, nil
+	if env.Version > QuerySetVersion {
+		return nil, fmt.Errorf("core: query set version %d is newer than this build supports (%d)", env.Version, QuerySetVersion)
+	}
+	return env.Records, nil
 }
 
 // EmbedResult reports what insertion did.

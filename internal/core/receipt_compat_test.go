@@ -1,0 +1,110 @@
+package core
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wmxml/internal/datagen"
+	"wmxml/internal/identity"
+	"wmxml/internal/wmark"
+)
+
+// pr2Config reproduces exactly the embedding that generated
+// testdata/receipt_pr2.json (a PR 2-era receipt: bare JSON array, no
+// version field). Everything is deterministic — dataset seed, HMAC
+// carrier selection, value writes — so the same records come out today.
+func pr2Config() (*datagen.Dataset, Config) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 40, Seed: 7})
+	return ds, Config{
+		Key:      []byte("pr2-key"),
+		Mark:     wmark.FromText("PR2"),
+		Gamma:    3,
+		Schema:   ds.Schema,
+		Catalog:  ds.Catalog,
+		Identity: identity.Options{Targets: ds.Targets},
+	}
+}
+
+// TestReceiptLegacyFixtureCompat: a receipt safeguarded under the PR 2
+// format must still load, match a fresh embedding record-for-record,
+// and drive a successful detection.
+func TestReceiptLegacyFixtureCompat(t *testing.T) {
+	fixture, err := os.ReadFile("testdata/receipt_pr2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(fixture), `"version"`) {
+		t.Fatal("fixture is not in the legacy format")
+	}
+	legacy, err := UnmarshalQuerySet(fixture)
+	if err != nil {
+		t.Fatalf("legacy receipt rejected: %v", err)
+	}
+	if len(legacy) == 0 {
+		t.Fatal("legacy receipt decoded to no records")
+	}
+
+	// The identical embedding today yields the identical query set.
+	ds, cfg := pr2Config()
+	res, err := Embed(ds.Doc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Records, legacy) {
+		t.Fatalf("fresh embedding diverged from the safeguarded receipt:\nfresh:  %d records %+v...\nlegacy: %d records %+v...",
+			len(res.Records), res.Records[0], len(legacy), legacy[0])
+	}
+
+	// And the legacy records detect the watermark on the marked doc.
+	det, err := DetectWithQueries(ds.Doc, cfg, legacy, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected {
+		t.Fatalf("legacy receipt did not detect: match=%.3f coverage=%.3f", det.MatchFraction, det.Coverage)
+	}
+}
+
+// TestReceiptVersionRoundTrip: the current format carries a version
+// field, and re-marshalling a legacy receipt upgrades it losslessly.
+func TestReceiptVersionRoundTrip(t *testing.T) {
+	recs := []QueryRecord{
+		{ID: "u1", Query: "db/book[title='X']/year", Type: "integer", Target: "db/book/year"},
+		{ID: "u2", Query: "db/book[title='Y']/price", Type: "decimal", Target: "db/book/price"},
+	}
+	data, err := MarshalQuerySet(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version": 1`) {
+		t.Fatalf("marshalled receipt has no version field: %s", data)
+	}
+	back, err := UnmarshalQuerySet(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, recs) {
+		t.Fatalf("round trip changed records: %+v", back)
+	}
+
+	// Leading whitespace before a legacy array is tolerated.
+	if _, err := UnmarshalQuerySet([]byte("\n  [ ]")); err != nil {
+		t.Errorf("whitespace-prefixed legacy array rejected: %v", err)
+	}
+
+	// A future version is refused loudly instead of misread.
+	future := []byte(`{"version": 99, "records": []}`)
+	if _, err := UnmarshalQuerySet(future); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Errorf("future version accepted or wrong error: %v", err)
+	}
+
+	// Garbage still fails.
+	if _, err := UnmarshalQuerySet([]byte("{broken")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := UnmarshalQuerySet([]byte("[broken")); err == nil {
+		t.Error("garbage array accepted")
+	}
+}

@@ -41,6 +41,24 @@ func (d *Dataset) Clone() *Dataset {
 	return &cp
 }
 
+// Preset resolves a built-in workload by name — the single place the
+// preset name set lives (the CLI, the server and the load harness all
+// resolve through here). size <= 0 uses each generator's default.
+func Preset(name string, size int, seed int64) (*Dataset, error) {
+	switch name {
+	case "pubs", "publications":
+		return Publications(PubConfig{Books: size, Seed: seed}), nil
+	case "jobs":
+		return Jobs(JobsConfig{Jobs: size, Seed: seed}), nil
+	case "library":
+		return Library(LibraryConfig{Items: size, Seed: seed}), nil
+	case "nested":
+		return NestedPublications(NestedConfig{Books: size, Seed: seed}), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q (want pubs, jobs, library or nested)", name)
+	}
+}
+
 // PubConfig parameterizes the publications generator.
 type PubConfig struct {
 	Books      int

@@ -59,6 +59,12 @@ type DetectJob struct {
 	// the suspect kept the original layout. Rewriters built by
 	// internal/rewrite are stateless and may be shared across jobs.
 	Rewriter core.Rewriter
+	// Index is an optional caller-built document index over Doc (it
+	// must be current — see internal/index for the invalidation
+	// contract). The server's suspect-document cache passes one here so
+	// repeated detections skip both the reparse and the index build;
+	// nil lets the core build its own per call.
+	Index *index.Index
 }
 
 // EmbedOutcome is the embedding result of one job.
@@ -214,9 +220,9 @@ func (e *Engine) detectOne(ctx context.Context, jobIndex int, j DetectJob) (out 
 		return out
 	}
 	if j.Records == nil {
-		out.Result, out.Err = core.DetectBlind(j.Doc, e.cfg)
+		out.Result, out.Err = core.DetectBlindIndexed(j.Doc, e.cfg, j.Index)
 	} else {
-		out.Result, out.Err = core.DetectWithQueries(j.Doc, e.cfg, j.Records, j.Rewriter)
+		out.Result, out.Err = core.DetectWithQueriesIndexed(j.Doc, e.cfg, j.Records, j.Rewriter, j.Index)
 	}
 	return out
 }

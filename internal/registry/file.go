@@ -1,0 +1,290 @@
+package registry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File is the durable Store: an append-only JSONL log replayed into a
+// Memory store on open.
+//
+// Every mutation appends one self-describing line and (by default)
+// fsyncs before acknowledging, so an acknowledged write survives a
+// crash. A torn final line — the signature of a crash mid-append — is
+// detected on open and truncated away; a corrupt line followed by valid
+// ones is real damage and fails the open. Compact rewrites the log to
+// its live state (one line per owner, one per receipt) through a
+// temp-file + rename, so a crash during compaction leaves the old log
+// intact.
+type File struct {
+	mem *Memory
+
+	mu   sync.Mutex // serializes appends and compaction
+	path string
+	f    *os.File
+	sync bool
+}
+
+// FileOptions tunes a File store.
+type FileOptions struct {
+	// NoSync skips the per-append fsync. Throughput for durability:
+	// only for benchmarks and bulk loads.
+	NoSync bool
+	// CompactOnOpen rewrites the log to its live state right after
+	// replay, dropping superseded owner lines.
+	CompactOnOpen bool
+}
+
+// logLine is one JSONL record. Exactly one of Owner / Receipt is set;
+// T tags which ("owner" / "receipt").
+type logLine struct {
+	T       string   `json:"t"`
+	Owner   *Owner   `json:"owner,omitempty"`
+	Receipt *Receipt `json:"receipt,omitempty"`
+}
+
+// OpenFile opens (or creates) a JSONL registry log and replays it.
+func OpenFile(path string, opts FileOptions) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("registry: open %s: %w", path, err)
+	}
+	fs := &File{mem: NewMemory(), path: path, f: f, sync: !opts.NoSync}
+	if err := fs.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opts.CompactOnOpen {
+		if err := fs.Compact(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// replay loads the log into the in-memory state and positions the file
+// for appending.
+//
+// Only newline-terminated lines are applied: an append fsyncs data and
+// newline together, so a missing terminator means the write was never
+// acknowledged and the tail is dropped. A terminated final line that
+// fails to parse is likewise treated as crash damage (out-of-order
+// block persistence) and dropped; a corrupt line with valid lines after
+// it is real corruption and fails the open.
+func (fs *File) replay() error {
+	if _, err := fs.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	rd := bufio.NewReaderSize(fs.f, 1<<16)
+	var good int64 // offset just past the last applied line
+	for lineNo := 1; ; lineNo++ {
+		line, err := rd.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("registry: read %s: %w", fs.path, err)
+		}
+		if len(line) == 0 || line[len(line)-1] != '\n' {
+			break // unterminated tail (or clean EOF): truncate from good
+		}
+		if aerr := fs.apply(line); aerr != nil {
+			if _, perr := rd.Peek(1); perr == io.EOF {
+				break // corrupt final line: torn write, drop it
+			}
+			return fmt.Errorf("registry: %s line %d: %w", fs.path, lineNo, aerr)
+		}
+		good += int64(len(line))
+		if err == io.EOF {
+			break
+		}
+	}
+	if err := fs.f.Truncate(good); err != nil {
+		return fmt.Errorf("registry: truncate torn tail of %s: %w", fs.path, err)
+	}
+	if _, err := fs.f.Seek(good, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// apply folds one log line into the memory state.
+func (fs *File) apply(line []byte) error {
+	var rec logLine
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return err
+	}
+	switch rec.T {
+	case "owner":
+		if rec.Owner == nil {
+			return fmt.Errorf("owner line without owner")
+		}
+		return fs.mem.PutOwner(*rec.Owner)
+	case "receipt":
+		if rec.Receipt == nil {
+			return fmt.Errorf("receipt line without receipt")
+		}
+		return fs.mem.AddReceipt(*rec.Receipt)
+	default:
+		return fmt.Errorf("unknown log record type %q", rec.T)
+	}
+}
+
+// append writes one line and makes it durable.
+func (fs *File) append(rec logLine) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := fs.f.Write(data); err != nil {
+		return fmt.Errorf("registry: append to %s: %w", fs.path, err)
+	}
+	if fs.sync {
+		if err := fs.f.Sync(); err != nil {
+			return fmt.Errorf("registry: sync %s: %w", fs.path, err)
+		}
+	}
+	return nil
+}
+
+// PutOwner registers or replaces an owner, durably.
+func (fs *File) PutOwner(o Owner) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.append(logLine{T: "owner", Owner: &o}); err != nil {
+		return err
+	}
+	return fs.mem.PutOwner(o)
+}
+
+// AddReceipt appends a receipt, durably.
+func (fs *File) AddReceipt(r Receipt) error {
+	if err := validateReceipt(r); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	// Validate against state first so a rejected receipt leaves no log
+	// garbage.
+	fs.mem.mu.Lock()
+	_, ownerOK := fs.mem.owners[r.Owner]
+	_, dup := fs.mem.byID[r.Owner][r.ID]
+	fs.mem.mu.Unlock()
+	if !ownerOK {
+		return ErrNotFound
+	}
+	if dup {
+		return ErrDuplicate
+	}
+	if err := fs.append(logLine{T: "receipt", Receipt: &r}); err != nil {
+		return err
+	}
+	return fs.mem.AddReceipt(r)
+}
+
+// GetOwner returns the owner or ErrNotFound.
+func (fs *File) GetOwner(id string) (Owner, error) { return fs.mem.GetOwner(id) }
+
+// ListOwners returns every owner, id-sorted.
+func (fs *File) ListOwners() ([]Owner, error) { return fs.mem.ListOwners() }
+
+// GetReceipt returns one receipt or ErrNotFound.
+func (fs *File) GetReceipt(owner, id string) (Receipt, error) {
+	return fs.mem.GetReceipt(owner, id)
+}
+
+// ListReceipts returns an owner's receipts in insertion order.
+func (fs *File) ListReceipts(owner string) ([]Receipt, error) {
+	return fs.mem.ListReceipts(owner)
+}
+
+// Compact rewrites the log to its live state: one line per owner
+// (latest registration wins) followed by every receipt in insertion
+// order. The rewrite goes through a temp file in the same directory and
+// an atomic rename, so a crash at any point leaves a complete log.
+func (fs *File) Compact() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	dir := filepath.Dir(fs.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(fs.path)+".compact-*")
+	if err != nil {
+		return fmt.Errorf("registry: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	writeLine := func(rec logLine) error {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		_, err = w.Write(data)
+		return err
+	}
+	owners, _ := fs.mem.ListOwners()
+	for i := range owners {
+		if err := writeLine(logLine{T: "owner", Owner: &owners[i]}); err != nil {
+			tmp.Close()
+			return fmt.Errorf("registry: compact: %w", err)
+		}
+	}
+	for _, o := range owners {
+		recs, _ := fs.mem.ListReceipts(o.ID)
+		for i := range recs {
+			if err := writeLine(logLine{T: "receipt", Receipt: &recs[i]}); err != nil {
+				tmp.Close()
+				return fmt.Errorf("registry: compact: %w", err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("registry: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("registry: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("registry: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), fs.path); err != nil {
+		return fmt.Errorf("registry: compact: %w", err)
+	}
+	old := fs.f
+	f, err := os.OpenFile(fs.path, os.O_RDWR|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("registry: compact: reopen: %w", err)
+	}
+	fs.f = f
+	old.Close()
+	return nil
+}
+
+// LogSize reports the current byte size of the log file (for
+// compaction policies and tests).
+func (fs *File) LogSize() (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st, err := fs.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Close flushes and closes the log.
+func (fs *File) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.f.Close()
+}
+
+var _ Store = (*File)(nil)

@@ -1,0 +1,116 @@
+package registry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Memory is the in-process Store: a map under a mutex. It backs tests
+// and ephemeral deployments, and is the state the File store replays
+// its log into.
+type Memory struct {
+	mu       sync.RWMutex
+	owners   map[string]Owner
+	receipts map[string][]Receipt          // owner -> insertion order
+	byID     map[string]map[string]Receipt // owner -> id -> receipt
+}
+
+// NewMemory builds an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{
+		owners:   make(map[string]Owner),
+		receipts: make(map[string][]Receipt),
+		byID:     make(map[string]map[string]Receipt),
+	}
+}
+
+// PutOwner registers or replaces an owner.
+func (m *Memory) PutOwner(o Owner) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.owners[o.ID] = o
+	return nil
+}
+
+// GetOwner returns the owner or ErrNotFound.
+func (m *Memory) GetOwner(id string) (Owner, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	o, ok := m.owners[id]
+	if !ok {
+		return Owner{}, ErrNotFound
+	}
+	return o, nil
+}
+
+// ListOwners returns every owner, id-sorted.
+func (m *Memory) ListOwners() ([]Owner, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]Owner, 0, len(m.owners))
+	for _, o := range m.owners {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// AddReceipt appends a receipt for an existing owner.
+func (m *Memory) AddReceipt(r Receipt) error {
+	if err := validateReceipt(r); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.addReceiptLocked(r)
+}
+
+// addReceiptLocked is the insertion shared with the File store's
+// replay. Callers hold mu.
+func (m *Memory) addReceiptLocked(r Receipt) error {
+	if _, ok := m.owners[r.Owner]; !ok {
+		return ErrNotFound
+	}
+	ids := m.byID[r.Owner]
+	if ids == nil {
+		ids = make(map[string]Receipt)
+		m.byID[r.Owner] = ids
+	}
+	if _, ok := ids[r.ID]; ok {
+		return ErrDuplicate
+	}
+	ids[r.ID] = r
+	m.receipts[r.Owner] = append(m.receipts[r.Owner], r)
+	return nil
+}
+
+// GetReceipt returns one receipt or ErrNotFound.
+func (m *Memory) GetReceipt(owner, id string) (Receipt, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	r, ok := m.byID[owner][id]
+	if !ok {
+		return Receipt{}, ErrNotFound
+	}
+	return r, nil
+}
+
+// ListReceipts returns an owner's receipts in insertion order.
+func (m *Memory) ListReceipts(owner string) ([]Receipt, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, ok := m.owners[owner]; !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]Receipt, len(m.receipts[owner]))
+	copy(out, m.receipts[owner])
+	return out, nil
+}
+
+// Close is a no-op for the memory store.
+func (m *Memory) Close() error { return nil }
+
+var _ Store = (*Memory)(nil)

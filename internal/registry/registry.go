@@ -1,0 +1,134 @@
+// Package registry is the multi-tenant key/mark/receipt store behind
+// the wmxmld service (internal/server).
+//
+// The paper's workflow hands the data owner a query set Q at embedding
+// time and asks them to "safeguard it together with the secret key";
+// the registry is where a long-lived deployment does exactly that, for
+// many owners at once. Each Owner record holds the tenant's secret key,
+// watermark and document-type spec; each Receipt holds one embedding's
+// safeguarded query set plus capacity figures, so later detections
+// resolve their queries server-side instead of shipping q.json around.
+//
+// Two implementations share the Store interface: Memory (tests,
+// ephemeral deployments) and File (one JSONL log per deployment with
+// crash-safe appends and offline compaction).
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"wmxml/internal/core"
+)
+
+// ErrNotFound reports a missing owner or receipt.
+var ErrNotFound = errors.New("registry: not found")
+
+// ErrDuplicate reports an AddReceipt whose (owner, id) already exists.
+var ErrDuplicate = errors.New("registry: receipt already exists")
+
+// Owner is one tenant of the watermarking service: the identity under
+// which documents are embedded and detected.
+type Owner struct {
+	// ID names the tenant in API paths; required, no '/' allowed.
+	ID string `json:"id"`
+	// Key is the tenant's secret watermarking key; required.
+	Key string `json:"key"`
+	// Mark is the tenant's watermark message; required.
+	Mark string `json:"mark"`
+	// Dataset names a built-in document-type preset (pubs, jobs,
+	// library, nested); exclusive with Spec.
+	Dataset string `json:"dataset,omitempty"`
+	// Spec is a JSON document-type spec (internal/config format);
+	// exclusive with Dataset.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Gamma is the selection ratio used for this tenant's embeddings
+	// (0 = the core default).
+	Gamma int `json:"gamma,omitempty"`
+	// CreatedUnix is the registration time (seconds since epoch).
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+}
+
+// Validate checks the fields every store requires.
+func (o Owner) Validate() error {
+	if o.ID == "" {
+		return fmt.Errorf("registry: owner id is required")
+	}
+	for _, r := range o.ID {
+		if r == '/' || r == ' ' {
+			return fmt.Errorf("registry: owner id %q may not contain '/' or spaces", o.ID)
+		}
+	}
+	if o.Key == "" {
+		return fmt.Errorf("registry: owner %q: key is required", o.ID)
+	}
+	if o.Mark == "" {
+		return fmt.Errorf("registry: owner %q: mark is required", o.ID)
+	}
+	if o.Dataset != "" && len(o.Spec) > 0 {
+		return fmt.Errorf("registry: owner %q: dataset and spec are exclusive", o.ID)
+	}
+	if o.Dataset == "" && len(o.Spec) == 0 {
+		return fmt.Errorf("registry: owner %q: a dataset preset or a spec is required", o.ID)
+	}
+	return nil
+}
+
+// Receipt is one embedding's safeguarded detection material: the query
+// set Q plus the capacity report, bound to the owner it was embedded
+// for.
+type Receipt struct {
+	// ID names the receipt within its owner; assigned by the caller
+	// (the server uses content-derived ids so retried embeds dedupe).
+	ID string `json:"id"`
+	// Owner is the tenant the embedding ran under.
+	Owner string `json:"owner"`
+	// Doc is an optional caller-supplied document label.
+	Doc string `json:"doc,omitempty"`
+	// CreatedUnix is the embedding time (seconds since epoch).
+	CreatedUnix int64 `json:"created_unix"`
+	// Records is Q, the safeguarded identity queries.
+	Records []core.QueryRecord `json:"records"`
+	// BandwidthUnits, Carriers and ValuesWritten mirror the embed
+	// receipt's capacity figures.
+	BandwidthUnits int `json:"bandwidth_units"`
+	Carriers       int `json:"carriers"`
+	ValuesWritten  int `json:"values_written"`
+}
+
+// Store is the registry contract shared by the memory and file
+// implementations. Implementations are safe for concurrent use.
+type Store interface {
+	// PutOwner registers or replaces an owner.
+	PutOwner(o Owner) error
+	// GetOwner returns the owner or ErrNotFound.
+	GetOwner(id string) (Owner, error)
+	// ListOwners returns every owner, id-sorted.
+	ListOwners() ([]Owner, error)
+	// AddReceipt appends a receipt; (owner, id) must be new, the owner
+	// must exist.
+	AddReceipt(r Receipt) error
+	// GetReceipt returns one receipt or ErrNotFound.
+	GetReceipt(owner, id string) (Receipt, error)
+	// ListReceipts returns an owner's receipts in insertion order. The
+	// owner must exist (ErrNotFound otherwise); no receipts is an empty
+	// slice.
+	ListReceipts(owner string) ([]Receipt, error)
+	// Close releases resources; the store is unusable afterwards.
+	Close() error
+}
+
+// validateReceipt checks the fields every store requires.
+func validateReceipt(r Receipt) error {
+	if r.ID == "" {
+		return fmt.Errorf("registry: receipt id is required")
+	}
+	if r.Owner == "" {
+		return fmt.Errorf("registry: receipt %q: owner is required", r.ID)
+	}
+	if len(r.Records) == 0 {
+		return fmt.Errorf("registry: receipt %q: no query records", r.ID)
+	}
+	return nil
+}

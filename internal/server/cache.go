@@ -1,0 +1,99 @@
+package server
+
+// The suspect-document cache. Query-preserving watermarking assumes
+// detection is re-run many times against the same suspect data
+// (arXiv:1909.11369's setting, and any dispute that escalates); parsing
+// a large XML body and building its DocumentIndex dominates the cost of
+// an indexed detection, so the server keys both on the SHA-256 of the
+// raw request body and serves repeats from memory. Entries are
+// strictly read-only: detection and verification never mutate the tree,
+// and embedding (which does) bypasses the cache entirely.
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"wmxml/internal/index"
+	"wmxml/internal/xmltree"
+)
+
+// cachedDoc is one parsed suspect: the immutable tree and its index.
+type cachedDoc struct {
+	doc *xmltree.Node
+	ix  *index.Index
+}
+
+// docCache is a content-hash-keyed LRU of parsed documents. Safe for
+// concurrent use; the cached values are shared across requests, which
+// is sound because readers never mutate them (the index's lazy
+// key-value tables lock internally).
+type docCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[[sha256.Size]byte]*list.Element
+	order   *list.List // front = most recent; values are *docEntry
+}
+
+type docEntry struct {
+	key [sha256.Size]byte
+	val cachedDoc
+}
+
+func newDocCache(capacity int) *docCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &docCache{
+		cap:     capacity,
+		entries: make(map[[sha256.Size]byte]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the cached parse for a body hash, refreshing recency.
+func (c *docCache) get(key [sha256.Size]byte) (cachedDoc, bool) {
+	if c.cap == 0 {
+		return cachedDoc{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return cachedDoc{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*docEntry).val, true
+}
+
+// put inserts a parsed document, evicting the least recently used
+// entries when full, and returns how many were evicted. A concurrent
+// insert of the same key wins quietly (both values are equivalent
+// parses of the same bytes).
+func (c *docCache) put(key [sha256.Size]byte, val cachedDoc) (evicted int) {
+	if c.cap == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*docEntry).val = val
+		return 0
+	}
+	c.entries[key] = c.order.PushFront(&docEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*docEntry).key)
+		evicted++
+	}
+	return evicted
+}
+
+// len reports the current entry count.
+func (c *docCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,187 @@
+package server
+
+// Hand-rolled counters and latency histograms with Prometheus text
+// exposition. The container bakes in no metrics dependency, and the
+// subset the service needs — monotone counters, one histogram per
+// endpoint, a gauge or two — is small enough to own: every metric is an
+// atomic, rendering walks a fixed registry, and the output follows the
+// text format any Prometheus scraper ingests.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds: 250µs to
+// 10s, roughly ×2.5 per step — embeds on big documents sit mid-range,
+// cache-hit detects in the first buckets.
+var latencyBuckets = []float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// counter is a monotone atomic counter.
+type counter struct {
+	v atomic.Uint64
+}
+
+func (c *counter) Inc()          { c.v.Add(1) }
+func (c *counter) Add(n uint64)  { c.v.Add(n) }
+func (c *counter) Value() uint64 { return c.v.Load() }
+
+// gauge is a settable atomic value.
+type gauge struct {
+	v atomic.Int64
+}
+
+func (g *gauge) Set(n int64)  { g.v.Store(n) }
+func (g *gauge) Add(n int64)  { g.v.Add(n) }
+func (g *gauge) Value() int64 { return g.v.Load() }
+
+// histogram is a fixed-bucket latency histogram.
+type histogram struct {
+	buckets []float64
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumNs   atomic.Uint64 // sum in nanoseconds keeps the hot path integer-only
+}
+
+func newHistogram() *histogram {
+	return &histogram{buckets: latencyBuckets, counts: make([]atomic.Uint64, len(latencyBuckets))}
+}
+
+// Observe records one duration. The total count is bumped before the
+// bucket so a concurrent scrape always sees count >= any cumulative
+// bucket value — le="+Inf" stays monotone (an observation may briefly
+// appear un-bucketed, which is valid; the reverse is not).
+func (h *histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNs.Add(uint64(d.Nanoseconds()))
+	s := d.Seconds()
+	for i, ub := range h.buckets {
+		if s <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+}
+
+// metrics is the service's metric registry. Labelled series are
+// materialized on first use and never removed (label cardinality is
+// bounded: one series per route × status class).
+type metrics struct {
+	mu         sync.Mutex
+	requests   map[string]*counter   // route|code -> count
+	latency    map[string]*histogram // route -> latency
+	inflight   gauge
+	queueFull  counter // admissions rejected: queue wait exceeded
+	tooLarge   counter // requests rejected: body over the cap
+	cacheHits  counter
+	cacheMiss  counter
+	cacheEvict counter
+	cacheSize  gauge
+	embeds     counter
+	detects    counter
+	detected   counter
+	verifies   counter
+	startUnix  int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:  make(map[string]*counter),
+		latency:   make(map[string]*histogram),
+		startUnix: time.Now().Unix(),
+	}
+}
+
+// request records one finished HTTP request.
+func (m *metrics) request(route string, code int, d time.Duration) {
+	key := fmt.Sprintf("%s|%d", route, code)
+	m.mu.Lock()
+	c := m.requests[key]
+	if c == nil {
+		c = &counter{}
+		m.requests[key] = c
+	}
+	h := m.latency[route]
+	if h == nil {
+		h = newHistogram()
+		m.latency[route] = h
+	}
+	m.mu.Unlock()
+	c.Inc()
+	h.Observe(d)
+}
+
+// render writes the Prometheus text exposition.
+func (m *metrics) render(w io.Writer) {
+	m.mu.Lock()
+	reqKeys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	latKeys := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		latKeys = append(latKeys, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(reqKeys)
+	sort.Strings(latKeys)
+
+	fmt.Fprintln(w, "# HELP wmxmld_requests_total Finished HTTP requests by route and status code.")
+	fmt.Fprintln(w, "# TYPE wmxmld_requests_total counter")
+	for _, k := range reqKeys {
+		route, code, _ := strings.Cut(k, "|")
+		m.mu.Lock()
+		c := m.requests[k]
+		m.mu.Unlock()
+		fmt.Fprintf(w, "wmxmld_requests_total{route=%q,code=%q} %d\n", route, code, c.Value())
+	}
+
+	fmt.Fprintln(w, "# HELP wmxmld_request_seconds Request latency by route.")
+	fmt.Fprintln(w, "# TYPE wmxmld_request_seconds histogram")
+	for _, route := range latKeys {
+		m.mu.Lock()
+		h := m.latency[route]
+		m.mu.Unlock()
+		var cum uint64
+		for i, ub := range h.buckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "wmxmld_request_seconds_bucket{route=%q,le=%q} %d\n", route, formatLE(ub), cum)
+		}
+		fmt.Fprintf(w, "wmxmld_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, h.count.Load())
+		fmt.Fprintf(w, "wmxmld_request_seconds_sum{route=%q} %g\n", route, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "wmxmld_request_seconds_count{route=%q} %d\n", route, h.count.Load())
+	}
+
+	simple := []struct {
+		name, help string
+		value      uint64
+	}{
+		{"wmxmld_admission_rejected_total", "Requests rejected because the worker queue stayed full.", m.queueFull.Value()},
+		{"wmxmld_body_too_large_total", "Requests rejected because the body exceeded the cap.", m.tooLarge.Value()},
+		{"wmxmld_doc_cache_hits_total", "Suspect-document cache hits (reparse and index build skipped).", m.cacheHits.Value()},
+		{"wmxmld_doc_cache_misses_total", "Suspect-document cache misses.", m.cacheMiss.Value()},
+		{"wmxmld_doc_cache_evictions_total", "Suspect-document cache evictions.", m.cacheEvict.Value()},
+		{"wmxmld_embeds_total", "Successful embed operations.", m.embeds.Value()},
+		{"wmxmld_detects_total", "Completed detect operations.", m.detects.Value()},
+		{"wmxmld_detects_detected_total", "Detect operations that found the watermark.", m.detected.Value()},
+		{"wmxmld_verifies_total", "Completed verify operations.", m.verifies.Value()},
+	}
+	for _, s := range simple {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.value)
+	}
+	fmt.Fprintf(w, "# HELP wmxmld_inflight_requests Requests currently holding a worker slot.\n# TYPE wmxmld_inflight_requests gauge\nwmxmld_inflight_requests %d\n", m.inflight.Value())
+	fmt.Fprintf(w, "# HELP wmxmld_doc_cache_entries Documents currently cached.\n# TYPE wmxmld_doc_cache_entries gauge\nwmxmld_doc_cache_entries %d\n", m.cacheSize.Value())
+	fmt.Fprintf(w, "# HELP wmxmld_start_time_seconds Unix time the server started.\n# TYPE wmxmld_start_time_seconds gauge\nwmxmld_start_time_seconds %d\n", m.startUnix)
+}
+
+// formatLE renders a bucket bound in its shortest decimal form.
+func formatLE(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,757 @@
+// Package server is the HTTP serving layer of WmXML — the daemon
+// (cmd/wmxmld) that sits beside an XML database and watermarks data as
+// it is published, the deployment shape the paper's Figure 1 sketches
+// around the WmXML box.
+//
+// The server is multi-tenant: each owner registers once with a secret
+// key, a watermark and a document-type spec, and every embedding's
+// safeguarded query set Q lands in the receipt registry
+// (internal/registry) — so detection is a single POST of the suspect
+// document, with the queries resolved server-side instead of shipped
+// around as q.json.
+//
+// Operational behavior:
+//
+//   - Admission control: at most Workers embed/detect/verify requests
+//     run at once; excess requests wait up to QueueTimeout for a slot
+//     and are rejected with 503 afterwards. Request bodies are capped
+//     at MaxBodyBytes and parsed with the xmltree MaxDepth guard.
+//   - Execution runs through an internal/pipeline engine, so a request
+//     that panics inside tree or plug-in code turns into a 422 for that
+//     request, never a daemon crash.
+//   - Repeated detections of the same suspect body hit a
+//     content-hash-keyed LRU of parsed Document + DocumentIndex pairs,
+//     skipping the reparse and index build that dominate indexed
+//     detection.
+//   - GET /metrics exposes counters and latency histograms in
+//     Prometheus text format; GET /healthz is the liveness probe.
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"wmxml/internal/config"
+	"wmxml/internal/core"
+	"wmxml/internal/datagen"
+	"wmxml/internal/identity"
+	"wmxml/internal/index"
+	"wmxml/internal/pipeline"
+	"wmxml/internal/registry"
+	"wmxml/internal/schema"
+	"wmxml/internal/semantics"
+	"wmxml/internal/wmark"
+	"wmxml/internal/xmltree"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Registry stores owners and receipts; required.
+	Registry registry.Store
+	// Workers bounds concurrently executing operations (embed, detect,
+	// verify). 0 means GOMAXPROCS.
+	Workers int
+	// QueueTimeout is how long a request waits for a worker slot before
+	// a 503. 0 means 10s.
+	QueueTimeout time.Duration
+	// MaxBodyBytes caps request bodies. 0 means 32 MiB.
+	MaxBodyBytes int64
+	// MaxDepth caps XML nesting on parse (0 = xmltree.DefaultMaxDepth).
+	MaxDepth int
+	// CacheEntries sizes the suspect-document LRU (0 = 128; negative
+	// disables caching).
+	CacheEntries int
+	// Concurrency is the per-document core concurrency (0/1 =
+	// sequential; server throughput usually comes from Workers, not
+	// from splitting single documents).
+	Concurrency int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 10 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 128
+	}
+	if o.CacheEntries < 0 {
+		o.CacheEntries = 0
+	}
+	return o
+}
+
+// Server is the wmxmld HTTP API. Build with New, mount via Handler.
+type Server struct {
+	opts  Options
+	reg   registry.Store
+	slots chan struct{}
+	cache *docCache
+	met   *metrics
+	mux   *http.ServeMux
+
+	mu       sync.Mutex
+	runtimes map[string]*ownerRuntime
+}
+
+// ownerRuntime is the compiled per-tenant state: the working objects an
+// owner's spec resolves to, plus the pipeline engine requests execute
+// through.
+type ownerRuntime struct {
+	owner   registry.Owner
+	cfg     core.Config
+	eng     *pipeline.Engine
+	schema  *schema.Schema
+	catalog semantics.Catalog
+}
+
+// New builds a Server over a registry.
+func New(opts Options) (*Server, error) {
+	if opts.Registry == nil {
+		return nil, fmt.Errorf("server: Options.Registry is required")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:     opts,
+		reg:      opts.Registry,
+		slots:    make(chan struct{}, opts.Workers),
+		cache:    newDocCache(opts.CacheEntries),
+		met:      newMetrics(),
+		runtimes: make(map[string]*ownerRuntime),
+	}
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats reports the suspect-document cache counters
+// (hits, misses, evictions, entries) — tests read these without
+// scraping /metrics.
+func (s *Server) CacheStats() (hits, misses, evicts uint64, size int) {
+	return s.met.cacheHits.Value(), s.met.cacheMiss.Value(), s.met.cacheEvict.Value(), s.cache.len()
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/owners", s.instrument("/v1/owners", s.handlePutOwner))
+	s.mux.HandleFunc("GET /v1/owners/{id}/receipts", s.instrument("/v1/owners/{id}/receipts", s.handleListReceipts))
+	s.mux.HandleFunc("POST /v1/embed", s.instrument("/v1/embed", s.handleEmbed))
+	s.mux.HandleFunc("POST /v1/detect", s.instrument("/v1/detect", s.handleDetect))
+	s.mux.HandleFunc("POST /v1/verify", s.instrument("/v1/verify", s.handleVerify))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes must not move the histograms
+}
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency
+// observation under a stable route label.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.met.request(route, sw.code, time.Since(start))
+	}
+}
+
+// httpError is an error with an HTTP status.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+func (e *httpError) Unwrap() error { return e.err }
+
+func errf(code int, format string, args ...any) *httpError {
+	return &httpError{code: code, err: fmt.Errorf(format, args...)}
+}
+
+// writeErr renders an error as a JSON body with the right status.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	}
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		code = http.StatusRequestEntityTooLarge
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// acquire takes a worker slot, waiting up to QueueTimeout.
+func (s *Server) acquire(r *http.Request) error {
+	t := time.NewTimer(s.opts.QueueTimeout)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		s.met.inflight.Add(1)
+		return nil
+	case <-r.Context().Done():
+		return errf(499, "client went away: %v", r.Context().Err())
+	case <-t.C:
+		s.met.queueFull.Inc()
+		return errf(http.StatusServiceUnavailable, "server busy: no worker slot within %s", s.opts.QueueTimeout)
+	}
+}
+
+func (s *Server) release() {
+	<-s.slots
+	s.met.inflight.Add(-1)
+}
+
+// readBody drains the (size-capped) request body.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.met.tooLarge.Inc()
+		}
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, errf(http.StatusBadRequest, "empty request body")
+	}
+	return body, nil
+}
+
+// parseDoc parses an XML body under the depth guard.
+func (s *Server) parseDoc(body []byte) (*xmltree.Node, error) {
+	doc, err := xmltree.Parse(bytes.NewReader(body), xmltree.ParseOptions{MaxDepth: s.opts.MaxDepth})
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "parse document: %v", err)
+	}
+	return doc, nil
+}
+
+// runtimeFor resolves an owner id to its compiled runtime, building and
+// caching on first use.
+func (s *Server) runtimeFor(id string) (*ownerRuntime, error) {
+	if id == "" {
+		return nil, errf(http.StatusBadRequest, "owner query parameter is required")
+	}
+	o, err := s.reg.GetOwner(id)
+	if err != nil {
+		if errors.Is(err, registry.ErrNotFound) {
+			return nil, errf(http.StatusNotFound, "unknown owner %q", id)
+		}
+		return nil, err
+	}
+	s.mu.Lock()
+	rt, ok := s.runtimes[id]
+	s.mu.Unlock()
+	if ok && rt.owner.CreatedUnix == o.CreatedUnix && rt.owner.Key == o.Key && rt.owner.Mark == o.Mark && rt.owner.Gamma == o.Gamma {
+		return rt, nil
+	}
+	rt, err = s.buildRuntime(o)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.runtimes[id] = rt
+	s.mu.Unlock()
+	return rt, nil
+}
+
+// buildRuntime compiles an owner record into working objects.
+func (s *Server) buildRuntime(o registry.Owner) (*ownerRuntime, error) {
+	var (
+		sch     *schema.Schema
+		cat     semantics.Catalog
+		targets []string
+	)
+	switch {
+	case o.Dataset != "":
+		// Only the schema/catalog/targets matter; the generated
+		// document is discarded, so resolve the smallest instance.
+		ds, err := datagen.Preset(o.Dataset, 1, 0)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "owner %q: %v", o.ID, err)
+		}
+		sch, cat, targets = ds.Schema, ds.Catalog, ds.Targets
+	default:
+		spec, err := config.Parse(o.Spec)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "owner %q: %v", o.ID, err)
+		}
+		sch, err = spec.BuildSchema()
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "owner %q: %v", o.ID, err)
+		}
+		cat = spec.BuildCatalog()
+		targets = spec.Targets
+	}
+	cfg := core.Config{
+		Key:         []byte(o.Key),
+		Mark:        wmark.FromText(o.Mark),
+		Gamma:       o.Gamma,
+		Schema:      sch,
+		Catalog:     cat,
+		Identity:    identity.Options{Targets: targets},
+		Concurrency: s.opts.Concurrency,
+	}
+	return &ownerRuntime{
+		owner:   o,
+		cfg:     cfg,
+		eng:     pipeline.New(cfg, pipeline.Options{Workers: 1}),
+		schema:  sch,
+		catalog: cat,
+	}, nil
+}
+
+// --- handlers ---
+
+// ownerResponse acknowledges a registration.
+type ownerResponse struct {
+	ID       string `json:"id"`
+	Dataset  string `json:"dataset,omitempty"`
+	Gamma    int    `json:"gamma,omitempty"`
+	Receipts int    `json:"receipts"`
+}
+
+// handlePutOwner registers (or re-registers) a tenant. The runtime is
+// built eagerly so a broken spec fails registration, not the first
+// embed.
+func (s *Server) handlePutOwner(w http.ResponseWriter, r *http.Request) {
+	body, err := s.readBody(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	var o registry.Owner
+	if err := json.Unmarshal(body, &o); err != nil {
+		writeErr(w, errf(http.StatusBadRequest, "parse owner: %v", err))
+		return
+	}
+	if o.CreatedUnix == 0 {
+		o.CreatedUnix = time.Now().Unix()
+	}
+	if err := o.Validate(); err != nil {
+		writeErr(w, errf(http.StatusBadRequest, "%v", err))
+		return
+	}
+	rt, err := s.buildRuntime(o)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.reg.PutOwner(o); err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.mu.Lock()
+	s.runtimes[o.ID] = rt
+	s.mu.Unlock()
+	n := 0
+	if recs, err := s.reg.ListReceipts(o.ID); err == nil {
+		n = len(recs)
+	}
+	writeJSON(w, http.StatusOK, ownerResponse{ID: o.ID, Dataset: o.Dataset, Gamma: o.Gamma, Receipts: n})
+}
+
+// receiptMeta is the receipt listing entry; Records is elided unless
+// ?full=1.
+type receiptMeta struct {
+	ID             string             `json:"id"`
+	Doc            string             `json:"doc,omitempty"`
+	CreatedUnix    int64              `json:"created_unix"`
+	QueryCount     int                `json:"query_count"`
+	BandwidthUnits int                `json:"bandwidth_units"`
+	Carriers       int                `json:"carriers"`
+	ValuesWritten  int                `json:"values_written"`
+	Records        []core.QueryRecord `json:"records,omitempty"`
+}
+
+func (s *Server) handleListReceipts(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	recs, err := s.reg.ListReceipts(id)
+	if err != nil {
+		if errors.Is(err, registry.ErrNotFound) {
+			writeErr(w, errf(http.StatusNotFound, "unknown owner %q", id))
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	full := r.URL.Query().Get("full") == "1"
+	out := make([]receiptMeta, len(recs))
+	for i, rc := range recs {
+		out[i] = receiptMeta{
+			ID: rc.ID, Doc: rc.Doc, CreatedUnix: rc.CreatedUnix,
+			QueryCount:     len(rc.Records),
+			BandwidthUnits: rc.BandwidthUnits, Carriers: rc.Carriers, ValuesWritten: rc.ValuesWritten,
+		}
+		if full {
+			out[i].Records = rc.Records
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"owner": id, "receipts": out})
+}
+
+// handleEmbed watermarks the XML request body under the owner's key and
+// mark, stores the receipt, and returns the marked document. The
+// receipt id is derived from the owner and body hash, so retrying the
+// same embed is idempotent.
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	ownerID := r.URL.Query().Get("owner")
+	rt, err := s.runtimeFor(ownerID)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.acquire(r); err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer s.release()
+	doc, err := s.parseDoc(body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// The receipt id binds the body to the owner configuration that
+	// marked it: retrying the identical embed dedupes (deterministic
+	// embedding makes the receipts byte-identical), while re-embedding
+	// after a key/mark/gamma rotation gets a fresh receipt instead of
+	// silently colliding with the stale one.
+	idh := sha256.New()
+	fmt.Fprintf(idh, "%s\x1f%s\x1f%s\x1f%d\x1f", rt.owner.ID, rt.owner.Key, rt.owner.Mark, rt.owner.Gamma)
+	idh.Write(body)
+	receiptID := "r-" + hex.EncodeToString(idh.Sum(nil))[:16]
+	label := r.URL.Query().Get("doc")
+
+	outs, err := rt.eng.EmbedAll(r.Context(), []pipeline.Job{{ID: receiptID, Doc: doc}})
+	if err != nil {
+		writeErr(w, errf(499, "cancelled: %v", err))
+		return
+	}
+	out := outs[0]
+	if out.Err != nil {
+		writeErr(w, errf(http.StatusUnprocessableEntity, "embed: %v", out.Err))
+		return
+	}
+	rec := registry.Receipt{
+		ID: receiptID, Owner: ownerID, Doc: label,
+		CreatedUnix:    time.Now().Unix(),
+		Records:        out.Result.Records,
+		BandwidthUnits: out.Result.Bandwidth.Units,
+		Carriers:       out.Result.Carriers,
+		ValuesWritten:  out.Result.Embedded,
+	}
+	if err := s.reg.AddReceipt(rec); err != nil && !errors.Is(err, registry.ErrDuplicate) {
+		writeErr(w, errf(http.StatusInternalServerError, "store receipt: %v", err))
+		return
+	}
+	s.met.embeds.Inc()
+	h := w.Header()
+	h.Set("Content-Type", "application/xml")
+	h.Set("X-Wmxml-Receipt", receiptID)
+	h.Set("X-Wmxml-Carriers", fmt.Sprint(out.Result.Carriers))
+	h.Set("X-Wmxml-Bandwidth-Units", fmt.Sprint(out.Result.Bandwidth.Units))
+	h.Set("X-Wmxml-Values-Written", fmt.Sprint(out.Result.Embedded))
+	w.WriteHeader(http.StatusOK)
+	xmltree.Serialize(w, doc, xmltree.SerializeOptions{Indent: "  "})
+}
+
+// detectResponse is the JSON verdict of one detection pass.
+type detectResponse struct {
+	Owner             string  `json:"owner"`
+	Mode              string  `json:"mode"` // "receipts" or "blind"
+	Receipt           string  `json:"receipt,omitempty"`
+	ReceiptsTried     int     `json:"receipts_tried"`
+	Detected          bool    `json:"detected"`
+	MatchFraction     float64 `json:"match_fraction"`
+	Coverage          float64 `json:"coverage"`
+	Sigma             float64 `json:"sigma"`
+	FalsePositiveRate float64 `json:"false_positive_rate"`
+	RecoveredText     string  `json:"recovered_text,omitempty"`
+	QueriesRun        int     `json:"queries_run"`
+	QueryMisses       int     `json:"query_misses"`
+	CacheHit          bool    `json:"cache_hit"`
+	ElapsedMS         float64 `json:"elapsed_ms"`
+}
+
+// suspectDoc resolves the request body to a parsed document and index,
+// through the content-hash cache.
+func (s *Server) suspectDoc(body []byte) (cachedDoc, bool, error) {
+	sum := sha256.Sum256(body)
+	if cd, ok := s.cache.get(sum); ok {
+		s.met.cacheHits.Inc()
+		return cd, true, nil
+	}
+	s.met.cacheMiss.Inc()
+	doc, err := s.parseDoc(body)
+	if err != nil {
+		return cachedDoc{}, false, err
+	}
+	cd := cachedDoc{doc: doc, ix: index.New(doc)}
+	if ev := s.cache.put(sum, cd); ev > 0 {
+		s.met.cacheEvict.Add(uint64(ev))
+	}
+	s.met.cacheSize.Set(int64(s.cache.len()))
+	return cd, false, nil
+}
+
+// handleDetect runs detection of the suspect XML body against the
+// owner's registered receipts (no query set in the request). With
+// ?receipt=ID only that receipt is tried; with ?mode=blind the carriers
+// are re-derived from the document instead (original schema required).
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ownerID := r.URL.Query().Get("owner")
+	rt, err := s.runtimeFor(ownerID)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	blind := r.URL.Query().Get("mode") == "blind"
+	wantReceipt := r.URL.Query().Get("receipt")
+	body, err := s.readBody(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.acquire(r); err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer s.release()
+	cd, cacheHit, err := s.suspectDoc(body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+
+	// Assemble the detection jobs: one per candidate receipt, or a
+	// single blind job.
+	var jobs []pipeline.DetectJob
+	var ids []string
+	if blind {
+		jobs = []pipeline.DetectJob{{Job: pipeline.Job{ID: "blind", Doc: cd.doc}, Index: cd.ix}}
+		ids = []string{""}
+	} else {
+		var recs []registry.Receipt
+		if wantReceipt != "" {
+			rec, err := s.reg.GetReceipt(ownerID, wantReceipt)
+			if err != nil {
+				writeErr(w, errf(http.StatusNotFound, "owner %q has no receipt %q", ownerID, wantReceipt))
+				return
+			}
+			recs = []registry.Receipt{rec}
+		} else {
+			recs, err = s.reg.ListReceipts(ownerID)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			if len(recs) == 0 {
+				writeErr(w, errf(http.StatusConflict, "owner %q has no receipts; embed first or use mode=blind", ownerID))
+				return
+			}
+		}
+		// Newest first: the latest embedding is the likeliest source.
+		for i := len(recs) - 1; i >= 0; i-- {
+			jobs = append(jobs, pipeline.DetectJob{
+				Job:     pipeline.Job{ID: recs[i].ID, Doc: cd.doc},
+				Records: recs[i].Records,
+				Index:   cd.ix,
+			})
+			ids = append(ids, recs[i].ID)
+		}
+	}
+
+	resp := detectResponse{Owner: ownerID, Mode: "receipts", CacheHit: cacheHit}
+	if blind {
+		resp.Mode = "blind"
+	}
+	best := -1
+	var bestRes *core.DetectResult
+	var lastErr error
+	for i, job := range jobs {
+		outs, err := rt.eng.DetectAll(r.Context(), []pipeline.DetectJob{job})
+		if err != nil {
+			writeErr(w, errf(499, "cancelled: %v", err))
+			return
+		}
+		resp.ReceiptsTried++
+		out := outs[0]
+		if out.Err != nil {
+			// A single unusable receipt must not fail the sweep; the
+			// error only surfaces if no receipt answers at all.
+			lastErr = out.Err
+			continue
+		}
+		if bestRes == nil || out.Result.MatchFraction > bestRes.MatchFraction {
+			bestRes, best = out.Result, i
+		}
+		if out.Result.Detected {
+			break
+		}
+	}
+	if bestRes == nil {
+		if lastErr == nil {
+			lastErr = errors.New("no receipt was usable")
+		}
+		writeErr(w, errf(http.StatusUnprocessableEntity, "detect: %v", lastErr))
+		return
+	}
+	resp.Receipt = ids[best]
+	resp.Detected = bestRes.Detected
+	resp.MatchFraction = bestRes.MatchFraction
+	resp.Coverage = bestRes.Coverage
+	resp.Sigma = bestRes.Sigma()
+	resp.FalsePositiveRate = wmark.FalsePositiveProbability(bestRes.VotedBits, bestRes.MatchFraction)
+	resp.RecoveredText = bestRes.Recovered.Text()
+	resp.QueriesRun = bestRes.QueriesRun
+	resp.QueryMisses = bestRes.QueryMisses
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.met.detects.Inc()
+	if resp.Detected {
+		s.met.detected.Inc()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// verifyResponse reports schema and semantic validation of a document
+// against an owner's spec.
+type verifyResponse struct {
+	Owner            string             `json:"owner"`
+	SchemaValid      bool               `json:"schema_valid"`
+	SchemaViolations []string           `json:"schema_violations,omitempty"`
+	ViolationCount   int                `json:"violation_count"`
+	Keys             []constraintStatus `json:"keys,omitempty"`
+	FDs              []constraintStatus `json:"fds,omitempty"`
+	OK               bool               `json:"ok"`
+	CacheHit         bool               `json:"cache_hit"`
+}
+
+type constraintStatus struct {
+	Constraint string `json:"constraint"`
+	OK         bool   `json:"ok"`
+	Detail     string `json:"detail,omitempty"`
+}
+
+// handleVerify validates the XML body against the owner's schema and
+// verifies the declared keys and FDs — the paper's initialization step
+// as a service endpoint.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	ownerID := r.URL.Query().Get("owner")
+	rt, err := s.runtimeFor(ownerID)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.acquire(r); err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer s.release()
+	cd, cacheHit, err := s.suspectDoc(body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := verifyResponse{Owner: ownerID, OK: true, CacheHit: cacheHit}
+	violations := rt.schema.Validate(cd.doc)
+	resp.ViolationCount = len(violations)
+	resp.SchemaValid = len(violations) == 0
+	if !resp.SchemaValid {
+		resp.OK = false
+		for i, v := range violations {
+			if i == 10 {
+				break
+			}
+			resp.SchemaViolations = append(resp.SchemaViolations, v.String())
+		}
+	}
+	keyReps, fdReps, err := rt.catalog.Verify(cd.doc)
+	if err != nil {
+		writeErr(w, errf(http.StatusUnprocessableEntity, "verify: %v", err))
+		return
+	}
+	for _, kr := range keyReps {
+		st := constraintStatus{Constraint: fmt.Sprint(kr.Key), OK: kr.OK()}
+		if !st.OK {
+			st.Detail = fmt.Sprintf("%d missing, %d duplicate values over %d instances", kr.Missing, len(kr.Duplicates), kr.Instances)
+			resp.OK = false
+		}
+		resp.Keys = append(resp.Keys, st)
+	}
+	for _, fr := range fdReps {
+		st := constraintStatus{Constraint: fmt.Sprint(fr.FD), OK: fr.OK()}
+		if !st.OK {
+			st.Detail = fmt.Sprintf("%d groups disagree", len(fr.Violations))
+			resp.OK = false
+		}
+		resp.FDs = append(resp.FDs, st)
+	}
+	s.met.verifies.Inc()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	owners, err := s.reg.ListOwners()
+	if err != nil {
+		writeErr(w, errf(http.StatusServiceUnavailable, "registry: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"owners": len(owners),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.cacheSize.Set(int64(s.cache.len()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w)
+}

@@ -1,0 +1,122 @@
+package wmxml
+
+// The serving layer: the public face of internal/server and
+// internal/registry, behind the `wmxmld` daemon. See DESIGN.md
+// ("Serving layer") and the README's "Running the service" quickstart.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"wmxml/internal/registry"
+	"wmxml/internal/server"
+)
+
+// Owner is one tenant of the watermarking service: id, secret key,
+// watermark and document-type spec (a built-in dataset preset or a
+// JSON spec).
+type Owner = registry.Owner
+
+// StoredReceipt is one embedding's safeguarded detection material in
+// the receipt registry.
+type StoredReceipt = registry.Receipt
+
+// ReceiptStore is the multi-tenant owner/receipt registry contract.
+type ReceiptStore = registry.Store
+
+// ErrRegistryNotFound reports a missing owner or receipt.
+var ErrRegistryNotFound = registry.ErrNotFound
+
+// NewMemoryRegistry builds an in-process registry (tests, ephemeral
+// deployments).
+func NewMemoryRegistry() ReceiptStore { return registry.NewMemory() }
+
+// OpenFileRegistry opens (or creates) a file-backed registry: a JSONL
+// log with crash-safe fsync'd appends. Use Compact (via the concrete
+// *registry.File) or wmxmld's --compact-on-start to fold a long log.
+func OpenFileRegistry(path string) (ReceiptStore, error) {
+	return registry.OpenFile(path, registry.FileOptions{})
+}
+
+// ServerOptions configures the wmxmld HTTP service.
+type ServerOptions struct {
+	// Addr is the listen address for Serve (default ":8484").
+	Addr string
+	// Registry stores owners and receipts; nil uses a fresh in-memory
+	// store (all state is lost on exit).
+	Registry ReceiptStore
+	// Workers bounds concurrently executing operations; 0 = GOMAXPROCS.
+	Workers int
+	// QueueTimeout is how long a request waits for a worker slot before
+	// a 503 (0 = 10s).
+	QueueTimeout time.Duration
+	// MaxBodyBytes caps request bodies (0 = 32 MiB).
+	MaxBodyBytes int64
+	// MaxDepth caps XML nesting on parse (0 = the xmltree default).
+	MaxDepth int
+	// CacheEntries sizes the suspect-document LRU keyed by body hash
+	// (0 = 128; negative disables).
+	CacheEntries int
+}
+
+// NewServerHandler builds the wmxmld HTTP API as an http.Handler, for
+// embedding into an existing server or test harness.
+func NewServerHandler(opts ServerOptions) (http.Handler, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = registry.NewMemory()
+	}
+	s, err := server.New(server.Options{
+		Registry:     reg,
+		Workers:      opts.Workers,
+		QueueTimeout: opts.QueueTimeout,
+		MaxBodyBytes: opts.MaxBodyBytes,
+		MaxDepth:     opts.MaxDepth,
+		CacheEntries: opts.CacheEntries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Handler(), nil
+}
+
+// Serve runs the wmxmld HTTP service until ctx is cancelled, then
+// shuts down gracefully (in-flight requests get up to 10 seconds to
+// finish). The returned error is nil after a clean shutdown.
+func Serve(ctx context.Context, opts ServerOptions) error {
+	h, err := NewServerHandler(opts)
+	if err != nil {
+		return err
+	}
+	addr := opts.Addr
+	if addr == "" {
+		addr = ":8484"
+	}
+	// Request contexts deliberately do NOT derive from ctx: cancelling
+	// ctx triggers the graceful Shutdown below, which lets in-flight
+	// requests finish — deriving them would abort that same work
+	// mid-request.
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,89 @@
+package wmxml
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeHandlerRoundTrip drives the public serving API end to end:
+// register an owner, embed a generated document, detect it through the
+// registry with no query set in the request.
+func TestServeHandlerRoundTrip(t *testing.T) {
+	reg := NewMemoryRegistry()
+	h, err := NewServerHandler(ServerOptions{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	post := func(path string, body []byte) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 1<<16)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp, sb.String()
+	}
+
+	if resp, body := post("/v1/owners", []byte(`{"id":"pub","key":"k1","mark":"(C) P","dataset":"pubs","gamma":3}`)); resp.StatusCode != 200 {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	ds := PublicationsDataset(120, 9)
+	orig := SerializeXMLString(ds.Doc)
+	resp, marked := post("/v1/embed?owner=pub", []byte(orig))
+	if resp.StatusCode != 200 {
+		t.Fatalf("embed: %d %s", resp.StatusCode, marked)
+	}
+	resp, verdict := post("/v1/detect?owner=pub", []byte(marked))
+	if resp.StatusCode != 200 || !strings.Contains(verdict, `"detected": true`) {
+		t.Fatalf("detect: %d %s", resp.StatusCode, verdict)
+	}
+
+	// The registry is shared state: the owner and receipt are visible
+	// through the public registry aliases too.
+	owner, err := reg.GetOwner("pub")
+	if err != nil || owner.Mark != "(C) P" {
+		t.Fatalf("GetOwner: %+v, %v", owner, err)
+	}
+	recs, err := reg.ListReceipts("pub")
+	if err != nil || len(recs) != 1 || len(recs[0].Records) == 0 {
+		t.Fatalf("ListReceipts: %+v, %v", recs, err)
+	}
+}
+
+// TestServeGracefulShutdown: Serve exits nil when its context is
+// cancelled.
+func TestServeGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, ServerOptions{Addr: "127.0.0.1:0"})
+	}()
+	// Let the listener come up, then stop it.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after cancel", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not exit after cancel")
+	}
+}

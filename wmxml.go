@@ -431,6 +431,13 @@ func NestedDataset(books int, seed int64) *Dataset {
 	return datagen.NestedPublications(datagen.NestedConfig{Books: books, Seed: seed})
 }
 
+// DatasetByName resolves a built-in dataset preset by name ("pubs",
+// "jobs", "library" or "nested") — the name set the CLI, the wmxmld
+// owner records and the wmload harness share.
+func DatasetByName(name string, records int, seed int64) (*Dataset, error) {
+	return datagen.Preset(name, records, seed)
+}
+
 // --- structure-unit channel (paper §2.2 extension) ---
 
 // StructureOptions configures the sibling-order watermark channel: one
