@@ -114,7 +114,7 @@ func run(url, owner, key, mark, dataset string, size int, seed int64, gamma,
 
 	// 2. Register the owner.
 	reg, _ := json.Marshal(wmxml.Owner{ID: owner, Key: key, Mark: mark, Dataset: dataset, Gamma: gamma})
-	if _, _, err := post(client, url+"/v1/owners", reg); err != nil {
+	if _, _, err := post(client, key, url+"/v1/owners", reg); err != nil {
 		return fmt.Errorf("register owner: %w", err)
 	}
 
@@ -123,13 +123,13 @@ func run(url, owner, key, mark, dataset string, size int, seed int64, gamma,
 	if err != nil {
 		return err
 	}
-	marked, _, err := post(client, url+"/v1/embed?owner="+owner+"&doc=wmload.xml", doc)
+	marked, _, err := post(client, key, url+"/v1/embed?owner="+owner+"&doc=wmload.xml", doc)
 	if err != nil {
 		return fmt.Errorf("warmup embed: %w", err)
 	}
 	// Prime the cache so "warm" means warm from the first measured
 	// request onward.
-	if _, _, err := post(client, url+"/v1/detect?owner="+owner, marked); err != nil {
+	if _, _, err := post(client, key, url+"/v1/detect?owner="+owner, marked); err != nil {
 		return fmt.Errorf("warmup detect: %w", err)
 	}
 
@@ -150,7 +150,7 @@ func run(url, owner, key, mark, dataset string, size int, seed int64, gamma,
 				if i >= requests {
 					return
 				}
-				samples[i] = fire(client, url, owner, i, embedEvery, coldEvery, &detects, doc, marked)
+				samples[i] = fire(client, url, owner, key, i, embedEvery, coldEvery, &detects, doc, marked)
 			}
 		}()
 	}
@@ -206,11 +206,11 @@ func generate(dataset string, size int, seed int64) ([]byte, error) {
 // the comment changes the content hash but is dropped by the parser,
 // so the cold path measures parse + index build + detect on an
 // identical tree.
-func fire(client *http.Client, url, owner string, i, embedEvery, coldEvery int,
+func fire(client *http.Client, url, owner, key string, i, embedEvery, coldEvery int,
 	detects *atomic.Int64, doc, marked []byte) sample {
 	if embedEvery > 0 && i%embedEvery == 0 {
 		t0 := time.Now()
-		_, _, err := post(client, url+"/v1/embed?owner="+owner+"&doc=wmload.xml", doc)
+		_, _, err := post(client, key, url+"/v1/embed?owner="+owner+"&doc=wmload.xml", doc)
 		return sample{class: "embed", d: time.Since(t0), err: err}
 	}
 	n := detects.Add(1)
@@ -221,7 +221,7 @@ func fire(client *http.Client, url, owner string, i, embedEvery, coldEvery int,
 		class = "detect_cold"
 	}
 	t0 := time.Now()
-	resp, _, err := post(client, url+"/v1/detect?owner="+owner, body)
+	resp, _, err := post(client, key, url+"/v1/detect?owner="+owner, body)
 	s := sample{class: class, d: time.Since(t0), err: err}
 	if err == nil {
 		var v struct {
@@ -235,10 +235,16 @@ func fire(client *http.Client, url, owner string, i, embedEvery, coldEvery int,
 	return s
 }
 
-// post sends a body and returns the response bytes; non-2xx is an
-// error carrying the response text.
-func post(client *http.Client, url string, body []byte) ([]byte, http.Header, error) {
-	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(body))
+// post sends a body with the owner-key credential and returns the
+// response bytes; non-2xx is an error carrying the response text.
+func post(client *http.Client, key, url string, body []byte) ([]byte, http.Header, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set("Authorization", "Bearer "+key)
+	resp, err := client.Do(req)
 	if err != nil {
 		return nil, nil, err
 	}

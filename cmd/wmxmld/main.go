@@ -8,6 +8,7 @@
 //	wmxmld [--addr :8484] [--registry wmxml.jsonl] [--workers N]
 //	       [--cache N] [--max-body BYTES] [--max-depth N]
 //	       [--queue-timeout 10s] [--no-sync] [--compact-on-start]
+//	       [--insecure-no-auth]
 //
 // API (see README "Running the service" for a curl walkthrough):
 //
@@ -18,6 +19,13 @@
 //	GET  /v1/owners/{id}/receipts      list stored receipts
 //	GET  /healthz                      liveness
 //	GET  /metrics                      Prometheus text metrics
+//
+// Owner-scoped requests authenticate with the owner's secret key:
+// `Authorization: Bearer <key>`. Re-registering an existing owner id
+// likewise requires the current key. --insecure-no-auth disables the
+// check for trusted-network deployments only — with it, any peer that
+// can reach the socket can rotate a tenant's key and read its
+// safeguarded query sets.
 //
 // Without --registry all state is in memory and lost on exit; with it,
 // owners and receipts live in a crash-safe JSONL log that survives
@@ -49,6 +57,7 @@ func main() {
 	maxBody := fs.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
 	maxDepth := fs.Int("max-depth", 0, "XML nesting cap (0 = library default)")
 	queueTimeout := fs.Duration("queue-timeout", 10*time.Second, "max wait for a worker slot before 503")
+	noAuth := fs.Bool("insecure-no-auth", false, "serve without Bearer-key authentication (trusted networks only)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -74,15 +83,19 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *noAuth {
+		log.Printf("wmxmld: WARNING: --insecure-no-auth — any peer can act as any owner")
+	}
 	log.Printf("wmxmld: listening on %s", *addr)
 	err := wmxml.Serve(ctx, wmxml.ServerOptions{
-		Addr:         *addr,
-		Registry:     store,
-		Workers:      *workers,
-		QueueTimeout: *queueTimeout,
-		MaxBodyBytes: *maxBody,
-		MaxDepth:     *maxDepth,
-		CacheEntries: *cache,
+		Addr:                 *addr,
+		Registry:             store,
+		Workers:              *workers,
+		QueueTimeout:         *queueTimeout,
+		MaxBodyBytes:         *maxBody,
+		MaxDepth:             *maxDepth,
+		CacheEntries:         *cache,
+		AllowUnauthenticated: *noAuth,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wmxmld: %v\n", err)

@@ -142,8 +142,13 @@ type querySetEnvelope struct {
 	Records []QueryRecord `json:"records"`
 }
 
-// MarshalQuerySet renders Q as JSON for safekeeping.
+// MarshalQuerySet renders Q as JSON for safekeeping. A nil record set
+// marshals as an empty array, never "null" — the unmarshal side treats
+// a missing records field as a wrong file.
 func MarshalQuerySet(records []QueryRecord) ([]byte, error) {
+	if records == nil {
+		records = []QueryRecord{}
+	}
 	return json.MarshalIndent(querySetEnvelope{Version: QuerySetVersion, Records: records}, "", "  ")
 }
 
@@ -160,14 +165,28 @@ func UnmarshalQuerySet(data []byte) ([]QueryRecord, error) {
 		}
 		return out, nil
 	}
-	var env querySetEnvelope
+	// Records is captured raw so an envelope without the field is
+	// distinguishable from one carrying an empty (or explicit null)
+	// array: a wrong file (or a typo'd "records" key) must fail loudly,
+	// not detect against zero queries.
+	var env struct {
+		Version int             `json:"version"`
+		Records json.RawMessage `json:"records"`
+	}
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, fmt.Errorf("core: parse query set: %w", err)
 	}
 	if env.Version > QuerySetVersion {
 		return nil, fmt.Errorf("core: query set version %d is newer than this build supports (%d)", env.Version, QuerySetVersion)
 	}
-	return env.Records, nil
+	if env.Records == nil {
+		return nil, fmt.Errorf("core: parse query set: no \"records\" field — not a query set envelope")
+	}
+	var out []QueryRecord
+	if err := json.Unmarshal(env.Records, &out); err != nil {
+		return nil, fmt.Errorf("core: parse query set: %w", err)
+	}
+	return out, nil
 }
 
 // EmbedResult reports what insertion did.

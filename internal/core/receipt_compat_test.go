@@ -107,4 +107,29 @@ func TestReceiptVersionRoundTrip(t *testing.T) {
 	if _, err := UnmarshalQuerySet([]byte("[broken")); err == nil {
 		t.Error("garbage array accepted")
 	}
+
+	// A JSON object that is not a query set envelope (wrong file, or an
+	// envelope with a typo'd "records" key) must error, not silently
+	// decode to zero queries.
+	for _, bad := range []string{`{"foo": 1}`, `{}`, `{"version": 1}`, `{"version": 1, "record": []}`} {
+		if _, err := UnmarshalQuerySet([]byte(bad)); err == nil || !strings.Contains(err.Error(), "records") {
+			t.Errorf("non-envelope %s accepted or wrong error: %v", bad, err)
+		}
+	}
+
+	// But the library's own output for an empty set round-trips: a
+	// present records field — even an explicit null — is an envelope.
+	empty, err := MarshalQuerySet(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(empty), "null") {
+		t.Fatalf("MarshalQuerySet(nil) emitted null: %s", empty)
+	}
+	if back, err := UnmarshalQuerySet(empty); err != nil || len(back) != 0 {
+		t.Errorf("empty set round trip: %v, %v", back, err)
+	}
+	if back, err := UnmarshalQuerySet([]byte(`{"version": 1, "records": null}`)); err != nil || len(back) != 0 {
+		t.Errorf("explicit null records rejected: %v, %v", back, err)
+	}
 }

@@ -49,10 +49,17 @@ type logLine struct {
 }
 
 // OpenFile opens (or creates) a JSONL registry log and replays it.
+//
+// The log is opened with O_APPEND (every write lands at the physical
+// end of file regardless of seek position) and held under an exclusive
+// advisory lock for the lifetime of the handle: a second process
+// pointing at the same path would replay a moving file, truncate what
+// it mistakes for a torn tail, and interleave appends — so it gets a
+// "registry in use" error instead.
 func OpenFile(path string, opts FileOptions) (*File, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	f, err := openLocked(path)
 	if err != nil {
-		return nil, fmt.Errorf("registry: open %s: %w", path, err)
+		return nil, err
 	}
 	fs := &File{mem: NewMemory(), path: path, f: f, sync: !opts.NoSync}
 	if err := fs.replay(); err != nil {
@@ -66,6 +73,40 @@ func OpenFile(path string, opts FileOptions) (*File, error) {
 		}
 	}
 	return fs, nil
+}
+
+// openLocked opens (or creates) path and acquires the exclusive lock,
+// verifying afterwards that the locked inode is still what path names.
+// Without the check there is a race against a concurrent Compact: we
+// resolve the old inode, the other process renames a fresh log into
+// place and closes (unlocking) the old one, and our flock then succeeds
+// on an unlinked file — two handles serving "the same" path, one of
+// them writing into the void. On mismatch the open is retried against
+// the current file.
+func openLocked(path string) (*os.File, error) {
+	for attempt := 0; ; attempt++ {
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_APPEND|os.O_CREATE, 0o600)
+		if err != nil {
+			return nil, fmt.Errorf("registry: open %s: %w", path, err)
+		}
+		if err := lockFile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("registry: stat %s: %w", path, err)
+		}
+		di, err := os.Stat(path)
+		if err == nil && os.SameFile(fi, di) {
+			return f, nil
+		}
+		f.Close()
+		if attempt >= 5 {
+			return nil, fmt.Errorf("registry: open %s: file kept being replaced underneath the lock", path)
+		}
+	}
 }
 
 // replay loads the log into the in-memory state and positions the file
@@ -105,9 +146,8 @@ func (fs *File) replay() error {
 	if err := fs.f.Truncate(good); err != nil {
 		return fmt.Errorf("registry: truncate torn tail of %s: %w", fs.path, err)
 	}
-	if _, err := fs.f.Seek(good, io.SeekStart); err != nil {
-		return err
-	}
+	// No seek needed: the file is O_APPEND, so writes land at the
+	// (now truncated) end regardless of position.
 	return nil
 }
 
@@ -252,18 +292,25 @@ func (fs *File) Compact() error {
 		tmp.Close()
 		return fmt.Errorf("registry: compact: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
+	// Lock the replacement BEFORE it becomes visible at fs.path: the
+	// advisory lock is per inode, and taking it only after the rename
+	// would leave a window where another process claims the fresh log
+	// while this handle keeps appending to the unlinked old inode —
+	// acknowledged writes that silently vanish. Locking first and then
+	// renaming means the swapped-in file is never observable unlocked.
+	if err := lockFile(tmp); err != nil {
+		tmp.Close()
 		return fmt.Errorf("registry: compact: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), fs.path); err != nil {
+		tmp.Close()
 		return fmt.Errorf("registry: compact: %w", err)
 	}
+	// tmp stays open as the store's handle. It lacks O_APPEND, but its
+	// position sits at end-of-file and the exclusive lock guarantees no
+	// other writer moves it, so position-based appends are equivalent.
 	old := fs.f
-	f, err := os.OpenFile(fs.path, os.O_RDWR|os.O_APPEND, 0o600)
-	if err != nil {
-		return fmt.Errorf("registry: compact: reopen: %w", err)
-	}
-	fs.f = f
+	fs.f = tmp
 	old.Close()
 	return nil
 }

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package registry
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; single-process use of
+// a registry log is then the deployment's responsibility.
+func lockFile(f *os.File) error { return nil }

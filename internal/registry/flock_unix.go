@@ -1,0 +1,25 @@
+//go:build unix
+
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking advisory lock on f. A
+// second process holding the lock means another registry handle owns
+// the log — replaying, truncating or appending alongside it would
+// corrupt the file, so open fails fast instead.
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) || errors.Is(err, syscall.EAGAIN) {
+		return fmt.Errorf("registry: %s is in use by another process", f.Name())
+	}
+	if err != nil {
+		return fmt.Errorf("registry: lock %s: %w", f.Name(), err)
+	}
+	return nil
+}

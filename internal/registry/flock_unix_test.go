@@ -1,0 +1,45 @@
+//go:build unix
+
+package registry
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFileLock: the log is exclusively locked for the lifetime of a
+// handle — a second open of the same path fails fast instead of
+// corrupting the file, and the lock follows the handle across Close and
+// Compact's file swap. Unix-only: lockFile is a documented no-op
+// elsewhere.
+func TestFileLock(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.jsonl")
+	st, err := OpenFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, FileOptions{}); err == nil || !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("second open = %v, want 'in use' error", err)
+	}
+	st.PutOwner(testOwner("acme"))
+	st.AddReceipt(testReceipt("acme", "r1"))
+	// Compaction swaps the backing file; the new file must be locked too.
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, FileOptions{}); err == nil || !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("open after compact = %v, want 'in use' error", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFile(path, FileOptions{})
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	defer re.Close()
+	if _, err := re.GetReceipt("acme", "r1"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,15 @@
 //
 // Operational behavior:
 //
+//   - Authentication: the owner's secret key doubles as the API
+//     credential. Every owner-scoped request (embed, detect, verify,
+//     receipts) must carry `Authorization: Bearer <key>`, and
+//     re-registering an existing owner id requires the current key —
+//     first-time registration is the only open call. Keys are compared
+//     in constant time over digests. Options.AllowUnauthenticated
+//     disables all of this for trusted-network deployments only; the
+//     key and the safeguarded query set Q are exactly the secrets the
+//     watermark's security model rests on.
 //   - Admission control: at most Workers embed/detect/verify requests
 //     run at once; excess requests wait up to QueueTimeout for a slot
 //     and are rejected with 503 afterwards. Request bodies are capped
@@ -30,6 +39,7 @@ package server
 import (
 	"bytes"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -37,6 +47,8 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"slices"
+	"strings"
 	"sync"
 	"time"
 
@@ -74,6 +86,10 @@ type Options struct {
 	// sequential; server throughput usually comes from Workers, not
 	// from splitting single documents).
 	Concurrency int
+	// AllowUnauthenticated serves owner-scoped endpoints without the
+	// Bearer-key check. Only for deployments where every network peer
+	// is already trusted with every tenant's key and query sets.
+	AllowUnauthenticated bool
 }
 
 func (o Options) withDefaults() Options {
@@ -263,9 +279,55 @@ func (s *Server) parseDoc(body []byte) (*xmltree.Node, error) {
 	return doc, nil
 }
 
-// runtimeFor resolves an owner id to its compiled runtime, building and
-// caching on first use.
-func (s *Server) runtimeFor(id string) (*ownerRuntime, error) {
+// bearerKey extracts the presented owner key from the Authorization
+// header ("Bearer <key>"; the scheme is case-insensitive per RFC 9110,
+// and some proxies normalize its casing).
+func bearerKey(r *http.Request) string {
+	scheme, rest, ok := strings.Cut(r.Header.Get("Authorization"), " ")
+	if !ok || !strings.EqualFold(scheme, "Bearer") {
+		return ""
+	}
+	return strings.TrimSpace(rest)
+}
+
+// authorize checks that the request proves knowledge of the owner's
+// secret key — the key doubles as the API credential, because anyone
+// holding it already holds everything the watermark's security rests
+// on. Digest comparison keeps the check constant-time in both content
+// and length.
+func (s *Server) authorize(r *http.Request, o registry.Owner) error {
+	if s.opts.AllowUnauthenticated {
+		return nil
+	}
+	got := bearerKey(r)
+	if got == "" {
+		return errf(http.StatusUnauthorized, "missing credentials: send Authorization: Bearer <owner key>")
+	}
+	a, b := sha256.Sum256([]byte(got)), sha256.Sum256([]byte(o.Key))
+	if subtle.ConstantTimeCompare(a[:], b[:]) != 1 {
+		return errf(http.StatusUnauthorized, "wrong key for owner %q", o.ID)
+	}
+	return nil
+}
+
+// sameOwner reports whether a compiled runtime's owner record still
+// matches the registry's. Every field the runtime is built from counts
+// — including Dataset and the raw Spec bytes, which can change
+// out-of-band when the registry file is replaced under a running
+// daemon.
+func sameOwner(a, b registry.Owner) bool {
+	return a.ID == b.ID && a.CreatedUnix == b.CreatedUnix && a.Key == b.Key &&
+		a.Mark == b.Mark && a.Gamma == b.Gamma && a.Dataset == b.Dataset &&
+		bytes.Equal(a.Spec, b.Spec)
+}
+
+// runtimeFor resolves an owner id to its compiled runtime, building
+// and caching on first use. The request credential is checked against
+// the owner record BEFORE any runtime work, so unauthenticated peers
+// never trigger the comparatively expensive spec compile. Owner ids
+// themselves are not secrets (they ride in URLs and receipts), so an
+// unknown id stays a 404 rather than being folded into the 401.
+func (s *Server) runtimeFor(r *http.Request, id string) (*ownerRuntime, error) {
 	if id == "" {
 		return nil, errf(http.StatusBadRequest, "owner query parameter is required")
 	}
@@ -276,10 +338,13 @@ func (s *Server) runtimeFor(id string) (*ownerRuntime, error) {
 		}
 		return nil, err
 	}
+	if err := s.authorize(r, o); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	rt, ok := s.runtimes[id]
 	s.mu.Unlock()
-	if ok && rt.owner.CreatedUnix == o.CreatedUnix && rt.owner.Key == o.Key && rt.owner.Mark == o.Mark && rt.owner.Gamma == o.Gamma {
+	if ok && sameOwner(rt.owner, o) {
 		return rt, nil
 	}
 	rt, err = s.buildRuntime(o)
@@ -348,9 +413,12 @@ type ownerResponse struct {
 	Receipts int    `json:"receipts"`
 }
 
-// handlePutOwner registers (or re-registers) a tenant. The runtime is
-// built eagerly so a broken spec fails registration, not the first
-// embed.
+// handlePutOwner registers (or re-registers) a tenant. First-time
+// registration is open; replacing an existing owner (key rotation,
+// spec change) must prove knowledge of the key it replaces, or any
+// network peer could hijack the tenant with its own key and mark. The
+// runtime is built eagerly so a broken spec fails registration, not
+// the first embed.
 func (s *Server) handlePutOwner(w http.ResponseWriter, r *http.Request) {
 	body, err := s.readBody(w, r)
 	if err != nil {
@@ -369,16 +437,47 @@ func (s *Server) handlePutOwner(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, errf(http.StatusBadRequest, "%v", err))
 		return
 	}
+	// Cheap fast-fail before the spec compile: unauthenticated peers
+	// must not get to burn a buildRuntime against an existing id. The
+	// authoritative check is repeated under the lock below.
+	if existing, gerr := s.reg.GetOwner(o.ID); gerr == nil {
+		if err := s.authorize(r, existing); err != nil {
+			writeErr(w, errf(http.StatusUnauthorized, "owner %q exists; re-registration requires Authorization: Bearer <current key>", o.ID))
+			return
+		}
+	} else if !errors.Is(gerr, registry.ErrNotFound) {
+		writeErr(w, gerr)
+		return
+	}
 	rt, err := s.buildRuntime(o)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
+	// The exists-check and the Put must be one atomic step: two
+	// concurrent registrations of the same fresh id would otherwise
+	// both pass the not-found check and the later Put would silently
+	// overwrite the earlier key — a hijack window on first
+	// registration. s.mu serializes every registration in this process,
+	// and the registry file lock guarantees this process is the only
+	// writer.
+	s.mu.Lock()
+	if existing, gerr := s.reg.GetOwner(o.ID); gerr == nil {
+		if err := s.authorize(r, existing); err != nil {
+			s.mu.Unlock()
+			writeErr(w, errf(http.StatusUnauthorized, "owner %q exists; re-registration requires Authorization: Bearer <current key>", o.ID))
+			return
+		}
+	} else if !errors.Is(gerr, registry.ErrNotFound) {
+		s.mu.Unlock()
+		writeErr(w, gerr)
+		return
+	}
 	if err := s.reg.PutOwner(o); err != nil {
+		s.mu.Unlock()
 		writeErr(w, err)
 		return
 	}
-	s.mu.Lock()
 	s.runtimes[o.ID] = rt
 	s.mu.Unlock()
 	n := 0
@@ -403,12 +502,23 @@ type receiptMeta struct {
 
 func (s *Server) handleListReceipts(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	recs, err := s.reg.ListReceipts(id)
+	o, err := s.reg.GetOwner(id)
 	if err != nil {
 		if errors.Is(err, registry.ErrNotFound) {
 			writeErr(w, errf(http.StatusNotFound, "unknown owner %q", id))
 			return
 		}
+		writeErr(w, err)
+		return
+	}
+	// Receipts are the safeguarded query sets; even the metadata listing
+	// is for the key holder only.
+	if err := s.authorize(r, o); err != nil {
+		writeErr(w, err)
+		return
+	}
+	recs, err := s.reg.ListReceipts(id)
+	if err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -433,7 +543,7 @@ func (s *Server) handleListReceipts(w http.ResponseWriter, r *http.Request) {
 // same embed is idempotent.
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	ownerID := r.URL.Query().Get("owner")
-	rt, err := s.runtimeFor(ownerID)
+	rt, err := s.runtimeFor(r, ownerID)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -457,11 +567,13 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	// marked it: retrying the identical embed dedupes (deterministic
 	// embedding makes the receipts byte-identical), while re-embedding
 	// after a key/mark/gamma rotation gets a fresh receipt instead of
-	// silently colliding with the stale one.
+	// silently colliding with the stale one. 128 id bits keep the
+	// accidental-collision probability negligible at any realistic
+	// receipt count.
 	idh := sha256.New()
 	fmt.Fprintf(idh, "%s\x1f%s\x1f%s\x1f%d\x1f", rt.owner.ID, rt.owner.Key, rt.owner.Mark, rt.owner.Gamma)
 	idh.Write(body)
-	receiptID := "r-" + hex.EncodeToString(idh.Sum(nil))[:16]
+	receiptID := "r-" + hex.EncodeToString(idh.Sum(nil))[:32]
 	label := r.URL.Query().Get("doc")
 
 	outs, err := rt.eng.EmbedAll(r.Context(), []pipeline.Job{{ID: receiptID, Doc: doc}})
@@ -482,9 +594,20 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		Carriers:       out.Result.Carriers,
 		ValuesWritten:  out.Result.Embedded,
 	}
-	if err := s.reg.AddReceipt(rec); err != nil && !errors.Is(err, registry.ErrDuplicate) {
-		writeErr(w, errf(http.StatusInternalServerError, "store receipt: %v", err))
-		return
+	if err := s.reg.AddReceipt(rec); err != nil {
+		if !errors.Is(err, registry.ErrDuplicate) {
+			writeErr(w, errf(http.StatusInternalServerError, "store receipt: %v", err))
+			return
+		}
+		// Same id under this owner: an idempotent retry of the identical
+		// embed stores identical records. Anything else is an id
+		// collision between different documents — refuse rather than
+		// hand back a receipt whose queries target another document.
+		stored, gerr := s.reg.GetReceipt(ownerID, receiptID)
+		if gerr != nil || !slices.Equal(stored.Records, rec.Records) {
+			writeErr(w, errf(http.StatusInternalServerError, "receipt id collision on %q: stored records do not match this embedding", receiptID))
+			return
+		}
 	}
 	s.met.embeds.Inc()
 	h := w.Header()
@@ -543,7 +666,7 @@ func (s *Server) suspectDoc(body []byte) (cachedDoc, bool, error) {
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	ownerID := r.URL.Query().Get("owner")
-	rt, err := s.runtimeFor(ownerID)
+	rt, err := s.runtimeFor(r, ownerID)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -680,7 +803,7 @@ type constraintStatus struct {
 // as a service endpoint.
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	ownerID := r.URL.Query().Get("owner")
-	rt, err := s.runtimeFor(ownerID)
+	rt, err := s.runtimeFor(r, ownerID)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -32,11 +32,22 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	return s, ts
 }
 
+// do fires an unauthenticated request (registration bootstrap,
+// healthz/metrics, and the 401 assertions).
 func do(t *testing.T, method, url string, body []byte) (int, []byte, http.Header) {
+	t.Helper()
+	return doAs(t, "", method, url, body)
+}
+
+// doAs fires a request carrying the owner key as the Bearer credential.
+func doAs(t *testing.T, key, method, url string, body []byte) (int, []byte, http.Header) {
 	t.Helper()
 	req, err := http.NewRequest(method, url, bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -50,6 +61,7 @@ func do(t *testing.T, method, url string, body []byte) (int, []byte, http.Header
 	return resp.StatusCode, data, resp.Header
 }
 
+// registerOwner bootstraps owner id with key "key-<id>".
 func registerOwner(t *testing.T, base, id string) {
 	t.Helper()
 	owner := fmt.Sprintf(`{"id":%q,"key":"key-%s","mark":"(C) %s","dataset":"pubs","gamma":3}`, id, id, id)
@@ -75,7 +87,7 @@ func TestServerEndToEnd(t *testing.T) {
 	orig := pubsXML(t, 150, 7)
 
 	// Embed.
-	code, marked, hdr := do(t, "POST", ts.URL+"/v1/embed?owner=acme&doc=catalog.xml", orig)
+	code, marked, hdr := doAs(t, "key-acme", "POST", ts.URL+"/v1/embed?owner=acme&doc=catalog.xml", orig)
 	if code != http.StatusOK {
 		t.Fatalf("embed: %d %s", code, marked)
 	}
@@ -99,7 +111,7 @@ func TestServerEndToEnd(t *testing.T) {
 		CacheHit      bool    `json:"cache_hit"`
 		QueriesRun    int     `json:"queries_run"`
 	}
-	code, body, _ := do(t, "POST", ts.URL+"/v1/detect?owner=acme", marked)
+	code, body, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme", marked)
 	if code != http.StatusOK {
 		t.Fatalf("detect: %d %s", code, body)
 	}
@@ -118,7 +130,7 @@ func TestServerEndToEnd(t *testing.T) {
 
 	// Repeat detection of the same body: must be served from the
 	// document cache (the acceptance criterion's counter assertion).
-	code, body, _ = do(t, "POST", ts.URL+"/v1/detect?owner=acme", marked)
+	code, body, _ = doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme", marked)
 	if code != http.StatusOK {
 		t.Fatalf("repeat detect: %d %s", code, body)
 	}
@@ -134,7 +146,7 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// The unmarked original must NOT detect.
-	code, body, _ = do(t, "POST", ts.URL+"/v1/detect?owner=acme", orig)
+	code, body, _ = doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme", orig)
 	if code != http.StatusOK {
 		t.Fatalf("detect original: %d %s", code, body)
 	}
@@ -146,7 +158,7 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 
 	// Blind mode works too (document kept the original schema).
-	code, body, _ = do(t, "POST", ts.URL+"/v1/detect?owner=acme&mode=blind", marked)
+	code, body, _ = doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme&mode=blind", marked)
 	if code != http.StatusOK {
 		t.Fatalf("blind detect: %d %s", code, body)
 	}
@@ -184,7 +196,7 @@ func TestServerReceiptsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	registerOwner(t, ts.URL, "acme")
 	doc := pubsXML(t, 60, 3)
-	code, _, hdr := do(t, "POST", ts.URL+"/v1/embed?owner=acme&doc=d1.xml", doc)
+	code, _, hdr := doAs(t, "key-acme", "POST", ts.URL+"/v1/embed?owner=acme&doc=d1.xml", doc)
 	if code != http.StatusOK {
 		t.Fatalf("embed: %d", code)
 	}
@@ -199,7 +211,7 @@ func TestServerReceiptsEndpoint(t *testing.T) {
 			Records    json.RawMessage `json:"records"`
 		} `json:"receipts"`
 	}
-	code, body, _ := do(t, "GET", ts.URL+"/v1/owners/acme/receipts", nil)
+	code, body, _ := doAs(t, "key-acme", "GET", ts.URL+"/v1/owners/acme/receipts", nil)
 	if code != http.StatusOK {
 		t.Fatalf("receipts: %d %s", code, body)
 	}
@@ -212,7 +224,7 @@ func TestServerReceiptsEndpoint(t *testing.T) {
 	if listing.Receipts[0].QueryCount == 0 || listing.Receipts[0].Records != nil {
 		t.Fatalf("metadata listing should elide records: %s", body)
 	}
-	code, body, _ = do(t, "GET", ts.URL+"/v1/owners/acme/receipts?full=1", nil)
+	code, body, _ = doAs(t, "key-acme", "GET", ts.URL+"/v1/owners/acme/receipts?full=1", nil)
 	if code != http.StatusOK {
 		t.Fatalf("receipts full: %d", code)
 	}
@@ -225,11 +237,11 @@ func TestServerReceiptsEndpoint(t *testing.T) {
 
 	// Re-embedding the identical body is idempotent: same receipt id,
 	// no second registry entry.
-	code, _, hdr = do(t, "POST", ts.URL+"/v1/embed?owner=acme&doc=d1.xml", doc)
+	code, _, hdr = doAs(t, "key-acme", "POST", ts.URL+"/v1/embed?owner=acme&doc=d1.xml", doc)
 	if code != http.StatusOK || hdr.Get("X-Wmxml-Receipt") != wantID {
 		t.Fatalf("re-embed: %d receipt=%q want %q", code, hdr.Get("X-Wmxml-Receipt"), wantID)
 	}
-	code, body, _ = do(t, "GET", ts.URL+"/v1/owners/acme/receipts", nil)
+	code, body, _ = doAs(t, "key-acme", "GET", ts.URL+"/v1/owners/acme/receipts", nil)
 	if code != http.StatusOK {
 		t.Fatal("receipts after re-embed")
 	}
@@ -248,18 +260,20 @@ func TestServerKeyRotationNewReceipt(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	registerOwner(t, ts.URL, "acme")
 	doc := pubsXML(t, 80, 21)
-	code, _, hdr := do(t, "POST", ts.URL+"/v1/embed?owner=acme", doc)
+	code, _, hdr := doAs(t, "key-acme", "POST", ts.URL+"/v1/embed?owner=acme", doc)
 	if code != http.StatusOK {
 		t.Fatalf("embed: %d", code)
 	}
 	oldID := hdr.Get("X-Wmxml-Receipt")
 
-	// Rotate the key, re-embed the identical bytes.
+	// Rotate the key: the re-registration itself must prove knowledge
+	// of the key it replaces, then every request switches to the new
+	// credential.
 	rotated := `{"id":"acme","key":"rotated-key","mark":"(C) acme","dataset":"pubs","gamma":3}`
-	if code, body, _ := do(t, "POST", ts.URL+"/v1/owners", []byte(rotated)); code != http.StatusOK {
+	if code, body, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/owners", []byte(rotated)); code != http.StatusOK {
 		t.Fatalf("rotate: %d %s", code, body)
 	}
-	code, marked2, hdr := do(t, "POST", ts.URL+"/v1/embed?owner=acme", doc)
+	code, marked2, hdr := doAs(t, "rotated-key", "POST", ts.URL+"/v1/embed?owner=acme", doc)
 	if code != http.StatusOK {
 		t.Fatalf("re-embed after rotation: %d", code)
 	}
@@ -267,7 +281,11 @@ func TestServerKeyRotationNewReceipt(t *testing.T) {
 	if newID == oldID {
 		t.Fatalf("rotated embed reused receipt id %q", oldID)
 	}
-	code, body, _ := do(t, "GET", ts.URL+"/v1/owners/acme/receipts", nil)
+	// The retired key no longer authenticates.
+	if code, _, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme", marked2); code != http.StatusUnauthorized {
+		t.Fatalf("detect with retired key: %d, want 401", code)
+	}
+	code, body, _ := doAs(t, "rotated-key", "GET", ts.URL+"/v1/owners/acme/receipts", nil)
 	if code != http.StatusOK {
 		t.Fatal("receipts after rotation")
 	}
@@ -275,7 +293,7 @@ func TestServerKeyRotationNewReceipt(t *testing.T) {
 		t.Fatalf("registry lost a receipt across rotation: %s", body)
 	}
 	// The rotated-key marked copy detects through its new receipt.
-	code, body, _ = do(t, "POST", ts.URL+"/v1/detect?owner=acme", marked2)
+	code, body, _ = doAs(t, "rotated-key", "POST", ts.URL+"/v1/detect?owner=acme", marked2)
 	if code != http.StatusOK || !strings.Contains(string(body), `"detected": true`) {
 		t.Fatalf("detect after rotation: %d %s", code, body)
 	}
@@ -291,7 +309,7 @@ func TestServerVerify(t *testing.T) {
 		SchemaValid bool `json:"schema_valid"`
 		OK          bool `json:"ok"`
 	}
-	code, body, _ := do(t, "POST", ts.URL+"/v1/verify?owner=acme", pubsXML(t, 40, 1))
+	code, body, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/verify?owner=acme", pubsXML(t, 40, 1))
 	if code != http.StatusOK {
 		t.Fatalf("verify: %d %s", code, body)
 	}
@@ -301,7 +319,7 @@ func TestServerVerify(t *testing.T) {
 	if !v.SchemaValid || !v.OK {
 		t.Fatalf("verify valid doc: %s", body)
 	}
-	code, body, _ = do(t, "POST", ts.URL+"/v1/verify?owner=acme", []byte(`<db><magazine/></db>`))
+	code, body, _ = doAs(t, "key-acme", "POST", ts.URL+"/v1/verify?owner=acme", []byte(`<db><magazine/></db>`))
 	if code != http.StatusOK {
 		t.Fatalf("verify invalid: %d %s", code, body)
 	}
@@ -339,7 +357,10 @@ func TestServerErrors(t *testing.T) {
 		{"owner bad dataset", "POST", "/v1/owners", []byte(`{"id":"x","key":"k","mark":"m","dataset":"nope"}`), http.StatusBadRequest},
 	}
 	for _, tc := range cases {
-		code, body, _ := do(t, tc.method, ts.URL+tc.path, tc.body)
+		// All requests present acme's key so the expected error, not a
+		// 401, is what comes back; the unauthenticated statuses have
+		// their own test.
+		code, body, _ := doAs(t, "key-acme", tc.method, ts.URL+tc.path, tc.body)
 		if code != tc.want {
 			t.Errorf("%s: code = %d want %d (%s)", tc.name, code, tc.want, body)
 		}
@@ -350,7 +371,7 @@ func TestServerErrors(t *testing.T) {
 	for i := range big {
 		big[i] = 'x'
 	}
-	code, _, _ := do(t, "POST", ts.URL+"/v1/embed?owner=acme", big)
+	code, _, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/embed?owner=acme", big)
 	if code != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized body: code = %d want 413", code)
 	}
@@ -364,9 +385,74 @@ func TestServerErrors(t *testing.T) {
 	for i := 0; i < 30; i++ {
 		sb.WriteString("</a>")
 	}
-	code, body, _ := do(t, "POST", ts.URL+"/v1/verify?owner=acme", []byte(sb.String()))
+	code, body, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/verify?owner=acme", []byte(sb.String()))
 	if code != http.StatusBadRequest {
 		t.Errorf("depth bomb: code = %d (%s), want 400", code, body)
+	}
+}
+
+// TestServerAuth: owner-scoped endpoints require the owner's key as a
+// Bearer credential; re-registering an existing id requires the
+// current key; AllowUnauthenticated opts out of all of it.
+func TestServerAuth(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	registerOwner(t, ts.URL, "acme")
+	doc := pubsXML(t, 120, 4)
+
+	// Missing and wrong credentials are rejected on every owner-scoped
+	// endpoint before any work runs.
+	for _, key := range []string{"", "not-the-key"} {
+		for _, ep := range []struct{ method, path string }{
+			{"POST", "/v1/embed?owner=acme"},
+			{"POST", "/v1/detect?owner=acme"},
+			{"POST", "/v1/verify?owner=acme"},
+			{"GET", "/v1/owners/acme/receipts"},
+			{"GET", "/v1/owners/acme/receipts?full=1"},
+		} {
+			code, body, _ := doAs(t, key, ep.method, ts.URL+ep.path, doc)
+			if code != http.StatusUnauthorized {
+				t.Errorf("%s %s with key %q: code = %d want 401 (%s)", ep.method, ep.path, key, code, body)
+			}
+		}
+	}
+
+	// The auth scheme is case-insensitive (RFC 9110; proxies normalize
+	// casing).
+	req, err := http.NewRequest("POST", ts.URL+"/v1/verify?owner=acme", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "bearer key-acme")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("lowercase bearer scheme rejected: %d", resp.StatusCode)
+	}
+
+	// Hijacking an existing owner id without its key is refused; the
+	// original registration stays intact.
+	hijack := `{"id":"acme","key":"attacker","mark":"(C) EVE","dataset":"pubs"}`
+	for _, key := range []string{"", "attacker"} {
+		if code, body, _ := doAs(t, key, "POST", ts.URL+"/v1/owners", []byte(hijack)); code != http.StatusUnauthorized {
+			t.Fatalf("re-register with key %q: code = %d want 401 (%s)", key, code, body)
+		}
+	}
+	if code, _, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/embed?owner=acme", doc); code != http.StatusOK {
+		t.Fatalf("original key stopped working after hijack attempt: %d", code)
+	}
+
+	// Trusted-network mode: everything works without credentials.
+	_, open := newTestServer(t, Options{AllowUnauthenticated: true})
+	registerOwner(t, open.URL, "acme")
+	code, marked, _ := do(t, "POST", open.URL+"/v1/embed?owner=acme", doc)
+	if code != http.StatusOK {
+		t.Fatalf("unauthenticated embed with AllowUnauthenticated: %d", code)
+	}
+	if code, body, _ := do(t, "POST", open.URL+"/v1/detect?owner=acme", marked); code != http.StatusOK || !strings.Contains(string(body), `"detected": true`) {
+		t.Fatalf("unauthenticated detect with AllowUnauthenticated: %d %s", code, body)
 	}
 }
 
@@ -377,7 +463,7 @@ func TestServerAdmission(t *testing.T) {
 	registerOwner(t, ts.URL, "acme")
 	// Occupy the only slot directly.
 	s.slots <- struct{}{}
-	code, body, _ := do(t, "POST", ts.URL+"/v1/detect?owner=acme&mode=blind", pubsXML(t, 10, 1))
+	code, body, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme&mode=blind", pubsXML(t, 10, 1))
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("admission: code = %d (%s), want 503", code, body)
 	}
@@ -411,7 +497,7 @@ func TestServerFileRegistry(t *testing.T) {
 	_, ts := newTestServer(t, Options{Registry: reg})
 	registerOwner(t, ts.URL, "acme")
 	doc := pubsXML(t, 80, 11)
-	code, marked, _ := do(t, "POST", ts.URL+"/v1/embed?owner=acme", doc)
+	code, marked, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/embed?owner=acme", doc)
 	if code != http.StatusOK {
 		t.Fatalf("embed: %d", code)
 	}
@@ -424,7 +510,7 @@ func TestServerFileRegistry(t *testing.T) {
 	}
 	defer reg2.Close()
 	_, ts2 := newTestServer(t, Options{Registry: reg2})
-	code, body, _ := do(t, "POST", ts2.URL+"/v1/detect?owner=acme", marked)
+	code, body, _ := doAs(t, "key-acme", "POST", ts2.URL+"/v1/detect?owner=acme", marked)
 	if code != http.StatusOK {
 		t.Fatalf("detect after reopen: %d %s", code, body)
 	}

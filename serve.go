@@ -59,6 +59,13 @@ type ServerOptions struct {
 	// CacheEntries sizes the suspect-document LRU keyed by body hash
 	// (0 = 128; negative disables).
 	CacheEntries int
+	// AllowUnauthenticated disables the Bearer-key check on
+	// owner-scoped endpoints. By default every embed/detect/verify/
+	// receipts request must present the owner's secret key
+	// (`Authorization: Bearer <key>`), and re-registering an existing
+	// owner id requires the current key; only set this on networks
+	// where every peer is already trusted with every tenant's secrets.
+	AllowUnauthenticated bool
 }
 
 // NewServerHandler builds the wmxmld HTTP API as an http.Handler, for
@@ -69,12 +76,13 @@ func NewServerHandler(opts ServerOptions) (http.Handler, error) {
 		reg = registry.NewMemory()
 	}
 	s, err := server.New(server.Options{
-		Registry:     reg,
-		Workers:      opts.Workers,
-		QueueTimeout: opts.QueueTimeout,
-		MaxBodyBytes: opts.MaxBodyBytes,
-		MaxDepth:     opts.MaxDepth,
-		CacheEntries: opts.CacheEntries,
+		Registry:             reg,
+		Workers:              opts.Workers,
+		QueueTimeout:         opts.QueueTimeout,
+		MaxBodyBytes:         opts.MaxBodyBytes,
+		MaxDepth:             opts.MaxDepth,
+		CacheEntries:         opts.CacheEntries,
+		AllowUnauthenticated: opts.AllowUnauthenticated,
 	})
 	if err != nil {
 		return nil, err

@@ -24,7 +24,14 @@ func TestServeHandlerRoundTrip(t *testing.T) {
 
 	post := func(path string, body []byte) (*http.Response, string) {
 		t.Helper()
-		resp, err := http.Post(ts.URL+path, "application/octet-stream", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		// The owner's key is the API credential on owner-scoped calls.
+		req.Header.Set("Authorization", "Bearer k1")
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatal(err)
 		}
