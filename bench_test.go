@@ -53,6 +53,7 @@ func BenchmarkA1ChannelComparison(b *testing.B)  { benchTable(b, experiments.A1C
 func BenchmarkA2TauSweep(b *testing.B)           { benchTable(b, experiments.A2TauSweep) }
 func BenchmarkA3XiBitFlip(b *testing.B)          { benchTable(b, experiments.A3XiBitFlip) }
 func BenchmarkS1Scalability(b *testing.B)        { benchTable(b, experiments.S1Scalability) }
+func BenchmarkC1Collusion(b *testing.B)          { benchTable(b, experiments.C1Collusion) }
 
 // --- substrate micro-benchmarks ---
 

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	wmbench [--books 400] [--trials 10] [--bits 64] [--seed 2005]
-//	        [--exp all|ablations|E1..E8|F1|A1..A3|S1] [--markdown]
+//	        [--exp all|ablations|E1..E8|F1|A1..A3|S1|C1] [--markdown]
 //
 // The defaults reproduce the committed EXPERIMENTS.md; smaller --books /
 // --trials give a quick look at the shapes.
@@ -23,7 +23,7 @@ func main() {
 	trials := flag.Int("trials", 10, "trials per randomized sweep point")
 	bits := flag.Int("bits", 64, "watermark length in bits")
 	seed := flag.Int64("seed", 2005, "experiment seed")
-	exp := flag.String("exp", "all", "experiment to run: all, E1..E8, F1")
+	exp := flag.String("exp", "all", "experiment to run: all, E1..E8, F1, A1..A3, S1, C1")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavoured markdown")
 	flag.Parse()
 
@@ -43,6 +43,7 @@ func main() {
 		"A2": experiments.A2TauSweep,
 		"A3": experiments.A3XiBitFlip,
 		"S1": experiments.S1Scalability,
+		"C1": experiments.C1Collusion,
 	}
 
 	var tables []*experiments.Table

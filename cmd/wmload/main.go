@@ -17,10 +17,18 @@
 // The gap between the two classes is the measured value of the
 // server's index LRU.
 //
+// With --fingerprint-every / --trace-every the mix adds the
+// distribution-chain operations: fingerprints rotate over a small
+// recipient pool (so the trace candidate list keeps growing mid-run)
+// and traces sweep a fingerprinted suspect through the same document
+// cache. Every class reports p50/p90/p99/p99.9/max.
+//
 // Usage:
 //
 //	wmxmld --addr 127.0.0.1:8484 &
 //	wmload --url http://127.0.0.1:8484 --requests 300 --out BENCH_PR3.json
+//	wmload --url http://127.0.0.1:8484 --requests 300 \
+//	       --fingerprint-every 25 --trace-every 3 --out BENCH_PR4.json
 package main
 
 import (
@@ -58,10 +66,11 @@ type benchOutput struct {
 
 // sample is one completed request.
 type sample struct {
-	class    string // "embed", "detect_warm", "detect_cold"
+	class    string // "embed", "fingerprint", "detect_warm", "detect_cold", "trace_warm"
 	d        time.Duration
 	err      error
 	detected bool
+	accused  bool
 	cacheHit bool
 }
 
@@ -79,6 +88,8 @@ func main() {
 	concurrency := fs.Int("concurrency", 8, "concurrent client workers")
 	embedEvery := fs.Int("embed-every", 10, "one embed per N requests (rest are detects)")
 	coldEvery := fs.Int("cold-every", 4, "every Nth detect busts the document cache")
+	fpEvery := fs.Int("fingerprint-every", 0, "one fingerprint (rotating recipient) per N requests (0 = off)")
+	traceEvery := fs.Int("trace-every", 0, "every Nth detect slot runs a /v1/trace sweep instead (0 = off)")
 	out := fs.String("out", "", "write the JSON report here (default stdout)")
 	waitFor := fs.Duration("wait", 10*time.Second, "how long to wait for /healthz before giving up")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -86,14 +97,14 @@ func main() {
 	}
 
 	if err := run(*url, *owner, *key, *mark, *dataset, *size, *seed, *gamma,
-		*requests, *concurrency, *embedEvery, *coldEvery, *out, *waitFor); err != nil {
+		*requests, *concurrency, *embedEvery, *coldEvery, *fpEvery, *traceEvery, *out, *waitFor); err != nil {
 		fmt.Fprintf(os.Stderr, "wmload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(url, owner, key, mark, dataset string, size int, seed int64, gamma,
-	requests, concurrency, embedEvery, coldEvery int, out string, waitFor time.Duration) error {
+	requests, concurrency, embedEvery, coldEvery, fpEvery, traceEvery int, out string, waitFor time.Duration) error {
 	client := &http.Client{Timeout: 2 * time.Minute}
 
 	// 1. Wait for the daemon.
@@ -132,10 +143,23 @@ func run(url, owner, key, mark, dataset string, size int, seed int64, gamma,
 	if _, _, err := post(client, key, url+"/v1/detect?owner="+owner, marked); err != nil {
 		return fmt.Errorf("warmup detect: %w", err)
 	}
+	// With fingerprint/trace in the mix, seed the distribution: one
+	// fingerprinted copy is both the trace suspect and the guarantee of
+	// a non-empty candidate list. The warm trace primes its cache entry.
+	var traced []byte
+	if fpEvery > 0 || traceEvery > 0 {
+		traced, _, err = post(client, key, url+"/v1/fingerprint?owner="+owner+"&recipient=fp-leaker", doc)
+		if err != nil {
+			return fmt.Errorf("warmup fingerprint: %w", err)
+		}
+		if _, _, err := post(client, key, url+"/v1/trace?owner="+owner, traced); err != nil {
+			return fmt.Errorf("warmup trace: %w", err)
+		}
+	}
 
 	// 4. Fire the measured load.
-	fmt.Fprintf(os.Stderr, "wmload: %d requests, %d workers, 1 embed per %d, 1 cold detect per %d detects\n",
-		requests, concurrency, embedEvery, coldEvery)
+	fmt.Fprintf(os.Stderr, "wmload: %d requests, %d workers, 1 embed per %d, 1 cold detect per %d detects, 1 fingerprint per %d, 1 trace per %d detects\n",
+		requests, concurrency, embedEvery, coldEvery, fpEvery, traceEvery)
 	samples := make([]sample, requests)
 	var next atomic.Int64
 	var detects atomic.Int64
@@ -150,7 +174,7 @@ func run(url, owner, key, mark, dataset string, size int, seed int64, gamma,
 				if i >= requests {
 					return
 				}
-				samples[i] = fire(client, url, owner, key, i, embedEvery, coldEvery, &detects, doc, marked)
+				samples[i] = fire(client, url, owner, key, i, embedEvery, coldEvery, fpEvery, traceEvery, &detects, doc, marked, traced)
 			}
 		}()
 	}
@@ -205,15 +229,42 @@ func generate(dataset string, size int, seed int64) ([]byte, error) {
 // suspect, every coldEvery-th with a cache-busting comment appended —
 // the comment changes the content hash but is dropped by the parser,
 // so the cold path measures parse + index build + detect on an
-// identical tree.
-func fire(client *http.Client, url, owner, key string, i, embedEvery, coldEvery int,
-	detects *atomic.Int64, doc, marked []byte) sample {
+// identical tree. With the PR4 mix enabled, fingerprints rotate over a
+// small recipient pool (growing the trace candidate list) and traces
+// sweep the fingerprinted suspect warm — the path whose cost must stay
+// flat as recipients accumulate.
+func fire(client *http.Client, url, owner, key string, i, embedEvery, coldEvery, fpEvery, traceEvery int,
+	detects *atomic.Int64, doc, marked, traced []byte) sample {
 	if embedEvery > 0 && i%embedEvery == 0 {
 		t0 := time.Now()
 		_, _, err := post(client, key, url+"/v1/embed?owner="+owner+"&doc=wmload.xml", doc)
 		return sample{class: "embed", d: time.Since(t0), err: err}
 	}
+	// Offset by one so fingerprints don't collide with the embed slot;
+	// the modulo of the offset keeps --fingerprint-every 1 firing on
+	// every non-embed request instead of never.
+	if fpEvery > 0 && i%fpEvery == 1%fpEvery {
+		recipient := fmt.Sprintf("fp-%d", (i/fpEvery)%8)
+		t0 := time.Now()
+		_, _, err := post(client, key, url+"/v1/fingerprint?owner="+owner+"&recipient="+recipient, doc)
+		return sample{class: "fingerprint", d: time.Since(t0), err: err}
+	}
 	n := detects.Add(1)
+	if traceEvery > 0 && n%int64(traceEvery) == 0 {
+		t0 := time.Now()
+		resp, _, err := post(client, key, url+"/v1/trace?owner="+owner, traced)
+		s := sample{class: "trace_warm", d: time.Since(t0), err: err}
+		if err == nil {
+			var v struct {
+				Accused  []string `json:"accused"`
+				CacheHit bool     `json:"cache_hit"`
+			}
+			if jerr := json.Unmarshal(resp, &v); jerr == nil {
+				s.accused, s.cacheHit = len(v.Accused) > 0, v.CacheHit
+			}
+		}
+		return s
+	}
 	body := marked
 	class := "detect_warm"
 	if coldEvery > 0 && n%int64(coldEvery) == 0 {
@@ -270,7 +321,7 @@ func report(samples []sample, wall time.Duration) benchOutput {
 	}
 	var out benchOutput
 	var okTotal int
-	for _, class := range []string{"embed", "detect_warm", "detect_cold"} {
+	for _, class := range []string{"embed", "fingerprint", "detect_warm", "detect_cold", "trace_warm"} {
 		ss := byClass[class]
 		if len(ss) == 0 {
 			continue
@@ -278,12 +329,15 @@ func report(samples []sample, wall time.Duration) benchOutput {
 		okTotal += len(ss)
 		ds := make([]time.Duration, len(ss))
 		var sum time.Duration
-		var detected, cacheHits int
+		var detected, accused, cacheHits int
 		for i, s := range ss {
 			ds[i] = s.d
 			sum += s.d
 			if s.detected {
 				detected++
+			}
+			if s.accused {
+				accused++
 			}
 			if s.cacheHit {
 				cacheHits++
@@ -291,12 +345,18 @@ func report(samples []sample, wall time.Duration) benchOutput {
 		}
 		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
 		m := map[string]float64{
-			"p50_ns": float64(pct(ds, 50)),
-			"p90_ns": float64(pct(ds, 90)),
-			"p99_ns": float64(pct(ds, 99)),
+			"p50_ns":  float64(pct(ds, 500)),
+			"p90_ns":  float64(pct(ds, 900)),
+			"p99_ns":  float64(pct(ds, 990)),
+			"p999_ns": float64(pct(ds, 999)),
+			"max_ns":  float64(ds[len(ds)-1]),
 		}
-		if class != "embed" {
+		switch class {
+		case "detect_warm", "detect_cold":
 			m["detected_ratio"] = float64(detected) / float64(len(ss))
+			m["cache_hit_ratio"] = float64(cacheHits) / float64(len(ss))
+		case "trace_warm":
+			m["accused_ratio"] = float64(accused) / float64(len(ss))
 			m["cache_hit_ratio"] = float64(cacheHits) / float64(len(ss))
 		}
 		out.Results = append(out.Results, benchResult{
@@ -324,12 +384,13 @@ func report(samples []sample, wall time.Duration) benchOutput {
 	return out
 }
 
-// pct picks the p-th percentile from an ascending slice.
-func pct(ds []time.Duration, p int) time.Duration {
+// pct picks a percentile, in permille for tail resolution (500 = p50,
+// 999 = p99.9), from an ascending slice.
+func pct(ds []time.Duration, permille int) time.Duration {
 	if len(ds) == 0 {
 		return 0
 	}
-	i := (len(ds) - 1) * p / 100
+	i := (len(ds) - 1) * permille / 1000
 	return ds[i]
 }
 
@@ -338,10 +399,14 @@ func camel(class string) string {
 	switch class {
 	case "embed":
 		return "Embed"
+	case "fingerprint":
+		return "Fingerprint"
 	case "detect_warm":
 		return "DetectWarm"
 	case "detect_cold":
 		return "DetectCold"
+	case "trace_warm":
+		return "TraceWarm"
 	}
 	return class
 }

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestCLIFingerprintTrace walks the distribution chain on the command
+// line: generate → fingerprint three recipients → collude two → trace.
+func TestCLIFingerprintTrace(t *testing.T) {
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "doc.xml")
+	runOK(t, "gen", "--dataset", "pubs", "--size", "250", "--seed", "9", "--out", doc)
+
+	copies := map[string]string{}
+	for _, r := range []string{"alice", "bob", "carol"} {
+		out := filepath.Join(dir, r+".xml")
+		q := filepath.Join(dir, r+"-q.json")
+		runOK(t, "fingerprint", "--dataset", "pubs", "--in", doc,
+			"--key", "cli-owner-key", "--recipient", r, "--gamma", "3",
+			"--out", out, "--queries", q)
+		copies[r] = out
+	}
+
+	// Single leaker, blind and through a query set.
+	runOK(t, "trace", "--dataset", "pubs", "--in", copies["bob"],
+		"--key", "cli-owner-key", "--gamma", "3", "--recipients", "alice,bob,carol")
+	runOK(t, "trace", "--dataset", "pubs", "--in", copies["bob"],
+		"--key", "cli-owner-key", "--gamma", "3", "--recipients", "alice,bob,carol",
+		"--queries", filepath.Join(dir, "bob-q.json"))
+
+	// Collude alice+carol, then trace the pirate copy.
+	pirate := filepath.Join(dir, "pirate.xml")
+	runOK(t, "attack", "--dataset", "pubs", "--in", copies["alice"],
+		"--attack", "collusion", "--colluders", copies["carol"],
+		"--strategy", "segments", "--seed", "3", "--out", pirate)
+	runOK(t, "trace", "--dataset", "pubs", "--in", pirate,
+		"--key", "cli-owner-key", "--gamma", "3", "--recipients", "alice,bob,carol")
+
+	// Usage errors.
+	for _, args := range [][]string{
+		{"--dataset", "pubs", "--in", doc, "--key", "k"},        // no recipient
+		{"--dataset", "pubs", "--in", doc, "--recipient", "r"},  // no key
+		{"--dataset", "pubs", "--key", "k", "--recipient", "r"}, // no input
+	} {
+		if err := run("fingerprint", args); err == nil || !isUsage(err) {
+			t.Errorf("fingerprint %v: err=%v, want usage error", args, err)
+		}
+	}
+	if err := run("trace", []string{"--dataset", "pubs", "--in", doc, "--key", "k"}); err == nil || !isUsage(err) {
+		t.Error("trace without --recipients must be a usage error")
+	}
+	if err := run("attack", []string{"--dataset", "pubs", "--in", doc, "--attack", "collusion"}); err == nil || !isUsage(err) {
+		t.Error("collusion without --colluders must be a usage error")
+	}
+}
+
+func TestCLIVersion(t *testing.T) {
+	runOK(t, "version")
+	runOK(t, "--version")
+}

@@ -35,6 +35,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 
 	"wmxml"
 )
@@ -63,6 +64,11 @@ func isUsage(err error) bool {
 	var ue usageError
 	return errors.As(err, &ue)
 }
+
+// version is the build stamp, injected at link time:
+//
+//	go build -ldflags "-X main.version=$(git rev-parse --short HEAD)" ./cmd/wmxml
+var version = "dev"
 
 func main() {
 	if len(os.Args) < 2 {
@@ -104,6 +110,13 @@ func run(cmd string, args []string) error {
 		return cmdSpec(args)
 	case "verify":
 		return cmdVerify(args)
+	case "fingerprint":
+		return cmdFingerprint(args)
+	case "trace":
+		return cmdTrace(args)
+	case "version", "-version", "--version":
+		fmt.Printf("wmxml %s\n", version)
+		return nil
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -151,6 +164,9 @@ commands:
   stats      print document statistics
   spec       export a dataset preset as a JSON spec (for --spec on custom data)
   verify     validate a document against its schema and verify keys and FDs
+  fingerprint  embed a recipient-specific code (traitor tracing's distribution side)
+  trace      rank recipients by how strongly a leaked copy points at them
+  version    print the build version
 
 run 'wmxml <command> -h' for the command's flags`)
 }
@@ -421,11 +437,13 @@ func cmdAttack(args []string) error {
 	dataset := fs.String("dataset", "pubs", "dataset preset (for scopes and FDs)")
 	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
 	in := fs.String("in", "", "input document")
-	name := fs.String("attack", "alteration", "alteration | reduction | reorganize | reorder | redundancy")
+	name := fs.String("attack", "alteration", "alteration | reduction | reorganize | reorder | redundancy | collusion")
 	severity := fs.Float64("severity", 0.3, "alteration fraction / reduction keep-fraction")
 	seed := fs.Int64("seed", 1, "attack randomness seed")
 	mapName := fs.String("mapping", "pubs", "mapping for reorganize: figure1 | pubs")
 	mapFile := fs.String("mapping-file", "", "JSON mapping file for reorganize")
+	colluders := fs.String("colluders", "", "comma-separated fingerprinted copies joining --in for collusion")
+	strategy := fs.String("strategy", "mix", "collusion composition: mix | segments | majority")
 	out := fs.String("out", "attacked.xml", "output document")
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -460,6 +478,22 @@ func cmdAttack(args []string) error {
 		atk = wmxml.NewReorderAttack()
 	case "redundancy":
 		atk = wmxml.NewRedundancyRemovalAttack(parts.Catalog.FDs)
+	case "collusion":
+		if *colluders == "" {
+			return usagef("collusion needs --colluders (comma-separated fingerprinted copies)")
+		}
+		if len(parts.Catalog.Keys) == 0 {
+			return fmt.Errorf("collusion needs a key scope in the spec")
+		}
+		var copies []*wmxml.Document
+		for _, path := range strings.Split(*colluders, ",") {
+			c, cerr := readDoc(strings.TrimSpace(path))
+			if cerr != nil {
+				return cerr
+			}
+			copies = append(copies, c)
+		}
+		atk = wmxml.NewCollusionAttack(copies, parts.Catalog.Keys[0].Scope, wmxml.CollusionStrategy(*strategy))
 	default:
 		return usagef("unknown attack %q", *name)
 	}
@@ -624,6 +658,149 @@ func cmdSpec(args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", *out)
+	return nil
+}
+
+// fingerprinterFromFlags builds the Fingerprinter shared by the
+// fingerprint and trace subcommands.
+func fingerprinterFromFlags(parts *wmxml.SpecParts, key string, gamma int, alpha float64) (*wmxml.Fingerprinter, error) {
+	if key == "" {
+		return nil, usagef("--key is required")
+	}
+	return wmxml.NewFingerprinter(wmxml.FingerprintOptions{
+		Key:     key,
+		Schema:  parts.Schema,
+		Catalog: parts.Catalog,
+		Targets: parts.Targets,
+		Gamma:   gamma,
+		Alpha:   alpha,
+	})
+}
+
+// cmdFingerprint embeds a recipient-specific code: the distribution
+// side of traitor tracing. The queries file is a normal receipt — one
+// per recipient copy — and any of them (or none, blind) can drive a
+// later trace.
+func cmdFingerprint(args []string) error {
+	fs := newFlagSet("fingerprint")
+	dataset := fs.String("dataset", "pubs", "dataset preset defining schema and semantics")
+	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
+	in := fs.String("in", "", "input document")
+	key := fs.String("key", "", "owner secret key")
+	recipient := fs.String("recipient", "", "recipient id this copy is for")
+	gamma := fs.Int("gamma", 4, "selection ratio (tracing wants several votes per code bit)")
+	out := fs.String("out", "fingerprinted.xml", "output (recipient) document")
+	queries := fs.String("queries", "", "write this copy's query set Q here (optional)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	parts, err := resolveParts(*dataset, *spec)
+	if err != nil {
+		return err
+	}
+	if *in == "" {
+		return usagef("--in is required")
+	}
+	if *recipient == "" {
+		return usagef("--recipient is required")
+	}
+	doc, err := readDoc(*in)
+	if err != nil {
+		return err
+	}
+	fp, err := fingerprinterFromFlags(parts, *key, *gamma, 0)
+	if err != nil {
+		return err
+	}
+	receipt, err := fp.Fingerprint(doc, *recipient)
+	if err != nil {
+		return err
+	}
+	if err := writeDoc(*out, doc); err != nil {
+		return err
+	}
+	if *queries != "" {
+		data, merr := wmxml.MarshalReceipt(receipt.Records)
+		if merr != nil {
+			return merr
+		}
+		if err := os.WriteFile(*queries, data, 0o600); err != nil {
+			return err
+		}
+	}
+	w := statusOut(*out)
+	fmt.Fprintf(w, "fingerprinted for %q: bandwidth %d units, carriers %d, values written %d\n",
+		*recipient, receipt.BandwidthUnits, receipt.Carriers, receipt.ValuesWritten)
+	fmt.Fprintf(w, "recipient copy: %s\n", *out)
+	return nil
+}
+
+// cmdTrace ranks candidate recipients against a leaked copy.
+func cmdTrace(args []string) error {
+	fs := newFlagSet("trace")
+	dataset := fs.String("dataset", "pubs", "dataset preset defining schema and semantics")
+	spec := fs.String("spec", "", "JSON spec file (overrides --dataset)")
+	in := fs.String("in", "", "suspect document")
+	key := fs.String("key", "", "owner secret key")
+	recipients := fs.String("recipients", "", "comma-separated candidate recipient ids")
+	gamma := fs.Int("gamma", 4, "selection ratio used at fingerprinting")
+	alpha := fs.Float64("alpha", 0, "false-accusation budget per trace (0 = default 1e-3)")
+	queries := fs.String("queries", "", "query set Q from any fingerprint embedding (omit for blind decoding)")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
+	parts, err := resolveParts(*dataset, *spec)
+	if err != nil {
+		return err
+	}
+	if *in == "" {
+		return usagef("--in is required")
+	}
+	if *recipients == "" {
+		return usagef("--recipients is required")
+	}
+	var cands []string
+	for _, id := range strings.Split(*recipients, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			cands = append(cands, id)
+		}
+	}
+	doc, err := readDoc(*in)
+	if err != nil {
+		return err
+	}
+	fp, err := fingerprinterFromFlags(parts, *key, *gamma, *alpha)
+	if err != nil {
+		return err
+	}
+	var records []wmxml.QueryRecord
+	if *queries != "" {
+		data, rerr := os.ReadFile(*queries)
+		if rerr != nil {
+			return rerr
+		}
+		if records, rerr = wmxml.UnmarshalReceipt(data); rerr != nil {
+			return rerr
+		}
+	}
+	res, err := fp.Trace(doc, cands, records, nil)
+	if err != nil {
+		return err
+	}
+	if len(res.Accused) == 0 {
+		fmt.Printf("NO ACCUSATION  (decided bits: %d, threshold p<=%.2e)\n", res.DecidedBits, res.Threshold)
+	} else {
+		fmt.Printf("ACCUSED: %s  (decided bits: %d, threshold p<=%.2e)\n",
+			strings.Join(res.Accused, ", "), res.DecidedBits, res.Threshold)
+	}
+	for i, a := range res.Accusations {
+		verdict := ""
+		if a.Accused {
+			verdict = "  <- accused"
+		}
+		fmt.Printf("  %2d. %-20s match=%.3f z=%+.1f p=%.2e segs=%d/%d%s\n",
+			i+1, a.Recipient, a.MatchFraction, a.Z, a.PValue, a.SegmentsAttributed, len(a.SegmentMatches), verdict)
+	}
 	return nil
 }
 

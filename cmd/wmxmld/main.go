@@ -16,8 +16,11 @@
 //	POST /v1/embed?owner=ID[&doc=L]    XML in, marked XML out; receipt stored
 //	POST /v1/detect?owner=ID           suspect XML in, JSON verdict out
 //	POST /v1/verify?owner=ID           schema + key/FD verification
+//	POST /v1/fingerprint?owner=ID&recipient=R  recipient-coded copy out; recipient registered
+//	POST /v1/trace?owner=ID            suspect XML in, ranked accusations out
 //	GET  /v1/owners/{id}/receipts      list stored receipts
-//	GET  /healthz                      liveness
+//	GET  /v1/owners/{id}/recipients    list tracing candidates
+//	GET  /healthz                      liveness (includes the build version)
 //	GET  /metrics                      Prometheus text metrics
 //
 // Owner-scoped requests authenticate with the owner's secret key:
@@ -46,8 +49,16 @@ import (
 	"wmxml/internal/registry"
 )
 
+// version is the build stamp, injected at link time:
+//
+//	go build -ldflags "-X main.version=$(git rev-parse --short HEAD)" ./cmd/wmxmld
+//
+// It is reported by --version and by the /healthz endpoint.
+var version = "dev"
+
 func main() {
 	fs := flag.NewFlagSet("wmxmld", flag.ExitOnError)
+	showVersion := fs.Bool("version", false, "print the build version and exit")
 	addr := fs.String("addr", ":8484", "listen address")
 	regPath := fs.String("registry", "", "JSONL registry file (empty: in-memory, lost on exit)")
 	noSync := fs.Bool("no-sync", false, "skip per-append fsync on the registry log (throughput over durability)")
@@ -60,6 +71,10 @@ func main() {
 	noAuth := fs.Bool("insecure-no-auth", false, "serve without Bearer-key authentication (trusted networks only)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+	if *showVersion {
+		fmt.Printf("wmxmld %s\n", version)
+		return
 	}
 
 	var store wmxml.ReceiptStore
@@ -86,7 +101,7 @@ func main() {
 	if *noAuth {
 		log.Printf("wmxmld: WARNING: --insecure-no-auth — any peer can act as any owner")
 	}
-	log.Printf("wmxmld: listening on %s", *addr)
+	log.Printf("wmxmld %s: listening on %s", version, *addr)
 	err := wmxml.Serve(ctx, wmxml.ServerOptions{
 		Addr:                 *addr,
 		Registry:             store,
@@ -96,6 +111,7 @@ func main() {
 		MaxDepth:             *maxDepth,
 		CacheEntries:         *cache,
 		AllowUnauthenticated: *noAuth,
+		Version:              version,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wmxmld: %v\n", err)

@@ -1,0 +1,64 @@
+package wmxml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFingerprinterPublicAPI pins the distribution-chain surface:
+// fingerprint three recipients, collude two, trace the pirate copy.
+func TestFingerprinterPublicAPI(t *testing.T) {
+	ds := PublicationsDataset(300, 501)
+	fp, err := NewFingerprinter(FingerprintOptions{
+		Key: "api-owner-key", Schema: ds.Schema, Catalog: ds.Catalog,
+		Targets: ds.Targets, Gamma: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recipients := []string{"alice", "bob", "carol"}
+	copies := map[string]*Document{}
+	for _, r := range recipients {
+		doc := ds.Doc.Clone()
+		receipt, err := fp.Fingerprint(doc, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if receipt.Carriers == 0 {
+			t.Fatalf("fingerprint %s selected no carriers", r)
+		}
+		copies[r] = doc
+	}
+	if fp.RecipientCode("alice").Equal(fp.RecipientCode("bob")) {
+		t.Fatal("recipient codes collide")
+	}
+
+	// Single leaker.
+	res, err := fp.Trace(copies["carol"], recipients, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Accused) != 1 || res.Accused[0] != "carol" {
+		t.Fatalf("single-leak trace accused %v, want [carol]", res.Accused)
+	}
+
+	// Two colluders mix; the innocent must stay clear.
+	pirate, err := NewCollusionAttack([]*Document{copies["bob"]}, "db/book", CollusionMix).
+		Apply(copies["alice"].Clone(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewDocumentIndex(pirate)
+	pres, err := fp.TraceIndexed(pirate, recipients, nil, nil, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.Accused) == 0 {
+		t.Errorf("collusion trace accused nobody: %+v", pres.Accusations)
+	}
+	for _, id := range pres.Accused {
+		if id == "carol" {
+			t.Error("innocent carol accused")
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package attack
+
+// The collusion adversary of fingerprinting: k recipients pool their
+// fingerprinted copies and compose a pirate copy that mixes their
+// marks. Under the marking assumption the colluders can only act where
+// their copies differ — exactly the carrier values holding differing
+// code bits — and these strategies are the classical ways to do it
+// (Boneh–Shaw's cut-and-paste, majority voting, random interleaving).
+// internal/fingerprint's tracer is designed to survive them;
+// exp_collusion measures how well.
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+
+	"wmxml/internal/semantics"
+	"wmxml/internal/xmltree"
+)
+
+// CollusionStrategy names how the coalition composes the pirate copy.
+type CollusionStrategy string
+
+const (
+	// CollusionMix picks every record independently from a random
+	// colluder's copy (record-level interleaving).
+	CollusionMix CollusionStrategy = "mix"
+	// CollusionSegments cuts the record sequence into contiguous runs
+	// and takes each run wholly from one colluder — Boneh–Shaw's
+	// cut-and-paste composition.
+	CollusionSegments CollusionStrategy = "segments"
+	// CollusionMajority sets every leaf value to the majority across
+	// the colluders' copies (ties resolved by a random colluder) — the
+	// strongest value-level averaging available without breaking the
+	// marking assumption.
+	CollusionMajority CollusionStrategy = "majority"
+)
+
+// Collusion composes the attacked document (colluder 0's copy) with
+// the additional Copies into a pirate copy. All copies must be
+// fingerprinted versions of the same original: same schema, same
+// record count and order under Scope.
+type Collusion struct {
+	// Copies are the other colluders' documents (k-1 of them).
+	Copies []*xmltree.Node
+	// Scope is the record set that gets mixed, e.g. "db/book".
+	Scope string
+	// Strategy is the composition; empty means CollusionMix.
+	Strategy CollusionStrategy
+	// MeanRunLen is the mean contiguous run length for
+	// CollusionSegments (0 = 8 records).
+	MeanRunLen int
+}
+
+// Name implements Attack.
+func (c Collusion) Name() string {
+	st := c.Strategy
+	if st == "" {
+		st = CollusionMix
+	}
+	return fmt.Sprintf("collusion(%s,k=%d)", st, len(c.Copies)+1)
+}
+
+// Apply implements Attack: doc is colluder 0's copy and is rewritten in
+// place into the pirate copy.
+func (c Collusion) Apply(doc *xmltree.Node, r *rand.Rand) (*xmltree.Node, error) {
+	if len(c.Copies) == 0 {
+		return nil, fmt.Errorf("attack: collusion needs at least 2 copies (got 1)")
+	}
+	if c.Scope == "" {
+		return nil, fmt.Errorf("attack: collusion needs a record scope")
+	}
+	all := append([]*xmltree.Node{doc}, c.Copies...)
+	insts := make([][]*xmltree.Node, len(all))
+	for i, d := range all {
+		var err error
+		insts[i], err = semantics.Instances(d, c.Scope)
+		if err != nil {
+			return nil, err
+		}
+		if len(insts[i]) == 0 {
+			return nil, fmt.Errorf("attack: collusion scope %q selects nothing in copy %d", c.Scope, i)
+		}
+		if len(insts[i]) != len(insts[0]) {
+			return nil, fmt.Errorf("attack: copies disagree on record count under %q (%d vs %d) — not copies of the same original",
+				c.Scope, len(insts[i]), len(insts[0]))
+		}
+	}
+	switch st := c.Strategy; st {
+	case "", CollusionMix:
+		for i := range insts[0] {
+			c.takeFrom(insts, i, r.Intn(len(all)))
+		}
+	case CollusionSegments:
+		runLen := c.MeanRunLen
+		if runLen <= 0 {
+			runLen = 8
+		}
+		cur := r.Intn(len(all))
+		for i := range insts[0] {
+			if r.Float64() < 1/float64(runLen) {
+				cur = r.Intn(len(all))
+			}
+			c.takeFrom(insts, i, cur)
+		}
+	case CollusionMajority:
+		for i := range insts[0] {
+			row := make([]*xmltree.Node, len(all))
+			for k := range all {
+				row[k] = insts[k][i]
+			}
+			majorityMerge(row, r)
+		}
+	default:
+		return nil, fmt.Errorf("attack: unknown collusion strategy %q", st)
+	}
+	return doc, nil
+}
+
+// takeFrom swaps record i of colluder src into the pirate copy (which
+// starts as colluder 0's document). src 0 keeps the record in place.
+func (c Collusion) takeFrom(insts [][]*xmltree.Node, i, src int) {
+	if src == 0 {
+		return
+	}
+	old := insts[0][i]
+	if old.Parent == nil {
+		return
+	}
+	old.Parent.ReplaceChild(old, insts[src][i].Clone())
+}
+
+// majorityMerge rewrites the leaf values of row[0] (the pirate record)
+// with the per-value majority across all aligned copies. Copies are
+// structurally identical (same original, value-only watermarking), so
+// alignment walks children pairwise by position.
+func majorityMerge(row []*xmltree.Node, r *rand.Rand) {
+	base := row[0]
+	for _, a := range base.Attrs {
+		vals := make([]string, 0, len(row))
+		for _, n := range row {
+			if v, ok := n.Attr(a.Name); ok {
+				vals = append(vals, v)
+			}
+		}
+		base.SetAttr(a.Name, majorityValue(vals, r))
+	}
+	kids := base.ChildElements()
+	aligned := make([][]*xmltree.Node, len(row))
+	aligned[0] = kids
+	for k := 1; k < len(row); k++ {
+		aligned[k] = row[k].ChildElements()
+	}
+	for i, kid := range kids {
+		sub := make([]*xmltree.Node, 0, len(row))
+		sub = append(sub, kid)
+		for k := 1; k < len(row); k++ {
+			if i < len(aligned[k]) {
+				sub = append(sub, aligned[k][i])
+			}
+		}
+		if len(kid.ChildElements()) == 0 {
+			vals := make([]string, len(sub))
+			for j, n := range sub {
+				vals[j] = n.Text()
+			}
+			kid.SetText(majorityValue(vals, r))
+			// Leaves can still carry attributes; merge them too.
+			for _, a := range kid.Attrs {
+				avals := make([]string, 0, len(sub))
+				for _, n := range sub {
+					if v, ok := n.Attr(a.Name); ok {
+						avals = append(avals, v)
+					}
+				}
+				kid.SetAttr(a.Name, majorityValue(avals, r))
+			}
+			continue
+		}
+		majorityMerge(sub, r)
+	}
+}
+
+// majorityValue returns the most frequent value; ties go to a random
+// tied value (the coalition has no better information either).
+func majorityValue(vals []string, r *rand.Rand) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	counts := make(map[string]int, len(vals))
+	for _, v := range vals {
+		counts[v]++
+	}
+	best := -1
+	var tied []string
+	for _, v := range vals { // iterate vals, not the map: deterministic under seed
+		if counts[v] > best {
+			best = counts[v]
+			tied = tied[:0]
+			tied = append(tied, v)
+		} else if counts[v] == best && !slices.Contains(tied, v) {
+			tied = append(tied, v)
+		}
+	}
+	if len(tied) == 1 {
+		return tied[0]
+	}
+	return tied[r.Intn(len(tied))]
+}

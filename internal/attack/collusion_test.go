@@ -1,0 +1,104 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wmxml/internal/datagen"
+	"wmxml/internal/fingerprint"
+	"wmxml/internal/semantics"
+	"wmxml/internal/xmltree"
+)
+
+// fingerprintCopies builds k recipient copies of one pubs document.
+func fingerprintCopies(t *testing.T, k int) (ds *datagen.Dataset, fp *fingerprint.System, copies []*xmltree.Node, ids []string) {
+	t.Helper()
+	ds = datagen.Publications(datagen.PubConfig{Books: 200, Seed: 71})
+	fp, err := fingerprint.New(fingerprint.Options{
+		Key:     []byte("collusion-key"),
+		Schema:  ds.Schema,
+		Catalog: ds.Catalog,
+		Targets: ds.Targets,
+		Gamma:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		id := fmt.Sprintf("colluder-%d", i)
+		doc := ds.Doc.Clone()
+		if _, err := fp.Embed(doc, id); err != nil {
+			t.Fatal(err)
+		}
+		copies = append(copies, doc)
+		ids = append(ids, id)
+	}
+	return ds, fp, copies, ids
+}
+
+func TestCollusionStrategiesPreserveShape(t *testing.T) {
+	for _, st := range []CollusionStrategy{CollusionMix, CollusionSegments, CollusionMajority} {
+		t.Run(string(st), func(t *testing.T) {
+			_, _, copies, _ := fingerprintCopies(t, 3)
+			atk := Collusion{Copies: copies[1:], Scope: "db/book", Strategy: st}
+			pirate, err := atk.Apply(copies[0], rand.New(rand.NewSource(1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			insts, err := semantics.Instances(pirate, "db/book")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(insts) != 200 {
+				t.Errorf("pirate has %d records, want 200", len(insts))
+			}
+		})
+	}
+}
+
+// TestCollusionMixesMarks: the pirate copy contains values from more
+// than one colluder (it is not just one of the inputs).
+func TestCollusionMixesMarks(t *testing.T) {
+	_, fp, copies, ids := fingerprintCopies(t, 3)
+	atk := Collusion{Copies: copies[1:], Scope: "db/book"}
+	pirate, err := atk.Apply(copies[0], rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each colluder's code should correlate well above chance but below
+	// a clean copy's 1.0 — evidence the pirate genuinely mixes.
+	res, err := fp.Trace(pirate, ids, fingerprint.TraceOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Accusations {
+		if a.MatchFraction >= 0.995 {
+			t.Errorf("%s matches at %.3f — pirate looks like a verbatim copy", a.Recipient, a.MatchFraction)
+		}
+		if a.MatchFraction < 0.55 {
+			t.Errorf("%s matches at %.3f — colluder mark wiped entirely", a.Recipient, a.MatchFraction)
+		}
+	}
+}
+
+func TestCollusionValidation(t *testing.T) {
+	ds := datagen.Publications(datagen.PubConfig{Books: 10, Seed: 72})
+	r := rand.New(rand.NewSource(3))
+	if _, err := (Collusion{Scope: "db/book"}).Apply(ds.Doc.Clone(), r); err == nil {
+		t.Error("single copy must be rejected")
+	}
+	other := datagen.Publications(datagen.PubConfig{Books: 12, Seed: 72})
+	atk := Collusion{Copies: []*xmltree.Node{other.Doc.Clone()}, Scope: "db/book"}
+	if _, err := atk.Apply(ds.Doc.Clone(), r); err == nil {
+		t.Error("mismatched record counts must be rejected")
+	}
+	bad := Collusion{Copies: []*xmltree.Node{ds.Doc.Clone()}, Scope: "db/book", Strategy: "nonsense"}
+	if _, err := bad.Apply(ds.Doc.Clone(), r); err == nil {
+		t.Error("unknown strategy must be rejected")
+	}
+	none := Collusion{Copies: []*xmltree.Node{ds.Doc.Clone()}}
+	if _, err := none.Apply(ds.Doc.Clone(), r); err == nil {
+		t.Error("missing scope must be rejected")
+	}
+}

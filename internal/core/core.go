@@ -347,6 +347,18 @@ type DetectResult struct {
 	RewriteErrors int
 }
 
+// DecodeResult is the raw outcome of one decoding pass: the per-bit
+// vote table before it is scored against any particular mark. Tracing
+// (internal/fingerprint) decodes a suspect document once and correlates
+// the same vote table against every recipient's code, which is what
+// makes an N-recipient sweep cost one decode plus N bit comparisons.
+type DecodeResult struct {
+	// Votes is the per-bit evidence table, sized len(cfg.Mark).
+	Votes *wmark.Votes
+	// QueriesRun, QueryMisses and RewriteErrors mirror DetectResult.
+	QueriesRun, QueryMisses, RewriteErrors int
+}
+
 // DetectWithQueries runs the paper's detection: execute the safeguarded
 // queries (optionally rewritten through rw) against the suspect document,
 // extract one bit per retrieved value, majority-vote and score against
@@ -363,6 +375,32 @@ func DetectWithQueries(doc *xmltree.Node, cfg Config, records []QueryRecord, rw 
 // detection near-linear: each identity query resolves through a
 // key-value lookup instead of a root-down tree scan.
 func DetectWithQueriesIndexed(doc *xmltree.Node, cfg Config, records []QueryRecord, rw Rewriter, ix *index.Index) (*DetectResult, error) {
+	dec, err := DecodeWithQueriesIndexed(doc, cfg, records, rw, ix)
+	if err != nil {
+		return nil, err
+	}
+	return scoreDecode(dec, cfg), nil
+}
+
+// scoreDecode turns a decoded vote table into a detection verdict
+// against cfg.Mark.
+func scoreDecode(dec *DecodeResult, cfg Config) *DetectResult {
+	cfg = cfg.withDefaults()
+	res := &DetectResult{
+		QueriesRun:    dec.QueriesRun,
+		QueryMisses:   dec.QueryMisses,
+		RewriteErrors: dec.RewriteErrors,
+	}
+	res.Result = dec.Votes.Score(cfg.Mark, cfg.Tau, cfg.MinCoverage)
+	return res
+}
+
+// DecodeWithQueriesIndexed runs the query-execution and bit-extraction
+// phase of detection and returns the raw vote table: cfg.Mark supplies
+// only the bit length and the keyed bit-index mapping, its values are
+// not compared. A nil ix builds an index internally (unless
+// cfg.DisableIndex is set).
+func DecodeWithQueriesIndexed(doc *xmltree.Node, cfg Config, records []QueryRecord, rw Rewriter, ix *index.Index) (*DecodeResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -430,10 +468,7 @@ func DetectWithQueriesIndexed(doc *xmltree.Node, cfg Config, records []QueryReco
 	if err := firstError(errs); err != nil {
 		return nil, err
 	}
-	res := &DetectResult{}
-	votes := mergeAccs(res, accs)
-	res.Result = votes.Score(cfg.Mark, cfg.Tau, cfg.MinCoverage)
-	return res, nil
+	return mergeAccs(accs), nil
 }
 
 // detectAcc is one decoder worker's private tally.
@@ -458,20 +493,21 @@ func detectWorkers(concurrency, n int) int {
 	return w
 }
 
-// mergeAccs folds per-worker tallies into res and returns the merged
-// vote counter.
-func mergeAccs(res *DetectResult, accs []*detectAcc) *wmark.Votes {
-	votes := accs[0].votes
-	res.QueriesRun = accs[0].queriesRun
-	res.QueryMisses = accs[0].queryMisses
-	res.RewriteErrors = accs[0].rewriteErrors
+// mergeAccs folds per-worker tallies into one decode result.
+func mergeAccs(accs []*detectAcc) *DecodeResult {
+	res := &DecodeResult{
+		Votes:         accs[0].votes,
+		QueriesRun:    accs[0].queriesRun,
+		QueryMisses:   accs[0].queryMisses,
+		RewriteErrors: accs[0].rewriteErrors,
+	}
 	for _, acc := range accs[1:] {
-		votes.Merge(acc.votes)
+		res.Votes.Merge(acc.votes)
 		res.QueriesRun += acc.queriesRun
 		res.QueryMisses += acc.queryMisses
 		res.RewriteErrors += acc.rewriteErrors
 	}
-	return votes
+	return res
 }
 
 // DetectBlind re-derives the carriers from the suspect document itself
@@ -487,6 +523,17 @@ func DetectBlind(doc *xmltree.Node, cfg Config) (*DetectResult, error) {
 // index (built over doc and current). A nil ix builds one internally
 // (unless cfg.DisableIndex is set).
 func DetectBlindIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*DetectResult, error) {
+	dec, err := DecodeBlindIndexed(doc, cfg, ix)
+	if err != nil {
+		return nil, err
+	}
+	return scoreDecode(dec, cfg), nil
+}
+
+// DecodeBlindIndexed is the blind counterpart of
+// DecodeWithQueriesIndexed: it re-derives the carriers from the suspect
+// document itself and returns the raw vote table unscored.
+func DecodeBlindIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*DecodeResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -535,8 +582,5 @@ func DetectBlindIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*Detect
 			acc.queryMisses++
 		}
 	})
-	res := &DetectResult{}
-	votes := mergeAccs(res, accs)
-	res.Result = votes.Score(cfg.Mark, cfg.Tau, cfg.MinCoverage)
-	return res, nil
+	return mergeAccs(accs), nil
 }

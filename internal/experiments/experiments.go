@@ -93,6 +93,7 @@ func All(p Params) ([]*Table, error) {
 		E7Frontier,
 		E8FalsePositive,
 		F1InfoPreservation,
+		C1Collusion,
 	}
 	var out []*Table
 	for _, run := range runs {

@@ -280,10 +280,10 @@ func TestAllRunsEveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 9 {
-		t.Fatalf("tables = %d, want 9", len(tabs))
+	if len(tabs) != 10 {
+		t.Fatalf("tables = %d, want 10", len(tabs))
 	}
-	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "F1"}
+	ids := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "F1", "C1"}
 	for i, tab := range tabs {
 		if tab.ID != ids[i] {
 			t.Errorf("table %d = %s, want %s", i, tab.ID, ids[i])

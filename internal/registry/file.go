@@ -40,12 +40,22 @@ type FileOptions struct {
 	CompactOnOpen bool
 }
 
-// logLine is one JSONL record. Exactly one of Owner / Receipt is set;
-// T tags which ("owner" / "receipt").
+// RecipientRecordVersion is the current version of the "recipient" log
+// record type. Recipient lines carry an explicit version tag (unlike
+// the original owner/receipt lines, which predate versioning and are
+// implicitly v0) so the record can evolve without a log-wide format
+// bump; replay rejects versions newer than this build understands.
+const RecipientRecordVersion = 1
+
+// logLine is one JSONL record. Exactly one of Owner / Receipt /
+// Recipient is set; T tags which ("owner" / "receipt" / "recipient").
+// V is the record-type version, currently used by recipient lines.
 type logLine struct {
-	T       string   `json:"t"`
-	Owner   *Owner   `json:"owner,omitempty"`
-	Receipt *Receipt `json:"receipt,omitempty"`
+	T         string     `json:"t"`
+	V         int        `json:"v,omitempty"`
+	Owner     *Owner     `json:"owner,omitempty"`
+	Receipt   *Receipt   `json:"receipt,omitempty"`
+	Recipient *Recipient `json:"recipient,omitempty"`
 }
 
 // OpenFile opens (or creates) a JSONL registry log and replays it.
@@ -168,6 +178,14 @@ func (fs *File) apply(line []byte) error {
 			return fmt.Errorf("receipt line without receipt")
 		}
 		return fs.mem.AddReceipt(*rec.Receipt)
+	case "recipient":
+		if rec.V > RecipientRecordVersion {
+			return fmt.Errorf("recipient record version %d is newer than this build supports (%d)", rec.V, RecipientRecordVersion)
+		}
+		if rec.Recipient == nil {
+			return fmt.Errorf("recipient line without recipient")
+		}
+		return fs.mem.PutRecipient(*rec.Recipient)
 	default:
 		return fmt.Errorf("unknown log record type %q", rec.T)
 	}
@@ -229,6 +247,38 @@ func (fs *File) AddReceipt(r Receipt) error {
 	return fs.mem.AddReceipt(r)
 }
 
+// PutRecipient registers a recipient, durably.
+func (fs *File) PutRecipient(rc Recipient) error {
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	// Validate against state first so a rejected recipient leaves no
+	// log garbage.
+	fs.mem.mu.Lock()
+	_, ownerOK := fs.mem.owners[rc.Owner]
+	fs.mem.mu.Unlock()
+	if !ownerOK {
+		return ErrNotFound
+	}
+	if err := fs.append(logLine{T: "recipient", V: RecipientRecordVersion, Recipient: &rc}); err != nil {
+		return err
+	}
+	return fs.mem.PutRecipient(rc)
+}
+
+// GetRecipient returns one recipient or ErrNotFound.
+func (fs *File) GetRecipient(owner, id string) (Recipient, error) {
+	return fs.mem.GetRecipient(owner, id)
+}
+
+// ListRecipients returns an owner's recipients in first-registration
+// order.
+func (fs *File) ListRecipients(owner string) ([]Recipient, error) {
+	return fs.mem.ListRecipients(owner)
+}
+
 // GetOwner returns the owner or ErrNotFound.
 func (fs *File) GetOwner(id string) (Owner, error) { return fs.mem.GetOwner(id) }
 
@@ -246,8 +296,9 @@ func (fs *File) ListReceipts(owner string) ([]Receipt, error) {
 }
 
 // Compact rewrites the log to its live state: one line per owner
-// (latest registration wins) followed by every receipt in insertion
-// order. The rewrite goes through a temp file in the same directory and
+// (latest registration wins) followed by each owner's recipients and
+// receipts in insertion order. The rewrite goes through a temp file in
+// the same directory and
 // an atomic rename, so a crash at any point leaves a complete log.
 func (fs *File) Compact() error {
 	fs.mu.Lock()
@@ -276,6 +327,13 @@ func (fs *File) Compact() error {
 		}
 	}
 	for _, o := range owners {
+		rcs, _ := fs.mem.ListRecipients(o.ID)
+		for i := range rcs {
+			if err := writeLine(logLine{T: "recipient", V: RecipientRecordVersion, Recipient: &rcs[i]}); err != nil {
+				tmp.Close()
+				return fmt.Errorf("registry: compact: %w", err)
+			}
+		}
 		recs, _ := fs.mem.ListReceipts(o.ID)
 		for i := range recs {
 			if err := writeLine(logLine{T: "receipt", Receipt: &recs[i]}); err != nil {

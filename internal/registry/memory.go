@@ -9,18 +9,22 @@ import (
 // and ephemeral deployments, and is the state the File store replays
 // its log into.
 type Memory struct {
-	mu       sync.RWMutex
-	owners   map[string]Owner
-	receipts map[string][]Receipt          // owner -> insertion order
-	byID     map[string]map[string]Receipt // owner -> id -> receipt
+	mu         sync.RWMutex
+	owners     map[string]Owner
+	receipts   map[string][]Receipt            // owner -> insertion order
+	byID       map[string]map[string]Receipt   // owner -> id -> receipt
+	recipients map[string]map[string]Recipient // owner -> id -> recipient
+	recOrder   map[string][]string             // owner -> recipient ids, first-registration order
 }
 
 // NewMemory builds an empty in-memory store.
 func NewMemory() *Memory {
 	return &Memory{
-		owners:   make(map[string]Owner),
-		receipts: make(map[string][]Receipt),
-		byID:     make(map[string]map[string]Receipt),
+		owners:     make(map[string]Owner),
+		receipts:   make(map[string][]Receipt),
+		byID:       make(map[string]map[string]Receipt),
+		recipients: make(map[string]map[string]Recipient),
+		recOrder:   make(map[string][]string),
 	}
 }
 
@@ -107,6 +111,66 @@ func (m *Memory) ListReceipts(owner string) ([]Receipt, error) {
 	}
 	out := make([]Receipt, len(m.receipts[owner]))
 	copy(out, m.receipts[owner])
+	return out, nil
+}
+
+// PutRecipient registers a recipient under an existing owner.
+// Re-putting an existing id updates the note but keeps the original
+// registration time and ordering (fingerprint retries are idempotent).
+func (m *Memory) PutRecipient(rc Recipient) error {
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.putRecipientLocked(rc)
+}
+
+// putRecipientLocked is the insertion shared with the File store's
+// replay. Callers hold mu.
+func (m *Memory) putRecipientLocked(rc Recipient) error {
+	if _, ok := m.owners[rc.Owner]; !ok {
+		return ErrNotFound
+	}
+	ids := m.recipients[rc.Owner]
+	if ids == nil {
+		ids = make(map[string]Recipient)
+		m.recipients[rc.Owner] = ids
+	}
+	if old, ok := ids[rc.ID]; ok {
+		if rc.CreatedUnix == 0 || (old.CreatedUnix != 0 && old.CreatedUnix < rc.CreatedUnix) {
+			rc.CreatedUnix = old.CreatedUnix
+		}
+	} else {
+		m.recOrder[rc.Owner] = append(m.recOrder[rc.Owner], rc.ID)
+	}
+	ids[rc.ID] = rc
+	return nil
+}
+
+// GetRecipient returns one recipient or ErrNotFound.
+func (m *Memory) GetRecipient(owner, id string) (Recipient, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	rc, ok := m.recipients[owner][id]
+	if !ok {
+		return Recipient{}, ErrNotFound
+	}
+	return rc, nil
+}
+
+// ListRecipients returns an owner's recipients in first-registration
+// order.
+func (m *Memory) ListRecipients(owner string) ([]Recipient, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, ok := m.owners[owner]; !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]Recipient, 0, len(m.recOrder[owner]))
+	for _, id := range m.recOrder[owner] {
+		out = append(out, m.recipients[owner][id])
+	}
 	return out, nil
 }
 

@@ -75,6 +75,39 @@ func (o Owner) Validate() error {
 	return nil
 }
 
+// Recipient is one distribution target registered under an owner: the
+// party a fingerprinted copy was (or will be) handed to, and therefore
+// a tracing candidate. The codeword itself is never stored — it derives
+// from the owner key and this id (internal/fingerprint), so the
+// registry holds no secrets beyond what the owner record already does.
+type Recipient struct {
+	// ID names the recipient within its owner; required, no '/' or
+	// spaces (it rides in URLs next to owner ids).
+	ID string `json:"id"`
+	// Owner is the tenant distributing to this recipient.
+	Owner string `json:"owner"`
+	// Note is an optional free-text label ("EU mirror", contract id).
+	Note string `json:"note,omitempty"`
+	// CreatedUnix is the registration time (seconds since epoch).
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+}
+
+// Validate checks the fields every store requires.
+func (rc Recipient) Validate() error {
+	if rc.ID == "" {
+		return fmt.Errorf("registry: recipient id is required")
+	}
+	for _, r := range rc.ID {
+		if r == '/' || r == ' ' {
+			return fmt.Errorf("registry: recipient id %q may not contain '/' or spaces", rc.ID)
+		}
+	}
+	if rc.Owner == "" {
+		return fmt.Errorf("registry: recipient %q: owner is required", rc.ID)
+	}
+	return nil
+}
+
 // Receipt is one embedding's safeguarded detection material: the query
 // set Q plus the capacity report, bound to the owner it was embedded
 // for.
@@ -86,6 +119,9 @@ type Receipt struct {
 	Owner string `json:"owner"`
 	// Doc is an optional caller-supplied document label.
 	Doc string `json:"doc,omitempty"`
+	// Recipient is set on fingerprint embeddings: the recipient whose
+	// code this copy carries. Empty for plain ownership embeddings.
+	Recipient string `json:"recipient,omitempty"`
 	// CreatedUnix is the embedding time (seconds since epoch).
 	CreatedUnix int64 `json:"created_unix"`
 	// Records is Q, the safeguarded identity queries.
@@ -115,6 +151,15 @@ type Store interface {
 	// owner must exist (ErrNotFound otherwise); no receipts is an empty
 	// slice.
 	ListReceipts(owner string) ([]Receipt, error)
+	// PutRecipient registers (or re-labels) a recipient; the owner must
+	// exist.
+	PutRecipient(rc Recipient) error
+	// GetRecipient returns one recipient or ErrNotFound.
+	GetRecipient(owner, id string) (Recipient, error)
+	// ListRecipients returns an owner's recipients in first-registration
+	// order — the candidate list a trace sweeps. The owner must exist
+	// (ErrNotFound otherwise); no recipients is an empty slice.
+	ListRecipients(owner string) ([]Recipient, error)
 	// Close releases resources; the store is unusable afterwards.
 	Close() error
 }

@@ -119,6 +119,42 @@ func TestStoreConformance(t *testing.T) {
 			if recs, _ := st.ListReceipts("zeta"); len(recs) != 0 {
 				t.Errorf("zeta has receipts: %+v", recs)
 			}
+			// Recipients.
+			if _, err := st.ListRecipients("nobody"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("ListRecipients(missing owner) = %v, want ErrNotFound", err)
+			}
+			if err := st.PutRecipient(Recipient{ID: "mirror", Owner: "nobody"}); !errors.Is(err, ErrNotFound) {
+				t.Errorf("PutRecipient(unknown owner) = %v, want ErrNotFound", err)
+			}
+			for _, bad := range []Recipient{{}, {ID: "a b", Owner: "acme"}, {ID: "a/b", Owner: "acme"}, {ID: "ok"}} {
+				if err := st.PutRecipient(bad); err == nil {
+					t.Errorf("PutRecipient(%+v) accepted", bad)
+				}
+			}
+			if err := st.PutRecipient(Recipient{ID: "mirror", Owner: "acme", Note: "EU", CreatedUnix: 100}); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.PutRecipient(Recipient{ID: "archive", Owner: "acme", CreatedUnix: 200}); err != nil {
+				t.Fatal(err)
+			}
+			// Re-put updates the note but keeps registration time and order.
+			if err := st.PutRecipient(Recipient{ID: "mirror", Owner: "acme", Note: "EU-2", CreatedUnix: 300}); err != nil {
+				t.Fatal(err)
+			}
+			rc, err := st.GetRecipient("acme", "mirror")
+			if err != nil || rc.Note != "EU-2" || rc.CreatedUnix != 100 {
+				t.Fatalf("GetRecipient after re-put = %+v, %v", rc, err)
+			}
+			if _, err := st.GetRecipient("acme", "ghost"); !errors.Is(err, ErrNotFound) {
+				t.Errorf("GetRecipient(missing) = %v, want ErrNotFound", err)
+			}
+			rcs, err := st.ListRecipients("acme")
+			if err != nil || len(rcs) != 2 || rcs[0].ID != "mirror" || rcs[1].ID != "archive" {
+				t.Fatalf("ListRecipients = %+v, %v", rcs, err)
+			}
+			if rcs, _ := st.ListRecipients("zeta"); len(rcs) != 0 {
+				t.Errorf("zeta has recipients: %+v", rcs)
+			}
 		})
 	}
 }
@@ -158,6 +194,77 @@ func TestFilePersistence(t *testing.T) {
 	// And the reopened handle still appends.
 	if err := re.AddReceipt(testReceipt("acme", "r4")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestFileRecipientPersistence: recipient records survive reopen,
+// compaction, and carry their version tag in the log.
+func TestFileRecipientPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.jsonl")
+	st, err := OpenFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutOwner(testOwner("acme")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutRecipient(Recipient{ID: "mirror", Owner: "acme", Note: "EU", CreatedUnix: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutRecipient(Recipient{ID: "archive", Owner: "acme", CreatedUnix: 8}); err != nil {
+		t.Fatal(err)
+	}
+	rec := testReceipt("acme", "fp-1")
+	rec.Recipient = "mirror"
+	if err := st.AddReceipt(rec); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"t":"recipient","v":1`) {
+		t.Errorf("recipient log line is not version-tagged:\n%s", data)
+	}
+
+	re, err := OpenFile(path, FileOptions{CompactOnOpen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	rcs, err := re.ListRecipients("acme")
+	if err != nil || len(rcs) != 2 || rcs[0].ID != "mirror" || rcs[0].Note != "EU" {
+		t.Fatalf("recipients after compacted reopen = %+v, %v", rcs, err)
+	}
+	got, err := re.GetReceipt("acme", "fp-1")
+	if err != nil || got.Recipient != "mirror" {
+		t.Fatalf("fingerprint receipt lost its recipient: %+v, %v", got, err)
+	}
+}
+
+// TestFileRecipientVersionGate: a recipient record from a newer build
+// fails the open (it is not silently dropped).
+func TestFileRecipientVersionGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.jsonl")
+	st, err := OpenFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.PutOwner(testOwner("acme"))
+	st.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"t":"recipient","v":99,"recipient":{"id":"x","owner":"acme"}}` + "\n")
+	// A valid line after it makes the versioned line mid-log damage,
+	// which must fail loudly rather than vanish.
+	f.WriteString(`{"t":"recipient","v":1,"recipient":{"id":"y","owner":"acme"}}` + "\n")
+	f.Close()
+	if _, err := OpenFile(path, FileOptions{}); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("open over future-versioned record = %v, want version error", err)
 	}
 }
 

@@ -1,0 +1,215 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+
+	"wmxml/internal/attack"
+	"wmxml/internal/xmltree"
+)
+
+type traceVerdict struct {
+	Mode        string   `json:"mode"`
+	Candidates  int      `json:"candidates"`
+	Accused     []string `json:"accused"`
+	DecidedBits int      `json:"decided_bits"`
+	CacheHit    bool     `json:"cache_hit"`
+	Accusations []struct {
+		Recipient     string  `json:"recipient"`
+		MatchFraction float64 `json:"match_fraction"`
+		Accused       bool    `json:"accused"`
+	} `json:"accusations"`
+}
+
+// fingerprintCopy drives POST /v1/fingerprint and returns the marked
+// copy.
+func fingerprintCopy(t *testing.T, base, owner, recipient string, doc []byte) []byte {
+	t.Helper()
+	code, marked, hdr := doAs(t, "key-"+owner, "POST",
+		base+"/v1/fingerprint?owner="+owner+"&recipient="+recipient, doc)
+	if code != http.StatusOK {
+		t.Fatalf("fingerprint %s: %d %s", recipient, code, marked)
+	}
+	if hdr.Get("X-Wmxml-Recipient") != recipient {
+		t.Fatalf("fingerprint %s: recipient header = %q", recipient, hdr.Get("X-Wmxml-Recipient"))
+	}
+	if hdr.Get("X-Wmxml-Receipt") == "" {
+		t.Fatalf("fingerprint %s: no receipt header", recipient)
+	}
+	return marked
+}
+
+func traceDoc(t *testing.T, base, owner string, doc []byte, query string) traceVerdict {
+	t.Helper()
+	code, body, _ := doAs(t, "key-"+owner, "POST", base+"/v1/trace?owner="+owner+query, doc)
+	if code != http.StatusOK {
+		t.Fatalf("trace: %d %s", code, body)
+	}
+	var v traceVerdict
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("trace verdict: %v\n%s", err, body)
+	}
+	return v
+}
+
+// TestServerFingerprintTraceEndToEnd: register → fingerprint two
+// recipients → single-leak trace pins the right one → a 2-colluder mix
+// still yields a true accusation and never an innocent one.
+func TestServerFingerprintTraceEndToEnd(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	registerOwner(t, ts.URL, "acme")
+	orig := pubsXML(t, 300, 11)
+
+	aliceCopy := fingerprintCopy(t, ts.URL, "acme", "alice", orig)
+	bobCopy := fingerprintCopy(t, ts.URL, "acme", "bob", orig)
+	fingerprintCopy(t, ts.URL, "acme", "carol", orig) // innocent third recipient
+	if bytes.Equal(aliceCopy, bobCopy) {
+		t.Fatal("recipient copies are identical — no per-recipient code embedded")
+	}
+
+	// Recipient listing is key-holder only.
+	code, body, _ := doAs(t, "key-acme", "GET", ts.URL+"/v1/owners/acme/recipients", nil)
+	if code != http.StatusOK || !strings.Contains(string(body), "alice") || !strings.Contains(string(body), "carol") {
+		t.Fatalf("recipients listing: %d %s", code, body)
+	}
+	if code, _, _ := do(t, "GET", ts.URL+"/v1/owners/acme/recipients", nil); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated recipients listing = %d, want 401", code)
+	}
+
+	// Single leaker: alice's copy traces to alice alone.
+	v := traceDoc(t, ts.URL, "acme", aliceCopy, "")
+	if v.Mode != "blind" || v.Candidates != 3 {
+		t.Fatalf("trace verdict shape: %+v", v)
+	}
+	if len(v.Accused) != 1 || v.Accused[0] != "alice" {
+		t.Fatalf("single-leak accused = %v, want [alice]", v.Accused)
+	}
+	if v.CacheHit {
+		t.Error("first trace claims a cache hit")
+	}
+	// Repeat trace of the same bytes rides the parsed-document cache.
+	v2 := traceDoc(t, ts.URL, "acme", aliceCopy, "")
+	if !v2.CacheHit {
+		t.Error("repeat trace missed the document cache")
+	}
+
+	// A 2-colluder mix: at least one of alice/bob accused, carol never.
+	aDoc, err := xmltree.Parse(bytes.NewReader(aliceCopy), xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bDoc, err := xmltree.Parse(bytes.NewReader(bobCopy), xmltree.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pirate, err := attack.Collusion{Copies: []*xmltree.Node{bDoc}, Scope: "db/book"}.
+		Apply(aDoc, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv := traceDoc(t, ts.URL, "acme", []byte(xmltree.SerializeIndentString(pirate)), "")
+	if len(pv.Accused) == 0 {
+		t.Errorf("collusion trace accused nobody: %+v", pv)
+	}
+	for _, id := range pv.Accused {
+		if id != "alice" && id != "bob" {
+			t.Errorf("innocent %q accused by collusion trace", id)
+		}
+	}
+
+	// Receipt-mode decode: trace through alice's stored query set.
+	var receipts struct {
+		Receipts []struct {
+			ID        string `json:"id"`
+			Recipient string `json:"recipient"`
+		} `json:"receipts"`
+	}
+	_, rb, _ := doAs(t, "key-acme", "GET", ts.URL+"/v1/owners/acme/receipts", nil)
+	if err := json.Unmarshal(rb, &receipts); err != nil {
+		t.Fatalf("receipts: %v\n%s", err, rb)
+	}
+	var aliceReceipt string
+	for _, r := range receipts.Receipts {
+		if r.Recipient == "alice" {
+			aliceReceipt = r.ID
+		}
+	}
+	if aliceReceipt == "" {
+		t.Fatalf("no recipient-tagged receipt for alice in %s", rb)
+	}
+	rv := traceDoc(t, ts.URL, "acme", aliceCopy, "&receipt="+aliceReceipt)
+	if rv.Mode != "receipt" || len(rv.Accused) != 1 || rv.Accused[0] != "alice" {
+		t.Fatalf("receipt-mode trace = %+v, want alice accused", rv)
+	}
+
+	// The trace sweeps moved the fingerprint/trace counters and the
+	// doc-cache metrics are observable.
+	_, mb, _ := do(t, "GET", ts.URL+"/metrics", nil)
+	met := string(mb)
+	for _, want := range []string{
+		"wmxmld_fingerprints_total 3",
+		"wmxmld_traces_total",
+		"wmxmld_traces_accused_total",
+		"wmxmld_doc_cache_hits_total",
+		"wmxmld_doc_cache_misses_total",
+		"wmxmld_doc_cache_evictions_total",
+		"wmxmld_doc_cache_entries",
+	} {
+		if !strings.Contains(met, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+	hits, misses, _, size := s.CacheStats()
+	if hits == 0 || misses == 0 || size == 0 {
+		t.Errorf("cache stats after traces: hits=%d misses=%d size=%d", hits, misses, size)
+	}
+}
+
+func TestServerFingerprintTraceErrors(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	registerOwner(t, ts.URL, "acme")
+	doc := pubsXML(t, 40, 12)
+
+	// Missing / invalid recipient.
+	if code, _, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/fingerprint?owner=acme", doc); code != http.StatusBadRequest {
+		t.Errorf("fingerprint without recipient = %d, want 400", code)
+	}
+	if code, _, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/fingerprint?owner=acme&recipient=a/b", doc); code != http.StatusBadRequest {
+		t.Errorf("fingerprint with bad recipient id = %d, want 400", code)
+	}
+	// Wrong key.
+	if code, _, _ := doAs(t, "wrong", "POST", ts.URL+"/v1/fingerprint?owner=acme&recipient=alice", doc); code != http.StatusUnauthorized {
+		t.Errorf("fingerprint with wrong key = %d, want 401", code)
+	}
+	// Trace before any fingerprint: no candidates.
+	if code, _, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/trace?owner=acme", doc); code != http.StatusConflict {
+		t.Errorf("trace without recipients = %d, want 409", code)
+	}
+	fingerprintCopy(t, ts.URL, "acme", "alice", doc)
+	// Unauthenticated trace.
+	if code, _, _ := do(t, "POST", ts.URL+"/v1/trace?owner=acme", doc); code != http.StatusUnauthorized {
+		t.Errorf("unauthenticated trace = %d, want 401", code)
+	}
+	// Unknown receipt.
+	if code, _, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/trace?owner=acme&receipt=nope", doc); code != http.StatusNotFound {
+		t.Errorf("trace with unknown receipt = %d, want 404", code)
+	}
+}
+
+// TestServerHealthzVersion: the build version rides in /healthz.
+func TestServerHealthzVersion(t *testing.T) {
+	_, ts := newTestServer(t, Options{Version: "v4-test"})
+	code, body, _ := do(t, "GET", ts.URL+"/healthz", nil)
+	if code != http.StatusOK || !strings.Contains(string(body), `"version": "v4-test"`) {
+		t.Fatalf("healthz = %d %s, want version string", code, body)
+	}
+	_, defTS := newTestServer(t, Options{})
+	_, dbody, _ := do(t, "GET", defTS.URL+"/healthz", nil)
+	if !strings.Contains(string(dbody), `"version": "dev"`) {
+		t.Fatalf("healthz default version: %s", dbody)
+	}
+}

@@ -76,21 +76,24 @@ func (h *histogram) Observe(d time.Duration) {
 // materialized on first use and never removed (label cardinality is
 // bounded: one series per route × status class).
 type metrics struct {
-	mu         sync.Mutex
-	requests   map[string]*counter   // route|code -> count
-	latency    map[string]*histogram // route -> latency
-	inflight   gauge
-	queueFull  counter // admissions rejected: queue wait exceeded
-	tooLarge   counter // requests rejected: body over the cap
-	cacheHits  counter
-	cacheMiss  counter
-	cacheEvict counter
-	cacheSize  gauge
-	embeds     counter
-	detects    counter
-	detected   counter
-	verifies   counter
-	startUnix  int64
+	mu           sync.Mutex
+	requests     map[string]*counter   // route|code -> count
+	latency      map[string]*histogram // route -> latency
+	inflight     gauge
+	queueFull    counter // admissions rejected: queue wait exceeded
+	tooLarge     counter // requests rejected: body over the cap
+	cacheHits    counter
+	cacheMiss    counter
+	cacheEvict   counter
+	cacheSize    gauge
+	embeds       counter
+	detects      counter
+	detected     counter
+	verifies     counter
+	fingerprints counter
+	traces       counter
+	traceAccused counter
+	startUnix    int64
 }
 
 func newMetrics() *metrics {
@@ -174,6 +177,9 @@ func (m *metrics) render(w io.Writer) {
 		{"wmxmld_detects_total", "Completed detect operations.", m.detects.Value()},
 		{"wmxmld_detects_detected_total", "Detect operations that found the watermark.", m.detected.Value()},
 		{"wmxmld_verifies_total", "Completed verify operations.", m.verifies.Value()},
+		{"wmxmld_fingerprints_total", "Successful fingerprint (per-recipient embed) operations.", m.fingerprints.Value()},
+		{"wmxmld_traces_total", "Completed trace operations.", m.traces.Value()},
+		{"wmxmld_traces_accused_total", "Trace operations that accused at least one recipient.", m.traceAccused.Value()},
 	}
 	for _, s := range simple {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.value)

@@ -55,6 +55,7 @@ import (
 	"wmxml/internal/config"
 	"wmxml/internal/core"
 	"wmxml/internal/datagen"
+	"wmxml/internal/fingerprint"
 	"wmxml/internal/identity"
 	"wmxml/internal/index"
 	"wmxml/internal/pipeline"
@@ -90,6 +91,9 @@ type Options struct {
 	// Bearer-key check. Only for deployments where every network peer
 	// is already trusted with every tenant's key and query sets.
 	AllowUnauthenticated bool
+	// Version is the build version string surfaced in /healthz
+	// (ldflags-injected by the daemon; empty renders as "dev").
+	Version string
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +111,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheEntries < 0 {
 		o.CacheEntries = 0
+	}
+	if o.Version == "" {
+		o.Version = "dev"
 	}
 	return o
 }
@@ -131,6 +138,7 @@ type ownerRuntime struct {
 	owner   registry.Owner
 	cfg     core.Config
 	eng     *pipeline.Engine
+	fp      *fingerprint.System
 	schema  *schema.Schema
 	catalog semantics.Catalog
 }
@@ -167,9 +175,12 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/owners", s.instrument("/v1/owners", s.handlePutOwner))
 	s.mux.HandleFunc("GET /v1/owners/{id}/receipts", s.instrument("/v1/owners/{id}/receipts", s.handleListReceipts))
+	s.mux.HandleFunc("GET /v1/owners/{id}/recipients", s.instrument("/v1/owners/{id}/recipients", s.handleListRecipients))
 	s.mux.HandleFunc("POST /v1/embed", s.instrument("/v1/embed", s.handleEmbed))
 	s.mux.HandleFunc("POST /v1/detect", s.instrument("/v1/detect", s.handleDetect))
 	s.mux.HandleFunc("POST /v1/verify", s.instrument("/v1/verify", s.handleVerify))
+	s.mux.HandleFunc("POST /v1/fingerprint", s.instrument("/v1/fingerprint", s.handleFingerprint))
+	s.mux.HandleFunc("POST /v1/trace", s.instrument("/v1/trace", s.handleTrace))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes must not move the histograms
 }
@@ -394,10 +405,22 @@ func (s *Server) buildRuntime(o registry.Owner) (*ownerRuntime, error) {
 		Identity:    identity.Options{Targets: targets},
 		Concurrency: s.opts.Concurrency,
 	}
+	fp, err := fingerprint.New(fingerprint.Options{
+		Key:         []byte(o.Key),
+		Schema:      sch,
+		Catalog:     cat,
+		Targets:     targets,
+		Gamma:       o.Gamma,
+		Concurrency: s.opts.Concurrency,
+	})
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "owner %q: %v", o.ID, err)
+	}
 	return &ownerRuntime{
 		owner:   o,
 		cfg:     cfg,
 		eng:     pipeline.New(cfg, pipeline.Options{Workers: 1}),
+		fp:      fp,
 		schema:  sch,
 		catalog: cat,
 	}, nil
@@ -492,6 +515,7 @@ func (s *Server) handlePutOwner(w http.ResponseWriter, r *http.Request) {
 type receiptMeta struct {
 	ID             string             `json:"id"`
 	Doc            string             `json:"doc,omitempty"`
+	Recipient      string             `json:"recipient,omitempty"`
 	CreatedUnix    int64              `json:"created_unix"`
 	QueryCount     int                `json:"query_count"`
 	BandwidthUnits int                `json:"bandwidth_units"`
@@ -526,7 +550,7 @@ func (s *Server) handleListReceipts(w http.ResponseWriter, r *http.Request) {
 	out := make([]receiptMeta, len(recs))
 	for i, rc := range recs {
 		out[i] = receiptMeta{
-			ID: rc.ID, Doc: rc.Doc, CreatedUnix: rc.CreatedUnix,
+			ID: rc.ID, Doc: rc.Doc, Recipient: rc.Recipient, CreatedUnix: rc.CreatedUnix,
 			QueryCount:     len(rc.Records),
 			BandwidthUnits: rc.BandwidthUnits, Carriers: rc.Carriers, ValuesWritten: rc.ValuesWritten,
 		}
@@ -861,6 +885,232 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// guarded runs fn converting panics in tree or plug-in code into a 422
+// for this request — fingerprint and trace run outside the pipeline
+// engine (their config varies per recipient), so they carry their own
+// isolation.
+func guarded(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = errf(http.StatusUnprocessableEntity, "panicked: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// handleFingerprint watermarks the XML body with a recipient-specific
+// code under the owner's key, registers the recipient, stores a
+// recipient-tagged receipt and returns the recipient's copy — the
+// distribution counterpart of /v1/embed.
+func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
+	ownerID := r.URL.Query().Get("owner")
+	rt, err := s.runtimeFor(r, ownerID)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	recipientID := r.URL.Query().Get("recipient")
+	if recipientID == "" {
+		writeErr(w, errf(http.StatusBadRequest, "recipient query parameter is required"))
+		return
+	}
+	rcpt := registry.Recipient{ID: recipientID, Owner: ownerID, Note: r.URL.Query().Get("note"), CreatedUnix: time.Now().Unix()}
+	if err := rcpt.Validate(); err != nil {
+		writeErr(w, errf(http.StatusBadRequest, "%v", err))
+		return
+	}
+	body, err := s.readBody(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.acquire(r); err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer s.release()
+	doc, err := s.parseDoc(body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Like embed's receipt id, but bound to the recipient too: retrying
+	// the same fingerprint dedupes, different recipients never collide.
+	idh := sha256.New()
+	fmt.Fprintf(idh, "fp\x1f%s\x1f%s\x1f%s\x1f%d\x1f%s\x1f", rt.owner.ID, rt.owner.Key, rt.owner.Mark, rt.owner.Gamma, recipientID)
+	idh.Write(body)
+	receiptID := "f-" + hex.EncodeToString(idh.Sum(nil))[:32]
+
+	var res *core.EmbedResult
+	if err := guarded(func() error {
+		var eerr error
+		res, eerr = rt.fp.Embed(doc, recipientID)
+		return eerr
+	}); err != nil {
+		writeErr(w, errf(http.StatusUnprocessableEntity, "fingerprint: %v", err))
+		return
+	}
+	// The recipient record makes the id a tracing candidate; the
+	// receipt binds this copy's query set to it. Registration is
+	// idempotent (first CreatedUnix wins).
+	if err := s.reg.PutRecipient(rcpt); err != nil {
+		writeErr(w, errf(http.StatusInternalServerError, "store recipient: %v", err))
+		return
+	}
+	rec := registry.Receipt{
+		ID: receiptID, Owner: ownerID, Doc: r.URL.Query().Get("doc"), Recipient: recipientID,
+		CreatedUnix:    time.Now().Unix(),
+		Records:        res.Records,
+		BandwidthUnits: res.Bandwidth.Units,
+		Carriers:       res.Carriers,
+		ValuesWritten:  res.Embedded,
+	}
+	if err := s.reg.AddReceipt(rec); err != nil {
+		if !errors.Is(err, registry.ErrDuplicate) {
+			writeErr(w, errf(http.StatusInternalServerError, "store receipt: %v", err))
+			return
+		}
+		stored, gerr := s.reg.GetReceipt(ownerID, receiptID)
+		if gerr != nil || !slices.Equal(stored.Records, rec.Records) {
+			writeErr(w, errf(http.StatusInternalServerError, "receipt id collision on %q: stored records do not match this fingerprint", receiptID))
+			return
+		}
+	}
+	s.met.fingerprints.Inc()
+	h := w.Header()
+	h.Set("Content-Type", "application/xml")
+	h.Set("X-Wmxml-Receipt", receiptID)
+	h.Set("X-Wmxml-Recipient", recipientID)
+	h.Set("X-Wmxml-Carriers", fmt.Sprint(res.Carriers))
+	h.Set("X-Wmxml-Values-Written", fmt.Sprint(res.Embedded))
+	w.WriteHeader(http.StatusOK)
+	xmltree.Serialize(w, doc, xmltree.SerializeOptions{Indent: "  "})
+}
+
+// traceResponse is the JSON verdict of one trace sweep.
+type traceResponse struct {
+	Owner       string                   `json:"owner"`
+	Mode        string                   `json:"mode"` // "blind" or "receipt"
+	Candidates  int                      `json:"candidates"`
+	Accused     []string                 `json:"accused"`
+	Accusations []fingerprint.Accusation `json:"accusations"`
+	DecidedBits int                      `json:"decided_bits"`
+	Threshold   float64                  `json:"threshold"`
+	QueriesRun  int                      `json:"queries_run"`
+	QueryMisses int                      `json:"query_misses"`
+	CacheHit    bool                     `json:"cache_hit"`
+	ElapsedMS   float64                  `json:"elapsed_ms"`
+}
+
+// handleTrace sweeps the suspect XML body against every recipient
+// registered under the owner and returns the ranked accusation list.
+// The suspect is decoded once — through the same parsed-document cache
+// detection uses, so repeated traces skip reparse and index build —
+// and the per-recipient work is a bit-vector correlation, which is
+// what keeps an N-recipient sweep near the cost of a single detection.
+// With ?receipt=ID the decode runs through that stored query set
+// instead of blind carrier re-derivation.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	ownerID := r.URL.Query().Get("owner")
+	rt, err := s.runtimeFor(r, ownerID)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	wantReceipt := r.URL.Query().Get("receipt")
+	body, err := s.readBody(w, r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.acquire(r); err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer s.release()
+	recipients, err := s.reg.ListRecipients(ownerID)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(recipients) == 0 {
+		writeErr(w, errf(http.StatusConflict, "owner %q has no recipients; fingerprint first", ownerID))
+		return
+	}
+	candidates := make([]string, len(recipients))
+	for i, rc := range recipients {
+		candidates[i] = rc.ID
+	}
+	cd, cacheHit, err := s.suspectDoc(body)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	topts := fingerprint.TraceOptions{Index: cd.ix}
+	mode := "blind"
+	if wantReceipt != "" {
+		rec, gerr := s.reg.GetReceipt(ownerID, wantReceipt)
+		if gerr != nil {
+			writeErr(w, errf(http.StatusNotFound, "owner %q has no receipt %q", ownerID, wantReceipt))
+			return
+		}
+		topts.Records = rec.Records
+		mode = "receipt"
+	}
+	var res *fingerprint.TraceResult
+	if err := guarded(func() error {
+		var terr error
+		res, terr = rt.fp.Trace(cd.doc, candidates, topts)
+		return terr
+	}); err != nil {
+		writeErr(w, errf(http.StatusUnprocessableEntity, "trace: %v", err))
+		return
+	}
+	s.met.traces.Inc()
+	if len(res.Accused) > 0 {
+		s.met.traceAccused.Inc()
+	}
+	writeJSON(w, http.StatusOK, traceResponse{
+		Owner:       ownerID,
+		Mode:        mode,
+		Candidates:  len(candidates),
+		Accused:     res.Accused,
+		Accusations: res.Accusations,
+		DecidedBits: res.DecidedBits,
+		Threshold:   res.Threshold,
+		QueriesRun:  res.QueriesRun,
+		QueryMisses: res.QueryMisses,
+		CacheHit:    cacheHit,
+		ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// handleListRecipients lists the owner's registered recipients — the
+// candidate set /v1/trace sweeps. Key-holder only, like receipts.
+func (s *Server) handleListRecipients(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	o, err := s.reg.GetOwner(id)
+	if err != nil {
+		if errors.Is(err, registry.ErrNotFound) {
+			writeErr(w, errf(http.StatusNotFound, "unknown owner %q", id))
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	if err := s.authorize(r, o); err != nil {
+		writeErr(w, err)
+		return
+	}
+	rcs, err := s.reg.ListRecipients(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"owner": id, "recipients": rcs})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	owners, err := s.reg.ListOwners()
 	if err != nil {
@@ -868,8 +1118,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"owners": len(owners),
+		"status":  "ok",
+		"version": s.opts.Version,
+		"owners":  len(owners),
 	})
 }
 

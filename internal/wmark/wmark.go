@@ -254,6 +254,19 @@ func (v *Votes) Merge(o *Votes) {
 // Total returns the number of votes cast.
 func (v *Votes) Total() int { return v.total }
 
+// Len returns the number of bit positions the accumulator tracks.
+func (v *Votes) Len() int { return len(v.ones) }
+
+// Counts returns the raw (ones, zeros) tally of one bit position — the
+// evidence fingerprint tracing correlates against recipient codes.
+// Out-of-range positions report (0, 0).
+func (v *Votes) Counts(idx int) (ones, zeros int) {
+	if idx < 0 || idx >= len(v.ones) {
+		return 0, 0
+	}
+	return v.ones[idx], v.zeros[idx]
+}
+
 // Misses returns the number of unreadable carriers.
 func (v *Votes) Misses() int { return v.misses }
 
@@ -362,12 +375,24 @@ func (r Result) Sigma() float64 {
 // coin-flip watermark matches at least tau of n voted bits — the
 // analytic false-detection rate P[Binomial(n, 1/2) >= ceil(tau·n)].
 // Owners use it to size the mark: at n=64 voted bits and tau=0.85 the
-// probability is below 1e-8.
+// probability is below 1e-8. Callers that know the integer match count
+// should use FalsePositiveProbabilityCount instead: re-deriving the
+// count from a fraction can round ceil((k/n)·n) up to k+1 and shave a
+// tail term off the p-value.
 func FalsePositiveProbability(n int, tau float64) float64 {
 	if n <= 0 {
 		return 1
 	}
-	k := int(math.Ceil(tau * float64(n)))
+	return FalsePositiveProbabilityCount(n, int(math.Ceil(tau*float64(n))))
+}
+
+// FalsePositiveProbabilityCount is the exact binomial tail
+// P[Binomial(n, 1/2) >= k] — the false-accusation probability of a
+// correlation test that observed k matching bits out of n.
+func FalsePositiveProbabilityCount(n, k int) float64 {
+	if n <= 0 {
+		return 1
+	}
 	if k <= 0 {
 		return 1
 	}

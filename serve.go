@@ -23,6 +23,10 @@ type Owner = registry.Owner
 // the receipt registry.
 type StoredReceipt = registry.Receipt
 
+// Recipient is one distribution target registered under an owner — a
+// tracing candidate for /v1/trace.
+type Recipient = registry.Recipient
+
 // ReceiptStore is the multi-tenant owner/receipt registry contract.
 type ReceiptStore = registry.Store
 
@@ -66,6 +70,9 @@ type ServerOptions struct {
 	// owner id requires the current key; only set this on networks
 	// where every peer is already trusted with every tenant's secrets.
 	AllowUnauthenticated bool
+	// Version is the build version string surfaced in /healthz (empty
+	// renders as "dev"). The daemon injects it via -ldflags.
+	Version string
 }
 
 // NewServerHandler builds the wmxmld HTTP API as an http.Handler, for
@@ -83,6 +90,7 @@ func NewServerHandler(opts ServerOptions) (http.Handler, error) {
 		MaxDepth:             opts.MaxDepth,
 		CacheEntries:         opts.CacheEntries,
 		AllowUnauthenticated: opts.AllowUnauthenticated,
+		Version:              opts.Version,
 	})
 	if err != nil {
 		return nil, err

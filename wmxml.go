@@ -9,6 +9,7 @@ import (
 	"wmxml/internal/config"
 	"wmxml/internal/core"
 	"wmxml/internal/datagen"
+	"wmxml/internal/fingerprint"
 	"wmxml/internal/identity"
 	"wmxml/internal/index"
 	"wmxml/internal/rewrite"
@@ -494,6 +495,126 @@ func BaselineDetect(doc *Document, key string, mark Bits) (bool, float64, error)
 		return false, 0, err
 	}
 	return res.Detection.Detected, res.Detection.MatchFraction, nil
+}
+
+// --- fingerprinting & traitor tracing (distribution chains) ---
+
+// TraceResult is a ranked accusation list for one suspect document:
+// who, among the known recipients, the leaked copy points to.
+type TraceResult = fingerprint.TraceResult
+
+// Accusation is one candidate recipient's tracing score.
+type Accusation = fingerprint.Accusation
+
+// CollusionStrategy names how a coalition composes a pirate copy.
+type CollusionStrategy = attack.CollusionStrategy
+
+// Collusion strategies for NewCollusionAttack.
+const (
+	CollusionMix      = attack.CollusionMix
+	CollusionSegments = attack.CollusionSegments
+	CollusionMajority = attack.CollusionMajority
+)
+
+// FingerprintOptions configures a Fingerprinter.
+type FingerprintOptions struct {
+	// Key is the owner's secret key; required. It derives every
+	// recipient code — no codebook is stored anywhere.
+	Key string
+	// Schema describes the documents; required.
+	Schema *Schema
+	// Catalog supplies keys and FDs for semantic identities.
+	Catalog Catalog
+	// Targets are the watermark-carrying fields (empty auto-derives).
+	Targets []string
+	// Gamma is the carrier selection ratio (0 = default 10). Tracing
+	// wants several votes per code bit; small documents need a small
+	// gamma.
+	Gamma int
+	// Xi is the number of candidate low-order embedding positions.
+	Xi int
+	// Segments, SegmentBits and Replicas set the codebook geometry
+	// (0 = the fingerprint package defaults: 8×12 bits, 2 replicas).
+	Segments, SegmentBits, Replicas int
+	// Alpha is the per-trace false-accusation budget (0 = 1e-3),
+	// Bonferroni-split over the candidates.
+	Alpha float64
+	// Concurrency bounds per-call worker goroutines.
+	Concurrency int
+}
+
+// Fingerprinter derives per-recipient codes, produces recipient copies
+// and traces leaked documents back to recipients. Safe for concurrent
+// use.
+type Fingerprinter struct {
+	fp *fingerprint.System
+}
+
+// NewFingerprinter builds a Fingerprinter.
+func NewFingerprinter(opts FingerprintOptions) (*Fingerprinter, error) {
+	fp, err := fingerprint.New(fingerprint.Options{
+		Key:         []byte(opts.Key),
+		Schema:      opts.Schema,
+		Catalog:     opts.Catalog,
+		Targets:     opts.Targets,
+		Gamma:       opts.Gamma,
+		Xi:          opts.Xi,
+		Segments:    opts.Segments,
+		SegmentBits: opts.SegmentBits,
+		Replicas:    opts.Replicas,
+		Alpha:       opts.Alpha,
+		Concurrency: opts.Concurrency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fingerprinter{fp: fp}, nil
+}
+
+// RecipientCode returns the recipient's codeword (derived, never
+// stored).
+func (f *Fingerprinter) RecipientCode(recipient string) Bits {
+	return f.fp.Code(recipient)
+}
+
+// Fingerprint embeds the recipient's code into doc in place — the copy
+// to hand that recipient — and returns the receipt (safeguard Records
+// like any embedding's Q).
+func (f *Fingerprinter) Fingerprint(doc *Document, recipient string) (*EmbedReceipt, error) {
+	res, err := f.fp.Embed(doc, recipient)
+	if err != nil {
+		return nil, err
+	}
+	return &EmbedReceipt{
+		Records:        res.Records,
+		BandwidthUnits: res.Bandwidth.Units,
+		Carriers:       res.Carriers,
+		ValuesWritten:  res.Embedded,
+	}, nil
+}
+
+// Trace decodes the suspect document once and ranks every candidate
+// recipient by how strongly the recovered code points at them. With
+// records (any fingerprint receipt's Q, optionally rewritten through
+// rw) the decode runs the safeguarded queries; with nil records it
+// re-derives the carriers blind (original schema required). Sweeping N
+// candidates costs one decode plus N bit comparisons.
+func (f *Fingerprinter) Trace(doc *Document, candidates []string, records []QueryRecord, rw Rewriter) (*TraceResult, error) {
+	return f.fp.Trace(doc, candidates, fingerprint.TraceOptions{Records: records, Rewriter: rw})
+}
+
+// TraceIndexed is Trace reusing a caller-built document index over doc
+// — build one index per suspect and share it across repeated traces.
+func (f *Fingerprinter) TraceIndexed(doc *Document, candidates []string, records []QueryRecord, rw Rewriter, ix *DocumentIndex) (*TraceResult, error) {
+	return f.fp.Trace(doc, candidates, fingerprint.TraceOptions{Records: records, Rewriter: rw, Index: ix})
+}
+
+// NewCollusionAttack composes the attacked document with the given
+// other fingerprinted copies into a pirate copy: "mix" interleaves
+// records, "segments" cut-and-pastes contiguous runs, "majority" takes
+// the per-value majority. scope is the record set, e.g. "db/book".
+func NewCollusionAttack(copies []*Document, scope string, strategy CollusionStrategy) Attack {
+	return attack.Collusion{Copies: copies, Scope: scope, Strategy: strategy}
 }
 
 // EmbedStream reads an XML document from r, embeds the watermark, and
