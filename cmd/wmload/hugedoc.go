@@ -1,0 +1,385 @@
+package main
+
+// The hugedoc benchmark class: a local (no daemon) comparison of the
+// streaming and in-memory watermarking paths, plus a huge-document
+// streaming run whose peak heap must stay far below document size.
+// Results land in the same benchjson shape as the serving classes, so
+// BENCH_PR5.json sits next to BENCH_PR2..4 in the benchmark
+// trajectory.
+//
+// Classes:
+//
+//   - EmbedMem1k / EmbedStream1k, DetectMem1k / DetectStream1k: the
+//     full file-to-output pipeline (read, parse/scan, embed or blind
+//     detect, serialize) on a small document, repeated for percentiles.
+//     The *_ratio_stream_vs_mem metric is the acceptance figure:
+//     streaming p50 is expected within 2× of the in-memory path.
+//   - HugeStreamEmbed / HugeStreamDetect: one streamed pass over an
+//     N-record document, reporting peak_heap_bytes (sampled), document
+//     size, chunk count and the detection verdict.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"wmxml"
+)
+
+// heapSampler tracks the high-water HeapAlloc mark while running.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		var ms runtime.MemStats
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > s.peak.Load() {
+					s.peak.Store(ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *heapSampler) Stop() uint64 {
+	close(s.stop)
+	<-s.done
+	return s.peak.Load()
+}
+
+// timed runs fn reps times and returns sorted durations.
+func timed(reps int, fn func() error) ([]time.Duration, error) {
+	ds := make([]time.Duration, 0, reps)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			return nil, err
+		}
+		ds = append(ds, time.Since(t0))
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds, nil
+}
+
+func durResult(name string, ds []time.Duration, extra map[string]float64) benchResult {
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	m := map[string]float64{
+		"p50_ns":  float64(pct(ds, 500)),
+		"p90_ns":  float64(pct(ds, 900)),
+		"p99_ns":  float64(pct(ds, 990)),
+		"p999_ns": float64(pct(ds, 999)),
+		"max_ns":  float64(ds[len(ds)-1]),
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	return benchResult{
+		Name:       name,
+		Iterations: int64(len(ds)),
+		NsPerOp:    float64(sum.Nanoseconds()) / float64(len(ds)),
+		Metrics:    m,
+	}
+}
+
+// writeDatasetFile generates a dataset document straight to disk and
+// releases the tree before returning.
+func writeDatasetFile(dataset string, size int, seed int64, path string) (int64, error) {
+	ds, err := wmxml.DatasetByName(dataset, size, seed)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	if err := wmxml.SerializeXML(f, ds.Doc); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		return 0, err
+	}
+	ds = nil
+	runtime.GC()
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// runHugeDoc runs the local streaming-vs-in-memory benchmark and the
+// huge-document streaming pass, writing a benchjson report.
+func runHugeDoc(dataset string, smallSize, hugeSize int, seed int64, gamma, reps int, out string) error {
+	if reps <= 0 {
+		reps = 11
+	}
+	dir, err := os.MkdirTemp("", "wmload-hugedoc-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	ds, err := wmxml.DatasetByName(dataset, 1, 0)
+	if err != nil {
+		return err
+	}
+	sys, err := wmxml.New(wmxml.Options{
+		Key: "hugedoc-key", Mark: "(C) hugedoc", Gamma: gamma,
+		Schema: ds.Schema, Catalog: ds.Catalog, Targets: ds.Targets,
+	})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	// --- small-document comparison ---
+	smallPath := filepath.Join(dir, "small.xml")
+	if _, err := writeDatasetFile(dataset, smallSize, seed, smallPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wmload hugedoc: small=%d records × %d reps, huge=%d records (%s)\n", smallSize, reps, hugeSize, dataset)
+
+	embedMem := func() error {
+		f, err := os.Open(smallPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		doc, err := wmxml.ParseXML(f)
+		if err != nil {
+			return err
+		}
+		if _, err := sys.Embed(doc); err != nil {
+			return err
+		}
+		return wmxml.SerializeXML(io.Discard, doc)
+	}
+	embedStream := func() error {
+		f, err := os.Open(smallPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		_, _, err = sys.EmbedStreamContext(ctx, f, io.Discard, wmxml.StreamOptions{})
+		return err
+	}
+	// A marked copy for detection.
+	markedPath := filepath.Join(dir, "small-marked.xml")
+	mf, err := os.Create(markedPath)
+	if err != nil {
+		return err
+	}
+	sf, err := os.Open(smallPath)
+	if err != nil {
+		return err
+	}
+	if _, _, err := sys.EmbedStreamContext(ctx, sf, mf, wmxml.StreamOptions{}); err != nil {
+		return err
+	}
+	sf.Close()
+	if err := mf.Close(); err != nil {
+		return err
+	}
+	detectMem := func() error {
+		f, err := os.Open(markedPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		doc, err := wmxml.ParseXML(f)
+		if err != nil {
+			return err
+		}
+		det, err := sys.DetectBlind(doc)
+		if err != nil {
+			return err
+		}
+		if !det.Detected {
+			return fmt.Errorf("in-memory detect missed the mark")
+		}
+		return nil
+	}
+	detectStream := func() error {
+		f, err := os.Open(markedPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		det, _, err := sys.DetectBlindStreamContext(ctx, f, wmxml.StreamOptions{})
+		if err != nil {
+			return err
+		}
+		if !det.Detected {
+			return fmt.Errorf("streamed detect missed the mark")
+		}
+		return nil
+	}
+
+	var rep benchOutput
+	rep.Pkg = "wmxml/cmd/wmload"
+	rep.Goos, rep.Goarch = runtime.GOOS, runtime.GOARCH
+	type phase struct {
+		name string
+		fn   func() error
+	}
+	phases := []phase{
+		{"HugedocEmbedMem1k", embedMem},
+		{"HugedocEmbedStream1k", embedStream},
+		{"HugedocDetectMem1k", detectMem},
+		{"HugedocDetectStream1k", detectStream},
+	}
+	p50s := map[string]float64{}
+	for _, ph := range phases {
+		runtime.GC()
+		hs := startHeapSampler()
+		ds, err := timed(reps, ph.fn)
+		peak := hs.Stop()
+		if err != nil {
+			return fmt.Errorf("%s: %w", ph.name, err)
+		}
+		r := durResult(ph.name, ds, map[string]float64{"peak_heap_bytes": float64(peak)})
+		p50s[ph.name] = r.Metrics["p50_ns"]
+		rep.Results = append(rep.Results, r)
+	}
+	// The acceptance ratios.
+	for i := range rep.Results {
+		switch rep.Results[i].Name {
+		case "HugedocEmbedStream1k":
+			rep.Results[i].Metrics["p50_ratio_stream_vs_mem"] = p50s["HugedocEmbedStream1k"] / p50s["HugedocEmbedMem1k"]
+		case "HugedocDetectStream1k":
+			rep.Results[i].Metrics["p50_ratio_stream_vs_mem"] = p50s["HugedocDetectStream1k"] / p50s["HugedocDetectMem1k"]
+		}
+	}
+
+	// --- huge-document streamed pass ---
+	if hugeSize > 0 {
+		hugePath := filepath.Join(dir, "huge.xml")
+		hugeBytes, err := writeDatasetFile(dataset, hugeSize, seed+1, hugePath)
+		if err != nil {
+			return err
+		}
+		hugeMarked := filepath.Join(dir, "huge-marked.xml")
+
+		runtime.GC()
+		hs := startHeapSampler()
+		t0 := time.Now()
+		in, err := os.Open(hugePath)
+		if err != nil {
+			return err
+		}
+		outF, err := os.Create(hugeMarked)
+		if err != nil {
+			return err
+		}
+		_, stats, err := sys.EmbedStreamContext(ctx, in, outF, wmxml.StreamOptions{})
+		in.Close()
+		if cerr := outF.Close(); err == nil {
+			err = cerr
+		}
+		embedDur := time.Since(t0)
+		embedPeak := hs.Stop()
+		if err != nil {
+			return fmt.Errorf("huge stream embed: %w", err)
+		}
+		if !stats.Streamed {
+			return fmt.Errorf("huge embed fell back to in-memory: %s", stats.FallbackReason)
+		}
+		rep.Results = append(rep.Results, benchResult{
+			Name: "HugedocStreamEmbed", Iterations: 1,
+			NsPerOp: float64(embedDur.Nanoseconds()),
+			Metrics: map[string]float64{
+				"peak_heap_bytes": float64(embedPeak),
+				"doc_bytes":       float64(hugeBytes),
+				"records":         float64(stats.Records),
+				"chunks":          float64(stats.Chunks),
+			},
+		})
+
+		runtime.GC()
+		hs = startHeapSampler()
+		t0 = time.Now()
+		mIn, err := os.Open(hugeMarked)
+		if err != nil {
+			return err
+		}
+		det, dstats, err := sys.DetectBlindStreamContext(ctx, mIn, wmxml.StreamOptions{})
+		mIn.Close()
+		detectDur := time.Since(t0)
+		detectPeak := hs.Stop()
+		if err != nil {
+			return fmt.Errorf("huge stream detect: %w", err)
+		}
+		if !det.Detected {
+			return fmt.Errorf("huge stream detect: mark not found (match=%.3f coverage=%.3f)", det.MatchFraction, det.Coverage)
+		}
+		rep.Results = append(rep.Results, benchResult{
+			Name: "HugedocStreamDetect", Iterations: 1,
+			NsPerOp: float64(detectDur.Nanoseconds()),
+			Metrics: map[string]float64{
+				"peak_heap_bytes": float64(detectPeak),
+				"doc_bytes":       float64(hugeBytes),
+				"records":         float64(dstats.Records),
+				"chunks":          float64(dstats.Chunks),
+				"detected":        1,
+				"match_fraction":  det.MatchFraction,
+				"coverage":        det.Coverage,
+			},
+		})
+		fmt.Fprintf(os.Stderr, "wmload hugedoc: %d records (%.1f MiB): stream embed %s (peak heap %.1f MiB), stream detect %s (peak heap %.1f MiB), detected=true\n",
+			hugeSize, float64(hugeBytes)/(1<<20), embedDur.Round(time.Millisecond), float64(embedPeak)/(1<<20),
+			detectDur.Round(time.Millisecond), float64(detectPeak)/(1<<20))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wmload: wrote %s\n", out)
+	}
+	for _, r := range rep.Results {
+		line := fmt.Sprintf("  %-24s n=%-4d mean=%-12s", r.Name, r.Iterations, time.Duration(r.NsPerOp))
+		if v, ok := r.Metrics["p50_ns"]; ok {
+			line += fmt.Sprintf(" p50=%-12s", time.Duration(v))
+		}
+		if v, ok := r.Metrics["p50_ratio_stream_vs_mem"]; ok {
+			line += fmt.Sprintf(" stream/mem=%.2f", v)
+		}
+		if v, ok := r.Metrics["peak_heap_bytes"]; ok {
+			line += fmt.Sprintf(" peak_heap=%.1fMiB", v/(1<<20))
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	return nil
+}

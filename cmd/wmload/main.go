@@ -92,8 +92,18 @@ func main() {
 	traceEvery := fs.Int("trace-every", 0, "every Nth detect slot runs a /v1/trace sweep instead (0 = off)")
 	out := fs.String("out", "", "write the JSON report here (default stdout)")
 	waitFor := fs.Duration("wait", 10*time.Second, "how long to wait for /healthz before giving up")
+	hugedoc := fs.Int("hugedoc", 0, "run the local streaming-vs-in-memory benchmark with a huge document of N records instead of driving a daemon (0 = off)")
+	hugedocReps := fs.Int("hugedoc-reps", 11, "repetitions per small-document class in --hugedoc mode")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+
+	if *hugedoc > 0 {
+		if err := runHugeDoc(*dataset, *size, *hugedoc, *seed, *gamma, *hugedocReps, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "wmload: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if err := run(*url, *owner, *key, *mark, *dataset, *size, *seed, *gamma,

@@ -1,0 +1,76 @@
+package main
+
+// CLI leg of the cross-layer conformance suite: the same corpus and
+// golden file as internal/stream/conformance_test.go, driven through
+// the embed/detect subcommands (buffered and --stream). If the CLI's
+// output ever diverges from the library entry points, this breaks.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCLIConformanceCorpus(t *testing.T) {
+	corpus := filepath.Join("..", "..", "internal", "stream", "testdata", "conformance")
+	spec := filepath.Join(corpus, "spec.json")
+
+	var golden map[string]struct {
+		EmbedSHA256 string `json:"embed_sha256"`
+	}
+	data, err := os.ReadFile(filepath.Join(corpus, "expected.json"))
+	if err != nil {
+		t.Fatalf("golden file: %v", err)
+	}
+	if err := json.Unmarshal(data, &golden); err != nil {
+		t.Fatal(err)
+	}
+
+	fixtures, err := filepath.Glob(filepath.Join(corpus, "*.xml"))
+	if err != nil || len(fixtures) == 0 {
+		t.Fatalf("no fixtures: %v", err)
+	}
+	// The conformance constants are shared with the library suite; a
+	// drifting flag value here would fail the digest comparison anyway.
+	key, mark, gamma := "conformance-key", "W", "1"
+
+	dir := t.TempDir()
+	for _, fixture := range fixtures {
+		name := filepath.Base(fixture)
+		want, ok := golden[name]
+		if !ok {
+			t.Errorf("fixture %s missing from golden file", name)
+			continue
+		}
+		for _, mode := range []string{"buffered", "stream"} {
+			out := filepath.Join(dir, mode+"-"+name)
+			queries := filepath.Join(dir, mode+"-"+name+".q.json")
+			args := []string{"--spec", spec, "--in", fixture,
+				"--key", key, "--mark", mark, "--gamma", gamma,
+				"--out", out, "--queries", queries}
+			if mode == "stream" {
+				args = append(args, "--stream", "--chunk", "2")
+			}
+			runOK(t, "embed", args...)
+			marked, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256(marked)
+			if got := hex.EncodeToString(sum[:]); got != want.EmbedSHA256 {
+				t.Errorf("%s (%s): CLI embed digest %s != golden %s", name, mode, got[:12], want.EmbedSHA256[:12])
+			}
+			// Detection through the CLI: queries mode and blind, streamed
+			// and buffered — exit status 0 is the verdict path working.
+			runOK(t, "detect", "--spec", spec, "--in", out,
+				"--key", key, "--mark", mark, "--gamma", gamma, "--queries", queries)
+			runOK(t, "detect", "--spec", spec, "--in", out,
+				"--key", key, "--mark", mark, "--gamma", gamma, "--queries", queries, "--stream", "--chunk", "2")
+			runOK(t, "detect", "--spec", spec, "--in", out,
+				"--key", key, "--mark", mark, "--gamma", gamma, "--stream")
+		}
+	}
+}

@@ -6,9 +6,9 @@
 //
 //	wmxml gen       --dataset pubs|jobs|library --size N --seed S --out doc.xml
 //	wmxml embed     --dataset pubs --in doc.xml --key K --mark MSG --gamma G
-//	                --out marked.xml --queries q.json
+//	                --out marked.xml --queries q.json [--stream [--chunk N]]
 //	wmxml detect    --dataset pubs --in suspect.xml --key K --mark MSG
-//	                --queries q.json [--rewrite figure1]
+//	                --queries q.json [--rewrite figure1] [--stream [--chunk N]]
 //	wmxml batch     --mode embed|detect --dataset pubs --in dir/ --key K --mark MSG
 //	                [--out dir-marked/] [--queries qdir/] [--workers N]
 //	wmxml attack    --dataset pubs --in marked.xml --attack alteration|reduction|
@@ -25,9 +25,14 @@
 // (--out), so commands compose with pipes; status chatter moves to
 // stderr whenever the document itself goes to stdout. Exit codes: 0
 // success, 1 operation failure, 2 usage error.
+//
+// --stream on embed/detect switches to record-chunked constant-memory
+// processing for documents too large to materialize; the output (and
+// verdict) is byte-identical to the in-memory path.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -245,6 +250,37 @@ func statusOut(outPath string) io.Writer {
 	return os.Stdout
 }
 
+// openIn opens a raw byte reader over a file, or stdin for "-" — the
+// streaming commands never materialize the document, so they work on
+// raw readers instead of parsed trees.
+func openIn(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+// createOut opens a raw byte writer over a file, or stdout for "-".
+func createOut(path string) (io.WriteCloser, error) {
+	if path == "-" {
+		return nopWriteCloser{os.Stdout}, nil
+	}
+	return os.Create(path)
+}
+
+type nopWriteCloser struct{ io.Writer }
+
+func (nopWriteCloser) Close() error { return nil }
+
+// streamStatus renders the streaming stats line.
+func streamStatus(w io.Writer, stats wmxml.StreamStats) {
+	if stats.Streamed {
+		fmt.Fprintf(w, "streamed: %d chunks, %d records (constant memory)\n", stats.Chunks, stats.Records)
+	} else {
+		fmt.Fprintf(w, "streaming fell back to the in-memory path: %s\n", stats.FallbackReason)
+	}
+}
+
 // resolveMapping loads a mapping from a JSON file or by built-in name.
 func resolveMapping(name, file string) (wmxml.Mapping, error) {
 	if file != "" {
@@ -321,6 +357,8 @@ func cmdEmbed(args []string) error {
 	gamma := fs.Int("gamma", 10, "selection ratio: 1 in gamma units carries a bit")
 	out := fs.String("out", "marked.xml", "output (watermarked) document")
 	queries := fs.String("queries", "queries.json", "output query set Q")
+	streaming := fs.Bool("stream", false, "record-chunked constant-memory embedding for huge documents (byte-identical output)")
+	chunk := fs.Int("chunk", 0, "records per chunk with --stream (0 = 256)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -331,20 +369,43 @@ func cmdEmbed(args []string) error {
 	if *in == "" {
 		return usagef("--in is required")
 	}
-	doc, err := readDoc(*in)
-	if err != nil {
-		return err
-	}
 	sys, err := sysFromFlags(parts, *key, *mark, *gamma)
 	if err != nil {
 		return err
 	}
-	receipt, err := sys.Embed(doc)
-	if err != nil {
-		return err
-	}
-	if err := writeDoc(*out, doc); err != nil {
-		return err
+	var receipt *wmxml.EmbedReceipt
+	if *streaming {
+		rf, err := openIn(*in)
+		if err != nil {
+			return err
+		}
+		defer rf.Close()
+		wf, err := createOut(*out)
+		if err != nil {
+			return err
+		}
+		var stats wmxml.StreamStats
+		receipt, stats, err = sys.EmbedStreamContext(context.Background(), rf, wf, wmxml.StreamOptions{ChunkSize: *chunk})
+		if err != nil {
+			wf.Close()
+			return err
+		}
+		if err := wf.Close(); err != nil {
+			return err
+		}
+		streamStatus(statusOut(*out), stats)
+	} else {
+		doc, err := readDoc(*in)
+		if err != nil {
+			return err
+		}
+		receipt, err = sys.Embed(doc)
+		if err != nil {
+			return err
+		}
+		if err := writeDoc(*out, doc); err != nil {
+			return err
+		}
 	}
 	data, err := wmxml.MarshalReceipt(receipt.Records)
 	if err != nil {
@@ -371,6 +432,8 @@ func cmdDetect(args []string) error {
 	queries := fs.String("queries", "", "query set Q from embedding (omit for blind detection)")
 	rewriteMap := fs.String("rewrite", "", "rewrite queries through a built-in mapping: figure1 | pubs")
 	rewriteFile := fs.String("rewrite-file", "", "rewrite queries through a JSON mapping file")
+	streaming := fs.Bool("stream", false, "record-chunked constant-memory detection for huge documents (identical verdict)")
+	chunk := fs.Int("chunk", 0, "records per chunk with --stream (0 = 256)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -381,27 +444,20 @@ func cmdDetect(args []string) error {
 	if *in == "" {
 		return usagef("--in is required")
 	}
-	doc, err := readDoc(*in)
-	if err != nil {
-		return err
-	}
 	sys, err := sysFromFlags(parts, *key, *mark, *gamma)
 	if err != nil {
 		return err
 	}
-	var det *wmxml.Detection
-	if *queries == "" {
-		det, err = sys.DetectBlind(doc)
-	} else {
+	var records []wmxml.QueryRecord
+	var rw wmxml.Rewriter
+	if *queries != "" {
 		data, rerr := os.ReadFile(*queries)
 		if rerr != nil {
 			return rerr
 		}
-		records, rerr := wmxml.UnmarshalReceipt(data)
-		if rerr != nil {
+		if records, rerr = wmxml.UnmarshalReceipt(data); rerr != nil {
 			return rerr
 		}
-		var rw wmxml.Rewriter
 		if *rewriteMap != "" || *rewriteFile != "" {
 			m, merr := resolveMapping(*rewriteMap, *rewriteFile)
 			if merr != nil {
@@ -413,10 +469,38 @@ func cmdDetect(args []string) error {
 			}
 			rw = qrw
 		}
-		det, err = sys.Detect(doc, records, rw)
 	}
-	if err != nil {
-		return err
+	var det *wmxml.Detection
+	if *streaming {
+		rf, oerr := openIn(*in)
+		if oerr != nil {
+			return oerr
+		}
+		defer rf.Close()
+		var stats wmxml.StreamStats
+		opts := wmxml.StreamOptions{ChunkSize: *chunk}
+		if *queries == "" {
+			det, stats, err = sys.DetectBlindStreamContext(context.Background(), rf, opts)
+		} else {
+			det, stats, err = sys.DetectStreamContext(context.Background(), rf, records, rw, opts)
+		}
+		if err != nil {
+			return err
+		}
+		streamStatus(os.Stderr, stats)
+	} else {
+		doc, rerr := readDoc(*in)
+		if rerr != nil {
+			return rerr
+		}
+		if *queries == "" {
+			det, err = sys.DetectBlind(doc)
+		} else {
+			det, err = sys.Detect(doc, records, rw)
+		}
+		if err != nil {
+			return err
+		}
 	}
 	verdict := "NOT DETECTED"
 	if det.Detected {

@@ -14,7 +14,10 @@
 //
 //	POST /v1/owners                    register a tenant (key, mark, spec)
 //	POST /v1/embed?owner=ID[&doc=L]    XML in, marked XML out; receipt stored
+//	POST /v1/embed?owner=ID&mode=stream   chunked: huge XML in, marked XML streamed out,
+//	                                      receipt id in the X-Wmxml-Receipt trailer
 //	POST /v1/detect?owner=ID           suspect XML in, JSON verdict out
+//	POST /v1/detect?owner=ID&mode=stream[-blind]  chunked constant-memory detection
 //	POST /v1/verify?owner=ID           schema + key/FD verification
 //	POST /v1/fingerprint?owner=ID&recipient=R  recipient-coded copy out; recipient registered
 //	POST /v1/trace?owner=ID            suspect XML in, ranked accusations out
@@ -66,6 +69,8 @@ func main() {
 	workers := fs.Int("workers", 0, "max concurrently executing operations (0 = number of CPUs)")
 	cache := fs.Int("cache", 0, "suspect-document cache entries (0 = 128, -1 = off)")
 	maxBody := fs.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
+	maxStream := fs.Int64("max-stream", 0, "streaming-endpoint body cap in bytes (0 = 4 GiB)")
+	streamChunk := fs.Int("stream-chunk", 0, "records per chunk on the streaming endpoints (0 = 256)")
 	maxDepth := fs.Int("max-depth", 0, "XML nesting cap (0 = library default)")
 	queueTimeout := fs.Duration("queue-timeout", 10*time.Second, "max wait for a worker slot before 503")
 	noAuth := fs.Bool("insecure-no-auth", false, "serve without Bearer-key authentication (trusted networks only)")
@@ -108,6 +113,8 @@ func main() {
 		Workers:              *workers,
 		QueueTimeout:         *queueTimeout,
 		MaxBodyBytes:         *maxBody,
+		MaxStreamBytes:       *maxStream,
+		StreamChunkSize:      *streamChunk,
 		MaxDepth:             *maxDepth,
 		CacheEntries:         *cache,
 		AllowUnauthenticated: *noAuth,

@@ -86,6 +86,15 @@ type Config struct {
 	DisableIndex bool
 }
 
+// WithDefaults returns the configuration with zero-valued knobs
+// replaced by their documented defaults (the form every entry point
+// normalizes to).
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
+// Validate reports whether the configuration carries the required
+// pieces (key, mark, schema).
+func (c Config) Validate() error { return c.validate() }
+
 func (c Config) withDefaults() Config {
 	if c.Gamma == 0 {
 		c.Gamma = 10
@@ -379,12 +388,14 @@ func DetectWithQueriesIndexed(doc *xmltree.Node, cfg Config, records []QueryReco
 	if err != nil {
 		return nil, err
 	}
-	return scoreDecode(dec, cfg), nil
+	return ScoreDecode(dec, cfg), nil
 }
 
-// scoreDecode turns a decoded vote table into a detection verdict
-// against cfg.Mark.
-func scoreDecode(dec *DecodeResult, cfg Config) *DetectResult {
+// ScoreDecode turns a decoded vote table into a detection verdict
+// against cfg.Mark — the scoring half detection shares with the
+// streaming layer, which merges vote tables across chunks before
+// scoring once.
+func ScoreDecode(dec *DecodeResult, cfg Config) *DetectResult {
 	cfg = cfg.withDefaults()
 	res := &DetectResult{
 		QueriesRun:    dec.QueriesRun,
@@ -395,12 +406,60 @@ func scoreDecode(dec *DecodeResult, cfg Config) *DetectResult {
 	return res
 }
 
-// DecodeWithQueriesIndexed runs the query-execution and bit-extraction
-// phase of detection and returns the raw vote table: cfg.Mark supplies
-// only the bit length and the keyed bit-index mapping, its values are
-// not compared. A nil ix builds an index internally (unless
-// cfg.DisableIndex is set).
-func DecodeWithQueriesIndexed(doc *xmltree.Node, cfg Config, records []QueryRecord, rw Rewriter, ix *index.Index) (*DecodeResult, error) {
+// CompiledRecord is one safeguarded query record compiled for decoding:
+// the parsed query (rewritten if a Rewriter was supplied), the
+// extraction plug-in and the keyed bit assignment. Compiling once and
+// executing many times is what lets the streaming decoder run the same
+// record against every chunk without recompiling.
+type CompiledRecord struct {
+	// Record is the source record.
+	Record QueryRecord
+
+	alg           wa.Algorithm
+	q             *xpath.Query
+	bitIndex      int
+	params        wa.Params
+	rewriteFailed bool
+}
+
+// Runnable reports whether the record participates in decoding: its
+// type has an extraction plug-in and its query survived rewriting.
+func (cr *CompiledRecord) Runnable() bool { return cr.alg != nil && !cr.rewriteFailed }
+
+// RewriteFailed reports whether the rewriter could not translate the
+// record's query (the record votes one miss and counts as a rewrite
+// error).
+func (cr *CompiledRecord) RewriteFailed() bool { return cr.rewriteFailed }
+
+// Query returns the compiled (possibly rewritten) query, nil when the
+// record is not runnable.
+func (cr *CompiledRecord) Query() *xpath.Query { return cr.q }
+
+// DecodeInto executes the record's query against doc and folds one vote
+// (or extraction miss) per selected item into v. It returns the number
+// of selected items; the zero-selection miss bookkeeping is the
+// caller's, because only the caller knows whether "nothing here" is
+// final (whole document) or partial (one chunk of many).
+func (cr *CompiledRecord) DecodeInto(doc *xmltree.Node, dix xpath.DocIndex, v *wmark.Votes) int {
+	items := cr.q.SelectIndexed(doc, dix)
+	for _, item := range items {
+		bit, ok := cr.alg.Extract(item.Value(), cr.params)
+		if !ok {
+			v.AddMiss()
+			continue
+		}
+		v.Add(cr.bitIndex, bit)
+	}
+	return len(items)
+}
+
+// CompileRecords compiles a query set for decoding under cfg. Rewriting
+// (when rw is non-nil) happens here, once per record. Unparseable types
+// and queries are reported lowest-record-first, as a sequential
+// left-to-right pass would; rewrite failures are not errors — they mark
+// the record RewriteFailed, mirroring detection's tolerance for
+// partially translatable query sets.
+func CompileRecords(cfg Config, records []QueryRecord, rw Rewriter) ([]CompiledRecord, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -409,21 +468,11 @@ func DecodeWithQueriesIndexed(doc *xmltree.Node, cfg Config, records []QueryReco
 	if err != nil {
 		return nil, err
 	}
-	_, dix := docIndex(doc, cfg, ix)
-	// Queries only read the suspect document, so records fan out over
-	// workers; each worker accumulates into its own vote counter and the
-	// counters merge commutatively, reproducing the sequential tally
-	// exactly. Errors are reported lowest-record-first, as a sequential
-	// left-to-right pass would.
-	workers := detectWorkers(cfg.Concurrency, len(records))
-	accs := make([]*detectAcc, workers)
-	for w := range accs {
-		accs[w] = &detectAcc{votes: wmark.NewVotes(len(cfg.Mark))}
-	}
+	out := make([]CompiledRecord, len(records))
 	errs := make([]error, len(records))
-	forEachWorker(workers, len(records), func(worker, i int) {
+	forEachWorker(cfg.Concurrency, len(records), func(_, i int) {
 		rec := records[i]
-		acc := accs[worker]
+		out[i].Record = rec
 		dt, err := schema.ParseDataType(rec.Type)
 		if err != nil {
 			errs[i] = fmt.Errorf("core: record %q: %w", rec.ID, err)
@@ -441,33 +490,60 @@ func DecodeWithQueriesIndexed(doc *xmltree.Node, cfg Config, records []QueryReco
 		if rw != nil {
 			rq, err := rw.RewriteQuery(q)
 			if err != nil {
-				acc.rewriteErrors++
-				acc.votes.AddMiss()
+				out[i].rewriteFailed = true
 				return
 			}
 			q = rq
 		}
-		acc.queriesRun++
-		items := q.SelectIndexed(doc, dix)
-		if len(items) == 0 {
-			acc.queryMisses++
-			acc.votes.AddMiss()
-			return
-		}
-		idx := sel.BitIndex(rec.ID)
-		params := wa.Params{BitPosition: sel.PositionIn(rec.ID, cfg.XiByTarget[rec.Target])}
-		for _, item := range items {
-			bit, ok := alg.Extract(item.Value(), params)
-			if !ok {
-				acc.votes.AddMiss()
-				continue
-			}
-			acc.votes.Add(idx, bit)
-		}
+		out[i].alg = alg
+		out[i].q = q
+		out[i].bitIndex = sel.BitIndex(rec.ID)
+		out[i].params = wa.Params{BitPosition: sel.PositionIn(rec.ID, cfg.XiByTarget[rec.Target])}
 	})
 	if err := firstError(errs); err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// DecodeWithQueriesIndexed runs the query-execution and bit-extraction
+// phase of detection and returns the raw vote table: cfg.Mark supplies
+// only the bit length and the keyed bit-index mapping, its values are
+// not compared. A nil ix builds an index internally (unless
+// cfg.DisableIndex is set).
+func DecodeWithQueriesIndexed(doc *xmltree.Node, cfg Config, records []QueryRecord, rw Rewriter, ix *index.Index) (*DecodeResult, error) {
+	cfg = cfg.withDefaults()
+	compiled, err := CompileRecords(cfg, records, rw)
+	if err != nil {
+		return nil, err
+	}
+	_, dix := docIndex(doc, cfg, ix)
+	// Queries only read the suspect document, so records fan out over
+	// workers; each worker accumulates into its own vote counter and the
+	// counters merge commutatively, reproducing the sequential tally
+	// exactly.
+	workers := detectWorkers(cfg.Concurrency, len(compiled))
+	accs := make([]*detectAcc, workers)
+	for w := range accs {
+		accs[w] = &detectAcc{votes: wmark.NewVotes(len(cfg.Mark))}
+	}
+	forEachWorker(workers, len(compiled), func(worker, i int) {
+		cr := &compiled[i]
+		acc := accs[worker]
+		switch {
+		case cr.rewriteFailed:
+			acc.rewriteErrors++
+			acc.votes.AddMiss()
+		case cr.alg == nil:
+			// No extraction plug-in for the type: the record is inert.
+		default:
+			acc.queriesRun++
+			if cr.DecodeInto(doc, dix, acc.votes) == 0 {
+				acc.queryMisses++
+				acc.votes.AddMiss()
+			}
+		}
+	})
 	return mergeAccs(accs), nil
 }
 
@@ -527,13 +603,22 @@ func DetectBlindIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*Detect
 	if err != nil {
 		return nil, err
 	}
-	return scoreDecode(dec, cfg), nil
+	return ScoreDecode(dec, cfg), nil
 }
 
-// DecodeBlindIndexed is the blind counterpart of
-// DecodeWithQueriesIndexed: it re-derives the carriers from the suspect
-// document itself and returns the raw vote table unscored.
-func DecodeBlindIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*DecodeResult, error) {
+// BlindDecoder is the unit-level half of blind detection: given an
+// enumerated bandwidth unit, it applies the keyed carrier selection and
+// reads the unit's items into a vote table. DecodeBlindIndexed drives
+// it over a whole document's units; the streaming layer drives the very
+// same code over each chunk's units, which is what keeps the two
+// bit-for-bit identical.
+type BlindDecoder struct {
+	cfg Config
+	sel *wmark.Selector
+}
+
+// NewBlindDecoder validates cfg and builds the decoder.
+func NewBlindDecoder(cfg Config) (*BlindDecoder, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -542,6 +627,49 @@ func DecodeBlindIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*Decode
 	if err != nil {
 		return nil, err
 	}
+	return &BlindDecoder{cfg: cfg, sel: sel}, nil
+}
+
+// Config returns the decoder's defaulted configuration.
+func (d *BlindDecoder) Config() Config { return d.cfg }
+
+// DecodeUnit reads one unit: if the key selects it and its type has an
+// extraction plug-in, every item votes (or misses) into v. ran reports
+// whether the unit participated (it counts as one executed query);
+// extracted reports whether at least one item yielded a bit (a
+// participating unit with none is a query miss — but for a unit split
+// across chunks only the caller can total that across its parts).
+func (d *BlindDecoder) DecodeUnit(u identity.Unit, v *wmark.Votes) (ran, extracted bool) {
+	if !d.sel.Selected(u.ID) {
+		return false, false
+	}
+	alg := wa.ForType(u.Type)
+	if alg == nil {
+		return false, false
+	}
+	idx := d.sel.BitIndex(u.ID)
+	params := wa.Params{BitPosition: d.sel.PositionIn(u.ID, d.cfg.XiByTarget[u.Scope+"/"+u.Field])}
+	for _, item := range u.Items {
+		bit, ok := alg.Extract(item.Value(), params)
+		if !ok {
+			v.AddMiss()
+			continue
+		}
+		v.Add(idx, bit)
+		extracted = true
+	}
+	return true, extracted
+}
+
+// DecodeBlindIndexed is the blind counterpart of
+// DecodeWithQueriesIndexed: it re-derives the carriers from the suspect
+// document itself and returns the raw vote table unscored.
+func DecodeBlindIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*DecodeResult, error) {
+	dec, err := NewBlindDecoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg = dec.cfg
 	_, dix := docIndex(doc, cfg, ix)
 	builder := identity.NewBuilder(cfg.Schema, cfg.Catalog, cfg.Identity)
 	units, _, err := builder.UnitsIndexed(doc, dix)
@@ -556,29 +684,13 @@ func DecodeBlindIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*Decode
 		accs[w] = &detectAcc{votes: wmark.NewVotes(len(cfg.Mark))}
 	}
 	forEachWorker(workers, len(units), func(worker, i int) {
-		u := units[i]
 		acc := accs[worker]
-		if !sel.Selected(u.ID) {
-			return
-		}
-		alg := wa.ForType(u.Type)
-		if alg == nil {
+		ran, extracted := dec.DecodeUnit(units[i], acc.votes)
+		if !ran {
 			return
 		}
 		acc.queriesRun++
-		idx := sel.BitIndex(u.ID)
-		params := wa.Params{BitPosition: sel.PositionIn(u.ID, cfg.XiByTarget[u.Scope+"/"+u.Field])}
-		any := false
-		for _, item := range u.Items {
-			bit, ok := alg.Extract(item.Value(), params)
-			if !ok {
-				acc.votes.AddMiss()
-				continue
-			}
-			acc.votes.Add(idx, bit)
-			any = true
-		}
-		if !any {
+		if !extracted {
 			acc.queryMisses++
 		}
 	})

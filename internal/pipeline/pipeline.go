@@ -33,6 +33,7 @@ import (
 
 	"wmxml/internal/core"
 	"wmxml/internal/index"
+	"wmxml/internal/stream"
 	"wmxml/internal/xmltree"
 )
 
@@ -83,6 +84,9 @@ type EmbedOutcome struct {
 	Verify *core.DetectResult
 	// VerifyErr is the verification pass's own failure.
 	VerifyErr error
+	// Stream reports chunking stats for jobs run through EmbedReader
+	// (nil for tree jobs).
+	Stream *stream.Stats
 }
 
 // DetectOutcome is the detection result of one job.
@@ -92,6 +96,9 @@ type DetectOutcome struct {
 	// Result is the detection outcome; nil when Err is set.
 	Result *core.DetectResult
 	Err    error
+	// Stream reports chunking stats for jobs run through DetectReader
+	// (nil for tree jobs).
+	Stream *stream.Stats
 }
 
 // Options configures an Engine.
@@ -162,12 +169,12 @@ func (e *Engine) DetectAll(ctx context.Context, jobs []DetectJob) ([]DetectOutco
 // ctx is cancelled. Outcome order is completion order; Index records
 // arrival order. Up to Workers documents are in flight at once.
 func (e *Engine) EmbedStream(ctx context.Context, in <-chan Job) <-chan EmbedOutcome {
-	return stream(ctx, e.workers, in, e.embedOne)
+	return fanStream(ctx, e.workers, in, e.embedOne)
 }
 
 // DetectStream is EmbedStream for detection jobs.
 func (e *Engine) DetectStream(ctx context.Context, in <-chan DetectJob) <-chan DetectOutcome {
-	return stream(ctx, e.workers, in, e.detectOne)
+	return fanStream(ctx, e.workers, in, e.detectOne)
 }
 
 // embedOne processes one document, converting panics in value plug-ins
@@ -268,11 +275,11 @@ feed:
 	return ctx.Err()
 }
 
-// stream is the shared worker loop behind EmbedStream and DetectStream.
+// fanStream is the shared worker loop behind EmbedStream and DetectStream.
 // A single dispatcher goroutine drains in and stamps each job with its
 // arrival index before any worker can race for the next receive, so
 // Index reflects true arrival order even with many workers.
-func stream[J any, O any](ctx context.Context, workers int, in <-chan J, fn func(context.Context, int, J) O) <-chan O {
+func fanStream[J any, O any](ctx context.Context, workers int, in <-chan J, fn func(context.Context, int, J) O) <-chan O {
 	type numbered struct {
 		i int
 		j J

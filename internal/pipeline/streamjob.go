@@ -1,0 +1,115 @@
+package pipeline
+
+// Streaming job kind: single documents too large to materialize run
+// through internal/stream under the engine's panic isolation and
+// cancellation contract. Unlike the batch jobs, a streaming job owns an
+// io.Reader/io.Writer pair instead of a parsed tree, and cancellation
+// takes effect *mid-document* — between chunks — rather than between
+// documents.
+
+import (
+	"fmt"
+	"io"
+
+	"context"
+
+	"wmxml/internal/core"
+	"wmxml/internal/stream"
+)
+
+// StreamEmbedJob is one streamed embedding: the document is read from
+// In and the marked document written to Out incrementally.
+type StreamEmbedJob struct {
+	// ID names the document in outcomes.
+	ID string
+	// In supplies the XML document.
+	In io.Reader
+	// Out receives the watermarked document, byte-identical to the
+	// in-memory path's output.
+	Out io.Writer
+	// Options tunes chunking; the zero value uses the stream defaults.
+	Options stream.Options
+}
+
+// StreamDetectJob is one streamed detection. Records nil runs blind
+// detection, mirroring DetectJob.
+type StreamDetectJob struct {
+	ID string
+	In io.Reader
+	// Records is the safeguarded query set Q; nil decodes blind.
+	Records []core.QueryRecord
+	// Rewriter translates queries for a re-organized suspect; only
+	// chunk-local rewrites stream (others fall back in-memory).
+	Rewriter core.Rewriter
+	Options  stream.Options
+}
+
+// EmbedReader embeds a single streamed document. Panics in tree or
+// plug-in code become the job's error; ctx cancels mid-document (the
+// stream stops between chunks, drains its workers and returns
+// ctx.Err()). The outcome's Stream field reports chunking stats.
+// Options.Verify does not apply: a streamed document is not retained,
+// so there is no tree to re-detect against.
+func (e *Engine) EmbedReader(ctx context.Context, j StreamEmbedJob) (out EmbedOutcome) {
+	out = EmbedOutcome{ID: j.ID}
+	if err := ctx.Err(); err != nil {
+		out.Err = ErrSkipped
+		return out
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out.Result = nil
+			out.Err = fmt.Errorf("pipeline: stream embed %q panicked: %v", j.ID, r)
+		}
+	}()
+	if j.In == nil || j.Out == nil {
+		out.Err = fmt.Errorf("pipeline: stream job %q needs In and Out", j.ID)
+		return out
+	}
+	res, err := stream.Embed(ctx, j.In, j.Out, e.cfg, j.Options)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Result = res.EmbedResult
+	out.Stream = &res.Stats
+	return out
+}
+
+// DetectReader detects over a single streamed document (blind when
+// Records is nil) with the same isolation and cancellation contract as
+// EmbedReader.
+func (e *Engine) DetectReader(ctx context.Context, j StreamDetectJob) (out DetectOutcome) {
+	out = DetectOutcome{ID: j.ID}
+	if err := ctx.Err(); err != nil {
+		out.Err = ErrSkipped
+		return out
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out.Result = nil
+			out.Err = fmt.Errorf("pipeline: stream detect %q panicked: %v", j.ID, r)
+		}
+	}()
+	if j.In == nil {
+		out.Err = fmt.Errorf("pipeline: stream job %q needs In", j.ID)
+		return out
+	}
+	var (
+		res   *core.DetectResult
+		stats stream.Stats
+		err   error
+	)
+	if j.Records == nil {
+		res, stats, err = stream.DetectBlind(ctx, j.In, e.cfg, j.Options)
+	} else {
+		res, stats, err = stream.Detect(ctx, j.In, e.cfg, j.Records, j.Rewriter, j.Options)
+	}
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Result = res
+	out.Stream = &stats
+	return out
+}

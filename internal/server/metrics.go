@@ -76,24 +76,27 @@ func (h *histogram) Observe(d time.Duration) {
 // materialized on first use and never removed (label cardinality is
 // bounded: one series per route × status class).
 type metrics struct {
-	mu           sync.Mutex
-	requests     map[string]*counter   // route|code -> count
-	latency      map[string]*histogram // route -> latency
-	inflight     gauge
-	queueFull    counter // admissions rejected: queue wait exceeded
-	tooLarge     counter // requests rejected: body over the cap
-	cacheHits    counter
-	cacheMiss    counter
-	cacheEvict   counter
-	cacheSize    gauge
-	embeds       counter
-	detects      counter
-	detected     counter
-	verifies     counter
-	fingerprints counter
-	traces       counter
-	traceAccused counter
-	startUnix    int64
+	mu            sync.Mutex
+	requests      map[string]*counter   // route|code -> count
+	latency       map[string]*histogram // route -> latency
+	inflight      gauge
+	queueFull     counter // admissions rejected: queue wait exceeded
+	tooLarge      counter // requests rejected: body over the cap
+	cacheHits     counter
+	cacheMiss     counter
+	cacheEvict    counter
+	cacheSize     gauge
+	embeds        counter
+	detects       counter
+	detected      counter
+	verifies      counter
+	fingerprints  counter
+	traces        counter
+	traceAccused  counter
+	streamEmbeds  counter
+	streamDetects counter
+	streamChunks  counter
+	startUnix     int64
 }
 
 func newMetrics() *metrics {
@@ -180,6 +183,9 @@ func (m *metrics) render(w io.Writer) {
 		{"wmxmld_fingerprints_total", "Successful fingerprint (per-recipient embed) operations.", m.fingerprints.Value()},
 		{"wmxmld_traces_total", "Completed trace operations.", m.traces.Value()},
 		{"wmxmld_traces_accused_total", "Trace operations that accused at least one recipient.", m.traceAccused.Value()},
+		{"wmxmld_stream_embeds_total", "Successful streaming (mode=stream) embed operations.", m.streamEmbeds.Value()},
+		{"wmxmld_stream_detects_total", "Completed streaming detect operations.", m.streamDetects.Value()},
+		{"wmxmld_stream_chunks_total", "Record chunks processed by the streaming endpoints.", m.streamChunks.Value()},
 	}
 	for _, s := range simple {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.value)

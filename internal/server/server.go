@@ -78,6 +78,13 @@ type Options struct {
 	QueueTimeout time.Duration
 	// MaxBodyBytes caps request bodies. 0 means 32 MiB.
 	MaxBodyBytes int64
+	// MaxStreamBytes caps bodies of the streaming endpoints
+	// (mode=stream), which exist precisely for documents larger than
+	// MaxBodyBytes. 0 means 4 GiB.
+	MaxStreamBytes int64
+	// StreamChunkSize is the records-per-chunk setting of the streaming
+	// endpoints (0 = the stream default).
+	StreamChunkSize int
 	// MaxDepth caps XML nesting on parse (0 = xmltree.DefaultMaxDepth).
 	MaxDepth int
 	// CacheEntries sizes the suspect-document LRU (0 = 128; negative
@@ -105,6 +112,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 32 << 20
+	}
+	if o.MaxStreamBytes <= 0 {
+		o.MaxStreamBytes = 4 << 30
 	}
 	if o.CacheEntries == 0 {
 		o.CacheEntries = 128
@@ -195,6 +205,11 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// Unwrap exposes the underlying writer to http.ResponseController, so
+// the streaming endpoints can reach flush and full-duplex controls
+// through the instrumentation wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // instrument wraps a handler with request counting and latency
 // observation under a stable route label.
@@ -572,6 +587,10 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	if r.URL.Query().Get("mode") == "stream" {
+		s.handleEmbedStream(w, r, rt, ownerID)
+		return
+	}
 	body, err := s.readBody(w, r)
 	if err != nil {
 		writeErr(w, err)
@@ -693,6 +712,14 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	rt, err := s.runtimeFor(r, ownerID)
 	if err != nil {
 		writeErr(w, err)
+		return
+	}
+	switch r.URL.Query().Get("mode") {
+	case "stream":
+		s.handleDetectStream(w, r, rt, ownerID, false)
+		return
+	case "stream-blind":
+		s.handleDetectStream(w, r, rt, ownerID, true)
 		return
 	}
 	blind := r.URL.Query().Get("mode") == "blind"

@@ -2,6 +2,7 @@ package xmltree
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -33,122 +34,187 @@ type ParseOptions struct {
 // keeping recursive tree passes comfortably inside the stack.
 const DefaultMaxDepth = 10000
 
-// Parse reads an XML document from r and builds its DOM. The returned node
-// has Kind == DocumentNode.
-func Parse(r io.Reader, opts ParseOptions) (*Node, error) {
-	dec := xml.NewDecoder(r)
-	// The documents this system handles are data files, not hypertext;
-	// strictness catches corrupt attack output early.
-	dec.Strict = true
-	doc := NewDocument()
-	cur := doc
-	sawElement := false
-	depth := 0
+// tokenBuilder folds xml tokens into the DOM. It is the single place the
+// parsing semantics live — whitespace dropping, adjacent-text merging,
+// namespace prefix restoration, depth capping, well-formedness checks —
+// shared by the whole-document Parse and the record-chunked StreamParser,
+// so the two can never diverge.
+type tokenBuilder struct {
+	opts     ParseOptions
+	maxDepth int
+	doc      *Node
+	cur      *Node
+	depth    int
+	sawElem  bool
+}
+
+func newTokenBuilder(opts ParseOptions) *tokenBuilder {
 	maxDepth := opts.MaxDepth
 	if maxDepth <= 0 {
 		maxDepth = DefaultMaxDepth
 	}
+	doc := NewDocument()
+	return &tokenBuilder{opts: opts, maxDepth: maxDepth, doc: doc, cur: doc}
+}
+
+// token folds one decoder token into the tree.
+func (b *tokenBuilder) token(tok xml.Token) error {
+	switch t := tok.(type) {
+	case xml.StartElement:
+		b.depth++
+		if b.depth > b.maxDepth {
+			return fmt.Errorf("xmltree: parse: element nesting exceeds %d", b.maxDepth)
+		}
+		el := NewElement("")
+		for _, a := range t.Attr {
+			// Namespace declarations are preserved verbatim as
+			// attributes so that serialization round-trips.
+			el.Attrs = append(el.Attrs, Attr{Name: flatName(a.Name), Value: a.Value})
+		}
+		b.cur.AppendChild(el)
+		// Resolve namespaced names once the element's own xmlns
+		// declarations and its ancestors' are reachable. The decoder
+		// hands us resolved URLs; serializing those verbatim
+		// ("urn:x:b") would not reparse, so map each URL back to its
+		// in-scope prefix.
+		el.Name = resolveName(el, t.Name, false)
+		renamed := false
+		for i, a := range t.Attr {
+			if a.Name.Space != "" && a.Name.Space != "xmlns" {
+				el.Attrs[i].Name = resolveName(el, a.Name, true)
+				renamed = true
+			}
+		}
+		if renamed {
+			// Distinct raw attributes can resolve to one expanded
+			// name (two prefixes bound to the same URL); XML forbids
+			// that, so reject rather than serialize duplicates.
+			for i := range el.Attrs {
+				for j := 0; j < i; j++ {
+					if el.Attrs[i].Name == el.Attrs[j].Name {
+						return fmt.Errorf("xmltree: parse: duplicate attribute %q on %q", el.Attrs[i].Name, el.Name)
+					}
+				}
+			}
+		}
+		b.cur = el
+		if b.cur.Parent == b.doc {
+			if b.sawElem {
+				return fmt.Errorf("xmltree: parse: multiple document elements")
+			}
+			b.sawElem = true
+		}
+	case xml.EndElement:
+		if b.cur == b.doc {
+			return fmt.Errorf("xmltree: parse: unbalanced end element %q", flatName(t.Name))
+		}
+		b.depth--
+		b.cur = b.cur.Parent
+	case xml.CharData:
+		s := string(t)
+		if !b.opts.KeepWhitespaceText && isAllXMLSpace(s) {
+			return nil
+		}
+		if b.cur == b.doc {
+			// Character data outside the document element is only
+			// legal if it is whitespace.
+			if isAllXMLSpace(s) {
+				return nil
+			}
+			return fmt.Errorf("xmltree: parse: character data outside document element")
+		}
+		// Merge with a preceding text sibling so parsing always yields
+		// normalized trees.
+		if k := len(b.cur.Children); k > 0 && b.cur.Children[k-1].Kind == TextNode {
+			b.cur.Children[k-1].Value += s
+			return nil
+		}
+		b.cur.AppendChild(NewText(s))
+	case xml.Comment:
+		if b.opts.KeepComments {
+			b.cur.AppendChild(NewComment(string(t)))
+		}
+	case xml.ProcInst:
+		if t.Target == "xml" {
+			return nil
+		}
+		if b.opts.KeepProcInsts {
+			b.cur.AppendChild(NewProcInst(t.Target, string(t.Inst)))
+		}
+	case xml.Directive:
+		// DTD internal subsets and the like are not modelled.
+	}
+	return nil
+}
+
+// finish validates end-of-input state and returns the document.
+func (b *tokenBuilder) finish() (*Node, error) {
+	if b.cur != b.doc {
+		return nil, fmt.Errorf("xmltree: parse: unexpected EOF inside element %q", b.cur.Name)
+	}
+	if !b.sawElem {
+		return nil, fmt.Errorf("xmltree: parse: no document element")
+	}
+	return b.doc, nil
+}
+
+// errTrackReader records the first error its underlying reader returns,
+// so a parse failure can be traced back to the I/O fault that caused it
+// even if the XML decoder re-describes it as a syntax problem. Streaming
+// makes truncated and failing inputs routine; callers must be able to
+// tell "the disk/socket failed" from "the document is malformed".
+type errTrackReader struct {
+	r   io.Reader
+	err error
+}
+
+func (t *errTrackReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err != nil && err != io.EOF && t.err == nil {
+		t.err = err
+	}
+	return n, err
+}
+
+// parseError folds a decoder error with any recorded reader error: when
+// the reader itself failed, that failure is the root cause and must be
+// in the returned chain (errors.Is-reachable) whatever the decoder made
+// of the resulting truncation.
+func parseError(decErr error, tr *errTrackReader) error {
+	if tr != nil && tr.err != nil && !errors.Is(decErr, tr.err) {
+		return fmt.Errorf("xmltree: parse: read: %w", tr.err)
+	}
+	return fmt.Errorf("xmltree: parse: %w", decErr)
+}
+
+// newDecoder builds the strict XML tokenizer all parse paths share.
+func newDecoder(r io.Reader) *xml.Decoder {
+	dec := xml.NewDecoder(r)
+	// The documents this system handles are data files, not hypertext;
+	// strictness catches corrupt attack output early.
+	dec.Strict = true
+	return dec
+}
+
+// Parse reads an XML document from r and builds its DOM. The returned node
+// has Kind == DocumentNode.
+func Parse(r io.Reader, opts ParseOptions) (*Node, error) {
+	tr := &errTrackReader{r: r}
+	dec := newDecoder(tr)
+	b := newTokenBuilder(opts)
 	for {
 		tok, err := dec.Token()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("xmltree: parse: %w", err)
+			return nil, parseError(err, tr)
 		}
-		switch t := tok.(type) {
-		case xml.StartElement:
-			depth++
-			if depth > maxDepth {
-				return nil, fmt.Errorf("xmltree: parse: element nesting exceeds %d", maxDepth)
-			}
-			el := NewElement("")
-			for _, a := range t.Attr {
-				// Namespace declarations are preserved verbatim as
-				// attributes so that serialization round-trips.
-				el.Attrs = append(el.Attrs, Attr{Name: flatName(a.Name), Value: a.Value})
-			}
-			cur.AppendChild(el)
-			// Resolve namespaced names once the element's own xmlns
-			// declarations and its ancestors' are reachable. The decoder
-			// hands us resolved URLs; serializing those verbatim
-			// ("urn:x:b") would not reparse, so map each URL back to its
-			// in-scope prefix.
-			el.Name = resolveName(el, t.Name, false)
-			renamed := false
-			for i, a := range t.Attr {
-				if a.Name.Space != "" && a.Name.Space != "xmlns" {
-					el.Attrs[i].Name = resolveName(el, a.Name, true)
-					renamed = true
-				}
-			}
-			if renamed {
-				// Distinct raw attributes can resolve to one expanded
-				// name (two prefixes bound to the same URL); XML forbids
-				// that, so reject rather than serialize duplicates.
-				for i := range el.Attrs {
-					for j := 0; j < i; j++ {
-						if el.Attrs[i].Name == el.Attrs[j].Name {
-							return nil, fmt.Errorf("xmltree: parse: duplicate attribute %q on %q", el.Attrs[i].Name, el.Name)
-						}
-					}
-				}
-			}
-			cur = el
-			if cur.Parent == doc {
-				if sawElement {
-					return nil, fmt.Errorf("xmltree: parse: multiple document elements")
-				}
-				sawElement = true
-			}
-		case xml.EndElement:
-			if cur == doc {
-				return nil, fmt.Errorf("xmltree: parse: unbalanced end element %q", flatName(t.Name))
-			}
-			depth--
-			cur = cur.Parent
-		case xml.CharData:
-			s := string(t)
-			if !opts.KeepWhitespaceText && isAllXMLSpace(s) {
-				continue
-			}
-			if cur == doc {
-				// Character data outside the document element is only
-				// legal if it is whitespace.
-				if isAllXMLSpace(s) {
-					continue
-				}
-				return nil, fmt.Errorf("xmltree: parse: character data outside document element")
-			}
-			// Merge with a preceding text sibling so parsing always yields
-			// normalized trees.
-			if k := len(cur.Children); k > 0 && cur.Children[k-1].Kind == TextNode {
-				cur.Children[k-1].Value += s
-				continue
-			}
-			cur.AppendChild(NewText(s))
-		case xml.Comment:
-			if opts.KeepComments {
-				cur.AppendChild(NewComment(string(t)))
-			}
-		case xml.ProcInst:
-			if t.Target == "xml" {
-				continue
-			}
-			if opts.KeepProcInsts {
-				cur.AppendChild(NewProcInst(t.Target, string(t.Inst)))
-			}
-		case xml.Directive:
-			// DTD internal subsets and the like are not modelled.
+		if err := b.token(tok); err != nil {
+			return nil, err
 		}
 	}
-	if cur != doc {
-		return nil, fmt.Errorf("xmltree: parse: unexpected EOF inside element %q", cur.Name)
-	}
-	if !sawElement {
-		return nil, fmt.Errorf("xmltree: parse: no document element")
-	}
-	return doc, nil
+	return b.finish()
 }
 
 // ParseString is Parse over a string with default options.

@@ -1,0 +1,253 @@
+package xmltree
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// drainStream runs a StreamParser to completion, reassembling the
+// document from events, and also re-serializes it through the
+// StreamSerializer for byte comparison.
+func drainStream(t *testing.T, src string, opts ParseOptions, sopts SerializeOptions) (reassembled *Node, streamed string) {
+	t.Helper()
+	sp := NewStreamParser(strings.NewReader(src), opts)
+	var out bytes.Buffer
+	ss := NewStreamSerializer(&out, sopts)
+	doc := NewDocument()
+	var root *Node
+	afterRoot := false
+	for {
+		ev, err := sp.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("stream parse %q: %v", src, err)
+		}
+		switch ev.Kind {
+		case EventDocItem:
+			ss.WriteDocItem(ev.Node)
+			doc.AppendChild(ev.Node)
+		case EventRootOpen:
+			root = &Node{Kind: ElementNode, Name: ev.Node.Name}
+			root.Attrs = append([]Attr(nil), ev.Node.Attrs...)
+			doc.AppendChild(root)
+			ss.OpenElement(ev.Node)
+		case EventItem:
+			if afterRoot {
+				t.Fatalf("item after root close")
+			}
+			root.AppendChild(ev.Node)
+			ss.WriteChild(ev.Node)
+		case EventRootClose:
+			afterRoot = true
+			ss.CloseElement()
+		}
+	}
+	if err := ss.Finish(); err != nil {
+		t.Fatalf("stream serialize: %v", err)
+	}
+	return doc, out.String()
+}
+
+// TestStreamParseSerializeEquivalence: for a spread of document shapes,
+// streaming parse+serialize must produce a tree structurally equal to
+// Parse's and bytes identical to Serialize's.
+func TestStreamParseSerializeEquivalence(t *testing.T) {
+	docs := []string{
+		`<db/>`,
+		`<db></db>`,
+		`<db>plain text</db>`,
+		`<db><r><v>1</v></r></db>`,
+		`<db attr="x"><r id="1"><v>1</v></r><r id="2"><v>2</v></r></db>`,
+		`<db>lead<r>a</r>mid<r>b</r>tail</db>`,
+		`<db><r>one</r><meta><note>hi</note></meta><r>two</r></db>`,
+		`<db xmlns:p="urn:x"><p:r><p:v p:a="1">x</p:v></p:r></db>`,
+		`<db><r><![CDATA[a <b> & c]]></r></db>`,
+		`<db><r>a&amp;b&lt;c</r></db>`,
+		`<db><r><deep><deeper><deepest>v</deepest></deeper></deep></r></db>`,
+		`<db><r/><r></r><r> </r></db>`,
+		"<?xml version=\"1.0\"?>\n<db>\n  <r>\n    <v>1</v>\n  </r>\n</db>\n",
+	}
+	optVariants := []struct {
+		name  string
+		popts ParseOptions
+		sopts SerializeOptions
+	}{
+		{"default-indent", ParseOptions{}, SerializeOptions{Indent: "  "}},
+		{"compact", ParseOptions{}, SerializeOptions{OmitDeclaration: true}},
+		{"keep-ws", ParseOptions{KeepWhitespaceText: true}, SerializeOptions{Indent: "  "}},
+	}
+	for _, ov := range optVariants {
+		for _, src := range docs {
+			want, err := Parse(strings.NewReader(src), ov.popts)
+			if err != nil {
+				t.Fatalf("%s: parse %q: %v", ov.name, src, err)
+			}
+			var wantOut bytes.Buffer
+			if err := Serialize(&wantOut, want, ov.sopts); err != nil {
+				t.Fatal(err)
+			}
+			gotTree, gotOut := drainStream(t, src, ov.popts, ov.sopts)
+			if !Equal(want, gotTree, CompareOptions{}) {
+				t.Errorf("%s: %q: stream tree differs: %v", ov.name, src, FirstDiff(want, gotTree))
+			}
+			if gotOut != wantOut.String() {
+				t.Errorf("%s: %q:\nstream  %q\nbatch   %q", ov.name, src, gotOut, wantOut.String())
+			}
+		}
+	}
+}
+
+// TestStreamParseKeepMisc covers document-level comments and processing
+// instructions around the root when they are retained.
+func TestStreamParseKeepMisc(t *testing.T) {
+	src := `<?pi data?><!-- before --><db><r>x</r></db><!-- after -->`
+	popts := ParseOptions{KeepComments: true, KeepProcInsts: true}
+	sopts := SerializeOptions{Indent: "  "}
+	want, err := Parse(strings.NewReader(src), popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantOut bytes.Buffer
+	if err := Serialize(&wantOut, want, sopts); err != nil {
+		t.Fatal(err)
+	}
+	gotTree, gotOut := drainStream(t, src, popts, sopts)
+	if !Equal(want, gotTree, CompareOptions{}) {
+		t.Fatalf("tree differs: %v", FirstDiff(want, gotTree))
+	}
+	if gotOut != wantOut.String() {
+		t.Fatalf("stream %q\nbatch  %q", gotOut, wantOut.String())
+	}
+}
+
+// TestStreamParseErrors locks the failure modes: malformed documents
+// and depth-cap violations fail the same way Parse does.
+func TestStreamParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		opts ParseOptions
+		want string
+	}{
+		{"<db><a></db>", ParseOptions{}, "syntax"},
+		{"<db><r/></db><db2/>", ParseOptions{}, "multiple document elements"},
+		{"<a><b><c/></b></a>", ParseOptions{MaxDepth: 2}, "nesting exceeds"},
+		{"no xml here", ParseOptions{}, "character data outside document element"},
+		{"", ParseOptions{}, "no document element"},
+		{"<db><r>", ParseOptions{}, "unexpected EOF"},
+	}
+	for _, c := range cases {
+		sp := NewStreamParser(strings.NewReader(c.src), c.opts)
+		var err error
+		for {
+			_, err = sp.Next()
+			if err != nil {
+				break
+			}
+		}
+		if err == io.EOF || err == nil {
+			t.Errorf("%q: expected failure containing %q, got clean parse", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not contain %q", c.src, err, c.want)
+		}
+		// Fatal errors are sticky.
+		if _, again := sp.Next(); again == nil || again == io.EOF {
+			t.Errorf("%q: error was not sticky", c.src)
+		}
+	}
+}
+
+// erroringReader yields some bytes, then fails with a distinct error.
+type erroringReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *erroringReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, r.err
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+// TestParseSurfacesReaderError is the regression test for the streaming
+// satellite fix: when the io.Reader itself fails mid-token, Parse must
+// surface that underlying error in its chain — truncated inputs are
+// routine under streaming, and "the socket died" must be
+// distinguishable from "the document is malformed".
+func TestParseSurfacesReaderError(t *testing.T) {
+	wantErr := errors.New("NFS server rebooted")
+	cuts := []string{
+		"<db><r><v>12",        // inside character data
+		"<db><r att",          // inside a start tag
+		"<db><r><![CDATA[ab",  // inside a CDATA section
+		"<db><!-- half a com", // inside a comment
+		"<db>&am",             // inside an entity reference
+	}
+	for _, cut := range cuts {
+		_, err := Parse(&erroringReader{data: []byte(cut), err: wantErr}, ParseOptions{})
+		if err == nil {
+			t.Fatalf("%q: parse succeeded over failing reader", cut)
+		}
+		if !errors.Is(err, wantErr) {
+			t.Errorf("%q: underlying reader error lost: %v", cut, err)
+		}
+	}
+
+	// Same guarantee through the streaming parser.
+	for _, cut := range cuts {
+		sp := NewStreamParser(&erroringReader{data: []byte(cut), err: wantErr}, ParseOptions{})
+		var err error
+		for {
+			_, err = sp.Next()
+			if err != nil {
+				break
+			}
+		}
+		if !errors.Is(err, wantErr) {
+			t.Errorf("stream %q: underlying reader error lost: %v", cut, err)
+		}
+	}
+
+	// A clean EOF truncation (no reader fault) still reads as a parse
+	// problem, not an I/O one.
+	_, err := Parse(strings.NewReader("<db><r>"), ParseOptions{})
+	if err == nil || !strings.Contains(err.Error(), "unexpected EOF") {
+		t.Errorf("truncation error shape changed: %v", err)
+	}
+}
+
+// TestStreamSerializerNested exercises nested OpenElement/CloseElement
+// beyond the single-root usage.
+func TestStreamSerializerNested(t *testing.T) {
+	want := MustParseString(`<a><b><c>x</c><c>y</c></b><d>z</d></a>`)
+	var wantOut bytes.Buffer
+	if err := Serialize(&wantOut, want, SerializeOptions{Indent: "  "}); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	ss := NewStreamSerializer(&out, SerializeOptions{Indent: "  "})
+	ss.OpenElement(NewElement("a"))
+	ss.OpenElement(NewElement("b"))
+	ss.WriteChild(MustParseString(`<c>x</c>`).Root())
+	ss.WriteChild(MustParseString(`<c>y</c>`).Root())
+	ss.CloseElement()
+	ss.WriteChild(MustParseString(`<d>z</d>`).Root())
+	ss.CloseElement()
+	if err := ss.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != wantOut.String() {
+		t.Fatalf("nested stream serialization:\n got %q\nwant %q", out.String(), wantOut.String())
+	}
+}

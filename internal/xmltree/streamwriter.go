@@ -1,0 +1,220 @@
+package xmltree
+
+// StreamSerializer writes a document incrementally — declaration, the
+// document element's open tag, streamed children, close tag — producing
+// output byte-identical to Serialize over the equivalent full tree.
+// That identity is the contract the streaming watermark path is built
+// on: a chunked embed must emit exactly the bytes the in-memory embed
+// would, so the two are interchangeable and receipts/digests agree.
+//
+// The subtle part is mirroring two of the batch serializer's decisions
+// that look ahead over a full child list:
+//
+//   - an element with no children renders self-closed ("<db/>"), so the
+//     open tag's ">" is deferred until the first child or the close;
+//   - an element whose children are all text renders inline (no
+//     indentation injected into data), so leading text children are
+//     buffered until a non-text child or the close decides the layout.
+
+import (
+	"io"
+	"strings"
+)
+
+// StreamSerializer incrementally serializes one document. Use:
+// NewStreamSerializer → [WriteDocItem…] → OpenElement → [WriteChild…] →
+// CloseElement → [WriteDocItem…] → Finish.
+type StreamSerializer struct {
+	s     *serializer
+	opts  SerializeOptions
+	depth int
+
+	stack         []*openElem
+	declPending   bool
+	wroteDocChild bool
+	finished      bool
+}
+
+// openElem is one element whose open tag has been written but whose
+// close tag has not.
+type openElem struct {
+	node     *Node
+	buffered []*Node // leading text children, while inline is still possible
+	open     bool    // ">" written (child layout decided)
+	inline   bool
+	hasChild bool
+}
+
+// NewStreamSerializer starts a document serialization onto w. The XML
+// declaration (unless opts.OmitDeclaration) is emitted lazily, just
+// before the first content write — so a caller that fails before
+// producing any content leaves the writer untouched (an HTTP handler
+// can still choose its status code), while successful output is
+// byte-identical to Serialize.
+func NewStreamSerializer(w io.Writer, opts SerializeOptions) *StreamSerializer {
+	return &StreamSerializer{
+		s:           &serializer{w: w, opts: opts},
+		opts:        opts,
+		declPending: !opts.OmitDeclaration,
+	}
+}
+
+// emitDecl writes the deferred XML declaration once.
+func (ss *StreamSerializer) emitDecl() {
+	if !ss.declPending {
+		return
+	}
+	ss.declPending = false
+	ss.s.writeString(`<?xml version="1.0" encoding="UTF-8"?>`)
+	if ss.opts.Indent != "" {
+		ss.s.writeString("\n")
+	}
+}
+
+// docChildSep writes the separator the batch serializer emits between
+// document-level children.
+func (ss *StreamSerializer) docChildSep() {
+	ss.emitDecl()
+	if ss.opts.Indent != "" && ss.wroteDocChild {
+		ss.s.writeString("\n")
+	}
+	ss.wroteDocChild = true
+}
+
+// WriteDocItem serializes one document-level node (a kept comment or
+// processing instruction outside the document element).
+func (ss *StreamSerializer) WriteDocItem(n *Node) {
+	ss.docChildSep()
+	ss.s.node(n, ss.depth)
+}
+
+// OpenElement writes the element's open tag (name and attributes; the
+// ">" is deferred until the child layout is known) and makes it the
+// current element for WriteChild.
+func (ss *StreamSerializer) OpenElement(el *Node) {
+	if len(ss.stack) == 0 {
+		ss.docChildSep()
+	} else {
+		ss.childPrefix()
+	}
+	ss.s.writeString("<")
+	ss.s.writeString(el.Name)
+	for _, a := range el.Attrs {
+		ss.s.writeString(" ")
+		ss.s.writeString(a.Name)
+		ss.s.writeString(`="`)
+		ss.s.writeString(escapeAttr(a.Value))
+		ss.s.writeString(`"`)
+	}
+	ss.stack = append(ss.stack, &openElem{node: el})
+	ss.depth++
+}
+
+// top returns the innermost open element.
+func (ss *StreamSerializer) top() *openElem { return ss.stack[len(ss.stack)-1] }
+
+// childPrefix prepares the current open element for one more child:
+// commits the layout decision if needed and writes the per-child
+// newline+indent of the non-inline form.
+func (ss *StreamSerializer) childPrefix() {
+	t := ss.top()
+	if !t.open {
+		// A non-text child forces the non-inline layout; flush any
+		// buffered leading text through the standard per-child path.
+		ss.commitLayout(false)
+	}
+	t.hasChild = true
+	if !t.inline {
+		ss.s.writeString("\n")
+		ss.s.writeString(strings.Repeat(ss.opts.Indent, ss.depth))
+	}
+}
+
+// commitLayout writes the deferred ">" choosing the inline or indented
+// child layout, then flushes buffered leading text children.
+func (ss *StreamSerializer) commitLayout(inline bool) {
+	t := ss.top()
+	t.open = true
+	t.inline = inline || ss.opts.Indent == ""
+	ss.s.writeString(">")
+	buffered := t.buffered
+	t.buffered = nil
+	for _, b := range buffered {
+		t.hasChild = true
+		if !t.inline {
+			ss.s.writeString("\n")
+			ss.s.writeString(strings.Repeat(ss.opts.Indent, ss.depth))
+		}
+		ss.s.node(b, ss.depth)
+	}
+}
+
+// WriteChild serializes one complete child subtree of the current open
+// element, exactly as the batch serializer would at this depth.
+func (ss *StreamSerializer) WriteChild(n *Node) {
+	t := ss.top()
+	if !t.open && n.Kind == TextNode && ss.opts.Indent != "" {
+		// Still possibly inline: buffer until a non-text child or the
+		// close tag decides.
+		t.buffered = append(t.buffered, n)
+		return
+	}
+	ss.childPrefix()
+	ss.s.node(n, ss.depth)
+}
+
+// CloseElement closes the current open element: "/>" when it never had
+// children, the inline form when every child was text, the indented
+// form otherwise.
+func (ss *StreamSerializer) CloseElement() {
+	t := ss.top()
+	ss.stack = ss.stack[:len(ss.stack)-1]
+	ss.depth--
+	if !t.open {
+		if len(t.buffered) == 0 {
+			ss.s.writeString("/>")
+			return
+		}
+		// Text-only children: the inline layout.
+		ss.commitLayoutOn(t, true)
+	}
+	if t.hasChild && !t.inline {
+		ss.s.writeString("\n")
+		ss.s.writeString(strings.Repeat(ss.opts.Indent, ss.depth))
+	}
+	ss.s.writeString("</")
+	ss.s.writeString(t.node.Name)
+	ss.s.writeString(">")
+}
+
+// commitLayoutOn is commitLayout against an element already popped off
+// the stack (the close path).
+func (ss *StreamSerializer) commitLayoutOn(t *openElem, inline bool) {
+	t.open = true
+	t.inline = inline || ss.opts.Indent == ""
+	ss.s.writeString(">")
+	for _, b := range t.buffered {
+		t.hasChild = true
+		if !t.inline {
+			ss.s.writeString("\n")
+			ss.s.writeString(strings.Repeat(ss.opts.Indent, ss.depth+1))
+		}
+		ss.s.node(b, ss.depth+1)
+	}
+	t.buffered = nil
+}
+
+// Finish writes the document's trailing newline (indented mode) and
+// returns the first error any write encountered.
+func (ss *StreamSerializer) Finish() error {
+	if !ss.finished {
+		ss.finished = true
+		if ss.opts.Indent != "" && ss.s.err == nil {
+			ss.s.writeString("\n")
+		}
+	}
+	return ss.s.err
+}
+
+// Err returns the first write error so far without finishing.
+func (ss *StreamSerializer) Err() error { return ss.s.err }

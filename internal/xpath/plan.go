@@ -271,6 +271,12 @@ func eqPredicate(e Expr) (rel, val string, ok bool) {
 	return rel, lit.Value, true
 }
 
+// PositionFreePreds reports whether every predicate in preds is
+// independent of the context position — exported for the streaming
+// layer's chunk-safety analysis, which must reject queries whose
+// result depends on how a sibling list is partitioned.
+func PositionFreePreds(preds []Expr) bool { return predsPositionFree(preds) }
+
 // predsPositionFree reports whether every predicate is independent of
 // the context position. A predicate depends on position when it calls
 // position() or last(), or when its value is numeric (a numeric

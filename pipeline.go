@@ -8,6 +8,7 @@ package wmxml
 import (
 	"context"
 	"fmt"
+	"io"
 	"iter"
 
 	"wmxml/internal/pipeline"
@@ -199,6 +200,33 @@ func (p *Pipeline) DetectSeq(ctx context.Context, src iter.Seq[DetectInput]) ite
 			}
 		}
 	}
+}
+
+// EmbedReader embeds a single streamed document through the pipeline's
+// isolation (panics become the outcome's error; ctx cancels
+// mid-document, between chunks): the document is read from r and the
+// marked document — byte-identical to the in-memory path — is written
+// to w incrementally, with peak memory bounded by chunk size instead
+// of document size.
+func (p *Pipeline) EmbedReader(ctx context.Context, id string, r io.Reader, w io.Writer, opts StreamOptions) (BatchEmbed, StreamStats) {
+	out := p.eng.EmbedReader(ctx, pipeline.StreamEmbedJob{ID: id, In: r, Out: w, Options: opts.internal()})
+	var stats StreamStats
+	if out.Stream != nil {
+		stats = *out.Stream
+	}
+	return toBatchEmbed(out), stats
+}
+
+// DetectReader detects over a single streamed document (blind when
+// records is nil) with the same isolation and cancellation contract as
+// EmbedReader.
+func (p *Pipeline) DetectReader(ctx context.Context, id string, r io.Reader, records []QueryRecord, rw Rewriter, opts StreamOptions) (BatchDetection, StreamStats) {
+	out := p.eng.DetectReader(ctx, pipeline.StreamDetectJob{ID: id, In: r, Records: records, Rewriter: rw, Options: opts.internal()})
+	var stats StreamStats
+	if out.Stream != nil {
+		stats = *out.Stream
+	}
+	return toBatchDetection(out), stats
 }
 
 // BatchEmbedSummary aggregates a batch of embed outcomes.

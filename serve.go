@@ -58,6 +58,13 @@ type ServerOptions struct {
 	QueueTimeout time.Duration
 	// MaxBodyBytes caps request bodies (0 = 32 MiB).
 	MaxBodyBytes int64
+	// MaxStreamBytes caps bodies of the streaming endpoints
+	// (?mode=stream), which exist for documents larger than
+	// MaxBodyBytes (0 = 4 GiB).
+	MaxStreamBytes int64
+	// StreamChunkSize is the records-per-chunk setting of the streaming
+	// endpoints (0 = 256).
+	StreamChunkSize int
 	// MaxDepth caps XML nesting on parse (0 = the xmltree default).
 	MaxDepth int
 	// CacheEntries sizes the suspect-document LRU keyed by body hash
@@ -87,6 +94,8 @@ func NewServerHandler(opts ServerOptions) (http.Handler, error) {
 		Workers:              opts.Workers,
 		QueueTimeout:         opts.QueueTimeout,
 		MaxBodyBytes:         opts.MaxBodyBytes,
+		MaxStreamBytes:       opts.MaxStreamBytes,
+		StreamChunkSize:      opts.StreamChunkSize,
 		MaxDepth:             opts.MaxDepth,
 		CacheEntries:         opts.CacheEntries,
 		AllowUnauthenticated: opts.AllowUnauthenticated,

@@ -1,0 +1,113 @@
+package wmxml
+
+// Public-surface coverage of the streaming API: System.EmbedStream /
+// DetectStream (now record-chunked) stay byte- and verdict-identical
+// to the tree-based methods, and the Pipeline reader jobs expose the
+// same behavior with isolation.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func streamTestSystem(t *testing.T) (*System, []byte) {
+	t.Helper()
+	ds := PublicationsDataset(120, 7)
+	sys, err := New(Options{
+		Key: "api-stream-key", Mark: "(C) api", Gamma: 2,
+		Schema: ds.Schema, Catalog: ds.Catalog, Targets: ds.Targets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src bytes.Buffer
+	if err := SerializeXML(&src, ds.Doc); err != nil {
+		t.Fatal(err)
+	}
+	return sys, src.Bytes()
+}
+
+func TestEmbedStreamMatchesEmbed(t *testing.T) {
+	sys, src := streamTestSystem(t)
+
+	doc, err := ParseXML(bytes.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReceipt, err := sys.Embed(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := SerializeXML(&want, doc); err != nil {
+		t.Fatal(err)
+	}
+
+	var got bytes.Buffer
+	gotReceipt, stats, err := sys.EmbedStreamContext(context.Background(), bytes.NewReader(src), &got, StreamOptions{ChunkSize: 9, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Streamed {
+		t.Fatalf("fell back: %s", stats.FallbackReason)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("EmbedStream output differs from Embed+SerializeXML")
+	}
+	gotQ, _ := MarshalReceipt(gotReceipt.Records)
+	wantQ, _ := MarshalReceipt(wantReceipt.Records)
+	if !bytes.Equal(gotQ, wantQ) {
+		t.Fatal("EmbedStream receipt differs from Embed receipt")
+	}
+
+	// Verdict parity across the three detection surfaces.
+	det, err := sys.DetectStream(bytes.NewReader(got.Bytes()), gotReceipt.Records, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detected {
+		t.Fatalf("DetectStream missed: %+v", det)
+	}
+	blind, stats2, err := sys.DetectBlindStreamContext(context.Background(), bytes.NewReader(got.Bytes()), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blind.Detected || !stats2.Streamed {
+		t.Fatalf("blind stream detect: %+v / %+v", blind, stats2)
+	}
+}
+
+func TestPipelineReaderJobs(t *testing.T) {
+	sys, src := streamTestSystem(t)
+	p := NewPipeline(sys, PipelineOptions{Workers: 2})
+
+	var marked bytes.Buffer
+	out, stats := p.EmbedReader(context.Background(), "huge-1", bytes.NewReader(src), &marked, StreamOptions{ChunkSize: 16})
+	if out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if out.ID != "huge-1" || out.Receipt == nil || out.Receipt.Carriers == 0 {
+		t.Fatalf("outcome: %+v", out)
+	}
+	if !stats.Streamed || stats.Records != 120 {
+		t.Fatalf("stats: %+v", stats)
+	}
+
+	det, _ := p.DetectReader(context.Background(), "huge-1", bytes.NewReader(marked.Bytes()), out.Receipt.Records, nil, StreamOptions{})
+	if det.Err != nil || !det.Detection.Detected {
+		t.Fatalf("detect reader: %+v", det)
+	}
+	blind, _ := p.DetectReader(context.Background(), "huge-1", bytes.NewReader(marked.Bytes()), nil, nil, StreamOptions{})
+	if blind.Err != nil || !blind.Detection.Detected {
+		t.Fatalf("blind detect reader: %+v", blind)
+	}
+
+	// Malformed input surfaces as the job's error, not a panic or a
+	// batch failure.
+	bad, _ := p.DetectReader(context.Background(), "bad", strings.NewReader("<db><book>"), nil, nil, StreamOptions{})
+	if bad.Err == nil {
+		t.Fatal("malformed stream job succeeded")
+	}
+}

@@ -1,6 +1,7 @@
 package wmxml
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -15,6 +16,7 @@ import (
 	"wmxml/internal/rewrite"
 	"wmxml/internal/schema"
 	"wmxml/internal/semantics"
+	"wmxml/internal/stream"
 	"wmxml/internal/structwm"
 	"wmxml/internal/usability"
 	"wmxml/internal/wmark"
@@ -617,31 +619,91 @@ func NewCollusionAttack(copies []*Document, scope string, strategy CollusionStra
 	return attack.Collusion{Copies: copies, Scope: scope, Strategy: strategy}
 }
 
-// EmbedStream reads an XML document from r, embeds the watermark, and
-// writes the marked document to w — the one-call form for file and pipe
-// workflows.
-func (s *System) EmbedStream(r io.Reader, w io.Writer) (*EmbedReceipt, error) {
-	doc, err := ParseXML(r)
-	if err != nil {
-		return nil, err
-	}
-	receipt, err := s.Embed(doc)
-	if err != nil {
-		return nil, err
-	}
-	if err := SerializeXML(w, doc); err != nil {
-		return nil, err
-	}
-	return receipt, nil
+// StreamOptions tunes the record-chunked streaming layer: documents are
+// split at their top-level record elements and processed in bounded
+// batches, so peak memory is chunk size × workers, never document size.
+type StreamOptions struct {
+	// ChunkSize is the number of record elements per chunk (0 = 256).
+	ChunkSize int
+	// Workers bounds the chunk workers running concurrently
+	// (0 = min(GOMAXPROCS, 8)).
+	Workers int
+	// RecordElements overrides auto-detection of the record element
+	// names (normally derived from the targets' scopes — e.g. "book"
+	// for a "db/book/year" target).
+	RecordElements []string
+	// MaxDepth caps XML nesting while scanning (0 = the xmltree
+	// default).
+	MaxDepth int
 }
 
-// DetectStream reads a suspect XML document from r and runs detection.
-func (s *System) DetectStream(r io.Reader, records []QueryRecord, rw Rewriter) (*Detection, error) {
-	doc, err := ParseXML(r)
-	if err != nil {
-		return nil, err
+func (o StreamOptions) internal() stream.Options {
+	return stream.Options{
+		ChunkSize:      o.ChunkSize,
+		Workers:        o.Workers,
+		RecordElements: o.RecordElements,
+		Parse:          xmltree.ParseOptions{MaxDepth: o.MaxDepth},
 	}
-	return s.Detect(doc, records, rw)
+}
+
+// StreamStats reports how a streaming call executed: how many chunks
+// and records flowed through, or why it fell back to the in-memory
+// path (positional identities, ValidateInput, non-chunk-local query
+// sets). Both paths produce byte-identical output.
+type StreamStats = stream.Stats
+
+// EmbedStream reads an XML document from r, embeds the watermark, and
+// writes the marked document to w — the one-call form for file and
+// pipe workflows. The document is processed in record chunks with peak
+// memory bounded by chunk size, never document size, and the output
+// (and receipt) is byte-identical to Embed + SerializeXML on the
+// materialized document.
+func (s *System) EmbedStream(r io.Reader, w io.Writer) (*EmbedReceipt, error) {
+	rec, _, err := s.EmbedStreamContext(context.Background(), r, w, StreamOptions{})
+	return rec, err
+}
+
+// EmbedStreamContext is EmbedStream with cancellation (the stream
+// stops mid-document, between chunks) and explicit chunking options.
+func (s *System) EmbedStreamContext(ctx context.Context, r io.Reader, w io.Writer, opts StreamOptions) (*EmbedReceipt, StreamStats, error) {
+	res, err := stream.Embed(ctx, r, w, s.cfg, opts.internal())
+	if err != nil {
+		return nil, StreamStats{}, err
+	}
+	return &EmbedReceipt{
+		Records:        res.Records,
+		BandwidthUnits: res.Bandwidth.Units,
+		Carriers:       res.Carriers,
+		ValuesWritten:  res.Embedded,
+	}, res.Stats, nil
+}
+
+// DetectStream reads a suspect XML document from r and runs detection
+// against the safeguarded query set, chunk by chunk — the verdict is
+// identical to Detect on the materialized document.
+func (s *System) DetectStream(r io.Reader, records []QueryRecord, rw Rewriter) (*Detection, error) {
+	det, _, err := s.DetectStreamContext(context.Background(), r, records, rw, StreamOptions{})
+	return det, err
+}
+
+// DetectStreamContext is DetectStream with cancellation and explicit
+// chunking options.
+func (s *System) DetectStreamContext(ctx context.Context, r io.Reader, records []QueryRecord, rw Rewriter, opts StreamOptions) (*Detection, StreamStats, error) {
+	res, stats, err := stream.Detect(ctx, r, s.cfg, records, rw, opts.internal())
+	if err != nil {
+		return nil, StreamStats{}, err
+	}
+	return toDetection(res), stats, nil
+}
+
+// DetectBlindStreamContext runs blind detection (carriers re-derived,
+// no stored Q) over a streamed suspect document.
+func (s *System) DetectBlindStreamContext(ctx context.Context, r io.Reader, opts StreamOptions) (*Detection, StreamStats, error) {
+	res, stats, err := stream.DetectBlind(ctx, r, s.cfg, opts.internal())
+	if err != nil {
+		return nil, StreamStats{}, err
+	}
+	return toDetection(res), stats, nil
 }
 
 // MarkFromText encodes a text message as watermark bits.
