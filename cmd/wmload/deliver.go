@@ -1,0 +1,177 @@
+package main
+
+// The delivery benchmark class: a local (no daemon) sweep proving the
+// patch-plan claim — one compile pass serves every recipient, and each
+// recipient copy is a byte splice costing tens of microseconds instead
+// of a full parse+embed+serialize. Results land in the same benchjson
+// shape as the other classes, so BENCH_PR6.json sits next to
+// BENCH_PR2..5 in the benchmark trajectory.
+//
+// Classes:
+//
+//   - DeliverCompile: the one-time plan compile (parse, select,
+//     capacity, span-tracking serialize), repeated for percentiles.
+//   - DeliverCopy: N recipient copies spliced from the bound plan into
+//     a reused buffer — the per-copy marginal cost of delivery.
+//   - DeliverFullEmbed: the same copies produced the old way (clone,
+//     fingerprint embed, serialize), repeated a few times to anchor the
+//     speedup ratio.
+//
+// Every K-th spliced copy is cross-checked byte-for-byte against a full
+// fingerprint embed of the same recipient; any mismatch fails the run —
+// the benchmark refuses to report a speedup for wrong bytes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wmxml"
+)
+
+// runDeliver benchmarks plan-based delivery for recipients copies of a
+// size-record document.
+func runDeliver(dataset string, size, recipients int, seed int64, gamma, reps int, out string) error {
+	if reps <= 0 {
+		reps = 9
+	}
+	ds, err := wmxml.DatasetByName(dataset, size, seed)
+	if err != nil {
+		return err
+	}
+	opts := wmxml.FingerprintOptions{
+		Key: "deliver-key", Schema: ds.Schema, Catalog: ds.Catalog,
+		Targets: ds.Targets, Gamma: gamma,
+	}
+	d, err := wmxml.NewDeliverer(opts)
+	if err != nil {
+		return err
+	}
+	fp, err := wmxml.NewFingerprinter(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wmload deliver: %s × %d records, %d recipients, gamma %d\n", dataset, size, recipients, gamma)
+
+	var rep benchOutput
+	rep.Pkg = "wmxml/cmd/wmload"
+	rep.Goos, rep.Goarch = runtime.GOOS, runtime.GOARCH
+
+	// --- the one-time compile ---
+	var (
+		plan      *wmxml.DeliveryPlan
+		canonical []byte
+	)
+	compileDs, err := timed(reps, func() error {
+		var cerr error
+		plan, canonical, cerr = d.CompilePlan(ds.Doc)
+		return cerr
+	})
+	if err != nil {
+		return fmt.Errorf("compile plan: %w", err)
+	}
+	rep.Results = append(rep.Results, durResult("DeliverCompile", compileDs, map[string]float64{
+		"doc_bytes": float64(len(canonical)),
+		"sites":     float64(len(plan.Sites)),
+	}))
+
+	bound, err := d.Bind(plan, canonical)
+	if err != nil {
+		return fmt.Errorf("bind plan: %w", err)
+	}
+
+	// --- the full-embed baseline ---
+	fullReps := min(25, max(recipients, 1))
+	fullBody := func(recipient string) ([]byte, error) {
+		doc := ds.Doc.Clone()
+		if _, err := fp.Fingerprint(doc, recipient); err != nil {
+			return nil, err
+		}
+		return []byte(wmxml.SerializeXMLString(doc)), nil
+	}
+	fi := 0
+	fullDs, err := timed(fullReps, func() error {
+		fi++
+		_, ferr := fullBody(fmt.Sprintf("r-%d", fi%max(recipients, 1)))
+		return ferr
+	})
+	if err != nil {
+		return fmt.Errorf("full embed: %w", err)
+	}
+
+	// --- the splice sweep ---
+	checkEvery := max(recipients/10, 1)
+	var buf []byte
+	spliceDs := make([]time.Duration, 0, recipients)
+	checked := 0
+	for i := 0; i < recipients; i++ {
+		recipient := fmt.Sprintf("r-%d", i)
+		t0 := time.Now()
+		buf, err = d.Splice(bound, buf[:0], recipient)
+		if err != nil {
+			return fmt.Errorf("splice %s: %w", recipient, err)
+		}
+		spliceDs = append(spliceDs, time.Since(t0))
+		if i%checkEvery == 0 || i == recipients-1 {
+			want, ferr := fullBody(recipient)
+			if ferr != nil {
+				return ferr
+			}
+			if !bytes.Equal(buf, want) {
+				return fmt.Errorf("spliced copy for %s differs from full embed — refusing to report", recipient)
+			}
+			checked++
+		}
+	}
+	sortDurations(spliceDs)
+	spliceRes := durResult("DeliverCopy", spliceDs, map[string]float64{
+		"recipients":     float64(recipients),
+		"equiv_checked":  float64(checked),
+		"copy_bytes":     float64(len(buf)),
+		"p50_ratio_full": float64(pct(fullDs, 500)) / float64(max64(pct(spliceDs, 500), 1)),
+	})
+	rep.Results = append(rep.Results, spliceRes)
+	rep.Results = append(rep.Results, durResult("DeliverFullEmbed", fullDs, map[string]float64{
+		"recipients": float64(len(fullDs)),
+	}))
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wmload: wrote %s\n", out)
+	}
+	for _, r := range rep.Results {
+		fmt.Fprintf(os.Stderr, "  %-18s n=%-6d mean=%-12s p50=%-12s p99=%s\n",
+			r.Name, r.Iterations, time.Duration(r.NsPerOp), time.Duration(r.Metrics["p50_ns"]), time.Duration(r.Metrics["p99_ns"]))
+	}
+	fmt.Fprintf(os.Stderr, "wmload deliver: per-copy p50 %s vs full embed p50 %s (%.0f× speedup), %d/%d copies byte-checked against full embeds\n",
+		time.Duration(pct(spliceDs, 500)), time.Duration(pct(fullDs, 500)),
+		spliceRes.Metrics["p50_ratio_full"], checked, recipients)
+	return nil
+}
+
+func sortDurations(ds []time.Duration) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func max64(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -94,8 +94,18 @@ func main() {
 	waitFor := fs.Duration("wait", 10*time.Second, "how long to wait for /healthz before giving up")
 	hugedoc := fs.Int("hugedoc", 0, "run the local streaming-vs-in-memory benchmark with a huge document of N records instead of driving a daemon (0 = off)")
 	hugedocReps := fs.Int("hugedoc-reps", 11, "repetitions per small-document class in --hugedoc mode")
+	deliver := fs.Int("deliver", 0, "run the local plan-splice delivery sweep for N recipients instead of driving a daemon (0 = off)")
+	deliverReps := fs.Int("deliver-reps", 9, "repetitions of the plan compile and full-embed baseline in --deliver mode")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+
+	if *deliver > 0 {
+		if err := runDeliver(*dataset, *size, *deliver, *seed, *gamma, *deliverReps, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "wmload: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *hugedoc > 0 {

@@ -1,0 +1,89 @@
+package wmxml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDelivererPublicAPI pins the delivery surface: compile one plan,
+// splice three recipients, prove splice ≡ full fingerprint, round-trip
+// the plan through its JSON envelope, and refuse a mutated original.
+func TestDelivererPublicAPI(t *testing.T) {
+	ds := PublicationsDataset(200, 77)
+	opts := FingerprintOptions{
+		Key: "api-owner-key", Schema: ds.Schema, Catalog: ds.Catalog,
+		Targets: ds.Targets, Gamma: 2,
+	}
+	d, err := NewDeliverer(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := NewFingerprinter(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, canonical, err := d.CompilePlan(ds.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if SerializeXMLString(ds.Doc) != string(canonical) {
+		t.Fatal("CompilePlan mutated the document or canonicalized differently than SerializeXML")
+	}
+
+	for _, r := range []string{"alice", "bob", "carol"} {
+		copyBytes, receipt, err := d.Deliver(plan, canonical, r)
+		if err != nil {
+			t.Fatalf("deliver %s: %v", r, err)
+		}
+		full := ds.Doc.Clone()
+		fullReceipt, err := fp.Fingerprint(full, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(copyBytes) != SerializeXMLString(full) {
+			t.Fatalf("spliced %s copy differs from full fingerprint", r)
+		}
+		if receipt.Carriers != fullReceipt.Carriers || receipt.ValuesWritten != fullReceipt.ValuesWritten {
+			t.Fatalf("receipt mismatch for %s: splice %d/%d, full %d/%d",
+				r, receipt.Carriers, receipt.ValuesWritten, fullReceipt.Carriers, fullReceipt.ValuesWritten)
+		}
+		// Streaming splice agrees byte-for-byte.
+		var sw bytes.Buffer
+		if err := d.DeliverStream(&sw, bytes.NewReader(canonical), plan, r); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sw.Bytes(), copyBytes) {
+			t.Fatalf("DeliverStream %s differs from Deliver", r)
+		}
+	}
+
+	// The plan envelope round-trips and delivers identically.
+	env, err := plan.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalDeliveryPlan(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := d.Deliver(plan, canonical, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := d.Deliver(back, canonical, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round-tripped plan delivers different bytes")
+	}
+
+	// A mutated original is refused, not spliced.
+	mutated := append([]byte{}, canonical...)
+	mutated[len(mutated)/2] ^= 0x01
+	if _, _, err := d.Deliver(plan, mutated, "alice"); err == nil || !strings.Contains(err.Error(), "refus") {
+		t.Fatalf("mutated original: err = %v, want refusal", err)
+	}
+}

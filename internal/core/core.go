@@ -261,34 +261,32 @@ func EmbedIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*EmbedResult,
 	}
 	res := &EmbedResult{Bandwidth: rep}
 
-	// Phase 1: select carriers and embed values. Units address disjoint
+	// Phase 1: select carriers and embed values. Site selection is the
+	// shared enumeration (selectSites) so a precompiled delivery plan
+	// and a direct embedding agree site-for-site. Units address disjoint
 	// tree nodes (distinct targets are distinct fields; within a target,
-	// key instances and FD groups partition the items), so per-unit work
-	// parallelizes without locks; per-unit tallies are indexed by unit
+	// key instances and FD groups partition the items), so per-site work
+	// parallelizes without locks; per-site tallies are indexed by site
 	// and folded in order afterwards, keeping the result deterministic.
+	sites := selectSites(units, sel, cfg)
 	type unitEmbed struct {
 		wrote, unembeddable int
 	}
-	tallies := make([]unitEmbed, len(units))
-	forEachWorker(cfg.Concurrency, len(units), func(_, i int) {
-		u := units[i]
-		if !sel.Selected(u.ID) {
+	tallies := make([]unitEmbed, len(sites))
+	forEachWorker(cfg.Concurrency, len(sites), func(_, i int) {
+		site := sites[i]
+		if site.Alg == nil {
+			tallies[i].unembeddable = len(site.Unit.Items)
 			return
 		}
-		alg := wa.ForType(u.Type)
-		if alg == nil {
-			tallies[i].unembeddable = len(u.Items)
-			return
-		}
-		bit := cfg.Mark[sel.BitIndex(u.ID)]
-		params := wa.Params{BitPosition: sel.PositionIn(u.ID, cfg.XiByTarget[u.Scope+"/"+u.Field])}
-		for _, item := range u.Items {
+		bit := cfg.Mark[site.BitIndex]
+		for _, item := range site.Unit.Items {
 			v := item.Value()
-			if !alg.CanEmbed(v) {
+			if !site.Alg.CanEmbed(v) {
 				tallies[i].unembeddable++
 				continue
 			}
-			nv, err := alg.Embed(v, bit, params)
+			nv, err := site.Alg.Embed(v, bit, site.Params)
 			if err != nil {
 				tallies[i].unembeddable++
 				continue
@@ -303,7 +301,7 @@ func EmbedIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*EmbedResult,
 		if t.wrote > 0 {
 			res.Carriers++
 			res.Embedded += t.wrote
-			selected = append(selected, units[i])
+			selected = append(selected, sites[i].Unit)
 		}
 	}
 	// Embedding changed document values, so any key-value tables built

@@ -1,0 +1,142 @@
+package deliver
+
+// Fuzzing the plan codec and applier: plans arrive over the wire and
+// from on-disk stores, so a malformed, truncated or adversarial plan
+// must produce a clean error — never a panic, never a splice outside
+// the document bytes.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"wmxml/internal/datagen"
+	"wmxml/internal/fingerprint"
+	"wmxml/internal/wmark"
+)
+
+// fuzzSeedPlan compiles one real plan for the seed corpus.
+func fuzzSeedPlan(f *testing.F) (*Plan, []byte) {
+	f.Helper()
+	ds, err := datagen.Preset("pubs", 15, 11)
+	if err != nil {
+		f.Fatal(err)
+	}
+	fp, err := fingerprint.New(fingerprint.Options{
+		Key: []byte("fuzz-key"), Schema: ds.Schema, Catalog: ds.Catalog,
+		Targets: ds.Targets, Gamma: 2,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	plan, canonical, err := Compile(ds.Doc, fp.PlanConfig(), canonOpts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return plan, canonical
+}
+
+// maxFuzzPayloadBits bounds the payload the harness allocates for a
+// plan's claimed geometry — a hostile plan must not OOM the fuzzer.
+const maxFuzzPayloadBits = 1 << 12
+
+func FuzzPlanRoundTrip(f *testing.F) {
+	plan, _ := fuzzSeedPlan(f)
+	good, err := plan.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2])                                           // truncated
+	f.Add(bytes.Replace(good, []byte(`"start"`), []byte(`"xtart"`), 1)) // field drop
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":99,"digest":"00"}`))
+	f.Add([]byte(`{"version":1,"digest":"` + plan.Digest + `","doc_len":-5,"payload_bits":1}`))
+	f.Add([]byte(`{"version":1,"digest":"` + plan.Digest + `","doc_len":10,"payload_bits":1,` +
+		`"sites":[{"start":8,"end":4,"bit":0,"alt":["a","b"]}]}`))
+	f.Add([]byte(`{"version":1,"digest":"` + plan.Digest + `","doc_len":10,"payload_bits":1,` +
+		`"sites":[{"start":0,"end":6,"bit":0,"alt":["a","b"]},{"start":4,"end":8,"bit":0,"alt":["a","b"]}]}`)) // overlap
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalPlan(data)
+		if err != nil {
+			return // rejected cleanly — the only acceptable failure mode
+		}
+		// An accepted plan must re-encode and decode to itself.
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("accepted plan failed to marshal: %v", err)
+		}
+		back, err := UnmarshalPlan(out)
+		if err != nil {
+			t.Fatalf("re-encoded plan rejected: %v", err)
+		}
+		b1, _ := json.Marshal(p)
+		b2, _ := json.Marshal(back)
+		if !bytes.Equal(b1, b2) {
+			t.Fatal("plan changed across round trip")
+		}
+	})
+}
+
+func FuzzApplyPlan(f *testing.F) {
+	plan, canonical := fuzzSeedPlan(f)
+	good, err := plan.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good, canonical, uint64(0))
+	f.Add(good, canonical, uint64(0xdeadbeef))
+	f.Add(good, canonical[:len(canonical)-3], uint64(1)) // truncated original
+	f.Add(good, append(append([]byte{}, canonical...), " \n"...), uint64(1))
+	mutated := append([]byte{}, canonical...)
+	mutated[len(mutated)/3] ^= 0x20
+	f.Add(good, mutated, uint64(2)) // digest mismatch
+	f.Add([]byte(`{"version":1}`), []byte("<a/>"), uint64(3))
+	f.Fuzz(func(t *testing.T, planData, doc []byte, payloadSeed uint64) {
+		p, err := UnmarshalPlan(planData)
+		if err != nil {
+			return
+		}
+		if p.PayloadBits > maxFuzzPayloadBits {
+			return
+		}
+		payload := make(wmark.Bits, p.PayloadBits)
+		for i := range payload {
+			payload[i] = uint8(payloadSeed>>(uint(i)%64)) & 1
+		}
+		if b, err := p.Bind(doc); err == nil {
+			out, err := b.AppendCopy(nil, payload)
+			if err != nil {
+				t.Fatalf("bound plan failed to apply: %v", err)
+			}
+			// The spliced copy is the original with each site's bytes
+			// replaced; everything outside the sites must be intact.
+			if len(out) < p.DocLen-totalSiteBytes(p) {
+				t.Fatalf("spliced output impossibly short: %d", len(out))
+			}
+			var sw bytes.Buffer
+			if err := p.ApplyReader(&sw, bytes.NewReader(doc), payload); err != nil {
+				t.Fatalf("ApplyReader failed where Bind succeeded: %v", err)
+			}
+			if !bytes.Equal(sw.Bytes(), out) {
+				t.Fatal("ApplyReader and AppendCopy disagree")
+			}
+		} else {
+			// Bind refused (digest/length mismatch): the streaming path
+			// must refuse too, never silently deliver.
+			var sw bytes.Buffer
+			if err := p.ApplyReader(&sw, bytes.NewReader(doc), payload); err == nil {
+				t.Fatal("ApplyReader accepted a document Bind refused")
+			}
+		}
+	})
+}
+
+func totalSiteBytes(p *Plan) int {
+	n := 0
+	for _, s := range p.Sites {
+		n += s.End - s.Start
+	}
+	return n
+}

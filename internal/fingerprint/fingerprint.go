@@ -165,6 +165,15 @@ func (s *System) BaseBits() int { return s.segments * s.segBits }
 // the mark length every recipient copy carries.
 func (s *System) PayloadBits() int { return s.BaseBits() * s.replicas }
 
+// PlanConfig returns the core config a delivery-plan compiler should
+// enumerate embed sites with: the system's owner config carrying a
+// zeroed payload of the full code geometry. Site selection ignores the
+// mark's values (only its length matters), so a plan compiled from this
+// config serves every recipient payload.
+func (s *System) PlanConfig() core.Config {
+	return s.configFor(make(wmark.Bits, s.PayloadBits()))
+}
+
 // Code returns the recipient's base codeword: Segments×SegmentBits
 // keyed-random bits derived from HMAC(owner key, recipient id).
 // Deterministic, and uncomputable without the key.

@@ -125,6 +125,18 @@ func (u Unit) Rebuild() (*xpath.Query, error) {
 	return buildIdentityQuery(u.Scope, u.SelRel, it.Value(), u.Field)
 }
 
+// RebuildWithValue is Rebuild with the selector's post-insertion value
+// supplied by the caller instead of read from the document. The plan
+// compiler uses it to precompute a unit's identity query for a payload
+// it has not applied: it knows what the selector value *would* be under
+// either bit choice without mutating the document.
+func (u Unit) RebuildWithValue(selValue string) (*xpath.Query, error) {
+	if u.SelRel == "" {
+		return u.Query, nil
+	}
+	return buildIdentityQuery(u.Scope, u.SelRel, selValue, u.Field)
+}
+
 // Target is a parsed target field.
 type Target struct {
 	// Scope is the name path of the instance set, e.g. "db/book".

@@ -47,15 +47,21 @@ type FileOptions struct {
 // bump; replay rejects versions newer than this build understands.
 const RecipientRecordVersion = 1
 
+// PlanRecordVersion is the current version of the "plan" log record
+// type; replay rejects versions newer than this build understands.
+const PlanRecordVersion = 1
+
 // logLine is one JSONL record. Exactly one of Owner / Receipt /
-// Recipient is set; T tags which ("owner" / "receipt" / "recipient").
-// V is the record-type version, currently used by recipient lines.
+// Recipient / Plan is set; T tags which ("owner" / "receipt" /
+// "recipient" / "plan"). V is the record-type version, used by the
+// recipient and plan lines.
 type logLine struct {
-	T         string     `json:"t"`
-	V         int        `json:"v,omitempty"`
-	Owner     *Owner     `json:"owner,omitempty"`
-	Receipt   *Receipt   `json:"receipt,omitempty"`
-	Recipient *Recipient `json:"recipient,omitempty"`
+	T         string      `json:"t"`
+	V         int         `json:"v,omitempty"`
+	Owner     *Owner      `json:"owner,omitempty"`
+	Receipt   *Receipt    `json:"receipt,omitempty"`
+	Recipient *Recipient  `json:"recipient,omitempty"`
+	Plan      *PlanRecord `json:"plan,omitempty"`
 }
 
 // OpenFile opens (or creates) a JSONL registry log and replays it.
@@ -186,6 +192,14 @@ func (fs *File) apply(line []byte) error {
 			return fmt.Errorf("recipient line without recipient")
 		}
 		return fs.mem.PutRecipient(*rec.Recipient)
+	case "plan":
+		if rec.V > PlanRecordVersion {
+			return fmt.Errorf("plan record version %d is newer than this build supports (%d)", rec.V, PlanRecordVersion)
+		}
+		if rec.Plan == nil {
+			return fmt.Errorf("plan line without plan")
+		}
+		return fs.mem.PutPlan(*rec.Plan)
 	default:
 		return fmt.Errorf("unknown log record type %q", rec.T)
 	}
@@ -268,6 +282,37 @@ func (fs *File) PutRecipient(rc Recipient) error {
 	return fs.mem.PutRecipient(rc)
 }
 
+// PutPlan stores a delivery plan, durably.
+func (fs *File) PutPlan(p PlanRecord) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	// Validate against state first so a rejected plan leaves no log
+	// garbage.
+	fs.mem.mu.Lock()
+	_, ownerOK := fs.mem.owners[p.Owner]
+	fs.mem.mu.Unlock()
+	if !ownerOK {
+		return ErrNotFound
+	}
+	if err := fs.append(logLine{T: "plan", V: PlanRecordVersion, Plan: &p}); err != nil {
+		return err
+	}
+	return fs.mem.PutPlan(p)
+}
+
+// GetPlan returns the plan for (owner, digest) or ErrNotFound.
+func (fs *File) GetPlan(owner, digest string) (PlanRecord, error) {
+	return fs.mem.GetPlan(owner, digest)
+}
+
+// ListPlans returns an owner's plans in first-store order.
+func (fs *File) ListPlans(owner string) ([]PlanRecord, error) {
+	return fs.mem.ListPlans(owner)
+}
+
 // GetRecipient returns one recipient or ErrNotFound.
 func (fs *File) GetRecipient(owner, id string) (Recipient, error) {
 	return fs.mem.GetRecipient(owner, id)
@@ -296,8 +341,8 @@ func (fs *File) ListReceipts(owner string) ([]Receipt, error) {
 }
 
 // Compact rewrites the log to its live state: one line per owner
-// (latest registration wins) followed by each owner's recipients and
-// receipts in insertion order. The rewrite goes through a temp file in
+// (latest registration wins) followed by each owner's recipients,
+// delivery plans and receipts in insertion order. The rewrite goes through a temp file in
 // the same directory and
 // an atomic rename, so a crash at any point leaves a complete log.
 func (fs *File) Compact() error {
@@ -330,6 +375,13 @@ func (fs *File) Compact() error {
 		rcs, _ := fs.mem.ListRecipients(o.ID)
 		for i := range rcs {
 			if err := writeLine(logLine{T: "recipient", V: RecipientRecordVersion, Recipient: &rcs[i]}); err != nil {
+				tmp.Close()
+				return fmt.Errorf("registry: compact: %w", err)
+			}
+		}
+		plans, _ := fs.mem.ListPlans(o.ID)
+		for i := range plans {
+			if err := writeLine(logLine{T: "plan", V: PlanRecordVersion, Plan: &plans[i]}); err != nil {
 				tmp.Close()
 				return fmt.Errorf("registry: compact: %w", err)
 			}

@@ -11,10 +11,12 @@ import (
 type Memory struct {
 	mu         sync.RWMutex
 	owners     map[string]Owner
-	receipts   map[string][]Receipt            // owner -> insertion order
-	byID       map[string]map[string]Receipt   // owner -> id -> receipt
-	recipients map[string]map[string]Recipient // owner -> id -> recipient
-	recOrder   map[string][]string             // owner -> recipient ids, first-registration order
+	receipts   map[string][]Receipt             // owner -> insertion order
+	byID       map[string]map[string]Receipt    // owner -> id -> receipt
+	recipients map[string]map[string]Recipient  // owner -> id -> recipient
+	recOrder   map[string][]string              // owner -> recipient ids, first-registration order
+	plans      map[string]map[string]PlanRecord // owner -> digest -> plan
+	planOrder  map[string][]string              // owner -> digests, first-store order
 }
 
 // NewMemory builds an empty in-memory store.
@@ -25,6 +27,8 @@ func NewMemory() *Memory {
 		byID:       make(map[string]map[string]Receipt),
 		recipients: make(map[string]map[string]Recipient),
 		recOrder:   make(map[string][]string),
+		plans:      make(map[string]map[string]PlanRecord),
+		planOrder:  make(map[string][]string),
 	}
 }
 
@@ -170,6 +174,65 @@ func (m *Memory) ListRecipients(owner string) ([]Recipient, error) {
 	out := make([]Recipient, 0, len(m.recOrder[owner]))
 	for _, id := range m.recOrder[owner] {
 		out = append(out, m.recipients[owner][id])
+	}
+	return out, nil
+}
+
+// PutPlan stores a delivery plan under an existing owner. Re-putting a
+// digest replaces the plan but keeps the original store time and
+// ordering (recompiles of the same document are idempotent).
+func (m *Memory) PutPlan(p PlanRecord) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.putPlanLocked(p)
+}
+
+// putPlanLocked is the insertion shared with the File store's replay.
+// Callers hold mu.
+func (m *Memory) putPlanLocked(p PlanRecord) error {
+	if _, ok := m.owners[p.Owner]; !ok {
+		return ErrNotFound
+	}
+	digests := m.plans[p.Owner]
+	if digests == nil {
+		digests = make(map[string]PlanRecord)
+		m.plans[p.Owner] = digests
+	}
+	if old, ok := digests[p.Digest]; ok {
+		if p.CreatedUnix == 0 || (old.CreatedUnix != 0 && old.CreatedUnix < p.CreatedUnix) {
+			p.CreatedUnix = old.CreatedUnix
+		}
+	} else {
+		m.planOrder[p.Owner] = append(m.planOrder[p.Owner], p.Digest)
+	}
+	digests[p.Digest] = p
+	return nil
+}
+
+// GetPlan returns the plan for (owner, digest) or ErrNotFound.
+func (m *Memory) GetPlan(owner, digest string) (PlanRecord, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	p, ok := m.plans[owner][digest]
+	if !ok {
+		return PlanRecord{}, ErrNotFound
+	}
+	return p, nil
+}
+
+// ListPlans returns an owner's plans in first-store order.
+func (m *Memory) ListPlans(owner string) ([]PlanRecord, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if _, ok := m.owners[owner]; !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]PlanRecord, 0, len(m.planOrder[owner]))
+	for _, d := range m.planOrder[owner] {
+		out = append(out, m.plans[owner][d])
 	}
 	return out, nil
 }

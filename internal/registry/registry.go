@@ -15,6 +15,8 @@
 package registry
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -133,6 +135,50 @@ type Receipt struct {
 	ValuesWritten  int `json:"values_written"`
 }
 
+// PlanRecord stores one compiled delivery plan (internal/deliver)
+// keyed by the canonical document digest, together with the canonical
+// bytes the plan's offsets index into — everything /v1/deliver needs to
+// splice a recipient copy without re-reading the original document.
+// The plan itself rides as opaque JSON: the registry versions the
+// envelope (PlanRecordVersion), the deliver package versions the plan.
+type PlanRecord struct {
+	// Owner is the tenant the plan was compiled for.
+	Owner string `json:"owner"`
+	// Digest is the sha256 hex of Canonical — the lookup key.
+	Digest string `json:"digest"`
+	// Doc is an optional caller-supplied document label.
+	Doc string `json:"doc,omitempty"`
+	// CreatedUnix is the compile time (seconds since epoch).
+	CreatedUnix int64 `json:"created_unix,omitempty"`
+	// Canonical is the canonical serialized document bytes.
+	Canonical []byte `json:"canonical"`
+	// Plan is the deliver-package plan JSON envelope.
+	Plan json.RawMessage `json:"plan"`
+}
+
+// Validate checks the fields every store requires, including that the
+// digest actually names the canonical bytes — a store must never hand
+// out a plan whose offsets index different bytes than its key claims.
+func (p PlanRecord) Validate() error {
+	if p.Owner == "" {
+		return fmt.Errorf("registry: plan: owner is required")
+	}
+	if len(p.Digest) != 64 {
+		return fmt.Errorf("registry: plan: digest %q is not a sha256 hex digest", p.Digest)
+	}
+	if len(p.Plan) == 0 {
+		return fmt.Errorf("registry: plan %s: empty plan body", p.Digest)
+	}
+	if len(p.Canonical) == 0 {
+		return fmt.Errorf("registry: plan %s: no canonical bytes", p.Digest)
+	}
+	sum := sha256.Sum256(p.Canonical)
+	if got := hex.EncodeToString(sum[:]); got != p.Digest {
+		return fmt.Errorf("registry: plan digest %s does not match canonical bytes (%s)", p.Digest, got)
+	}
+	return nil
+}
+
 // Store is the registry contract shared by the memory and file
 // implementations. Implementations are safe for concurrent use.
 type Store interface {
@@ -160,6 +206,14 @@ type Store interface {
 	// order — the candidate list a trace sweeps. The owner must exist
 	// (ErrNotFound otherwise); no recipients is an empty slice.
 	ListRecipients(owner string) ([]Recipient, error)
+	// PutPlan stores or replaces a compiled delivery plan; the owner
+	// must exist. Re-putting a digest keeps the original store time.
+	PutPlan(p PlanRecord) error
+	// GetPlan returns the plan for (owner, digest) or ErrNotFound.
+	GetPlan(owner, digest string) (PlanRecord, error)
+	// ListPlans returns an owner's plans in first-store order. The owner
+	// must exist (ErrNotFound otherwise); no plans is an empty slice.
+	ListPlans(owner string) ([]PlanRecord, error)
 	// Close releases resources; the store is unusable afterwards.
 	Close() error
 }

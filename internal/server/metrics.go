@@ -96,6 +96,9 @@ type metrics struct {
 	streamEmbeds  counter
 	streamDetects counter
 	streamChunks  counter
+	delivers      counter
+	planCompiles  counter
+	planHits      counter
 	startUnix     int64
 }
 
@@ -186,6 +189,9 @@ func (m *metrics) render(w io.Writer) {
 		{"wmxmld_stream_embeds_total", "Successful streaming (mode=stream) embed operations.", m.streamEmbeds.Value()},
 		{"wmxmld_stream_detects_total", "Completed streaming detect operations.", m.streamDetects.Value()},
 		{"wmxmld_stream_chunks_total", "Record chunks processed by the streaming endpoints.", m.streamChunks.Value()},
+		{"wmxmld_delivers_total", "Recipient copies spliced from a delivery plan.", m.delivers.Value()},
+		{"wmxmld_deliver_plan_compiles_total", "Delivery-plan compilations.", m.planCompiles.Value()},
+		{"wmxmld_deliver_plan_hits_total", "Deliveries served from an already-compiled plan.", m.planHits.Value()},
 	}
 	for _, s := range simple {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.value)

@@ -134,6 +134,7 @@ type Server struct {
 	reg   registry.Store
 	slots chan struct{}
 	cache *docCache
+	plans *boundPlans
 	met   *metrics
 	mux   *http.ServeMux
 
@@ -164,6 +165,7 @@ func New(opts Options) (*Server, error) {
 		reg:      opts.Registry,
 		slots:    make(chan struct{}, opts.Workers),
 		cache:    newDocCache(opts.CacheEntries),
+		plans:    newBoundPlans(64),
 		met:      newMetrics(),
 		runtimes: make(map[string]*ownerRuntime),
 	}
@@ -191,6 +193,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/verify", s.instrument("/v1/verify", s.handleVerify))
 	s.mux.HandleFunc("POST /v1/fingerprint", s.instrument("/v1/fingerprint", s.handleFingerprint))
 	s.mux.HandleFunc("POST /v1/trace", s.instrument("/v1/trace", s.handleTrace))
+	s.mux.HandleFunc("POST /v1/deliver/plan", s.instrument("/v1/deliver/plan", s.handleDeliverPlan))
+	s.mux.HandleFunc("POST /v1/deliver", s.instrument("/v1/deliver", s.handleDeliver))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes must not move the histograms
 }

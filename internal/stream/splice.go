@@ -1,0 +1,65 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+)
+
+// Edit replaces one half-open byte range [Start, End) of a source
+// stream with Repl. It is the byte-level counterpart of the package's
+// record-chunked rewriting: a precompiled delivery plan reduces a whole
+// embedding to a sorted list of Edits over the canonical bytes.
+type Edit struct {
+	Start, End int64
+	Repl       []byte
+}
+
+// spliceChunk is the default copy-buffer size for Splice.
+const spliceChunk = 64 << 10
+
+// Splice copies src to dst, replacing each edit's byte range with its
+// replacement, in bounded memory: the source is never materialized,
+// only chunkBytes (0 = 64KiB) are buffered at a time, so arbitrarily
+// large documents stream through at constant memory like the package's
+// chunked embed path. Edits must be sorted by Start and must not
+// overlap. Returns the number of source bytes consumed; a source that
+// ends before the last edit is an error, not a short output.
+func Splice(dst io.Writer, src io.Reader, edits []Edit, chunkBytes int) (int64, error) {
+	if chunkBytes <= 0 {
+		chunkBytes = spliceChunk
+	}
+	buf := make([]byte, chunkBytes)
+	var pos int64
+	for i, e := range edits {
+		if e.Start < pos || e.End < e.Start {
+			return pos, fmt.Errorf("stream: splice edit %d out of order: [%d,%d) at source offset %d", i, e.Start, e.End, pos)
+		}
+		want := e.Start - pos
+		n, err := io.CopyBuffer(dst, io.LimitReader(src, want), buf)
+		pos += n
+		if err != nil {
+			return pos, fmt.Errorf("stream: splice before edit %d: %w", i, err)
+		}
+		if n < want {
+			return pos, fmt.Errorf("stream: splice: source truncated at offset %d, edit %d starts at %d", pos, i, e.Start)
+		}
+		if _, err := dst.Write(e.Repl); err != nil {
+			return pos, fmt.Errorf("stream: splice edit %d: %w", i, err)
+		}
+		want = e.End - e.Start
+		n, err = io.CopyBuffer(io.Discard, io.LimitReader(src, want), buf)
+		pos += n
+		if err != nil {
+			return pos, fmt.Errorf("stream: splice skipping edit %d: %w", i, err)
+		}
+		if n < want {
+			return pos, fmt.Errorf("stream: splice: source truncated at offset %d inside edit %d ending at %d", pos, i, e.End)
+		}
+	}
+	n, err := io.CopyBuffer(dst, src, buf)
+	pos += n
+	if err != nil {
+		return pos, fmt.Errorf("stream: splice tail: %w", err)
+	}
+	return pos, nil
+}

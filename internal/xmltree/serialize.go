@@ -20,17 +20,7 @@ type SerializeOptions struct {
 // Serialize writes the subtree rooted at n as XML.
 func Serialize(w io.Writer, n *Node, opts SerializeOptions) error {
 	sw := &serializer{w: w, opts: opts}
-	if n.Kind == DocumentNode && !opts.OmitDeclaration {
-		sw.writeString(`<?xml version="1.0" encoding="UTF-8"?>`)
-		if opts.Indent != "" {
-			sw.writeString("\n")
-		}
-	}
-	sw.node(n, 0)
-	if opts.Indent != "" && sw.err == nil {
-		sw.writeString("\n")
-	}
-	return sw.err
+	return sw.run(n)
 }
 
 // SerializeString renders the subtree as a compact XML string (no
@@ -53,19 +43,60 @@ type serializer struct {
 	w    io.Writer
 	opts SerializeOptions
 	err  error
+
+	// Span capture (SerializeSpans): off counts bytes written so far,
+	// req maps requested targets to indices in spans.
+	off   int
+	req   map[spanKey]int
+	spans []Span
+}
+
+// run emits the document-level framing (declaration, trailing newline)
+// around the subtree — the single code path behind Serialize and
+// SerializeSpans, so captured offsets always index the same bytes
+// Serialize would produce.
+func (s *serializer) run(n *Node) error {
+	if n.Kind == DocumentNode && !s.opts.OmitDeclaration {
+		s.writeString(`<?xml version="1.0" encoding="UTF-8"?>`)
+		if s.opts.Indent != "" {
+			s.writeString("\n")
+		}
+	}
+	s.node(n, 0)
+	if s.opts.Indent != "" && s.err == nil {
+		s.writeString("\n")
+	}
+	return s.err
 }
 
 func (s *serializer) writeString(str string) {
 	if s.err != nil {
 		return
 	}
-	_, s.err = io.WriteString(s.w, str)
+	var n int
+	n, s.err = io.WriteString(s.w, str)
+	s.off += n
 }
 
 func (s *serializer) node(n *Node, depth int) {
 	if s.err != nil {
 		return
 	}
+	si := -1
+	if s.req != nil {
+		if i, ok := s.req[spanKey{n, ""}]; ok {
+			si = i
+			s.spans[i].Start = s.off
+			s.spans[i].Depth = depth
+		}
+	}
+	s.nodeBody(n, depth)
+	if si >= 0 && s.err == nil {
+		s.spans[si].End = s.off
+	}
+}
+
+func (s *serializer) nodeBody(n *Node, depth int) {
 	switch n.Kind {
 	case DocumentNode:
 		first := true
@@ -104,7 +135,18 @@ func (s *serializer) element(n *Node, depth int) {
 		s.writeString(" ")
 		s.writeString(a.Name)
 		s.writeString(`="`)
+		ai := -1
+		if s.req != nil {
+			if i, ok := s.req[spanKey{n, a.Name}]; ok {
+				ai = i
+				s.spans[i].Start = s.off
+				s.spans[i].Depth = depth
+			}
+		}
 		s.writeString(escapeAttr(a.Value))
+		if ai >= 0 && s.err == nil {
+			s.spans[ai].End = s.off
+		}
 		s.writeString(`"`)
 	}
 	if len(n.Children) == 0 {

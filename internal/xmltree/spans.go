@@ -1,0 +1,84 @@
+package xmltree
+
+import (
+	"fmt"
+	"io"
+)
+
+// SpanTarget addresses one value-carrying location inside a serialized
+// document: the whole element when Attr is empty, or one attribute's
+// value bytes (the escaped text between the quotes) otherwise.
+//
+// Whole elements — rather than their text children — are the unit for
+// element-carried values because rewriting a value can reshape the
+// element (<f/> becomes <f>v</f>, mixed content collapses to a single
+// leading text node), so only the element's full byte range is stable
+// across the rewrite.
+type SpanTarget struct {
+	Node *Node
+	Attr string
+}
+
+// Span is the half-open byte range [Start, End) a target occupied in the
+// serialized output, plus the depth the node was rendered at. Depth is
+// what a caller needs to re-render a replacement subtree with identical
+// indentation (see SerializeAt).
+type Span struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Depth int `json:"depth"`
+}
+
+// spanKey identifies a span target during serialization.
+type spanKey struct {
+	node *Node
+	attr string
+}
+
+// SerializeSpans is Serialize with byte-offset capture: it writes the
+// subtree rooted at n exactly as Serialize would and reports, for each
+// target, the byte span the target occupied in the output. Targets must
+// be distinct and must actually be reached during serialization (an
+// unreached target is an error, not a zero span — a plan compiled from
+// it would silently drop a mark site).
+func SerializeSpans(w io.Writer, n *Node, opts SerializeOptions, targets []SpanTarget) ([]Span, error) {
+	req := make(map[spanKey]int, len(targets))
+	spans := make([]Span, len(targets))
+	for i, t := range targets {
+		if t.Node == nil {
+			return nil, fmt.Errorf("xmltree: span target %d has nil node", i)
+		}
+		k := spanKey{t.Node, t.Attr}
+		if prev, dup := req[k]; dup {
+			return nil, fmt.Errorf("xmltree: span targets %d and %d are identical", prev, i)
+		}
+		req[k] = i
+		spans[i].Start = -1
+	}
+	sw := &serializer{w: w, opts: opts, req: req, spans: spans}
+	if err := sw.run(n); err != nil {
+		return nil, err
+	}
+	for i := range spans {
+		if spans[i].Start < 0 || spans[i].End < spans[i].Start {
+			return nil, fmt.Errorf("xmltree: span target %d not reached during serialization", i)
+		}
+	}
+	return spans, nil
+}
+
+// SerializeAt renders the subtree rooted at n exactly as a full
+// serialization would render it when nested at the given depth: no
+// declaration, no trailing newline, indentation computed from depth.
+// It is the primitive for producing replacement bytes for an
+// element-valued Span.
+func SerializeAt(w io.Writer, n *Node, depth int, opts SerializeOptions) error {
+	sw := &serializer{w: w, opts: opts}
+	sw.node(n, depth)
+	return sw.err
+}
+
+// EscapeAttr escapes a string exactly as the serializer escapes a
+// double-quoted attribute value — the replacement bytes for an
+// attribute-valued Span.
+func EscapeAttr(s string) string { return escapeAttr(s) }

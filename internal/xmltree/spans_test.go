@@ -1,0 +1,135 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+// spanDoc builds a small document exercising the shapes the plan
+// compiler cares about: indented structure, inline text elements, an
+// empty element, mixed content and attributes with escapable values.
+func spanDoc() *Node {
+	book := Elem("book",
+		TextElem("title", "Systems & Methods"),
+		TextElem("price", "129.95"),
+		NewElement("note"), // empty: will reshape on SetText
+	)
+	book.SetAttr("id", "b1")
+	book.SetAttr("tag", `a"b<c`)
+	doc := NewDocument()
+	root := Elem("db", book)
+	root.Parent = doc
+	doc.Children = []*Node{root}
+	return doc
+}
+
+func TestSerializeSpansMatchesSerialize(t *testing.T) {
+	for _, indent := range []string{"", "  "} {
+		doc := spanDoc()
+		opts := SerializeOptions{Indent: indent}
+		var plain strings.Builder
+		if err := Serialize(&plain, doc, opts); err != nil {
+			t.Fatalf("serialize: %v", err)
+		}
+		book := doc.Root().FirstChildNamed("book")
+		price := book.FirstChildNamed("price")
+		targets := []SpanTarget{
+			{Node: price},
+			{Node: book, Attr: "tag"},
+			{Node: book.FirstChildNamed("note")},
+		}
+		var withSpans strings.Builder
+		spans, err := SerializeSpans(&withSpans, doc, opts, targets)
+		if err != nil {
+			t.Fatalf("indent %q: SerializeSpans: %v", indent, err)
+		}
+		if plain.String() != withSpans.String() {
+			t.Fatalf("indent %q: span-capturing output differs from Serialize", indent)
+		}
+		out := withSpans.String()
+
+		// The element span must reproduce via SerializeAt at the
+		// recorded depth.
+		var re strings.Builder
+		if err := SerializeAt(&re, price, spans[0].Depth, opts); err != nil {
+			t.Fatalf("SerializeAt: %v", err)
+		}
+		if got := out[spans[0].Start:spans[0].End]; got != re.String() {
+			t.Fatalf("indent %q: element span %q != SerializeAt %q", indent, got, re.String())
+		}
+		// The attribute span is the escaped value between the quotes.
+		if got, want := out[spans[1].Start:spans[1].End], EscapeAttr(`a"b<c`); got != want {
+			t.Fatalf("indent %q: attr span %q, want %q", indent, got, want)
+		}
+		// Empty elements serialize self-closed; their span still covers
+		// the whole tag.
+		if got := out[spans[2].Start:spans[2].End]; got != "<note/>" {
+			t.Fatalf("indent %q: empty-element span %q", indent, got)
+		}
+	}
+}
+
+// TestSpliceEqualsReserialize is the core contract behind patch plans:
+// replacing an element's span bytes with the re-rendered modified
+// element yields exactly the bytes a full re-serialization of the
+// modified tree would produce — including the reshaping SetText causes
+// on an empty element.
+func TestSpliceEqualsReserialize(t *testing.T) {
+	opts := SerializeOptions{Indent: "  "}
+	for _, tc := range []struct {
+		name  string
+		pick  func(doc *Node) *Node
+		value string
+	}{
+		{"text-elem", func(d *Node) *Node { return d.Root().FirstChildNamed("book").FirstChildNamed("price") }, "129.94"},
+		{"reshape-empty", func(d *Node) *Node { return d.Root().FirstChildNamed("book").FirstChildNamed("note") }, "now set"},
+		{"escaped", func(d *Node) *Node { return d.Root().FirstChildNamed("book").FirstChildNamed("title") }, "a<b&c"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := spanDoc()
+			target := tc.pick(doc)
+			var orig strings.Builder
+			spans, err := SerializeSpans(&orig, doc, opts, []SpanTarget{{Node: target}})
+			if err != nil {
+				t.Fatalf("SerializeSpans: %v", err)
+			}
+			// Render the replacement from a detached clone — compiling
+			// a plan must not mutate the source document.
+			clone := target.Clone()
+			clone.SetText(tc.value)
+			var alt strings.Builder
+			if err := SerializeAt(&alt, clone, spans[0].Depth, opts); err != nil {
+				t.Fatalf("SerializeAt: %v", err)
+			}
+			spliced := orig.String()[:spans[0].Start] + alt.String() + orig.String()[spans[0].End:]
+
+			target.SetText(tc.value)
+			var want strings.Builder
+			if err := Serialize(&want, doc, opts); err != nil {
+				t.Fatalf("serialize modified: %v", err)
+			}
+			if spliced != want.String() {
+				t.Fatalf("spliced bytes differ from re-serialization:\nspliced: %q\nwant:    %q", spliced, want.String())
+			}
+		})
+	}
+}
+
+func TestSerializeSpansErrors(t *testing.T) {
+	doc := spanDoc()
+	price := doc.Root().FirstChildNamed("book").FirstChildNamed("price")
+	var sb strings.Builder
+	if _, err := SerializeSpans(&sb, doc, SerializeOptions{}, []SpanTarget{{Node: price}, {Node: price}}); err == nil {
+		t.Fatal("duplicate targets: want error")
+	}
+	if _, err := SerializeSpans(&sb, doc, SerializeOptions{}, []SpanTarget{{Node: nil}}); err == nil {
+		t.Fatal("nil node: want error")
+	}
+	detached := TextElem("ghost", "x")
+	if _, err := SerializeSpans(&sb, doc, SerializeOptions{}, []SpanTarget{{Node: detached}}); err == nil {
+		t.Fatal("unreached target: want error")
+	}
+	if _, err := SerializeSpans(&sb, doc, SerializeOptions{}, []SpanTarget{{Node: price, Attr: "missing"}}); err == nil {
+		t.Fatal("missing attribute target: want error")
+	}
+}

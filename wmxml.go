@@ -10,6 +10,7 @@ import (
 	"wmxml/internal/config"
 	"wmxml/internal/core"
 	"wmxml/internal/datagen"
+	"wmxml/internal/deliver"
 	"wmxml/internal/fingerprint"
 	"wmxml/internal/identity"
 	"wmxml/internal/index"
@@ -617,6 +618,116 @@ func (f *Fingerprinter) TraceIndexed(doc *Document, candidates []string, records
 // the per-value majority. scope is the record set, e.g. "db/book".
 func NewCollusionAttack(copies []*Document, scope string, strategy CollusionStrategy) Attack {
 	return attack.Collusion{Copies: copies, Scope: scope, Strategy: strategy}
+}
+
+// --- delivery-time fingerprinting (patch plans) ---
+
+// DeliveryPlan is a precompiled patch plan for one document: byte
+// offsets into the canonical serialization plus, per mark site, the
+// alternative bytes for each codeword-bit value. Compiling costs one
+// full embed pass; delivering any recipient's copy from the plan is a
+// byte splice — no parsing, O(marked bytes) work. Plans marshal to a
+// versioned JSON envelope (Marshal / UnmarshalDeliveryPlan) for storage.
+type DeliveryPlan = deliver.Plan
+
+// UnmarshalDeliveryPlan decodes a stored plan envelope, rejecting
+// malformed plans and plans from newer versions.
+func UnmarshalDeliveryPlan(data []byte) (*DeliveryPlan, error) {
+	return deliver.UnmarshalPlan(data)
+}
+
+// Deliverer compiles delivery plans and splices recipient copies from
+// them — the high-throughput distribution path. One CompilePlan serves
+// every recipient of that document. Safe for concurrent use.
+type Deliverer struct {
+	fp *fingerprint.System
+}
+
+// NewDeliverer builds a Deliverer over the same options as a
+// Fingerprinter; copies spliced from its plans are byte-identical to
+// the Fingerprinter's full Fingerprint + SerializeXML output.
+func NewDeliverer(opts FingerprintOptions) (*Deliverer, error) {
+	fp, err := fingerprint.New(fingerprint.Options{
+		Key:         []byte(opts.Key),
+		Schema:      opts.Schema,
+		Catalog:     opts.Catalog,
+		Targets:     opts.Targets,
+		Gamma:       opts.Gamma,
+		Xi:          opts.Xi,
+		Segments:    opts.Segments,
+		SegmentBits: opts.SegmentBits,
+		Replicas:    opts.Replicas,
+		Alpha:       opts.Alpha,
+		Concurrency: opts.Concurrency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Deliverer{fp: fp}, nil
+}
+
+// CompilePlan runs the one parse-free-delivery-enabling pass: it
+// canonicalizes doc (the SerializeXML shape) and records every mark
+// site's offsets and per-bit alternative bytes. It returns the plan and
+// the canonical bytes the plan's offsets index into; doc itself is not
+// modified.
+func (d *Deliverer) CompilePlan(doc *Document) (*DeliveryPlan, []byte, error) {
+	return deliver.Compile(doc, d.fp.PlanConfig(), xmltree.SerializeOptions{Indent: "  "})
+}
+
+// Deliver splices recipient's copy from a compiled plan and the
+// canonical original bytes, returning the copy and the same receipt a
+// full Fingerprint of the document would have produced. The original is
+// digest-checked against the plan before any splicing ("refused, not
+// applied" on mismatch).
+func (d *Deliverer) Deliver(plan *DeliveryPlan, original []byte, recipient string) ([]byte, *EmbedReceipt, error) {
+	b, err := plan.Bind(original)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload := d.fp.Payload(recipient)
+	out, err := b.AppendCopy(nil, payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := plan.Receipt(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, &EmbedReceipt{
+		Records:        res.Records,
+		BandwidthUnits: res.Bandwidth.Units,
+		Carriers:       res.Carriers,
+		ValuesWritten:  res.Embedded,
+	}, nil
+}
+
+// BoundPlan is a delivery plan already verified against its canonical
+// original bytes — the ready-to-splice state. Bind once, splice many.
+type BoundPlan = deliver.Bound
+
+// Bind verifies original against the plan's digest and length and
+// returns the ready-to-splice state. Use with Splice for
+// many-recipient sweeps: binding hashes the whole original once, and
+// each Splice afterwards touches only the marked bytes.
+func (d *Deliverer) Bind(plan *DeliveryPlan, original []byte) (*BoundPlan, error) {
+	return plan.Bind(original)
+}
+
+// Splice appends recipient's copy to dst (pass dst[:0] to reuse a
+// buffer across recipients) and returns the extended slice. This is
+// the per-copy hot path: derive the recipient's payload, then copy
+// static segments and per-site alternatives — no parsing, no hashing.
+func (d *Deliverer) Splice(b *BoundPlan, dst []byte, recipient string) ([]byte, error) {
+	return b.AppendCopy(dst, d.fp.Payload(recipient))
+}
+
+// DeliverStream is Deliver for originals too large to hold in memory:
+// it splices src (the canonical original bytes) onto w in constant
+// memory. The digest is verified as src drains, so on error the bytes
+// already written to w must be discarded.
+func (d *Deliverer) DeliverStream(w io.Writer, src io.Reader, plan *DeliveryPlan, recipient string) error {
+	return plan.ApplyReader(w, src, d.fp.Payload(recipient))
 }
 
 // StreamOptions tunes the record-chunked streaming layer: documents are
