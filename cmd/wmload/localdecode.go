@@ -1,0 +1,73 @@
+package main
+
+// LocalDecodeWarm: the one machine-independent class in the daemon
+// report. The HTTP classes measure the whole request path (client,
+// kernel, server); this one runs the library warm-detect path
+// in-process — compiled DetectionPlan, cached document index — and
+// reads allocation counts straight from runtime.MemStats, so the
+// "near-zero allocations on warm detect" claim is a number in
+// BENCH_PR7.json rather than an assertion in a test log. Mallocs and
+// TotalAlloc are monotonic counters (GC never decrements them), so the
+// delta over a serial loop is exact.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"wmxml"
+)
+
+// localDecodeResult embeds a size-record dataset document in-process
+// and measures reps warm plan detections over its cached index.
+func localDecodeResult(dataset string, size int, seed int64, gamma, reps int) (benchResult, error) {
+	ds, err := wmxml.DatasetByName(dataset, size, seed)
+	if err != nil {
+		return benchResult{}, err
+	}
+	sys, err := wmxml.New(wmxml.Options{
+		Key: "wmload-local", Mark: "(C) wmload local",
+		Schema: ds.Schema, Catalog: ds.Catalog, Targets: ds.Targets,
+		Gamma: gamma,
+	})
+	if err != nil {
+		return benchResult{}, err
+	}
+	rec, err := sys.Embed(ds.Doc)
+	if err != nil {
+		return benchResult{}, err
+	}
+	ix := wmxml.NewDocumentIndex(ds.Doc)
+	plan, err := sys.CompileDetection(rec.Records, nil)
+	if err != nil {
+		return benchResult{}, err
+	}
+	// Warm up: fault in the index's lazy key-value tables and the
+	// internal buffer pools, and check the plan actually detects.
+	for i := 0; i < 3; i++ {
+		if det := plan.DetectIndexed(ds.Doc, ix); !det.Detected {
+			return benchResult{}, fmt.Errorf("local decode: warm detection failed (match %.3f)", det.MatchFraction)
+		}
+	}
+	durs := make([]time.Duration, reps) // preallocated: the loop must not allocate on our behalf
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		det := plan.DetectIndexed(ds.Doc, ix)
+		durs[i] = time.Since(t0)
+		if !det.Detected {
+			return benchResult{}, fmt.Errorf("local decode: detection lost at rep %d", i)
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	r := durResult("LocalDecodeWarm", durs, map[string]float64{
+		"allocs_per_op": float64(ms1.Mallocs-ms0.Mallocs) / float64(reps),
+		"bytes_per_op":  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(reps),
+		"records":       float64(size),
+		"queries":       float64(len(rec.Records)),
+	})
+	return r, nil
+}

@@ -201,10 +201,25 @@ func run(url, owner, key, mark, dataset string, size int, seed int64, gamma,
 	wg.Wait()
 	wall := time.Since(start)
 
-	// 5. Aggregate and report.
-	rep := report(samples, wall)
+	// 5. Per-class allocation calibration: a short serial pass per
+	// class, reading process-global MemStats deltas around it. These
+	// are client-side numbers (request build + HTTP round trip +
+	// response decode — the daemon is another process); the
+	// machine-independent server-path allocation counts come from
+	// LocalDecodeWarm below and the library's AllocsPerRun tests. They
+	// still make every class self-describing and catch allocation
+	// regressions in the harness's own hot loop.
+	allocs := calibrateAllocs(client, url, owner, key, doc, marked, traced, embedEvery, coldEvery, fpEvery, traceEvery)
+
+	// 6. Aggregate and report.
+	rep := report(samples, wall, allocs)
 	rep.Pkg = "wmxml/cmd/wmload"
 	rep.Goos, rep.Goarch = runtime.GOOS, runtime.GOARCH
+	if lr, lerr := localDecodeResult(dataset, size, seed, gamma, 50); lerr == nil {
+		rep.Results = append(rep.Results, lr)
+	} else {
+		fmt.Fprintf(os.Stderr, "wmload: local decode class skipped: %v\n", lerr)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -306,6 +321,66 @@ func fire(client *http.Client, url, owner, key string, i, embedEvery, coldEvery,
 	return s
 }
 
+// calibrateAllocs runs a short serial pass per active request class
+// and returns {allocs, bytes} per op from MemStats deltas (Mallocs and
+// TotalAlloc are monotonic, so GC timing cannot skew the delta). The
+// pass runs after the measured load so it never perturbs the latency
+// samples; one unmeasured warm-up request per class absorbs lazy
+// client-side initialization.
+func calibrateAllocs(client *http.Client, url, owner, key string, doc, marked, traced []byte,
+	embedEvery, coldEvery, fpEvery, traceEvery int) map[string][2]float64 {
+	classes := []struct {
+		name string
+		on   bool
+		do   func(i int) error
+	}{
+		{"embed", embedEvery > 0, func(int) error {
+			_, _, err := post(client, key, url+"/v1/embed?owner="+owner+"&doc=wmload.xml", doc)
+			return err
+		}},
+		{"fingerprint", fpEvery > 0, func(int) error {
+			_, _, err := post(client, key, url+"/v1/fingerprint?owner="+owner+"&recipient=fp-0", doc)
+			return err
+		}},
+		{"detect_warm", true, func(int) error {
+			_, _, err := post(client, key, url+"/v1/detect?owner="+owner, marked)
+			return err
+		}},
+		{"detect_cold", coldEvery > 0, func(i int) error {
+			body := append(bytes.Clone(marked), []byte(fmt.Sprintf("\n<!-- wmload-calib-%d -->", i))...)
+			_, _, err := post(client, key, url+"/v1/detect?owner="+owner, body)
+			return err
+		}},
+		{"trace_warm", traceEvery > 0 && traced != nil, func(int) error {
+			_, _, err := post(client, key, url+"/v1/trace?owner="+owner, traced)
+			return err
+		}},
+	}
+	const reps = 8
+	out := make(map[string][2]float64, len(classes))
+	var ms0, ms1 runtime.MemStats
+	for _, c := range classes {
+		if !c.on || c.do(0) != nil {
+			continue
+		}
+		ok := 0
+		runtime.ReadMemStats(&ms0)
+		for i := 1; i <= reps; i++ {
+			if c.do(i) == nil {
+				ok++
+			}
+		}
+		runtime.ReadMemStats(&ms1)
+		if ok > 0 {
+			out[c.name] = [2]float64{
+				float64(ms1.Mallocs-ms0.Mallocs) / float64(ok),
+				float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(ok),
+			}
+		}
+	}
+	return out
+}
+
 // post sends a body with the owner-key credential and returns the
 // response bytes; non-2xx is an error carrying the response text.
 func post(client *http.Client, key, url string, body []byte) ([]byte, http.Header, error) {
@@ -330,8 +405,9 @@ func post(client *http.Client, key, url string, body []byte) ([]byte, http.Heade
 	return data, resp.Header, nil
 }
 
-// report folds samples into benchjson-shaped results.
-func report(samples []sample, wall time.Duration) benchOutput {
+// report folds samples into benchjson-shaped results; allocs carries
+// the per-class {allocs_per_op, bytes_per_op} calibration.
+func report(samples []sample, wall time.Duration, allocs map[string][2]float64) benchOutput {
 	byClass := map[string][]sample{}
 	for _, s := range samples {
 		if s.err != nil {
@@ -370,6 +446,10 @@ func report(samples []sample, wall time.Duration) benchOutput {
 			"p99_ns":  float64(pct(ds, 990)),
 			"p999_ns": float64(pct(ds, 999)),
 			"max_ns":  float64(ds[len(ds)-1]),
+		}
+		if a, ok := allocs[class]; ok {
+			m["allocs_per_op"] = a[0]
+			m["bytes_per_op"] = a[1]
 		}
 		switch class {
 		case "detect_warm", "detect_cold":

@@ -6,9 +6,9 @@
 // Usage:
 //
 //	wmxmld [--addr :8484] [--registry wmxml.jsonl] [--workers N]
-//	       [--cache N] [--max-body BYTES] [--max-depth N]
-//	       [--queue-timeout 10s] [--no-sync] [--compact-on-start]
-//	       [--insecure-no-auth]
+//	       [--cache N] [--doc-cache-bytes BYTES] [--max-body BYTES]
+//	       [--max-depth N] [--queue-timeout 10s] [--no-sync]
+//	       [--compact-on-start] [--insecure-no-auth] [--pprof-addr ADDR]
 //
 // API (see README "Running the service" for a curl walkthrough):
 //
@@ -43,6 +43,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,6 +70,8 @@ func main() {
 	compact := fs.Bool("compact-on-start", false, "compact the registry log after replaying it")
 	workers := fs.Int("workers", 0, "max concurrently executing operations (0 = number of CPUs)")
 	cache := fs.Int("cache", 0, "suspect-document cache entries (0 = 128, -1 = off)")
+	cacheBytes := fs.Int64("doc-cache-bytes", 0, "suspect-document cache byte cap, weighted by body size (0 = 256 MiB, -1 = unbounded)")
+	pprofAddr := fs.String("pprof-addr", "", "serve /debug/pprof on this separate address (empty = off; keep it off the public interface)")
 	maxBody := fs.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
 	maxStream := fs.Int64("max-stream", 0, "streaming-endpoint body cap in bytes (0 = 4 GiB)")
 	streamChunk := fs.Int("stream-chunk", 0, "records per chunk on the streaming endpoints (0 = 256)")
@@ -106,6 +110,24 @@ func main() {
 	if *noAuth {
 		log.Printf("wmxmld: WARNING: --insecure-no-auth — any peer can act as any owner")
 	}
+	if *pprofAddr != "" {
+		// The profiler gets its own listener and mux so it never shares
+		// a port (or an accidental route) with the public API; the mux
+		// is explicit rather than http.DefaultServeMux to keep the
+		// exposure to exactly the pprof handlers.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("wmxmld: pprof on %s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("wmxmld: pprof listener: %v", err)
+			}
+		}()
+	}
 	log.Printf("wmxmld %s: listening on %s", version, *addr)
 	err := wmxml.Serve(ctx, wmxml.ServerOptions{
 		Addr:                 *addr,
@@ -117,6 +139,7 @@ func main() {
 		StreamChunkSize:      *streamChunk,
 		MaxDepth:             *maxDepth,
 		CacheEntries:         *cache,
+		CacheBytes:           *cacheBytes,
 		AllowUnauthenticated: *noAuth,
 		Version:              version,
 	})

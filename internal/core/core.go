@@ -510,39 +510,17 @@ func CompileRecords(cfg Config, records []QueryRecord, rw Rewriter) ([]CompiledR
 // not compared. A nil ix builds an index internally (unless
 // cfg.DisableIndex is set).
 func DecodeWithQueriesIndexed(doc *xmltree.Node, cfg Config, records []QueryRecord, rw Rewriter, ix *index.Index) (*DecodeResult, error) {
-	cfg = cfg.withDefaults()
-	compiled, err := CompileRecords(cfg, records, rw)
+	// Compile-and-throw-away form of the plan API: queries only read the
+	// suspect document, so records fan out over workers inside
+	// DecodePlan.Decode; each worker accumulates into its own vote
+	// counter and the counters merge commutatively, reproducing the
+	// sequential tally exactly. Callers decoding the same receipt
+	// repeatedly should compile the plan once and keep it.
+	plan, err := CompileDecodePlan(cfg, records, rw)
 	if err != nil {
 		return nil, err
 	}
-	_, dix := docIndex(doc, cfg, ix)
-	// Queries only read the suspect document, so records fan out over
-	// workers; each worker accumulates into its own vote counter and the
-	// counters merge commutatively, reproducing the sequential tally
-	// exactly.
-	workers := detectWorkers(cfg.Concurrency, len(compiled))
-	accs := make([]*detectAcc, workers)
-	for w := range accs {
-		accs[w] = &detectAcc{votes: wmark.NewVotes(len(cfg.Mark))}
-	}
-	forEachWorker(workers, len(compiled), func(worker, i int) {
-		cr := &compiled[i]
-		acc := accs[worker]
-		switch {
-		case cr.rewriteFailed:
-			acc.rewriteErrors++
-			acc.votes.AddMiss()
-		case cr.alg == nil:
-			// No extraction plug-in for the type: the record is inert.
-		default:
-			acc.queriesRun++
-			if cr.DecodeInto(doc, dix, acc.votes) == 0 {
-				acc.queryMisses++
-				acc.votes.AddMiss()
-			}
-		}
-	})
-	return mergeAccs(accs), nil
+	return plan.Decode(doc, ix), nil
 }
 
 // detectAcc is one decoder worker's private tally.
@@ -675,11 +653,19 @@ func DecodeBlindIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*Decode
 		return nil, err
 	}
 	// Blind detection only reads the document, so units fan out over
-	// workers exactly like query records do in DetectWithQueries.
+	// workers exactly like query records do in DetectWithQueries. Extra
+	// workers' vote tables come from the pool (worker 0's becomes the
+	// result and must stay fresh).
 	workers := detectWorkers(cfg.Concurrency, len(units))
 	accs := make([]*detectAcc, workers)
 	for w := range accs {
-		accs[w] = &detectAcc{votes: wmark.NewVotes(len(cfg.Mark))}
+		if w == 0 {
+			accs[w] = &detectAcc{votes: wmark.NewVotes(len(cfg.Mark))}
+		} else {
+			v := votesPool.Get().(*wmark.Votes)
+			v.Reset(len(cfg.Mark))
+			accs[w] = &detectAcc{votes: v}
+		}
 	}
 	forEachWorker(workers, len(units), func(worker, i int) {
 		acc := accs[worker]
@@ -692,5 +678,9 @@ func DecodeBlindIndexed(doc *xmltree.Node, cfg Config, ix *index.Index) (*Decode
 			acc.queryMisses++
 		}
 	})
-	return mergeAccs(accs), nil
+	res := mergeAccs(accs)
+	for w := 1; w < len(accs); w++ {
+		votesPool.Put(accs[w].votes)
+	}
+	return res, nil
 }

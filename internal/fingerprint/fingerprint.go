@@ -277,6 +277,12 @@ type TraceOptions struct {
 	// builds one internally. The wmxmld doc cache passes one here so
 	// repeated traces of the same suspect skip reparse + index build.
 	Index *index.Index
+	// Plan is an optional decode plan precompiled from Records under
+	// PlanConfig (same geometry as this system). When set, Records and
+	// Rewriter are ignored and the decode skips query compilation — the
+	// warm path for repeated traces of one owner's receipts. The plan's
+	// mark length must equal PayloadBits.
+	Plan *core.DecodePlan
 }
 
 // Trace decodes the suspect document once and scores every candidate
@@ -286,12 +292,19 @@ func (s *System) Trace(doc *xmltree.Node, candidates []string, opts TraceOptions
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("fingerprint: no candidate recipients to trace against")
 	}
-	cfg := s.configFor(make(wmark.Bits, s.PayloadBits()))
 	var dec *core.DecodeResult
 	var err error
-	if opts.Records != nil {
+	switch {
+	case opts.Plan != nil:
+		if got := opts.Plan.MarkLen(); got != s.PayloadBits() {
+			return nil, fmt.Errorf("fingerprint: trace plan decodes %d bits, system payload is %d", got, s.PayloadBits())
+		}
+		dec = opts.Plan.Decode(doc, opts.Index)
+	case opts.Records != nil:
+		cfg := s.configFor(make(wmark.Bits, s.PayloadBits()))
 		dec, err = core.DecodeWithQueriesIndexed(doc, cfg, opts.Records, opts.Rewriter, opts.Index)
-	} else {
+	default:
+		cfg := s.configFor(make(wmark.Bits, s.PayloadBits()))
 		dec, err = core.DecodeBlindIndexed(doc, cfg, opts.Index)
 	}
 	if err != nil {

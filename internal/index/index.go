@@ -76,6 +76,15 @@ type pathkey struct {
 	name   symID
 }
 
+// kvkey identifies one key-value table. A struct key (rather than a
+// concatenated string) keeps the warm Lookup probe allocation-free:
+// Go map probes with composite keys built from existing strings do not
+// copy them.
+type kvkey struct {
+	scope  string
+	selRel string
+}
+
 // Index is a per-document query accelerator. Build with New; see the
 // package comment for the invalidation contract.
 type Index struct {
@@ -89,7 +98,7 @@ type Index struct {
 	npaths pathID
 	byTag  map[symID][]*xmltree.Node
 	byPath map[pathID][]*xmltree.Node
-	kv     map[string]map[string][]*xmltree.Node
+	kv     map[kvkey]map[string][]*xmltree.Node
 }
 
 // Index implements the planner's index contract.
@@ -120,7 +129,7 @@ func (ix *Index) build() {
 	ix.npaths = 0
 	ix.byTag = make(map[symID][]*xmltree.Node)
 	ix.byPath = make(map[pathID][]*xmltree.Node)
-	ix.kv = make(map[string]map[string][]*xmltree.Node)
+	ix.kv = make(map[kvkey]map[string][]*xmltree.Node)
 
 	var walk func(n *xmltree.Node, parent pathID)
 	index1 := func(e *xmltree.Node, parent pathID) pathID {
@@ -225,19 +234,19 @@ func (ix *Index) Lookup(scope, selRel, value string) []*xmltree.Node {
 	if ix == nil || ix.top == nil {
 		return nil
 	}
-	key := scope + "\x1f" + selRel
+	key := kvkey{scope: scope, selRel: selRel}
 	ix.mu.RLock()
 	m, ok := ix.kv[key]
 	ix.mu.RUnlock()
 	if !ok {
-		m = ix.buildKV(key, scope, selRel)
+		m = ix.buildKV(key)
 	}
 	return m[value]
 }
 
 // buildKV constructs one key-value table under the write lock (which
 // also single-flights concurrent builders of the same table).
-func (ix *Index) buildKV(key, scope, selRel string) map[string][]*xmltree.Node {
+func (ix *Index) buildKV(key kvkey) map[string][]*xmltree.Node {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if m, ok := ix.kv[key]; ok {
@@ -247,8 +256,8 @@ func (ix *Index) buildKV(key, scope, selRel string) map[string][]*xmltree.Node {
 	// The planner only emits selectors that round-trip through the
 	// parser, so Compile cannot realistically fail; an empty table is the
 	// safe outcome if it ever does.
-	if q, err := xpath.Compile(selRel); err == nil {
-		for _, e := range ix.scopeElements(scope) {
+	if q, err := xpath.Compile(key.selRel); err == nil {
+		for _, e := range ix.scopeElements(key.scope) {
 			for _, it := range q.Select(e) {
 				v := it.Value()
 				lst := m[v]
@@ -274,7 +283,7 @@ func (ix *Index) Invalidate() {
 		return
 	}
 	ix.mu.Lock()
-	ix.kv = make(map[string]map[string][]*xmltree.Node)
+	ix.kv = make(map[kvkey]map[string][]*xmltree.Node)
 	ix.mu.Unlock()
 }
 

@@ -66,6 +66,12 @@ type DetectJob struct {
 	// repeated detections skip both the reparse and the index build;
 	// nil lets the core build its own per call.
 	Index *index.Index
+	// Plan is an optional precompiled decode plan for this job's query
+	// set. When set, Records and Rewriter are ignored — the plan already
+	// embodies them — and detection skips query parsing, plan
+	// compilation and the per-record HMACs entirely (the warm-path win;
+	// see core.DecodePlan). The plan's config must match the engine's.
+	Plan *core.DecodePlan
 }
 
 // EmbedOutcome is the embedding result of one job.
@@ -226,9 +232,12 @@ func (e *Engine) detectOne(ctx context.Context, jobIndex int, j DetectJob) (out 
 		out.Err = fmt.Errorf("pipeline: job %q has no document", j.ID)
 		return out
 	}
-	if j.Records == nil {
+	switch {
+	case j.Plan != nil:
+		out.Result = j.Plan.Detect(j.Doc, j.Index)
+	case j.Records == nil:
 		out.Result, out.Err = core.DetectBlindIndexed(j.Doc, e.cfg, j.Index)
-	} else {
+	default:
 		out.Result, out.Err = core.DetectWithQueriesIndexed(j.Doc, e.cfg, j.Records, j.Rewriter, j.Index)
 	}
 	return out

@@ -8,6 +8,14 @@ package server
 // raw request body and serves repeats from memory. Entries are
 // strictly read-only: detection and verification never mutate the tree,
 // and embedding (which does) bypasses the cache entirely.
+//
+// Eviction is bounded two ways: an entry-count cap and a total-bytes
+// cap, weighted by each entry's source body length (a stable proxy for
+// the parsed tree + index footprint, which scale linearly with it). The
+// entry cap alone proved insufficient: 128 cached 40 MB suspects is
+// 5 GB of trees, while 128 one-record documents is nothing. An entry
+// whose weight alone exceeds the byte cap is served but never cached —
+// one oversized suspect must not flush every tenant's working set.
 
 import (
 	"container/list"
@@ -29,25 +37,32 @@ type cachedDoc struct {
 // is sound because readers never mutate them (the index's lazy
 // key-value tables lock internally).
 type docCache struct {
-	mu      sync.Mutex
-	cap     int
-	entries map[[sha256.Size]byte]*list.Element
-	order   *list.List // front = most recent; values are *docEntry
+	mu       sync.Mutex
+	cap      int   // max entries; 0 disables the cache
+	capBytes int64 // max total weight; 0 = unlimited
+	bytes    int64 // current total weight
+	entries  map[[sha256.Size]byte]*list.Element
+	order    *list.List // front = most recent; values are *docEntry
 }
 
 type docEntry struct {
-	key [sha256.Size]byte
-	val cachedDoc
+	key    [sha256.Size]byte
+	val    cachedDoc
+	weight int64 // source body length, the eviction weight
 }
 
-func newDocCache(capacity int) *docCache {
+func newDocCache(capacity int, capBytes int64) *docCache {
 	if capacity < 0 {
 		capacity = 0
 	}
+	if capBytes < 0 {
+		capBytes = 0
+	}
 	return &docCache{
-		cap:     capacity,
-		entries: make(map[[sha256.Size]byte]*list.Element),
-		order:   list.New(),
+		cap:      capacity,
+		capBytes: capBytes,
+		entries:  make(map[[sha256.Size]byte]*list.Element),
+		order:    list.New(),
 	}
 }
 
@@ -66,26 +81,39 @@ func (c *docCache) get(key [sha256.Size]byte) (cachedDoc, bool) {
 	return el.Value.(*docEntry).val, true
 }
 
-// put inserts a parsed document, evicting the least recently used
-// entries when full, and returns how many were evicted. A concurrent
-// insert of the same key wins quietly (both values are equivalent
-// parses of the same bytes).
-func (c *docCache) put(key [sha256.Size]byte, val cachedDoc) (evicted int) {
+// put inserts a parsed document weighted by its source body length,
+// evicting least-recently-used entries while either bound is exceeded,
+// and returns how many were evicted. An entry too large to ever fit the
+// byte cap is not cached at all. A concurrent insert of the same key
+// wins quietly (both values are equivalent parses of the same bytes).
+func (c *docCache) put(key [sha256.Size]byte, val cachedDoc, weight int64) (evicted int) {
 	if c.cap == 0 {
+		return 0
+	}
+	if weight < 0 {
+		weight = 0
+	}
+	if c.capBytes > 0 && weight > c.capBytes {
 		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
-		el.Value.(*docEntry).val = val
-		return 0
+		en := el.Value.(*docEntry)
+		c.bytes += weight - en.weight
+		en.val = val
+		en.weight = weight
+	} else {
+		c.entries[key] = c.order.PushFront(&docEntry{key: key, val: val, weight: weight})
+		c.bytes += weight
 	}
-	c.entries[key] = c.order.PushFront(&docEntry{key: key, val: val})
-	for c.order.Len() > c.cap {
+	for c.order.Len() > c.cap || (c.capBytes > 0 && c.bytes > c.capBytes && c.order.Len() > 1) {
 		last := c.order.Back()
 		c.order.Remove(last)
-		delete(c.entries, last.Value.(*docEntry).key)
+		en := last.Value.(*docEntry)
+		delete(c.entries, en.key)
+		c.bytes -= en.weight
 		evicted++
 	}
 	return evicted
@@ -96,4 +124,11 @@ func (c *docCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// weight reports the current total byte weight.
+func (c *docCache) weight() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

@@ -86,6 +86,9 @@ type metrics struct {
 	cacheMiss     counter
 	cacheEvict    counter
 	cacheSize     gauge
+	cacheBytes    gauge
+	planCacheHits counter
+	planCacheMiss counter
 	embeds        counter
 	detects       counter
 	detected      counter
@@ -179,6 +182,8 @@ func (m *metrics) render(w io.Writer) {
 		{"wmxmld_doc_cache_hits_total", "Suspect-document cache hits (reparse and index build skipped).", m.cacheHits.Value()},
 		{"wmxmld_doc_cache_misses_total", "Suspect-document cache misses.", m.cacheMiss.Value()},
 		{"wmxmld_doc_cache_evictions_total", "Suspect-document cache evictions.", m.cacheEvict.Value()},
+		{"wmxmld_plan_cache_hits_total", "Decode-plan cache hits (query compilation skipped).", m.planCacheHits.Value()},
+		{"wmxmld_plan_cache_misses_total", "Decode-plan cache misses (plan compiled).", m.planCacheMiss.Value()},
 		{"wmxmld_embeds_total", "Successful embed operations.", m.embeds.Value()},
 		{"wmxmld_detects_total", "Completed detect operations.", m.detects.Value()},
 		{"wmxmld_detects_detected_total", "Detect operations that found the watermark.", m.detected.Value()},
@@ -198,6 +203,7 @@ func (m *metrics) render(w io.Writer) {
 	}
 	fmt.Fprintf(w, "# HELP wmxmld_inflight_requests Requests currently holding a worker slot.\n# TYPE wmxmld_inflight_requests gauge\nwmxmld_inflight_requests %d\n", m.inflight.Value())
 	fmt.Fprintf(w, "# HELP wmxmld_doc_cache_entries Documents currently cached.\n# TYPE wmxmld_doc_cache_entries gauge\nwmxmld_doc_cache_entries %d\n", m.cacheSize.Value())
+	fmt.Fprintf(w, "# HELP wmxmld_doc_cache_bytes Total source-byte weight of cached documents.\n# TYPE wmxmld_doc_cache_bytes gauge\nwmxmld_doc_cache_bytes %d\n", m.cacheBytes.Value())
 	fmt.Fprintf(w, "# HELP wmxmld_start_time_seconds Unix time the server started.\n# TYPE wmxmld_start_time_seconds gauge\nwmxmld_start_time_seconds %d\n", m.startUnix)
 }
 

@@ -90,6 +90,15 @@ type Options struct {
 	// CacheEntries sizes the suspect-document LRU (0 = 128; negative
 	// disables caching).
 	CacheEntries int
+	// CacheBytes caps the suspect-document LRU's total weight, where
+	// each entry weighs its source body length (a proxy for tree+index
+	// footprint). 0 = 256 MiB; negative removes the byte bound (entry
+	// count still applies). A body larger than the cap is served but
+	// never cached.
+	CacheBytes int64
+	// PlanCacheEntries sizes the compiled decode-plan LRU shared by
+	// /v1/detect and /v1/trace (0 = 512).
+	PlanCacheEntries int
 	// Concurrency is the per-document core concurrency (0/1 =
 	// sequential; server throughput usually comes from Workers, not
 	// from splitting single documents).
@@ -122,6 +131,15 @@ func (o Options) withDefaults() Options {
 	if o.CacheEntries < 0 {
 		o.CacheEntries = 0
 	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.CacheBytes < 0 {
+		o.CacheBytes = 0
+	}
+	if o.PlanCacheEntries <= 0 {
+		o.PlanCacheEntries = 512
+	}
 	if o.Version == "" {
 		o.Version = "dev"
 	}
@@ -135,6 +153,7 @@ type Server struct {
 	slots chan struct{}
 	cache *docCache
 	plans *boundPlans
+	dplan *planCache
 	met   *metrics
 	mux   *http.ServeMux
 
@@ -164,8 +183,9 @@ func New(opts Options) (*Server, error) {
 		opts:     opts,
 		reg:      opts.Registry,
 		slots:    make(chan struct{}, opts.Workers),
-		cache:    newDocCache(opts.CacheEntries),
+		cache:    newDocCache(opts.CacheEntries, opts.CacheBytes),
 		plans:    newBoundPlans(64),
+		dplan:    newPlanCache(opts.PlanCacheEntries),
 		met:      newMetrics(),
 		runtimes: make(map[string]*ownerRuntime),
 	}
@@ -181,6 +201,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // scraping /metrics.
 func (s *Server) CacheStats() (hits, misses, evicts uint64, size int) {
 	return s.met.cacheHits.Value(), s.met.cacheMiss.Value(), s.met.cacheEvict.Value(), s.cache.len()
+}
+
+// PlanCacheStats reports the decode-plan cache counters (hits, misses,
+// entries) for tests and diagnostics.
+func (s *Server) PlanCacheStats() (hits, misses uint64, size int) {
+	return s.met.planCacheHits.Value(), s.met.planCacheMiss.Value(), s.dplan.len()
 }
 
 func (s *Server) routes() {
@@ -300,9 +326,11 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error
 	return body, nil
 }
 
-// parseDoc parses an XML body under the depth guard.
+// parseDoc parses an XML body under the depth guard, through the
+// byte-slice fast path (interned names, slab nodes) with strict-parser
+// fallback.
 func (s *Server) parseDoc(body []byte) (*xmltree.Node, error) {
-	doc, err := xmltree.Parse(bytes.NewReader(body), xmltree.ParseOptions{MaxDepth: s.opts.MaxDepth})
+	doc, err := xmltree.ParseBytes(body, xmltree.ParseOptions{MaxDepth: s.opts.MaxDepth})
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, "parse document: %v", err)
 	}
@@ -699,10 +727,11 @@ func (s *Server) suspectDoc(body []byte) (cachedDoc, bool, error) {
 		return cachedDoc{}, false, err
 	}
 	cd := cachedDoc{doc: doc, ix: index.New(doc)}
-	if ev := s.cache.put(sum, cd); ev > 0 {
+	if ev := s.cache.put(sum, cd, int64(len(body))); ev > 0 {
 		s.met.cacheEvict.Add(uint64(ev))
 	}
 	s.met.cacheSize.Set(int64(s.cache.len()))
+	s.met.cacheBytes.Set(s.cache.weight())
 	return cd, false, nil
 }
 
@@ -772,11 +801,15 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		// Newest first: the latest embedding is the likeliest source.
+		// Each job carries its receipt's compiled decode plan from the
+		// plan cache; a nil plan (compile error) falls back to the
+		// uncached path so the error surfaces exactly as before.
 		for i := len(recs) - 1; i >= 0; i-- {
 			jobs = append(jobs, pipeline.DetectJob{
 				Job:     pipeline.Job{ID: recs[i].ID, Doc: cd.doc},
 				Records: recs[i].Records,
 				Index:   cd.ix,
+				Plan:    s.detectPlanFor(rt, ownerID, recs[i].ID, recs[i].Records),
 			})
 			ids = append(ids, recs[i].ID)
 		}
@@ -803,11 +836,16 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 			lastErr = out.Err
 			continue
 		}
+		// A detected verdict always wins: a wrong receipt can tie on
+		// match fraction (few queries hit, all agree) while failing the
+		// coverage floor, and a strict > comparison would let that stale
+		// non-detection shadow the true receipt.
+		if out.Result.Detected {
+			bestRes, best = out.Result, i
+			break
+		}
 		if bestRes == nil || out.Result.MatchFraction > bestRes.MatchFraction {
 			bestRes, best = out.Result, i
-		}
-		if out.Result.Detected {
-			break
 		}
 	}
 	if bestRes == nil {
@@ -1087,6 +1125,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		topts.Records = rec.Records
+		topts.Plan = s.tracePlanFor(rt, ownerID, wantReceipt, rec.Records)
 		mode = "receipt"
 	}
 	var res *fingerprint.TraceResult

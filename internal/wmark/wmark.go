@@ -216,6 +216,25 @@ func NewVotes(n int) *Votes {
 	return &Votes{ones: make([]int, n), zeros: make([]int, n)}
 }
 
+// Reset clears the accumulator for reuse, resizing to n bits without
+// reallocating when capacity allows — what lets the decoder pool worker
+// accumulators instead of allocating fresh ones per document.
+func (v *Votes) Reset(n int) {
+	if cap(v.ones) < n {
+		v.ones = make([]int, n)
+		v.zeros = make([]int, n)
+	} else {
+		v.ones = v.ones[:n]
+		v.zeros = v.zeros[:n]
+		for i := range v.ones {
+			v.ones[i] = 0
+			v.zeros[i] = 0
+		}
+	}
+	v.total = 0
+	v.misses = 0
+}
+
 // Add records a vote: carrier for bit index idx observed value bit.
 func (v *Votes) Add(idx int, bit uint8) {
 	if idx < 0 || idx >= len(v.ones) {

@@ -1,0 +1,417 @@
+package xmltree
+
+// ParseBytes: a byte-slice fast path in front of Parse.
+//
+// The service parses every suspect document from an in-memory body, and
+// encoding/xml spends most of that time materializing strings: one per
+// name per occurrence, plus per-token buffers. parseFast tokenizes the
+// byte slice directly, interns element/attribute names (see intern.go)
+// and bulk-allocates nodes from a slab, cutting cold parse time and
+// allocations severalfold on the data-centric documents this system
+// handles.
+//
+// Correctness contract: for any input parseFast accepts, the tree is
+// byte-identical to what Parse builds (the equivalence fuzz target in
+// fastparse_test.go pins this). Anything outside its conservative
+// subset — non-ASCII bytes, namespaces, DTDs, processing instructions,
+// numeric character references, or any malformed input — makes it bail
+// out, and ParseBytes falls back to Parse so error messages and edge
+// semantics stay authoritative with encoding/xml. The subset is chosen
+// so the workloads that matter (ASCII data documents) always take the
+// fast path.
+
+import (
+	"bytes"
+	"strings"
+)
+
+// ParseBytes parses an XML document from an in-memory byte slice: the
+// fast tokenizer when the input is inside its subset, Parse otherwise.
+// The returned tree never aliases data.
+func ParseBytes(data []byte, opts ParseOptions) (*Node, error) {
+	if doc, ok := parseFast(data, opts); ok {
+		return doc, nil
+	}
+	return Parse(bytes.NewReader(data), opts)
+}
+
+// fastParser is one parseFast run.
+type fastParser struct {
+	data     []byte
+	pos      int
+	opts     ParseOptions
+	maxDepth int
+	slab     []Node
+	buf      []byte // scratch for entity-expanded text
+}
+
+// parseFast attempts the fast parse; ok is false when the input is
+// outside the supported subset (including all malformed inputs, which
+// the Parse fallback then rejects with the authoritative error).
+func parseFast(data []byte, opts ParseOptions) (*Node, bool) {
+	// ASCII prescan: restricting the fast path to ASCII (plus tab, LF,
+	// CR) sidesteps UTF-8 validation, XML char-range checks and
+	// multi-byte name rules entirely.
+	for _, c := range data {
+		if c >= 0x80 || (c < 0x20 && c != '\t' && c != '\n' && c != '\r') {
+			return nil, false
+		}
+	}
+	maxDepth := opts.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = DefaultMaxDepth
+	}
+	est := bytes.Count(data, []byte{'<'})
+	if est > 1<<20 {
+		est = 1 << 20
+	}
+	p := &fastParser{data: data, opts: opts, maxDepth: maxDepth, slab: make([]Node, est)}
+
+	// The XML declaration is only recognized at offset 0 (anywhere else
+	// bails to the strict parser); it is always dropped, but a non-UTF-8
+	// encoding declaration must bail so encoding/xml can reject it.
+	if bytes.HasPrefix(data, []byte("<?xml")) {
+		end := bytes.Index(data, []byte("?>"))
+		if end < 0 {
+			return nil, false
+		}
+		decl := data[5:end]
+		if len(decl) > 0 && decl[0] != ' ' && decl[0] != '\t' && decl[0] != '\n' && decl[0] != '\r' {
+			return nil, false // a PI whose target merely starts with "xml"
+		}
+		if i := bytes.Index(decl, []byte("encoding")); i >= 0 {
+			rest := decl[i+len("encoding"):]
+			j := bytes.IndexAny(rest, `"'`)
+			if j < 0 {
+				return nil, false
+			}
+			k := bytes.IndexByte(rest[j+1:], rest[j])
+			if k < 0 {
+				return nil, false
+			}
+			if !strings.EqualFold(string(rest[j+1:j+1+k]), "utf-8") {
+				return nil, false
+			}
+		}
+		p.pos = end + 2
+	}
+
+	doc := NewDocument()
+	cur := doc
+	depth := 0
+	sawElem := false
+
+	appendText := func(s string) bool {
+		// One call per raw token (text run, CDATA section), mirroring
+		// tokenBuilder.token's CharData case: the whitespace drop applies
+		// per token, before merging with a preceding text sibling.
+		if !p.opts.KeepWhitespaceText && isAllXMLSpace(s) {
+			return true
+		}
+		if cur == doc {
+			return isAllXMLSpace(s) // non-space chardata outside the root: bail
+		}
+		if k := len(cur.Children); k > 0 && cur.Children[k-1].Kind == TextNode {
+			cur.Children[k-1].Value += s
+			return true
+		}
+		t := p.node()
+		t.Kind = TextNode
+		t.Value = s
+		cur.AppendChild(t)
+		return true
+	}
+
+	for p.pos < len(p.data) {
+		if p.data[p.pos] != '<' {
+			s, ok := p.text('<')
+			if !ok || !appendText(s) {
+				return nil, false
+			}
+			continue
+		}
+		if p.pos+1 >= len(p.data) {
+			return nil, false
+		}
+		switch p.data[p.pos+1] {
+		case '?':
+			return nil, false // processing instructions
+		case '!':
+			rest := p.data[p.pos:]
+			switch {
+			case bytes.HasPrefix(rest, []byte("<!--")):
+				// encoding/xml rejects any interior "--" not followed by
+				// '>' even outside strict mode, so the comment must
+				// terminate at the first "--".
+				end := bytes.Index(rest[4:], []byte("--"))
+				if end < 0 || 4+end+2 >= len(rest) || rest[4+end+2] != '>' {
+					return nil, false
+				}
+				body := rest[4 : 4+end]
+				if p.opts.KeepComments {
+					if bytes.IndexByte(body, '\r') >= 0 {
+						return nil, false // CR handling differs; defer to Parse
+					}
+					cm := p.node()
+					cm.Kind = CommentNode
+					cm.Value = string(body)
+					cur.AppendChild(cm)
+				}
+				p.pos += 4 + end + 3
+			case bytes.HasPrefix(rest, []byte("<![CDATA[")):
+				end := bytes.Index(rest[9:], []byte("]]>"))
+				if end < 0 {
+					return nil, false
+				}
+				body := rest[9 : 9+end]
+				if bytes.IndexByte(body, '\r') >= 0 {
+					return nil, false // decoder normalizes CR even in CDATA
+				}
+				if !appendText(string(body)) {
+					return nil, false
+				}
+				p.pos += 9 + end + 3
+			default:
+				return nil, false // DOCTYPE and other directives
+			}
+		case '/':
+			p.pos += 2
+			name, ok := p.name()
+			if !ok {
+				return nil, false
+			}
+			p.space()
+			if !p.expect('>') {
+				return nil, false
+			}
+			if cur == doc || cur.Name != string(name) {
+				return nil, false
+			}
+			depth--
+			cur = cur.Parent
+		default:
+			p.pos++
+			name, ok := p.name()
+			if !ok {
+				return nil, false
+			}
+			depth++
+			if depth > p.maxDepth {
+				return nil, false
+			}
+			el := p.node()
+			el.Kind = ElementNode
+			el.Name = InternBytes(name)
+			selfClose := false
+			for {
+				p.space()
+				if p.pos >= len(p.data) {
+					return nil, false
+				}
+				c := p.data[p.pos]
+				if c == '>' {
+					p.pos++
+					break
+				}
+				if c == '/' {
+					p.pos++
+					if !p.expect('>') {
+						return nil, false
+					}
+					selfClose = true
+					break
+				}
+				an, ok := p.name()
+				if !ok || string(an) == "xmlns" {
+					return nil, false // namespace declarations need resolution
+				}
+				p.space()
+				if !p.expect('=') {
+					return nil, false
+				}
+				p.space()
+				if p.pos >= len(p.data) {
+					return nil, false
+				}
+				q := p.data[p.pos]
+				if q != '"' && q != '\'' {
+					return nil, false
+				}
+				p.pos++
+				av, ok := p.text(q)
+				if !ok || !p.expect(q) {
+					return nil, false
+				}
+				el.Attrs = append(el.Attrs, Attr{Name: InternBytes(an), Value: av})
+			}
+			cur.AppendChild(el)
+			if el.Parent == doc {
+				if sawElem {
+					return nil, false
+				}
+				sawElem = true
+			}
+			if selfClose {
+				depth--
+			} else {
+				cur = el
+			}
+		}
+	}
+	if cur != doc || !sawElem {
+		return nil, false
+	}
+	return doc, true
+}
+
+// node hands out the next slab node, falling back to the heap when the
+// estimate ran short.
+func (p *fastParser) node() *Node {
+	if len(p.slab) == 0 {
+		return &Node{}
+	}
+	n := &p.slab[0]
+	p.slab = p.slab[1:]
+	return n
+}
+
+// name reads one XML name, restricted to the ASCII subset encoding/xml
+// accepts for name characters — minus ':', which would engage
+// namespace resolution. The returned slice aliases p.data.
+func (p *fastParser) name() ([]byte, bool) {
+	start := p.pos
+	if p.pos >= len(p.data) {
+		return nil, false
+	}
+	c := p.data[p.pos]
+	if !(c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c == '_') {
+		return nil, false
+	}
+	p.pos++
+	for p.pos < len(p.data) {
+		c = p.data[p.pos]
+		if c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.' {
+			p.pos++
+			continue
+		}
+		if c == ':' {
+			return nil, false
+		}
+		break
+	}
+	return p.data[start:p.pos], true
+}
+
+// space skips XML whitespace.
+func (p *fastParser) space() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// expect consumes c or fails.
+func (p *fastParser) expect(c byte) bool {
+	if p.pos < len(p.data) && p.data[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// text reads character data until the stop byte ('<' for element
+// content, the quote for attribute values), expanding the five
+// predefined entities and normalizing \r\n and \r to \n exactly as
+// encoding/xml's text reader does. Numeric character references, other
+// entities, an embedded "]]>", or a stray '<' bail out. End of input
+// counts as a stop for element content (trailing whitespace after the
+// root) but not inside an attribute value.
+func (p *fastParser) text(stop byte) (string, bool) {
+	start := p.pos
+	i := p.pos
+	data := p.data
+	// Fast scan: no entity, no CR — return a direct slice copy.
+	for i < len(data) {
+		c := data[i]
+		if c == stop {
+			break
+		}
+		if c == '&' || c == '\r' || c == '<' {
+			goto slow
+		}
+		if c == '>' && i >= start+2 && data[i-1] == ']' && data[i-2] == ']' {
+			return "", false // unescaped "]]>"
+		}
+		i++
+	}
+	if i >= len(data) && stop != '<' {
+		return "", false
+	}
+	p.pos = i
+	return string(data[start:i]), true
+
+slow:
+	buf := p.buf[:0]
+	buf = append(buf, data[start:i]...)
+	for i < len(data) {
+		c := data[i]
+		if c == stop {
+			p.pos = i
+			p.buf = buf
+			return string(buf), true
+		}
+		switch c {
+		case '<':
+			// Unescaped '<' inside an attribute value (element content
+			// stops at '<' before reaching here).
+			return "", false
+		case '&':
+			semi := bytes.IndexByte(data[i+1:], ';')
+			if semi < 0 || semi > 4 {
+				return "", false
+			}
+			var r byte
+			switch string(data[i+1 : i+1+semi]) {
+			case "amp":
+				r = '&'
+			case "lt":
+				r = '<'
+			case "gt":
+				r = '>'
+			case "apos":
+				r = '\''
+			case "quot":
+				r = '"'
+			default:
+				return "", false // numeric refs and custom entities
+			}
+			buf = append(buf, r)
+			i += semi + 2
+		case '\r':
+			buf = append(buf, '\n')
+			i++
+			if i < len(data) && data[i] == '\n' {
+				i++
+			}
+		case '>':
+			if n := len(buf); n >= 2 && buf[n-1] == ']' && buf[n-2] == ']' {
+				return "", false
+			}
+			buf = append(buf, c)
+			i++
+		default:
+			buf = append(buf, c)
+			i++
+		}
+	}
+	if stop != '<' {
+		return "", false // unexpected EOF inside an attribute value
+	}
+	p.pos = i
+	p.buf = buf
+	return string(buf), true
+}

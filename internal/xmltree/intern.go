@@ -1,0 +1,61 @@
+package xmltree
+
+import "sync"
+
+// Name interning. Element and attribute names repeat endlessly — a
+// 1k-record document has thousands of elements drawn from a dozen tag
+// names — and the hot query paths compare names constantly. Interning
+// every name into one canonical string means (a) parsing N records
+// allocates each distinct name once instead of N times, and (b) every
+// later comparison between two interned names (tree node vs compiled
+// query step) short-circuits on Go's pointer-equality fast path before
+// any byte is inspected — effectively an integer compare.
+//
+// The table is global and append-only, capped so adversarial documents
+// full of unique tag names cannot grow it without bound; past the cap,
+// Intern degrades to identity (correct, just slower to compare).
+
+const internCap = 1 << 16
+
+var interner = struct {
+	mu sync.RWMutex
+	m  map[string]string
+}{m: make(map[string]string, 256)}
+
+// Intern returns the canonical instance of name, registering it if the
+// table has room. Safe for concurrent use.
+func Intern(name string) string {
+	interner.mu.RLock()
+	s, ok := interner.m[name]
+	interner.mu.RUnlock()
+	if ok {
+		return s
+	}
+	return internSlow(name)
+}
+
+// InternBytes is Intern for a byte-slice name, allocating the string
+// only on first sight (the map probe with a converted key does not
+// allocate).
+func InternBytes(b []byte) string {
+	interner.mu.RLock()
+	s, ok := interner.m[string(b)]
+	interner.mu.RUnlock()
+	if ok {
+		return s
+	}
+	return internSlow(string(b))
+}
+
+func internSlow(name string) string {
+	interner.mu.Lock()
+	defer interner.mu.Unlock()
+	if s, ok := interner.m[name]; ok {
+		return s
+	}
+	if len(interner.m) >= internCap {
+		return name
+	}
+	interner.m[name] = name
+	return name
+}

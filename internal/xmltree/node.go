@@ -235,6 +235,22 @@ func (n *Node) Text() string {
 	case CommentNode, ProcInstNode:
 		return ""
 	}
+	// Fast paths for the dominant shapes — empty elements and elements
+	// with a single content child — skip the builder entirely, which
+	// keeps warm detection's per-item Value() reads allocation-free.
+	switch len(n.Children) {
+	case 0:
+		return ""
+	case 1:
+		switch c := n.Children[0]; c.Kind {
+		case TextNode:
+			return c.Value
+		case ElementNode:
+			return c.Text()
+		default:
+			return ""
+		}
+	}
 	var sb strings.Builder
 	n.appendText(&sb)
 	return sb.String()

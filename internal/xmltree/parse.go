@@ -69,7 +69,7 @@ func (b *tokenBuilder) token(tok xml.Token) error {
 		for _, a := range t.Attr {
 			// Namespace declarations are preserved verbatim as
 			// attributes so that serialization round-trips.
-			el.Attrs = append(el.Attrs, Attr{Name: flatName(a.Name), Value: a.Value})
+			el.Attrs = append(el.Attrs, Attr{Name: Intern(flatName(a.Name)), Value: a.Value})
 		}
 		b.cur.AppendChild(el)
 		// Resolve namespaced names once the element's own xmlns
@@ -77,11 +77,11 @@ func (b *tokenBuilder) token(tok xml.Token) error {
 		// hands us resolved URLs; serializing those verbatim
 		// ("urn:x:b") would not reparse, so map each URL back to its
 		// in-scope prefix.
-		el.Name = resolveName(el, t.Name, false)
+		el.Name = Intern(resolveName(el, t.Name, false))
 		renamed := false
 		for i, a := range t.Attr {
 			if a.Name.Space != "" && a.Name.Space != "xmlns" {
-				el.Attrs[i].Name = resolveName(el, a.Name, true)
+				el.Attrs[i].Name = Intern(resolveName(el, a.Name, true))
 				renamed = true
 			}
 		}

@@ -3,6 +3,8 @@ package xpath
 import (
 	"fmt"
 	"strconv"
+
+	"wmxml/internal/xmltree"
 )
 
 // parser is a recursive-descent parser over the lexer with one token of
@@ -144,7 +146,9 @@ func (p *parser) parseStep() (Step, error) {
 		step.Axis = AxisAttribute
 		switch p.tok.kind {
 		case tokName:
-			step.Name = p.tok.text
+			// Interned so warm name comparisons against parsed trees hit
+			// the pointer-equality fast path (see xmltree/intern.go).
+			step.Name = xmltree.Intern(p.tok.text)
 		case tokStar:
 			step.Name = "*"
 		default:
@@ -184,7 +188,7 @@ func (p *parser) parseStep() (Step, error) {
 			step.Axis = AxisText
 		} else {
 			step.Axis = AxisChild
-			step.Name = name
+			step.Name = xmltree.Intern(name)
 		}
 	default:
 		return step, fmt.Errorf("xpath: expected step but found %s at offset %d in %q", p.tok, p.tok.pos, p.lex.src)
@@ -310,7 +314,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		}
 		// Rewind-free: continue parsing the path with the consumed name
 		// as its first step.
-		path := Path{Steps: []Step{{Axis: AxisChild, Name: name}}}
+		path := Path{Steps: []Step{{Axis: AxisChild, Name: xmltree.Intern(name)}}}
 		_ = savedPos
 		_ = savedTok
 		return p.parsePathExprFrom(path)

@@ -1,0 +1,236 @@
+package xpath
+
+// Scratch-buffer evaluation: the allocation-free twin of eval.go.
+//
+// The warm detect path evaluates one identity query per carrier against
+// a cached, indexed document — thousands of Plan.Eval calls per request,
+// each allocating a context slice, per-step result slices, and predicate
+// filter slices that all die microseconds later. A Scratch keeps two
+// reusable Item buffers (steps ping-pong between them so a step never
+// reads the buffer it writes) plus a dedup map, and the *Into variants
+// below append into them instead of allocating.
+//
+// Correctness contract: EvalScratch returns bit-for-bit the same items
+// in the same order as Eval. The scratch path reuses the exact predicate
+// and comparison machinery from eval.go; only the buffer management
+// differs, and the equivalence suite in scratch_test.go pins the two
+// paths together.
+//
+// Lifetime: the returned slice aliases the Scratch's buffers and is valid
+// only until the next call that uses the same Scratch. Callers must copy
+// or fully consume results first. A Scratch is not safe for concurrent
+// use; pool one per worker (core keeps them in a sync.Pool).
+
+import "wmxml/internal/xmltree"
+
+// Scratch holds reusable evaluation buffers for one evaluator at a time.
+// The zero value is ready to use.
+type Scratch struct {
+	a, b []Item
+	seen map[Item]bool
+}
+
+// evalStepsScratch drives a context (which must occupy sc.a) through the
+// steps, alternating between sc.a and sc.b.
+func (sc *Scratch) evalSteps(ctx []Item, steps []Step) []Item {
+	intoB := true
+	for _, step := range steps {
+		var dst []Item
+		if intoB {
+			dst = sc.b[:0]
+		} else {
+			dst = sc.a[:0]
+		}
+		dst = sc.evalStepInto(dst, ctx, step)
+		if intoB {
+			sc.b = dst[:len(dst):cap(dst)]
+		} else {
+			sc.a = dst[:len(dst):cap(dst)]
+		}
+		ctx = dst
+		intoB = !intoB
+		if len(ctx) == 0 {
+			return nil
+		}
+	}
+	return ctx
+}
+
+// evalStepInto is evalStep writing into dst. dst must not alias ctx.
+func (sc *Scratch) evalStepInto(dst, ctx []Item, step Step) []Item {
+	if len(ctx) == 1 {
+		// Single-item context: no duplicate tracking needed (mirrors
+		// evalStep's fast path).
+		dst = stepInto(dst, ctx[0], step)
+		return applyPredicatesInPlace(dst, step.Predicates)
+	}
+	if sc.seen == nil {
+		sc.seen = make(map[Item]bool)
+	} else {
+		clear(sc.seen)
+	}
+	for _, c := range ctx {
+		start := len(dst)
+		dst = stepInto(dst, c, step)
+		kept := applyPredicatesInPlace(dst[start:], step.Predicates)
+		// Dedup-compact the group back onto dst[start:]; the write index
+		// never overtakes the read index, so in-place is safe.
+		w := start
+		for _, it := range kept {
+			if !sc.seen[it] {
+				sc.seen[it] = true
+				dst[w] = it
+				w++
+			}
+		}
+		dst = dst[:w]
+	}
+	return dst
+}
+
+// stepInto is stepFrom appending into dst instead of allocating.
+func stepInto(dst []Item, c Item, step Step) []Item {
+	if c.Attr != "" {
+		// Attributes have no children; only self survives.
+		if step.Axis == AxisSelf {
+			return append(dst, c)
+		}
+		return dst
+	}
+	n := c.Node
+	switch step.Axis {
+	case AxisChild:
+		for _, ch := range n.Children {
+			if ch.Kind == xmltree.ElementNode && (step.Name == "*" || ch.Name == step.Name) {
+				dst = append(dst, Item{Node: ch})
+			}
+		}
+		return dst
+	case AxisDescendant:
+		for _, ch := range n.Children {
+			xmltree.Walk(ch, func(x *xmltree.Node) bool {
+				if x.Kind == xmltree.ElementNode && (step.Name == "*" || x.Name == step.Name) {
+					dst = append(dst, Item{Node: x})
+				}
+				return true
+			})
+		}
+		return dst
+	case AxisAttribute:
+		if n.Kind != xmltree.ElementNode {
+			return dst
+		}
+		if step.Name == "*" {
+			for _, a := range n.Attrs {
+				dst = append(dst, Item{Node: n, Attr: a.Name})
+			}
+			return dst
+		}
+		if n.HasAttr(step.Name) {
+			dst = append(dst, Item{Node: n, Attr: step.Name})
+		}
+		return dst
+	case AxisSelf:
+		return append(dst, c)
+	case AxisParent:
+		if n.Parent != nil {
+			return append(dst, Item{Node: n.Parent})
+		}
+		return dst
+	case AxisText:
+		for _, ch := range n.Children {
+			if ch.Kind == xmltree.TextNode {
+				dst = append(dst, Item{Node: ch})
+			}
+		}
+		return dst
+	default:
+		return dst
+	}
+}
+
+// applyPredicatesInPlace is applyPredicates filtering the group in place.
+// The write index never overtakes the read index, so left-compaction
+// while iterating is safe; callers must own the slice's backing array.
+// Predicate *expressions* still evaluate through the shared machinery in
+// eval.go (nested sub-paths there may allocate, but the warm identity
+// queries route their one predicate through the key-value index and
+// arrive here with preds empty).
+func applyPredicatesInPlace(group []Item, preds []Expr) []Item {
+	for _, pred := range preds {
+		if len(group) == 0 {
+			return group
+		}
+		size := len(group)
+		w := 0
+		for i, it := range group {
+			ec := evalCtx{item: it, position: i + 1, size: size}
+			v := evalExpr(pred, ec)
+			keep := false
+			if num, ok := v.(float64); ok {
+				// A bare numeric predicate means position()=N.
+				keep = float64(ec.position) == num
+			} else {
+				keep = truth(v)
+			}
+			if keep {
+				group[w] = it
+				w++
+			}
+		}
+		group = group[:w]
+	}
+	return group
+}
+
+// EvalScratch is Eval using sc's buffers for every intermediate and the
+// final result. The returned slice aliases sc and is valid only until
+// sc's next use; a nil sc degrades to Eval. Fallback shapes (walk plans,
+// uncovered roots, grouped positional predicates) take the allocating
+// tree walk exactly as Eval does — the scratch optimization only targets
+// index-served shapes, which is all the hot path emits.
+func (pl *Plan) EvalScratch(root *xmltree.Node, ix DocIndex, sc *Scratch) []Item {
+	if sc == nil {
+		return pl.Eval(root, ix)
+	}
+	if pl.kind != planIndexed || ix == nil || !pl.rootOK(root, ix) {
+		return pl.path.Eval(root)
+	}
+	var nodes []*xmltree.Node
+	if pl.useKV {
+		nodes = ix.Lookup(pl.scope, pl.selRel, pl.selValue)
+	} else {
+		nodes = ix.ScopeElements(pl.scope)
+	}
+	if len(nodes) == 0 {
+		return nil
+	}
+	ctx := sc.a[:0]
+	for _, e := range nodes {
+		ctx = append(ctx, Item{Node: e})
+	}
+	sc.a = ctx[:len(ctx):cap(ctx)]
+	if len(pl.preds) > 0 {
+		// Position-dependent predicates are evaluated per parent group by
+		// the tree walk; the flattened candidate list only matches when
+		// there is provably a single group.
+		if !pl.predsPosFree && !pl.singleGroup(ix) {
+			return pl.path.Eval(root)
+		}
+		ctx = applyPredicatesInPlace(ctx, pl.preds)
+		if len(ctx) == 0 {
+			return nil
+		}
+	}
+	return sc.evalSteps(ctx, pl.tail)
+}
+
+// SelectIndexedScratch is SelectIndexed evaluating through sc's reusable
+// buffers. The returned slice aliases sc and is valid only until sc's
+// next use; a nil index or nil sc degrades to the allocating paths.
+func (q *Query) SelectIndexedScratch(root *xmltree.Node, ix DocIndex, sc *Scratch) []Item {
+	if ix == nil {
+		return q.path.Eval(root)
+	}
+	return q.Plan().EvalScratch(root, ix, sc)
+}

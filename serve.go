@@ -70,6 +70,10 @@ type ServerOptions struct {
 	// CacheEntries sizes the suspect-document LRU keyed by body hash
 	// (0 = 128; negative disables).
 	CacheEntries int
+	// CacheBytes caps the suspect-document LRU's total weight in
+	// source-body bytes (0 = 256 MiB; negative removes the byte bound).
+	// Bodies larger than the cap are served but never cached.
+	CacheBytes int64
 	// AllowUnauthenticated disables the Bearer-key check on
 	// owner-scoped endpoints. By default every embed/detect/verify/
 	// receipts request must present the owner's secret key
@@ -98,6 +102,7 @@ func NewServerHandler(opts ServerOptions) (http.Handler, error) {
 		StreamChunkSize:      opts.StreamChunkSize,
 		MaxDepth:             opts.MaxDepth,
 		CacheEntries:         opts.CacheEntries,
+		CacheBytes:           opts.CacheBytes,
 		AllowUnauthenticated: opts.AllowUnauthenticated,
 		Version:              opts.Version,
 	})

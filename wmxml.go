@@ -99,6 +99,15 @@ func ParseXMLString(s string) (*Document, error) {
 	return xmltree.ParseString(s)
 }
 
+// ParseXMLBytes parses an XML document from an in-memory byte slice
+// through the fast byte tokenizer (interned names, slab-allocated
+// nodes), falling back to the strict reader-based parser for anything
+// outside its subset. The tree is identical to ParseXMLWithOptions on
+// the same bytes and never aliases data.
+func ParseXMLBytes(data []byte, opts ParseOptions) (*Document, error) {
+	return xmltree.ParseBytes(data, opts)
+}
+
 // SerializeXML renders a document as pretty-printed XML.
 func SerializeXML(w io.Writer, doc *Document) error {
 	return xmltree.Serialize(w, doc, xmltree.SerializeOptions{Indent: "  "})
@@ -343,6 +352,36 @@ func (s *System) DetectBlindIndexed(doc *Document, ix *DocumentIndex) (*Detectio
 		return nil, err
 	}
 	return toDetection(res), nil
+}
+
+// DetectionPlan is the compile-once / detect-many form of Detect: the
+// safeguarded query set is parsed, rewritten and keyed exactly once at
+// compile time, so each DetectIndexed call pays only the per-document
+// work (index lookups and bit extraction) through pooled internal
+// buffers. On a cached document index the warm path allocates close to
+// nothing beyond the returned verdict. A plan is immutable and safe
+// for concurrent use from any number of goroutines.
+type DetectionPlan struct {
+	plan *core.DecodePlan
+}
+
+// CompileDetection compiles Q into a reusable detection plan. rw may
+// be nil when suspects keep the original schema. Verdicts from the
+// plan are bit-for-bit identical to System.DetectIndexed with the same
+// records and rewriter.
+func (s *System) CompileDetection(records []QueryRecord, rw Rewriter) (*DetectionPlan, error) {
+	p, err := core.CompileDecodePlan(s.cfg, records, rw)
+	if err != nil {
+		return nil, err
+	}
+	return &DetectionPlan{plan: p}, nil
+}
+
+// DetectIndexed runs the compiled plan against a suspect document. ix
+// may be nil (an index is then built per call; pass a cached one to
+// stay on the warm path).
+func (p *DetectionPlan) DetectIndexed(doc *Document, ix *DocumentIndex) *Detection {
+	return toDetection(p.plan.Detect(doc, ix))
 }
 
 // MarshalReceipt renders Q as JSON for safekeeping.
