@@ -41,6 +41,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,6 +98,7 @@ func main() {
 	hugedocReps := fs.Int("hugedoc-reps", 11, "repetitions per small-document class in --hugedoc mode")
 	deliver := fs.Int("deliver", 0, "run the local plan-splice delivery sweep for N recipients instead of driving a daemon (0 = off)")
 	deliverReps := fs.Int("deliver-reps", 9, "repetitions of the plan compile and full-embed baseline in --deliver mode")
+	scrape := fs.Bool("scrape", false, "fetch /metrics after the run, embed key server-side series into the report, and print the stage breakdown")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -117,14 +120,14 @@ func main() {
 	}
 
 	if err := run(*url, *owner, *key, *mark, *dataset, *size, *seed, *gamma,
-		*requests, *concurrency, *embedEvery, *coldEvery, *fpEvery, *traceEvery, *out, *waitFor); err != nil {
+		*requests, *concurrency, *embedEvery, *coldEvery, *fpEvery, *traceEvery, *out, *waitFor, *scrape); err != nil {
 		fmt.Fprintf(os.Stderr, "wmload: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func run(url, owner, key, mark, dataset string, size int, seed int64, gamma,
-	requests, concurrency, embedEvery, coldEvery, fpEvery, traceEvery int, out string, waitFor time.Duration) error {
+	requests, concurrency, embedEvery, coldEvery, fpEvery, traceEvery int, out string, waitFor time.Duration, scrape bool) error {
 	client := &http.Client{Timeout: 2 * time.Minute}
 
 	// 1. Wait for the daemon.
@@ -219,6 +222,14 @@ func run(url, owner, key, mark, dataset string, size int, seed int64, gamma,
 		rep.Results = append(rep.Results, lr)
 	} else {
 		fmt.Fprintf(os.Stderr, "wmload: local decode class skipped: %v\n", lerr)
+	}
+	if scrape {
+		if sr, serr := scrapeResult(client, url); serr == nil {
+			rep.Results = append(rep.Results, sr)
+			printStageBreakdown(sr)
+		} else {
+			fmt.Fprintf(os.Stderr, "wmload: metrics scrape skipped: %v\n", serr)
+		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -403,6 +414,130 @@ func post(client *http.Client, key, url string, body []byte) ([]byte, http.Heade
 		return nil, nil, fmt.Errorf("%s: %d %s", url, resp.StatusCode, bytes.TrimSpace(data))
 	}
 	return data, resp.Header, nil
+}
+
+// scrapeResult fetches the daemon's /metrics exposition and folds the
+// series that explain the latency classes above into one benchjson
+// result: per-stage mean latencies from the wmxmld_stage_seconds
+// histograms, cache hit/miss counts, and op totals. Where the client
+// samples say how long a request took, this says where the time went —
+// server-side, from the same run.
+func scrapeResult(client *http.Client, url string) (benchResult, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return benchResult{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return benchResult{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return benchResult{}, fmt.Errorf("/metrics: %d", resp.StatusCode)
+	}
+	m := map[string]float64{}
+	stageSum := map[string]float64{}
+	stageCount := map[string]float64{}
+	scalars := map[string]string{
+		"wmxmld_doc_cache_hits_total":    "doc_cache_hits",
+		"wmxmld_doc_cache_misses_total":  "doc_cache_misses",
+		"wmxmld_plan_cache_hits_total":   "plan_cache_hits",
+		"wmxmld_plan_cache_misses_total": "plan_cache_misses",
+		"wmxmld_embeds_total":            "embeds",
+		"wmxmld_detects_total":           "detects",
+		"wmxmld_fingerprints_total":      "fingerprints",
+		"wmxmld_traces_total":            "traces",
+		"wmxmld_delivers_total":          "delivers",
+		"wmxmld_uptime_seconds":          "uptime_seconds",
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		name, labels, value, ok := parsePromLine(line)
+		if !ok {
+			continue
+		}
+		switch name {
+		case "wmxmld_stage_seconds_sum":
+			stageSum[labels["stage"]] += value
+		case "wmxmld_stage_seconds_count":
+			stageCount[labels["stage"]] += value
+		default:
+			if key, want := scalars[name]; want {
+				m[key] = value
+			}
+		}
+	}
+	for stage, n := range stageCount {
+		if n > 0 {
+			m["stage_"+stage+"_mean_ns"] = stageSum[stage] / n * 1e9
+			m["stage_"+stage+"_count"] = n
+		}
+	}
+	if len(m) == 0 {
+		return benchResult{}, fmt.Errorf("/metrics exposition had no recognized series")
+	}
+	return benchResult{Name: "ServerScrape", Iterations: 1, Metrics: m}, nil
+}
+
+// printStageBreakdown writes the scraped per-stage means to stderr,
+// slowest first.
+func printStageBreakdown(r benchResult) {
+	type row struct {
+		stage string
+		mean  float64
+		count float64
+	}
+	var rows []row
+	for k, v := range r.Metrics {
+		if stage, found := strings.CutPrefix(k, "stage_"); found {
+			if stage, found = strings.CutSuffix(stage, "_mean_ns"); found {
+				rows = append(rows, row{stage, v, r.Metrics["stage_"+stage+"_count"]})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].mean > rows[j].mean })
+	fmt.Fprintf(os.Stderr, "wmload: server stage breakdown (/metrics):\n")
+	for _, rw := range rows {
+		fmt.Fprintf(os.Stderr, "  stage %-14s n=%-6.0f mean=%s\n", rw.stage, rw.count, time.Duration(rw.mean))
+	}
+}
+
+// parsePromLine parses one Prometheus text-format sample line into
+// name, labels and value. Comment lines, blank lines and malformed
+// lines report ok=false. Label values are unescaped enough for the
+// label vocabulary wmxmld emits (no embedded quotes or newlines).
+func parsePromLine(line string) (name string, labels map[string]string, value float64, ok bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return "", nil, 0, false
+	}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return "", nil, 0, false
+		}
+		name = line[:i]
+		labels = map[string]string{}
+		for _, pair := range strings.Split(line[i+1:j], ",") {
+			k, v, found := strings.Cut(pair, "=")
+			if !found {
+				continue
+			}
+			labels[strings.TrimSpace(k)] = strings.Trim(strings.TrimSpace(v), `"`)
+		}
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		var found bool
+		name, rest, found = strings.Cut(line, " ")
+		if !found {
+			return "", nil, 0, false
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	return name, labels, v, true
 }
 
 // report folds samples into benchjson-shaped results; allocs carries

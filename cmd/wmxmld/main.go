@@ -9,6 +9,7 @@
 //	       [--cache N] [--doc-cache-bytes BYTES] [--max-body BYTES]
 //	       [--max-depth N] [--queue-timeout 10s] [--no-sync]
 //	       [--compact-on-start] [--insecure-no-auth] [--pprof-addr ADDR]
+//	       [--log-level info] [--log-format json] [--trace-ring 32]
 //
 // API (see README "Running the service" for a curl walkthrough):
 //
@@ -26,6 +27,15 @@
 //	GET  /healthz                      liveness (includes the build version)
 //	GET  /metrics                      Prometheus text metrics
 //
+// Observability: every request gets an id — a client-sent W3C
+// `traceparent` header's trace-id, or a fresh random one — returned in
+// the X-Request-Id response header and in every error body. Structured
+// logs (one access-log line per request plus full-fidelity error
+// records) go to stderr as JSON (--log-format text for logfmt-style
+// lines; --log-level debug|info|warn|error). The --pprof-addr listener
+// additionally serves GET /debug/traces: the --trace-ring most recent
+// and slowest request traces with per-stage timings.
+//
 // Owner-scoped requests authenticate with the owner's secret key:
 // `Authorization: Bearer <key>`. Re-registering an existing owner id
 // likewise requires the current key. --insecure-no-auth disables the
@@ -42,15 +52,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
-	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"wmxml"
+	"wmxml/internal/obs"
 	"wmxml/internal/registry"
 )
 
@@ -71,13 +79,16 @@ func main() {
 	workers := fs.Int("workers", 0, "max concurrently executing operations (0 = number of CPUs)")
 	cache := fs.Int("cache", 0, "suspect-document cache entries (0 = 128, -1 = off)")
 	cacheBytes := fs.Int64("doc-cache-bytes", 0, "suspect-document cache byte cap, weighted by body size (0 = 256 MiB, -1 = unbounded)")
-	pprofAddr := fs.String("pprof-addr", "", "serve /debug/pprof on this separate address (empty = off; keep it off the public interface)")
+	pprofAddr := fs.String("pprof-addr", "", "serve /debug/pprof and /debug/traces on this separate address (empty = off; keep it off the public interface)")
 	maxBody := fs.Int64("max-body", 0, "request body cap in bytes (0 = 32 MiB)")
 	maxStream := fs.Int64("max-stream", 0, "streaming-endpoint body cap in bytes (0 = 4 GiB)")
 	streamChunk := fs.Int("stream-chunk", 0, "records per chunk on the streaming endpoints (0 = 256)")
 	maxDepth := fs.Int("max-depth", 0, "XML nesting cap (0 = library default)")
 	queueTimeout := fs.Duration("queue-timeout", 10*time.Second, "max wait for a worker slot before 503")
 	noAuth := fs.Bool("insecure-no-auth", false, "serve without Bearer-key authentication (trusted networks only)")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug|info|warn|error")
+	logFormat := fs.String("log-format", "json", "log line format: json|text")
+	traceRing := fs.Int("trace-ring", 0, "request traces retained for /debug/traces (0 = 32, -1 = tracing off)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -85,6 +96,15 @@ func main() {
 		fmt.Printf("wmxmld %s\n", version)
 		return
 	}
+	if _, err := obs.ParseLevel(*logLevel); err != nil {
+		fmt.Fprintf(os.Stderr, "wmxmld: %v\n", err)
+		os.Exit(2)
+	}
+
+	// The daemon's own lifecycle lines go through the same structured
+	// logger the server uses for its access log, so stderr is uniformly
+	// machine-parseable.
+	logger := obs.NewLogger(os.Stderr, obs.LogOptions{Level: *logLevel, Format: *logFormat})
 
 	var store wmxml.ReceiptStore
 	if *regPath != "" {
@@ -93,42 +113,28 @@ func main() {
 			CompactOnOpen: *compact,
 		})
 		if err != nil {
-			log.Fatalf("wmxmld: %v", err)
+			logger.Error("registry open failed", "path", *regPath, "error", err.Error())
+			os.Exit(1)
 		}
 		defer f.Close()
 		store = f
 		owners, _ := f.ListOwners()
-		log.Printf("wmxmld: registry %s: %d owners", *regPath, len(owners))
+		logger.Info("registry opened", "path", *regPath, "owners", len(owners))
 	} else {
 		store = wmxml.NewMemoryRegistry()
-		log.Printf("wmxmld: in-memory registry (state is lost on exit)")
+		logger.Info("in-memory registry (state is lost on exit)")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	if *noAuth {
-		log.Printf("wmxmld: WARNING: --insecure-no-auth — any peer can act as any owner")
+		logger.Warn("running with --insecure-no-auth: any peer can act as any owner")
 	}
 	if *pprofAddr != "" {
-		// The profiler gets its own listener and mux so it never shares
-		// a port (or an accidental route) with the public API; the mux
-		// is explicit rather than http.DefaultServeMux to keep the
-		// exposure to exactly the pprof handlers.
-		pm := http.NewServeMux()
-		pm.HandleFunc("/debug/pprof/", pprof.Index)
-		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		go func() {
-			log.Printf("wmxmld: pprof on %s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
-				log.Printf("wmxmld: pprof listener: %v", err)
-			}
-		}()
+		logger.Info("debug listener", "addr", *pprofAddr, "endpoints", "/debug/pprof/, /debug/traces")
 	}
-	log.Printf("wmxmld %s: listening on %s", version, *addr)
+	logger.Info("listening", "addr", *addr, "version", version)
 	err := wmxml.Serve(ctx, wmxml.ServerOptions{
 		Addr:                 *addr,
 		Registry:             store,
@@ -142,10 +148,15 @@ func main() {
 		CacheBytes:           *cacheBytes,
 		AllowUnauthenticated: *noAuth,
 		Version:              version,
+		LogWriter:            os.Stderr,
+		LogLevel:             *logLevel,
+		LogFormat:            *logFormat,
+		TraceRing:            *traceRing,
+		DebugAddr:            *pprofAddr,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wmxmld: %v\n", err)
+		logger.Error("server exited", "error", err.Error())
 		os.Exit(1)
 	}
-	log.Printf("wmxmld: shut down cleanly")
+	logger.Info("shut down cleanly")
 }

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"wmxml/internal/index"
+	"wmxml/internal/obs"
 	"wmxml/internal/wmark"
 	"wmxml/internal/xmltree"
 	"wmxml/internal/xpath"
@@ -134,7 +135,30 @@ func (p *DecodePlan) Decode(doc *xmltree.Node, ix *index.Index) *DecodeResult {
 
 // Detect is Decode scored against the plan's mark.
 func (p *DecodePlan) Detect(doc *xmltree.Node, ix *index.Index) *DetectResult {
-	return ScoreDecode(p.Decode(doc, ix), p.cfg)
+	return p.DetectTraced(doc, ix, nil)
+}
+
+// DetectTraced is Detect emitting "decode" and "vote" stage spans on
+// tr. A nil tr records nothing and adds no allocations over Detect
+// (pinned by TestDecodePlanTracedNoopAllocs) — this is the entry point
+// instrumented callers use unconditionally.
+func (p *DecodePlan) DetectTraced(doc *xmltree.Node, ix *index.Index, tr *obs.Trace) *DetectResult {
+	dsp := tr.StartSpan("decode")
+	dec := p.Decode(doc, ix)
+	dsp.End()
+	vsp := tr.StartSpan("vote")
+	res := ScoreDecode(dec, p.cfg)
+	vsp.End()
+	return res
+}
+
+// DecodeTraced is Decode wrapped in a "decode" stage span on tr (nil
+// tr records nothing).
+func (p *DecodePlan) DecodeTraced(doc *xmltree.Node, ix *index.Index, tr *obs.Trace) *DecodeResult {
+	dsp := tr.StartSpan("decode")
+	dec := p.Decode(doc, ix)
+	dsp.End()
+	return dec
 }
 
 // DecodeIntoScratch is DecodeInto evaluating the query through sc's

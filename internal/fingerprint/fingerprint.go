@@ -45,6 +45,7 @@ import (
 	"wmxml/internal/core"
 	"wmxml/internal/identity"
 	"wmxml/internal/index"
+	"wmxml/internal/obs"
 	"wmxml/internal/schema"
 	"wmxml/internal/semantics"
 	"wmxml/internal/wmark"
@@ -283,6 +284,9 @@ type TraceOptions struct {
 	// warm path for repeated traces of one owner's receipts. The plan's
 	// mark length must equal PayloadBits.
 	Plan *core.DecodePlan
+	// Trace receives "decode" and "correlate" stage spans when the call
+	// runs under an instrumented request; nil records nothing.
+	Trace *obs.Trace
 }
 
 // Trace decodes the suspect document once and scores every candidate
@@ -294,6 +298,7 @@ func (s *System) Trace(doc *xmltree.Node, candidates []string, opts TraceOptions
 	}
 	var dec *core.DecodeResult
 	var err error
+	dsp := opts.Trace.StartSpan("decode")
 	switch {
 	case opts.Plan != nil:
 		if got := opts.Plan.MarkLen(); got != s.PayloadBits() {
@@ -307,10 +312,14 @@ func (s *System) Trace(doc *xmltree.Node, candidates []string, opts TraceOptions
 		cfg := s.configFor(make(wmark.Bits, s.PayloadBits()))
 		dec, err = core.DecodeBlindIndexed(doc, cfg, opts.Index)
 	}
+	dsp.End()
 	if err != nil {
 		return nil, err
 	}
-	return s.scoreVotes(dec, candidates), nil
+	csp := opts.Trace.StartSpan("correlate")
+	res := s.scoreVotes(dec, candidates)
+	csp.End()
+	return res, nil
 }
 
 // scoreVotes folds the replicated payload votes onto the base code and

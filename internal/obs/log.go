@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// Logger is the service's structured logger: a leveled slog front-end
+// with an atomically adjustable level and JSON or text output. A nil
+// *Logger discards everything — the library default, so packages log
+// unconditionally and pay nothing outside the daemon.
+type Logger struct {
+	s    *slog.Logger
+	lvl  *slog.LevelVar
+	drop atomic.Uint64 // records suppressed below the level (observability of the logger itself)
+}
+
+// LogOptions configures NewLogger.
+type LogOptions struct {
+	// Level is the minimum level: debug | info | warn | error
+	// (default info).
+	Level string
+	// Format is json (default) or text.
+	Format string
+}
+
+// ParseLevel maps a level name to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (debug|info|warn|error)", s)
+}
+
+// NewLogger builds a logger writing structured lines to w. An unknown
+// level or format falls back to info/json rather than failing — a
+// daemon must not die over a typo'd log flag (the flag parser reports
+// it separately).
+func NewLogger(w io.Writer, opts LogOptions) *Logger {
+	lvl := new(slog.LevelVar)
+	if l, err := ParseLevel(opts.Level); err == nil {
+		lvl.Set(l)
+	}
+	hopts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	if strings.EqualFold(opts.Format, "text") {
+		h = slog.NewTextHandler(w, hopts)
+	} else {
+		h = slog.NewJSONHandler(w, hopts)
+	}
+	return &Logger{s: slog.New(h), lvl: lvl}
+}
+
+// SetLevel atomically adjusts the minimum level.
+func (l *Logger) SetLevel(level string) error {
+	if l == nil {
+		return nil
+	}
+	v, err := ParseLevel(level)
+	if err != nil {
+		return err
+	}
+	l.lvl.Set(v)
+	return nil
+}
+
+// Enabled reports whether records at lv currently pass the level gate.
+func (l *Logger) Enabled(lv slog.Level) bool {
+	return l != nil && lv >= l.lvl.Level()
+}
+
+// With returns a logger that adds the given key/value pairs to every
+// record (per-request fields: request id, owner, route).
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{s: l.s.With(args...), lvl: l.lvl}
+}
+
+// Dropped reports how many records the level gate suppressed.
+func (l *Logger) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.drop.Load()
+}
+
+func (l *Logger) log(lv slog.Level, msg string, args ...any) {
+	if l == nil {
+		return
+	}
+	if lv < l.lvl.Level() {
+		l.drop.Add(1)
+		return
+	}
+	l.s.Log(context.Background(), lv, msg, args...)
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, args ...any) { l.log(slog.LevelDebug, msg, args...) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, args ...any) { l.log(slog.LevelInfo, msg, args...) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, args ...any) { l.log(slog.LevelWarn, msg, args...) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, args ...any) { l.log(slog.LevelError, msg, args...) }

@@ -1,0 +1,89 @@
+// Package obs is WmXML's zero-dependency telemetry core: request-scoped
+// span tracing, structured logging and trace retention for the serving
+// layer — the per-request, per-stage window the aggregate /metrics
+// histograms cannot give.
+//
+// The design constraints, in order:
+//
+//  1. Free when off. Every instrumented layer (core decode plans, the
+//     pipeline engine, stream chunk workers, delivery splices) calls
+//     StartSpan/End unconditionally; when no trace rides the context —
+//     every library call outside the daemon — the *Trace receiver is
+//     nil, StartSpan returns a zero-value handle, and the whole path
+//     compiles down to a nil check. The warm-detect allocation budget
+//     (internal/core TestDecodePlanTracedNoopAllocs) pins this at ≤ 2
+//     extra allocations, and in practice it is zero.
+//  2. Request-scoped, not process-scoped. A Trace is created per HTTP
+//     request, carried via context.Context, and records monotonic
+//     stage timings (parse, index, decode, vote, splice, registry,
+//     cache lookups with hit/miss notes). Completed traces fold into
+//     per-stage histograms and land in a TraceRing served from the
+//     admin listener as /debug/traces.
+//  3. Interoperable ids. An incoming W3C `traceparent` header is
+//     ingested (its trace-id becomes the request id) and echoed with a
+//     fresh span id; without one a random 128-bit id is generated. The
+//     id is returned in the X-Request-Id response header and in every
+//     error body, so a client can quote one opaque token instead of an
+//     internal error chain.
+//
+// Logging is a thin, level-atomic wrapper over log/slog (stdlib): JSON
+// or logfmt-style text lines with per-request fields. Nil *Logger is a
+// valid no-op receiver, like nil *Trace.
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// newID returns a 128-bit random hex id — the same shape as a W3C
+// trace-id, so generated and ingested request ids are interchangeable.
+func newID() string {
+	var b [16]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// newSpanID returns the 64-bit hex parent-id used when echoing a
+// traceparent.
+func newSpanID() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// isHex reports whether s is entirely lowercase-hex and not all zeros
+// (the traceparent spec forbids all-zero ids).
+func isHex(s string) bool {
+	zero := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// ParseTraceparent extracts the trace-id from a W3C traceparent header
+// ("00-<32 hex>-<16 hex>-<2 hex>"). ok is false for anything
+// malformed; the caller then generates a fresh id.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	// version "00" is the only one defined; a future version may add
+	// fields but keeps the prefix shape, so accept any 2-hex version
+	// except the invalid "ff".
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", false
+	}
+	ver, tid, pid := h[0:2], h[3:35], h[36:52]
+	if ver == "ff" || !isHex(ver) && ver != "00" || !isHex(tid) || !isHex(pid) {
+		return "", false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return "", false
+	}
+	return tid, true
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync/atomic"
+)
+
+// TraceRing retains the K most recent and the K slowest completed
+// traces. Add is lock-free: the recent ring is a fixed slot array of
+// atomic pointers behind a monotone position counter, and the slowest
+// list is an immutable sorted slice swapped by compare-and-swap — a
+// request completion never blocks on another.
+//
+// A nil *TraceRing is a valid disabled ring (Add and the accessors are
+// no-ops), mirroring the nil *Trace convention.
+type TraceRing struct {
+	k       int
+	pos     atomic.Uint64
+	recent  []atomic.Pointer[Snapshot]
+	slowest atomic.Pointer[[]*Snapshot] // sorted by DurationUS descending, immutable
+}
+
+// NewTraceRing builds a ring keeping k recent and k slowest traces;
+// k <= 0 returns nil (retention disabled).
+func NewTraceRing(k int) *TraceRing {
+	if k <= 0 {
+		return nil
+	}
+	r := &TraceRing{k: k, recent: make([]atomic.Pointer[Snapshot], k)}
+	empty := make([]*Snapshot, 0)
+	r.slowest.Store(&empty)
+	return r
+}
+
+// Add folds one completed trace into both retentions.
+func (r *TraceRing) Add(s *Snapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	i := r.pos.Add(1) - 1
+	r.recent[i%uint64(r.k)].Store(s)
+	for {
+		oldp := r.slowest.Load()
+		old := *oldp
+		if len(old) >= r.k && s.DurationUS <= old[len(old)-1].DurationUS {
+			return // not among the slowest K
+		}
+		next := make([]*Snapshot, 0, len(old)+1)
+		next = append(next, old...)
+		next = append(next, s)
+		sort.SliceStable(next, func(a, b int) bool { return next[a].DurationUS > next[b].DurationUS })
+		if len(next) > r.k {
+			next = next[:r.k]
+		}
+		if r.slowest.CompareAndSwap(oldp, &next) {
+			return
+		}
+	}
+}
+
+// Recent returns up to K most recent traces, newest first.
+func (r *TraceRing) Recent() []*Snapshot {
+	if r == nil {
+		return nil
+	}
+	pos := r.pos.Load()
+	n := min(pos, uint64(r.k))
+	out := make([]*Snapshot, 0, n)
+	for off := uint64(1); off <= n; off++ {
+		if s := r.recent[(pos-off)%uint64(r.k)].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Slowest returns up to K slowest traces, slowest first.
+func (r *TraceRing) Slowest() []*Snapshot {
+	if r == nil {
+		return nil
+	}
+	return *r.slowest.Load()
+}
+
+// ringPage is the /debug/traces JSON document.
+type ringPage struct {
+	RingSize int         `json:"ring_size"`
+	Seen     uint64      `json:"seen"`
+	Recent   []*Snapshot `json:"recent"`
+	Slowest  []*Snapshot `json:"slowest"`
+}
+
+// Handler serves the ring as JSON — mount on the admin/pprof listener,
+// never the service mux (traces carry owner ids and timings). Works on
+// a nil ring (serves an empty page with ring_size 0).
+func (r *TraceRing) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		page := ringPage{Recent: []*Snapshot{}, Slowest: []*Snapshot{}}
+		if r != nil {
+			page.RingSize = r.k
+			page.Seen = r.pos.Load()
+			if rec := r.Recent(); rec != nil {
+				page.Recent = rec
+			}
+			if sl := r.Slowest(); sl != nil {
+				page.Slowest = sl
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(page)
+	})
+}

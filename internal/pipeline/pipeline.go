@@ -33,6 +33,7 @@ import (
 
 	"wmxml/internal/core"
 	"wmxml/internal/index"
+	"wmxml/internal/obs"
 	"wmxml/internal/stream"
 	"wmxml/internal/xmltree"
 )
@@ -205,11 +206,16 @@ func (e *Engine) embedOne(ctx context.Context, jobIndex int, j Job) (out EmbedOu
 	// One index per document, shared across embed and (optionally)
 	// verify: embedding invalidates its value tables, so the verify
 	// detection reads post-embed values through still-valid structure.
+	tr := obs.FromContext(ctx)
 	var ix *index.Index
 	if !e.cfg.DisableIndex {
+		isp := tr.StartSpan("index")
 		ix = index.New(j.Doc)
+		isp.End()
 	}
+	esp := tr.StartSpan("embed")
 	out.Result, out.Err = core.EmbedIndexed(j.Doc, e.cfg, ix)
+	esp.End()
 	if e.verify && out.Err == nil {
 		out.Verify, out.VerifyErr = core.DetectWithQueriesIndexed(j.Doc, e.cfg, out.Result.Records, nil, ix)
 	}
@@ -232,13 +238,18 @@ func (e *Engine) detectOne(ctx context.Context, jobIndex int, j DetectJob) (out 
 		out.Err = fmt.Errorf("pipeline: job %q has no document", j.ID)
 		return out
 	}
+	tr := obs.FromContext(ctx)
 	switch {
 	case j.Plan != nil:
-		out.Result = j.Plan.Detect(j.Doc, j.Index)
+		out.Result = j.Plan.DetectTraced(j.Doc, j.Index, tr)
 	case j.Records == nil:
+		dsp := tr.StartSpan("decode")
 		out.Result, out.Err = core.DetectBlindIndexed(j.Doc, e.cfg, j.Index)
+		dsp.End()
 	default:
+		dsp := tr.StartSpan("decode")
 		out.Result, out.Err = core.DetectWithQueriesIndexed(j.Doc, e.cfg, j.Records, j.Rewriter, j.Index)
+		dsp.End()
 	}
 	return out
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"wmxml/internal/core"
+	"wmxml/internal/obs"
 )
 
 type planKind string
@@ -114,14 +115,16 @@ func (c *planCache) len() int {
 // failure returns nil — the caller's uncached path recompiles and
 // surfaces the identical error, so bad receipts behave exactly as
 // before this cache existed.
-func (s *Server) detectPlanFor(rt *ownerRuntime, owner, receipt string, records []core.QueryRecord) *core.DecodePlan {
+func (s *Server) detectPlanFor(rt *ownerRuntime, owner, receipt string, records []core.QueryRecord, tr *obs.Trace) *core.DecodePlan {
 	key := dplanKey{owner: owner, receipt: receipt, kind: planDetect}
 	if pl, ok := s.dplan.get(key, rt); ok {
 		s.met.planCacheHits.Inc()
 		return pl
 	}
 	s.met.planCacheMiss.Inc()
+	sp := tr.StartSpan("plan_compile")
 	pl, err := core.CompileDecodePlan(rt.cfg, records, nil)
+	sp.End()
 	if err != nil {
 		return nil
 	}
@@ -133,14 +136,16 @@ func (s *Server) detectPlanFor(rt *ownerRuntime, owner, receipt string, records 
 // the fingerprint system's zeroed-payload geometry (PlanConfig), whose
 // mark length differs from the owner's detection mark — hence the
 // separate cache kind.
-func (s *Server) tracePlanFor(rt *ownerRuntime, owner, receipt string, records []core.QueryRecord) *core.DecodePlan {
+func (s *Server) tracePlanFor(rt *ownerRuntime, owner, receipt string, records []core.QueryRecord, tr *obs.Trace) *core.DecodePlan {
 	key := dplanKey{owner: owner, receipt: receipt, kind: planTrace}
 	if pl, ok := s.dplan.get(key, rt); ok {
 		s.met.planCacheHits.Inc()
 		return pl
 	}
 	s.met.planCacheMiss.Inc()
+	sp := tr.StartSpan("plan_compile")
 	pl, err := core.CompileDecodePlan(rt.fp.PlanConfig(), records, nil)
+	sp.End()
 	if err != nil {
 		return nil
 	}

@@ -44,6 +44,7 @@ import (
 
 	"wmxml/internal/core"
 	"wmxml/internal/deliver"
+	"wmxml/internal/obs"
 	"wmxml/internal/registry"
 	"wmxml/internal/xmltree"
 )
@@ -105,42 +106,48 @@ type planResponse struct {
 // body under the owner's key — the one full-cost pass that makes every
 // subsequent /v1/deliver of this document a splice.
 func (s *Server) handleDeliverPlan(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	tr.SetOp("deliver_plan")
 	ownerID := r.URL.Query().Get("owner")
 	rt, err := s.runtimeFor(r, ownerID)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	body, err := s.readBody(w, r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if err := s.acquire(r); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	defer s.release()
+	psp := tr.StartSpan("parse")
 	doc, err := s.parseDoc(body)
+	psp.End()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	var (
 		plan      *deliver.Plan
 		canonical []byte
 	)
+	csp := tr.StartSpan("plan_compile")
 	if err := guarded(func() error {
 		var cerr error
 		plan, canonical, cerr = deliver.Compile(doc, rt.fp.PlanConfig(), canonSerializeOpts)
 		return cerr
 	}); err != nil {
-		writeErr(w, errf(http.StatusUnprocessableEntity, "compile plan: %v", err))
+		s.writeErr(w, r, errf(http.StatusUnprocessableEntity, "compile plan: %v", err))
 		return
 	}
+	csp.End()
 	planJSON, err := plan.Marshal()
 	if err != nil {
-		writeErr(w, errf(http.StatusInternalServerError, "encode plan: %v", err))
+		s.writeErr(w, r, errf(http.StatusInternalServerError, "encode plan: %v", err))
 		return
 	}
 	rec := registry.PlanRecord{
@@ -152,7 +159,7 @@ func (s *Server) handleDeliverPlan(w http.ResponseWriter, r *http.Request) {
 		Plan:        planJSON,
 	}
 	if err := s.reg.PutPlan(rec); err != nil {
-		writeErr(w, errf(http.StatusInternalServerError, "store plan: %v", err))
+		s.writeErr(w, r, errf(http.StatusInternalServerError, "store plan: %v", err))
 		return
 	}
 	if b, berr := plan.Bind(canonical); berr == nil {
@@ -209,20 +216,22 @@ func (s *Server) boundFor(ownerID, digest string) (*deliver.Bound, error) {
 // delivery plan. See the package comment for the three request shapes
 // (stored digest, document body, mode=stream).
 func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	tr.SetOp("deliver")
 	ownerID := r.URL.Query().Get("owner")
 	rt, err := s.runtimeFor(r, ownerID)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	recipientID := r.URL.Query().Get("recipient")
 	if recipientID == "" {
-		writeErr(w, errf(http.StatusBadRequest, "recipient query parameter is required"))
+		s.writeErr(w, r, errf(http.StatusBadRequest, "recipient query parameter is required"))
 		return
 	}
 	rcpt := registry.Recipient{ID: recipientID, Owner: ownerID, Note: r.URL.Query().Get("note"), CreatedUnix: time.Now().Unix()}
 	if err := rcpt.Validate(); err != nil {
-		writeErr(w, errf(http.StatusBadRequest, "%v", err))
+		s.writeErr(w, r, errf(http.StatusBadRequest, "%v", err))
 		return
 	}
 	digest := r.URL.Query().Get("digest")
@@ -235,34 +244,39 @@ func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case digest != "":
 		// Pure splice: no body, no parse, no worker slot.
+		csp := tr.StartSpan("cache")
 		b, err = s.boundFor(ownerID, digest)
 		if err != nil {
-			writeErr(w, err)
+			csp.EndNote("miss")
+			s.writeErr(w, r, err)
 			return
 		}
+		csp.EndNote("hit")
 		s.met.planHits.Inc()
 	default:
 		// Document body: canonicalize, reuse a stored plan when one
 		// matches, compile otherwise.
 		body, rerr := s.readBody(w, r)
 		if rerr != nil {
-			writeErr(w, rerr)
+			s.writeErr(w, r, rerr)
 			return
 		}
 		if err := s.acquire(r); err != nil {
-			writeErr(w, err)
+			s.writeErr(w, r, err)
 			return
 		}
+		psp := tr.StartSpan("parse")
 		doc, perr := s.parseDoc(body)
+		psp.End()
 		if perr != nil {
 			s.release()
-			writeErr(w, perr)
+			s.writeErr(w, r, perr)
 			return
 		}
 		var canon bytes.Buffer
 		if err := xmltree.Serialize(&canon, doc, canonSerializeOpts); err != nil {
 			s.release()
-			writeErr(w, errf(http.StatusUnprocessableEntity, "canonicalize: %v", err))
+			s.writeErr(w, r, errf(http.StatusUnprocessableEntity, "canonicalize: %v", err))
 			return
 		}
 		digest = deliver.DigestBytes(canon.Bytes())
@@ -272,15 +286,17 @@ func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 		} else {
 			var plan *deliver.Plan
 			var canonical []byte
+			csp := tr.StartSpan("plan_compile")
 			if err := guarded(func() error {
 				var cerr error
 				plan, canonical, cerr = deliver.Compile(doc, rt.fp.PlanConfig(), canonSerializeOpts)
 				return cerr
 			}); err != nil {
 				s.release()
-				writeErr(w, errf(http.StatusUnprocessableEntity, "compile plan: %v", err))
+				s.writeErr(w, r, errf(http.StatusUnprocessableEntity, "compile plan: %v", err))
 				return
 			}
+			csp.End()
 			if planJSON, merr := plan.Marshal(); merr == nil {
 				s.reg.PutPlan(registry.PlanRecord{
 					Owner: ownerID, Digest: plan.Digest, Doc: r.URL.Query().Get("doc"),
@@ -290,7 +306,7 @@ func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 			b, err = plan.Bind(canonical)
 			if err != nil {
 				s.release()
-				writeErr(w, errf(http.StatusInternalServerError, "bind plan: %v", err))
+				s.writeErr(w, r, errf(http.StatusInternalServerError, "bind plan: %v", err))
 				return
 			}
 			s.plans.put(ownerID, plan.Digest, b)
@@ -303,19 +319,24 @@ func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 	payload := rt.fp.Payload(recipientID)
 	res, err := plan.Receipt(payload)
 	if err != nil {
-		writeErr(w, errf(http.StatusConflict, "plan does not fit this owner's configuration (recompile after a rotation): %v", err))
+		s.writeErr(w, r, errf(http.StatusConflict, "plan does not fit this owner's configuration (recompile after a rotation): %v", err))
 		return
 	}
+	ssp := tr.StartSpan("splice")
 	out, err := b.AppendCopy(nil, payload)
+	ssp.End()
 	if err != nil {
-		writeErr(w, errf(http.StatusInternalServerError, "splice: %v", err))
+		s.writeErr(w, r, errf(http.StatusInternalServerError, "splice: %v", err))
 		return
 	}
 
 	receiptID := deliverReceiptID(rt.owner, recipientID, plan.Digest)
 	if r.URL.Query().Get("register") != "0" {
-		if err := s.registerDelivery(ownerID, receiptID, rcpt, r.URL.Query().Get("doc"), res); err != nil {
-			writeErr(w, err)
+		rgsp := tr.StartSpan("registry")
+		err := s.registerDelivery(ownerID, receiptID, rcpt, r.URL.Query().Get("doc"), res)
+		rgsp.End()
+		if err != nil {
+			s.writeErr(w, r, err)
 			return
 		}
 	}
@@ -338,26 +359,33 @@ func (s *Server) handleDeliver(w http.ResponseWriter, r *http.Request) {
 // status line is long gone — so streaming clients must discard output
 // on a short read.
 func (s *Server) handleDeliverStream(w http.ResponseWriter, r *http.Request, rt *ownerRuntime, ownerID, recipientID, digest string, rcpt registry.Recipient) {
+	tr := obs.FromContext(r.Context())
 	if digest == "" {
-		writeErr(w, errf(http.StatusBadRequest, "mode=stream requires the digest query parameter (compile the plan first)"))
+		s.writeErr(w, r, errf(http.StatusBadRequest, "mode=stream requires the digest query parameter (compile the plan first)"))
 		return
 	}
+	csp := tr.StartSpan("cache")
 	b, err := s.boundFor(ownerID, digest)
 	if err != nil {
-		writeErr(w, err)
+		csp.EndNote("miss")
+		s.writeErr(w, r, err)
 		return
 	}
+	csp.EndNote("hit")
 	plan := b.Plan()
 	payload := rt.fp.Payload(recipientID)
 	res, err := plan.Receipt(payload)
 	if err != nil {
-		writeErr(w, errf(http.StatusConflict, "plan does not fit this owner's configuration (recompile after a rotation): %v", err))
+		s.writeErr(w, r, errf(http.StatusConflict, "plan does not fit this owner's configuration (recompile after a rotation): %v", err))
 		return
 	}
 	receiptID := deliverReceiptID(rt.owner, recipientID, digest)
 	if r.URL.Query().Get("register") != "0" {
-		if err := s.registerDelivery(ownerID, receiptID, rcpt, r.URL.Query().Get("doc"), res); err != nil {
-			writeErr(w, err)
+		rgsp := tr.StartSpan("registry")
+		err := s.registerDelivery(ownerID, receiptID, rcpt, r.URL.Query().Get("doc"), res)
+		rgsp.End()
+		if err != nil {
+			s.writeErr(w, r, err)
 			return
 		}
 	}
@@ -376,11 +404,13 @@ func (s *Server) handleDeliverStream(w http.ResponseWriter, r *http.Request, rt 
 	_ = http.NewResponseController(w).EnableFullDuplex()
 	w.WriteHeader(http.StatusOK)
 	src := io.LimitReader(r.Body, s.opts.MaxStreamBytes)
+	ssp := tr.StartSpan("splice")
 	if err := plan.ApplyReader(w, src, payload); err != nil {
 		// Headers are sent; all we can do is cut the connection short so
 		// the client sees a truncated body, never a clean wrong copy.
 		panic(http.ErrAbortHandler)
 	}
+	ssp.End()
 	s.met.delivers.Inc()
 }
 

@@ -3,9 +3,10 @@ package server
 // Hand-rolled counters and latency histograms with Prometheus text
 // exposition. The container bakes in no metrics dependency, and the
 // subset the service needs — monotone counters, one histogram per
-// endpoint, a gauge or two — is small enough to own: every metric is an
-// atomic, rendering walks a fixed registry, and the output follows the
-// text format any Prometheus scraper ingests.
+// endpoint and per pipeline stage, a gauge or two — is small enough to
+// own: every metric is an atomic, rendering walks a snapshot of the
+// registry, and the output follows the text format any Prometheus
+// scraper ingests (and the promtext lint test parses).
 
 import (
 	"fmt"
@@ -16,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"wmxml/internal/obs"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds: 250µs to
@@ -25,6 +28,22 @@ var latencyBuckets = []float64{
 	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
+
+// stageBuckets are the per-stage histogram bounds: stages (a cache
+// lookup, a vote fold) run one to three orders of magnitude below whole
+// requests, so the ladder starts at 10µs.
+var stageBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1, 2.5,
+}
+
+// ownerCardinalityCap bounds the distinct owner label values exposed;
+// tenants past the cap aggregate into owner="other" so a registration
+// flood cannot grow /metrics without bound.
+const ownerCardinalityCap = 64
+
+// ownerOverflow is the owner label of the overflow bucket.
+const ownerOverflow = "other"
 
 // counter is a monotone atomic counter.
 type counter struct {
@@ -52,8 +71,8 @@ type histogram struct {
 	sumNs   atomic.Uint64 // sum in nanoseconds keeps the hot path integer-only
 }
 
-func newHistogram() *histogram {
-	return &histogram{buckets: latencyBuckets, counts: make([]atomic.Uint64, len(latencyBuckets))}
+func newHistogram(buckets []float64) *histogram {
+	return &histogram{buckets: buckets, counts: make([]atomic.Uint64, len(buckets))}
 }
 
 // Observe records one duration. The total count is bumped before the
@@ -72,13 +91,63 @@ func (h *histogram) Observe(d time.Duration) {
 	}
 }
 
+// ownerStats is the per-tenant counter block. Fixed fields rather than
+// a label map: the op set is closed and the fold is branch-free of
+// locks.
+type ownerStats struct {
+	requests     counter
+	docBytes     counter
+	cacheHits    counter
+	embeds       counter
+	detects      counter
+	delivers     counter
+	fingerprints counter
+	traces       counter
+	verifies     counter
+}
+
+// opCounter maps an op label to its counter, nil for unknown ops.
+func (o *ownerStats) opCounter(op string) *counter {
+	switch op {
+	case "embed":
+		return &o.embeds
+	case "detect":
+		return &o.detects
+	case "deliver":
+		return &o.delivers
+	case "fingerprint":
+		return &o.fingerprints
+	case "trace":
+		return &o.traces
+	case "verify":
+		return &o.verifies
+	}
+	return nil
+}
+
+// ownerOps is the exposition order of the per-owner op counters.
+var ownerOps = []struct {
+	op  string
+	get func(*ownerStats) *counter
+}{
+	{"embed", func(o *ownerStats) *counter { return &o.embeds }},
+	{"detect", func(o *ownerStats) *counter { return &o.detects }},
+	{"deliver", func(o *ownerStats) *counter { return &o.delivers }},
+	{"fingerprint", func(o *ownerStats) *counter { return &o.fingerprints }},
+	{"trace", func(o *ownerStats) *counter { return &o.traces }},
+	{"verify", func(o *ownerStats) *counter { return &o.verifies }},
+}
+
 // metrics is the service's metric registry. Labelled series are
 // materialized on first use and never removed (label cardinality is
-// bounded: one series per route × status class).
+// bounded: one series per route × status class, a fixed stage set, and
+// owners capped at ownerCardinalityCap plus the overflow bucket).
 type metrics struct {
 	mu            sync.Mutex
 	requests      map[string]*counter   // route|code -> count
 	latency       map[string]*histogram // route -> latency
+	stages        map[string]*histogram // stage -> span duration
+	owners        map[string]*ownerStats
 	inflight      gauge
 	queueFull     counter // admissions rejected: queue wait exceeded
 	tooLarge      counter // requests rejected: body over the cap
@@ -103,13 +172,17 @@ type metrics struct {
 	planCompiles  counter
 	planHits      counter
 	startUnix     int64
+	version       string
 }
 
-func newMetrics() *metrics {
+func newMetrics(version string) *metrics {
 	return &metrics{
 		requests:  make(map[string]*counter),
 		latency:   make(map[string]*histogram),
+		stages:    make(map[string]*histogram),
+		owners:    make(map[string]*ownerStats),
 		startUnix: time.Now().Unix(),
+		version:   version,
 	}
 }
 
@@ -124,7 +197,7 @@ func (m *metrics) request(route string, code int, d time.Duration) {
 	}
 	h := m.latency[route]
 	if h == nil {
-		h = newHistogram()
+		h = newHistogram(latencyBuckets)
 		m.latency[route] = h
 	}
 	m.mu.Unlock()
@@ -132,46 +205,133 @@ func (m *metrics) request(route string, code int, d time.Duration) {
 	h.Observe(d)
 }
 
-// render writes the Prometheus text exposition.
-func (m *metrics) render(w io.Writer) {
+// stage records one span duration under its stage label.
+func (m *metrics) stage(name string, d time.Duration) {
 	m.mu.Lock()
-	reqKeys := make([]string, 0, len(m.requests))
-	for k := range m.requests {
-		reqKeys = append(reqKeys, k)
-	}
-	latKeys := make([]string, 0, len(m.latency))
-	for k := range m.latency {
-		latKeys = append(latKeys, k)
+	h := m.stages[name]
+	if h == nil {
+		h = newHistogram(stageBuckets)
+		m.stages[name] = h
 	}
 	m.mu.Unlock()
-	sort.Strings(reqKeys)
-	sort.Strings(latKeys)
+	h.Observe(d)
+}
+
+// ownerFor materializes (or overflows) the per-tenant counter block.
+func (m *metrics) ownerFor(owner string) *ownerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o := m.owners[owner]
+	if o == nil {
+		if len(m.owners) >= ownerCardinalityCap {
+			if o = m.owners[ownerOverflow]; o == nil {
+				o = &ownerStats{}
+				m.owners[ownerOverflow] = o
+			}
+			return o
+		}
+		o = &ownerStats{}
+		m.owners[owner] = o
+	}
+	return o
+}
+
+// finishRequest folds one completed trace snapshot into the request
+// histogram, the per-stage histograms and the per-owner counters — the
+// single exposition point instrument() calls.
+func (m *metrics) finishRequest(snap *obs.Snapshot, route string, code int, d time.Duration) {
+	m.request(route, code, d)
+	if snap == nil {
+		return
+	}
+	for name, dur := range snap.StageDurations() {
+		m.stage(name, dur)
+	}
+	if snap.Owner == "" {
+		return
+	}
+	o := m.ownerFor(snap.Owner)
+	o.requests.Inc()
+	if snap.DocBytes > 0 {
+		o.docBytes.Add(uint64(snap.DocBytes))
+	}
+	if snap.CacheHit {
+		o.cacheHits.Inc()
+	}
+	if code < 400 && snap.Op != "" {
+		if c := o.opCounter(snap.Op); c != nil {
+			c.Inc()
+		}
+	}
+}
+
+// render writes the Prometheus text exposition. Both labelled maps are
+// snapshotted under one lock acquisition; everything after renders
+// lock-free (the values themselves are atomics, and materialized
+// series are never removed).
+func (m *metrics) render(w io.Writer) {
+	type reqSeries struct {
+		route, code string
+		c           *counter
+	}
+	type latSeries struct {
+		label string
+		h     *histogram
+	}
+	type ownSeries struct {
+		owner string
+		o     *ownerStats
+	}
+	m.mu.Lock()
+	reqs := make([]reqSeries, 0, len(m.requests))
+	for k, c := range m.requests {
+		route, code, _ := strings.Cut(k, "|")
+		reqs = append(reqs, reqSeries{route: route, code: code, c: c})
+	}
+	lats := make([]latSeries, 0, len(m.latency))
+	for k, h := range m.latency {
+		lats = append(lats, latSeries{label: k, h: h})
+	}
+	stages := make([]latSeries, 0, len(m.stages))
+	for k, h := range m.stages {
+		stages = append(stages, latSeries{label: k, h: h})
+	}
+	owners := make([]ownSeries, 0, len(m.owners))
+	for k, o := range m.owners {
+		owners = append(owners, ownSeries{owner: k, o: o})
+	}
+	m.mu.Unlock()
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].route != reqs[j].route {
+			return reqs[i].route < reqs[j].route
+		}
+		return reqs[i].code < reqs[j].code
+	})
+	sort.Slice(lats, func(i, j int) bool { return lats[i].label < lats[j].label })
+	sort.Slice(stages, func(i, j int) bool { return stages[i].label < stages[j].label })
+	sort.Slice(owners, func(i, j int) bool { return owners[i].owner < owners[j].owner })
 
 	fmt.Fprintln(w, "# HELP wmxmld_requests_total Finished HTTP requests by route and status code.")
 	fmt.Fprintln(w, "# TYPE wmxmld_requests_total counter")
-	for _, k := range reqKeys {
-		route, code, _ := strings.Cut(k, "|")
-		m.mu.Lock()
-		c := m.requests[k]
-		m.mu.Unlock()
-		fmt.Fprintf(w, "wmxmld_requests_total{route=%q,code=%q} %d\n", route, code, c.Value())
+	for _, s := range reqs {
+		fmt.Fprintf(w, "wmxmld_requests_total{route=%q,code=%q} %d\n", s.route, s.code, s.c.Value())
 	}
 
-	fmt.Fprintln(w, "# HELP wmxmld_request_seconds Request latency by route.")
-	fmt.Fprintln(w, "# TYPE wmxmld_request_seconds histogram")
-	for _, route := range latKeys {
-		m.mu.Lock()
-		h := m.latency[route]
-		m.mu.Unlock()
-		var cum uint64
-		for i, ub := range h.buckets {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(w, "wmxmld_request_seconds_bucket{route=%q,le=%q} %d\n", route, formatLE(ub), cum)
+	renderHistograms := func(name, help, label string, hs []latSeries) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for _, s := range hs {
+			var cum uint64
+			for i, ub := range s.h.buckets {
+				cum += s.h.counts[i].Load()
+				fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, s.label, formatLE(ub), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, s.label, s.h.count.Load())
+			fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, s.label, float64(s.h.sumNs.Load())/1e9)
+			fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, s.label, s.h.count.Load())
 		}
-		fmt.Fprintf(w, "wmxmld_request_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, h.count.Load())
-		fmt.Fprintf(w, "wmxmld_request_seconds_sum{route=%q} %g\n", route, float64(h.sumNs.Load())/1e9)
-		fmt.Fprintf(w, "wmxmld_request_seconds_count{route=%q} %d\n", route, h.count.Load())
 	}
+	renderHistograms("wmxmld_request_seconds", "Request latency by route.", "route", lats)
+	renderHistograms("wmxmld_stage_seconds", "Pipeline stage latency from request span traces.", "stage", stages)
 
 	simple := []struct {
 		name, help string
@@ -201,10 +361,38 @@ func (m *metrics) render(w io.Writer) {
 	for _, s := range simple {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.value)
 	}
+
+	if len(owners) > 0 {
+		fmt.Fprintln(w, "# HELP wmxmld_owner_requests_total Finished requests by owner (cardinality-capped; overflow under owner=\"other\").")
+		fmt.Fprintln(w, "# TYPE wmxmld_owner_requests_total counter")
+		for _, s := range owners {
+			fmt.Fprintf(w, "wmxmld_owner_requests_total{owner=%q} %d\n", s.owner, s.o.requests.Value())
+		}
+		fmt.Fprintln(w, "# HELP wmxmld_owner_ops_total Successful operations by owner and op.")
+		fmt.Fprintln(w, "# TYPE wmxmld_owner_ops_total counter")
+		for _, s := range owners {
+			for _, op := range ownerOps {
+				fmt.Fprintf(w, "wmxmld_owner_ops_total{owner=%q,op=%q} %d\n", s.owner, op.op, op.get(s.o).Value())
+			}
+		}
+		fmt.Fprintln(w, "# HELP wmxmld_owner_cache_hits_total Suspect-document cache hits by owner.")
+		fmt.Fprintln(w, "# TYPE wmxmld_owner_cache_hits_total counter")
+		for _, s := range owners {
+			fmt.Fprintf(w, "wmxmld_owner_cache_hits_total{owner=%q} %d\n", s.owner, s.o.cacheHits.Value())
+		}
+		fmt.Fprintln(w, "# HELP wmxmld_owner_doc_bytes_total Request document bytes by owner.")
+		fmt.Fprintln(w, "# TYPE wmxmld_owner_doc_bytes_total counter")
+		for _, s := range owners {
+			fmt.Fprintf(w, "wmxmld_owner_doc_bytes_total{owner=%q} %d\n", s.owner, s.o.docBytes.Value())
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP wmxmld_inflight_requests Requests currently holding a worker slot.\n# TYPE wmxmld_inflight_requests gauge\nwmxmld_inflight_requests %d\n", m.inflight.Value())
 	fmt.Fprintf(w, "# HELP wmxmld_doc_cache_entries Documents currently cached.\n# TYPE wmxmld_doc_cache_entries gauge\nwmxmld_doc_cache_entries %d\n", m.cacheSize.Value())
 	fmt.Fprintf(w, "# HELP wmxmld_doc_cache_bytes Total source-byte weight of cached documents.\n# TYPE wmxmld_doc_cache_bytes gauge\nwmxmld_doc_cache_bytes %d\n", m.cacheBytes.Value())
 	fmt.Fprintf(w, "# HELP wmxmld_start_time_seconds Unix time the server started.\n# TYPE wmxmld_start_time_seconds gauge\nwmxmld_start_time_seconds %d\n", m.startUnix)
+	fmt.Fprintf(w, "# HELP wmxmld_uptime_seconds Seconds since the server started.\n# TYPE wmxmld_uptime_seconds gauge\nwmxmld_uptime_seconds %d\n", max(0, time.Now().Unix()-m.startUnix))
+	fmt.Fprintf(w, "# HELP wmxmld_build_info Build metadata; the value is always 1.\n# TYPE wmxmld_build_info gauge\nwmxmld_build_info{version=%q} 1\n", m.version)
 }
 
 // formatLE renders a bucket bound in its shortest decimal form.

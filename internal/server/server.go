@@ -58,6 +58,7 @@ import (
 	"wmxml/internal/fingerprint"
 	"wmxml/internal/identity"
 	"wmxml/internal/index"
+	"wmxml/internal/obs"
 	"wmxml/internal/pipeline"
 	"wmxml/internal/registry"
 	"wmxml/internal/schema"
@@ -110,6 +111,14 @@ type Options struct {
 	// Version is the build version string surfaced in /healthz
 	// (ldflags-injected by the daemon; empty renders as "dev").
 	Version string
+	// Logger receives the access log and error records. nil is a valid
+	// silent logger (the library/test default).
+	Logger *obs.Logger
+	// TraceRing is how many recent (and how many slowest) completed
+	// request traces are retained for /debug/traces. 0 means 32;
+	// negative disables span recording and retention entirely (request
+	// ids and the access log still work).
+	TraceRing int
 }
 
 func (o Options) withDefaults() Options {
@@ -143,6 +152,9 @@ func (o Options) withDefaults() Options {
 	if o.Version == "" {
 		o.Version = "dev"
 	}
+	if o.TraceRing == 0 {
+		o.TraceRing = 32
+	}
 	return o
 }
 
@@ -155,6 +167,8 @@ type Server struct {
 	plans *boundPlans
 	dplan *planCache
 	met   *metrics
+	log   *obs.Logger
+	ring  *obs.TraceRing
 	mux   *http.ServeMux
 
 	mu       sync.Mutex
@@ -186,7 +200,9 @@ func New(opts Options) (*Server, error) {
 		cache:    newDocCache(opts.CacheEntries, opts.CacheBytes),
 		plans:    newBoundPlans(64),
 		dplan:    newPlanCache(opts.PlanCacheEntries),
-		met:      newMetrics(),
+		met:      newMetrics(opts.Version),
+		log:      opts.Logger,
+		ring:     obs.NewTraceRing(opts.TraceRing),
 		runtimes: make(map[string]*ownerRuntime),
 	}
 	s.routes()
@@ -195,6 +211,20 @@ func New(opts Options) (*Server, error) {
 
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// DebugHandler returns the operator-side debug surface — currently
+// GET /debug/traces, the recent/slowest trace ring as JSON. Traces
+// carry owner ids, document sizes and verdicts, so this mounts on the
+// admin/pprof listener, never the service mux.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /debug/traces", s.ring.Handler())
+	return mux
+}
+
+// TraceRing exposes the completed-trace ring (nil when disabled) for
+// tests and embedding daemons.
+func (s *Server) TraceRing() *obs.TraceRing { return s.ring }
 
 // CacheStats reports the suspect-document cache counters
 // (hits, misses, evictions, entries) — tests read these without
@@ -241,14 +271,42 @@ func (w *statusWriter) WriteHeader(code int) {
 // through the instrumentation wrapper.
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
-// instrument wraps a handler with request counting and latency
-// observation under a stable route label.
+// instrument wraps a handler with the whole per-request observability
+// lifecycle: a Trace is opened (ingesting any W3C traceparent header —
+// its trace-id becomes the request id — and echoing one back with a
+// fresh span id), carried down through the request context so every
+// layer can attach stage spans, and on completion folded into the
+// route/stage/owner metrics, the trace ring and the access log.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.StartRequest(r.Header.Get("traceparent"), route)
+		if s.opts.TraceRing < 0 {
+			tr.DisableSpans()
+		}
+		hdr := w.Header()
+		hdr.Set("X-Request-Id", tr.ID())
+		hdr.Set("Traceparent", tr.Traceparent())
+		r = r.WithContext(obs.NewContext(r.Context(), tr))
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		h(sw, r)
-		s.met.request(route, sw.code, time.Since(start))
+		d := time.Since(start)
+		snap := tr.Finish(sw.code, d)
+		s.met.finishRequest(snap, route, sw.code, d)
+		if s.opts.TraceRing >= 0 {
+			s.ring.Add(snap)
+		}
+		s.log.Info("request",
+			"request_id", snap.RequestID,
+			"route", route,
+			"status", sw.code,
+			"dur_ms", float64(d.Microseconds())/1000,
+			"owner", snap.Owner,
+			"op", snap.Op,
+			"doc_bytes", snap.DocBytes,
+			"verdict", snap.Verdict,
+			"cache_hit", snap.CacheHit,
+		)
 	}
 }
 
@@ -265,8 +323,14 @@ func errf(code int, format string, args ...any) *httpError {
 	return &httpError{code: code, err: fmt.Errorf(format, args...)}
 }
 
-// writeErr renders an error as a JSON body with the right status.
-func writeErr(w http.ResponseWriter, err error) {
+// writeErr renders an error as the stable JSON envelope
+// {error, request_id} with the right status. The full error chain —
+// wrapped causes, file paths, internal identifiers — goes to the log
+// at full fidelity; the response body carries the top-level message
+// for client errors and only "internal error" for 5xx, plus the
+// request id so an operator can join a client report to the log line
+// and the trace.
+func (s *Server) writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	code := http.StatusInternalServerError
 	var he *httpError
 	if errors.As(err, &he) {
@@ -276,9 +340,19 @@ func writeErr(w http.ResponseWriter, err error) {
 	if errors.As(err, &mbe) {
 		code = http.StatusRequestEntityTooLarge
 	}
+	tr := obs.FromContext(r.Context())
+	if code >= http.StatusInternalServerError {
+		s.log.Error("request failed", "request_id", tr.ID(), "route", tr.Route(), "status", code, "error", err.Error())
+	} else {
+		s.log.Warn("request rejected", "request_id", tr.ID(), "route", tr.Route(), "status", code, "error", err.Error())
+	}
+	msg := err.Error()
+	if code >= http.StatusInternalServerError {
+		msg = "internal error"
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(map[string]string{"error": msg, "request_id": tr.ID()})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -323,6 +397,7 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error
 	if len(body) == 0 {
 		return nil, errf(http.StatusBadRequest, "empty request body")
 	}
+	obs.FromContext(r.Context()).SetDocBytes(int64(len(body)))
 	return body, nil
 }
 
@@ -399,6 +474,7 @@ func (s *Server) runtimeFor(r *http.Request, id string) (*ownerRuntime, error) {
 	if err := s.authorize(r, o); err != nil {
 		return nil, err
 	}
+	obs.FromContext(r.Context()).SetOwner(id)
 	s.mu.Lock()
 	rt, ok := s.runtimes[id]
 	s.mu.Unlock()
@@ -492,36 +568,39 @@ type ownerResponse struct {
 func (s *Server) handlePutOwner(w http.ResponseWriter, r *http.Request) {
 	body, err := s.readBody(w, r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	var o registry.Owner
 	if err := json.Unmarshal(body, &o); err != nil {
-		writeErr(w, errf(http.StatusBadRequest, "parse owner: %v", err))
+		s.writeErr(w, r, errf(http.StatusBadRequest, "parse owner: %v", err))
 		return
 	}
 	if o.CreatedUnix == 0 {
 		o.CreatedUnix = time.Now().Unix()
 	}
 	if err := o.Validate(); err != nil {
-		writeErr(w, errf(http.StatusBadRequest, "%v", err))
+		s.writeErr(w, r, errf(http.StatusBadRequest, "%v", err))
 		return
 	}
+	tr := obs.FromContext(r.Context())
+	tr.SetOp("register")
+	tr.SetOwner(o.ID)
 	// Cheap fast-fail before the spec compile: unauthenticated peers
 	// must not get to burn a buildRuntime against an existing id. The
 	// authoritative check is repeated under the lock below.
 	if existing, gerr := s.reg.GetOwner(o.ID); gerr == nil {
 		if err := s.authorize(r, existing); err != nil {
-			writeErr(w, errf(http.StatusUnauthorized, "owner %q exists; re-registration requires Authorization: Bearer <current key>", o.ID))
+			s.writeErr(w, r, errf(http.StatusUnauthorized, "owner %q exists; re-registration requires Authorization: Bearer <current key>", o.ID))
 			return
 		}
 	} else if !errors.Is(gerr, registry.ErrNotFound) {
-		writeErr(w, gerr)
+		s.writeErr(w, r, gerr)
 		return
 	}
 	rt, err := s.buildRuntime(o)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	// The exists-check and the Put must be one atomic step: two
@@ -535,17 +614,17 @@ func (s *Server) handlePutOwner(w http.ResponseWriter, r *http.Request) {
 	if existing, gerr := s.reg.GetOwner(o.ID); gerr == nil {
 		if err := s.authorize(r, existing); err != nil {
 			s.mu.Unlock()
-			writeErr(w, errf(http.StatusUnauthorized, "owner %q exists; re-registration requires Authorization: Bearer <current key>", o.ID))
+			s.writeErr(w, r, errf(http.StatusUnauthorized, "owner %q exists; re-registration requires Authorization: Bearer <current key>", o.ID))
 			return
 		}
 	} else if !errors.Is(gerr, registry.ErrNotFound) {
 		s.mu.Unlock()
-		writeErr(w, gerr)
+		s.writeErr(w, r, gerr)
 		return
 	}
 	if err := s.reg.PutOwner(o); err != nil {
 		s.mu.Unlock()
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	s.runtimes[o.ID] = rt
@@ -576,21 +655,22 @@ func (s *Server) handleListReceipts(w http.ResponseWriter, r *http.Request) {
 	o, err := s.reg.GetOwner(id)
 	if err != nil {
 		if errors.Is(err, registry.ErrNotFound) {
-			writeErr(w, errf(http.StatusNotFound, "unknown owner %q", id))
+			s.writeErr(w, r, errf(http.StatusNotFound, "unknown owner %q", id))
 			return
 		}
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	// Receipts are the safeguarded query sets; even the metadata listing
 	// is for the key holder only.
 	if err := s.authorize(r, o); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
+	obs.FromContext(r.Context()).SetOwner(id)
 	recs, err := s.reg.ListReceipts(id)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	full := r.URL.Query().Get("full") == "1"
@@ -613,10 +693,12 @@ func (s *Server) handleListReceipts(w http.ResponseWriter, r *http.Request) {
 // receipt id is derived from the owner and body hash, so retrying the
 // same embed is idempotent.
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	tr.SetOp("embed")
 	ownerID := r.URL.Query().Get("owner")
 	rt, err := s.runtimeFor(r, ownerID)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if r.URL.Query().Get("mode") == "stream" {
@@ -625,17 +707,19 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := s.readBody(w, r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if err := s.acquire(r); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	defer s.release()
+	psp := tr.StartSpan("parse")
 	doc, err := s.parseDoc(body)
+	psp.End()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	// The receipt id binds the body to the owner configuration that
@@ -653,12 +737,12 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 
 	outs, err := rt.eng.EmbedAll(r.Context(), []pipeline.Job{{ID: receiptID, Doc: doc}})
 	if err != nil {
-		writeErr(w, errf(499, "cancelled: %v", err))
+		s.writeErr(w, r, errf(499, "cancelled: %v", err))
 		return
 	}
 	out := outs[0]
 	if out.Err != nil {
-		writeErr(w, errf(http.StatusUnprocessableEntity, "embed: %v", out.Err))
+		s.writeErr(w, r, errf(http.StatusUnprocessableEntity, "embed: %v", out.Err))
 		return
 	}
 	rec := registry.Receipt{
@@ -669,9 +753,10 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		Carriers:       out.Result.Carriers,
 		ValuesWritten:  out.Result.Embedded,
 	}
+	rsp := tr.StartSpan("registry")
 	if err := s.reg.AddReceipt(rec); err != nil {
 		if !errors.Is(err, registry.ErrDuplicate) {
-			writeErr(w, errf(http.StatusInternalServerError, "store receipt: %v", err))
+			s.writeErr(w, r, errf(http.StatusInternalServerError, "store receipt: %v", err))
 			return
 		}
 		// Same id under this owner: an idempotent retry of the identical
@@ -680,10 +765,11 @@ func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 		// hand back a receipt whose queries target another document.
 		stored, gerr := s.reg.GetReceipt(ownerID, receiptID)
 		if gerr != nil || !slices.Equal(stored.Records, rec.Records) {
-			writeErr(w, errf(http.StatusInternalServerError, "receipt id collision on %q: stored records do not match this embedding", receiptID))
+			s.writeErr(w, r, errf(http.StatusInternalServerError, "receipt id collision on %q: stored records do not match this embedding", receiptID))
 			return
 		}
 	}
+	rsp.End()
 	s.met.embeds.Inc()
 	h := w.Header()
 	h.Set("Content-Type", "application/xml")
@@ -714,19 +800,30 @@ type detectResponse struct {
 }
 
 // suspectDoc resolves the request body to a parsed document and index,
-// through the content-hash cache.
-func (s *Server) suspectDoc(body []byte) (cachedDoc, bool, error) {
+// through the content-hash cache. The lookup, the parse and the index
+// build each get a stage span on the request trace, so a cold detect
+// shows where its time went (and the cache span's note says hit/miss).
+func (s *Server) suspectDoc(body []byte, tr *obs.Trace) (cachedDoc, bool, error) {
 	sum := sha256.Sum256(body)
-	if cd, ok := s.cache.get(sum); ok {
+	csp := tr.StartSpan("cache")
+	cd, ok := s.cache.get(sum)
+	if ok {
+		csp.EndNote("hit")
+		tr.SetCacheHit(true)
 		s.met.cacheHits.Inc()
 		return cd, true, nil
 	}
+	csp.EndNote("miss")
 	s.met.cacheMiss.Inc()
+	psp := tr.StartSpan("parse")
 	doc, err := s.parseDoc(body)
+	psp.End()
 	if err != nil {
 		return cachedDoc{}, false, err
 	}
-	cd := cachedDoc{doc: doc, ix: index.New(doc)}
+	isp := tr.StartSpan("index")
+	cd = cachedDoc{doc: doc, ix: index.New(doc)}
+	isp.End()
 	if ev := s.cache.put(sum, cd, int64(len(body))); ev > 0 {
 		s.met.cacheEvict.Add(uint64(ev))
 	}
@@ -741,10 +838,12 @@ func (s *Server) suspectDoc(body []byte) (cachedDoc, bool, error) {
 // are re-derived from the document instead (original schema required).
 func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	tr := obs.FromContext(r.Context())
+	tr.SetOp("detect")
 	ownerID := r.URL.Query().Get("owner")
 	rt, err := s.runtimeFor(r, ownerID)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	switch r.URL.Query().Get("mode") {
@@ -759,17 +858,17 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	wantReceipt := r.URL.Query().Get("receipt")
 	body, err := s.readBody(w, r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if err := s.acquire(r); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	defer s.release()
-	cd, cacheHit, err := s.suspectDoc(body)
+	cd, cacheHit, err := s.suspectDoc(body, tr)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 
@@ -782,24 +881,29 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		ids = []string{""}
 	} else {
 		var recs []registry.Receipt
+		rsp := tr.StartSpan("registry")
 		if wantReceipt != "" {
 			rec, err := s.reg.GetReceipt(ownerID, wantReceipt)
 			if err != nil {
-				writeErr(w, errf(http.StatusNotFound, "owner %q has no receipt %q", ownerID, wantReceipt))
+				rsp.End()
+				s.writeErr(w, r, errf(http.StatusNotFound, "owner %q has no receipt %q", ownerID, wantReceipt))
 				return
 			}
 			recs = []registry.Receipt{rec}
 		} else {
 			recs, err = s.reg.ListReceipts(ownerID)
 			if err != nil {
-				writeErr(w, err)
+				rsp.End()
+				s.writeErr(w, r, err)
 				return
 			}
 			if len(recs) == 0 {
-				writeErr(w, errf(http.StatusConflict, "owner %q has no receipts; embed first or use mode=blind", ownerID))
+				rsp.End()
+				s.writeErr(w, r, errf(http.StatusConflict, "owner %q has no receipts; embed first or use mode=blind", ownerID))
 				return
 			}
 		}
+		rsp.End()
 		// Newest first: the latest embedding is the likeliest source.
 		// Each job carries its receipt's compiled decode plan from the
 		// plan cache; a nil plan (compile error) falls back to the
@@ -809,7 +913,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 				Job:     pipeline.Job{ID: recs[i].ID, Doc: cd.doc},
 				Records: recs[i].Records,
 				Index:   cd.ix,
-				Plan:    s.detectPlanFor(rt, ownerID, recs[i].ID, recs[i].Records),
+				Plan:    s.detectPlanFor(rt, ownerID, recs[i].ID, recs[i].Records, tr),
 			})
 			ids = append(ids, recs[i].ID)
 		}
@@ -825,7 +929,7 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	for i, job := range jobs {
 		outs, err := rt.eng.DetectAll(r.Context(), []pipeline.DetectJob{job})
 		if err != nil {
-			writeErr(w, errf(499, "cancelled: %v", err))
+			s.writeErr(w, r, errf(499, "cancelled: %v", err))
 			return
 		}
 		resp.ReceiptsTried++
@@ -852,8 +956,13 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		if lastErr == nil {
 			lastErr = errors.New("no receipt was usable")
 		}
-		writeErr(w, errf(http.StatusUnprocessableEntity, "detect: %v", lastErr))
+		s.writeErr(w, r, errf(http.StatusUnprocessableEntity, "detect: %v", lastErr))
 		return
+	}
+	if bestRes.Detected {
+		tr.SetVerdict("detected")
+	} else {
+		tr.SetVerdict("clean")
 	}
 	resp.Receipt = ids[best]
 	resp.Detected = bestRes.Detected
@@ -895,25 +1004,27 @@ type constraintStatus struct {
 // verifies the declared keys and FDs — the paper's initialization step
 // as a service endpoint.
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	tr.SetOp("verify")
 	ownerID := r.URL.Query().Get("owner")
 	rt, err := s.runtimeFor(r, ownerID)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	body, err := s.readBody(w, r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if err := s.acquire(r); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	defer s.release()
-	cd, cacheHit, err := s.suspectDoc(body)
+	cd, cacheHit, err := s.suspectDoc(body, tr)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	resp := verifyResponse{Owner: ownerID, OK: true, CacheHit: cacheHit}
@@ -931,7 +1042,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	}
 	keyReps, fdReps, err := rt.catalog.Verify(cd.doc)
 	if err != nil {
-		writeErr(w, errf(http.StatusUnprocessableEntity, "verify: %v", err))
+		s.writeErr(w, r, errf(http.StatusUnprocessableEntity, "verify: %v", err))
 		return
 	}
 	for _, kr := range keyReps {
@@ -972,35 +1083,39 @@ func guarded(fn func() error) (err error) {
 // recipient-tagged receipt and returns the recipient's copy — the
 // distribution counterpart of /v1/embed.
 func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
+	tr := obs.FromContext(r.Context())
+	tr.SetOp("fingerprint")
 	ownerID := r.URL.Query().Get("owner")
 	rt, err := s.runtimeFor(r, ownerID)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	recipientID := r.URL.Query().Get("recipient")
 	if recipientID == "" {
-		writeErr(w, errf(http.StatusBadRequest, "recipient query parameter is required"))
+		s.writeErr(w, r, errf(http.StatusBadRequest, "recipient query parameter is required"))
 		return
 	}
 	rcpt := registry.Recipient{ID: recipientID, Owner: ownerID, Note: r.URL.Query().Get("note"), CreatedUnix: time.Now().Unix()}
 	if err := rcpt.Validate(); err != nil {
-		writeErr(w, errf(http.StatusBadRequest, "%v", err))
+		s.writeErr(w, r, errf(http.StatusBadRequest, "%v", err))
 		return
 	}
 	body, err := s.readBody(w, r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if err := s.acquire(r); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	defer s.release()
+	psp := tr.StartSpan("parse")
 	doc, err := s.parseDoc(body)
+	psp.End()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	// Like embed's receipt id, but bound to the recipient too: retrying
@@ -1011,19 +1126,22 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 	receiptID := "f-" + hex.EncodeToString(idh.Sum(nil))[:32]
 
 	var res *core.EmbedResult
+	esp := tr.StartSpan("embed")
 	if err := guarded(func() error {
 		var eerr error
 		res, eerr = rt.fp.Embed(doc, recipientID)
 		return eerr
 	}); err != nil {
-		writeErr(w, errf(http.StatusUnprocessableEntity, "fingerprint: %v", err))
+		s.writeErr(w, r, errf(http.StatusUnprocessableEntity, "fingerprint: %v", err))
 		return
 	}
+	esp.End()
 	// The recipient record makes the id a tracing candidate; the
 	// receipt binds this copy's query set to it. Registration is
 	// idempotent (first CreatedUnix wins).
+	rgsp := tr.StartSpan("registry")
 	if err := s.reg.PutRecipient(rcpt); err != nil {
-		writeErr(w, errf(http.StatusInternalServerError, "store recipient: %v", err))
+		s.writeErr(w, r, errf(http.StatusInternalServerError, "store recipient: %v", err))
 		return
 	}
 	rec := registry.Receipt{
@@ -1036,15 +1154,16 @@ func (s *Server) handleFingerprint(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.reg.AddReceipt(rec); err != nil {
 		if !errors.Is(err, registry.ErrDuplicate) {
-			writeErr(w, errf(http.StatusInternalServerError, "store receipt: %v", err))
+			s.writeErr(w, r, errf(http.StatusInternalServerError, "store receipt: %v", err))
 			return
 		}
 		stored, gerr := s.reg.GetReceipt(ownerID, receiptID)
 		if gerr != nil || !slices.Equal(stored.Records, rec.Records) {
-			writeErr(w, errf(http.StatusInternalServerError, "receipt id collision on %q: stored records do not match this fingerprint", receiptID))
+			s.writeErr(w, r, errf(http.StatusInternalServerError, "receipt id collision on %q: stored records do not match this fingerprint", receiptID))
 			return
 		}
 	}
+	rgsp.End()
 	s.met.fingerprints.Inc()
 	h := w.Header()
 	h.Set("Content-Type", "application/xml")
@@ -1081,51 +1200,55 @@ type traceResponse struct {
 // instead of blind carrier re-derivation.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	tr := obs.FromContext(r.Context())
+	tr.SetOp("trace")
 	ownerID := r.URL.Query().Get("owner")
 	rt, err := s.runtimeFor(r, ownerID)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	wantReceipt := r.URL.Query().Get("receipt")
 	body, err := s.readBody(w, r)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if err := s.acquire(r); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	defer s.release()
+	rsp := tr.StartSpan("registry")
 	recipients, err := s.reg.ListRecipients(ownerID)
+	rsp.End()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if len(recipients) == 0 {
-		writeErr(w, errf(http.StatusConflict, "owner %q has no recipients; fingerprint first", ownerID))
+		s.writeErr(w, r, errf(http.StatusConflict, "owner %q has no recipients; fingerprint first", ownerID))
 		return
 	}
 	candidates := make([]string, len(recipients))
 	for i, rc := range recipients {
 		candidates[i] = rc.ID
 	}
-	cd, cacheHit, err := s.suspectDoc(body)
+	cd, cacheHit, err := s.suspectDoc(body, tr)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
-	topts := fingerprint.TraceOptions{Index: cd.ix}
+	topts := fingerprint.TraceOptions{Index: cd.ix, Trace: tr}
 	mode := "blind"
 	if wantReceipt != "" {
 		rec, gerr := s.reg.GetReceipt(ownerID, wantReceipt)
 		if gerr != nil {
-			writeErr(w, errf(http.StatusNotFound, "owner %q has no receipt %q", ownerID, wantReceipt))
+			s.writeErr(w, r, errf(http.StatusNotFound, "owner %q has no receipt %q", ownerID, wantReceipt))
 			return
 		}
 		topts.Records = rec.Records
-		topts.Plan = s.tracePlanFor(rt, ownerID, wantReceipt, rec.Records)
+		topts.Plan = s.tracePlanFor(rt, ownerID, wantReceipt, rec.Records, tr)
 		mode = "receipt"
 	}
 	var res *fingerprint.TraceResult
@@ -1134,12 +1257,15 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		res, terr = rt.fp.Trace(cd.doc, candidates, topts)
 		return terr
 	}); err != nil {
-		writeErr(w, errf(http.StatusUnprocessableEntity, "trace: %v", err))
+		s.writeErr(w, r, errf(http.StatusUnprocessableEntity, "trace: %v", err))
 		return
 	}
 	s.met.traces.Inc()
 	if len(res.Accused) > 0 {
+		tr.SetVerdict("accused")
 		s.met.traceAccused.Inc()
+	} else {
+		tr.SetVerdict("clean")
 	}
 	writeJSON(w, http.StatusOK, traceResponse{
 		Owner:       ownerID,
@@ -1163,19 +1289,20 @@ func (s *Server) handleListRecipients(w http.ResponseWriter, r *http.Request) {
 	o, err := s.reg.GetOwner(id)
 	if err != nil {
 		if errors.Is(err, registry.ErrNotFound) {
-			writeErr(w, errf(http.StatusNotFound, "unknown owner %q", id))
+			s.writeErr(w, r, errf(http.StatusNotFound, "unknown owner %q", id))
 			return
 		}
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	if err := s.authorize(r, o); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
+	obs.FromContext(r.Context()).SetOwner(id)
 	rcs, err := s.reg.ListRecipients(id)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"owner": id, "recipients": rcs})
@@ -1184,7 +1311,7 @@ func (s *Server) handleListRecipients(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	owners, err := s.reg.ListOwners()
 	if err != nil {
-		writeErr(w, errf(http.StatusServiceUnavailable, "registry: %v", err))
+		s.writeErr(w, r, errf(http.StatusServiceUnavailable, "registry: %v", err))
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -86,15 +86,15 @@ func (s *Server) handleEmbedStream(w http.ResponseWriter, r *http.Request, rt *o
 	// OOM this endpoint exists to prevent.
 	reason, err := stream.EmbedFallbackReason(rt.cfg, s.streamOptions())
 	if err != nil {
-		writeErr(w, errf(http.StatusUnprocessableEntity, "stream: %v", err))
+		s.writeErr(w, r, errf(http.StatusUnprocessableEntity, "stream: %v", err))
 		return
 	}
 	if reason != "" {
-		writeErr(w, errf(http.StatusUnprocessableEntity, "owner %q cannot stream (%s); use the buffered endpoint", ownerID, reason))
+		s.writeErr(w, r, errf(http.StatusUnprocessableEntity, "owner %q cannot stream (%s); use the buffered endpoint", ownerID, reason))
 		return
 	}
 	if err := s.acquire(r); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	defer s.release()
@@ -121,7 +121,7 @@ func (s *Server) handleEmbedStream(w http.ResponseWriter, r *http.Request, rt *o
 	})
 	if out.Err != nil {
 		if !lw.wrote {
-			writeErr(w, streamHTTPErr(out.Err))
+			s.writeErr(w, r, streamHTTPErr(out.Err))
 			return
 		}
 		// Output already started: the status is spoken for. Truncate and
@@ -185,7 +185,7 @@ type streamDetectResponse struct {
 func (s *Server) handleDetectStream(w http.ResponseWriter, r *http.Request, rt *ownerRuntime, ownerID string, blind bool) {
 	start := time.Now()
 	if err := s.acquire(r); err != nil {
-		writeErr(w, err)
+		s.writeErr(w, r, err)
 		return
 	}
 	defer s.release()
@@ -201,18 +201,18 @@ func (s *Server) handleDetectStream(w http.ResponseWriter, r *http.Request, rt *
 		if wantReceipt != "" {
 			rec, err := s.reg.GetReceipt(ownerID, wantReceipt)
 			if err != nil {
-				writeErr(w, errf(http.StatusNotFound, "owner %q has no receipt %q", ownerID, wantReceipt))
+				s.writeErr(w, r, errf(http.StatusNotFound, "owner %q has no receipt %q", ownerID, wantReceipt))
 				return
 			}
 			records = []registry.Receipt{rec}
 		} else {
 			recs, err := s.reg.ListReceipts(ownerID)
 			if err != nil {
-				writeErr(w, err)
+				s.writeErr(w, r, err)
 				return
 			}
 			if len(recs) == 0 {
-				writeErr(w, errf(http.StatusConflict, "owner %q has no receipts; embed first or use mode=stream-blind", ownerID))
+				s.writeErr(w, r, errf(http.StatusConflict, "owner %q has no receipts; embed first or use mode=stream-blind", ownerID))
 				return
 			}
 			// One pass over the body allows one query set; the newest
@@ -230,11 +230,11 @@ func (s *Server) handleDetectStream(w http.ResponseWriter, r *http.Request, rt *
 	}
 	reason, err := stream.DetectFallbackReason(rt.cfg, jobRecords, nil, s.streamOptions())
 	if err != nil {
-		writeErr(w, errf(http.StatusUnprocessableEntity, "stream: %v", err))
+		s.writeErr(w, r, errf(http.StatusUnprocessableEntity, "stream: %v", err))
 		return
 	}
 	if reason != "" {
-		writeErr(w, errf(http.StatusUnprocessableEntity, "owner %q cannot stream (%s); use the buffered endpoint", ownerID, reason))
+		s.writeErr(w, r, errf(http.StatusUnprocessableEntity, "owner %q cannot stream (%s); use the buffered endpoint", ownerID, reason))
 		return
 	}
 
@@ -248,7 +248,7 @@ func (s *Server) handleDetectStream(w http.ResponseWriter, r *http.Request, rt *
 	}
 	out := rt.eng.DetectReader(r.Context(), job)
 	if out.Err != nil {
-		writeErr(w, streamHTTPErr(out.Err))
+		s.writeErr(w, r, streamHTTPErr(out.Err))
 		return
 	}
 	resp.ReceiptsTried = len(records)

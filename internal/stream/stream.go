@@ -44,6 +44,7 @@ import (
 
 	"wmxml/internal/core"
 	"wmxml/internal/identity"
+	"wmxml/internal/obs"
 	"wmxml/internal/xmltree"
 	"wmxml/internal/xpath"
 )
@@ -280,6 +281,9 @@ func runChunked(parent context.Context, sp *xmltree.StreamParser, recordNames ma
 	// through untouched. Panics in tree or plug-in code become the
 	// chunk's error — a poisoned record must fail the request, not the
 	// process (the same isolation the batch pipeline gives documents).
+	// When the parent context carries a request trace, each processed
+	// chunk emits a "chunk" span (the Trace is goroutine-safe).
+	tr := obs.FromContext(parent)
 	var wwg sync.WaitGroup
 	for w := 0; w < opts.Workers; w++ {
 		wwg.Add(1)
@@ -287,7 +291,9 @@ func runChunked(parent context.Context, sp *xmltree.StreamParser, recordNames ma
 			defer wwg.Done()
 			for c := range workCh {
 				if c.kind == chunkItems && c.err == nil {
+					csp := tr.StartSpan("chunk")
 					c.err = guardedWork(work, c)
+					csp.End()
 				}
 				select {
 				case doneCh <- c:

@@ -7,9 +7,13 @@ package wmxml
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"time"
 
+	"wmxml/internal/obs"
 	"wmxml/internal/registry"
 	"wmxml/internal/server"
 )
@@ -84,16 +88,38 @@ type ServerOptions struct {
 	// Version is the build version string surfaced in /healthz (empty
 	// renders as "dev"). The daemon injects it via -ldflags.
 	Version string
+	// LogWriter receives structured log lines — one access-log record
+	// per finished request plus error records with the full error chain
+	// (error response bodies carry only a stable message and the request
+	// id). nil writes to os.Stderr; io.Discard silences logging.
+	LogWriter io.Writer
+	// LogLevel is the minimum level: debug | info | warn | error
+	// ("" = info).
+	LogLevel string
+	// LogFormat is json ("" = json) or text.
+	LogFormat string
+	// TraceRing is how many recent (and how many slowest) completed
+	// request traces are retained for /debug/traces on the debug
+	// listener. 0 means 32; negative disables span recording and
+	// retention (request ids and logging still work).
+	TraceRing int
+	// DebugAddr, when non-empty, starts a second listener serving
+	// net/http/pprof and GET /debug/traces. Keep it loopback-only or
+	// firewalled: traces carry owner ids, document sizes and verdicts.
+	DebugAddr string
 }
 
-// NewServerHandler builds the wmxmld HTTP API as an http.Handler, for
-// embedding into an existing server or test harness.
-func NewServerHandler(opts ServerOptions) (http.Handler, error) {
+// newServer builds the internal server from the public options.
+func newServer(opts ServerOptions) (*server.Server, error) {
 	reg := opts.Registry
 	if reg == nil {
 		reg = registry.NewMemory()
 	}
-	s, err := server.New(server.Options{
+	w := opts.LogWriter
+	if w == nil {
+		w = os.Stderr
+	}
+	return server.New(server.Options{
 		Registry:             reg,
 		Workers:              opts.Workers,
 		QueueTimeout:         opts.QueueTimeout,
@@ -105,7 +131,15 @@ func NewServerHandler(opts ServerOptions) (http.Handler, error) {
 		CacheBytes:           opts.CacheBytes,
 		AllowUnauthenticated: opts.AllowUnauthenticated,
 		Version:              opts.Version,
+		Logger:               obs.NewLogger(w, obs.LogOptions{Level: opts.LogLevel, Format: opts.LogFormat}),
+		TraceRing:            opts.TraceRing,
 	})
+}
+
+// NewServerHandler builds the wmxmld HTTP API as an http.Handler, for
+// embedding into an existing server or test harness.
+func NewServerHandler(opts ServerOptions) (http.Handler, error) {
+	s, err := newServer(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -114,9 +148,11 @@ func NewServerHandler(opts ServerOptions) (http.Handler, error) {
 
 // Serve runs the wmxmld HTTP service until ctx is cancelled, then
 // shuts down gracefully (in-flight requests get up to 10 seconds to
-// finish). The returned error is nil after a clean shutdown.
+// finish). When DebugAddr is set a second listener serves pprof and
+// /debug/traces; it is torn down with the service. The returned error
+// is nil after a clean shutdown.
 func Serve(ctx context.Context, opts ServerOptions) error {
-	h, err := NewServerHandler(opts)
+	s, err := newServer(opts)
 	if err != nil {
 		return err
 	}
@@ -130,20 +166,48 @@ func Serve(ctx context.Context, opts ServerOptions) error {
 	// mid-request.
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           h,
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	var debugSrv *http.Server
+	if opts.DebugAddr != "" {
+		// The operator surface: pprof plus the request-trace ring. Never
+		// mounted on the service mux — see ServerOptions.DebugAddr.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/traces", s.DebugHandler())
+		debugSrv = &http.Server{
+			Addr:              opts.DebugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go debugSrv.ListenAndServe()
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
+	shutdownDebug := func() {
+		if debugSrv != nil {
+			shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			debugSrv.Shutdown(shutCtx)
+		}
+	}
 	select {
 	case err := <-errc:
+		shutdownDebug()
 		return err
 	case <-ctx.Done():
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
+			shutdownDebug()
 			return err
 		}
+		shutdownDebug()
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
