@@ -227,6 +227,7 @@ func run(url, owner, key, mark, dataset string, size int, seed int64, gamma,
 		if sr, serr := scrapeResult(client, url); serr == nil {
 			rep.Results = append(rep.Results, sr)
 			printStageBreakdown(sr)
+			printSLOSummary(sr)
 		} else {
 			fmt.Fprintf(os.Stderr, "wmload: metrics scrape skipped: %v\n", serr)
 		}
@@ -419,9 +420,12 @@ func post(client *http.Client, key, url string, body []byte) ([]byte, http.Heade
 // scrapeResult fetches the daemon's /metrics exposition and folds the
 // series that explain the latency classes above into one benchjson
 // result: per-stage mean latencies from the wmxmld_stage_seconds
-// histograms, cache hit/miss counts, and op totals. Where the client
-// samples say how long a request took, this says where the time went —
-// server-side, from the same run.
+// histograms, cache hit/miss counts, op totals, and the self-observing
+// runtime's verdicts — the service-aggregate SLO burn rates
+// (owner="_total") per objective and window, plus the capture-bundle
+// count. Where the client samples say how long a request took, this
+// says where the time went — server-side, from the same run — and
+// whether the run itself breached the daemon's declared objectives.
 func scrapeResult(client *http.Client, url string) (benchResult, error) {
 	resp, err := client.Get(url + "/metrics")
 	if err != nil {
@@ -449,6 +453,9 @@ func scrapeResult(client *http.Client, url string) (benchResult, error) {
 		"wmxmld_traces_total":            "traces",
 		"wmxmld_delivers_total":          "delivers",
 		"wmxmld_uptime_seconds":          "uptime_seconds",
+		"wmxmld_captures_total":          "captures",
+		"wmxmld_go_goroutines":           "go_goroutines",
+		"wmxmld_go_heap_live_bytes":      "go_heap_live_bytes",
 	}
 	for _, line := range strings.Split(string(data), "\n") {
 		name, labels, value, ok := parsePromLine(line)
@@ -460,6 +467,15 @@ func scrapeResult(client *http.Client, url string) (benchResult, error) {
 			stageSum[labels["stage"]] += value
 		case "wmxmld_stage_seconds_count":
 			stageCount[labels["stage"]] += value
+		case "wmxmld_slo_burn_rate", "wmxmld_slo_budget_remaining":
+			if labels["owner"] != "_total" {
+				continue
+			}
+			kind := "burn"
+			if name == "wmxmld_slo_budget_remaining" {
+				kind = "budget"
+			}
+			m["slo_"+labels["slo"]+"_"+kind+"_"+labels["window"]] = value
 		default:
 			if key, want := scalars[name]; want {
 				m[key] = value
@@ -498,6 +514,35 @@ func printStageBreakdown(r benchResult) {
 	fmt.Fprintf(os.Stderr, "wmload: server stage breakdown (/metrics):\n")
 	for _, rw := range rows {
 		fmt.Fprintf(os.Stderr, "  stage %-14s n=%-6.0f mean=%s\n", rw.stage, rw.count, time.Duration(rw.mean))
+	}
+}
+
+// printSLOSummary writes the daemon's service-aggregate SLO verdict
+// for the run: burn rate and budget remaining per objective and
+// window, plus the capture-bundle count if the watchdog fired. Silent
+// when the daemon predates the SLO engine (no series scraped).
+func printSLOSummary(r benchResult) {
+	type objective struct{ slo, label string }
+	objectives := []objective{
+		{"detect_p99", "detect p99"},
+		{"error_ratio", "error ratio"},
+	}
+	shown := false
+	for _, o := range objectives {
+		fastBurn, ok := r.Metrics["slo_"+o.slo+"_burn_5m"]
+		if !ok {
+			continue
+		}
+		if !shown {
+			fmt.Fprintf(os.Stderr, "wmload: server SLO summary (owner=_total):\n")
+			shown = true
+		}
+		fmt.Fprintf(os.Stderr, "  slo %-11s burn 5m=%-8.3g 1h=%-8.3g budget 5m=%-8.3g 1h=%.3g\n",
+			o.label, fastBurn, r.Metrics["slo_"+o.slo+"_burn_1h"],
+			r.Metrics["slo_"+o.slo+"_budget_5m"], r.Metrics["slo_"+o.slo+"_budget_1h"])
+	}
+	if n, ok := r.Metrics["captures"]; ok && shown {
+		fmt.Fprintf(os.Stderr, "  capture bundles written: %.0f\n", n)
 	}
 }
 

@@ -10,6 +10,10 @@
 //	       [--max-depth N] [--queue-timeout 10s] [--no-sync]
 //	       [--compact-on-start] [--insecure-no-auth] [--pprof-addr ADDR]
 //	       [--log-level info] [--log-format json] [--trace-ring 32]
+//	       [--slo-detect-p99 250ms] [--slo-error-ratio 0.01]
+//	       [--health-interval 10s] [--watchdog-interval 10s]
+//	       [--capture-dir DIR] [--capture-max 8] [--capture-cooldown 5m]
+//	       [--capture-cpu 5s] [--drain-delay 0s]
 //
 // API (see README "Running the service" for a curl walkthrough):
 //
@@ -25,6 +29,8 @@
 //	GET  /v1/owners/{id}/receipts      list stored receipts
 //	GET  /v1/owners/{id}/recipients    list tracing candidates
 //	GET  /healthz                      liveness (includes the build version)
+//	GET  /readyz                       readiness: 503 while draining on shutdown
+//	                                   or when the registry stops answering
 //	GET  /metrics                      Prometheus text metrics
 //
 // Observability: every request gets an id — a client-sent W3C
@@ -33,8 +39,21 @@
 // logs (one access-log line per request plus full-fidelity error
 // records) go to stderr as JSON (--log-format text for logfmt-style
 // lines; --log-level debug|info|warn|error). The --pprof-addr listener
-// additionally serves GET /debug/traces: the --trace-ring most recent
-// and slowest request traces with per-stage timings.
+// additionally serves GET /debug/traces (the --trace-ring most recent
+// and slowest request traces with per-stage timings), GET /debug/slo
+// (per-owner SLO burn rates) and GET /debug/captures (the anomaly
+// capture-bundle ring).
+//
+// Self-monitoring: a runtime health collector samples runtime/metrics
+// every --health-interval into the wmxmld_go_* series; per-owner SLO
+// objectives (--slo-detect-p99, --slo-error-ratio, overridable per
+// tenant via the registration record's "slo" field) are evaluated over
+// rolling 5m/1h windows into wmxmld_slo_burn_rate and
+// wmxmld_slo_budget_remaining; and with --capture-dir set, an anomaly
+// watchdog writes capture bundles — pprof heap/goroutine/CPU profiles,
+// the slowest traces, metrics and SLO snapshots, the firing rule — to
+// a bounded disk ring whenever an objective burns hot in both windows
+// or the runtime crosses a memory/goroutine threshold.
 //
 // Owner-scoped requests authenticate with the owner's secret key:
 // `Authorization: Bearer <key>`. Re-registering an existing owner id
@@ -89,6 +108,15 @@ func main() {
 	logLevel := fs.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	logFormat := fs.String("log-format", "json", "log line format: json|text")
 	traceRing := fs.Int("trace-ring", 0, "request traces retained for /debug/traces (0 = 32, -1 = tracing off)")
+	sloDetectP99 := fs.Duration("slo-detect-p99", 0, "default detect latency objective at p99 (0 = 250ms, negative = off; per-owner override via the registration record)")
+	sloErrorRatio := fs.Float64("slo-error-ratio", 0, "default tolerated 5xx fraction (0 = 0.01, negative = off)")
+	healthInterval := fs.Duration("health-interval", 0, "runtime health sampling period for the wmxmld_go_* series (0 = 10s, negative = off)")
+	watchdogInterval := fs.Duration("watchdog-interval", 0, "anomaly rule evaluation period (0 = 10s)")
+	captureDir := fs.String("capture-dir", "", "write anomaly capture bundles into this directory's bounded ring (empty = watchdog off)")
+	captureMax := fs.Int("capture-max", 0, "capture bundles kept before the oldest is evicted (0 = 8)")
+	captureCooldown := fs.Duration("capture-cooldown", 0, "min time between bundles for one firing rule (0 = 5m)")
+	captureCPU := fs.Duration("capture-cpu", 0, "CPU profile length recorded into each bundle (0 = 5s, negative = skip)")
+	drainDelay := fs.Duration("drain-delay", 0, "how long /readyz answers 503 before listeners close on shutdown (0 = immediate)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -132,7 +160,10 @@ func main() {
 		logger.Warn("running with --insecure-no-auth: any peer can act as any owner")
 	}
 	if *pprofAddr != "" {
-		logger.Info("debug listener", "addr", *pprofAddr, "endpoints", "/debug/pprof/, /debug/traces")
+		logger.Info("debug listener", "addr", *pprofAddr, "endpoints", "/debug/pprof/, /debug/traces, /debug/slo, /debug/captures")
+	}
+	if *captureDir != "" {
+		logger.Info("anomaly watchdog armed", "capture_dir", *captureDir)
 	}
 	logger.Info("listening", "addr", *addr, "version", version)
 	err := wmxml.Serve(ctx, wmxml.ServerOptions{
@@ -153,6 +184,15 @@ func main() {
 		LogFormat:            *logFormat,
 		TraceRing:            *traceRing,
 		DebugAddr:            *pprofAddr,
+		SLODetectP99:         *sloDetectP99,
+		SLOErrorRatio:        *sloErrorRatio,
+		HealthInterval:       *healthInterval,
+		WatchdogInterval:     *watchdogInterval,
+		CaptureDir:           *captureDir,
+		CaptureMax:           *captureMax,
+		CaptureCooldown:      *captureCooldown,
+		CaptureCPUProfile:    *captureCPU,
+		DrainDelay:           *drainDelay,
 	})
 	if err != nil {
 		logger.Error("server exited", "error", err.Error())

@@ -36,6 +36,12 @@ import (
 	"encoding/hex"
 )
 
+// NewRequestID returns a fresh 128-bit hex request id — the same shape
+// StartRequest generates, for responses produced outside the
+// instrumented request path (e.g. the debug listener's error
+// envelopes).
+func NewRequestID() string { return newID() }
+
 // newID returns a 128-bit random hex id — the same shape as a W3C
 // trace-id, so generated and ingested request ids are interchangeable.
 func newID() string {

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorSnapshot(t *testing.T) {
+	runtime.GC()                        // /gc/heap/live reads 0 until a cycle has completed
+	c := NewRuntimeCollector(time.Hour) // never ticks; first sample is synchronous
+	defer c.Stop()
+	s := c.Snapshot()
+	if s == nil {
+		t.Fatal("Snapshot nil after construction — the first sample must be synchronous")
+	}
+	if s.SampledUnix <= 0 {
+		t.Fatalf("SampledUnix = %d", s.SampledUnix)
+	}
+	if s.Goroutines <= 0 {
+		t.Fatalf("Goroutines = %d", s.Goroutines)
+	}
+	if s.HeapLiveBytes <= 0 || s.HeapGoalBytes <= 0 {
+		t.Fatalf("heap gauges: live=%d goal=%d", s.HeapLiveBytes, s.HeapGoalBytes)
+	}
+	if s.MemLimitBytes < 0 {
+		t.Fatalf("MemLimitBytes = %d; the no-limit sentinel must render as 0", s.MemLimitBytes)
+	}
+	if runtime.GOOS == "linux" && s.OpenFDs <= 0 {
+		t.Fatalf("OpenFDs = %d on linux", s.OpenFDs)
+	}
+	for _, h := range []RuntimeHistogram{s.GCPause, s.SchedLatency} {
+		if len(h.Bounds) != len(runtimeBounds) || len(h.Counts) != len(runtimeBounds) {
+			t.Fatalf("histogram not on the fixed ladder: %d bounds, %d counts", len(h.Bounds), len(h.Counts))
+		}
+		var prev uint64
+		for i, n := range h.Counts {
+			if n < prev {
+				t.Fatalf("cumulative counts decrease at bound %d: %d -> %d", i, prev, n)
+			}
+			prev = n
+		}
+		if prev > h.Count {
+			t.Fatalf("last cumulative bucket %d exceeds total %d", prev, h.Count)
+		}
+	}
+}
+
+func TestRuntimeCollectorStartStop(t *testing.T) {
+	c := NewRuntimeCollector(time.Millisecond)
+	c.Start()
+	c.Start() // double start is a no-op
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Ticks() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("collector took too long: %d ticks", c.Ticks())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	n := c.Ticks()
+	time.Sleep(10 * time.Millisecond)
+	if c.Ticks() != n {
+		t.Fatalf("ticks advanced after Stop: %d -> %d", n, c.Ticks())
+	}
+	c.Stop() // idempotent
+}
+
+func TestRuntimeCollectorNilAndNeverStarted(t *testing.T) {
+	var nc *RuntimeCollector
+	nc.Start()
+	nc.Stop()
+	if nc.Snapshot() != nil || nc.Ticks() != 0 || nc.SampleNow() != nil {
+		t.Fatal("nil collector must be a no-op")
+	}
+	c := NewRuntimeCollector(time.Hour)
+	c.Stop() // never started: must not hang waiting for the sampler
+}
+
+func TestFoldHistogram(t *testing.T) {
+	// Runtime-shaped histogram: -Inf and +Inf edge buckets, interior
+	// buckets straddling ladder bounds, and one count far past the
+	// ladder's top.
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{1, 4, 2, 3},
+		Buckets: []float64{math.Inf(-1), 1e-6, 64e-6, 1e-3, math.Inf(1)},
+	}
+	out := foldHistogram(h)
+	if out.Count != 10 {
+		t.Fatalf("Count = %d, want 10", out.Count)
+	}
+	// Bucket (-Inf,1e-6] lands at ladder bound 1e-6; (1e-6,64e-6] at
+	// 1e-4; (64e-6,1e-3] at 1e-3; (1e-3,+Inf) only in Count.
+	byBound := map[float64]uint64{}
+	var prev uint64
+	for i, b := range out.Bounds {
+		byBound[b] = out.Counts[i] - prev
+		prev = out.Counts[i]
+	}
+	if byBound[1e-6] != 1 || byBound[1e-4] != 4 || byBound[1e-3] != 2 {
+		t.Fatalf("fold placement: %v", out.Counts)
+	}
+	if last := out.Counts[len(out.Counts)-1]; last != 7 {
+		t.Fatalf("cumulative top = %d, want 7 (the +Inf-edge bucket rides only in Count)", last)
+	}
+	if out.Sum <= 0 || math.IsInf(out.Sum, 0) || math.IsNaN(out.Sum) {
+		t.Fatalf("Sum = %v", out.Sum)
+	}
+	empty := foldHistogram(nil)
+	if empty.Count != 0 || len(empty.Counts) != len(runtimeBounds) {
+		t.Fatalf("nil histogram fold: %+v", empty)
+	}
+}

@@ -48,8 +48,23 @@ type Owner struct {
 	// Gamma is the selection ratio used for this tenant's embeddings
 	// (0 = the core default).
 	Gamma int `json:"gamma,omitempty"`
+	// SLO overrides the service-default latency/error objectives for
+	// this tenant. Absent means defaults apply.
+	SLO *SLOOverride `json:"slo,omitempty"`
 	// CreatedUnix is the registration time (seconds since epoch).
 	CreatedUnix int64 `json:"created_unix,omitempty"`
+}
+
+// SLOOverride is a tenant's declared service objectives, stored with
+// the owner record so re-registration is how an operator tunes them.
+// For each field: 0 (or absent) keeps the service default, a negative
+// value disables that objective for the tenant.
+type SLOOverride struct {
+	// DetectP99MS is the latency bound, in milliseconds, that 99% of
+	// the tenant's detect requests must meet.
+	DetectP99MS float64 `json:"detect_p99_ms,omitempty"`
+	// ErrorRatio is the tolerated 5xx fraction (e.g. 0.01 = 1%).
+	ErrorRatio float64 `json:"error_ratio,omitempty"`
 }
 
 // Validate checks the fields every store requires.
@@ -73,6 +88,9 @@ func (o Owner) Validate() error {
 	}
 	if o.Dataset == "" && len(o.Spec) == 0 {
 		return fmt.Errorf("registry: owner %q: a dataset preset or a spec is required", o.ID)
+	}
+	if o.SLO != nil && o.SLO.ErrorRatio > 1 {
+		return fmt.Errorf("registry: owner %q: slo error_ratio %g exceeds 1", o.ID, o.SLO.ErrorRatio)
 	}
 	return nil
 }

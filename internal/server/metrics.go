@@ -171,8 +171,16 @@ type metrics struct {
 	delivers      counter
 	planCompiles  counter
 	planHits      counter
+	captures      counter // anomaly capture bundles written
 	startUnix     int64
 	version       string
+
+	// Snapshot providers wired by server.New: the latest runtime-health
+	// sample and the SLO engine's evaluation. Both read atomics or take
+	// short per-owner locks of their own — never the registry mutex — so
+	// the single-lock render discipline holds.
+	runtimeSnap func() *obs.RuntimeSnapshot
+	sloEval     func() []SLOOwnerEval
 }
 
 func newMetrics(version string) *metrics {
@@ -392,7 +400,93 @@ func (m *metrics) render(w io.Writer) {
 	fmt.Fprintf(w, "# HELP wmxmld_doc_cache_bytes Total source-byte weight of cached documents.\n# TYPE wmxmld_doc_cache_bytes gauge\nwmxmld_doc_cache_bytes %d\n", m.cacheBytes.Value())
 	fmt.Fprintf(w, "# HELP wmxmld_start_time_seconds Unix time the server started.\n# TYPE wmxmld_start_time_seconds gauge\nwmxmld_start_time_seconds %d\n", m.startUnix)
 	fmt.Fprintf(w, "# HELP wmxmld_uptime_seconds Seconds since the server started.\n# TYPE wmxmld_uptime_seconds gauge\nwmxmld_uptime_seconds %d\n", max(0, time.Now().Unix()-m.startUnix))
+	fmt.Fprintf(w, "# HELP wmxmld_captures_total Anomaly capture bundles written to the --capture-dir ring.\n# TYPE wmxmld_captures_total counter\nwmxmld_captures_total %d\n", m.captures.Value())
+	if m.runtimeSnap != nil {
+		if s := m.runtimeSnap(); s != nil {
+			renderRuntime(w, s)
+		}
+	}
+	if m.sloEval != nil {
+		renderSLO(w, m.sloEval())
+	}
 	fmt.Fprintf(w, "# HELP wmxmld_build_info Build metadata; the value is always 1.\n# TYPE wmxmld_build_info gauge\nwmxmld_build_info{version=%q} 1\n", m.version)
+}
+
+// renderRuntime writes the wmxmld_go_* process-health series from one
+// immutable runtime snapshot (the collector swaps a fresh pointer per
+// sample, so a scrape can never observe a torn histogram).
+func renderRuntime(w io.Writer, s *obs.RuntimeSnapshot) {
+	gauges := []struct {
+		name, help string
+		value      int64
+		skip       bool
+	}{
+		{"wmxmld_go_goroutines", "Live goroutines.", s.Goroutines, false},
+		{"wmxmld_go_heap_live_bytes", "Heap bytes live after the last GC.", s.HeapLiveBytes, false},
+		{"wmxmld_go_heap_goal_bytes", "Heap size the garbage collector is pacing toward.", s.HeapGoalBytes, false},
+		{"wmxmld_go_gomemlimit_bytes", "Effective GOMEMLIMIT (0 = no limit set).", s.MemLimitBytes, false},
+		{"wmxmld_go_open_fds", "Open file descriptors (omitted where the platform cannot count them).", s.OpenFDs, s.OpenFDs < 0},
+		{"wmxmld_go_runtime_sample_time_seconds", "Unix time the runtime health sample was taken.", s.SampledUnix, false},
+	}
+	for _, g := range gauges {
+		if g.skip {
+			continue
+		}
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.value)
+	}
+	fmt.Fprintf(w, "# HELP wmxmld_go_gc_cycles_total Completed GC cycles.\n# TYPE wmxmld_go_gc_cycles_total counter\nwmxmld_go_gc_cycles_total %d\n", s.GCCycles)
+	renderRuntimeHist(w, "wmxmld_go_gc_pause_seconds", "Stop-the-world GC pause distribution over the process lifetime.", s.GCPause)
+	renderRuntimeHist(w, "wmxmld_go_sched_latency_seconds", "Goroutine scheduling latency distribution over the process lifetime.", s.SchedLatency)
+}
+
+// renderRuntimeHist writes one folded runtime histogram. Counts are
+// already cumulative; overflow past the ladder rides only in Count, so
+// le="+Inf" equals _count by construction.
+func renderRuntimeHist(w io.Writer, name, help string, h obs.RuntimeHistogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, ub := range h.Bounds {
+		var n uint64
+		if i < len(h.Counts) {
+			n = h.Counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatLE(ub), n)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+// renderSLO writes the wmxmld_slo_* gauges from one engine evaluation —
+// the same evaluation /debug/slo serves, so the surfaces agree.
+func renderSLO(w io.Writer, evals []SLOOwnerEval) {
+	if len(evals) == 0 {
+		return
+	}
+	windows := func(e SLOOwnerEval) [2]struct {
+		name string
+		ev   SLOWindowEval
+	} {
+		return [2]struct {
+			name string
+			ev   SLOWindowEval
+		}{{"5m", e.Fast}, {"1h", e.Slow}}
+	}
+	fmt.Fprintln(w, "# HELP wmxmld_slo_burn_rate Error-budget burn rate by owner, objective and window (1 = burning exactly at budget; owner=\"_total\" is the service aggregate).")
+	fmt.Fprintln(w, "# TYPE wmxmld_slo_burn_rate gauge")
+	for _, e := range evals {
+		for _, wv := range windows(e) {
+			fmt.Fprintf(w, "wmxmld_slo_burn_rate{owner=%q,slo=\"detect_p99\",window=%q} %g\n", e.Owner, wv.name, wv.ev.DetectBurn)
+			fmt.Fprintf(w, "wmxmld_slo_burn_rate{owner=%q,slo=\"error_ratio\",window=%q} %g\n", e.Owner, wv.name, wv.ev.ErrorBurn)
+		}
+	}
+	fmt.Fprintln(w, "# HELP wmxmld_slo_budget_remaining Fraction of the window's error budget left (1 - burn rate; negative once overspent).")
+	fmt.Fprintln(w, "# TYPE wmxmld_slo_budget_remaining gauge")
+	for _, e := range evals {
+		for _, wv := range windows(e) {
+			fmt.Fprintf(w, "wmxmld_slo_budget_remaining{owner=%q,slo=\"detect_p99\",window=%q} %g\n", e.Owner, wv.name, wv.ev.DetectBudget)
+			fmt.Fprintf(w, "wmxmld_slo_budget_remaining{owner=%q,slo=\"error_ratio\",window=%q} %g\n", e.Owner, wv.name, wv.ev.ErrorBudget)
+		}
+	}
 }
 
 // formatLE renders a bucket bound in its shortest decimal form.

@@ -183,6 +183,18 @@ func TestMetricsExpositionLint(t *testing.T) {
 		`wmxmld_owner_cache_hits_total{owner="acme"} 1`,
 		`wmxmld_build_info{version="lint-test"} 1`,
 		"wmxmld_uptime_seconds",
+		// Self-observing runtime families: the health collector's
+		// process gauges/histograms, the SLO engine's burn gauges (for
+		// the service aggregate and the exercised owner), and the
+		// watchdog's bundle counter (present even with the watchdog off).
+		"wmxmld_go_goroutines",
+		"wmxmld_go_heap_live_bytes",
+		`wmxmld_go_gc_pause_seconds_bucket{le="+Inf"}`,
+		`wmxmld_go_sched_latency_seconds_bucket{le="+Inf"}`,
+		`wmxmld_slo_burn_rate{owner="_total",slo="detect_p99",window="5m"}`,
+		`wmxmld_slo_burn_rate{owner="acme",slo="error_ratio",window="1h"}`,
+		`wmxmld_slo_budget_remaining{owner="acme",slo="detect_p99",window="5m"}`,
+		"wmxmld_captures_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q", want)
@@ -362,6 +374,13 @@ func TestAccessLogAndSpanAccounting(t *testing.T) {
 			if rec["route"] != "/v1/detect" || rec["status"] != float64(200) || rec["op"] != "detect" {
 				t.Fatalf("access record: %v", rec)
 			}
+			bytesOut, ok := rec["bytes_out"].(float64)
+			if !ok || bytesOut <= 0 {
+				t.Fatalf("access record bytes_out = %v, want the JSON verdict's byte count", rec["bytes_out"])
+			}
+			if ua, ok := rec["user_agent"].(string); !ok || ua == "" {
+				t.Fatalf("access record user_agent = %v, want net/http's default agent", rec["user_agent"])
+			}
 		}
 	}
 	if accessLines < 3 { // register + embed + detect
@@ -424,7 +443,9 @@ func TestDebugTracesHandler(t *testing.T) {
 }
 
 // TestTraceRingDisabled pins the -1 contract: request ids still flow,
-// but no spans are recorded and the ring stays empty.
+// no spans are recorded, and /debug/traces answers 404 with the
+// standard {error, request_id} envelope — "disabled" is distinguishable
+// from "enabled but empty" (which serves a 200 page with ring_size set).
 func TestTraceRingDisabled(t *testing.T) {
 	s, ts := newTestServer(t, Options{TraceRing: -1})
 	registerOwner(t, ts.URL, "acme")
@@ -445,11 +466,14 @@ func TestTraceRingDisabled(t *testing.T) {
 	}
 	rec := httptest.NewRecorder()
 	s.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
-	var page map[string]any
-	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
-		t.Fatal(err)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("disabled /debug/traces: %d, want 404", rec.Code)
 	}
-	if page["ring_size"].(float64) != 0 {
-		t.Fatalf("disabled ring page: %v", page)
+	var env map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("404 body not JSON: %v: %s", err, rec.Body.Bytes())
+	}
+	if env["error"] == "" || len(env["request_id"]) != 32 {
+		t.Fatalf("404 body must be the {error, request_id} envelope: %s", rec.Body.Bytes())
 	}
 }

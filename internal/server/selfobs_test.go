@@ -1,0 +1,437 @@
+package server
+
+// Tests for the self-observing runtime: the SLO engine's window math,
+// per-owner overrides and warm-path allocation budget; the anomaly
+// watchdog's bundle ring, cooldown and eviction; the /readyz
+// liveness/readiness split; and a -race scrape loop proving the new
+// wmxmld_go_* / wmxmld_slo_* series never tear under concurrency.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wmxml/internal/obs"
+	"wmxml/internal/registry"
+)
+
+func TestSLOEngineBurnRates(t *testing.T) {
+	defaults := sloObjectives{detectP99: time.Millisecond, errorRatio: 0.01}
+	e := newSLOEngine(defaults, nil)
+	// 50 detects all over the 1ms objective: the bad fraction is 1.0
+	// against a 1% budget — burn 100 in both windows.
+	for i := 0; i < 50; i++ {
+		e.record("acme", "detect", 200, 10*time.Millisecond)
+	}
+	// 50 more non-detect requests, 10 of them 5xx: error fraction 0.1
+	// over the 100 total events, against a 1% budget — burn 10.
+	for i := 0; i < 50; i++ {
+		status := 200
+		if i < 10 {
+			status = 500
+		}
+		e.record("acme", "verify", status, time.Millisecond)
+	}
+	evals := e.evaluateAll(time.Now().Unix())
+	if len(evals) != 2 || evals[0].Owner != sloTotalOwner || evals[1].Owner != "acme" {
+		t.Fatalf("evaluateAll owners: %+v", evals)
+	}
+	for _, ev := range evals {
+		for _, w := range []SLOWindowEval{ev.Fast, ev.Slow} {
+			if w.Events != 100 || w.Detects != 50 || w.DetectSlow != 50 || w.Errors != 10 {
+				t.Fatalf("%s window sums: %+v", ev.Owner, w)
+			}
+			if w.DetectBurn != 100 {
+				t.Fatalf("%s detect burn = %v, want 100", ev.Owner, w.DetectBurn)
+			}
+			if w.ErrorBurn != 10 {
+				t.Fatalf("%s error burn = %v, want 10", ev.Owner, w.ErrorBurn)
+			}
+			if w.DetectBudget != 1-w.DetectBurn || w.ErrorBudget != 1-w.ErrorBurn {
+				t.Fatalf("%s budget remaining: %+v", ev.Owner, w)
+			}
+		}
+	}
+	if evals[1].DetectP99MS != 1 {
+		t.Fatalf("DetectP99MS = %v, want 1", evals[1].DetectP99MS)
+	}
+}
+
+func TestSLOWindowRotation(t *testing.T) {
+	w := newSLOWindow(sloFastBuckets, sloFastBucketSecs)
+	now := int64(1_000_000)
+	w.slot(now).events = 7
+	if ev, _, _, _ := w.sums(now); ev != 7 {
+		t.Fatalf("events = %d", ev)
+	}
+	// Past the window horizon the bucket's epoch is stale: sums must
+	// drop it, and the next slot() touch resets it in place.
+	later := now + sloFastBuckets*sloFastBucketSecs
+	if ev, _, _, _ := w.sums(later); ev != 0 {
+		t.Fatalf("stale bucket leaked into sums: %d", ev)
+	}
+	if b := w.slot(later); b.events != 0 {
+		t.Fatalf("stale bucket not reset on reuse: %+v", b)
+	}
+}
+
+func TestSLOOverrideResolution(t *testing.T) {
+	defaults := sloObjectives{detectP99: 250 * time.Millisecond, errorRatio: 0.01}
+	if got := sloObjectivesFrom(defaults, nil); got != defaults {
+		t.Fatalf("nil override: %+v", got)
+	}
+	got := sloObjectivesFrom(defaults, &registry.SLOOverride{DetectP99MS: 5})
+	if got.detectP99 != 5*time.Millisecond || got.errorRatio != 0.01 {
+		t.Fatalf("partial override: %+v", got)
+	}
+	got = sloObjectivesFrom(defaults, &registry.SLOOverride{DetectP99MS: -1, ErrorRatio: -1})
+	if got.detectP99 != 0 || got.errorRatio != 0 {
+		t.Fatalf("negative fields must disable: %+v", got)
+	}
+
+	// Lazy resolution caches until invalidate; re-resolution sees the
+	// new objectives.
+	var mu sync.Mutex
+	obj := sloObjectives{detectP99: time.Millisecond}
+	e := newSLOEngine(defaults, func(owner string) (sloObjectives, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		return obj, true
+	})
+	e.record("acme", "detect", 200, 10*time.Millisecond) // slow vs 1ms
+	if ev := e.evaluateAll(time.Now().Unix()); ev[1].Fast.DetectSlow != 1 {
+		t.Fatalf("pre-invalidate: %+v", ev[1].Fast)
+	}
+	mu.Lock()
+	obj = sloObjectives{detectP99: time.Minute}
+	mu.Unlock()
+	e.record("acme", "detect", 200, 10*time.Millisecond) // cached 1ms objective still applies
+	if ev := e.evaluateAll(time.Now().Unix()); ev[1].Fast.DetectSlow != 2 {
+		t.Fatalf("cached objective should still count slow: %+v", ev[1].Fast)
+	}
+	e.invalidate("acme")
+	e.record("acme", "detect", 200, 10*time.Millisecond) // now under the 1m objective
+	if ev := e.evaluateAll(time.Now().Unix()); ev[1].Fast.DetectSlow != 2 || ev[1].Fast.Detects != 3 {
+		t.Fatalf("post-invalidate: %+v", ev[1].Fast)
+	}
+}
+
+func TestSLOCardinalityCap(t *testing.T) {
+	e := newSLOEngine(sloObjectives{errorRatio: 0.01}, nil)
+	for i := 0; i < ownerCardinalityCap+10; i++ {
+		e.record(fmt.Sprintf("owner-%03d", i), "detect", 200, 0)
+	}
+	e.mu.RLock()
+	n := len(e.owners)
+	overflow := e.owners[ownerOverflow]
+	e.mu.RUnlock()
+	if n != ownerCardinalityCap+1 {
+		t.Fatalf("engine grew to %d slots, cap is %d + overflow", n, ownerCardinalityCap)
+	}
+	if overflow == nil {
+		t.Fatal("no overflow slot")
+	}
+	if ev, _, _, _ := overflow.fast.sums(time.Now().Unix()); ev != 10 {
+		t.Fatalf("overflow events = %d, want 10", ev)
+	}
+}
+
+// TestSLORecordNoAllocs pins the warm path: once an owner's slot
+// exists, folding a request into both windows allocates nothing —
+// the ring-of-buckets design's whole point.
+func TestSLORecordNoAllocs(t *testing.T) {
+	e := newSLOEngine(sloObjectives{detectP99: time.Millisecond, errorRatio: 0.01}, nil)
+	e.record("acme", "detect", 200, 2*time.Millisecond)
+	if n := testing.AllocsPerRun(1000, func() {
+		e.record("acme", "detect", 200, 2*time.Millisecond)
+	}); n != 0 {
+		t.Fatalf("slo record allocates %v per op, want 0", n)
+	}
+}
+
+func TestWatchdogCaptureBundle(t *testing.T) {
+	dir := t.TempDir()
+	defaults := sloObjectives{detectP99: time.Millisecond, errorRatio: 0.01}
+	e := newSLOEngine(defaults, nil)
+	for i := 0; i < 20; i++ {
+		e.record("acme", "detect", 200, 10*time.Millisecond)
+	}
+	col := obs.NewRuntimeCollector(time.Hour)
+	defer col.Stop()
+	ring := obs.NewTraceRing(4)
+	ring.Add(&obs.Snapshot{RequestID: "r1", Route: "/v1/detect", Status: 200, DurationUS: 12000})
+	met := newMetrics("wd-test")
+	d := newWatchdog(watchdogConfig{
+		dir:        dir,
+		maxBundles: 2,
+		cooldown:   time.Hour,
+		cpuProfile: -1, // keep the test fast; cpu.pprof is optional
+	}, e, col, ring, met, nil)
+
+	d.check(time.Now())
+	bundles := listBundles(dir)
+	if len(bundles) != 1 {
+		t.Fatalf("bundles after breach: %v", bundles)
+	}
+	if !strings.Contains(bundles[0], "slo-detect-p99") {
+		t.Fatalf("bundle name %q does not carry the firing rule", bundles[0])
+	}
+	full := filepath.Join(dir, bundles[0])
+	for _, f := range []string{"rule.json", "slo.json", "traces.json", "metrics.prom", "heap.pprof", "goroutine.pprof"} {
+		fi, err := os.Stat(filepath.Join(full, f))
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("bundle file %s: %v (size %d)", f, err, fi.Size())
+		}
+	}
+	var fr firedRule
+	b, _ := os.ReadFile(filepath.Join(full, "rule.json"))
+	if err := json.Unmarshal(b, &fr); err != nil || fr.Rule != "slo-detect-p99" {
+		t.Fatalf("rule.json: %v %s", err, b)
+	}
+	// The owner label: the aggregate fires first (owner _total), and
+	// its bundle gates the per-owner one only through its own key —
+	// the acme breach writes its own bundle, distinct cooldown keys.
+	if n := met.captures.Value(); n != uint64(len(listBundles(dir))) {
+		t.Fatalf("captures counter %d != bundles on disk %d", n, len(listBundles(dir)))
+	}
+	if strings.Contains(strings.Join(listBundles(dir), " "), ".cap-") {
+		t.Fatal("tmp assembly dir leaked into the ring")
+	}
+	before := len(listBundles(dir))
+
+	// Cooldown: the same rules must not refire within the hour.
+	d.check(time.Now())
+	if got := len(listBundles(dir)); got != before {
+		t.Fatalf("cooldown violated: %d -> %d bundles", before, got)
+	}
+
+	// A different rule fires independently and the ring evicts oldest
+	// past maxBundles.
+	d.cfg.goroutineMax = 1
+	d.check(time.Now())
+	after := listBundles(dir)
+	if len(after) != d.cfg.maxBundles {
+		t.Fatalf("ring size %d, want %d (eviction)", len(after), d.cfg.maxBundles)
+	}
+	if !strings.Contains(after[len(after)-1], "goroutine-spike") {
+		t.Fatalf("newest bundle %q should be the goroutine-spike capture", after[len(after)-1])
+	}
+}
+
+func TestWatchdogQuietWhenHealthy(t *testing.T) {
+	dir := t.TempDir()
+	e := newSLOEngine(sloObjectives{detectP99: time.Second, errorRatio: 0.5}, nil)
+	for i := 0; i < 100; i++ {
+		e.record("acme", "detect", 200, time.Millisecond)
+	}
+	col := obs.NewRuntimeCollector(time.Hour)
+	defer col.Stop()
+	d := newWatchdog(watchdogConfig{dir: dir, cpuProfile: -1}, e, col, nil, newMetrics("t"), nil)
+	d.check(time.Now())
+	if got := listBundles(dir); len(got) != 0 {
+		t.Fatalf("healthy traffic produced bundles: %v", got)
+	}
+}
+
+func TestDebugSLOHandler(t *testing.T) {
+	s, ts := newTestServer(t, Options{SLODetectP99: time.Nanosecond}) // everything is slow
+	registerOwner(t, ts.URL, "acme")
+	orig := pubsXML(t, 80, 3)
+	code, marked, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/embed?owner=acme&doc=a.xml", orig)
+	if code != http.StatusOK {
+		t.Fatalf("embed: %d", code)
+	}
+	for i := 0; i < 3; i++ {
+		if code, body, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme", marked); code != http.StatusOK {
+			t.Fatalf("detect: %d %s", code, body)
+		}
+	}
+	rec := httptest.NewRecorder()
+	s.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/slo", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/slo: %d", rec.Code)
+	}
+	var page struct {
+		Defaults struct {
+			DetectP99MS float64 `json:"detect_p99_ms"`
+			ErrorRatio  float64 `json:"error_ratio"`
+		} `json:"defaults"`
+		Owners []SLOOwnerEval `json:"owners"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("page not JSON: %v\n%s", err, rec.Body.Bytes())
+	}
+	if page.Defaults.ErrorRatio != 0.01 {
+		t.Fatalf("defaults: %+v", page.Defaults)
+	}
+	var acme *SLOOwnerEval
+	for i := range page.Owners {
+		if page.Owners[i].Owner == "acme" {
+			acme = &page.Owners[i]
+		}
+	}
+	if acme == nil {
+		t.Fatalf("no acme evaluation: %s", rec.Body.Bytes())
+	}
+	if acme.Fast.Detects != 3 || acme.Fast.DetectSlow != 3 || acme.Fast.DetectBurn != 100 {
+		t.Fatalf("acme fast window: %+v", acme.Fast)
+	}
+
+	// /metrics renders the same evaluation.
+	code, body, _ := do(t, "GET", ts.URL+"/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if !strings.Contains(string(body), `wmxmld_slo_burn_rate{owner="acme",slo="detect_p99",window="5m"} 100`) {
+		t.Fatal("/metrics disagrees with /debug/slo about the acme burn rate")
+	}
+	// The service mux must NOT expose the SLO page.
+	if codeSvc, _, _ := do(t, "GET", ts.URL+"/debug/slo", nil); codeSvc == http.StatusOK {
+		t.Fatal("/debug/slo reachable on the service mux")
+	}
+}
+
+func TestDebugCapturesDisabled(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	rec := httptest.NewRecorder()
+	s.DebugHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/captures", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("disabled /debug/captures: %d, want 404", rec.Code)
+	}
+	var env map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil || env["error"] == "" || len(env["request_id"]) != 32 {
+		t.Fatalf("404 body must be the {error, request_id} envelope: %s", rec.Body.Bytes())
+	}
+}
+
+func TestDebugCapturesListing(t *testing.T) {
+	dir := t.TempDir()
+	name := capturePrefix + "20260808T120000.000000000-slo-detect-p99"
+	if err := os.MkdirAll(filepath.Join(dir, name), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name, "rule.json"), []byte(`{"rule":"slo-detect-p99"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	capturesHandler(dir).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/captures", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/captures: %d", rec.Code)
+	}
+	var page struct {
+		Dir     string `json:"dir"`
+		Bundles []struct {
+			Name  string `json:"name"`
+			Files []struct {
+				Name  string `json:"name"`
+				Bytes int64  `json:"bytes"`
+			} `json:"files"`
+		} `json:"bundles"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("page not JSON: %v\n%s", err, rec.Body.Bytes())
+	}
+	if len(page.Bundles) != 1 || page.Bundles[0].Name != name {
+		t.Fatalf("bundles: %+v", page.Bundles)
+	}
+	if len(page.Bundles[0].Files) != 1 || page.Bundles[0].Files[0].Name != "rule.json" || page.Bundles[0].Files[0].Bytes == 0 {
+		t.Fatalf("files: %+v", page.Bundles[0].Files)
+	}
+}
+
+// failingStore wraps a registry store with a GetOwner that always
+// errors — the readiness probe's unhealthy-backend case.
+type failingStore struct {
+	registry.Store
+}
+
+func (failingStore) GetOwner(string) (registry.Owner, error) {
+	return registry.Owner{}, fmt.Errorf("disk on fire")
+}
+
+func TestReadyzLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	code, body, _ := do(t, "GET", ts.URL+"/readyz", nil)
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"ready"`)) {
+		t.Fatalf("/readyz: %d %s", code, body)
+	}
+	s.SetDraining(true)
+	code, body, hdr := do(t, "GET", ts.URL+"/readyz", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /readyz: %d %s", code, body)
+	}
+	var reason struct {
+		Status string `json:"status"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(body, &reason); err != nil || reason.Status != "draining" || reason.Reason == "" {
+		t.Fatalf("draining body: %v %s", err, body)
+	}
+	if hdr.Get("X-Request-Id") == "" {
+		t.Fatal("readyz is instrumented: it must carry a request id")
+	}
+	// Liveness is unaffected: a draining process is still alive.
+	if code, _, _ := do(t, "GET", ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("/healthz during drain: %d", code)
+	}
+	s.SetDraining(false)
+	if code, _, _ := do(t, "GET", ts.URL+"/readyz", nil); code != http.StatusOK {
+		t.Fatalf("/readyz after undrain: %d", code)
+	}
+}
+
+func TestReadyzRegistryFailure(t *testing.T) {
+	_, ts := newTestServer(t, Options{Registry: failingStore{registry.NewMemory()}})
+	code, body, _ := do(t, "GET", ts.URL+"/readyz", nil)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with failing registry: %d %s", code, body)
+	}
+	if bytes.Contains(body, []byte("disk on fire")) {
+		t.Fatalf("backend error detail leaked to the unauthenticated probe: %s", body)
+	}
+}
+
+// TestMetricsScrapeRace scrapes /metrics in a loop while the runtime
+// collector ticks and requests flow. Run under -race this proves the
+// snapshot-and-render path is data-race-free; the lint on every scrape
+// proves no torn histograms (le="+Inf" == _count) ever surface.
+func TestMetricsScrapeRace(t *testing.T) {
+	_, ts := newTestServer(t, Options{HealthInterval: time.Millisecond})
+	registerOwner(t, ts.URL, "acme")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/healthz")
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 25; i++ {
+		code, body, _ := do(t, "GET", ts.URL+"/metrics", nil)
+		if code != http.StatusOK {
+			t.Fatalf("scrape %d: %d", i, code)
+		}
+		lintPromText(t, string(body))
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -50,6 +50,7 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wmxml/internal/config"
@@ -119,6 +120,32 @@ type Options struct {
 	// negative disables span recording and retention entirely (request
 	// ids and the access log still work).
 	TraceRing int
+	// SLODetectP99 is the default latency objective 99% of detect
+	// requests must meet (per-owner overridable via the registry
+	// record's "slo" field). 0 means 250ms; negative disables the
+	// objective.
+	SLODetectP99 time.Duration
+	// SLOErrorRatio is the default tolerated 5xx fraction. 0 means
+	// 0.01 (1%); negative disables the objective.
+	SLOErrorRatio float64
+	// HealthInterval is the runtime health collector's sampling period.
+	// 0 means 10s; negative disables the collector (and the wmxmld_go_*
+	// series).
+	HealthInterval time.Duration
+	// CaptureDir enables the anomaly watchdog: capture bundles are
+	// written into this directory's bounded ring. Empty disables the
+	// watchdog (SLO accounting and /debug/slo still work).
+	CaptureDir string
+	// CaptureMax bounds the bundle ring (0 = 8; oldest evicted).
+	CaptureMax int
+	// CaptureCooldown gates refiring of one (rule, owner) pair
+	// (0 = 5m).
+	CaptureCooldown time.Duration
+	// CaptureCPUProfile is the CPU profile length per bundle
+	// (0 = 5s; negative skips the CPU profile).
+	CaptureCPUProfile time.Duration
+	// WatchdogInterval is the rule evaluation period (0 = 10s).
+	WatchdogInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -155,6 +182,18 @@ func (o Options) withDefaults() Options {
 	if o.TraceRing == 0 {
 		o.TraceRing = 32
 	}
+	if o.SLODetectP99 == 0 {
+		o.SLODetectP99 = 250 * time.Millisecond
+	}
+	if o.SLOErrorRatio == 0 {
+		o.SLOErrorRatio = 0.01
+	}
+	if o.HealthInterval == 0 {
+		o.HealthInterval = 10 * time.Second
+	}
+	if o.CaptureCPUProfile == 0 {
+		o.CaptureCPUProfile = 5 * time.Second
+	}
 	return o
 }
 
@@ -170,6 +209,11 @@ type Server struct {
 	log   *obs.Logger
 	ring  *obs.TraceRing
 	mux   *http.ServeMux
+
+	health   *obs.RuntimeCollector
+	slo      *sloEngine
+	dog      *watchdog
+	draining atomic.Bool
 
 	mu       sync.Mutex
 	runtimes map[string]*ownerRuntime
@@ -205,21 +249,107 @@ func New(opts Options) (*Server, error) {
 		ring:     obs.NewTraceRing(opts.TraceRing),
 		runtimes: make(map[string]*ownerRuntime),
 	}
+	defaults := sloObjectives{detectP99: opts.SLODetectP99, errorRatio: opts.SLOErrorRatio}
+	if defaults.detectP99 < 0 {
+		defaults.detectP99 = 0
+	}
+	if defaults.errorRatio < 0 {
+		defaults.errorRatio = 0
+	}
+	s.slo = newSLOEngine(defaults, func(owner string) (sloObjectives, bool) {
+		o, err := s.reg.GetOwner(owner)
+		if err != nil {
+			return sloObjectives{}, false
+		}
+		return sloObjectivesFrom(defaults, o.SLO), true
+	})
+	s.met.sloEval = func() []SLOOwnerEval { return s.slo.evaluateAll(time.Now().Unix()) }
+	if opts.HealthInterval > 0 {
+		s.health = obs.NewRuntimeCollector(opts.HealthInterval)
+		s.health.Start()
+		s.met.runtimeSnap = s.health.Snapshot
+	}
+	if opts.CaptureDir != "" {
+		s.dog = newWatchdog(watchdogConfig{
+			dir:        opts.CaptureDir,
+			maxBundles: opts.CaptureMax,
+			cooldown:   opts.CaptureCooldown,
+			cpuProfile: opts.CaptureCPUProfile,
+			interval:   opts.WatchdogInterval,
+		}, s.slo, s.health, s.ring, s.met, s.log)
+		s.dog.Start()
+	}
 	s.routes()
 	return s, nil
 }
 
+// Close stops the server's background goroutines — the runtime health
+// collector and the anomaly watchdog. Safe to call more than once; the
+// HTTP handlers stay functional afterwards (only self-monitoring
+// halts), so it is safe to Close before the listener fully drains.
+func (s *Server) Close() {
+	s.dog.Stop()
+	s.health.Stop()
+}
+
+// SetDraining flips the readiness state served by GET /readyz. The
+// daemon sets it before closing listeners on graceful shutdown so load
+// balancers stop routing new work while in-flight requests finish.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
 // Handler returns the root HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// DebugHandler returns the operator-side debug surface — currently
-// GET /debug/traces, the recent/slowest trace ring as JSON. Traces
-// carry owner ids, document sizes and verdicts, so this mounts on the
-// admin/pprof listener, never the service mux.
+// DebugHandler returns the operator-side debug surface:
+//
+//	GET /debug/traces   — the recent/slowest trace ring as JSON
+//	GET /debug/slo      — per-owner SLO objectives and burn rates
+//	GET /debug/captures — the anomaly capture-bundle ring index
+//
+// Traces and SLO pages carry owner ids, document sizes and verdicts,
+// so this mounts on the admin/pprof listener, never the service mux.
+//
+// Contract: a disabled surface answers 404 with the service's standard
+// {error, request_id} JSON envelope — /debug/traces when the ring is
+// off (TraceRing < 0), /debug/captures when no --capture-dir is set —
+// so probes can distinguish "disabled" from "empty" and operators get
+// a request id to quote either way.
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("GET /debug/traces", s.ring.Handler())
+	if s.opts.TraceRing < 0 {
+		mux.Handle("GET /debug/traces", debugDisabled("trace ring disabled (start wmxmld with --trace-ring > 0)"))
+	} else {
+		mux.Handle("GET /debug/traces", s.ring.Handler())
+	}
+	mux.HandleFunc("GET /debug/slo", s.handleDebugSLO)
+	mux.Handle("GET /debug/captures", capturesHandler(s.opts.CaptureDir))
 	return mux
+}
+
+// debugDisabled is the 404 envelope a disabled debug surface serves.
+func debugDisabled(msg string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{
+			"error":      msg,
+			"request_id": obs.NewRequestID(),
+		})
+	})
+}
+
+// handleDebugSLO serves the SLO engine's full evaluation — the same
+// computation the wmxmld_slo_* gauges render, per owner with the
+// "_total" service aggregate first.
+func (s *Server) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"defaults": map[string]any{
+			"detect_p99_ms": float64(s.slo.defaults.detectP99.Microseconds()) / 1000,
+			"error_ratio":   s.slo.defaults.errorRatio,
+		},
+		"windows": map[string]any{"fast_seconds": sloFastBuckets * sloFastBucketSecs, "slow_seconds": sloSlowBuckets * sloSlowBucketSecs},
+		"owners":  s.slo.evaluateAll(time.Now().Unix()),
+	})
 }
 
 // TraceRing exposes the completed-trace ring (nil when disabled) for
@@ -252,18 +382,28 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/deliver/plan", s.instrument("/v1/deliver/plan", s.handleDeliverPlan))
 	s.mux.HandleFunc("POST /v1/deliver", s.instrument("/v1/deliver", s.handleDeliver))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes must not move the histograms
 }
 
-// statusWriter captures the response code for instrumentation.
+// statusWriter captures the response code and body byte count for
+// instrumentation. bytes needs no synchronization: only the handler
+// goroutine writes the response.
 type statusWriter struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // Unwrap exposes the underlying writer to http.ResponseController, so
@@ -293,6 +433,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		d := time.Since(start)
 		snap := tr.Finish(sw.code, d)
 		s.met.finishRequest(snap, route, sw.code, d)
+		s.slo.record(snap.Owner, snap.Op, sw.code, d)
 		if s.opts.TraceRing >= 0 {
 			s.ring.Add(snap)
 		}
@@ -304,6 +445,8 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 			"owner", snap.Owner,
 			"op", snap.Op,
 			"doc_bytes", snap.DocBytes,
+			"bytes_out", sw.bytes,
+			"user_agent", r.UserAgent(),
 			"verdict", snap.Verdict,
 			"cache_hit", snap.CacheHit,
 		)
@@ -451,7 +594,15 @@ func (s *Server) authorize(r *http.Request, o registry.Owner) error {
 func sameOwner(a, b registry.Owner) bool {
 	return a.ID == b.ID && a.CreatedUnix == b.CreatedUnix && a.Key == b.Key &&
 		a.Mark == b.Mark && a.Gamma == b.Gamma && a.Dataset == b.Dataset &&
-		bytes.Equal(a.Spec, b.Spec)
+		bytes.Equal(a.Spec, b.Spec) && sameSLO(a.SLO, b.SLO)
+}
+
+// sameSLO compares owner SLO overrides (either side may be nil).
+func sameSLO(a, b *registry.SLOOverride) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return *a == *b
 }
 
 // runtimeFor resolves an owner id to its compiled runtime, building
@@ -488,6 +639,9 @@ func (s *Server) runtimeFor(r *http.Request, id string) (*ownerRuntime, error) {
 	s.mu.Lock()
 	s.runtimes[id] = rt
 	s.mu.Unlock()
+	// The record changed under us (out-of-band registry replacement):
+	// drop the cached SLO objectives along with the stale runtime.
+	s.slo.invalidate(id)
 	return rt, nil
 }
 
@@ -629,6 +783,9 @@ func (s *Server) handlePutOwner(w http.ResponseWriter, r *http.Request) {
 	}
 	s.runtimes[o.ID] = rt
 	s.mu.Unlock()
+	// Re-registration is how operators tune a tenant's SLO override;
+	// make the new objectives take effect on the next request.
+	s.slo.invalidate(o.ID)
 	n := 0
 	if recs, err := s.reg.ListReceipts(o.ID); err == nil {
 		n = len(recs)
@@ -1319,6 +1476,33 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"version": s.opts.Version,
 		"owners":  len(owners),
 	})
+}
+
+// handleReadyz is the readiness probe — distinct from /healthz
+// (liveness): a live process stops being ready while draining on
+// shutdown, or when its registry store stops answering. The registry
+// probe is a single-key read against an id no tenant can register
+// (ids may not contain '/'), so a healthy store answers ErrNotFound
+// without scanning anything.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining",
+			"reason": "shutting down: not accepting new work",
+		})
+		return
+	}
+	if _, err := s.reg.GetOwner("_readyz/probe"); err != nil && !errors.Is(err, registry.ErrNotFound) {
+		// Detail goes to the log; the body stays generic — readyz sits on
+		// the unauthenticated service mux.
+		s.log.Error("readiness probe failed", "error", err.Error())
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "unready",
+			"reason": "registry probe failed",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "version": s.opts.Version})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

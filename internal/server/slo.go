@@ -1,0 +1,350 @@
+package server
+
+// The per-owner SLO engine: declared latency/error objectives
+// evaluated over rolling multi-window counters.
+//
+// Two objectives exist per tenant:
+//
+//   - detect_p99: at least 99% of successful /v1/detect requests must
+//     finish inside the objective latency. An individual request is
+//     "bad" when it runs over the objective, so the budget is the 1%
+//     of requests allowed to be slow.
+//   - error_ratio: the fraction of requests allowed to fail with a
+//     5xx. The declared ratio IS the budget.
+//
+// Both are tracked as good/bad event counts in two rolling windows —
+// 5 minutes (30 × 10s buckets) and 1 hour (60 × 1m buckets) — the
+// classic fast/slow pair: the fast window reacts, the slow window
+// confirms, and the watchdog only fires when both burn. A window is a
+// fixed ring of buckets indexed by wall-clock epoch; recording is an
+// index, an epoch compare and a few integer increments under the
+// owner's mutex — no allocation on the warm path (pinned by
+// TestSLORecordNoAllocs), no per-request time-series append.
+//
+// burn_rate is badFraction / budgetFraction: 1.0 means the tenant is
+// consuming its error budget exactly as fast as the objective allows;
+// 10 means ten times too fast. budget_remaining is 1 - burn_rate
+// (negative once the window has burned more than a whole budget).
+//
+// Objectives default from the server flags and can be overridden per
+// owner by the registry record's "slo" field; overrides are resolved
+// lazily on first sight and invalidated on re-registration.
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"wmxml/internal/registry"
+)
+
+// Window geometry: fast = 5m of 10s buckets, slow = 1h of 1m buckets.
+const (
+	sloFastBuckets    = 30
+	sloFastBucketSecs = 10
+	sloSlowBuckets    = 60
+	sloSlowBucketSecs = 60
+)
+
+// sloTotalOwner is the owner label of the service-wide aggregate slot
+// (every request folds into it regardless of tenant). The leading
+// underscore keeps it out of the valid owner-id namespace.
+const sloTotalOwner = "_total"
+
+// sloObjectives is one tenant's resolved objectives. A zero/negative
+// field disables that objective for the tenant.
+type sloObjectives struct {
+	// detectP99 is the latency bound 99% of detects must meet.
+	detectP99 time.Duration
+	// errorRatio is the tolerated 5xx fraction (the error budget).
+	errorRatio float64
+}
+
+// sloBucket is one time slice of a rolling window. epoch is the
+// bucket-granularity wall-clock tick this slot currently represents;
+// a slot whose epoch is stale is reset in place on first touch.
+type sloBucket struct {
+	epoch      int64
+	events     uint64 // finished requests
+	errors     uint64 // status >= 500
+	detects    uint64 // successful detect ops
+	detectSlow uint64 // detects over the latency objective
+}
+
+// sloWindow is a ring of buckets covering bucketSecs*len(buckets)
+// seconds of history.
+type sloWindow struct {
+	bucketSecs int64
+	buckets    []sloBucket
+}
+
+func newSLOWindow(n int, bucketSecs int64) sloWindow {
+	return sloWindow{bucketSecs: bucketSecs, buckets: make([]sloBucket, n)}
+}
+
+// slot returns the bucket for now, resetting it if it still holds a
+// previous rotation's counts. Caller holds the owner mutex.
+func (w *sloWindow) slot(now int64) *sloBucket {
+	epoch := now / w.bucketSecs
+	b := &w.buckets[epoch%int64(len(w.buckets))]
+	if b.epoch != epoch {
+		*b = sloBucket{epoch: epoch}
+	}
+	return b
+}
+
+// sums folds the buckets still inside the window horizon. Caller
+// holds the owner mutex.
+func (w *sloWindow) sums(now int64) (events, errors, detects, detectSlow uint64) {
+	oldest := now/w.bucketSecs - int64(len(w.buckets)) + 1
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if b.epoch < oldest {
+			continue
+		}
+		events += b.events
+		errors += b.errors
+		detects += b.detects
+		detectSlow += b.detectSlow
+	}
+	return
+}
+
+// ownerSLO is one tenant's (or the aggregate's) SLO state.
+type ownerSLO struct {
+	mu       sync.Mutex
+	obj      sloObjectives
+	resolved bool
+	fast     sloWindow
+	slow     sloWindow
+}
+
+// sloEngine tracks every tenant's objectives and windows. Owner slots
+// are materialized on first sight and capped at ownerCardinalityCap
+// (overflow aggregates under ownerOverflow, mirroring the metrics
+// registry), so a registration flood cannot grow the engine without
+// bound.
+type sloEngine struct {
+	defaults sloObjectives
+	resolve  func(owner string) (sloObjectives, bool)
+
+	mu     sync.RWMutex
+	owners map[string]*ownerSLO
+	total  *ownerSLO
+}
+
+func newSLOEngine(defaults sloObjectives, resolve func(owner string) (sloObjectives, bool)) *sloEngine {
+	e := &sloEngine{
+		defaults: defaults,
+		resolve:  resolve,
+		owners:   make(map[string]*ownerSLO),
+		total:    newOwnerSLO(),
+	}
+	e.total.obj = defaults
+	e.total.resolved = true
+	return e
+}
+
+func newOwnerSLO() *ownerSLO {
+	return &ownerSLO{
+		fast: newSLOWindow(sloFastBuckets, sloFastBucketSecs),
+		slow: newSLOWindow(sloSlowBuckets, sloSlowBucketSecs),
+	}
+}
+
+// slotFor returns the tenant's slot, materializing it under the write
+// lock on first sight. The fast path is one read-locked map lookup.
+func (e *sloEngine) slotFor(owner string) *ownerSLO {
+	e.mu.RLock()
+	s := e.owners[owner]
+	e.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s = e.owners[owner]; s != nil {
+		return s
+	}
+	if len(e.owners) >= ownerCardinalityCap {
+		if s = e.owners[ownerOverflow]; s == nil {
+			s = newOwnerSLO()
+			e.owners[ownerOverflow] = s
+		}
+		return s
+	}
+	s = newOwnerSLO()
+	e.owners[owner] = s
+	return s
+}
+
+// objectives resolves (and caches) the slot's objectives. Caller
+// holds the slot mutex.
+func (e *sloEngine) objectives(owner string, s *ownerSLO) sloObjectives {
+	if s.resolved {
+		return s.obj
+	}
+	s.obj = e.defaults
+	if e.resolve != nil && owner != ownerOverflow {
+		if o, ok := e.resolve(owner); ok {
+			s.obj = o
+		}
+	}
+	s.resolved = true
+	return s.obj
+}
+
+// invalidate drops a tenant's cached objectives — called after
+// re-registration so a new "slo" override takes effect on the next
+// request without restarting the daemon.
+func (e *sloEngine) invalidate(owner string) {
+	e.mu.RLock()
+	s := e.owners[owner]
+	e.mu.RUnlock()
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.resolved = false
+	s.mu.Unlock()
+}
+
+// record folds one finished request into the tenant's and the
+// aggregate's windows. Zero allocations once the slots exist.
+func (e *sloEngine) record(owner, op string, status int, d time.Duration) {
+	if e == nil {
+		return
+	}
+	now := time.Now().Unix()
+	e.recordSlot(e.total, sloTotalOwner, op, status, d, now)
+	if owner != "" {
+		e.recordSlot(e.slotFor(owner), owner, op, status, d, now)
+	}
+}
+
+func (e *sloEngine) recordSlot(s *ownerSLO, owner, op string, status int, d time.Duration, now int64) {
+	s.mu.Lock()
+	obj := e.objectives(owner, s)
+	for _, w := range [2]*sloWindow{&s.fast, &s.slow} {
+		b := w.slot(now)
+		b.events++
+		if status >= 500 {
+			b.errors++
+		}
+		if op == "detect" && status < 400 {
+			b.detects++
+			if obj.detectP99 > 0 && d > obj.detectP99 {
+				b.detectSlow++
+			}
+		}
+	}
+	s.mu.Unlock()
+}
+
+// SLOWindowEval is one window's evaluated state, as served by
+// /debug/slo and rendered on /metrics.
+type SLOWindowEval struct {
+	WindowSeconds int64   `json:"window_seconds"`
+	Events        uint64  `json:"events"`
+	Errors        uint64  `json:"errors"`
+	Detects       uint64  `json:"detects"`
+	DetectSlow    uint64  `json:"detect_slow"`
+	DetectBurn    float64 `json:"detect_p99_burn_rate"`
+	DetectBudget  float64 `json:"detect_p99_budget_remaining"`
+	ErrorBurn     float64 `json:"error_ratio_burn_rate"`
+	ErrorBudget   float64 `json:"error_ratio_budget_remaining"`
+}
+
+// SLOOwnerEval is one tenant's full evaluation.
+type SLOOwnerEval struct {
+	Owner       string        `json:"owner"`
+	DetectP99MS float64       `json:"detect_p99_ms,omitempty"`
+	ErrorRatio  float64       `json:"error_ratio,omitempty"`
+	Fast        SLOWindowEval `json:"fast"`
+	Slow        SLOWindowEval `json:"slow"`
+}
+
+// evalWindow computes one window's burn rates. The p99 objective's
+// budget fraction is fixed at 1% (it is a p99); the error objective's
+// budget fraction is the declared ratio itself.
+func evalWindow(w *sloWindow, obj sloObjectives, now int64) SLOWindowEval {
+	ev, er, det, slow := w.sums(now)
+	out := SLOWindowEval{
+		WindowSeconds: w.bucketSecs * int64(len(w.buckets)),
+		Events:        ev, Errors: er, Detects: det, DetectSlow: slow,
+	}
+	if obj.detectP99 > 0 && det > 0 {
+		out.DetectBurn = (float64(slow) / float64(det)) / 0.01
+	}
+	out.DetectBudget = 1 - out.DetectBurn
+	if obj.errorRatio > 0 && ev > 0 {
+		out.ErrorBurn = (float64(er) / float64(ev)) / obj.errorRatio
+	}
+	out.ErrorBudget = 1 - out.ErrorBurn
+	return out
+}
+
+func (e *sloEngine) evalSlot(owner string, s *ownerSLO, now int64) SLOOwnerEval {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	obj := e.objectives(owner, s)
+	out := SLOOwnerEval{
+		Owner:      owner,
+		ErrorRatio: obj.errorRatio,
+		Fast:       evalWindow(&s.fast, obj, now),
+		Slow:       evalWindow(&s.slow, obj, now),
+	}
+	if obj.detectP99 > 0 {
+		out.DetectP99MS = float64(obj.detectP99.Microseconds()) / 1000
+	}
+	return out
+}
+
+// evaluateAll evaluates every materialized tenant plus the aggregate,
+// owner-sorted with the aggregate first — the one computation both
+// /metrics and /debug/slo render, so the two surfaces can never
+// disagree about a burn rate.
+func (e *sloEngine) evaluateAll(now int64) []SLOOwnerEval {
+	if e == nil {
+		return nil
+	}
+	e.mu.RLock()
+	names := make([]string, 0, len(e.owners))
+	slots := make([]*ownerSLO, 0, len(e.owners))
+	for k := range e.owners {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		slots = append(slots, e.owners[k])
+	}
+	e.mu.RUnlock()
+	out := make([]SLOOwnerEval, 0, len(names)+1)
+	out = append(out, e.evalSlot(sloTotalOwner, e.total, now))
+	for i, k := range names {
+		out = append(out, e.evalSlot(k, slots[i], now))
+	}
+	return out
+}
+
+// sloObjectivesFrom resolves a registry owner's override against the
+// service defaults: an absent override keeps the default, a zero field
+// keeps the default for that field, a negative field disables the
+// objective for that tenant.
+func sloObjectivesFrom(defaults sloObjectives, o *registry.SLOOverride) sloObjectives {
+	out := defaults
+	if o == nil {
+		return out
+	}
+	if o.DetectP99MS > 0 {
+		out.detectP99 = time.Duration(o.DetectP99MS * float64(time.Millisecond))
+	} else if o.DetectP99MS < 0 {
+		out.detectP99 = 0
+	}
+	if o.ErrorRatio > 0 {
+		out.errorRatio = o.ErrorRatio
+	} else if o.ErrorRatio < 0 {
+		out.errorRatio = 0
+	}
+	return out
+}

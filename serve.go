@@ -104,9 +104,39 @@ type ServerOptions struct {
 	// retention (request ids and logging still work).
 	TraceRing int
 	// DebugAddr, when non-empty, starts a second listener serving
-	// net/http/pprof and GET /debug/traces. Keep it loopback-only or
-	// firewalled: traces carry owner ids, document sizes and verdicts.
+	// net/http/pprof plus GET /debug/traces, /debug/slo and
+	// /debug/captures. Keep it loopback-only or firewalled: traces and
+	// SLO pages carry owner ids, document sizes and verdicts.
 	DebugAddr string
+	// SLODetectP99 is the default latency objective 99% of each
+	// tenant's detect requests must meet (0 = 250ms; negative
+	// disables). Per-owner override via the registry record's "slo"
+	// field.
+	SLODetectP99 time.Duration
+	// SLOErrorRatio is the default tolerated 5xx fraction
+	// (0 = 0.01; negative disables).
+	SLOErrorRatio float64
+	// HealthInterval is the runtime health collector's sampling period
+	// for the wmxmld_go_* series (0 = 10s; negative disables).
+	HealthInterval time.Duration
+	// CaptureDir enables the anomaly watchdog: on a breached objective
+	// or runtime threshold it writes a capture bundle (pprof profiles,
+	// slowest traces, metrics and SLO snapshots, firing rule) into this
+	// directory's bounded ring. Empty disables the watchdog.
+	CaptureDir string
+	// CaptureMax bounds the bundle ring (0 = 8; oldest evicted).
+	CaptureMax int
+	// CaptureCooldown gates refiring of one (rule, owner) pair (0 = 5m).
+	CaptureCooldown time.Duration
+	// CaptureCPUProfile is the CPU profile length recorded into each
+	// bundle (0 = 5s; negative skips the CPU profile).
+	CaptureCPUProfile time.Duration
+	// WatchdogInterval is the anomaly rule evaluation period (0 = 10s).
+	WatchdogInterval time.Duration
+	// DrainDelay is how long Serve keeps answering 503 on /readyz
+	// before closing listeners on shutdown — the window a load balancer
+	// needs to observe the flip and stop routing here (0 = none).
+	DrainDelay time.Duration
 }
 
 // newServer builds the internal server from the public options.
@@ -133,11 +163,23 @@ func newServer(opts ServerOptions) (*server.Server, error) {
 		Version:              opts.Version,
 		Logger:               obs.NewLogger(w, obs.LogOptions{Level: opts.LogLevel, Format: opts.LogFormat}),
 		TraceRing:            opts.TraceRing,
+		SLODetectP99:         opts.SLODetectP99,
+		SLOErrorRatio:        opts.SLOErrorRatio,
+		HealthInterval:       opts.HealthInterval,
+		CaptureDir:           opts.CaptureDir,
+		CaptureMax:           opts.CaptureMax,
+		CaptureCooldown:      opts.CaptureCooldown,
+		CaptureCPUProfile:    opts.CaptureCPUProfile,
+		WatchdogInterval:     opts.WatchdogInterval,
 	})
 }
 
 // NewServerHandler builds the wmxmld HTTP API as an http.Handler, for
-// embedding into an existing server or test harness.
+// embedding into an existing server or test harness. The handler's
+// background self-monitoring (runtime collector, watchdog) has no
+// close path through this form — embedders who need clean teardown
+// should disable them (HealthInterval < 0, no CaptureDir) or run
+// Serve instead.
 func NewServerHandler(opts ServerOptions) (http.Handler, error) {
 	s, err := newServer(opts)
 	if err != nil {
@@ -147,15 +189,18 @@ func NewServerHandler(opts ServerOptions) (http.Handler, error) {
 }
 
 // Serve runs the wmxmld HTTP service until ctx is cancelled, then
-// shuts down gracefully (in-flight requests get up to 10 seconds to
-// finish). When DebugAddr is set a second listener serves pprof and
-// /debug/traces; it is torn down with the service. The returned error
-// is nil after a clean shutdown.
+// shuts down gracefully: GET /readyz flips to 503 first (and stays
+// there for DrainDelay so load balancers can observe it), then
+// listeners close and in-flight requests get up to 10 seconds to
+// finish. When DebugAddr is set a second listener serves pprof,
+// /debug/traces, /debug/slo and /debug/captures; it is torn down with
+// the service. The returned error is nil after a clean shutdown.
 func Serve(ctx context.Context, opts ServerOptions) error {
 	s, err := newServer(opts)
 	if err != nil {
 		return err
 	}
+	defer s.Close()
 	addr := opts.Addr
 	if addr == "" {
 		addr = ":8484"
@@ -179,7 +224,10 @@ func Serve(ctx context.Context, opts ServerOptions) error {
 		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		dmux.Handle("/debug/traces", s.DebugHandler())
+		debug := s.DebugHandler()
+		dmux.Handle("/debug/traces", debug)
+		dmux.Handle("/debug/slo", debug)
+		dmux.Handle("/debug/captures", debug)
 		debugSrv = &http.Server{
 			Addr:              opts.DebugAddr,
 			Handler:           dmux,
@@ -201,6 +249,20 @@ func Serve(ctx context.Context, opts ServerOptions) error {
 		shutdownDebug()
 		return err
 	case <-ctx.Done():
+		// Flip readiness before touching listeners: a load balancer that
+		// probes /readyz must see 503 while the service still answers, or
+		// it will keep routing new work into a closing socket.
+		s.SetDraining(true)
+		if opts.DrainDelay > 0 {
+			t := time.NewTimer(opts.DrainDelay)
+			select {
+			case <-t.C:
+			case err := <-errc:
+				t.Stop()
+				shutdownDebug()
+				return err
+			}
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {

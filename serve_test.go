@@ -3,6 +3,8 @@ package wmxml
 import (
 	"bytes"
 	"context"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -71,6 +73,78 @@ func TestServeHandlerRoundTrip(t *testing.T) {
 	recs, err := reg.ListReceipts("pub")
 	if err != nil || len(recs) != 1 || len(recs[0].Records) == 0 {
 		t.Fatalf("ListReceipts: %+v, %v", recs, err)
+	}
+}
+
+// TestServeDrainReadiness: cancelling Serve's context flips /readyz to
+// 503 "draining" for the DrainDelay window before the listener closes,
+// so load balancers stop routing new work ahead of the hard shutdown.
+func TestServeDrainReadiness(t *testing.T) {
+	// Reserve a port so the test can dial the server by address.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- Serve(ctx, ServerOptions{
+			Addr:           addr,
+			DrainDelay:     2 * time.Second,
+			HealthInterval: -1, // keep the test quiet
+			LogWriter:      io.Discard,
+		})
+	}()
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code, _ := get("/readyz"); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	var sawDraining bool
+	for time.Now().Before(deadline) {
+		code, body := get("/readyz")
+		if code == 0 {
+			break // listener closed: the drain window ended
+		}
+		if code == http.StatusServiceUnavailable && strings.Contains(body, "draining") {
+			sawDraining = true
+			// Liveness must hold while readiness is down.
+			if hcode, _ := get("/healthz"); hcode != http.StatusOK {
+				t.Fatalf("/healthz during drain: %d", hcode)
+			}
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawDraining {
+		t.Fatal("never observed /readyz 503 draining during the drain window")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not exit after the drain window")
 	}
 }
 
