@@ -29,6 +29,12 @@
 //	wmload --url http://127.0.0.1:8484 --requests 300 --out BENCH_PR3.json
 //	wmload --url http://127.0.0.1:8484 --requests 300 \
 //	       --fingerprint-every 25 --trace-every 3 --out BENCH_PR4.json
+//
+// With --nodes the harness instead runs the fleet scaling sweep: many
+// tenants, each with its own suspect document, detected round-robin
+// against one node (--nodes-baseline) and against the consistent-hash
+// fleet — measuring how aggregate cache capacity scales detect
+// throughput (see cmd/wmload/fleet.go and README "Running a fleet").
 package main
 
 import (
@@ -99,8 +105,21 @@ func main() {
 	deliver := fs.Int("deliver", 0, "run the local plan-splice delivery sweep for N recipients instead of driving a daemon (0 = off)")
 	deliverReps := fs.Int("deliver-reps", 9, "repetitions of the plan compile and full-embed baseline in --deliver mode")
 	scrape := fs.Bool("scrape", false, "fetch /metrics after the run, embed key server-side series into the report, and print the stage breakdown")
+	nodes := fs.String("nodes", "", "comma-separated fleet node URLs: run the multi-node scaling sweep instead of the single-daemon mix")
+	nodesBaseline := fs.String("nodes-baseline", "", "single-node baseline URL for the --nodes sweep's scaling_x ratio")
+	fleetOwners := fs.Int("fleet-owners", 24, "tenants in the --nodes sweep (pick it above the per-node --cache so one node thrashes)")
+	fleetRequests := fs.Int("fleet-requests", 240, "detect requests per --nodes sweep phase")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+
+	if *nodes != "" {
+		if err := runFleet(*nodes, *nodesBaseline, *fleetOwners, *fleetRequests, *concurrency,
+			*dataset, *size, *seed, *gamma, *out, *waitFor); err != nil {
+			fmt.Fprintf(os.Stderr, "wmload: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *deliver > 0 {

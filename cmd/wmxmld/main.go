@@ -14,6 +14,22 @@
 //	       [--health-interval 10s] [--watchdog-interval 10s]
 //	       [--capture-dir DIR] [--capture-max 8] [--capture-cooldown 5m]
 //	       [--capture-cpu 5s] [--drain-delay 0s]
+//	       [--registry-backend file|sharded|kv|remote|memory]
+//	       [--registry-shards 8] [--registry-url URL]
+//	       [--registry-cache-ttl 0s] [--cluster-key KEY]
+//	       [--fleet-nodes URL,URL,...] [--fleet-self URL]
+//	       [--owner-refresh 0s]
+//
+// Fleet mode: N stateless wmxmld nodes serve one tenant set. One node
+// holds the authoritative registry and exports it with --cluster-key
+// (mounting /internal/registry/); the others connect to it with
+// --registry-backend remote --registry-url. Every node lists the full
+// fleet with --fleet-nodes and names itself with --fleet-self;
+// owner-scoped requests landing on the wrong node are proxied to the
+// owner's consistent-hash home node, so each owner's parsed documents
+// warm exactly one cache. Clients may contact any node. On remote
+// nodes set --owner-refresh (and --registry-cache-ttl) to keep
+// registry round trips off the request hot path.
 //
 // API (see README "Running the service" for a curl walkthrough):
 //
@@ -73,6 +89,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -117,6 +134,14 @@ func main() {
 	captureCooldown := fs.Duration("capture-cooldown", 0, "min time between bundles for one firing rule (0 = 5m)")
 	captureCPU := fs.Duration("capture-cpu", 0, "CPU profile length recorded into each bundle (0 = 5s, negative = skip)")
 	drainDelay := fs.Duration("drain-delay", 0, "how long /readyz answers 503 before listeners close on shutdown (0 = immediate)")
+	regBackend := fs.String("registry-backend", "", "registry backend: file|sharded|kv|remote|memory (empty: file when --registry is set, else memory)")
+	regShards := fs.Int("registry-shards", 8, "shard count for --registry-backend sharded (fixed at creation)")
+	regURL := fs.String("registry-url", "", "base URL of the registry-holding node for --registry-backend remote")
+	regCacheTTL := fs.Duration("registry-cache-ttl", 0, "remote-registry read cache TTL (0 = revalidate every read)")
+	clusterKey := fs.String("cluster-key", "", "shared fleet secret; serves the node-to-node registry API under /internal/registry/ and authenticates remote registry clients")
+	fleetNodes := fs.String("fleet-nodes", "", "comma-separated addresses of every fleet node; enables consistent-hash owner routing")
+	fleetSelf := fs.String("fleet-self", "", "this node's own address as listed in --fleet-nodes")
+	ownerRefresh := fs.Duration("owner-refresh", 0, "max staleness of a compiled owner runtime before re-reading its registry record (0 = every request)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -134,23 +159,57 @@ func main() {
 	// machine-parseable.
 	logger := obs.NewLogger(os.Stderr, obs.LogOptions{Level: *logLevel, Format: *logFormat})
 
-	var store wmxml.ReceiptStore
-	if *regPath != "" {
-		f, err := registry.OpenFile(*regPath, registry.FileOptions{
-			NoSync:        *noSync,
-			CompactOnOpen: *compact,
-		})
-		if err != nil {
-			logger.Error("registry open failed", "path", *regPath, "error", err.Error())
-			os.Exit(1)
+	backend := *regBackend
+	if backend == "" {
+		if *regPath != "" {
+			backend = "file"
+		} else {
+			backend = "memory"
 		}
-		defer f.Close()
-		store = f
-		owners, _ := f.ListOwners()
-		logger.Info("registry opened", "path", *regPath, "owners", len(owners))
-	} else {
+	}
+	fopts := registry.FileOptions{NoSync: *noSync, CompactOnOpen: *compact}
+	var store wmxml.ReceiptStore
+	var err error
+	switch backend {
+	case "memory":
 		store = wmxml.NewMemoryRegistry()
 		logger.Info("in-memory registry (state is lost on exit)")
+	case "file":
+		if *regPath == "" {
+			logger.Error("--registry-backend file requires --registry PATH")
+			os.Exit(2)
+		}
+		store, err = registry.OpenFile(*regPath, fopts)
+	case "sharded":
+		if *regPath == "" {
+			logger.Error("--registry-backend sharded requires --registry DIR")
+			os.Exit(2)
+		}
+		store, err = registry.OpenSharded(*regPath, *regShards, fopts)
+	case "kv":
+		if *regPath == "" {
+			logger.Error("--registry-backend kv requires --registry PATH")
+			os.Exit(2)
+		}
+		store, err = registry.OpenKV(*regPath, fopts)
+	case "remote":
+		if *regURL == "" || *clusterKey == "" {
+			logger.Error("--registry-backend remote requires --registry-url and --cluster-key")
+			os.Exit(2)
+		}
+		store, err = registry.OpenRemote(*regURL, registry.RemoteOptions{Key: *clusterKey, CacheTTL: *regCacheTTL})
+	default:
+		logger.Error("unknown --registry-backend", "backend", backend)
+		os.Exit(2)
+	}
+	if err != nil {
+		logger.Error("registry open failed", "backend", backend, "path", *regPath, "url", *regURL, "error", err.Error())
+		os.Exit(1)
+	}
+	if backend != "memory" {
+		defer store.Close()
+		owners, _ := store.ListOwners()
+		logger.Info("registry opened", "backend", backend, "path", *regPath, "url", *regURL, "owners", len(owners))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -165,8 +224,21 @@ func main() {
 	if *captureDir != "" {
 		logger.Info("anomaly watchdog armed", "capture_dir", *captureDir)
 	}
+	var nodes []string
+	if *fleetNodes != "" {
+		for _, n := range strings.Split(*fleetNodes, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				nodes = append(nodes, n)
+			}
+		}
+		if len(nodes) >= 2 && *fleetSelf == "" {
+			logger.Error("--fleet-nodes with 2+ nodes requires --fleet-self")
+			os.Exit(2)
+		}
+		logger.Info("fleet routing", "nodes", len(nodes), "self", *fleetSelf)
+	}
 	logger.Info("listening", "addr", *addr, "version", version)
-	err := wmxml.Serve(ctx, wmxml.ServerOptions{
+	err = wmxml.Serve(ctx, wmxml.ServerOptions{
 		Addr:                 *addr,
 		Registry:             store,
 		Workers:              *workers,
@@ -193,6 +265,10 @@ func main() {
 		CaptureCooldown:      *captureCooldown,
 		CaptureCPUProfile:    *captureCPU,
 		DrainDelay:           *drainDelay,
+		OwnerRefresh:         *ownerRefresh,
+		ClusterKey:           *clusterKey,
+		FleetNodes:           nodes,
+		FleetSelf:            *fleetSelf,
 	})
 	if err != nil {
 		logger.Error("server exited", "error", err.Error())

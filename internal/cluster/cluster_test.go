@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty node list: want error")
+	}
+	if _, err := New([]string{"a", ""}); err == nil {
+		t.Fatal("empty address: want error")
+	}
+	if _, err := New([]string{"a", "b", "a"}); err == nil {
+		t.Fatal("duplicate address: want error")
+	}
+}
+
+// Every party that builds a ring from the same node list must compute
+// the same assignment — that is the whole coordination-free routing
+// argument — including when the list arrives in a different order.
+func TestDeterministicAcrossBuilds(t *testing.T) {
+	nodes := []string{"http://n0:8080", "http://n1:8080", "http://n2:8080", "http://n3:8080"}
+	r1, err := New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled := []string{nodes[2], nodes[0], nodes[3], nodes[1]}
+	r3, err := New(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		owner := fmt.Sprintf("tenant-%d", i)
+		if r1.Node(owner) != r2.Node(owner) {
+			t.Fatalf("same list, different assignment for %s", owner)
+		}
+		if r1.Node(owner) != r3.Node(owner) {
+			t.Fatalf("shuffled list changed assignment for %s: %s vs %s", owner, r1.Node(owner), r3.Node(owner))
+		}
+	}
+}
+
+// Spread: with 64 vnodes per node, 4 nodes over 10k owners should each
+// hold a meaningful share — no node starved, none hot-spotted beyond
+// 2x the fair share.
+func TestSpread(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r, err := New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(nodes))
+	const owners = 10000
+	for i := 0; i < owners; i++ {
+		counts[r.Owner(fmt.Sprintf("tenant-%d", i))]++
+	}
+	fair := owners / len(nodes)
+	for i, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("node %s holds %d of %d owners (fair share %d)", nodes[i], c, owners, fair)
+		}
+	}
+}
+
+// Removing one node must remap only the owners it held: everyone else
+// keeps their node (the cache-warmth property hash-mod-N lacks).
+func TestStabilityUnderResize(t *testing.T) {
+	four := []string{"a", "b", "c", "d"}
+	three := []string{"a", "b", "c"}
+	r4, err := New(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := New(three)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const owners = 10000
+	for i := 0; i < owners; i++ {
+		owner := fmt.Sprintf("tenant-%d", i)
+		before := r4.Node(owner)
+		after := r3.Node(owner)
+		if before != "d" && before != after {
+			t.Fatalf("owner %s moved from surviving node %s to %s", owner, before, after)
+		}
+		if before == "d" {
+			moved++
+		}
+	}
+	if moved == 0 || moved > owners/2 {
+		t.Fatalf("implausible displaced-owner count %d of %d", moved, owners)
+	}
+}
+
+func TestLenAndNodes(t *testing.T) {
+	r, err := New([]string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	got := r.Nodes()
+	got[0] = "mutated"
+	if r.Node("any-owner") == "mutated" && r.Nodes()[0] == "mutated" {
+		t.Fatal("Nodes() leaked the internal slice")
+	}
+	if r.Nodes()[0] != "x" {
+		t.Fatal("Nodes() copy was not defensive")
+	}
+}

@@ -1,0 +1,218 @@
+package registry
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestCompactDoesNotStallReads is the regression test for the ISSUE 10
+// stall bug: File.Compact used to hold the store mutex across the
+// entire snapshot rewrite, so every Get and append blocked for the
+// duration — seconds on a large registry. The rewritten Compact holds
+// the lock only to pin the snapshot boundary and to splice the delta,
+// so reads and appends must complete while the rewrite itself is still
+// in flight.
+//
+// The test parks the compaction inside the rewrite window via
+// compactHook (deterministic — no timing-dependent sleeps deciding
+// correctness) and requires Gets, Lists and appends to finish while it
+// is parked. If compaction were still holding the lock, these would
+// block until the hook released and the generous timeout would trip.
+func TestCompactDoesNotStallReads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.jsonl")
+	st, err := OpenFile(path, FileOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Enough state that the rewrite is real work: 40 owners, each
+	// re-registered (so compaction has something to drop) with receipts
+	// and recipients.
+	for i := 0; i < 40; i++ {
+		id := fmt.Sprintf("tenant-%02d", i)
+		for g := 1; g <= 3; g++ {
+			o := testOwner(id)
+			o.Gamma = g
+			if err := st.PutOwner(o); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for r := 0; r < 5; r++ {
+			if err := st.AddReceipt(testReceipt(id, fmt.Sprintf("r-%d", r))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.PutRecipient(Recipient{ID: "mirror", Owner: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	st.compactHook = func() {
+		close(parked)
+		<-release
+	}
+	compactDone := make(chan error, 1)
+	go func() { compactDone <- st.Compact() }()
+
+	select {
+	case <-parked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("compaction never reached the rewrite window")
+	}
+
+	// Compaction is now mid-rewrite and will stay there until released.
+	// Every store operation must complete anyway.
+	opsDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < 40; i++ {
+			id := fmt.Sprintf("tenant-%02d", i)
+			if _, err := st.GetOwner(id); err != nil {
+				opsDone <- fmt.Errorf("GetOwner(%s): %w", id, err)
+				return
+			}
+			if recs, err := st.ListReceipts(id); err != nil || len(recs) != 5 {
+				opsDone <- fmt.Errorf("ListReceipts(%s) = %d, %v", id, len(recs), err)
+				return
+			}
+		}
+		// Appends during the window land in the delta and must survive
+		// the swap.
+		if err := st.AddReceipt(testReceipt("tenant-00", "mid-compact")); err != nil {
+			opsDone <- err
+			return
+		}
+		o := testOwner("late-tenant")
+		if err := st.PutOwner(o); err != nil {
+			opsDone <- err
+			return
+		}
+		if err := st.AddReceipt(testReceipt("late-tenant", "late-r")); err != nil {
+			opsDone <- err
+			return
+		}
+		opsDone <- nil
+	}()
+
+	select {
+	case err := <-opsDone:
+		if err != nil {
+			t.Fatalf("store op failed during compaction: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reads/appends stalled behind an in-flight compaction")
+	}
+
+	close(release)
+	if err := <-compactDone; err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+
+	// The mid-compaction appends survived the file swap in the live
+	// handle…
+	if _, err := st.GetReceipt("tenant-00", "mid-compact"); err != nil {
+		t.Fatalf("mid-compaction receipt lost after swap: %v", err)
+	}
+	if _, err := st.GetReceipt("late-tenant", "late-r"); err != nil {
+		t.Fatalf("mid-compaction owner+receipt lost after swap: %v", err)
+	}
+	// …the swapped handle still appends…
+	if err := st.AddReceipt(testReceipt("tenant-01", "post-compact")); err != nil {
+		t.Fatal(err)
+	}
+	st.compactHook = nil
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// …and the compacted log + delta replays identically on reopen.
+	re, err := OpenFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	owners, err := re.ListOwners()
+	if err != nil || len(owners) != 41 {
+		t.Fatalf("owners after reopen = %d, %v (want 41)", len(owners), err)
+	}
+	for _, probe := range [][2]string{
+		{"tenant-00", "mid-compact"},
+		{"late-tenant", "late-r"},
+		{"tenant-01", "post-compact"},
+		{"tenant-39", "r-4"},
+	} {
+		if _, err := re.GetReceipt(probe[0], probe[1]); err != nil {
+			t.Errorf("receipt %s/%s lost across compaction+reopen: %v", probe[0], probe[1], err)
+		}
+	}
+	if o, _ := re.GetOwner("tenant-00"); o.Gamma != 3 {
+		t.Errorf("latest owner registration lost: %+v", o)
+	}
+}
+
+// TestCompactConcurrentWithWrites hammers the store with concurrent
+// appends while repeated compactions run — the race-detector companion
+// to the deterministic stall test. Every acknowledged append must be
+// present at the end and after a reopen.
+func TestCompactConcurrentWithWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.jsonl")
+	st, err := OpenFile(path, FileOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.PutOwner(testOwner("acme")); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 4
+	const perWriter = 25
+	errs := make(chan error, writers+1)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < perWriter; i++ {
+				if err := st.AddReceipt(testReceipt("acme", fmt.Sprintf("w%d-r%d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	go func() {
+		for i := 0; i < 8; i++ {
+			if err := st.Compact(); err != nil {
+				errs <- fmt.Errorf("compact %d: %w", i, err)
+				return
+			}
+		}
+		errs <- nil
+	}()
+	for i := 0; i < writers+1; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	check := func(s Store) {
+		t.Helper()
+		recs, err := s.ListReceipts("acme")
+		if err != nil || len(recs) != writers*perWriter {
+			t.Fatalf("receipts = %d, %v (want %d)", len(recs), err, writers*perWriter)
+		}
+	}
+	check(st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFile(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	check(re)
+}

@@ -24,10 +24,17 @@ import (
 type File struct {
 	mem *Memory
 
-	mu   sync.Mutex // serializes appends and compaction
+	mu   sync.Mutex // serializes appends and the compaction swap
 	path string
 	f    *os.File
 	sync bool
+
+	compactMu sync.Mutex // serializes whole compactions against each other
+
+	// compactHook, when set (tests only), runs after the snapshot
+	// rewrite and before the delta copy + swap — the window where
+	// appends and reads must proceed unblocked.
+	compactHook func()
 }
 
 // FileOptions tunes a File store.
@@ -342,12 +349,40 @@ func (fs *File) ListReceipts(owner string) ([]Receipt, error) {
 
 // Compact rewrites the log to its live state: one line per owner
 // (latest registration wins) followed by each owner's recipients,
-// delivery plans and receipts in insertion order. The rewrite goes through a temp file in
-// the same directory and
-// an atomic rename, so a crash at any point leaves a complete log.
+// delivery plans and receipts in insertion order. The rewrite goes
+// through a temp file in the same directory and an atomic rename, so a
+// crash at any point leaves a complete log.
+//
+// Compaction does not stall the store. The append lock is held only
+// twice, briefly: once to pin a consistent snapshot boundary (copy the
+// memory state, record the log size it corresponds to), and once at the
+// end to splice in whatever was appended during the rewrite and swap
+// the files. The snapshot itself — the expensive part, proportional to
+// the live state — streams to the temp file with no lock held, so
+// concurrent Gets, Lists and appends proceed at full speed while a
+// large registry compacts.
 func (fs *File) Compact() error {
+	// One compaction at a time: two interleaved rewrites would each
+	// rename a fresh log into place and orphan the other's appends.
+	fs.compactMu.Lock()
+	defer fs.compactMu.Unlock()
+
+	// Phase 1 (brief lock): pin the snapshot boundary. Appends hold
+	// fs.mu across the log write and the memory apply, so under the
+	// lock the memory state is exactly the replay of the log's first
+	// `base` bytes.
 	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	st, err := fs.f.Stat()
+	if err != nil {
+		fs.mu.Unlock()
+		return fmt.Errorf("registry: compact: %w", err)
+	}
+	base := st.Size()
+	snap := fs.mem.snapshot()
+	src := fs.f
+	fs.mu.Unlock()
+
+	// Phase 2 (no lock): stream the snapshot to a temp file.
 	dir := filepath.Dir(fs.path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(fs.path)+".compact-*")
 	if err != nil {
@@ -364,43 +399,61 @@ func (fs *File) Compact() error {
 		_, err = w.Write(data)
 		return err
 	}
-	owners, _ := fs.mem.ListOwners()
-	for i := range owners {
-		if err := writeLine(logLine{T: "owner", Owner: &owners[i]}); err != nil {
-			tmp.Close()
-			return fmt.Errorf("registry: compact: %w", err)
+	fail := func(err error) error {
+		tmp.Close()
+		return fmt.Errorf("registry: compact: %w", err)
+	}
+	for i := range snap.owners {
+		if err := writeLine(logLine{T: "owner", Owner: &snap.owners[i]}); err != nil {
+			return fail(err)
 		}
 	}
-	for _, o := range owners {
-		rcs, _ := fs.mem.ListRecipients(o.ID)
+	for _, o := range snap.owners {
+		rcs := snap.recipients[o.ID]
 		for i := range rcs {
 			if err := writeLine(logLine{T: "recipient", V: RecipientRecordVersion, Recipient: &rcs[i]}); err != nil {
-				tmp.Close()
-				return fmt.Errorf("registry: compact: %w", err)
+				return fail(err)
 			}
 		}
-		plans, _ := fs.mem.ListPlans(o.ID)
+		plans := snap.plans[o.ID]
 		for i := range plans {
 			if err := writeLine(logLine{T: "plan", V: PlanRecordVersion, Plan: &plans[i]}); err != nil {
-				tmp.Close()
-				return fmt.Errorf("registry: compact: %w", err)
+				return fail(err)
 			}
 		}
-		recs, _ := fs.mem.ListReceipts(o.ID)
+		recs := snap.receipts[o.ID]
 		for i := range recs {
 			if err := writeLine(logLine{T: "receipt", Receipt: &recs[i]}); err != nil {
-				tmp.Close()
-				return fmt.Errorf("registry: compact: %w", err)
+				return fail(err)
 			}
 		}
 	}
 	if err := w.Flush(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("registry: compact: %w", err)
+		return fail(err)
+	}
+	if fs.compactHook != nil {
+		fs.compactHook()
+	}
+
+	// Phase 3 (brief lock): splice in the lines appended since the
+	// snapshot boundary, make the file durable, and swap it in. The
+	// delta is whole lines by construction — appends hold fs.mu for the
+	// full write, and we hold it here — and replays cleanly on top of
+	// the snapshot because the snapshot is the state at exactly `base`.
+	// ReadAt leaves the O_APPEND handle's write position alone.
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st, err = fs.f.Stat()
+	if err != nil {
+		return fail(err)
+	}
+	if delta := st.Size() - base; delta > 0 {
+		if _, err := io.Copy(tmp, io.NewSectionReader(src, base, delta)); err != nil {
+			return fail(err)
+		}
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("registry: compact: %w", err)
+		return fail(err)
 	}
 	// Lock the replacement BEFORE it becomes visible at fs.path: the
 	// advisory lock is per inode, and taking it only after the rename
@@ -409,12 +462,10 @@ func (fs *File) Compact() error {
 	// acknowledged writes that silently vanish. Locking first and then
 	// renaming means the swapped-in file is never observable unlocked.
 	if err := lockFile(tmp); err != nil {
-		tmp.Close()
-		return fmt.Errorf("registry: compact: %w", err)
+		return fail(err)
 	}
 	if err := os.Rename(tmp.Name(), fs.path); err != nil {
-		tmp.Close()
-		return fmt.Errorf("registry: compact: %w", err)
+		return fail(err)
 	}
 	// tmp stays open as the store's handle. It lacks O_APPEND, but its
 	// position sits at end-of-file and the exclusive lock guarantees no

@@ -8,6 +8,41 @@ import (
 	"testing"
 )
 
+// replaySeeds is the FuzzReplay seed corpus. The conformance suite
+// reuses it: every state a File replays out of a seed must round-trip
+// identically into every other backend.
+var replaySeeds = []string{
+	// Clean log with every record type, including a versioned
+	// recipient line.
+	`{"t":"owner","owner":{"id":"a","key":"k","mark":"m","dataset":"pubs"}}
+{"t":"recipient","v":1,"recipient":{"id":"r1","owner":"a","note":"EU"}}
+{"t":"receipt","receipt":{"id":"x","owner":"a","records":[{"id":"u","query":"q","type":"integer"}],"recipient":"r1"}}
+`,
+	// Torn tail: crash mid-append.
+	`{"t":"owner","owner":{"id":"a","key":"k","mark":"m","dataset":"pubs"}}
+{"t":"recipient","v":1,"recipient":{"id":"r1","ow`,
+	// Terminated but garbage final line.
+	`{"t":"owner","owner":{"id":"a","key":"k","mark":"m","dataset":"pubs"}}
+###garbage###
+`,
+	// Garbage in the middle: must fail the open.
+	`###garbage###
+{"t":"owner","owner":{"id":"a","key":"k","mark":"m","dataset":"pubs"}}
+`,
+	// Recipient record from a future build.
+	`{"t":"owner","owner":{"id":"a","key":"k","mark":"m","dataset":"pubs"}}
+{"t":"recipient","v":99,"recipient":{"id":"r1","owner":"a"}}
+`,
+	// Recipient before its owner: invalid order.
+	`{"t":"recipient","v":1,"recipient":{"id":"r1","owner":"ghost"}}
+`,
+	// Unknown record type, empty file, raw zeros.
+	`{"t":"wormhole","owner":{"id":"a","key":"k","mark":"m","dataset":"pubs"}}
+`,
+	"",
+	"\x00\x00\x00\n",
+}
+
 // FuzzReplay feeds arbitrary bytes to the JSONL replay path. The
 // invariants, whatever the input:
 //
@@ -19,38 +54,7 @@ import (
 //   - An opened store remains fully usable: registering an owner, a
 //     recipient and a receipt must work on top of whatever survived.
 func FuzzReplay(f *testing.F) {
-	seeds := []string{
-		// Clean log with every record type, including a versioned
-		// recipient line.
-		`{"t":"owner","owner":{"id":"a","key":"k","mark":"m","dataset":"pubs"}}
-{"t":"recipient","v":1,"recipient":{"id":"r1","owner":"a","note":"EU"}}
-{"t":"receipt","receipt":{"id":"x","owner":"a","records":[{"id":"u","query":"q","type":"integer"}],"recipient":"r1"}}
-`,
-		// Torn tail: crash mid-append.
-		`{"t":"owner","owner":{"id":"a","key":"k","mark":"m","dataset":"pubs"}}
-{"t":"recipient","v":1,"recipient":{"id":"r1","ow`,
-		// Terminated but garbage final line.
-		`{"t":"owner","owner":{"id":"a","key":"k","mark":"m","dataset":"pubs"}}
-###garbage###
-`,
-		// Garbage in the middle: must fail the open.
-		`###garbage###
-{"t":"owner","owner":{"id":"a","key":"k","mark":"m","dataset":"pubs"}}
-`,
-		// Recipient record from a future build.
-		`{"t":"owner","owner":{"id":"a","key":"k","mark":"m","dataset":"pubs"}}
-{"t":"recipient","v":99,"recipient":{"id":"r1","owner":"a"}}
-`,
-		// Recipient before its owner: invalid order.
-		`{"t":"recipient","v":1,"recipient":{"id":"r1","owner":"ghost"}}
-`,
-		// Unknown record type, empty file, raw zeros.
-		`{"t":"wormhole","owner":{"id":"a","key":"k","mark":"m","dataset":"pubs"}}
-`,
-		"",
-		"\x00\x00\x00\n",
-	}
-	for _, s := range seeds {
+	for _, s := range replaySeeds {
 		f.Add([]byte(s))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {

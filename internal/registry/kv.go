@@ -1,0 +1,535 @@
+package registry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// KV is an embedded key/value Store in the bitcask mold: one
+// append-only log under an exclusive flock, and an in-memory keydir
+// mapping every live key to the offset of its latest record. Unlike
+// File — which replays the whole log into a Memory store and serves
+// reads from RAM — KV keeps only offsets resident; record bodies
+// (including multi-megabyte delivery plans) stay on disk and are read
+// back with ReadAt on demand. That trades a disk read per Get for a
+// memory footprint proportional to the key count rather than the data
+// size, which is the right shape for plan-heavy tenants.
+//
+// Crash-safety matches File: appends are fsync'd line+newline together,
+// replay applies only newline-terminated lines, a corrupt final line is
+// torn-write damage and is dropped, and a corrupt middle line fails the
+// open.
+type KV struct {
+	mu   sync.RWMutex
+	path string
+	f    *os.File
+	sync bool
+	end  int64 // current log length; next append lands here
+
+	keydir map[kvKey]kvLoc
+
+	owners    map[string]struct{} // registered owner ids
+	receipts  map[string][]string // owner -> receipt ids, insertion order
+	recOrder  map[string][]string // owner -> recipient ids, first-registration order
+	planOrder map[string][]string // owner -> plan digests, first-store order
+}
+
+// kvKey identifies one record. A struct key (rather than a joined
+// string) sidesteps delimiter collisions: receipt ids and plan digests
+// are caller-chosen strings.
+type kvKey struct {
+	kind  byte // 'o' owner, 'c' receipt, 'r' recipient, 'p' plan
+	owner string
+	id    string // empty for owners
+}
+
+// kvLoc is a record's location in the log: the whole line, terminator
+// included.
+type kvLoc struct {
+	off int64
+	n   int64
+}
+
+// KVRecordVersion gates the kv line format; replay rejects versions
+// newer than this build understands.
+const KVRecordVersion = 1
+
+// kvLine is one JSONL record: the key fields plus the record body as
+// raw JSON (an Owner, Receipt, Recipient or PlanRecord per T).
+type kvLine struct {
+	V int             `json:"v"`
+	T string          `json:"t"`           // "owner" / "receipt" / "recipient" / "plan"
+	O string          `json:"o"`           // owner id
+	K string          `json:"k,omitempty"` // record id within the owner (receipt/recipient id, plan digest)
+	D json.RawMessage `json:"d"`           // the record itself
+}
+
+// OpenKV opens (or creates) a KV registry log and indexes it. The same
+// FileOptions knobs apply: NoSync trades durability for throughput,
+// CompactOnOpen drops superseded records right after replay.
+func OpenKV(path string, opts FileOptions) (*KV, error) {
+	f, err := openLocked(path)
+	if err != nil {
+		return nil, err
+	}
+	kv := &KV{
+		path:      path,
+		f:         f,
+		sync:      !opts.NoSync,
+		keydir:    make(map[kvKey]kvLoc),
+		owners:    make(map[string]struct{}),
+		receipts:  make(map[string][]string),
+		recOrder:  make(map[string][]string),
+		planOrder: make(map[string][]string),
+	}
+	if err := kv.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if opts.CompactOnOpen {
+		if err := kv.Compact(); err != nil {
+			kv.f.Close()
+			return nil, err
+		}
+	}
+	return kv, nil
+}
+
+// replay scans the log, building the keydir and order slices. The
+// torn-tail rules mirror File.replay.
+func (kv *KV) replay() error {
+	if _, err := kv.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	rd := bufio.NewReaderSize(kv.f, 1<<16)
+	var good int64
+	for lineNo := 1; ; lineNo++ {
+		line, err := rd.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return fmt.Errorf("registry: read %s: %w", kv.path, err)
+		}
+		if len(line) == 0 || line[len(line)-1] != '\n' {
+			break // unterminated tail (or clean EOF): truncate from good
+		}
+		if aerr := kv.applyLine(line, good); aerr != nil {
+			if _, perr := rd.Peek(1); perr == io.EOF {
+				break // corrupt final line: torn write, drop it
+			}
+			return fmt.Errorf("registry: %s line %d: %w", kv.path, lineNo, aerr)
+		}
+		good += int64(len(line))
+		if err == io.EOF {
+			break
+		}
+	}
+	if err := kv.f.Truncate(good); err != nil {
+		return fmt.Errorf("registry: truncate torn tail of %s: %w", kv.path, err)
+	}
+	kv.end = good
+	return nil
+}
+
+// applyLine indexes one replayed line at offset off. Later records for
+// a key supersede earlier ones in the keydir but keep the key's
+// original order slot, matching the Memory/File re-put semantics.
+func (kv *KV) applyLine(line []byte, off int64) error {
+	var rec kvLine
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return err
+	}
+	if rec.V > KVRecordVersion {
+		return fmt.Errorf("kv record version %d is newer than this build supports (%d)", rec.V, KVRecordVersion)
+	}
+	var kind byte
+	switch rec.T {
+	case "owner":
+		kind = 'o'
+	case "receipt":
+		kind = 'c'
+	case "recipient":
+		kind = 'r'
+	case "plan":
+		kind = 'p'
+	default:
+		return fmt.Errorf("unknown kv record type %q", rec.T)
+	}
+	if rec.O == "" || len(rec.D) == 0 {
+		return fmt.Errorf("kv %s line without owner or body", rec.T)
+	}
+	if kind != 'o' && rec.K == "" {
+		return fmt.Errorf("kv %s line without id", rec.T)
+	}
+	key := kvKey{kind: kind, owner: rec.O, id: rec.K}
+	if _, seen := kv.keydir[key]; !seen {
+		switch kind {
+		case 'o':
+			kv.owners[rec.O] = struct{}{}
+		case 'c':
+			kv.receipts[rec.O] = append(kv.receipts[rec.O], rec.K)
+		case 'r':
+			kv.recOrder[rec.O] = append(kv.recOrder[rec.O], rec.K)
+		case 'p':
+			kv.planOrder[rec.O] = append(kv.planOrder[rec.O], rec.K)
+		}
+	}
+	kv.keydir[key] = kvLoc{off: off, n: int64(len(line))}
+	return nil
+}
+
+// appendLocked writes one record and indexes it. Callers hold kv.mu.
+func (kv *KV) appendLocked(kind byte, t, owner, id string, record any) error {
+	body, err := json.Marshal(record)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(kvLine{V: KVRecordVersion, T: t, O: owner, K: id, D: body})
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if _, err := kv.f.Write(data); err != nil {
+		return fmt.Errorf("registry: append to %s: %w", kv.path, err)
+	}
+	if kv.sync {
+		if err := kv.f.Sync(); err != nil {
+			return fmt.Errorf("registry: sync %s: %w", kv.path, err)
+		}
+	}
+	key := kvKey{kind: kind, owner: owner, id: id}
+	if _, seen := kv.keydir[key]; !seen {
+		switch kind {
+		case 'o':
+			kv.owners[owner] = struct{}{}
+		case 'c':
+			kv.receipts[owner] = append(kv.receipts[owner], id)
+		case 'r':
+			kv.recOrder[owner] = append(kv.recOrder[owner], id)
+		case 'p':
+			kv.planOrder[owner] = append(kv.planOrder[owner], id)
+		}
+	}
+	kv.keydir[key] = kvLoc{off: kv.end, n: int64(len(data))}
+	kv.end += int64(len(data))
+	return nil
+}
+
+// readLocked fetches and decodes the record at key into out. Callers
+// hold kv.mu (either mode — ReadAt does not move the append position).
+func (kv *KV) readLocked(key kvKey, out any) error {
+	loc, ok := kv.keydir[key]
+	if !ok {
+		return ErrNotFound
+	}
+	buf := make([]byte, loc.n)
+	if _, err := kv.f.ReadAt(buf, loc.off); err != nil {
+		return fmt.Errorf("registry: read %s @%d: %w", kv.path, loc.off, err)
+	}
+	var rec kvLine
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return fmt.Errorf("registry: decode %s @%d: %w", kv.path, loc.off, err)
+	}
+	if err := json.Unmarshal(rec.D, out); err != nil {
+		return fmt.Errorf("registry: decode %s @%d: %w", kv.path, loc.off, err)
+	}
+	return nil
+}
+
+// PutOwner registers or replaces an owner, durably.
+func (kv *KV) PutOwner(o Owner) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.appendLocked('o', "owner", o.ID, "", o)
+}
+
+// GetOwner returns the owner or ErrNotFound.
+func (kv *KV) GetOwner(id string) (Owner, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	var o Owner
+	if err := kv.readLocked(kvKey{kind: 'o', owner: id}, &o); err != nil {
+		return Owner{}, err
+	}
+	return o, nil
+}
+
+// ListOwners returns every owner, id-sorted.
+func (kv *KV) ListOwners() ([]Owner, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	ids := make([]string, 0, len(kv.owners))
+	for id := range kv.owners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Owner, 0, len(ids))
+	for _, id := range ids {
+		var o Owner
+		if err := kv.readLocked(kvKey{kind: 'o', owner: id}, &o); err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// AddReceipt appends a receipt; (owner, id) must be new, the owner must
+// exist.
+func (kv *KV) AddReceipt(r Receipt) error {
+	if err := validateReceipt(r); err != nil {
+		return err
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if _, ok := kv.owners[r.Owner]; !ok {
+		return ErrNotFound
+	}
+	if _, dup := kv.keydir[kvKey{kind: 'c', owner: r.Owner, id: r.ID}]; dup {
+		return ErrDuplicate
+	}
+	return kv.appendLocked('c', "receipt", r.Owner, r.ID, r)
+}
+
+// GetReceipt returns one receipt or ErrNotFound.
+func (kv *KV) GetReceipt(owner, id string) (Receipt, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	var r Receipt
+	if err := kv.readLocked(kvKey{kind: 'c', owner: owner, id: id}, &r); err != nil {
+		return Receipt{}, err
+	}
+	return r, nil
+}
+
+// ListReceipts returns an owner's receipts in insertion order.
+func (kv *KV) ListReceipts(owner string) ([]Receipt, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if _, ok := kv.owners[owner]; !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]Receipt, 0, len(kv.receipts[owner]))
+	for _, id := range kv.receipts[owner] {
+		var r Receipt
+		if err := kv.readLocked(kvKey{kind: 'c', owner: owner, id: id}, &r); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PutRecipient registers (or re-labels) a recipient; the owner must
+// exist. Re-putting an existing id keeps the original registration time
+// and ordering.
+func (kv *KV) PutRecipient(rc Recipient) error {
+	if err := rc.Validate(); err != nil {
+		return err
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if _, ok := kv.owners[rc.Owner]; !ok {
+		return ErrNotFound
+	}
+	var old Recipient
+	if err := kv.readLocked(kvKey{kind: 'r', owner: rc.Owner, id: rc.ID}, &old); err == nil {
+		if rc.CreatedUnix == 0 || (old.CreatedUnix != 0 && old.CreatedUnix < rc.CreatedUnix) {
+			rc.CreatedUnix = old.CreatedUnix
+		}
+	}
+	return kv.appendLocked('r', "recipient", rc.Owner, rc.ID, rc)
+}
+
+// GetRecipient returns one recipient or ErrNotFound.
+func (kv *KV) GetRecipient(owner, id string) (Recipient, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	var rc Recipient
+	if err := kv.readLocked(kvKey{kind: 'r', owner: owner, id: id}, &rc); err != nil {
+		return Recipient{}, err
+	}
+	return rc, nil
+}
+
+// ListRecipients returns an owner's recipients in first-registration
+// order.
+func (kv *KV) ListRecipients(owner string) ([]Recipient, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if _, ok := kv.owners[owner]; !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]Recipient, 0, len(kv.recOrder[owner]))
+	for _, id := range kv.recOrder[owner] {
+		var rc Recipient
+		if err := kv.readLocked(kvKey{kind: 'r', owner: owner, id: id}, &rc); err != nil {
+			return nil, err
+		}
+		out = append(out, rc)
+	}
+	return out, nil
+}
+
+// PutPlan stores or replaces a compiled delivery plan; the owner must
+// exist. Re-putting a digest keeps the original store time and
+// ordering.
+func (kv *KV) PutPlan(p PlanRecord) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if _, ok := kv.owners[p.Owner]; !ok {
+		return ErrNotFound
+	}
+	var old PlanRecord
+	if err := kv.readLocked(kvKey{kind: 'p', owner: p.Owner, id: p.Digest}, &old); err == nil {
+		if p.CreatedUnix == 0 || (old.CreatedUnix != 0 && old.CreatedUnix < p.CreatedUnix) {
+			p.CreatedUnix = old.CreatedUnix
+		}
+	}
+	return kv.appendLocked('p', "plan", p.Owner, p.Digest, p)
+}
+
+// GetPlan returns the plan for (owner, digest) or ErrNotFound.
+func (kv *KV) GetPlan(owner, digest string) (PlanRecord, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	var p PlanRecord
+	if err := kv.readLocked(kvKey{kind: 'p', owner: owner, id: digest}, &p); err != nil {
+		return PlanRecord{}, err
+	}
+	return p, nil
+}
+
+// ListPlans returns an owner's plans in first-store order.
+func (kv *KV) ListPlans(owner string) ([]PlanRecord, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if _, ok := kv.owners[owner]; !ok {
+		return nil, ErrNotFound
+	}
+	out := make([]PlanRecord, 0, len(kv.planOrder[owner]))
+	for _, d := range kv.planOrder[owner] {
+		var p PlanRecord
+		if err := kv.readLocked(kvKey{kind: 'p', owner: owner, id: d}, &p); err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Compact rewrites the log to one line per live key, in the canonical
+// order (owners id-sorted, then each owner's recipients, plans and
+// receipts in listing order), and rebuilds the keydir against the new
+// offsets. Unlike File.Compact this holds the write lock throughout:
+// the rewrite copies raw line bytes with no JSON round-trip, so for the
+// keydir-sized states KV targets the pause is short, and a non-stalling
+// variant would have to version every offset in the keydir across the
+// swap.
+func (kv *KV) Compact() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	dir := filepath.Dir(kv.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(kv.path)+".compact-*")
+	if err != nil {
+		return fmt.Errorf("registry: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after the rename succeeds
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	newDir := make(map[kvKey]kvLoc, len(kv.keydir))
+	var off int64
+	copyLine := func(key kvKey) error {
+		loc, ok := kv.keydir[key]
+		if !ok {
+			return fmt.Errorf("keydir missing %c/%s/%s", key.kind, key.owner, key.id)
+		}
+		buf := make([]byte, loc.n)
+		if _, err := kv.f.ReadAt(buf, loc.off); err != nil {
+			return err
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		newDir[key] = kvLoc{off: off, n: loc.n}
+		off += loc.n
+		return nil
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		return fmt.Errorf("registry: compact: %w", err)
+	}
+	ownerIDs := make([]string, 0, len(kv.owners))
+	for id := range kv.owners {
+		ownerIDs = append(ownerIDs, id)
+	}
+	sort.Strings(ownerIDs)
+	for _, id := range ownerIDs {
+		if err := copyLine(kvKey{kind: 'o', owner: id}); err != nil {
+			return fail(err)
+		}
+	}
+	for _, owner := range ownerIDs {
+		for _, id := range kv.recOrder[owner] {
+			if err := copyLine(kvKey{kind: 'r', owner: owner, id: id}); err != nil {
+				return fail(err)
+			}
+		}
+		for _, d := range kv.planOrder[owner] {
+			if err := copyLine(kvKey{kind: 'p', owner: owner, id: d}); err != nil {
+				return fail(err)
+			}
+		}
+		for _, id := range kv.receipts[owner] {
+			if err := copyLine(kvKey{kind: 'c', owner: owner, id: id}); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	// Same invariant as File.Compact: lock the replacement before the
+	// rename makes it visible, so the swapped-in file is never
+	// observable unlocked.
+	if err := lockFile(tmp); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), kv.path); err != nil {
+		return fail(err)
+	}
+	old := kv.f
+	kv.f = tmp
+	kv.keydir = newDir
+	kv.end = off
+	old.Close()
+	return nil
+}
+
+// LogSize reports the current log length in bytes.
+func (kv *KV) LogSize() (int64, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.end, nil
+}
+
+// Close releases the lock and the file handle.
+func (kv *KV) Close() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.f.Close()
+}
+
+var _ Store = (*KV)(nil)

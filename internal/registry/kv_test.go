@@ -1,0 +1,207 @@
+package registry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestKVTornTail: KV inherits the File crash rules — a torn or garbage
+// final line is dropped, acknowledged records survive, and the handle
+// keeps appending on a clean boundary.
+func TestKVTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.kv")
+	st, err := OpenKV(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutOwner(testOwner("acme")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddReceipt(testReceipt("acme", "r1")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	for _, torn := range []string{
+		`{"v":1,"t":"receipt","o":"acme","k":"r2","d":{"id":"r2","ow`,
+		`{"v":1,"t":###garbage###`,
+	} {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(torn); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		re, err := OpenKV(path, FileOptions{})
+		if err != nil {
+			t.Fatalf("open with torn tail %q: %v", torn, err)
+		}
+		if _, err := re.GetReceipt("acme", "r1"); err != nil {
+			t.Fatalf("torn tail %q lost acknowledged receipt: %v", torn, err)
+		}
+		if err := re.AddReceipt(testReceipt("acme", "fresh-"+torn[len(torn)-4:])); err != nil {
+			t.Fatalf("append after torn-tail recovery: %v", err)
+		}
+		if err := re.Compact(); err != nil {
+			t.Fatal(err)
+		}
+		re.Close()
+	}
+}
+
+// TestKVCorruptMiddleFails: mid-log damage is corruption, not crash
+// residue, and must fail the open.
+func TestKVCorruptMiddleFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.kv")
+	st, err := OpenKV(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.PutOwner(testOwner("acme"))
+	st.AddReceipt(testReceipt("acme", "r1"))
+	st.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[0] = "###corrupt###\n"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenKV(path, FileOptions{}); err == nil {
+		t.Fatal("open succeeded over mid-log corruption")
+	}
+}
+
+// TestKVVersionGate: a record from a future build fails the open.
+func TestKVVersionGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.kv")
+	st, err := OpenKV(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.PutOwner(testOwner("acme"))
+	st.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"v":99,"t":"receipt","o":"acme","k":"x","d":{}}` + "\n")
+	f.WriteString(`{"v":1,"t":"recipient","o":"acme","k":"y","d":{"id":"y","owner":"acme"}}` + "\n")
+	f.Close()
+	if _, err := OpenKV(path, FileOptions{}); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("open over future-versioned record = %v, want version error", err)
+	}
+}
+
+// TestKVCompact: superseded records are dropped, the keydir is rebuilt
+// against the new offsets (reads work immediately, no reopen), and the
+// compacted log replays identically.
+func TestKVCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.kv")
+	st, err := OpenKV(path, FileOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		o := testOwner("acme")
+		o.Gamma = i + 1
+		if err := st.PutOwner(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.AddReceipt(testReceipt("acme", "r1"))
+	st.PutRecipient(Recipient{ID: "mirror", Owner: "acme", CreatedUnix: 7})
+	st.PutPlan(testPlan("acme", "p1"))
+	before, _ := st.LogSize()
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := st.LogSize()
+	if after >= before {
+		t.Errorf("compaction did not shrink the log: %d -> %d bytes", before, after)
+	}
+	// Reads go through the rebuilt keydir offsets.
+	if o, err := st.GetOwner("acme"); err != nil || o.Gamma != 50 {
+		t.Fatalf("owner after compact = %+v, %v", o, err)
+	}
+	if _, err := st.GetReceipt("acme", "r1"); err != nil {
+		t.Fatalf("receipt after compact: %v", err)
+	}
+	if p, err := st.GetPlan("acme", testPlan("acme", "p1").Digest); err != nil || p.Validate() != nil {
+		t.Fatalf("plan after compact = %v (validate %v)", err, p.Validate())
+	}
+	// Appends land on the swapped handle.
+	if err := st.AddReceipt(testReceipt("acme", "r2")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	re, err := OpenKV(path, FileOptions{CompactOnOpen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs, err := re.ListReceipts("acme")
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("after compacted reopen: %d receipts, %v", len(recs), err)
+	}
+	if rc, err := re.GetRecipient("acme", "mirror"); err != nil || rc.CreatedUnix != 7 {
+		t.Fatalf("recipient after compacted reopen = %+v, %v", rc, err)
+	}
+}
+
+// TestKVSecondProcessRefused mirrors the File lock semantics.
+func TestKVSecondProcessRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "reg.kv")
+	st, err := OpenKV(path, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := OpenKV(path, FileOptions{}); err == nil {
+		t.Fatal("second open of a locked kv registry succeeded")
+	}
+}
+
+// TestKVLargeValuesStayOnDisk is the design-point check: many plans
+// with sizable canonical bodies are stored and listed back correctly
+// through ReadAt, in first-store order.
+func TestKVLargeValuesStayOnDisk(t *testing.T) {
+	st, err := OpenKV(filepath.Join(t.TempDir(), "reg.kv"), FileOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.PutOwner(testOwner("acme")); err != nil {
+		t.Fatal(err)
+	}
+	var digests []string
+	for i := 0; i < 20; i++ {
+		p := testPlan("acme", fmt.Sprintf("doc-%02d-%s", i, strings.Repeat("x", 4096)))
+		digests = append(digests, p.Digest)
+		if err := st.PutPlan(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plans, err := st.ListPlans("acme")
+	if err != nil || len(plans) != 20 {
+		t.Fatalf("ListPlans = %d, %v", len(plans), err)
+	}
+	for i, p := range plans {
+		if p.Digest != digests[i] {
+			t.Fatalf("plan %d out of order: %s != %s", i, p.Digest, digests[i])
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("plan %d corrupted through ReadAt: %v", i, err)
+		}
+	}
+}

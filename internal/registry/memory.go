@@ -237,6 +237,57 @@ func (m *Memory) ListPlans(owner string) ([]PlanRecord, error) {
 	return out, nil
 }
 
+// memSnapshot is a point-in-time copy of a Memory store's live state,
+// in the order compaction writes it: owners id-sorted, then each
+// owner's recipients, plans and receipts in their listing order. The
+// contained records share backing arrays (Spec, Canonical, Records)
+// with the live store, which is sound because no store mutates a
+// record in place — every write replaces whole values.
+type memSnapshot struct {
+	owners     []Owner
+	recipients map[string][]Recipient
+	plans      map[string][]PlanRecord
+	receipts   map[string][]Receipt
+}
+
+// snapshot copies the live state under one read-lock acquisition, so a
+// compaction can stream a consistent image without holding any lock
+// while it writes.
+func (m *Memory) snapshot() memSnapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	snap := memSnapshot{
+		owners:     make([]Owner, 0, len(m.owners)),
+		recipients: make(map[string][]Recipient, len(m.recipients)),
+		plans:      make(map[string][]PlanRecord, len(m.plans)),
+		receipts:   make(map[string][]Receipt, len(m.receipts)),
+	}
+	for _, o := range m.owners {
+		snap.owners = append(snap.owners, o)
+	}
+	sort.Slice(snap.owners, func(i, j int) bool { return snap.owners[i].ID < snap.owners[j].ID })
+	for owner, ids := range m.recOrder {
+		rcs := make([]Recipient, 0, len(ids))
+		for _, id := range ids {
+			rcs = append(rcs, m.recipients[owner][id])
+		}
+		snap.recipients[owner] = rcs
+	}
+	for owner, digests := range m.planOrder {
+		ps := make([]PlanRecord, 0, len(digests))
+		for _, d := range digests {
+			ps = append(ps, m.plans[owner][d])
+		}
+		snap.plans[owner] = ps
+	}
+	for owner, recs := range m.receipts {
+		out := make([]Receipt, len(recs))
+		copy(out, recs)
+		snap.receipts[owner] = out
+	}
+	return snap
+}
+
 // Close is a no-op for the memory store.
 func (m *Memory) Close() error { return nil }
 

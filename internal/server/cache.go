@@ -43,6 +43,22 @@ type docCache struct {
 	bytes    int64 // current total weight
 	entries  map[[sha256.Size]byte]*list.Element
 	order    *list.List // front = most recent; values are *docEntry
+
+	// Singleflight over cache fills: concurrent cold requests for the
+	// same body hash share one parse+index instead of each doing the
+	// full work (the miss-stampede bug ISSUE 10 fixes). Guarded by its
+	// own mutex so a slow parse never blocks cache hits for other keys.
+	flightMu sync.Mutex
+	flights  map[[sha256.Size]byte]*flightCall
+}
+
+// flightCall is one in-progress fill. The leader populates cd/err and
+// calls done; waiters block on wg and then read them (the WaitGroup
+// provides the happens-before edge).
+type flightCall struct {
+	wg  sync.WaitGroup
+	cd  cachedDoc
+	err error
 }
 
 type docEntry struct {
@@ -63,7 +79,36 @@ func newDocCache(capacity int, capBytes int64) *docCache {
 		capBytes: capBytes,
 		entries:  make(map[[sha256.Size]byte]*list.Element),
 		order:    list.New(),
+		flights:  make(map[[sha256.Size]byte]*flightCall),
 	}
+}
+
+// join enters the singleflight for a body hash. The first caller per
+// key becomes the leader (leader == true) and must eventually call
+// complete; everyone else gets the same *flightCall and should wait on
+// its WaitGroup, then read cd/err.
+func (c *docCache) join(key [sha256.Size]byte) (f *flightCall, leader bool) {
+	c.flightMu.Lock()
+	defer c.flightMu.Unlock()
+	if f, ok := c.flights[key]; ok {
+		return f, false
+	}
+	f = &flightCall{}
+	f.wg.Add(1)
+	c.flights[key] = f
+	return f, true
+}
+
+// complete publishes the leader's result (or error) to all waiters and
+// retires the flight. New requests for the same key after this point
+// either hit the now-populated cache or start a fresh flight.
+func (c *docCache) complete(key [sha256.Size]byte, f *flightCall, cd cachedDoc, err error) {
+	f.cd = cd
+	f.err = err
+	c.flightMu.Lock()
+	delete(c.flights, key)
+	c.flightMu.Unlock()
+	f.wg.Done()
 }
 
 // get returns the cached parse for a body hash, refreshing recency.

@@ -1,0 +1,210 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"wmxml/internal/index"
+	"wmxml/internal/registry"
+	"wmxml/internal/xmltree"
+)
+
+// TestDetectMissSingleflight is the thundering-herd regression test:
+// 16 concurrent cold detects of the same body must trigger exactly one
+// parse+index — one leader misses, the other 15 coalesce onto its
+// flight. Before the fix each of the 16 did the full work.
+//
+// The CacheFill hook doubles as a deterministic barrier: the leader
+// blocks inside the miss until all 15 waiters have joined the flight,
+// so the assertion cannot be satisfied by lucky serialization (requests
+// finishing before the rest arrive would hit the cache instead, and
+// coalesced would come up short).
+func TestDetectMissSingleflight(t *testing.T) {
+	const clients = 16
+	var s *Server
+	fill := func(sum [sha256.Size]byte, body []byte) (*xmltree.Node, *index.Index, bool) {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if coalesced, _ := s.CacheFlightStats(); coalesced >= clients-1 {
+				return nil, nil, false // all waiters parked; do the real parse
+			}
+			if time.Now().After(deadline) {
+				return nil, nil, false
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	s, ts := newTestServer(t, Options{Workers: clients, CacheFill: fill})
+	registerOwner(t, ts.URL, "acme")
+	code, marked, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/embed?owner=acme&doc=d.xml", pubsXML(t, 150, 7))
+	if code != http.StatusOK {
+		t.Fatalf("embed: %d %s", code, marked)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, body, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme", marked)
+			if code != http.StatusOK {
+				errs <- fmt.Errorf("detect: %d %s", code, body)
+				return
+			}
+			var det struct {
+				Detected bool `json:"detected"`
+			}
+			if err := json.Unmarshal(body, &det); err != nil || !det.Detected {
+				errs <- fmt.Errorf("detect verdict: %s (%v)", body, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	hits, misses, _, _ := s.CacheStats()
+	coalesced, _ := s.CacheFlightStats()
+	if misses != 1 {
+		t.Errorf("16 concurrent cold detects parsed %d times, want exactly 1", misses)
+	}
+	if coalesced != clients-1 {
+		t.Errorf("coalesced waiters = %d, want %d", coalesced, clients-1)
+	}
+	if hits != 0 {
+		t.Errorf("cache hits = %d during the cold burst, want 0", hits)
+	}
+
+	// The flight is retired: a fresh request is a plain cache hit.
+	if code, body, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme", marked); code != http.StatusOK {
+		t.Fatalf("post-burst detect: %d %s", code, body)
+	}
+	if hits, _, _, _ := s.CacheStats(); hits != 1 {
+		t.Errorf("post-burst hits = %d, want 1", hits)
+	}
+}
+
+// TestSingleflightErrorPropagates: a leader whose body fails to parse
+// must hand the error to every waiter — not a zero-value document.
+func TestSingleflightErrorPropagates(t *testing.T) {
+	c := newDocCache(4, 0)
+	key := sha256.Sum256([]byte("bad body"))
+	call, leader := c.join(key)
+	if !leader {
+		t.Fatal("first join was not the leader")
+	}
+	waiter, leader2 := c.join(key)
+	if leader2 || waiter != call {
+		t.Fatal("second join did not coalesce onto the live flight")
+	}
+	wantErr := fmt.Errorf("parse exploded")
+	c.complete(key, call, cachedDoc{}, wantErr)
+	waiter.wg.Wait()
+	if waiter.err != wantErr {
+		t.Fatalf("waiter saw err=%v, want the leader's error", waiter.err)
+	}
+	// The flight is gone; the next join starts fresh.
+	if _, leader := c.join(key); !leader {
+		t.Fatal("join after complete did not start a new flight")
+	}
+}
+
+// TestCacheFillHook: a miss satisfied by the peer-fill hook skips the
+// local parse, counts as a fill, and still populates the cache.
+func TestCacheFillHook(t *testing.T) {
+	var hookCalls int
+	fill := func(sum [sha256.Size]byte, body []byte) (*xmltree.Node, *index.Index, bool) {
+		hookCalls++
+		doc, err := xmltree.ParseBytes(body, xmltree.ParseOptions{})
+		if err != nil {
+			return nil, nil, false
+		}
+		return doc, index.New(doc), true
+	}
+	s, ts := newTestServer(t, Options{CacheFill: fill})
+	registerOwner(t, ts.URL, "acme")
+	code, marked, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/embed?owner=acme&doc=d.xml", pubsXML(t, 120, 3))
+	if code != http.StatusOK {
+		t.Fatalf("embed: %d %s", code, marked)
+	}
+	code, body, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme", marked)
+	if code != http.StatusOK {
+		t.Fatalf("detect: %d %s", code, body)
+	}
+	var det struct {
+		Detected bool `json:"detected"`
+	}
+	if err := json.Unmarshal(body, &det); err != nil || !det.Detected {
+		t.Fatalf("detect through hook-filled cache: %s (%v)", body, err)
+	}
+	if _, fills := s.CacheFlightStats(); fills != 1 || hookCalls != 1 {
+		t.Errorf("fills=%d hookCalls=%d, want 1 and 1", fills, hookCalls)
+	}
+	// Second detect: plain hit, the hook is not consulted again.
+	if code, _, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme", marked); code != http.StatusOK {
+		t.Fatal("repeat detect failed")
+	}
+	if hookCalls != 1 {
+		t.Errorf("cache hit consulted the fill hook (calls=%d)", hookCalls)
+	}
+}
+
+// countingStore wraps a Store and counts GetOwner calls, to observe the
+// OwnerRefresh fast path skipping registry reads.
+type countingStore struct {
+	registry.Store
+	mu       sync.Mutex
+	getOwner int
+}
+
+func (c *countingStore) GetOwner(id string) (registry.Owner, error) {
+	c.mu.Lock()
+	c.getOwner++
+	c.mu.Unlock()
+	return c.Store.GetOwner(id)
+}
+
+func (c *countingStore) calls() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.getOwner
+}
+
+// TestOwnerRefreshSkipsRegistry: with OwnerRefresh set, repeat requests
+// inside the window reuse the compiled runtime without re-reading the
+// owner record — the point of the knob when the registry is remote —
+// while the credential check still runs against the cached record.
+func TestOwnerRefreshSkipsRegistry(t *testing.T) {
+	cs := &countingStore{Store: registry.NewMemory()}
+	_, ts := newTestServer(t, Options{Registry: cs, OwnerRefresh: time.Hour})
+	registerOwner(t, ts.URL, "acme")
+	code, doc, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/embed?owner=acme&doc=d.xml", pubsXML(t, 60, 1))
+	if code != http.StatusOK {
+		t.Fatalf("embed: %d %s", code, doc)
+	}
+
+	if code, body, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme", doc); code != http.StatusOK {
+		t.Fatalf("first detect: %d %s", code, body)
+	}
+	base := cs.calls()
+	for i := 0; i < 10; i++ {
+		if code, body, _ := doAs(t, "key-acme", "POST", ts.URL+"/v1/detect?owner=acme", doc); code != http.StatusOK {
+			t.Fatalf("detect %d: %d %s", i, code, body)
+		}
+	}
+	if got := cs.calls(); got != base {
+		t.Errorf("10 in-window detects read the owner record %d times, want 0", got-base)
+	}
+	// Authentication is not relaxed by the staleness bound.
+	if code, _, _ := doAs(t, "wrong-key", "POST", ts.URL+"/v1/detect?owner=acme", doc); code != http.StatusUnauthorized {
+		t.Errorf("stale-path detect with wrong key = %d, want 401", code)
+	}
+}

@@ -143,37 +143,40 @@ var ownerOps = []struct {
 // bounded: one series per route × status class, a fixed stage set, and
 // owners capped at ownerCardinalityCap plus the overflow bucket).
 type metrics struct {
-	mu            sync.Mutex
-	requests      map[string]*counter   // route|code -> count
-	latency       map[string]*histogram // route -> latency
-	stages        map[string]*histogram // stage -> span duration
-	owners        map[string]*ownerStats
-	inflight      gauge
-	queueFull     counter // admissions rejected: queue wait exceeded
-	tooLarge      counter // requests rejected: body over the cap
-	cacheHits     counter
-	cacheMiss     counter
-	cacheEvict    counter
-	cacheSize     gauge
-	cacheBytes    gauge
-	planCacheHits counter
-	planCacheMiss counter
-	embeds        counter
-	detects       counter
-	detected      counter
-	verifies      counter
-	fingerprints  counter
-	traces        counter
-	traceAccused  counter
-	streamEmbeds  counter
-	streamDetects counter
-	streamChunks  counter
-	delivers      counter
-	planCompiles  counter
-	planHits      counter
-	captures      counter // anomaly capture bundles written
-	startUnix     int64
-	version       string
+	mu             sync.Mutex
+	requests       map[string]*counter   // route|code -> count
+	latency        map[string]*histogram // route -> latency
+	stages         map[string]*histogram // stage -> span duration
+	owners         map[string]*ownerStats
+	inflight       gauge
+	queueFull      counter // admissions rejected: queue wait exceeded
+	tooLarge       counter // requests rejected: body over the cap
+	cacheHits      counter
+	cacheMiss      counter
+	cacheCoalesced counter // cold requests that waited on another's parse (singleflight)
+	cacheFill      counter // cache misses satisfied by the peer-fill hook
+	cacheEvict     counter
+	cacheSize      gauge
+	cacheBytes     gauge
+	fleetProxied   counter // requests routed to their owner's home node
+	planCacheHits  counter
+	planCacheMiss  counter
+	embeds         counter
+	detects        counter
+	detected       counter
+	verifies       counter
+	fingerprints   counter
+	traces         counter
+	traceAccused   counter
+	streamEmbeds   counter
+	streamDetects  counter
+	streamChunks   counter
+	delivers       counter
+	planCompiles   counter
+	planHits       counter
+	captures       counter // anomaly capture bundles written
+	startUnix      int64
+	version        string
 
 	// Snapshot providers wired by server.New: the latest runtime-health
 	// sample and the SLO engine's evaluation. Both read atomics or take
@@ -349,7 +352,10 @@ func (m *metrics) render(w io.Writer) {
 		{"wmxmld_body_too_large_total", "Requests rejected because the body exceeded the cap.", m.tooLarge.Value()},
 		{"wmxmld_doc_cache_hits_total", "Suspect-document cache hits (reparse and index build skipped).", m.cacheHits.Value()},
 		{"wmxmld_doc_cache_misses_total", "Suspect-document cache misses.", m.cacheMiss.Value()},
+		{"wmxmld_doc_cache_coalesced_total", "Cold requests that shared another request's in-flight parse (singleflight).", m.cacheCoalesced.Value()},
+		{"wmxmld_doc_cache_peer_fills_total", "Cache misses satisfied by the peer-fill hook instead of a local parse.", m.cacheFill.Value()},
 		{"wmxmld_doc_cache_evictions_total", "Suspect-document cache evictions.", m.cacheEvict.Value()},
+		{"wmxmld_fleet_proxied_total", "Requests proxied to the owner's home node by consistent-hash routing.", m.fleetProxied.Value()},
 		{"wmxmld_plan_cache_hits_total", "Decode-plan cache hits (query compilation skipped).", m.planCacheHits.Value()},
 		{"wmxmld_plan_cache_misses_total", "Decode-plan cache misses (plan compiled).", m.planCacheMiss.Value()},
 		{"wmxmld_embeds_total", "Successful embed operations.", m.embeds.Value()},

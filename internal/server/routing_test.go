@@ -1,0 +1,208 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"wmxml/internal/cluster"
+	"wmxml/internal/registry"
+)
+
+// newFleet starts n servers over one shared registry, wired as a
+// consistent-hash fleet. The listeners come up first (their URLs are
+// the node identities), then the servers are bound into them.
+func newFleet(t *testing.T, n int, opts Options) ([]*Server, []string) {
+	t.Helper()
+	reg := opts.Registry
+	if reg == nil {
+		reg = registry.NewMemory()
+	}
+	handlers := make([]http.Handler, n)
+	nodes := make([]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handlers[i].ServeHTTP(w, r)
+		}))
+		t.Cleanup(ts.Close)
+		nodes[i] = ts.URL
+	}
+	servers := make([]*Server, n)
+	for i := 0; i < n; i++ {
+		o := opts
+		o.Registry = reg
+		o.FleetNodes = nodes
+		o.FleetSelf = nodes[i]
+		s, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(s.Close)
+		servers[i] = s
+		handlers[i] = s.Handler()
+	}
+	return servers, nodes
+}
+
+// ownerHomedOn finds an owner id whose consistent-hash home is the
+// given node — so the tests can aim requests at (or away from) it.
+func ownerHomedOn(t *testing.T, nodes []string, node string) string {
+	t.Helper()
+	ring, err := cluster.New(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		id := fmt.Sprintf("tenant-%04d", i)
+		if ring.Node(id) == node {
+			return id
+		}
+	}
+	t.Fatalf("no owner homed on %s in 4096 candidates", node)
+	return ""
+}
+
+// TestFleetRouting: a request landing on the wrong node is proxied to
+// the owner's home node (visible in X-Wmxml-Node and the proxied
+// counter); a request landing on the right node is served in place.
+func TestFleetRouting(t *testing.T) {
+	servers, nodes := newFleet(t, 2, Options{})
+	remote := ownerHomedOn(t, nodes, nodes[1])
+
+	// Registration routes too — the body peek finds the owner id.
+	registerOwner(t, nodes[0], remote)
+	if p := servers[0].FleetStats(); p != 1 {
+		t.Fatalf("registration via the wrong node proxied %d requests, want 1", p)
+	}
+	code, doc, _ := doAs(t, "key-"+remote, "POST", nodes[1]+"/v1/embed?owner="+remote+"&doc=d.xml", pubsXML(t, 60, 1))
+	if code != http.StatusOK {
+		t.Fatalf("embed: %d %s", code, doc)
+	}
+
+	// Wrong node: served by the home node through the proxy.
+	code, body, hdr := doAs(t, "key-"+remote, "POST", nodes[0]+"/v1/detect?owner="+remote, doc)
+	if code != http.StatusOK {
+		t.Fatalf("routed detect: %d %s", code, body)
+	}
+	if got := hdr.Get("X-Wmxml-Node"); got != nodes[1] {
+		t.Errorf("routed detect served by %q, want home node %q", got, nodes[1])
+	}
+	if p := servers[0].FleetStats(); p != 2 {
+		t.Errorf("proxied counter = %d, want 2", p)
+	}
+	// Only the home node's cache warmed.
+	if _, _, _, size := servers[1].CacheStats(); size != 1 {
+		t.Errorf("home node cached %d docs, want 1", size)
+	}
+	if _, _, _, size := servers[0].CacheStats(); size != 0 {
+		t.Errorf("entry node cached %d docs, want 0", size)
+	}
+
+	// Right node: served locally, proxy counters untouched.
+	code, _, hdr = doAs(t, "key-"+remote, "POST", nodes[1]+"/v1/detect?owner="+remote, doc)
+	if code != http.StatusOK {
+		t.Fatal("direct detect failed")
+	}
+	if got := hdr.Get("X-Wmxml-Node"); got != nodes[1] {
+		t.Errorf("direct detect served by %q, want %q", got, nodes[1])
+	}
+	if p := servers[1].FleetStats(); p != 0 {
+		t.Errorf("home node proxied %d requests, want 0", p)
+	}
+
+	// Receipts listing routes on the path owner.
+	code, body, hdr = doAs(t, "key-"+remote, "GET", nodes[0]+"/v1/owners/"+remote+"/receipts", nil)
+	if code != http.StatusOK {
+		t.Fatalf("routed receipts: %d %s", code, body)
+	}
+	if got := hdr.Get("X-Wmxml-Node"); got != nodes[1] {
+		t.Errorf("routed receipts served by %q, want %q", got, nodes[1])
+	}
+}
+
+// TestFleetHopGuard: a request already carrying the hop header is
+// served wherever it lands, even if this node's ring disagrees — one
+// extra hop max, never a proxy loop.
+func TestFleetHopGuard(t *testing.T) {
+	_, nodes := newFleet(t, 2, Options{})
+	remote := ownerHomedOn(t, nodes, nodes[1])
+	registerOwner(t, nodes[1], remote)
+
+	req, err := http.NewRequest("GET", nodes[0]+"/v1/owners/"+remote+"/receipts", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer key-"+remote)
+	req.Header.Set("X-Wmxml-Fleet-Hop", "test")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hop-guarded request: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Wmxml-Node"); got != nodes[0] {
+		t.Errorf("hop-guarded request served by %q, want the landing node %q", got, nodes[0])
+	}
+}
+
+// TestFleetPeerDown: a dead home node surfaces as a JSON 502 from the
+// entry node, not a hung request or an opaque transport error.
+func TestFleetPeerDown(t *testing.T) {
+	servers, nodes := newFleet(t, 2, Options{})
+	remote := ownerHomedOn(t, nodes, nodes[1])
+	registerOwner(t, nodes[1], remote)
+	_ = servers
+
+	// Kill node 1's listener by pointing its handler slot at a closed
+	// server: simplest is to aim at an owner homed on a node we shut.
+	// httptest servers are cleaned up at test end, so instead build a
+	// 2-node fleet where one address never listens.
+	reg := registry.NewMemory()
+	live := httptest.NewServer(nil)
+	defer live.Close()
+	deadURL := "http://127.0.0.1:1" // reserved port, nothing listens
+	s, err := New(Options{Registry: reg, FleetNodes: []string{live.URL, deadURL}, FleetSelf: live.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	live.Config.Handler = s.Handler()
+
+	downOwner := ownerHomedOn(t, []string{live.URL, deadURL}, deadURL)
+	code, body, _ := doAs(t, "k", "GET", live.URL+"/v1/owners/"+downOwner+"/receipts", nil)
+	if code != http.StatusBadGateway {
+		t.Fatalf("request homed on a dead peer = %d %s, want 502", code, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("502 body is not the JSON error envelope: %s", body)
+	}
+}
+
+// TestFleetSelfValidation: a fleet config whose self address is not in
+// the node list is refused at construction.
+func TestFleetSelfValidation(t *testing.T) {
+	_, err := New(Options{
+		Registry:   registry.NewMemory(),
+		FleetNodes: []string{"http://a:1", "http://b:2"},
+		FleetSelf:  "http://c:3",
+	})
+	if err == nil {
+		t.Fatal("New accepted FleetSelf outside FleetNodes")
+	}
+	_, err = New(Options{
+		Registry:   registry.NewMemory(),
+		FleetNodes: []string{"http://a:1", "ftp://b:2"},
+		FleetSelf:  "http://a:1",
+	})
+	if err == nil {
+		t.Fatal("New accepted a non-http fleet node")
+	}
+}

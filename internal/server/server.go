@@ -46,6 +46,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httputil"
 	"runtime"
 	"slices"
 	"strings"
@@ -53,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wmxml/internal/cluster"
 	"wmxml/internal/config"
 	"wmxml/internal/core"
 	"wmxml/internal/datagen"
@@ -146,6 +148,34 @@ type Options struct {
 	CaptureCPUProfile time.Duration
 	// WatchdogInterval is the rule evaluation period (0 = 10s).
 	WatchdogInterval time.Duration
+	// OwnerRefresh bounds how stale a compiled owner runtime may be
+	// before the next request re-reads the registry record. 0 checks the
+	// registry on every request (the single-node default — a local read
+	// is cheap); set it when the registry is remote, where a per-request
+	// GetOwner would put a network round trip on the hot path. The
+	// credential check always runs, against the cached record.
+	OwnerRefresh time.Duration
+	// ClusterKey, when set, mounts the registry fleet API under
+	// /internal/registry/ (Bearer-authenticated with this key) so peer
+	// nodes can share this node's registry. Required on the node that
+	// holds the authoritative store of a fleet.
+	ClusterKey string
+	// FleetNodes lists every node address (scheme://host:port) of the
+	// fleet this server belongs to. With two or more nodes, owner-scoped
+	// requests are routed by consistent hash: a request landing on the
+	// wrong node is transparently proxied to the owner's home node, so
+	// each owner's parsed documents warm exactly one cache. Empty or
+	// single-entry means no routing (standalone node).
+	FleetNodes []string
+	// FleetSelf is this node's own address as it appears in FleetNodes;
+	// required when FleetNodes has two or more entries.
+	FleetSelf string
+	// CacheFill, when non-nil, is consulted on a document-cache miss
+	// before parsing locally — a hook for fleet deployments to borrow a
+	// sibling node's parse. Returning ok=false falls through to the
+	// local parse. Runs inside the miss singleflight, so concurrent
+	// requests trigger it at most once per body.
+	CacheFill func(sum [sha256.Size]byte, body []byte) (*xmltree.Node, *index.Index, bool)
 }
 
 func (o Options) withDefaults() Options {
@@ -215,6 +245,10 @@ type Server struct {
 	dog      *watchdog
 	draining atomic.Bool
 
+	// Fleet routing state; nil/empty on a standalone node.
+	fleet   *cluster.Ring
+	proxies map[string]*httputil.ReverseProxy
+
 	mu       sync.Mutex
 	runtimes map[string]*ownerRuntime
 }
@@ -229,6 +263,11 @@ type ownerRuntime struct {
 	fp      *fingerprint.System
 	schema  *schema.Schema
 	catalog semantics.Catalog
+
+	// checked is when (UnixNano) the registry record was last compared
+	// against this runtime; the Options.OwnerRefresh fast path reads it
+	// to skip the per-request GetOwner against a remote registry.
+	checked atomic.Int64
 }
 
 // New builds a Server over a registry.
@@ -278,6 +317,9 @@ func New(opts Options) (*Server, error) {
 			interval:   opts.WatchdogInterval,
 		}, s.slo, s.health, s.ring, s.met, s.log)
 		s.dog.Start()
+	}
+	if err := s.buildFleet(); err != nil {
+		return nil, err
 	}
 	s.routes()
 	return s, nil
@@ -363,6 +405,17 @@ func (s *Server) CacheStats() (hits, misses, evicts uint64, size int) {
 	return s.met.cacheHits.Value(), s.met.cacheMiss.Value(), s.met.cacheEvict.Value(), s.cache.len()
 }
 
+// CacheFlightStats reports the miss-singleflight counters: how many
+// requests waited on another request's parse, and how many misses were
+// satisfied by the peer-fill hook.
+func (s *Server) CacheFlightStats() (coalesced, fills uint64) {
+	return s.met.cacheCoalesced.Value(), s.met.cacheFill.Value()
+}
+
+// FleetStats reports how many requests this node proxied to their
+// owner's home node (always 0 standalone).
+func (s *Server) FleetStats() (proxied uint64) { return s.met.fleetProxied.Value() }
+
 // PlanCacheStats reports the decode-plan cache counters (hits, misses,
 // entries) for tests and diagnostics.
 func (s *Server) PlanCacheStats() (hits, misses uint64, size int) {
@@ -371,19 +424,29 @@ func (s *Server) PlanCacheStats() (hits, misses uint64, size int) {
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/owners", s.instrument("/v1/owners", s.handlePutOwner))
-	s.mux.HandleFunc("GET /v1/owners/{id}/receipts", s.instrument("/v1/owners/{id}/receipts", s.handleListReceipts))
-	s.mux.HandleFunc("GET /v1/owners/{id}/recipients", s.instrument("/v1/owners/{id}/recipients", s.handleListRecipients))
-	s.mux.HandleFunc("POST /v1/embed", s.instrument("/v1/embed", s.handleEmbed))
-	s.mux.HandleFunc("POST /v1/detect", s.instrument("/v1/detect", s.handleDetect))
-	s.mux.HandleFunc("POST /v1/verify", s.instrument("/v1/verify", s.handleVerify))
-	s.mux.HandleFunc("POST /v1/fingerprint", s.instrument("/v1/fingerprint", s.handleFingerprint))
-	s.mux.HandleFunc("POST /v1/trace", s.instrument("/v1/trace", s.handleTrace))
-	s.mux.HandleFunc("POST /v1/deliver/plan", s.instrument("/v1/deliver/plan", s.handleDeliverPlan))
-	s.mux.HandleFunc("POST /v1/deliver", s.instrument("/v1/deliver", s.handleDeliver))
+	// Owner-scoped endpoints go through the fleet router (a no-op
+	// standalone): the owner id — from the body, the path, or the query
+	// string — decides which node's cache should absorb the work.
+	s.mux.HandleFunc("POST /v1/owners", s.instrument("/v1/owners", s.routed(s.ownerFromBody, s.handlePutOwner)))
+	s.mux.HandleFunc("GET /v1/owners/{id}/receipts", s.instrument("/v1/owners/{id}/receipts", s.routed(ownerFromPath, s.handleListReceipts)))
+	s.mux.HandleFunc("GET /v1/owners/{id}/recipients", s.instrument("/v1/owners/{id}/recipients", s.routed(ownerFromPath, s.handleListRecipients)))
+	s.mux.HandleFunc("POST /v1/embed", s.instrument("/v1/embed", s.routed(ownerFromQuery, s.handleEmbed)))
+	s.mux.HandleFunc("POST /v1/detect", s.instrument("/v1/detect", s.routed(ownerFromQuery, s.handleDetect)))
+	s.mux.HandleFunc("POST /v1/verify", s.instrument("/v1/verify", s.routed(ownerFromQuery, s.handleVerify)))
+	s.mux.HandleFunc("POST /v1/fingerprint", s.instrument("/v1/fingerprint", s.routed(ownerFromQuery, s.handleFingerprint)))
+	s.mux.HandleFunc("POST /v1/trace", s.instrument("/v1/trace", s.routed(ownerFromQuery, s.handleTrace)))
+	s.mux.HandleFunc("POST /v1/deliver/plan", s.instrument("/v1/deliver/plan", s.routed(ownerFromQuery, s.handleDeliverPlan)))
+	s.mux.HandleFunc("POST /v1/deliver", s.instrument("/v1/deliver", s.routed(ownerFromQuery, s.handleDeliver)))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics) // not instrumented: scrapes must not move the histograms
+	if s.opts.ClusterKey != "" {
+		// The fleet-internal registry API: peer nodes running a Remote
+		// store point at this prefix. Deliberately outside /v1 — it is
+		// node-to-node surface, authenticated by the cluster key, not a
+		// tenant API.
+		s.mux.Handle("/internal/registry/", http.StripPrefix("/internal/registry", registry.NewHTTPHandler(s.reg, s.opts.ClusterKey)))
+	}
 }
 
 // statusWriter captures the response code and body byte count for
@@ -615,6 +678,22 @@ func (s *Server) runtimeFor(r *http.Request, id string) (*ownerRuntime, error) {
 	if id == "" {
 		return nil, errf(http.StatusBadRequest, "owner query parameter is required")
 	}
+	// Staleness fast path: with OwnerRefresh set, a recently-checked
+	// runtime is trusted without re-reading the registry. The credential
+	// still has to match the cached record — the bound trades freshness
+	// of the record, never the authentication.
+	if s.opts.OwnerRefresh > 0 {
+		s.mu.Lock()
+		rt, ok := s.runtimes[id]
+		s.mu.Unlock()
+		if ok && time.Now().UnixNano()-rt.checked.Load() < int64(s.opts.OwnerRefresh) {
+			if err := s.authorize(r, rt.owner); err != nil {
+				return nil, err
+			}
+			obs.FromContext(r.Context()).SetOwner(id)
+			return rt, nil
+		}
+	}
 	o, err := s.reg.GetOwner(id)
 	if err != nil {
 		if errors.Is(err, registry.ErrNotFound) {
@@ -630,12 +709,14 @@ func (s *Server) runtimeFor(r *http.Request, id string) (*ownerRuntime, error) {
 	rt, ok := s.runtimes[id]
 	s.mu.Unlock()
 	if ok && sameOwner(rt.owner, o) {
+		rt.checked.Store(time.Now().UnixNano())
 		return rt, nil
 	}
 	rt, err = s.buildRuntime(o)
 	if err != nil {
 		return nil, err
 	}
+	rt.checked.Store(time.Now().UnixNano())
 	s.mu.Lock()
 	s.runtimes[id] = rt
 	s.mu.Unlock()
@@ -959,7 +1040,16 @@ type detectResponse struct {
 // suspectDoc resolves the request body to a parsed document and index,
 // through the content-hash cache. The lookup, the parse and the index
 // build each get a stage span on the request trace, so a cold detect
-// shows where its time went (and the cache span's note says hit/miss).
+// shows where its time went (and the cache span's note says
+// hit/miss/coalesced).
+//
+// Cold lookups are singleflighted on the body hash: under N concurrent
+// detects of the same uncached body, exactly one request parses and
+// indexes while the other N-1 wait on its flight and share the result.
+// Before the flight, each of the N paid the full parse+index cost — the
+// miss stampede that made a cache-cold burst N times as expensive as it
+// needed to be. With the cache disabled (CacheEntries < 0) there is
+// nothing to populate, so every request does its own work, as before.
 func (s *Server) suspectDoc(body []byte, tr *obs.Trace) (cachedDoc, bool, error) {
 	sum := sha256.Sum256(body)
 	csp := tr.StartSpan("cache")
@@ -970,8 +1060,50 @@ func (s *Server) suspectDoc(body []byte, tr *obs.Trace) (cachedDoc, bool, error)
 		s.met.cacheHits.Inc()
 		return cd, true, nil
 	}
+	if s.opts.CacheEntries == 0 {
+		csp.EndNote("miss")
+		s.met.cacheMiss.Inc()
+		return s.fillDoc(sum, body, tr)
+	}
+	call, leader := s.cache.join(sum)
+	if !leader {
+		csp.EndNote("coalesced")
+		s.met.cacheCoalesced.Inc()
+		call.wg.Wait()
+		if call.err != nil {
+			return cachedDoc{}, false, call.err
+		}
+		tr.SetCacheHit(true)
+		return call.cd, true, nil
+	}
+	// Leader double-check: between our miss and winning the flight, a
+	// previous leader may have completed and populated the cache.
+	if cd, ok := s.cache.get(sum); ok {
+		s.cache.complete(sum, call, cd, nil)
+		csp.EndNote("hit")
+		tr.SetCacheHit(true)
+		s.met.cacheHits.Inc()
+		return cd, true, nil
+	}
 	csp.EndNote("miss")
 	s.met.cacheMiss.Inc()
+	cd, hit, err := s.fillDoc(sum, body, tr)
+	s.cache.complete(sum, call, cd, err)
+	return cd, hit, err
+}
+
+// fillDoc does the actual work of a cache miss: consult the peer-fill
+// hook if one is wired (a fleet node borrowing a sibling's parse),
+// otherwise parse and index locally, then populate the cache.
+func (s *Server) fillDoc(sum [sha256.Size]byte, body []byte, tr *obs.Trace) (cachedDoc, bool, error) {
+	if s.opts.CacheFill != nil {
+		if doc, ix, ok := s.opts.CacheFill(sum, body); ok && doc != nil && ix != nil {
+			s.met.cacheFill.Inc()
+			cd := cachedDoc{doc: doc, ix: ix}
+			s.cachePut(sum, cd, int64(len(body)))
+			return cd, false, nil
+		}
+	}
 	psp := tr.StartSpan("parse")
 	doc, err := s.parseDoc(body)
 	psp.End()
@@ -979,14 +1111,19 @@ func (s *Server) suspectDoc(body []byte, tr *obs.Trace) (cachedDoc, bool, error)
 		return cachedDoc{}, false, err
 	}
 	isp := tr.StartSpan("index")
-	cd = cachedDoc{doc: doc, ix: index.New(doc)}
+	cd := cachedDoc{doc: doc, ix: index.New(doc)}
 	isp.End()
-	if ev := s.cache.put(sum, cd, int64(len(body))); ev > 0 {
+	s.cachePut(sum, cd, int64(len(body)))
+	return cd, false, nil
+}
+
+// cachePut inserts a parsed document and keeps the cache gauges honest.
+func (s *Server) cachePut(sum [sha256.Size]byte, cd cachedDoc, weight int64) {
+	if ev := s.cache.put(sum, cd, weight); ev > 0 {
 		s.met.cacheEvict.Add(uint64(ev))
 	}
 	s.met.cacheSize.Set(int64(s.cache.len()))
 	s.met.cacheBytes.Set(s.cache.weight())
-	return cd, false, nil
 }
 
 // handleDetect runs detection of the suspect XML body against the

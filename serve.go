@@ -48,6 +48,32 @@ func OpenFileRegistry(path string) (ReceiptStore, error) {
 	return registry.OpenFile(path, registry.FileOptions{})
 }
 
+// OpenShardedRegistry opens (or creates) a sharded file registry: a
+// directory of per-shard JSONL logs, owners assigned by hash. Appends
+// to different owners no longer serialize on one file lock, and
+// compaction proceeds shard by shard. The shard count is fixed at
+// creation and enforced on reopen.
+func OpenShardedRegistry(dir string, shards int) (ReceiptStore, error) {
+	return registry.OpenSharded(dir, shards, registry.FileOptions{})
+}
+
+// OpenKVRegistry opens (or creates) an embedded-KV registry: the same
+// append-only crash-safe log, indexed by an in-memory key directory
+// that holds offsets instead of records, so resident memory stays flat
+// as plan payloads grow — values are read from disk on demand.
+func OpenKVRegistry(path string) (ReceiptStore, error) {
+	return registry.OpenKV(path, registry.FileOptions{})
+}
+
+// OpenRemoteRegistry connects to another wmxmld node's registry over
+// its fleet API (`/internal/registry/` on the node holding the
+// authoritative store), authenticated by the shared cluster key. With
+// cacheTTL > 0 reads are served from a local ETag-validated cache for
+// that long between revalidations; 0 revalidates on every read.
+func OpenRemoteRegistry(baseURL, clusterKey string, cacheTTL time.Duration) (ReceiptStore, error) {
+	return registry.OpenRemote(baseURL, registry.RemoteOptions{Key: clusterKey, CacheTTL: cacheTTL})
+}
+
 // ServerOptions configures the wmxmld HTTP service.
 type ServerOptions struct {
 	// Addr is the listen address for Serve (default ":8484").
@@ -137,6 +163,26 @@ type ServerOptions struct {
 	// before closing listeners on shutdown — the window a load balancer
 	// needs to observe the flip and stop routing here (0 = none).
 	DrainDelay time.Duration
+	// OwnerRefresh bounds how stale a compiled owner runtime may be
+	// before the next request re-reads its registry record. 0 re-reads
+	// on every request (right for a local registry); set it on fleet
+	// nodes using a remote registry, where the per-request read is a
+	// network round trip. Credentials are always checked.
+	OwnerRefresh time.Duration
+	// ClusterKey, when set, mounts the node-to-node registry API under
+	// /internal/registry/ (Bearer-authenticated with this key). Set it
+	// on the node holding a fleet's authoritative registry; peers
+	// connect via OpenRemoteRegistry with the same key.
+	ClusterKey string
+	// FleetNodes lists every node address (http://host:port) of the
+	// fleet. With two or more entries, owner-scoped requests are routed
+	// by consistent hash to the owner's home node, so each owner warms
+	// exactly one document cache instead of N competing ones. Clients
+	// may still contact any node.
+	FleetNodes []string
+	// FleetSelf is this node's own address as listed in FleetNodes;
+	// required when FleetNodes has two or more entries.
+	FleetSelf string
 }
 
 // newServer builds the internal server from the public options.
@@ -171,6 +217,10 @@ func newServer(opts ServerOptions) (*server.Server, error) {
 		CaptureCooldown:      opts.CaptureCooldown,
 		CaptureCPUProfile:    opts.CaptureCPUProfile,
 		WatchdogInterval:     opts.WatchdogInterval,
+		OwnerRefresh:         opts.OwnerRefresh,
+		ClusterKey:           opts.ClusterKey,
+		FleetNodes:           opts.FleetNodes,
+		FleetSelf:            opts.FleetSelf,
 	})
 }
 
